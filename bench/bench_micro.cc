@@ -1,0 +1,173 @@
+// Micro-benchmarks of the substrate: tensor kernels, embedding gather /
+// sparse update, a full ATNN training step, GBDT boosting rounds and the
+// market simulator. These track the cost centers behind the table benches.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/atnn.h"
+#include "core/feature_adapter.h"
+#include "core/trainer.h"
+#include "data/tmall.h"
+#include "gbdt/gbdt.h"
+#include "nn/layers.h"
+#include "nn/matmul.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+#include "sim/market.h"
+
+namespace atnn::bench {
+namespace {
+
+nn::Tensor RandomTensor(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const nn::Tensor a = RandomTensor(n, n, 1);
+  const nn::Tensor b = RandomTensor(n, n, 2);
+  nn::Tensor c(n, n);
+  for (auto _ : state) {
+    nn::MatMulInto(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EmbeddingForwardBackward(benchmark::State& state) {
+  const int64_t vocab = state.range(0);
+  constexpr int64_t kDim = 16;
+  constexpr int64_t kBatch = 256;
+  nn::Parameter table("emb", RandomTensor(vocab, kDim, 3));
+  Rng rng(4);
+  std::vector<int64_t> ids(kBatch);
+  for (auto& id : ids) id = int64_t(rng.UniformInt(uint64_t(vocab)));
+  nn::Sgd sgd({&table}, 0.01f);
+  for (auto _ : state) {
+    sgd.ZeroGrad();
+    nn::Var loss =
+        nn::ReduceMean(nn::Square(nn::EmbeddingLookup(table.var(), ids)));
+    nn::Backward(loss);
+    sgd.Step();  // lazy sparse update: cost ~ batch, not vocab
+    benchmark::DoNotOptimize(table.value().data());
+  }
+  state.SetLabel("sparse update over " + std::to_string(vocab) + " rows");
+}
+BENCHMARK(BM_EmbeddingForwardBackward)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+void BM_DcnTowerForwardBackward(benchmark::State& state) {
+  Rng rng(5);
+  nn::TowerConfig config;
+  config.kind = nn::TowerKind::kDeepCross;
+  config.deep_dims = {64, 32};
+  config.cross_layers = 3;
+  config.output_dim = 32;
+  nn::Tower tower("t", 128, config, &rng);
+  nn::Adam adam(tower.Parameters(), 1e-3f);
+  const nn::Tensor input = RandomTensor(256, 128, 6);
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    nn::Var loss =
+        nn::ReduceMean(nn::Square(tower.Forward(nn::Constant(input))));
+    nn::Backward(loss);
+    adam.Step();
+    benchmark::DoNotOptimize(loss.value().scalar());
+  }
+  state.SetLabel("batch 256, input 128");
+}
+BENCHMARK(BM_DcnTowerForwardBackward);
+
+class AtnnStepFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (dataset_ != nullptr) return;
+    data::TmallConfig config;
+    config.num_users = 500;
+    config.num_items = 1000;
+    config.num_new_items = 100;
+    config.num_interactions = 20000;
+    config.attractiveness_sample = 64;
+    dataset_ = new data::TmallDataset(data::GenerateTmallDataset(config));
+    core::NormalizeTmallInPlace(dataset_);
+    core::AtnnConfig model_config;
+    model_config.tower.deep_dims = {64, 32};
+    model_config.tower.cross_layers = 3;
+    model_config.tower.output_dim = 32;
+    model_ = new core::AtnnModel(*dataset_->user_schema,
+                                 *dataset_->item_profile_schema,
+                                 *dataset_->item_stats_schema, model_config);
+  }
+  static data::TmallDataset* dataset_;
+  static core::AtnnModel* model_;
+};
+data::TmallDataset* AtnnStepFixture::dataset_ = nullptr;
+core::AtnnModel* AtnnStepFixture::model_ = nullptr;
+
+BENCHMARK_F(AtnnStepFixture, TrainOneEpochBatch256)
+(benchmark::State& state) {
+  core::TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 256;
+  options.learning_rate = 1e-3f;
+  int64_t samples = 0;
+  for (auto _ : state) {
+    core::TrainAtnnModel(model_, *dataset_, options);
+    samples += static_cast<int64_t>(dataset_->train_indices.size());
+  }
+  state.SetItemsProcessed(samples);
+  state.SetLabel("samples/s through D-step + G-step");
+}
+
+void BM_GbdtTrain(benchmark::State& state) {
+  Rng rng(11);
+  const int64_t n = 20000;
+  nn::Tensor features(n, 40);
+  std::vector<float> labels(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    double logit = -1.0;
+    for (int64_t c = 0; c < 40; ++c) {
+      features.at(r, c) = float(rng.Normal());
+      if (c < 8) logit += 0.3 * features.at(r, c);
+    }
+    labels[size_t(r)] = rng.Bernoulli(1.0 / (1.0 + std::exp(-logit)));
+  }
+  gbdt::GbdtConfig config;
+  config.num_trees = int(state.range(0));
+  for (auto _ : state) {
+    gbdt::GbdtModel model;
+    model.Train(features, labels, config);
+    benchmark::DoNotOptimize(model.num_trees());
+  }
+  state.SetLabel("20k rows x 40 features");
+}
+BENCHMARK(BM_GbdtTrain)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_MarketSimulation(benchmark::State& state) {
+  sim::MarketConfig config;
+  const sim::MarketSimulator market(config);
+  Rng rng(12);
+  int64_t items = 0;
+  for (auto _ : state) {
+    const auto outcome = market.SimulateItem(0.12, 0.3, 30.0, &rng);
+    benchmark::DoNotOptimize(outcome.gmv30);
+    ++items;
+  }
+  state.SetItemsProcessed(items);
+  state.SetLabel("30 simulated days per item");
+}
+BENCHMARK(BM_MarketSimulation);
+
+}  // namespace
+}  // namespace atnn::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Robustness check: the headline Table I claim — ATNN's generator beats a
+// statistics-deprived TNN-DCN on cold-start AUC while matching it on
+// complete features — must hold across independently generated worlds, not
+// just the default seed. Runs the core comparison on several dataset seeds
+// and reports the per-seed and aggregate picture.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace atnn::bench {
+namespace {
+
+struct SeedResult {
+  uint64_t seed;
+  double dcn_cold = 0.0;
+  double dcn_complete = 0.0;
+  double atnn_cold = 0.0;
+  double atnn_complete = 0.0;
+};
+
+SeedResult RunSeed(uint64_t seed) {
+  data::TmallConfig config = PaperScaleTmallConfig();
+  config.seed = seed;
+  data::TmallDataset dataset = data::GenerateTmallDataset(config);
+  core::NormalizeTmallInPlace(&dataset);
+
+  SeedResult result;
+  result.seed = seed;
+  {
+    core::TwoTowerConfig model_config;
+    model_config.tower = BenchTowerConfig(nn::TowerKind::kDeepCross);
+    model_config.seed = 7;
+    core::TwoTowerModel model(*dataset.user_schema,
+                              *dataset.item_profile_schema,
+                              *dataset.item_stats_schema, model_config);
+    core::TrainTwoTowerModel(&model, dataset, BenchTrainOptions());
+    result.dcn_complete =
+        core::EvaluateTwoTowerAuc(model, dataset, dataset.test_indices);
+    result.dcn_cold = core::EvaluateTwoTowerAucMissingStats(
+        model, dataset, dataset.test_indices);
+  }
+  {
+    core::AtnnConfig model_config;
+    model_config.tower = BenchTowerConfig(nn::TowerKind::kDeepCross);
+    model_config.seed = 7;
+    core::AtnnModel model(*dataset.user_schema, *dataset.item_profile_schema,
+                          *dataset.item_stats_schema, model_config);
+    core::TrainAtnnModel(&model, dataset, BenchTrainOptions());
+    result.atnn_complete = core::EvaluateAtnnAuc(
+        model, dataset, dataset.test_indices, core::CtrPath::kEncoder);
+    result.atnn_cold = core::EvaluateAtnnAuc(
+        model, dataset, dataset.test_indices, core::CtrPath::kGenerator);
+  }
+  return result;
+}
+
+void Run() {
+  const uint64_t kSeeds[] = {20210304, 7777, 424242};
+  TablePrinter table(
+      "Seed robustness of the headline claim (every row must show "
+      "ATNN cold > TNN-DCN cold, and ATNN complete within ~1% of TNN-DCN "
+      "complete)");
+  table.SetHeader({"world seed", "TNN-DCN cold", "ATNN cold",
+                   "cold advantage", "TNN-DCN complete", "ATNN complete"});
+  int wins = 0;
+  for (uint64_t seed : kSeeds) {
+    Stopwatch timer;
+    const SeedResult r = RunSeed(seed);
+    std::printf("[robustness] seed %llu done (%.1fs)\n",
+                static_cast<unsigned long long>(seed),
+                timer.ElapsedSeconds());
+    if (r.atnn_cold > r.dcn_cold) ++wins;
+    table.AddRow({std::to_string(seed), TablePrinter::Num(r.dcn_cold),
+                  TablePrinter::Num(r.atnn_cold),
+                  TablePrinter::Num(r.atnn_cold - r.dcn_cold, 4),
+                  TablePrinter::Num(r.dcn_complete),
+                  TablePrinter::Num(r.atnn_complete)});
+  }
+  table.Print();
+  std::printf("[robustness] ATNN won the cold-start column on %d/%zu "
+              "seeds\n",
+              wins, std::size(kSeeds));
+}
+
+}  // namespace
+}  // namespace atnn::bench
+
+int main() {
+  atnn::bench::Run();
+  return 0;
+}

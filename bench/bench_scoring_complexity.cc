@@ -1,0 +1,141 @@
+// Materializes the paper's Section III-D complexity claim: scoring one new
+// arrival against a user group costs O(N_users) with pairwise CTR
+// prediction but O(1) with the precomputed mean user vector. google-
+// benchmark measures per-item scoring cost across group sizes — the
+// pairwise curve grows linearly, the mean-vector curve stays flat.
+
+#include <cmath>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace atnn::bench {
+namespace {
+
+constexpr int64_t kVectorDim = 128;  // the paper's production vector width
+
+/// Synthetic user-vector matrix [n, d] (the towers' output distribution is
+/// irrelevant to the arithmetic being measured).
+nn::Tensor MakeUserVectors(int64_t n) {
+  Rng rng(42);
+  nn::Tensor vectors(n, kVectorDim);
+  for (int64_t i = 0; i < vectors.numel(); ++i) {
+    vectors.data()[i] = static_cast<float>(rng.Normal(0.0, 0.3));
+  }
+  return vectors;
+}
+
+nn::Tensor MakeItemVector() {
+  Rng rng(7);
+  nn::Tensor vector(1, kVectorDim);
+  for (int64_t i = 0; i < kVectorDim; ++i) {
+    vector.data()[i] = static_cast<float>(rng.Normal(0.0, 0.3));
+  }
+  return vector;
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// O(N_users): mean over the group of sigmoid(<item, user>).
+void BM_PairwiseScoring(benchmark::State& state) {
+  const int64_t num_users = state.range(0);
+  const nn::Tensor users = MakeUserVectors(num_users);
+  const nn::Tensor item = MakeItemVector();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (int64_t u = 0; u < num_users; ++u) {
+      const float* user_vec = users.row_ptr(u);
+      double dot = 0.0;
+      for (int64_t c = 0; c < kVectorDim; ++c) {
+        dot += item.data()[c] * user_vec[c];
+      }
+      total += Sigmoid(dot);
+    }
+    benchmark::DoNotOptimize(total / static_cast<double>(num_users));
+  }
+  state.SetLabel("O(N_users) per item");
+}
+BENCHMARK(BM_PairwiseScoring)->RangeMultiplier(8)->Range(64, 262144);
+
+/// O(1): one dot product against the precomputed mean user vector.
+void BM_MeanUserVectorScoring(benchmark::State& state) {
+  const int64_t num_users = state.range(0);
+  const nn::Tensor users = MakeUserVectors(num_users);
+  const nn::Tensor item = MakeItemVector();
+  // Precompute the mean once at "training time" (outside the loop).
+  nn::Tensor mean(1, kVectorDim);
+  for (int64_t u = 0; u < num_users; ++u) {
+    mean.AddInPlace(
+        nn::Tensor(1, kVectorDim,
+                   std::vector<float>(users.row_ptr(u),
+                                      users.row_ptr(u) + kVectorDim)));
+  }
+  mean.Scale(1.0f / static_cast<float>(num_users));
+  for (auto _ : state) {
+    double dot = 0.0;
+    for (int64_t c = 0; c < kVectorDim; ++c) {
+      dot += item.data()[c] * mean.data()[c];
+    }
+    benchmark::DoNotOptimize(Sigmoid(dot));
+  }
+  state.SetLabel("O(1) per item — flat across group sizes");
+}
+BENCHMARK(BM_MeanUserVectorScoring)->RangeMultiplier(8)->Range(64, 262144);
+
+/// Ranking a day's worth of new arrivals end-to-end: time per 1000 items.
+void BM_RankThousandNewArrivals(benchmark::State& state) {
+  const bool pairwise = state.range(0) == 1;
+  const int64_t num_users = 8192;
+  const int64_t num_items = 1000;
+  const nn::Tensor users = MakeUserVectors(num_users);
+  Rng rng(9);
+  nn::Tensor items(num_items, kVectorDim);
+  for (int64_t i = 0; i < items.numel(); ++i) {
+    items.data()[i] = static_cast<float>(rng.Normal(0.0, 0.3));
+  }
+  nn::Tensor mean(1, kVectorDim);
+  for (int64_t u = 0; u < num_users; ++u) {
+    for (int64_t c = 0; c < kVectorDim; ++c) {
+      mean.data()[c] += users.at(u, c);
+    }
+  }
+  mean.Scale(1.0f / static_cast<float>(num_users));
+
+  std::vector<double> scores(static_cast<size_t>(num_items));
+  for (auto _ : state) {
+    for (int64_t i = 0; i < num_items; ++i) {
+      const float* item_vec = items.row_ptr(i);
+      if (pairwise) {
+        double total = 0.0;
+        for (int64_t u = 0; u < num_users; ++u) {
+          const float* user_vec = users.row_ptr(u);
+          double dot = 0.0;
+          for (int64_t c = 0; c < kVectorDim; ++c) {
+            dot += item_vec[c] * user_vec[c];
+          }
+          total += Sigmoid(dot);
+        }
+        scores[static_cast<size_t>(i)] = total / double(num_users);
+      } else {
+        double dot = 0.0;
+        for (int64_t c = 0; c < kVectorDim; ++c) {
+          dot += item_vec[c] * mean.data()[c];
+        }
+        scores[static_cast<size_t>(i)] = Sigmoid(dot);
+      }
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetLabel(pairwise ? "pairwise over 8192 users"
+                          : "mean-user-vector");
+}
+BENCHMARK(BM_RankThousandNewArrivals)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace atnn::bench
+
+BENCHMARK_MAIN();

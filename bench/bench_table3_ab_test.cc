@@ -1,0 +1,79 @@
+// Reproduces Table III: "Results of online A/B test" — the expert arm and
+// the ATNN arm each select potentially-popular new arrivals; the metric is
+// the average time until an item's fifth successful transaction (shorter =
+// the selector found genuinely attractive items). The paper selects 300k
+// of tens of millions (~1.5%); we select the same fraction-scale top slice
+// of the new-arrival pool.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "sim/ab_test.h"
+#include "sim/expert.h"
+#include "sim/market.h"
+
+namespace atnn::bench {
+namespace {
+
+void Run() {
+  Stopwatch timer;
+  data::TmallDataset dataset =
+      data::GenerateTmallDataset(PaperScaleTmallConfig());
+  core::NormalizeTmallInPlace(&dataset);
+
+  core::AtnnConfig config;
+  config.tower = BenchTowerConfig(nn::TowerKind::kDeepCross);
+  config.lambda = 0.1f;
+  config.seed = 7;
+  core::AtnnModel model(*dataset.user_schema, *dataset.item_profile_schema,
+                        *dataset.item_stats_schema, config);
+  core::TrainOptions options = BenchTrainOptions();
+  options.epochs = 4;
+  core::TrainAtnnModel(&model, dataset, options);
+  std::printf("[table3] ATNN trained (%.1fs)\n", timer.ElapsedSeconds());
+
+  // Model arm: O(1) popularity scores over new arrivals.
+  const auto user_group =
+      core::SelectActiveUsers(dataset, dataset.config.num_users / 4);
+  const auto predictor =
+      core::PopularityPredictor::Build(model, dataset, user_group);
+  const auto model_scores =
+      predictor.ScoreItems(model, dataset, dataset.new_items);
+
+  // Expert arm: noisy judges of visible quality cues.
+  sim::ExpertPolicy expert;
+  const auto expert_scores = expert.ScoreItems(dataset, dataset.new_items);
+
+  // Market horizon long enough that most selected items reach 5 sales.
+  sim::MarketConfig market_config;
+  market_config.horizon_days = 60;
+  market_config.seed = 1789;
+  const sim::MarketSimulator market(market_config);
+
+  const int64_t k = static_cast<int64_t>(dataset.new_items.size() / 5);
+  const auto result = sim::RunNewArrivalsAbTest(
+      dataset, market, dataset.new_items, expert_scores, model_scores, k);
+
+  TablePrinter table(
+      "Table III — Online A/B test, average days to first five successful "
+      "transactions (paper: expert 10.47d, ATNN 9.72d, +7.16%)");
+  table.SetHeader({"Expert selection", "ATNN selection", "Improvement"});
+  table.AddRow({TablePrinter::Num(result.expert_mean_days, 2) + " days",
+                TablePrinter::Num(result.model_mean_days, 2) + " days",
+                TablePrinter::Num(result.improvement_pct, 2) + "%"});
+  table.Print();
+  std::printf("[table3] each arm selected %lld of %zu candidate new "
+              "arrivals\n",
+              static_cast<long long>(result.selected_count),
+              dataset.new_items.size());
+}
+
+}  // namespace
+}  // namespace atnn::bench
+
+int main() {
+  atnn::bench::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Table V: "Results of online experiments for food delivery" —
+// human experts and the multi-task ATNN each recruit the most promising
+// new restaurant applicants; the realized first-30-day VpPV and GMV of the
+// two recruited cohorts are compared.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "sim/ab_test.h"
+#include "sim/expert.h"
+
+namespace atnn::bench {
+namespace {
+
+void Run() {
+  Stopwatch timer;
+  data::ElemeDataset dataset =
+      data::GenerateElemeDataset(PaperScaleElemeConfig());
+  core::NormalizeElemeInPlace(&dataset);
+
+  core::MultiTaskAtnnConfig config;
+  config.tower = BenchTowerConfig(nn::TowerKind::kDeepCross);
+  config.adversarial = true;
+  config.lambda1 = 25.0f;
+  config.lambda2 = 10.0f;
+  config.seed = 7;
+  core::MultiTaskAtnnModel model(*dataset.restaurant_profile_schema,
+                                 *dataset.restaurant_stats_schema,
+                                 *dataset.user_group_schema, config);
+  core::TrainMultiTaskAtnn(&model, dataset, BenchElemeTrainOptions());
+  std::printf("[table5] multi-task ATNN trained (%.1fs)\n",
+              timer.ElapsedSeconds());
+
+  // Model arm: score all new applicants at sign-up time (profiles only)
+  // and rank by the business objective — predicted GMV plus the
+  // VpPV-weighted term the paper's production objective balances.
+  std::vector<int64_t> cells;
+  cells.reserve(dataset.new_restaurants.size());
+  for (int64_t row : dataset.new_restaurants) {
+    cells.push_back(dataset.restaurant_cell[static_cast<size_t>(row)]);
+  }
+  const data::BlockBatch profiles =
+      GatherBlock(dataset.restaurant_profiles, dataset.new_restaurants);
+  const data::BlockBatch groups =
+      GatherBlock(dataset.user_groups, cells);
+  const auto predictions = model.PredictColdStart(profiles, groups);
+
+  // Standardize each head's predictions so neither scale dominates.
+  auto standardized = [](const std::vector<double>& values) {
+    double mean = 0.0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    const double stddev =
+        std::sqrt(var / static_cast<double>(values.size())) + 1e-12;
+    std::vector<double> result(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      result[i] = (values[i] - mean) / stddev;
+    }
+    return result;
+  };
+  const auto z_gmv = standardized(predictions.gmv);
+  const auto z_vppv = standardized(predictions.vppv);
+  // VpPV is the scarcer resource (PVs are limited in food delivery, per
+  // the paper's Section V-A), so it gets the larger weight.
+  std::vector<double> model_scores(z_gmv.size());
+  for (size_t i = 0; i < model_scores.size(); ++i) {
+    model_scores[i] = z_gmv[i] + 4.0 * z_vppv[i];
+  }
+
+  // Expert arm: the same screening-throughput policy as Table III.
+  sim::ExpertPolicy expert;
+  const auto expert_scores =
+      expert.ScoreRestaurants(dataset, dataset.new_restaurants);
+
+  const int64_t k =
+      static_cast<int64_t>(dataset.new_restaurants.size() / 5);
+  const auto result = sim::RunRecruitAbTest(
+      dataset, dataset.new_restaurants, expert_scores, model_scores, k);
+
+  TablePrinter table(
+      "Table V — Food delivery online experiment, realized first-30-day "
+      "metrics of the recruited cohorts (paper: VpPV .2656 -> .2872 "
+      "(+8.1%), GMV 191.23 -> 219.33 (+14.7%))");
+  table.SetHeader({"Source", "VpPV", "GMV"});
+  table.AddRow({"Human Experts", TablePrinter::Num(result.expert_vppv, 4),
+                TablePrinter::Num(result.expert_gmv, 2)});
+  table.AddRow({"ATNN", TablePrinter::Num(result.model_vppv, 4),
+                TablePrinter::Num(result.model_gmv, 2)});
+  table.AddRow({"Improvement",
+                TablePrinter::Num(result.vppv_improvement_pct, 1) + "%",
+                TablePrinter::Num(result.gmv_improvement_pct, 1) + "%"});
+  table.Print();
+  std::printf("[table5] each arm recruited %lld of %zu applicants\n",
+              static_cast<long long>(result.selected_count),
+              dataset.new_restaurants.size());
+}
+
+}  // namespace
+}  // namespace atnn::bench
+
+int main() {
+  atnn::bench::Run();
+  return 0;
+}

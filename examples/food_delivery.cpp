@@ -1,0 +1,90 @@
+// Food-delivery recruiting scenario (Section V of the paper): thousands of
+// restaurants apply to join the platform; the operations team can onboard
+// only a fraction this week. The multi-task ATNN predicts each applicant's
+// VpPV and GMV from its sign-up profile and the taste of its location
+// cell's user group, and the automated shortlist is compared with a human
+// review queue.
+//
+//   $ ./build/examples/food_delivery
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/multitask_atnn.h"
+#include "core/multitask_trainer.h"
+#include "data/eleme.h"
+#include "sim/ab_test.h"
+#include "sim/expert.h"
+
+int main() {
+  using namespace atnn;
+
+  data::ElemeConfig world;
+  world.num_restaurants = 3000;
+  world.num_new_restaurants = 800;
+  world.num_cells = 60;
+  world.seed = 404;
+  data::ElemeDataset dataset = data::GenerateElemeDataset(world);
+  core::NormalizeElemeInPlace(&dataset);
+  std::printf("world: %lld operating restaurants, %lld new applicants, "
+              "%lld location cells\n",
+              static_cast<long long>(world.num_restaurants),
+              static_cast<long long>(world.num_new_restaurants),
+              static_cast<long long>(world.num_cells));
+
+  // Multi-task ATNN: shared restaurant representation, a VpPV head and a
+  // GMV head, trained with Algorithm 2.
+  core::MultiTaskAtnnConfig config;
+  config.tower.deep_dims = {64, 32};
+  config.tower.cross_layers = 3;
+  config.tower.output_dim = 32;
+  config.lambda1 = 25.0f;  // VpPV weight
+  config.lambda2 = 10.0f;  // similarity-loss weight
+  config.seed = 6;
+  core::MultiTaskAtnnModel model(*dataset.restaurant_profile_schema,
+                                 *dataset.restaurant_stats_schema,
+                                 *dataset.user_group_schema, config);
+  core::TrainOptions options;
+  options.epochs = 12;
+  options.batch_size = 64;
+  options.learning_rate = 1e-3f;
+  core::TrainMultiTaskAtnn(&model, dataset, options);
+
+  const core::ElemeEval eval =
+      core::EvaluateEleme(model, dataset, dataset.test_indices);
+  std::printf("held-out cold-start MAE — VpPV: %.4f, log-GMV: %.4f\n",
+              eval.vppv_mae, eval.gmv_mae);
+
+  // Score this week's applicants (profiles only — they have no history).
+  std::vector<int64_t> cells;
+  for (int64_t row : dataset.new_restaurants) {
+    cells.push_back(dataset.restaurant_cell[static_cast<size_t>(row)]);
+  }
+  const data::BlockBatch profiles =
+      GatherBlock(dataset.restaurant_profiles, dataset.new_restaurants);
+  const data::BlockBatch groups = GatherBlock(dataset.user_groups, cells);
+  const auto predictions = model.PredictColdStart(profiles, groups);
+
+  // Shortlist by the blended business objective.
+  std::vector<double> model_scores(predictions.gmv.size());
+  for (size_t i = 0; i < model_scores.size(); ++i) {
+    model_scores[i] = predictions.gmv[i] + 2.0 * predictions.vppv[i];
+  }
+  sim::ExpertPolicy reviewers;
+  const auto expert_scores =
+      reviewers.ScoreRestaurants(dataset, dataset.new_restaurants);
+
+  const int64_t slots = 160;  // onboarding capacity this week
+  const auto ab = sim::RunRecruitAbTest(dataset, dataset.new_restaurants,
+                                        expert_scores, model_scores, slots);
+  std::printf("\nrecruiting %lld of %zu applicants:\n",
+              static_cast<long long>(slots),
+              dataset.new_restaurants.size());
+  std::printf("  human review queue : realized VpPV %.4f, mean GMV %.1f\n",
+              ab.expert_vppv, ab.expert_gmv);
+  std::printf("  ATNN shortlist     : realized VpPV %.4f, mean GMV %.1f\n",
+              ab.model_vppv, ab.model_gmv);
+  std::printf("  improvement        : VpPV %+.1f%%, GMV %+.1f%%\n",
+              ab.vppv_improvement_pct, ab.gmv_improvement_pct);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// New-arrivals merchandising scenario: the marketing team wants next
+// week's promotion slots filled with items that will actually sell. The
+// pipeline mirrors the paper's deployment:
+//
+//   train ATNN  ->  snapshot the model  ->  (serving process) load the
+//   snapshot, score every new arrival O(1), publish a PopularityIndex,
+//   answer top-K queries for the promotion planner  ->  watch the market.
+//
+//   $ ./build/examples/new_arrivals_ranking
+
+#include <cstdio>
+#include <string>
+
+#include "core/atnn.h"
+#include "core/feature_adapter.h"
+#include "core/popularity.h"
+#include "core/trainer.h"
+#include "data/tmall.h"
+#include "serving/model_snapshot.h"
+#include "serving/popularity_index.h"
+#include "sim/market.h"
+
+int main() {
+  using namespace atnn;
+
+  // --- offline training job ---
+  data::TmallConfig world;
+  world.num_users = 1000;
+  world.num_items = 2000;
+  world.num_new_items = 500;
+  world.num_interactions = 60000;
+  world.seed = 11;
+  data::TmallDataset dataset = data::GenerateTmallDataset(world);
+  core::NormalizeTmallInPlace(&dataset);
+
+  core::AtnnConfig config;
+  config.tower.deep_dims = {64, 32};
+  config.tower.cross_layers = 3;
+  config.tower.output_dim = 32;
+  config.seed = 3;
+  core::AtnnModel trainer_model(*dataset.user_schema,
+                                *dataset.item_profile_schema,
+                                *dataset.item_stats_schema, config);
+  core::TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 256;
+  options.learning_rate = 2e-3f;
+  core::TrainAtnnModel(&trainer_model, dataset, options);
+
+  const std::string snapshot_path = "/tmp/atnn_example_snapshot.bin";
+  const std::string model_tag = "atnn-example-v1";
+  Status status = serving::SaveModelSnapshot(&trainer_model, snapshot_path,
+                                             model_tag);
+  ATNN_CHECK(status.ok()) << status.ToString();
+  std::printf("training job: model snapshotted to %s\n",
+              snapshot_path.c_str());
+
+  // --- serving process (fresh model object, weights from the snapshot) ---
+  core::AtnnModel serving_model(*dataset.user_schema,
+                                *dataset.item_profile_schema,
+                                *dataset.item_stats_schema, config);
+  status = serving::LoadModelSnapshot(&serving_model, snapshot_path,
+                                      model_tag);
+  ATNN_CHECK(status.ok()) << status.ToString();
+
+  // The paper's device: a mean user vector of the top active users, then
+  // O(1) scoring per new arrival.
+  const auto user_group = core::SelectActiveUsers(dataset, 250);
+  const auto predictor =
+      core::PopularityPredictor::Build(serving_model, dataset, user_group);
+  const auto scores =
+      predictor.ScoreItems(serving_model, dataset, dataset.new_items);
+
+  serving::PopularityIndex index;
+  index.BulkLoad(dataset.new_items, scores);
+  status = index.SaveToFile("/tmp/atnn_example_popindex.bin");
+  ATNN_CHECK(status.ok()) << status.ToString();
+  std::printf("serving: scored %zu new arrivals, index persisted\n",
+              index.size());
+
+  // --- promotion planner queries the index ---
+  const auto promoted = index.TopK(50);
+  std::printf("promotion planner: picked %zu items; best score %.4f, "
+              "cutoff score %.4f\n",
+              promoted.size(), promoted.front().second,
+              promoted.back().second);
+
+  // --- four weeks later: how did the promoted items actually do? ---
+  sim::MarketConfig market_config;
+  market_config.seed = 2025;
+  const sim::MarketSimulator market(market_config);
+  std::vector<int64_t> promoted_rows;
+  for (const auto& [item, score] : promoted) promoted_rows.push_back(item);
+  const auto promoted_outcomes = market.SimulateItems(dataset, promoted_rows);
+  const auto all_outcomes = market.SimulateItems(dataset, dataset.new_items);
+
+  std::vector<int64_t> everyone(all_outcomes.size());
+  for (size_t i = 0; i < everyone.size(); ++i) {
+    everyone[i] = static_cast<int64_t>(i);
+  }
+  std::vector<int64_t> promoted_ids(promoted_outcomes.size());
+  for (size_t i = 0; i < promoted_ids.size(); ++i) {
+    promoted_ids[i] = static_cast<int64_t>(i);
+  }
+  const auto promoted_means =
+      sim::MeanOutcomes(promoted_outcomes, promoted_ids);
+  const auto average_means = sim::MeanOutcomes(all_outcomes, everyone);
+  std::printf("\n30-day outcome      promoted cohort   average new arrival\n");
+  std::printf("item page views     %10.1f        %10.1f\n",
+              promoted_means.ipv30, average_means.ipv30);
+  std::printf("adds to favorite    %10.2f        %10.2f\n",
+              promoted_means.atf30, average_means.atf30);
+  std::printf("GMV                 %10.1f        %10.1f\n",
+              promoted_means.gmv30, average_means.gmv30);
+  std::printf("\npromoted/average GMV lift: %.2fx\n",
+              promoted_means.gmv30 / average_means.gmv30);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Online serving scenario: what happens *after* a new arrival ships. The
+// ATNN prior ranks items at t=0; the behaviour stream then flows through
+// the OnlineScorer, which blends the model prior with observed CTR
+// (empirical Bayes). Watch items with under-predicted popularity climb the
+// index as evidence accumulates — the serving loop the paper's real-time
+// data engine runs.
+//
+//   $ ./build/examples/online_serving
+
+#include <cstdio>
+
+#include "core/atnn.h"
+#include "core/feature_adapter.h"
+#include "core/popularity.h"
+#include "core/trainer.h"
+#include "data/tmall.h"
+#include "metrics/metrics.h"
+#include "serving/online_scorer.h"
+#include "sim/market.h"
+
+int main() {
+  using namespace atnn;
+
+  // --- world + trained model ---
+  data::TmallConfig world;
+  world.num_users = 800;
+  world.num_items = 1500;
+  world.num_new_items = 300;
+  world.num_interactions = 40000;
+  world.seed = 5150;
+  data::TmallDataset dataset = data::GenerateTmallDataset(world);
+  core::NormalizeTmallInPlace(&dataset);
+
+  core::AtnnConfig config;
+  config.tower.deep_dims = {64, 32};
+  config.tower.cross_layers = 3;
+  config.tower.output_dim = 32;
+  config.seed = 3;
+  core::AtnnModel model(*dataset.user_schema, *dataset.item_profile_schema,
+                        *dataset.item_stats_schema, config);
+  core::TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 256;
+  options.learning_rate = 2e-3f;
+  core::TrainAtnnModel(&model, dataset, options);
+
+  // --- t = 0: the model's priors seed the online scorer ---
+  const auto group = core::SelectActiveUsers(dataset, 200);
+  const auto predictor =
+      core::PopularityPredictor::Build(model, dataset, group);
+  const auto priors =
+      predictor.ScoreItems(model, dataset, dataset.new_items);
+  serving::OnlineScorer::Config scorer_config;
+  scorer_config.prior_strength = 200.0;
+  serving::OnlineScorer scorer(scorer_config);
+  for (size_t i = 0; i < dataset.new_items.size(); ++i) {
+    scorer.SetPrior(dataset.new_items[i], priors[i]);
+  }
+
+  // --- 14 days of market behaviour become the event stream ---
+  sim::MarketConfig market_config;
+  market_config.horizon_days = 1;  // simulate day by day
+  Rng rng(99);
+  int64_t timestamp = 0;
+  std::vector<double> final_truth;
+  for (int64_t item : dataset.new_items) {
+    final_truth.push_back(
+        dataset.true_attractiveness[static_cast<size_t>(item)]);
+  }
+
+  for (int day = 1; day <= 14; ++day) {
+    market_config.seed = 8000 + static_cast<uint64_t>(day);
+    const sim::MarketSimulator market(market_config);
+    for (int64_t item : dataset.new_items) {
+      // One simulated day of impressions and clicks per item.
+      const auto outcome = market.SimulateItem(
+          dataset.true_attractiveness[static_cast<size_t>(item)],
+          dataset.true_quality[static_cast<size_t>(item)],
+          dataset.true_price[static_cast<size_t>(item)], &rng);
+      // The simulator reports clicks (IPV); reconstruct the impression
+      // count from the item's click-through rate.
+      const auto clicks = static_cast<int64_t>(outcome.ipv30);
+      const auto shown = static_cast<int64_t>(
+          clicks /
+          std::max(dataset.true_attractiveness[static_cast<size_t>(item)],
+                   1e-3));
+      serving::BehaviorEvent event;
+      event.user_id = 0;
+      event.item_id = item;
+      for (int64_t i = 0; i < shown; ++i) {
+        event.timestamp = ++timestamp;
+        event.type = serving::EventType::kImpression;
+        ATNN_CHECK(scorer.Observe(event).ok());
+      }
+      for (int64_t i = 0; i < clicks; ++i) {
+        event.timestamp = ++timestamp;
+        event.type = serving::EventType::kClick;
+        ATNN_CHECK(scorer.Observe(event).ok());
+      }
+    }
+
+    if (day == 1 || day == 3 || day == 7 || day == 14) {
+      std::vector<double> posterior;
+      double evidence = 0.0;
+      for (int64_t item : dataset.new_items) {
+        posterior.push_back(scorer.Score(item).value());
+        evidence += scorer.EvidenceWeight(item).value();
+      }
+      std::printf(
+          "day %2d: Spearman(posterior, truth) = %.3f | mean evidence "
+          "weight = %.2f\n",
+          day, metrics::SpearmanCorrelation(posterior, final_truth),
+          evidence / static_cast<double>(dataset.new_items.size()));
+    }
+  }
+
+  std::vector<double> prior_scores(priors.begin(), priors.end());
+  std::printf(
+      "\nprior-only Spearman(model, truth) was %.3f — the stream sharpened "
+      "the ranking as items accumulated history.\n",
+      metrics::SpearmanCorrelation(prior_scores, final_truth));
+
+  serving::PopularityIndex index;
+  scorer.ExportIndex(&index);
+  const auto top = index.TopK(5);
+  std::printf("\ntop 5 after 14 days on market:\n");
+  for (const auto& [item, score] : top) {
+    std::printf("  item %lld  posterior %.4f  true attractiveness %.4f\n",
+                static_cast<long long>(item), score,
+                dataset.true_attractiveness[static_cast<size_t>(item)]);
+  }
+  return 0;
+}

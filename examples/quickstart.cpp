@@ -1,0 +1,101 @@
+// Quickstart: generate a small synthetic e-commerce world, train ATNN,
+// and rank a batch of brand-new items by predicted popularity — the whole
+// public API in ~80 lines.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/atnn.h"
+#include "core/feature_adapter.h"
+#include "core/popularity.h"
+#include "core/trainer.h"
+#include "data/tmall.h"
+#include "metrics/metrics.h"
+
+int main() {
+  using namespace atnn;
+
+  // 1. A synthetic Tmall-like world: users, catalog items with behaviour
+  //    statistics, new arrivals with profiles only.
+  data::TmallConfig world;
+  world.num_users = 800;
+  world.num_items = 1500;
+  world.num_new_items = 300;
+  world.num_interactions = 40000;
+  world.seed = 1;
+  data::TmallDataset dataset = data::GenerateTmallDataset(world);
+  core::NormalizeTmallInPlace(&dataset);
+  std::printf("world: %lld users, %lld catalog items, %lld new arrivals, "
+              "%zu click interactions\n",
+              static_cast<long long>(world.num_users),
+              static_cast<long long>(world.num_items),
+              static_cast<long long>(world.num_new_items),
+              dataset.labels.size());
+
+  // 2. The Adversarial Two-tower Neural Network: a user tower, an item
+  //    encoder (profiles + statistics) and a generator (profiles only)
+  //    that is adversarially distilled from the encoder.
+  core::AtnnConfig config;
+  config.tower.kind = nn::TowerKind::kDeepCross;
+  config.tower.deep_dims = {64, 32};
+  config.tower.cross_layers = 3;
+  config.tower.output_dim = 32;
+  config.lambda = 0.1f;  // weight of the similarity loss L_s
+  core::AtnnModel model(*dataset.user_schema, *dataset.item_profile_schema,
+                        *dataset.item_stats_schema, config);
+
+  // 3. Train with Algorithm 1 (alternating D and G steps).
+  core::TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 256;
+  options.learning_rate = 2e-3f;
+  options.verbose = true;
+  core::TrainAtnnModel(&model, dataset, options);
+
+  // 4. Offline quality: AUC through both paths on the held-out split.
+  const double auc_complete = core::EvaluateAtnnAuc(
+      model, dataset, dataset.test_indices, core::CtrPath::kEncoder);
+  const double auc_cold = core::EvaluateAtnnAuc(
+      model, dataset, dataset.test_indices, core::CtrPath::kGenerator);
+  std::printf("test AUC — complete features: %.4f | profiles only: %.4f\n",
+              auc_complete, auc_cold);
+
+  // 5. O(1) popularity prediction: learn the mean user vector of the most
+  //    active user group once, then score each new arrival with a single
+  //    dot product.
+  const auto user_group = core::SelectActiveUsers(dataset, 200);
+  const auto predictor =
+      core::PopularityPredictor::Build(model, dataset, user_group);
+  const auto scores =
+      predictor.ScoreItems(model, dataset, dataset.new_items);
+
+  std::printf("\ntop 10 predicted-popular new arrivals:\n");
+  int rank = 1;
+  for (const auto& [pos, score] :
+       [&] {
+         std::vector<std::pair<double, int64_t>> ranked;
+         for (size_t i = 0; i < scores.size(); ++i) {
+           ranked.emplace_back(scores[i], dataset.new_items[i]);
+         }
+         std::sort(ranked.rbegin(), ranked.rend());
+         ranked.resize(10);
+         std::vector<std::pair<int64_t, double>> out;
+         for (auto& [s, item] : ranked) out.emplace_back(item, s);
+         return out;
+       }()) {
+    std::printf("  #%2d item %lld  score %.4f  (hidden true attractiveness "
+                "%.4f)\n",
+                rank++, static_cast<long long>(pos), score,
+                dataset.true_attractiveness[static_cast<size_t>(pos)]);
+  }
+
+  std::vector<double> truth;
+  for (int64_t item : dataset.new_items) {
+    truth.push_back(dataset.true_attractiveness[static_cast<size_t>(item)]);
+  }
+  std::printf("\nSpearman(predicted popularity, true attractiveness) over "
+              "all %zu new arrivals: %.3f\n",
+              scores.size(), metrics::SpearmanCorrelation(scores, truth));
+  return 0;
+}

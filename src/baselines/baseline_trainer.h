@@ -1,0 +1,93 @@
+#ifndef ATNN_BASELINES_BASELINE_TRAINER_H_
+#define ATNN_BASELINES_BASELINE_TRAINER_H_
+
+#include <vector>
+
+#include "baselines/sparse_encoder.h"
+#include "core/trainer.h"
+#include "data/tmall.h"
+#include "metrics/metrics.h"
+#include "nn/optimizer.h"
+
+namespace atnn::baselines {
+
+/// Trains any autograd CTR baseline exposing
+///   nn::Var Logits(const data::CtrBatch&) const
+/// (WideDeepModel, DeepFmModel) with Adam on the BCE loss. Returns the
+/// mean training loss per epoch.
+template <typename Model>
+std::vector<double> TrainCtrBaseline(Model* model,
+                                     const data::TmallDataset& dataset,
+                                     const core::TrainOptions& options) {
+  nn::Adam optimizer(model->Parameters(), options.learning_rate);
+  Rng rng(options.seed);
+  std::vector<int64_t> order = dataset.train_indices;
+  std::vector<double> history;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total = 0.0;
+    int64_t steps = 0;
+    for (const auto& chunk : core::MakeBatches(order, options.batch_size)) {
+      const data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
+      optimizer.ZeroGrad();
+      nn::Var loss =
+          nn::SigmoidBceLossWithLogits(model->Logits(batch), batch.labels);
+      nn::Backward(loss);
+      if (options.clip_norm > 0.0f) optimizer.ClipGradNorm(options.clip_norm);
+      optimizer.Step();
+      total += loss.value().scalar();
+      ++steps;
+    }
+    history.push_back(total / static_cast<double>(steps));
+  }
+  return history;
+}
+
+/// Test AUC of an autograd CTR baseline.
+template <typename Model>
+double EvaluateCtrBaselineAuc(const Model& model,
+                              const data::TmallDataset& dataset,
+                              const std::vector<int64_t>& indices,
+                              int batch_size = 1024) {
+  std::vector<double> scores;
+  std::vector<float> labels;
+  scores.reserve(indices.size());
+  labels.reserve(indices.size());
+  for (const auto& chunk : core::MakeBatches(indices, batch_size)) {
+    const data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
+    const auto probs = model.PredictCtr(batch);
+    scores.insert(scores.end(), probs.begin(), probs.end());
+    for (int64_t r = 0; r < batch.labels.rows(); ++r) {
+      labels.push_back(batch.labels.at(r, 0));
+    }
+  }
+  return metrics::Auc(scores, labels);
+}
+
+/// Interactions in sparse form, for the linear-era baselines (LR, FM).
+struct SparseDatasetView {
+  std::vector<SparseRow> rows;
+  std::vector<float> labels;
+};
+
+/// Encodes the given interaction indices into sparse rows.
+inline SparseDatasetView EncodeInteractions(
+    const data::TmallDataset& dataset, const std::vector<int64_t>& indices,
+    const SparseCtrEncoder& encoder, int batch_size = 4096) {
+  SparseDatasetView view;
+  view.rows.reserve(indices.size());
+  view.labels.reserve(indices.size());
+  for (const auto& chunk : core::MakeBatches(indices, batch_size)) {
+    const data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
+    auto encoded = encoder.Encode(batch);
+    for (auto& row : encoded) view.rows.push_back(std::move(row));
+    for (int64_t r = 0; r < batch.labels.rows(); ++r) {
+      view.labels.push_back(batch.labels.at(r, 0));
+    }
+  }
+  return view;
+}
+
+}  // namespace atnn::baselines
+
+#endif  // ATNN_BASELINES_BASELINE_TRAINER_H_

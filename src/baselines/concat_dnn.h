@@ -1,0 +1,49 @@
+#ifndef ATNN_BASELINES_CONCAT_DNN_H_
+#define ATNN_BASELINES_CONCAT_DNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/tmall.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace atnn::baselines {
+
+struct ConcatDnnConfig {
+  std::vector<int64_t> hidden_dims = {64, 32};
+  bool use_item_stats = true;
+  uint64_t seed = 41;
+};
+
+/// The paper's Figure 2: the "standard DNN model for pairwise user-item
+/// CTR prediction" — user and item embeddings concatenated into one MLP.
+/// Competitive at pairwise CTR, but it has no explicit item or user
+/// vector, which is exactly why the paper moves to the two-tower
+/// structure: you cannot do O(1) popularity prediction with this model.
+class ConcatDnnModel : public nn::Module {
+ public:
+  ConcatDnnModel(const data::FeatureSchema& user_schema,
+                 const data::FeatureSchema& item_profile_schema,
+                 const data::FeatureSchema& item_stats_schema,
+                 const ConcatDnnConfig& config);
+
+  /// CTR logits for a gathered batch: [n, 1].
+  nn::Var Logits(const data::CtrBatch& batch) const;
+
+  /// Click probabilities (no gradient).
+  std::vector<double> PredictCtr(const data::CtrBatch& batch) const;
+
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+
+ private:
+  ConcatDnnConfig config_;
+  std::unique_ptr<nn::EmbeddingBag> user_bag_;
+  std::unique_ptr<nn::EmbeddingBag> item_bag_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace atnn::baselines
+
+#endif  // ATNN_BASELINES_CONCAT_DNN_H_

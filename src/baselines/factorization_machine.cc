@@ -1,0 +1,123 @@
+#include "baselines/factorization_machine.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace atnn::baselines {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+constexpr double kAdagradEps = 1e-8;
+}  // namespace
+
+FactorizationMachine::FactorizationMachine(int64_t dimension,
+                                           const FmConfig& config)
+    : config_(config), dimension_(dimension) {
+  ATNN_CHECK(dimension > 0);
+  ATNN_CHECK(config.latent_dim > 0);
+  linear_.assign(static_cast<size_t>(dimension), 0.0);
+  linear_accum_.assign(static_cast<size_t>(dimension), 0.0);
+  const auto factor_count =
+      static_cast<size_t>(dimension) * static_cast<size_t>(config.latent_dim);
+  factors_.resize(factor_count);
+  factors_accum_.assign(factor_count, 0.0);
+  Rng rng(config.seed);
+  for (double& v : factors_) v = rng.Normal(0.0, config.init_stddev);
+}
+
+double FactorizationMachine::PredictLogit(const SparseRow& row) const {
+  const int k = config_.latent_dim;
+  double logit = bias_;
+  // Linear term and the O(nnz * k) pairwise term via the sum-of-squares
+  // identity.
+  std::vector<double> sum(static_cast<size_t>(k), 0.0);
+  double sum_sq_total = 0.0;
+  for (size_t idx = 0; idx < row.indices.size(); ++idx) {
+    const auto i = static_cast<size_t>(row.indices[idx]);
+    const double x = row.values[idx];
+    logit += linear_[i] * x;
+    const double* v = &factors_[i * static_cast<size_t>(k)];
+    for (int f = 0; f < k; ++f) {
+      const double vx = v[f] * x;
+      sum[static_cast<size_t>(f)] += vx;
+      sum_sq_total += vx * vx;
+    }
+  }
+  double sum_total = 0.0;
+  for (int f = 0; f < k; ++f) {
+    sum_total += sum[static_cast<size_t>(f)] * sum[static_cast<size_t>(f)];
+  }
+  return logit + 0.5 * (sum_total - sum_sq_total);
+}
+
+double FactorizationMachine::PredictProbability(const SparseRow& row) const {
+  return Sigmoid(PredictLogit(row));
+}
+
+std::vector<double> FactorizationMachine::PredictProbability(
+    const std::vector<SparseRow>& rows) const {
+  std::vector<double> result;
+  result.reserve(rows.size());
+  for (const SparseRow& row : rows) {
+    result.push_back(PredictProbability(row));
+  }
+  return result;
+}
+
+double FactorizationMachine::Update(const SparseRow& row, float label) {
+  const int k = config_.latent_dim;
+  // Forward pass, keeping the per-factor sums for the gradient.
+  std::vector<double> sum(static_cast<size_t>(k), 0.0);
+  double logit = bias_;
+  double sum_sq_total = 0.0;
+  for (size_t idx = 0; idx < row.indices.size(); ++idx) {
+    const auto i = static_cast<size_t>(row.indices[idx]);
+    const double x = row.values[idx];
+    logit += linear_[i] * x;
+    const double* v = &factors_[i * static_cast<size_t>(k)];
+    for (int f = 0; f < k; ++f) {
+      const double vx = v[f] * x;
+      sum[static_cast<size_t>(f)] += vx;
+      sum_sq_total += vx * vx;
+    }
+  }
+  double sum_total = 0.0;
+  for (int f = 0; f < k; ++f) {
+    sum_total += sum[static_cast<size_t>(f)] * sum[static_cast<size_t>(f)];
+  }
+  logit += 0.5 * (sum_total - sum_sq_total);
+  const double p = Sigmoid(logit);
+  const double g = p - static_cast<double>(label);  // dLoss/dLogit
+
+  auto adagrad = [this](double* weight, double* accum, double grad) {
+    grad += config_.l2 * *weight;
+    *accum += grad * grad;
+    *weight -= config_.learning_rate * grad /
+               (std::sqrt(*accum) + kAdagradEps);
+  };
+
+  adagrad(&bias_, &bias_accum_, g);
+  for (size_t idx = 0; idx < row.indices.size(); ++idx) {
+    const auto i = static_cast<size_t>(row.indices[idx]);
+    const double x = row.values[idx];
+    adagrad(&linear_[i], &linear_accum_[i], g * x);
+    double* v = &factors_[i * static_cast<size_t>(k)];
+    double* accum = &factors_accum_[i * static_cast<size_t>(k)];
+    for (int f = 0; f < k; ++f) {
+      // d logit / d v_if = x * (sum_f - v_if x).
+      const double grad =
+          g * x * (sum[static_cast<size_t>(f)] - v[f] * x);
+      adagrad(&v[f], &accum[f], grad);
+    }
+  }
+  return p;
+}
+
+void FactorizationMachine::TrainPass(const std::vector<SparseRow>& rows,
+                                     const std::vector<float>& labels) {
+  ATNN_CHECK_EQ(rows.size(), labels.size());
+  for (size_t i = 0; i < rows.size(); ++i) Update(rows[i], labels[i]);
+}
+
+}  // namespace atnn::baselines

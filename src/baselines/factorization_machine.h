@@ -1,0 +1,63 @@
+#ifndef ATNN_BASELINES_FACTORIZATION_MACHINE_H_
+#define ATNN_BASELINES_FACTORIZATION_MACHINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/sparse_encoder.h"
+#include "common/rng.h"
+
+namespace atnn::baselines {
+
+/// FM hyper-parameters (Rendle, ICDM'10).
+struct FmConfig {
+  int latent_dim = 8;
+  double learning_rate = 0.05;
+  /// L2 regularization on weights and factors.
+  double l2 = 1e-5;
+  /// Initialization scale of the factor matrix.
+  double init_stddev = 0.05;
+  uint64_t seed = 123;
+};
+
+/// Second-order factorization machine for binary classification:
+///   logit(x) = w0 + sum_i w_i x_i
+///            + 1/2 sum_f [ (sum_i v_if x_i)^2 - sum_i v_if^2 x_i^2 ]
+/// trained with Adagrad on logistic loss. FMs were the step between linear
+/// models and DNNs for CTR (paper Section II-B); on one-hot data the
+/// pairwise term learns exactly the user-item interactions a two-tower dot
+/// product learns, which makes FM the natural "shallow ATNN" baseline.
+class FactorizationMachine {
+ public:
+  FactorizationMachine(int64_t dimension, const FmConfig& config = {});
+
+  /// One Adagrad step on a single example (label in {0,1}). Returns the
+  /// pre-update probability.
+  double Update(const SparseRow& row, float label);
+
+  /// One pass over the data in the given order.
+  void TrainPass(const std::vector<SparseRow>& rows,
+                 const std::vector<float>& labels);
+
+  double PredictLogit(const SparseRow& row) const;
+  double PredictProbability(const SparseRow& row) const;
+  std::vector<double> PredictProbability(
+      const std::vector<SparseRow>& rows) const;
+
+  int64_t dimension() const { return dimension_; }
+  int latent_dim() const { return config_.latent_dim; }
+
+ private:
+  FmConfig config_;
+  int64_t dimension_;
+  double bias_ = 0.0;
+  double bias_accum_ = 0.0;
+  std::vector<double> linear_;        // [dimension]
+  std::vector<double> linear_accum_;  // Adagrad state
+  std::vector<double> factors_;       // [dimension, latent_dim] row-major
+  std::vector<double> factors_accum_;
+};
+
+}  // namespace atnn::baselines
+
+#endif  // ATNN_BASELINES_FACTORIZATION_MACHINE_H_

@@ -1,0 +1,92 @@
+#include "baselines/ftrl_lr.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace atnn::baselines {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double Sign(double x) { return x >= 0.0 ? 1.0 : -1.0; }
+}  // namespace
+
+FtrlLogisticRegression::FtrlLogisticRegression(int64_t dimension,
+                                               const FtrlConfig& config)
+    : config_(config),
+      z_(static_cast<size_t>(dimension), 0.0),
+      n_(static_cast<size_t>(dimension), 0.0),
+      touched_(static_cast<size_t>(dimension), false) {
+  ATNN_CHECK(dimension > 0);
+  ATNN_CHECK(config.alpha > 0.0);
+}
+
+double FtrlLogisticRegression::Weight(int64_t index) const {
+  const auto i = static_cast<size_t>(index);
+  ATNN_DCHECK(i < z_.size());
+  const double z = z_[i];
+  if (std::abs(z) <= config_.lambda1) return 0.0;
+  return -(z - Sign(z) * config_.lambda1) /
+         ((config_.beta + std::sqrt(n_[i])) / config_.alpha +
+          config_.lambda2);
+}
+
+double FtrlLogisticRegression::PredictProbability(
+    const SparseRow& row) const {
+  double logit = 0.0;
+  for (size_t k = 0; k < row.indices.size(); ++k) {
+    logit += Weight(row.indices[k]) * row.values[k];
+  }
+  return Sigmoid(logit);
+}
+
+std::vector<double> FtrlLogisticRegression::PredictProbability(
+    const std::vector<SparseRow>& rows) const {
+  std::vector<double> result;
+  result.reserve(rows.size());
+  for (const SparseRow& row : rows) {
+    result.push_back(PredictProbability(row));
+  }
+  return result;
+}
+
+double FtrlLogisticRegression::Update(const SparseRow& row, float label) {
+  const double p = PredictProbability(row);
+  const double grad_base = p - static_cast<double>(label);
+  for (size_t k = 0; k < row.indices.size(); ++k) {
+    const auto i = static_cast<size_t>(row.indices[k]);
+    ATNN_DCHECK(i < z_.size());
+    touched_[i] = true;
+    // Per-coordinate FTRL-Proximal update (Algorithm 1 of the paper).
+    const double g = grad_base * row.values[k];
+    const double sigma =
+        (std::sqrt(n_[i] + g * g) - std::sqrt(n_[i])) / config_.alpha;
+    z_[i] += g - sigma * Weight(row.indices[k]);
+    n_[i] += g * g;
+  }
+  return p;
+}
+
+void FtrlLogisticRegression::TrainPass(const std::vector<SparseRow>& rows,
+                                       const std::vector<float>& labels) {
+  ATNN_CHECK_EQ(rows.size(), labels.size());
+  for (size_t i = 0; i < rows.size(); ++i) Update(rows[i], labels[i]);
+}
+
+int64_t FtrlLogisticRegression::CountZeroWeights() const {
+  int64_t zeros = 0;
+  for (size_t i = 0; i < z_.size(); ++i) {
+    if (touched_[i] && Weight(static_cast<int64_t>(i)) == 0.0) ++zeros;
+  }
+  return zeros;
+}
+
+int64_t FtrlLogisticRegression::CountTouched() const {
+  int64_t touched = 0;
+  for (bool t : touched_) {
+    if (t) ++touched;
+  }
+  return touched;
+}
+
+}  // namespace atnn::baselines

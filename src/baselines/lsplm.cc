@@ -1,0 +1,138 @@
+#include "baselines/lsplm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace atnn::baselines {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+constexpr double kAdagradEps = 1e-8;
+}  // namespace
+
+LsplmModel::LsplmModel(int64_t dimension, const LsplmConfig& config)
+    : config_(config), dimension_(dimension) {
+  ATNN_CHECK(dimension > 0);
+  ATNN_CHECK(config.num_pieces >= 1);
+  const auto m = static_cast<size_t>(config.num_pieces);
+  const auto total = m * static_cast<size_t>(dimension);
+  Rng rng(config.seed);
+  gate_weights_.resize(total);
+  piece_weights_.resize(total);
+  for (double& v : gate_weights_) v = rng.Normal(0.0, config.init_stddev);
+  for (double& v : piece_weights_) v = rng.Normal(0.0, config.init_stddev);
+  gate_bias_.assign(m, 0.0);
+  piece_bias_.assign(m, 0.0);
+  gate_weights_accum_.assign(total, 0.0);
+  piece_weights_accum_.assign(total, 0.0);
+  gate_bias_accum_.assign(m, 0.0);
+  piece_bias_accum_.assign(m, 0.0);
+}
+
+void LsplmModel::Forward(const SparseRow& row, std::vector<double>* gate,
+                         std::vector<double>* piece_prob) const {
+  const auto m = static_cast<size_t>(config_.num_pieces);
+  gate->assign(m, 0.0);
+  piece_prob->assign(m, 0.0);
+  for (size_t p = 0; p < m; ++p) {
+    double gate_logit = gate_bias_[p];
+    double piece_logit = piece_bias_[p];
+    const double* gw = &gate_weights_[p * static_cast<size_t>(dimension_)];
+    const double* pw = &piece_weights_[p * static_cast<size_t>(dimension_)];
+    for (size_t k = 0; k < row.indices.size(); ++k) {
+      const auto i = static_cast<size_t>(row.indices[k]);
+      gate_logit += gw[i] * row.values[k];
+      piece_logit += pw[i] * row.values[k];
+    }
+    (*gate)[p] = gate_logit;
+    (*piece_prob)[p] = Sigmoid(piece_logit);
+  }
+  // Stable softmax over the gate logits.
+  double max_logit = (*gate)[0];
+  for (double g : *gate) max_logit = std::max(max_logit, g);
+  double total = 0.0;
+  for (double& g : *gate) {
+    g = std::exp(g - max_logit);
+    total += g;
+  }
+  for (double& g : *gate) g /= total;
+}
+
+double LsplmModel::PredictProbability(const SparseRow& row) const {
+  std::vector<double> gate;
+  std::vector<double> piece_prob;
+  Forward(row, &gate, &piece_prob);
+  double p = 0.0;
+  for (size_t i = 0; i < gate.size(); ++i) p += gate[i] * piece_prob[i];
+  return p;
+}
+
+std::vector<double> LsplmModel::PredictProbability(
+    const std::vector<SparseRow>& rows) const {
+  std::vector<double> result;
+  result.reserve(rows.size());
+  for (const SparseRow& row : rows) {
+    result.push_back(PredictProbability(row));
+  }
+  return result;
+}
+
+std::vector<double> LsplmModel::GateWeights(const SparseRow& row) const {
+  std::vector<double> gate;
+  std::vector<double> piece_prob;
+  Forward(row, &gate, &piece_prob);
+  return gate;
+}
+
+void LsplmModel::Update(const SparseRow& row, float label) {
+  const auto m = static_cast<size_t>(config_.num_pieces);
+  std::vector<double> gate;
+  std::vector<double> piece_prob;
+  Forward(row, &gate, &piece_prob);
+  double p = 0.0;
+  for (size_t i = 0; i < m; ++i) p += gate[i] * piece_prob[i];
+  p = std::clamp(p, 1e-9, 1.0 - 1e-9);
+  // dLoss/dp for log loss.
+  const double y = label;
+  const double dp = (p - y) / (p * (1.0 - p));
+
+  auto adagrad = [this](double* weight, double* accum, double grad) {
+    grad += config_.l2 * *weight;
+    *accum += grad * grad;
+    *weight -= config_.learning_rate * grad /
+               (std::sqrt(*accum) + kAdagradEps);
+  };
+
+  for (size_t piece = 0; piece < m; ++piece) {
+    // d p / d piece_logit = gate * sigma' ; d p / d gate_logit uses the
+    // softmax jacobian: gate_piece * (piece_prob_piece - p).
+    const double d_piece_logit =
+        dp * gate[piece] * piece_prob[piece] * (1.0 - piece_prob[piece]);
+    const double d_gate_logit = dp * gate[piece] * (piece_prob[piece] - p);
+
+    double* gw = &gate_weights_[piece * static_cast<size_t>(dimension_)];
+    double* gwa =
+        &gate_weights_accum_[piece * static_cast<size_t>(dimension_)];
+    double* pw = &piece_weights_[piece * static_cast<size_t>(dimension_)];
+    double* pwa =
+        &piece_weights_accum_[piece * static_cast<size_t>(dimension_)];
+    for (size_t k = 0; k < row.indices.size(); ++k) {
+      const auto i = static_cast<size_t>(row.indices[k]);
+      const double x = row.values[k];
+      adagrad(&gw[i], &gwa[i], d_gate_logit * x);
+      adagrad(&pw[i], &pwa[i], d_piece_logit * x);
+    }
+    adagrad(&gate_bias_[piece], &gate_bias_accum_[piece], d_gate_logit);
+    adagrad(&piece_bias_[piece], &piece_bias_accum_[piece], d_piece_logit);
+  }
+}
+
+void LsplmModel::TrainPass(const std::vector<SparseRow>& rows,
+                           const std::vector<float>& labels) {
+  ATNN_CHECK_EQ(rows.size(), labels.size());
+  for (size_t i = 0; i < rows.size(); ++i) Update(rows[i], labels[i]);
+}
+
+}  // namespace atnn::baselines

@@ -1,0 +1,71 @@
+#ifndef ATNN_BASELINES_LSPLM_H_
+#define ATNN_BASELINES_LSPLM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/sparse_encoder.h"
+#include "common/rng.h"
+
+namespace atnn::baselines {
+
+/// LS-PLM hyper-parameters (Gai et al., "Learning Piece-wise Linear Models
+/// from Large Scale Data for Ad Click Prediction").
+struct LsplmConfig {
+  /// Number of linear pieces (regions), the paper's m.
+  int num_pieces = 8;
+  double learning_rate = 0.05;
+  double l2 = 1e-5;
+  double init_stddev = 0.05;
+  uint64_t seed = 53;
+};
+
+/// Large Scale Piece-wise Linear Model — Alibaba's own pre-DNN production
+/// CTR model, cited by the paper as a traditional approach (§II-B):
+///   p(y=1|x) = sum_m softmax_m(u_m . x) * sigmoid(w_m . x)
+/// A softmax gate partitions the feature space into soft regions, each
+/// served by its own logistic model; trained end-to-end with Adagrad.
+class LsplmModel {
+ public:
+  LsplmModel(int64_t dimension, const LsplmConfig& config = LsplmConfig());
+
+  /// One Adagrad step on a single example (label in {0,1}).
+  void Update(const SparseRow& row, float label);
+
+  /// One pass over the data in the given order.
+  void TrainPass(const std::vector<SparseRow>& rows,
+                 const std::vector<float>& labels);
+
+  double PredictProbability(const SparseRow& row) const;
+  std::vector<double> PredictProbability(
+      const std::vector<SparseRow>& rows) const;
+
+  /// Softmax gate weights of one example (sums to 1); exposes how the
+  /// pieces partition the space.
+  std::vector<double> GateWeights(const SparseRow& row) const;
+
+  int64_t dimension() const { return dimension_; }
+  int num_pieces() const { return config_.num_pieces; }
+
+ private:
+  /// Gate logits and per-piece logistic probabilities for one row.
+  void Forward(const SparseRow& row, std::vector<double>* gate,
+               std::vector<double>* piece_prob) const;
+
+  LsplmConfig config_;
+  int64_t dimension_;
+  // Row-major [num_pieces, dimension] + per-piece bias.
+  std::vector<double> gate_weights_;
+  std::vector<double> gate_bias_;
+  std::vector<double> piece_weights_;
+  std::vector<double> piece_bias_;
+  // Adagrad accumulators, same layout.
+  std::vector<double> gate_weights_accum_;
+  std::vector<double> gate_bias_accum_;
+  std::vector<double> piece_weights_accum_;
+  std::vector<double> piece_bias_accum_;
+};
+
+}  // namespace atnn::baselines
+
+#endif  // ATNN_BASELINES_LSPLM_H_

@@ -1,0 +1,57 @@
+#include "baselines/sparse_encoder.h"
+
+namespace atnn::baselines {
+
+SparseCtrEncoder::SparseCtrEncoder(
+    const data::FeatureSchema& user_schema,
+    const data::FeatureSchema& item_profile_schema,
+    const data::FeatureSchema& item_stats_schema, bool use_stats)
+    : use_stats_(use_stats) {
+  auto append = [this](const data::FeatureSchema& schema,
+                       BlockLayout* layout) {
+    for (size_t c = 0; c < schema.num_categorical(); ++c) {
+      layout->categorical_offsets.push_back(dimension_);
+      dimension_ += schema.categorical_spec(c).vocab_size;
+      ++row_nnz_;
+    }
+    for (size_t n = 0; n < schema.num_numeric(); ++n) {
+      layout->numeric_offsets.push_back(dimension_);
+      ++dimension_;
+      ++row_nnz_;
+    }
+  };
+  append(user_schema, &user_layout_);
+  append(item_profile_schema, &item_layout_);
+  if (use_stats_) append(item_stats_schema, &stats_layout_);
+}
+
+void SparseCtrEncoder::EncodeBlock(const data::BlockBatch& block,
+                                   const BlockLayout& layout, int64_t row,
+                                   SparseRow* out) {
+  for (size_t c = 0; c < layout.categorical_offsets.size(); ++c) {
+    const int64_t id = block.categorical[c][static_cast<size_t>(row)];
+    out->indices.push_back(layout.categorical_offsets[c] + id);
+    out->values.push_back(1.0f);
+  }
+  for (size_t n = 0; n < layout.numeric_offsets.size(); ++n) {
+    out->indices.push_back(layout.numeric_offsets[n]);
+    out->values.push_back(block.numeric.at(row, static_cast<int64_t>(n)));
+  }
+}
+
+std::vector<SparseRow> SparseCtrEncoder::Encode(
+    const data::CtrBatch& batch) const {
+  const int64_t rows = batch.labels.rows();
+  std::vector<SparseRow> result(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    SparseRow& row = result[static_cast<size_t>(r)];
+    row.indices.reserve(static_cast<size_t>(row_nnz_));
+    row.values.reserve(static_cast<size_t>(row_nnz_));
+    EncodeBlock(batch.user, user_layout_, r, &row);
+    EncodeBlock(batch.item_profile, item_layout_, r, &row);
+    if (use_stats_) EncodeBlock(batch.item_stats, stats_layout_, r, &row);
+  }
+  return result;
+}
+
+}  // namespace atnn::baselines

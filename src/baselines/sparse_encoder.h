@@ -1,0 +1,68 @@
+#ifndef ATNN_BASELINES_SPARSE_ENCODER_H_
+#define ATNN_BASELINES_SPARSE_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/tmall.h"
+
+namespace atnn::baselines {
+
+/// One example in sparse (index, value) form: one-hot categorical features
+/// followed by raw numeric features. The canonical input of the linear-era
+/// CTR models (LR/FTRL, FM).
+struct SparseRow {
+  std::vector<int64_t> indices;
+  std::vector<float> values;
+
+  size_t nnz() const { return indices.size(); }
+};
+
+/// Maps (user, item-profile[, item-statistics]) feature blocks into one
+/// shared sparse feature space:
+///   [user one-hots | user numerics | item one-hots | item numerics |
+///    stats numerics]
+/// Every categorical value gets its own index; every numeric column gets
+/// one index carrying its (already normalized) value.
+class SparseCtrEncoder {
+ public:
+  SparseCtrEncoder(const data::FeatureSchema& user_schema,
+                   const data::FeatureSchema& item_profile_schema,
+                   const data::FeatureSchema& item_stats_schema,
+                   bool use_stats);
+
+  /// Total width of the sparse feature space.
+  int64_t dimension() const { return dimension_; }
+
+  /// Number of non-zeros per encoded row (constant: one per feature).
+  int64_t row_nnz() const { return row_nnz_; }
+
+  /// Encodes a gathered batch.
+  std::vector<SparseRow> Encode(const data::CtrBatch& batch) const;
+
+ private:
+  void AppendBlock(const data::FeatureSchema& schema, bool categorical_only);
+
+  struct BlockLayout {
+    /// Offset of each categorical field's one-hot range.
+    std::vector<int64_t> categorical_offsets;
+    /// Offset of each numeric column's single index.
+    std::vector<int64_t> numeric_offsets;
+  };
+
+  static void EncodeBlock(const data::BlockBatch& block,
+                          const BlockLayout& layout, int64_t row,
+                          SparseRow* out);
+
+  BlockLayout user_layout_;
+  BlockLayout item_layout_;
+  BlockLayout stats_layout_;
+  bool use_stats_;
+  int64_t dimension_ = 0;
+  int64_t row_nnz_ = 0;
+};
+
+}  // namespace atnn::baselines
+
+#endif  // ATNN_BASELINES_SPARSE_ENCODER_H_

@@ -1,0 +1,69 @@
+#ifndef ATNN_COMMON_FLAGS_H_
+#define ATNN_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atnn {
+
+/// Minimal command-line flag parser for the CLI tools. Flags use
+/// --name=value or --name value syntax; bools also accept bare --name.
+/// Unknown flags and type errors are reported via Status; positional
+/// arguments are collected separately.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  void AddString(const std::string& name, std::string default_value,
+                 const std::string& help);
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv (excluding argv[0]). May be called once.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True when the user supplied the flag explicitly.
+  bool IsSet(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Help text listing all flags with defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kString, kInt64, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    bool set = false;
+  };
+
+  Status SetValue(const std::string& name, const std::string& text);
+  const Flag& Get(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool parsed_ = false;
+};
+
+}  // namespace atnn
+
+#endif  // ATNN_COMMON_FLAGS_H_

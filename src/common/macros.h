@@ -1,0 +1,68 @@
+#ifndef ATNN_COMMON_MACROS_H_
+#define ATNN_COMMON_MACROS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace atnn {
+namespace internal_macros {
+
+/// Accumulates a fatal-check message and aborts the process when destroyed.
+/// Used only via the ATNN_CHECK family below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failure at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_macros
+}  // namespace atnn
+
+/// Fatal assertion for programmer errors (invariant violations, API misuse).
+/// Always enabled; error paths that depend on input data should return
+/// Status instead.
+#define ATNN_CHECK(condition)                                           \
+  while (!(condition))                                                  \
+  ::atnn::internal_macros::CheckFailureStream("ATNN_CHECK", __FILE__,   \
+                                              __LINE__, #condition)
+
+#define ATNN_CHECK_OP_(op, a, b) ATNN_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ")"
+#define ATNN_CHECK_EQ(a, b) ATNN_CHECK_OP_(==, a, b)
+#define ATNN_CHECK_NE(a, b) ATNN_CHECK_OP_(!=, a, b)
+#define ATNN_CHECK_LT(a, b) ATNN_CHECK_OP_(<, a, b)
+#define ATNN_CHECK_LE(a, b) ATNN_CHECK_OP_(<=, a, b)
+#define ATNN_CHECK_GT(a, b) ATNN_CHECK_OP_(>, a, b)
+#define ATNN_CHECK_GE(a, b) ATNN_CHECK_OP_(>=, a, b)
+
+/// Debug-only check: compiled out in NDEBUG builds for hot paths.
+#ifdef NDEBUG
+#define ATNN_DCHECK(condition) \
+  while (false) ::atnn::internal_macros::CheckFailureStream("", "", 0, "")
+#else
+#define ATNN_DCHECK(condition) ATNN_CHECK(condition)
+#endif
+
+#define ATNN_DCHECK_EQ(a, b) ATNN_DCHECK((a) == (b))
+#define ATNN_DCHECK_LT(a, b) ATNN_DCHECK((a) < (b))
+#define ATNN_DCHECK_LE(a, b) ATNN_DCHECK((a) <= (b))
+#define ATNN_DCHECK_GE(a, b) ATNN_DCHECK((a) >= (b))
+
+#endif  // ATNN_COMMON_MACROS_H_

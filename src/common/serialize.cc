@@ -1,0 +1,104 @@
+#include "common/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace atnn {
+
+namespace {
+// Magic header marking ATNN snapshot container files.
+constexpr char kMagic[8] = {'A', 'T', 'N', 'N', 'B', 'I', 'N', '1'};
+}  // namespace
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryWriter::WriteU32(uint32_t value) { WriteBytes(&value, sizeof(value)); }
+void BinaryWriter::WriteU64(uint64_t value) { WriteBytes(&value, sizeof(value)); }
+void BinaryWriter::WriteI64(int64_t value) { WriteBytes(&value, sizeof(value)); }
+void BinaryWriter::WriteF32(float value) { WriteBytes(&value, sizeof(value)); }
+void BinaryWriter::WriteF64(double value) { WriteBytes(&value, sizeof(value)); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  WriteBytes(value.data(), value.size());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+  WriteU64(values.size());
+  WriteBytes(values.data(), values.size() * sizeof(float));
+}
+
+Status BinaryWriter::FlushToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  file.write(kMagic, sizeof(kMagic));
+  const uint64_t size = buffer_.size();
+  file.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  file.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  file.flush();
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[sizeof(kMagic)];
+  file.read(magic, sizeof(magic));
+  if (!file.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint64_t size = 0;
+  file.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!file.good()) return Status::Corruption("truncated header in " + path);
+  std::string buffer(size, '\0');
+  file.read(buffer.data(), static_cast<std::streamsize>(size));
+  if (static_cast<uint64_t>(file.gcount()) != size) {
+    return Status::Corruption("truncated payload in " + path);
+  }
+  return BinaryReader(std::move(buffer));
+}
+
+Status BinaryReader::ReadBytes(void* out, size_t size) {
+  if (position_ + size > buffer_.size()) {
+    return Status::Corruption("read past end of buffer");
+  }
+  std::memcpy(out, buffer_.data() + position_, size);
+  position_ += size;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* value) { return ReadBytes(value, sizeof(*value)); }
+Status BinaryReader::ReadU64(uint64_t* value) { return ReadBytes(value, sizeof(*value)); }
+Status BinaryReader::ReadI64(int64_t* value) { return ReadBytes(value, sizeof(*value)); }
+Status BinaryReader::ReadF32(float* value) { return ReadBytes(value, sizeof(*value)); }
+Status BinaryReader::ReadF64(double* value) { return ReadBytes(value, sizeof(*value)); }
+
+Status BinaryReader::ReadString(std::string* value) {
+  uint64_t size = 0;
+  ATNN_RETURN_IF_ERROR(ReadU64(&size));
+  if (position_ + size > buffer_.size()) {
+    return Status::Corruption("string length exceeds buffer");
+  }
+  value->assign(buffer_.data() + position_, size);
+  position_ += size;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadFloatVector(std::vector<float>* values) {
+  uint64_t size = 0;
+  ATNN_RETURN_IF_ERROR(ReadU64(&size));
+  if (position_ + size * sizeof(float) > buffer_.size()) {
+    return Status::Corruption("float vector length exceeds buffer");
+  }
+  values->resize(size);
+  return ReadBytes(values->data(), size * sizeof(float));
+}
+
+}  // namespace atnn

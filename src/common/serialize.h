@@ -1,0 +1,68 @@
+#ifndef ATNN_COMMON_SERIALIZE_H_
+#define ATNN_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atnn {
+
+/// Append-only binary encoder for model snapshots. All integers are written
+/// little-endian fixed-width; strings and vectors are length-prefixed. The
+/// format is versioned by the caller (see serving/model_snapshot).
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  void WriteF32(float value);
+  void WriteF64(double value);
+  void WriteString(const std::string& value);
+  void WriteFloatVector(const std::vector<float>& values);
+  void WriteBytes(const void* data, size_t size);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the accumulated buffer to `path`, prefixed with a magic tag and
+  /// a CRC-free length footer for truncation detection.
+  Status FlushToFile(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+/// Matching decoder. All Read* methods return Status and fail with
+/// kCorruption on truncation rather than crashing.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  static StatusOr<BinaryReader> FromFile(const std::string& path);
+
+  Status ReadU32(uint32_t* value);
+  Status ReadU64(uint64_t* value);
+  Status ReadI64(int64_t* value);
+  Status ReadF32(float* value);
+  Status ReadF64(double* value);
+  Status ReadString(std::string* value);
+  Status ReadFloatVector(std::vector<float>* values);
+
+  /// True when every byte has been consumed.
+  bool AtEnd() const { return position_ == buffer_.size(); }
+
+  size_t remaining() const { return buffer_.size() - position_; }
+
+ private:
+  Status ReadBytes(void* out, size_t size);
+
+  std::string buffer_;
+  size_t position_ = 0;
+};
+
+}  // namespace atnn
+
+#endif  // ATNN_COMMON_SERIALIZE_H_

@@ -1,0 +1,153 @@
+#ifndef ATNN_COMMON_STATUS_H_
+#define ATNN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace atnn {
+
+/// Error categories used across the library. Mirrors the small set of
+/// conditions that can actually occur in this codebase; extend as needed.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kCorruption = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight Status value for fallible operations. The library does not
+/// use exceptions (see DESIGN.md); functions that can fail return Status or
+/// StatusOr<T>. A Status is cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, analogous to absl::StatusOr. Access to the value
+/// when the status is not OK is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse (`return value;` / `return Status::...`), matching absl usage.
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT
+    ATNN_CHECK(!std::get<Status>(payload_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    ATNN_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    ATNN_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    ATNN_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define ATNN_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::atnn::Status _atnn_status = (expr);         \
+    if (!_atnn_status.ok()) return _atnn_status;  \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value or propagating the
+/// error. Usage: ATNN_ASSIGN_OR_RETURN(auto x, MakeX());
+#define ATNN_ASSIGN_OR_RETURN(lhs, expr)                   \
+  ATNN_ASSIGN_OR_RETURN_IMPL_(                             \
+      ATNN_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define ATNN_STATUS_CONCAT_INNER_(a, b) a##b
+#define ATNN_STATUS_CONCAT_(a, b) ATNN_STATUS_CONCAT_INNER_(a, b)
+#define ATNN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+}  // namespace atnn
+
+#endif  // ATNN_COMMON_STATUS_H_

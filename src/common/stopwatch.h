@@ -1,0 +1,28 @@
+#ifndef ATNN_COMMON_STOPWATCH_H_
+#define ATNN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace atnn {
+
+/// Monotonic wall-clock stopwatch for timing training loops and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace atnn
+
+#endif  // ATNN_COMMON_STOPWATCH_H_

@@ -1,0 +1,55 @@
+#ifndef ATNN_COMMON_THREAD_POOL_H_
+#define ATNN_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atnn {
+
+/// Fixed-size worker pool for embarrassingly parallel work (GBDT split
+/// finding, batched data generation). Tasks are void() closures; Wait()
+/// blocks until everything submitted so far has run.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Splits [0, total) into roughly equal chunks and runs
+  /// fn(begin, end) for each chunk across the pool, blocking until done.
+  /// Runs inline when total is small or the pool has a single thread.
+  void ParallelFor(size_t total, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace atnn
+
+#endif  // ATNN_COMMON_THREAD_POOL_H_

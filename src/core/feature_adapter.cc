@@ -1,0 +1,72 @@
+#include "core/feature_adapter.h"
+
+namespace atnn::core {
+
+std::vector<nn::EmbeddingFieldSpec> ToEmbeddingSpecs(
+    const data::FeatureSchema& schema) {
+  std::vector<nn::EmbeddingFieldSpec> specs;
+  specs.reserve(schema.num_categorical());
+  for (size_t c = 0; c < schema.num_categorical(); ++c) {
+    const data::FeatureSpec& feature = schema.categorical_spec(c);
+    specs.push_back(nn::EmbeddingFieldSpec{feature.name, feature.vocab_size,
+                                           feature.embed_dim});
+  }
+  return specs;
+}
+
+nn::Tensor FlattenBlockForGbdt(const data::BlockBatch& block) {
+  const int64_t rows = block.rows();
+  const auto num_cat = static_cast<int64_t>(block.categorical.size());
+  const int64_t num_numeric = block.numeric.cols();
+  nn::Tensor out(rows, num_cat + num_numeric);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* dst = out.row_ptr(r);
+    for (int64_t f = 0; f < num_cat; ++f) {
+      dst[f] = static_cast<float>(
+          block.categorical[static_cast<size_t>(f)][static_cast<size_t>(r)]);
+    }
+    const float* num = block.numeric.row_ptr(r);
+    for (int64_t f = 0; f < num_numeric; ++f) dst[num_cat + f] = num[f];
+  }
+  return out;
+}
+
+nn::Tensor ConcatForGbdt(const std::vector<const data::BlockBatch*>& blocks) {
+  ATNN_CHECK(!blocks.empty());
+  std::vector<nn::Tensor> flattened;
+  flattened.reserve(blocks.size());
+  int64_t total_cols = 0;
+  for (const data::BlockBatch* block : blocks) {
+    flattened.push_back(FlattenBlockForGbdt(*block));
+    total_cols += flattened.back().cols();
+  }
+  const int64_t rows = flattened.front().rows();
+  nn::Tensor out(rows, total_cols);
+  int64_t offset = 0;
+  for (const nn::Tensor& part : flattened) {
+    ATNN_CHECK_EQ(part.rows(), rows);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(part.row_ptr(r), part.row_ptr(r) + part.cols(),
+                out.row_ptr(r) + offset);
+    }
+    offset += part.cols();
+  }
+  return out;
+}
+
+TmallNormalizers NormalizeTmallInPlace(data::TmallDataset* dataset) {
+  TmallNormalizers norms;
+  norms.user = data::Normalizer::Fit(dataset->users);
+  norms.user.Apply(&dataset->users);
+  // Fit on catalog items only: new arrivals must not leak into statistics,
+  // and their stats rows are placeholders anyway.
+  norms.item_profile =
+      data::Normalizer::Fit(dataset->item_profiles, dataset->catalog_items);
+  norms.item_profile.Apply(&dataset->item_profiles);
+  norms.item_stats =
+      data::Normalizer::Fit(dataset->item_stats, dataset->catalog_items);
+  norms.item_stats.Apply(&dataset->item_stats);
+  return norms;
+}
+
+}  // namespace atnn::core

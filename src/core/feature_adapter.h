@@ -1,0 +1,43 @@
+#ifndef ATNN_CORE_FEATURE_ADAPTER_H_
+#define ATNN_CORE_FEATURE_ADAPTER_H_
+
+#include <vector>
+
+#include "data/normalize.h"
+#include "data/schema.h"
+#include "data/tmall.h"
+#include "nn/layers.h"
+
+namespace atnn::core {
+
+/// Embedding specs (one table per categorical feature) for a data schema.
+/// Embedding widths come from the schema's per-feature embed_dim, matching
+/// the paper's setup (user id -> 16 dims, item category -> 6 dims, ...).
+std::vector<nn::EmbeddingFieldSpec> ToEmbeddingSpecs(
+    const data::FeatureSchema& schema);
+
+/// Flattens a gathered block into plain floats for GBDT: categorical ids
+/// become ordinal floats followed by the numeric columns. Trees split on
+/// thresholds, so ordinal encoding gives GBDT *some* access to categorical
+/// structure — deliberately imperfect, as in production GBDT baselines.
+nn::Tensor FlattenBlockForGbdt(const data::BlockBatch& block);
+
+/// Column-concatenates flattened blocks into one GBDT feature matrix.
+nn::Tensor ConcatForGbdt(const std::vector<const data::BlockBatch*>& blocks);
+
+/// Normalizers for the three Tmall feature tables, fit only on rows the
+/// training split can see (all users, catalog items).
+struct TmallNormalizers {
+  data::Normalizer user;
+  data::Normalizer item_profile;
+  data::Normalizer item_stats;
+};
+
+/// Fits normalizers and standardizes the dataset's numeric columns in
+/// place. Call exactly once after GenerateTmallDataset. The statistics rows
+/// of new arrivals are zeros before and remain unused after.
+TmallNormalizers NormalizeTmallInPlace(data::TmallDataset* dataset);
+
+}  // namespace atnn::core
+
+#endif  // ATNN_CORE_FEATURE_ADAPTER_H_

@@ -1,0 +1,107 @@
+#ifndef ATNN_CORE_MULTITASK_ATNN_H_
+#define ATNN_CORE_MULTITASK_ATNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/atnn.h"  // SimilarityMode
+#include "data/eleme.h"
+#include "data/schema.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace atnn::core {
+
+/// Hyper-parameters of the extended multi-task ATNN (Section V). Two
+/// regression heads (GMV and VpPV) share the restaurant representation;
+/// Algorithm 2 alternates a D step on
+///   L_r^{GMV} + lambda1 * L_r^{VpPV}
+/// and a G step on
+///   L_g^{GMV} + lambda1 * L_g^{VpPV} + lambda2 * L_s.
+struct MultiTaskAtnnConfig {
+  nn::TowerConfig tower;
+  bool share_embeddings = true;
+  SimilarityMode similarity = SimilarityMode::kCosine;
+  /// Weight of the VpPV loss relative to the GMV loss. The paper uses 100
+  /// on its (unnormalized) production scales; with our log-GMV labels the
+  /// two losses are closer in magnitude, so the default is smaller.
+  float lambda1 = 25.0f;
+  /// Weight of the similarity loss in the G step (paper: 10).
+  float lambda2 = 10.0f;
+  /// When false, the model degenerates to the multi-task TNN-DCN baseline
+  /// of Table IV: a single profile-only encoder trained directly on the
+  /// labels, with no generator and no similarity loss.
+  bool adversarial = true;
+  uint64_t seed = 17;
+};
+
+/// Extended ATNN for new-restaurant popularity prediction. The "user" side
+/// is a location-cell user *group* tower (mean-user features), making every
+/// prediction O(1) in the number of users by construction.
+class MultiTaskAtnnModel : public nn::Module {
+ public:
+  MultiTaskAtnnModel(const data::FeatureSchema& restaurant_profile_schema,
+                     const data::FeatureSchema& restaurant_stats_schema,
+                     const data::FeatureSchema& user_group_schema,
+                     const MultiTaskAtnnConfig& config);
+
+  /// User-group vector f_u(X_u): [batch, d].
+  nn::Var GroupVector(const data::BlockBatch& group) const;
+
+  /// Encoder restaurant vector f_i(X_i). With adversarial=true this
+  /// consumes profiles + statistics; with adversarial=false (baseline) it
+  /// consumes profiles only.
+  nn::Var EncoderVector(const data::BlockBatch& profile,
+                        const data::BlockBatch& stats) const;
+
+  /// Generated restaurant vector g(X_ip) from profiles only.
+  /// Requires adversarial=true.
+  nn::Var GeneratorVector(const data::BlockBatch& profile) const;
+
+  /// Task heads H(item_vec, user_vec): shared across the encoder and
+  /// generator paths (the paper's shared-network multi-task device).
+  nn::Var PredictGmv(const nn::Var& item_vec, const nn::Var& group_vec) const;
+  nn::Var PredictVppv(const nn::Var& item_vec,
+                      const nn::Var& group_vec) const;
+
+  /// L_s between generated and (frozen) encoder vectors.
+  nn::Var SimilarityLoss(const nn::Var& gen_vec,
+                         const nn::Var& encoder_vec) const;
+
+  /// Inference: (vppv, gmv) predictions for a batch through the cold-start
+  /// path — the generator when adversarial, the profile-only encoder for
+  /// the baseline. Works for brand-new restaurants.
+  struct Predictions {
+    std::vector<double> vppv;
+    std::vector<double> gmv;
+  };
+  Predictions PredictColdStart(const data::BlockBatch& profile,
+                               const data::BlockBatch& group) const;
+
+  /// D-step parameters: group tower + embeddings, encoder + profile
+  /// embeddings, both task heads.
+  std::vector<nn::Parameter*> DiscriminatorParameters();
+  /// G-step parameters: generator tower (+ private embeddings if not
+  /// shared). Task heads stay frozen in the G step (they belong to D).
+  std::vector<nn::Parameter*> GeneratorParameters();
+
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+
+  const MultiTaskAtnnConfig& config() const { return config_; }
+  int64_t vector_dim() const { return config_.tower.output_dim; }
+
+ private:
+  MultiTaskAtnnConfig config_;
+  std::unique_ptr<nn::EmbeddingBag> group_bag_;
+  std::unique_ptr<nn::EmbeddingBag> profile_bag_;
+  std::unique_ptr<nn::EmbeddingBag> generator_bag_;  // if not shared
+  std::unique_ptr<nn::Tower> group_tower_;
+  std::unique_ptr<nn::Tower> encoder_tower_;
+  std::unique_ptr<nn::Tower> generator_tower_;  // null when !adversarial
+  std::unique_ptr<nn::Mlp> gmv_head_;
+  std::unique_ptr<nn::Mlp> vppv_head_;
+};
+
+}  // namespace atnn::core
+
+#endif  // ATNN_CORE_MULTITASK_ATNN_H_

@@ -1,0 +1,141 @@
+#include "core/multitask_trainer.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "metrics/metrics.h"
+#include "nn/optimizer.h"
+
+namespace atnn::core {
+
+std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
+    MultiTaskAtnnModel* model, const data::ElemeDataset& dataset,
+    const TrainOptions& options) {
+  const bool adversarial = model->config().adversarial;
+  nn::Adam optimizer_d(model->DiscriminatorParameters(),
+                       options.learning_rate);
+  std::unique_ptr<nn::Adam> optimizer_g;
+  if (adversarial) {
+    optimizer_g = std::make_unique<nn::Adam>(model->GeneratorParameters(),
+                                             options.learning_rate);
+  }
+  const std::vector<nn::Parameter*> all_params = model->Parameters();
+  const float lambda1 = model->config().lambda1;
+  const float lambda2 = model->config().lambda2;
+
+  Rng rng(options.seed);
+  std::vector<int64_t> order = dataset.train_indices;
+  std::vector<MultiTaskEpochStats> history;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    MultiTaskEpochStats stats;
+    int64_t steps = 0;
+    for (const auto& rows : MakeBatches(order, options.batch_size)) {
+      const data::ElemeBatch batch = MakeElemeBatch(dataset, rows);
+
+      // --- D step: L_r^GMV + lambda1 * L_r^VpPV through the encoder. ---
+      nn::ZeroAllGrads(all_params);
+      nn::Var group_vec = model->GroupVector(batch.user_group);
+      nn::Var enc_vec = model->EncoderVector(batch.restaurant_profile,
+                                             batch.restaurant_stats);
+      nn::Var loss_gmv =
+          nn::MseLoss(model->PredictGmv(enc_vec, group_vec), batch.gmv);
+      nn::Var loss_vppv =
+          nn::MseLoss(model->PredictVppv(enc_vec, group_vec), batch.vppv);
+      nn::Var loss_d = nn::Add(loss_gmv, nn::Scale(loss_vppv, lambda1));
+      nn::Backward(loss_d);
+      if (options.clip_norm > 0.0f) {
+        optimizer_d.ClipGradNorm(options.clip_norm);
+      }
+      optimizer_d.Step();
+      stats.loss_gmv_d += loss_gmv.value().scalar();
+      stats.loss_vppv_d += loss_vppv.value().scalar();
+
+      // --- G step: L_g^GMV + lambda1 * L_g^VpPV + lambda2 * L_s. ---
+      if (adversarial) {
+        nn::ZeroAllGrads(all_params);
+        nn::Var group_vec_g = model->GroupVector(batch.user_group);
+        nn::Var enc_vec_g = model->EncoderVector(batch.restaurant_profile,
+                                                 batch.restaurant_stats);
+        nn::Var gen_vec = model->GeneratorVector(batch.restaurant_profile);
+        nn::Var gen_gmv =
+            nn::MseLoss(model->PredictGmv(gen_vec, group_vec_g), batch.gmv);
+        nn::Var gen_vppv =
+            nn::MseLoss(model->PredictVppv(gen_vec, group_vec_g), batch.vppv);
+        nn::Var loss_s = model->SimilarityLoss(gen_vec, enc_vec_g);
+        nn::Var loss_g =
+            nn::Add(nn::Add(gen_gmv, nn::Scale(gen_vppv, lambda1)),
+                    nn::Scale(loss_s, lambda2));
+        nn::Backward(loss_g);
+        if (options.clip_norm > 0.0f) {
+          optimizer_g->ClipGradNorm(options.clip_norm);
+        }
+        optimizer_g->Step();
+        stats.loss_gmv_g += gen_gmv.value().scalar();
+        stats.loss_vppv_g += gen_vppv.value().scalar();
+        stats.loss_s += loss_s.value().scalar();
+      }
+      ++steps;
+    }
+    const double inv = 1.0 / static_cast<double>(steps);
+    stats.loss_gmv_d *= inv;
+    stats.loss_vppv_d *= inv;
+    stats.loss_gmv_g *= inv;
+    stats.loss_vppv_g *= inv;
+    stats.loss_s *= inv;
+    history.push_back(stats);
+    if (options.verbose) {
+      ATNN_LOG(Info) << "mt-atnn epoch " << epoch + 1 << "/" << options.epochs
+                     << " L_gmv=" << stats.loss_gmv_d
+                     << " L_vppv=" << stats.loss_vppv_d
+                     << " L_s=" << stats.loss_s;
+    }
+  }
+  return history;
+}
+
+ElemeEval EvaluateEleme(const MultiTaskAtnnModel& model,
+                        const data::ElemeDataset& dataset,
+                        const std::vector<int64_t>& restaurant_rows,
+                        int batch_size) {
+  std::vector<double> vppv_pred;
+  std::vector<double> gmv_pred;
+  std::vector<float> vppv_true;
+  std::vector<float> gmv_true;
+  for (const auto& rows : MakeBatches(restaurant_rows, batch_size)) {
+    const data::ElemeBatch batch = MakeElemeBatch(dataset, rows);
+    const auto predictions =
+        model.PredictColdStart(batch.restaurant_profile, batch.user_group);
+    vppv_pred.insert(vppv_pred.end(), predictions.vppv.begin(),
+                     predictions.vppv.end());
+    gmv_pred.insert(gmv_pred.end(), predictions.gmv.begin(),
+                    predictions.gmv.end());
+    for (int64_t r = 0; r < batch.vppv.rows(); ++r) {
+      vppv_true.push_back(batch.vppv.at(r, 0));
+      gmv_true.push_back(batch.gmv.at(r, 0));
+    }
+  }
+  ElemeEval eval;
+  eval.vppv_mae = metrics::MeanAbsoluteError(vppv_pred, vppv_true);
+  eval.gmv_mae = metrics::MeanAbsoluteError(gmv_pred, gmv_true);
+  return eval;
+}
+
+ElemeNormalizers NormalizeElemeInPlace(data::ElemeDataset* dataset) {
+  ElemeNormalizers norms;
+  // Fit on the trainside restaurants only (new applicants are the target
+  // distribution of the online experiment and must not shape the scaler in
+  // a way the deployed system could not have done — using the 80% train
+  // rows mirrors production practice).
+  std::vector<int64_t> fit_rows = dataset->train_indices;
+  norms.profile =
+      data::Normalizer::Fit(dataset->restaurant_profiles, fit_rows);
+  norms.profile.Apply(&dataset->restaurant_profiles);
+  norms.stats = data::Normalizer::Fit(dataset->restaurant_stats, fit_rows);
+  norms.stats.Apply(&dataset->restaurant_stats);
+  norms.group = data::Normalizer::Fit(dataset->user_groups);
+  norms.group.Apply(&dataset->user_groups);
+  return norms;
+}
+
+}  // namespace atnn::core

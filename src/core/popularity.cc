@@ -1,0 +1,128 @@
+#include "core/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/trainer.h"
+
+namespace atnn::core {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+PopularityPredictor::PopularityPredictor(nn::Tensor mean_user_vector,
+                                         float bias)
+    : mean_user_vector_(std::move(mean_user_vector)), bias_(bias) {
+  ATNN_CHECK_EQ(mean_user_vector_.rows(), 1);
+}
+
+PopularityPredictor PopularityPredictor::Build(
+    const AtnnModel& model, const data::TmallDataset& dataset,
+    const std::vector<int64_t>& user_group, int batch_size) {
+  ATNN_CHECK(!user_group.empty());
+  nn::Tensor sum(1, model.vector_dim());
+  for (const auto& chunk : MakeBatches(user_group, batch_size)) {
+    const data::BlockBatch block = data::GatherBlock(dataset.users, chunk);
+    nn::Var vectors = model.UserVector(block);
+    for (int64_t r = 0; r < vectors.rows(); ++r) {
+      const float* row = vectors.value().row_ptr(r);
+      float* dst = sum.data();
+      for (int64_t c = 0; c < sum.cols(); ++c) dst[c] += row[c];
+    }
+  }
+  sum.Scale(1.0f / static_cast<float>(user_group.size()));
+  return PopularityPredictor(std::move(sum), model.generator_bias_value());
+}
+
+double PopularityPredictor::ScoreVector(const float* item_vector,
+                                        int64_t dim) const {
+  ATNN_DCHECK_EQ(dim, mean_user_vector_.cols());
+  const float* mean = mean_user_vector_.data();
+  double dot = 0.0;
+  for (int64_t c = 0; c < dim; ++c) dot += item_vector[c] * mean[c];
+  return Sigmoid(dot + bias_);
+}
+
+std::vector<double> PopularityPredictor::ScoreItems(
+    const AtnnModel& model, const data::TmallDataset& dataset,
+    const std::vector<int64_t>& item_rows, int batch_size) const {
+  std::vector<double> scores;
+  scores.reserve(item_rows.size());
+  for (const auto& chunk : MakeBatches(item_rows, batch_size)) {
+    const data::BlockBatch block =
+        data::GatherBlock(dataset.item_profiles, chunk);
+    nn::Var vectors = model.GeneratorItemVector(block);
+    for (int64_t r = 0; r < vectors.rows(); ++r) {
+      scores.push_back(
+          ScoreVector(vectors.value().row_ptr(r), vectors.cols()));
+    }
+  }
+  return scores;
+}
+
+std::vector<double> ScoreItemsPairwise(const AtnnModel& model,
+                                       const data::TmallDataset& dataset,
+                                       const std::vector<int64_t>& item_rows,
+                                       const std::vector<int64_t>& user_group,
+                                       int batch_size) {
+  ATNN_CHECK(!user_group.empty());
+  // Precompute all user vectors once (amortized across items); the cost
+  // that remains per item is still O(|user_group|) dot products.
+  nn::Tensor user_vectors(static_cast<int64_t>(user_group.size()),
+                          model.vector_dim());
+  int64_t row = 0;
+  for (const auto& chunk : MakeBatches(user_group, batch_size)) {
+    const data::BlockBatch block = data::GatherBlock(dataset.users, chunk);
+    nn::Var vectors = model.UserVector(block);
+    for (int64_t r = 0; r < vectors.rows(); ++r, ++row) {
+      std::copy(vectors.value().row_ptr(r),
+                vectors.value().row_ptr(r) + vectors.cols(),
+                user_vectors.row_ptr(row));
+    }
+  }
+
+  const float gen_bias = model.generator_bias_value();
+
+  std::vector<double> scores;
+  scores.reserve(item_rows.size());
+  for (const auto& chunk : MakeBatches(item_rows, batch_size)) {
+    const data::BlockBatch block =
+        data::GatherBlock(dataset.item_profiles, chunk);
+    nn::Var vectors = model.GeneratorItemVector(block);
+    for (int64_t r = 0; r < vectors.rows(); ++r) {
+      const float* item_vec = vectors.value().row_ptr(r);
+      double total = 0.0;
+      for (int64_t u = 0; u < user_vectors.rows(); ++u) {
+        const float* user_vec = user_vectors.row_ptr(u);
+        double dot = 0.0;
+        for (int64_t c = 0; c < user_vectors.cols(); ++c) {
+          dot += item_vec[c] * user_vec[c];
+        }
+        total += Sigmoid(dot + gen_bias);
+      }
+      scores.push_back(total / static_cast<double>(user_vectors.rows()));
+    }
+  }
+  return scores;
+}
+
+std::vector<int64_t> SelectActiveUsers(const data::TmallDataset& dataset,
+                                       int64_t k) {
+  ATNN_CHECK(k > 0);
+  std::vector<int64_t> users(dataset.user_activity.size());
+  std::iota(users.begin(), users.end(), 0);
+  const auto take = std::min<size_t>(static_cast<size_t>(k), users.size());
+  std::partial_sort(users.begin(), users.begin() + take, users.end(),
+                    [&dataset](int64_t a, int64_t b) {
+                      return dataset.user_activity[static_cast<size_t>(a)] >
+                             dataset.user_activity[static_cast<size_t>(b)];
+                    });
+  users.resize(take);
+  return users;
+}
+
+}  // namespace atnn::core

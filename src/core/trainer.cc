@@ -1,0 +1,212 @@
+#include "core/trainer.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "metrics/metrics.h"
+#include "nn/optimizer.h"
+
+namespace atnn::core {
+
+std::vector<std::vector<int64_t>> MakeBatches(
+    const std::vector<int64_t>& indices, int batch_size) {
+  ATNN_CHECK(batch_size > 0);
+  std::vector<std::vector<int64_t>> batches;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(begin + static_cast<size_t>(batch_size), indices.size());
+    batches.emplace_back(indices.begin() + begin, indices.begin() + end);
+  }
+  return batches;
+}
+
+std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
+                                           const data::TmallDataset& dataset,
+                                           const TrainOptions& options) {
+  nn::Adam optimizer(model->Parameters(), options.learning_rate, 0.9f,
+                     0.999f, 1e-8f, options.weight_decay);
+  Rng rng(options.seed);
+  std::vector<int64_t> order = dataset.train_indices;
+  std::vector<EpochStats> history;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (epoch > 0 && options.lr_decay_per_epoch != 1.0f) {
+      optimizer.set_learning_rate(optimizer.learning_rate() *
+                                  options.lr_decay_per_epoch);
+    }
+    rng.Shuffle(&order);
+    EpochStats stats;
+    int64_t steps = 0;
+    for (const auto& batch_indices : MakeBatches(order, options.batch_size)) {
+      const data::CtrBatch batch = MakeCtrBatch(dataset, batch_indices);
+      optimizer.ZeroGrad();
+      nn::Var logits =
+          model->ScoreLogits(model->ItemVector(batch.item_profile,
+                                               batch.item_stats),
+                             model->UserVector(batch.user));
+      nn::Var loss = nn::SigmoidBceLossWithLogits(logits, batch.labels);
+      nn::Backward(loss);
+      if (options.clip_norm > 0.0f) optimizer.ClipGradNorm(options.clip_norm);
+      optimizer.Step();
+      stats.loss_i += loss.value().scalar();
+      ++steps;
+    }
+    stats.loss_i /= static_cast<double>(steps);
+    history.push_back(stats);
+    if (options.verbose) {
+      ATNN_LOG(Info) << "two-tower epoch " << epoch + 1 << "/"
+                     << options.epochs << " L_i=" << stats.loss_i;
+    }
+  }
+  return history;
+}
+
+std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
+                                       const data::TmallDataset& dataset,
+                                       const TrainOptions& options) {
+  // Two optimizers over disjoint parameter groups, per Algorithm 1.
+  nn::Adam optimizer_d(model->DiscriminatorParameters(),
+                       options.learning_rate, 0.9f, 0.999f, 1e-8f,
+                       options.weight_decay);
+  nn::Adam optimizer_g(model->GeneratorParameters(), options.learning_rate,
+                       0.9f, 0.999f, 1e-8f, options.weight_decay);
+  // A G-step backward also deposits gradients into frozen discriminator
+  // parameters; clear everything between half-steps so nothing leaks.
+  const std::vector<nn::Parameter*> all_params = model->Parameters();
+
+  Rng rng(options.seed);
+  std::vector<int64_t> order = dataset.train_indices;
+  std::vector<EpochStats> history;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (epoch > 0 && options.lr_decay_per_epoch != 1.0f) {
+      optimizer_d.set_learning_rate(optimizer_d.learning_rate() *
+                                    options.lr_decay_per_epoch);
+      optimizer_g.set_learning_rate(optimizer_g.learning_rate() *
+                                    options.lr_decay_per_epoch);
+    }
+    rng.Shuffle(&order);
+    EpochStats stats;
+    int64_t steps = 0;
+    for (const auto& batch_indices : MakeBatches(order, options.batch_size)) {
+      const data::CtrBatch batch = MakeCtrBatch(dataset, batch_indices);
+
+      // --- D step: minimize L_i through the encoder path. ---
+      nn::ZeroAllGrads(all_params);
+      nn::Var user_vec = model->UserVector(batch.user);
+      nn::Var enc_vec =
+          model->EncoderItemVector(batch.item_profile, batch.item_stats);
+      nn::Var loss_i = nn::SigmoidBceLossWithLogits(
+          model->EncoderLogits(enc_vec, user_vec), batch.labels);
+      nn::Backward(loss_i);
+      if (options.clip_norm > 0.0f) {
+        optimizer_d.ClipGradNorm(options.clip_norm);
+      }
+      optimizer_d.Step();
+
+      // --- G step: minimize L_g + lambda * L_s. ---
+      nn::ZeroAllGrads(all_params);
+      // Recompute with updated discriminator weights; the user vector and
+      // encoder target are treated as fixed inputs in this half-step.
+      nn::Var user_vec_g = model->UserVector(batch.user);
+      nn::Var enc_vec_g =
+          model->EncoderItemVector(batch.item_profile, batch.item_stats);
+      nn::Var gen_vec = model->GeneratorItemVector(batch.item_profile);
+      nn::Var loss_g = nn::SigmoidBceLossWithLogits(
+          model->GeneratorLogits(gen_vec, user_vec_g), batch.labels);
+      nn::Var loss_s = model->SimilarityLoss(gen_vec, enc_vec_g);
+      nn::Var total = nn::Add(loss_g, nn::Scale(loss_s,
+                                                model->config().lambda));
+      nn::Backward(total);
+      if (options.clip_norm > 0.0f) {
+        optimizer_g.ClipGradNorm(options.clip_norm);
+      }
+      optimizer_g.Step();
+
+      stats.loss_i += loss_i.value().scalar();
+      stats.loss_g += loss_g.value().scalar();
+      stats.loss_s += loss_s.value().scalar();
+      ++steps;
+    }
+    stats.loss_i /= static_cast<double>(steps);
+    stats.loss_g /= static_cast<double>(steps);
+    stats.loss_s /= static_cast<double>(steps);
+    history.push_back(stats);
+    if (options.verbose) {
+      ATNN_LOG(Info) << "atnn epoch " << epoch + 1 << "/" << options.epochs
+                     << " L_i=" << stats.loss_i << " L_g=" << stats.loss_g
+                     << " L_s=" << stats.loss_s;
+    }
+  }
+  return history;
+}
+
+namespace {
+
+/// Collects labels for the given interaction indices.
+std::vector<float> GatherLabels(const data::TmallDataset& dataset,
+                                const std::vector<int64_t>& indices) {
+  std::vector<float> labels;
+  labels.reserve(indices.size());
+  for (int64_t idx : indices) {
+    labels.push_back(dataset.labels[static_cast<size_t>(idx)]);
+  }
+  return labels;
+}
+
+}  // namespace
+
+double EvaluateTwoTowerAuc(const TwoTowerModel& model,
+                           const data::TmallDataset& dataset,
+                           const std::vector<int64_t>& interaction_indices,
+                           int batch_size) {
+  std::vector<double> scores;
+  scores.reserve(interaction_indices.size());
+  for (const auto& chunk : MakeBatches(interaction_indices, batch_size)) {
+    const data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
+    const std::vector<double> probs =
+        model.PredictCtr(batch.user, batch.item_profile, batch.item_stats);
+    scores.insert(scores.end(), probs.begin(), probs.end());
+  }
+  return metrics::Auc(scores, GatherLabels(dataset, interaction_indices));
+}
+
+void MaskStatsAsMissing(data::BlockBatch* stats) {
+  // Standardized columns: the train mean is exactly zero.
+  stats->numeric.SetZero();
+}
+
+double EvaluateTwoTowerAucMissingStats(
+    const TwoTowerModel& model, const data::TmallDataset& dataset,
+    const std::vector<int64_t>& interaction_indices, int batch_size) {
+  std::vector<double> scores;
+  scores.reserve(interaction_indices.size());
+  for (const auto& chunk : MakeBatches(interaction_indices, batch_size)) {
+    data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
+    MaskStatsAsMissing(&batch.item_stats);
+    const std::vector<double> probs =
+        model.PredictCtr(batch.user, batch.item_profile, batch.item_stats);
+    scores.insert(scores.end(), probs.begin(), probs.end());
+  }
+  return metrics::Auc(scores, GatherLabels(dataset, interaction_indices));
+}
+
+double EvaluateAtnnAuc(const AtnnModel& model,
+                       const data::TmallDataset& dataset,
+                       const std::vector<int64_t>& interaction_indices,
+                       CtrPath path, int batch_size) {
+  std::vector<double> scores;
+  scores.reserve(interaction_indices.size());
+  for (const auto& chunk : MakeBatches(interaction_indices, batch_size)) {
+    const data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
+    const std::vector<double> probs =
+        path == CtrPath::kEncoder
+            ? model.PredictCtrEncoder(batch.user, batch.item_profile,
+                                      batch.item_stats)
+            : model.PredictCtrGenerator(batch.user, batch.item_profile);
+    scores.insert(scores.end(), probs.begin(), probs.end());
+  }
+  return metrics::Auc(scores, GatherLabels(dataset, interaction_indices));
+}
+
+}  // namespace atnn::core

@@ -1,0 +1,85 @@
+#ifndef ATNN_CORE_TRAINER_H_
+#define ATNN_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/atnn.h"
+#include "core/two_tower.h"
+#include "data/normalize.h"
+#include "data/tmall.h"
+
+namespace atnn::core {
+
+/// Shared knobs of the mini-batch training loops.
+struct TrainOptions {
+  int epochs = 3;
+  int batch_size = 256;
+  float learning_rate = 1e-3f;
+  /// Global-norm gradient clipping; 0 disables.
+  float clip_norm = 5.0f;
+  /// Multiplicative learning-rate decay applied before each epoch after
+  /// the first (1.0 = constant rate).
+  float lr_decay_per_epoch = 1.0f;
+  /// Decoupled (AdamW) weight decay; 0 disables.
+  float weight_decay = 0.0f;
+  uint64_t seed = 99;
+  bool verbose = false;
+};
+
+/// Per-epoch averages of the three paper losses (unused entries are 0).
+struct EpochStats {
+  double loss_i = 0.0;  // encoder-path CTR log loss (L_i)
+  double loss_g = 0.0;  // generator-path CTR log loss (L_g)
+  double loss_s = 0.0;  // similarity loss (L_s)
+};
+
+/// Trains a two-tower baseline with Adam on L_i over the train split.
+std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
+                                           const data::TmallDataset& dataset,
+                                           const TrainOptions& options);
+
+/// Trains ATNN per Algorithm 1: for every mini-batch, a D step on L_i
+/// followed by a G step on L_g + lambda * L_s.
+std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
+                                       const data::TmallDataset& dataset,
+                                       const TrainOptions& options);
+
+/// Which scoring path to evaluate.
+enum class CtrPath {
+  kEncoder,    // complete item features (ideal baseline column of Table I)
+  kGenerator,  // item profiles only (cold-start column of Table I)
+};
+
+/// Test-set AUC of a two-tower baseline.
+double EvaluateTwoTowerAuc(const TwoTowerModel& model,
+                           const data::TmallDataset& dataset,
+                           const std::vector<int64_t>& interaction_indices,
+                           int batch_size = 1024);
+
+/// Overwrites a gathered (already normalized) statistics block with the
+/// representation of *missing* statistics: train-mean imputation, which in
+/// standardized space is all zeros. This is the cold-start serving
+/// condition a complete-features-trained baseline faces on new arrivals —
+/// the statistics do not exist, the pipeline fills in the default.
+void MaskStatsAsMissing(data::BlockBatch* stats);
+
+/// Test-set AUC of a complete-features-trained two-tower baseline when the
+/// item statistics are missing (mean-imputed) at evaluation time — Table
+/// I's cold-start column for the baselines.
+double EvaluateTwoTowerAucMissingStats(
+    const TwoTowerModel& model, const data::TmallDataset& dataset,
+    const std::vector<int64_t>& interaction_indices, int batch_size = 1024);
+
+/// Test-set AUC of ATNN through the chosen path.
+double EvaluateAtnnAuc(const AtnnModel& model,
+                       const data::TmallDataset& dataset,
+                       const std::vector<int64_t>& interaction_indices,
+                       CtrPath path, int batch_size = 1024);
+
+/// Splits `indices` into contiguous chunks of at most batch_size.
+std::vector<std::vector<int64_t>> MakeBatches(
+    const std::vector<int64_t>& indices, int batch_size);
+
+}  // namespace atnn::core
+
+#endif  // ATNN_CORE_TRAINER_H_

@@ -1,0 +1,80 @@
+#include "core/two_tower.h"
+
+#include "core/feature_adapter.h"
+
+namespace atnn::core {
+
+TwoTowerModel::TwoTowerModel(const data::FeatureSchema& user_schema,
+                             const data::FeatureSchema& item_profile_schema,
+                             const data::FeatureSchema& item_stats_schema,
+                             const TwoTowerConfig& config)
+    : config_(config),
+      score_bias_("two_tower.score_bias", nn::Tensor::Zeros(1, 1)) {
+  Rng rng(config.seed);
+  user_bag_ = std::make_unique<nn::EmbeddingBag>(
+      "two_tower.user", ToEmbeddingSpecs(user_schema), &rng);
+  item_profile_bag_ = std::make_unique<nn::EmbeddingBag>(
+      "two_tower.item", ToEmbeddingSpecs(item_profile_schema), &rng);
+
+  user_num_numeric_ = static_cast<int64_t>(user_schema.num_numeric());
+  item_profile_num_numeric_ =
+      static_cast<int64_t>(item_profile_schema.num_numeric());
+  item_stats_num_numeric_ =
+      static_cast<int64_t>(item_stats_schema.num_numeric());
+
+  const int64_t user_input = user_bag_->OutputDim(user_num_numeric_);
+  int64_t item_input = item_profile_bag_->OutputDim(item_profile_num_numeric_);
+  if (config.use_item_stats) item_input += item_stats_num_numeric_;
+
+  user_tower_ = std::make_unique<nn::Tower>("two_tower.user_tower",
+                                            user_input, config.tower, &rng);
+  item_tower_ = std::make_unique<nn::Tower>("two_tower.item_tower",
+                                            item_input, config.tower, &rng);
+}
+
+nn::Var TwoTowerModel::UserVector(const data::BlockBatch& user) const {
+  return user_tower_->Forward(
+      user_bag_->Forward(user.categorical, user.numeric));
+}
+
+nn::Var TwoTowerModel::ItemVector(const data::BlockBatch& item_profile,
+                                  const data::BlockBatch& item_stats) const {
+  nn::Var profile_input =
+      item_profile_bag_->Forward(item_profile.categorical,
+                                 item_profile.numeric);
+  if (!config_.use_item_stats) {
+    return item_tower_->Forward(profile_input);
+  }
+  ATNN_CHECK_EQ(item_stats.numeric.rows(), item_profile.rows());
+  nn::Var full_input =
+      nn::ConcatCols({profile_input, nn::Constant(item_stats.numeric)});
+  return item_tower_->Forward(full_input);
+}
+
+nn::Var TwoTowerModel::ScoreLogits(const nn::Var& item_vec,
+                                   const nn::Var& user_vec) const {
+  return nn::AddBias(nn::RowwiseDot(item_vec, user_vec), score_bias_.var());
+}
+
+std::vector<double> TwoTowerModel::PredictCtr(
+    const data::BlockBatch& user, const data::BlockBatch& item_profile,
+    const data::BlockBatch& item_stats) const {
+  nn::Var logits = ScoreLogits(ItemVector(item_profile, item_stats),
+                               UserVector(user));
+  nn::Var probs = nn::Sigmoid(logits);
+  std::vector<double> result(static_cast<size_t>(probs.rows()));
+  for (int64_t r = 0; r < probs.rows(); ++r) {
+    result[static_cast<size_t>(r)] = probs.value().at(r, 0);
+  }
+  return result;
+}
+
+void TwoTowerModel::CollectParameters(std::vector<nn::Parameter*>* out) {
+  user_bag_->CollectParameters(out);
+  item_profile_bag_->CollectParameters(out);
+  user_tower_->CollectParameters(out);
+  item_tower_->CollectParameters(out);
+  out->push_back(&score_bias_);
+}
+
+}  // namespace atnn::core

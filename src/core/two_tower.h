@@ -1,0 +1,68 @@
+#ifndef ATNN_CORE_TWO_TOWER_H_
+#define ATNN_CORE_TWO_TOWER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/schema.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace atnn::core {
+
+/// Configuration of a two-tower CTR model (Section III-B of the paper).
+struct TwoTowerConfig {
+  /// Architecture of both towers (the paper uses identical structures).
+  nn::TowerConfig tower;
+  /// When false, the item tower consumes item profiles only — the
+  /// "profile-only trained" condition of Table I's cold-start column.
+  bool use_item_stats = true;
+  uint64_t seed = 7;
+};
+
+/// Two-tower neural network: a user tower and an item tower producing
+/// explicit user/item vectors; the CTR logit is their dot product plus a
+/// learned global bias. With TowerKind::kFullyConnected this is the TNN-FC
+/// baseline, with kDeepCross it is TNN-DCN.
+class TwoTowerModel : public nn::Module {
+ public:
+  TwoTowerModel(const data::FeatureSchema& user_schema,
+                const data::FeatureSchema& item_profile_schema,
+                const data::FeatureSchema& item_stats_schema,
+                const TwoTowerConfig& config);
+
+  /// User vector f_u(X_u): [batch, output_dim].
+  nn::Var UserVector(const data::BlockBatch& user) const;
+
+  /// Item vector f_i(X_i) from profiles (+ statistics when configured).
+  nn::Var ItemVector(const data::BlockBatch& item_profile,
+                     const data::BlockBatch& item_stats) const;
+
+  /// CTR logits H(item_vec, user_vec) = <i, u> + b for aligned rows.
+  nn::Var ScoreLogits(const nn::Var& item_vec, const nn::Var& user_vec) const;
+
+  /// Convenience: click probabilities for a gathered batch (no gradient).
+  std::vector<double> PredictCtr(const data::BlockBatch& user,
+                                 const data::BlockBatch& item_profile,
+                                 const data::BlockBatch& item_stats) const;
+
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+
+  const TwoTowerConfig& config() const { return config_; }
+  int64_t vector_dim() const { return config_.tower.output_dim; }
+
+ private:
+  TwoTowerConfig config_;
+  std::unique_ptr<nn::EmbeddingBag> user_bag_;
+  std::unique_ptr<nn::EmbeddingBag> item_profile_bag_;
+  std::unique_ptr<nn::Tower> user_tower_;
+  std::unique_ptr<nn::Tower> item_tower_;
+  nn::Parameter score_bias_;  // [1,1]
+  int64_t user_num_numeric_ = 0;
+  int64_t item_profile_num_numeric_ = 0;
+  int64_t item_stats_num_numeric_ = 0;
+};
+
+}  // namespace atnn::core
+
+#endif  // ATNN_CORE_TWO_TOWER_H_

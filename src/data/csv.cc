@@ -1,0 +1,225 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "data/tmall.h"
+
+namespace atnn::data {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+Status ParseInt(const std::string& text, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return Status::Corruption("bad integer: '" + text + "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ParseFloat(const std::string& text, float* out) {
+  errno = 0;
+  char* end = nullptr;
+  const float value = std::strtof(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return Status::Corruption("bad float: '" + text + "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteEntityTableCsv(const EntityTable& table,
+                           const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const FeatureSchema& schema = table.schema();
+  // Header in declaration order.
+  for (size_t f = 0; f < schema.num_features(); ++f) {
+    if (f > 0) file << ',';
+    file << schema.features()[f].name;
+  }
+  file << '\n';
+  file.precision(9);
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    size_t cat = 0;
+    size_t num = 0;
+    for (size_t f = 0; f < schema.num_features(); ++f) {
+      if (f > 0) file << ',';
+      if (schema.features()[f].kind == FeatureKind::kCategorical) {
+        file << table.categorical(cat++, row);
+      } else {
+        file << table.numeric(num++, row);
+      }
+    }
+    file << '\n';
+  }
+  file.flush();
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<EntityTable> ReadEntityTableCsv(SchemaPtr schema,
+                                         const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line)) {
+    return Status::Corruption("empty CSV: " + path);
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.size() != schema->num_features()) {
+    return Status::Corruption("header has " + std::to_string(header.size()) +
+                              " columns, schema expects " +
+                              std::to_string(schema->num_features()));
+  }
+  for (size_t f = 0; f < header.size(); ++f) {
+    if (header[f] != schema->features()[f].name) {
+      return Status::Corruption("column " + std::to_string(f) + " is '" +
+                                header[f] + "', schema expects '" +
+                                schema->features()[f].name + "'");
+    }
+  }
+
+  // Two passes would need a seekable stream; buffer rows instead.
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    rows.push_back(SplitCsvLine(line));
+    if (rows.back().size() != schema->num_features()) {
+      return Status::Corruption(
+          "row " + std::to_string(rows.size()) + " has " +
+          std::to_string(rows.back().size()) + " fields");
+    }
+  }
+
+  EntityTable table(schema, static_cast<int64_t>(rows.size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    size_t cat = 0;
+    size_t num = 0;
+    for (size_t f = 0; f < schema->num_features(); ++f) {
+      if (schema->features()[f].kind == FeatureKind::kCategorical) {
+        int64_t value = 0;
+        ATNN_RETURN_IF_ERROR(ParseInt(rows[r][f], &value));
+        if (value < 0 || value >= schema->features()[f].vocab_size) {
+          return Status::Corruption(
+              "row " + std::to_string(r) + ": categorical value " +
+              std::to_string(value) + " out of vocab for " +
+              schema->features()[f].name);
+        }
+        table.set_categorical(cat++, static_cast<int64_t>(r), value);
+      } else {
+        float value = 0.0f;
+        ATNN_RETURN_IF_ERROR(ParseFloat(rows[r][f], &value));
+        table.set_numeric(num++, static_cast<int64_t>(r), value);
+      }
+    }
+  }
+  return table;
+}
+
+Status WriteInteractionsCsv(const std::vector<int64_t>& users,
+                            const std::vector<int64_t>& items,
+                            const std::vector<float>& labels,
+                            const std::string& path) {
+  if (users.size() != items.size() || users.size() != labels.size()) {
+    return Status::InvalidArgument("misaligned interaction columns");
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  file << "user_id,item_id,label\n";
+  for (size_t i = 0; i < users.size(); ++i) {
+    file << users[i] << ',' << items[i] << ',' << labels[i] << '\n';
+  }
+  file.flush();
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<InteractionLog> ReadInteractionsCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line) || line != "user_id,item_id,label") {
+    return Status::Corruption("bad interactions header in " + path);
+  }
+  InteractionLog log;
+  size_t row = 0;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    ++row;
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 3) {
+      return Status::Corruption("row " + std::to_string(row) +
+                                " has wrong field count");
+    }
+    int64_t user = 0;
+    int64_t item = 0;
+    float label = 0.0f;
+    ATNN_RETURN_IF_ERROR(ParseInt(fields[0], &user));
+    ATNN_RETURN_IF_ERROR(ParseInt(fields[1], &item));
+    ATNN_RETURN_IF_ERROR(ParseFloat(fields[2], &label));
+    log.users.push_back(user);
+    log.items.push_back(item);
+    log.labels.push_back(label);
+  }
+  return log;
+}
+
+Status ExportTmallDatasetCsv(const TmallDataset& dataset,
+                             const std::string& directory) {
+  ATNN_RETURN_IF_ERROR(
+      WriteEntityTableCsv(dataset.users, directory + "/users.csv"));
+  ATNN_RETURN_IF_ERROR(WriteEntityTableCsv(
+      dataset.item_profiles, directory + "/item_profiles.csv"));
+  ATNN_RETURN_IF_ERROR(WriteEntityTableCsv(dataset.item_stats,
+                                           directory + "/item_stats.csv"));
+  ATNN_RETURN_IF_ERROR(WriteInteractionsCsv(
+      dataset.interaction_user, dataset.interaction_item, dataset.labels,
+      directory + "/interactions.csv"));
+
+  // Split membership: one row per interaction, "train" or "test".
+  std::ofstream splits(directory + "/splits.csv", std::ios::trunc);
+  if (!splits.is_open()) {
+    return Status::IoError("cannot open for writing: " + directory +
+                           "/splits.csv");
+  }
+  std::vector<char> is_test(dataset.labels.size(), 0);
+  for (int64_t idx : dataset.test_indices) {
+    is_test[static_cast<size_t>(idx)] = 1;
+  }
+  splits << "interaction,split\n";
+  for (size_t i = 0; i < is_test.size(); ++i) {
+    splits << i << ',' << (is_test[i] ? "test" : "train") << '\n';
+  }
+  splits.flush();
+  if (!splits.good()) {
+    return Status::IoError("write failed: " + directory + "/splits.csv");
+  }
+  return Status::OK();
+}
+
+}  // namespace atnn::data

@@ -1,0 +1,47 @@
+#ifndef ATNN_DATA_CSV_H_
+#define ATNN_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace atnn::data {
+
+/// Writes an entity table as CSV: a header row with feature names (in
+/// schema declaration order), then one row per entity. Categorical values
+/// are written as integer ids, numerics with full float precision.
+Status WriteEntityTableCsv(const EntityTable& table, const std::string& path);
+
+/// Reads a CSV written by WriteEntityTableCsv back into a table under the
+/// given schema. Fails with Corruption on header/schema mismatch, bad
+/// field counts, unparsable values, or out-of-vocabulary categorical ids.
+StatusOr<EntityTable> ReadEntityTableCsv(SchemaPtr schema,
+                                         const std::string& path);
+
+/// Writes an interaction log (user, item, label) as CSV.
+Status WriteInteractionsCsv(const std::vector<int64_t>& users,
+                            const std::vector<int64_t>& items,
+                            const std::vector<float>& labels,
+                            const std::string& path);
+
+/// Reads an interaction log written by WriteInteractionsCsv.
+struct InteractionLog {
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  std::vector<float> labels;
+};
+StatusOr<InteractionLog> ReadInteractionsCsv(const std::string& path);
+
+/// Dumps a full Tmall dataset to `directory` (which must exist) as
+/// users.csv, item_profiles.csv, item_stats.csv, interactions.csv and
+/// splits.csv (interaction index -> train/test). For offline exploration
+/// with external tooling; the hidden ground truth is deliberately NOT
+/// exported (models and analyses must not see it).
+Status ExportTmallDatasetCsv(const struct TmallDataset& dataset,
+                             const std::string& directory);
+
+}  // namespace atnn::data
+
+#endif  // ATNN_DATA_CSV_H_

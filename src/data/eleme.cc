@@ -1,0 +1,300 @@
+#include "data/eleme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace atnn::data {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+FeatureSchema MakeRestaurantProfileSchema(const ElemeConfig& cfg) {
+  std::vector<FeatureSpec> features;
+  features.push_back(FeatureSpec::Categorical("brand", cfg.num_brands, 16));
+  features.push_back(
+      FeatureSpec::Categorical("location_cell", cfg.num_cells, 16));
+  features.push_back(FeatureSpec::Categorical("theme", cfg.num_themes, 4));
+  features.push_back(
+      FeatureSpec::Categorical("cuisine", cfg.num_cuisines, 8));
+  features.push_back(FeatureSpec::Categorical("price_tier", 5, 4));
+  features.push_back(FeatureSpec::Numeric("nearby_similar_count"));
+  features.push_back(FeatureSpec::Numeric("cell_overall_vppv"));
+  features.push_back(FeatureSpec::Numeric("cell_overall_gmv"));
+  features.push_back(FeatureSpec::Numeric("cell_overall_ctr"));
+  features.push_back(FeatureSpec::Numeric("brand_scale"));
+  features.push_back(FeatureSpec::Numeric("menu_size"));
+  features.push_back(FeatureSpec::Numeric("avg_price_log"));
+  features.push_back(FeatureSpec::Numeric("photo_quality"));
+  features.push_back(FeatureSpec::Numeric("rating_prior"));
+  features.push_back(FeatureSpec::Numeric("delivery_radius"));
+  for (int d = 0; d < 8; ++d) {
+    features.push_back(FeatureSpec::Numeric("r_proj_" + std::to_string(d)));
+  }
+  return FeatureSchema(std::move(features));
+}
+
+FeatureSchema MakeRestaurantStatsSchema() {
+  std::vector<FeatureSpec> features;
+  features.push_back(FeatureSpec::Numeric("pv_30d_log"));
+  features.push_back(FeatureSpec::Numeric("orders_30d_log"));
+  features.push_back(FeatureSpec::Numeric("gmv_30d_log"));
+  features.push_back(FeatureSpec::Numeric("vppv_30d"));
+  features.push_back(FeatureSpec::Numeric("reorder_rate"));
+  features.push_back(FeatureSpec::Numeric("rating"));
+  features.push_back(FeatureSpec::Numeric("fav_count_log"));
+  for (int d = 0; d < 8; ++d) {
+    features.push_back(FeatureSpec::Numeric("b_proj_" + std::to_string(d)));
+  }
+  return FeatureSchema(std::move(features));
+}
+
+FeatureSchema MakeUserGroupSchema(const ElemeConfig& cfg) {
+  std::vector<FeatureSpec> features;
+  features.push_back(FeatureSpec::Categorical("cell_id", cfg.num_cells, 16));
+  features.push_back(FeatureSpec::Categorical("city_tier", 4, 2));
+  features.push_back(FeatureSpec::Numeric("group_size_log"));
+  features.push_back(FeatureSpec::Numeric("avg_order_value"));
+  features.push_back(FeatureSpec::Numeric("orders_per_user"));
+  features.push_back(FeatureSpec::Numeric("student_fraction"));
+  features.push_back(FeatureSpec::Numeric("office_fraction"));
+  for (int d = 0; d < 8; ++d) {
+    features.push_back(FeatureSpec::Numeric("taste_" + std::to_string(d)));
+  }
+  return FeatureSchema(std::move(features));
+}
+
+}  // namespace
+
+ElemeDataset GenerateElemeDataset(const ElemeConfig& config) {
+  ATNN_CHECK(config.num_restaurants > 0);
+  ATNN_CHECK(config.num_cells > 0);
+  ATNN_CHECK(config.latent_dim > 0);
+  // The schemas expose exactly 8 latent projections.
+  ATNN_CHECK_LE(config.latent_dim, 8);
+
+  ElemeDataset ds;
+  ds.config = config;
+  ds.restaurant_profile_schema =
+      std::make_shared<FeatureSchema>(MakeRestaurantProfileSchema(config));
+  ds.restaurant_stats_schema =
+      std::make_shared<FeatureSchema>(MakeRestaurantStatsSchema());
+  ds.user_group_schema =
+      std::make_shared<FeatureSchema>(MakeUserGroupSchema(config));
+
+  const int64_t total = ds.total_restaurants();
+  const int k = config.latent_dim;
+  ds.restaurant_profiles = EntityTable(ds.restaurant_profile_schema, total);
+  ds.restaurant_stats = EntityTable(ds.restaurant_stats_schema, total);
+  ds.user_groups = EntityTable(ds.user_group_schema, config.num_cells);
+
+  Rng root(config.seed);
+  Rng world_rng = root.Fork(11);
+  Rng cell_rng = root.Fork(12);
+  Rng rest_rng = root.Fork(13);
+  Rng label_rng = root.Fork(14);
+
+  // --- world structure ---
+  std::vector<double> cuisine_centroid(
+      static_cast<size_t>(config.num_cuisines * k));
+  for (double& v : cuisine_centroid) v = world_rng.Normal();
+  std::vector<double> brand_quality(static_cast<size_t>(config.num_brands));
+  for (double& v : brand_quality) v = world_rng.Normal(0.0, 0.6);
+  std::vector<double> brand_scale(static_cast<size_t>(config.num_brands));
+  for (double& v : brand_scale) v = world_rng.LogNormal(2.0, 1.0);
+
+  // --- user groups (location cells) ---
+  std::vector<double> cell_taste(static_cast<size_t>(config.num_cells * k));
+  std::vector<double> cell_traffic(static_cast<size_t>(config.num_cells));
+  std::vector<double> cell_order_value(static_cast<size_t>(config.num_cells));
+  for (int64_t c = 0; c < config.num_cells; ++c) {
+    double* taste = &cell_taste[static_cast<size_t>(c * k)];
+    for (int d = 0; d < k; ++d) taste[d] = cell_rng.Normal();
+    cell_traffic[size_t(c)] = cell_rng.LogNormal(7.0, 0.6);
+    cell_order_value[size_t(c)] = cell_rng.LogNormal(3.2, 0.3);
+
+    ds.user_groups.set_categorical(0, c, c);
+    ds.user_groups.set_categorical(1, c,
+                                   int64_t(cell_rng.Zipf(4, 0.8)));
+    ds.user_groups.set_numeric(0, c,
+                               float(std::log(cell_traffic[size_t(c)])));
+    ds.user_groups.set_numeric(1, c, float(cell_order_value[size_t(c)]));
+    ds.user_groups.set_numeric(2, c, float(cell_rng.LogNormal(1.0, 0.3)));
+    const double student = cell_rng.Uniform();
+    ds.user_groups.set_numeric(3, c, float(student));
+    ds.user_groups.set_numeric(4, c, float((1.0 - student) *
+                                           cell_rng.Uniform()));
+    // Mean user taste vector, observed with mild aggregation noise — this
+    // is the "mean user features replace single-user features" device.
+    for (int d = 0; d < 8; ++d) {
+      const double proj = d < k ? taste[d] : 0.0;
+      ds.user_groups.set_numeric(size_t(5 + d), c,
+                                 float(proj + cell_rng.Normal(0.0, 0.1)));
+    }
+  }
+
+  // --- restaurants ---
+  ds.restaurant_cell.resize(static_cast<size_t>(total));
+  ds.true_vppv.resize(static_cast<size_t>(total));
+  ds.true_gmv.resize(static_cast<size_t>(total));
+  ds.true_quality.resize(static_cast<size_t>(total));
+  std::vector<int64_t> per_cell_count(static_cast<size_t>(config.num_cells),
+                                      0);
+  for (int64_t r = 0; r < total; ++r) {
+    const auto cell = int64_t(rest_rng.Zipf(size_t(config.num_cells), 0.7));
+    const auto brand = int64_t(rest_rng.Zipf(size_t(config.num_brands), 1.0));
+    const auto cuisine =
+        int64_t(rest_rng.Zipf(size_t(config.num_cuisines), 0.9));
+    const auto theme = int64_t(rest_rng.Zipf(size_t(config.num_themes), 0.8));
+    ds.restaurant_cell[size_t(r)] = cell;
+    ++per_cell_count[size_t(cell)];
+
+    std::vector<double> rho(static_cast<size_t>(k));
+    const double* centroid = &cuisine_centroid[static_cast<size_t>(
+        cuisine * k)];
+    for (int d = 0; d < k; ++d) {
+      rho[size_t(d)] = 0.6 * centroid[d] + 0.8 * rest_rng.Normal();
+    }
+    const double quality = 0.6 * rest_rng.Normal() +
+                           0.5 * brand_quality[size_t(brand)];
+    ds.true_quality[size_t(r)] = quality;
+
+    const double* taste = &cell_taste[static_cast<size_t>(cell * k)];
+    double fit = 0.0;
+    for (int d = 0; d < k; ++d) fit += taste[d] * rho[size_t(d)];
+    fit /= std::sqrt(double(k));
+
+    const double price_log = 2.5 + 0.4 * rest_rng.Normal() + 0.15 * quality;
+    const auto price_tier = std::clamp<int64_t>(
+        static_cast<int64_t>((price_log - 1.6) / 0.5), 0, 4);
+
+    // Ground-truth expectations for the recruiting simulator and labels.
+    const double vppv_expected = Sigmoid(-1.1 + 0.9 * fit + 0.7 * quality);
+    const double pv_expected =
+        cell_traffic[size_t(cell)] * 0.02 *
+        std::exp(0.3 * quality + 0.2 * fit);
+    const double gmv_expected =
+        pv_expected * vppv_expected * cell_order_value[size_t(cell)] * 0.6;
+    ds.true_vppv[size_t(r)] = vppv_expected;
+    ds.true_gmv[size_t(r)] = gmv_expected;
+
+    ds.restaurant_profiles.set_categorical(0, r, brand);
+    ds.restaurant_profiles.set_categorical(1, r, cell);
+    ds.restaurant_profiles.set_categorical(2, r, theme);
+    ds.restaurant_profiles.set_categorical(3, r, cuisine);
+    ds.restaurant_profiles.set_categorical(4, r, price_tier);
+
+    ds.restaurant_profiles.set_numeric(
+        0, r, float(std::log1p(double(per_cell_count[size_t(cell)]))));
+    ds.restaurant_profiles.set_numeric(
+        1, r, float(0.25 + rest_rng.Normal(0.0, 0.05)));
+    ds.restaurant_profiles.set_numeric(
+        2, r, float(std::log1p(cell_traffic[size_t(cell)] *
+                               cell_order_value[size_t(cell)] * 0.001)));
+    ds.restaurant_profiles.set_numeric(
+        3, r, float(0.1 + rest_rng.Normal(0.0, 0.02)));
+    ds.restaurant_profiles.set_numeric(
+        4, r, float(std::log(brand_scale[size_t(brand)])));
+    ds.restaurant_profiles.set_numeric(
+        5, r, float(rest_rng.LogNormal(3.0, 0.4)));
+    ds.restaurant_profiles.set_numeric(6, r, float(price_log));
+    ds.restaurant_profiles.set_numeric(
+        7, r, float(0.5 * quality + rest_rng.Normal(0.0, 0.7)));
+    ds.restaurant_profiles.set_numeric(
+        8, r, float(3.8 + 0.4 * quality + rest_rng.Normal(0.0, 0.4)));
+    ds.restaurant_profiles.set_numeric(
+        9, r, float(rest_rng.Uniform(1.0, 5.0)));
+    for (int d = 0; d < 8; ++d) {
+      const double proj = d < k ? rho[size_t(d)] : 0.0;
+      ds.restaurant_profiles.set_numeric(
+          size_t(10 + d), r,
+          float(proj + rest_rng.Normal(0.0, config.profile_noise)));
+    }
+
+    // Trainside restaurants carry two distinct observations:
+    //   - statistics features: *lifetime* aggregates, i.e. low-noise
+    //     estimates of the expected VpPV/traffic (the store has operated
+    //     long before the training window), and
+    //   - labels: the realized *first-30-day* window, a single noisy draw.
+    // This separation is what makes the encoder a denoised distillation
+    // target for the generator (Table IV's mechanism).
+    if (r < config.num_restaurants) {
+      const double pv_stat =
+          pv_expected * std::exp(label_rng.Normal(0, config.stats_noise));
+      const double vppv_stat =
+          vppv_expected * std::exp(label_rng.Normal(0, config.stats_noise));
+      const double gmv_stat =
+          pv_stat * vppv_stat * cell_order_value[size_t(cell)] * 0.6;
+      const double orders_stat = gmv_stat / cell_order_value[size_t(cell)];
+      ds.restaurant_stats.set_numeric(0, r, float(std::log1p(pv_stat)));
+      ds.restaurant_stats.set_numeric(1, r, float(std::log1p(orders_stat)));
+      ds.restaurant_stats.set_numeric(2, r, float(std::log1p(gmv_stat)));
+      ds.restaurant_stats.set_numeric(3, r, float(vppv_stat));
+      ds.restaurant_stats.set_numeric(
+          4, r, float(Sigmoid(0.7 * quality + label_rng.Normal(0, 0.3))));
+      ds.restaurant_stats.set_numeric(
+          5, r, float(3.6 + 0.8 * quality + label_rng.Normal(0, 0.2)));
+      ds.restaurant_stats.set_numeric(
+          6, r, float(std::log1p(pv_stat * 0.01 *
+                                 std::exp(label_rng.Normal(0, 0.3)))));
+      for (int d = 0; d < 8; ++d) {
+        const double proj = d < k ? rho[size_t(d)] : 0.0;
+        ds.restaurant_stats.set_numeric(
+            size_t(7 + d), r,
+            float(proj + label_rng.Normal(0.0, config.stats_noise)));
+      }
+      // Labels: one noisy 30-day realization.
+      const double pv_real =
+          pv_expected * std::exp(label_rng.Normal(0, config.label_noise));
+      const double vppv_real =
+          vppv_expected * std::exp(label_rng.Normal(0, config.label_noise));
+      const double gmv_real =
+          pv_real * vppv_real * cell_order_value[size_t(cell)] * 0.6;
+      ds.vppv_labels.push_back(float(vppv_real));
+      ds.gmv_labels.push_back(float(std::log1p(gmv_real)));
+    }
+  }
+
+  // --- split over trainside restaurants ---
+  std::vector<int64_t> order(static_cast<size_t>(config.num_restaurants));
+  std::iota(order.begin(), order.end(), 0);
+  Rng split_rng = root.Fork(15);
+  split_rng.Shuffle(&order);
+  const auto test_count = static_cast<size_t>(
+      double(config.num_restaurants) * config.test_fraction);
+  ds.test_indices.assign(order.begin(), order.begin() + test_count);
+  ds.train_indices.assign(order.begin() + test_count, order.end());
+
+  ds.new_restaurants.resize(static_cast<size_t>(config.num_new_restaurants));
+  std::iota(ds.new_restaurants.begin(), ds.new_restaurants.end(),
+            config.num_restaurants);
+
+  return ds;
+}
+
+ElemeBatch MakeElemeBatch(const ElemeDataset& dataset,
+                          const std::vector<int64_t>& restaurant_rows) {
+  ElemeBatch batch;
+  std::vector<int64_t> cell_rows;
+  cell_rows.reserve(restaurant_rows.size());
+  const auto n = static_cast<int64_t>(restaurant_rows.size());
+  batch.vppv = nn::Tensor(n, 1);
+  batch.gmv = nn::Tensor(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t row = restaurant_rows[static_cast<size_t>(i)];
+    cell_rows.push_back(dataset.restaurant_cell[static_cast<size_t>(row)]);
+    if (row < dataset.config.num_restaurants) {
+      batch.vppv.at(i, 0) = dataset.vppv_labels[static_cast<size_t>(row)];
+      batch.gmv.at(i, 0) = dataset.gmv_labels[static_cast<size_t>(row)];
+    }
+  }
+  batch.restaurant_profile =
+      GatherBlock(dataset.restaurant_profiles, restaurant_rows);
+  batch.restaurant_stats =
+      GatherBlock(dataset.restaurant_stats, restaurant_rows);
+  batch.user_group = GatherBlock(dataset.user_groups, cell_rows);
+  return batch;
+}
+
+}  // namespace atnn::data

@@ -1,0 +1,99 @@
+#ifndef ATNN_DATA_ELEME_H_
+#define ATNN_DATA_ELEME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+
+namespace atnn::data {
+
+/// Parameters of the synthetic Ele.me-like food-delivery world (Section V
+/// of the paper). Restaurants sign up with profile features only; realized
+/// 30-day VpPV and GMV become labels. Users are aggregated into location
+/// cells ("user groups") because delivery is location-sensitive.
+struct ElemeConfig {
+  /// Restaurants with realized first-30-day statistics (training pool).
+  int64_t num_restaurants = 8000;
+  /// Fresh applicants with profile only (online-experiment pool).
+  int64_t num_new_restaurants = 2000;
+  int64_t num_cells = 150;
+
+  int latent_dim = 8;
+  double profile_noise = 0.8;
+  double stats_noise = 0.1;
+  double label_noise = 0.35;
+
+  double test_fraction = 0.2;
+
+  int64_t num_brands = 300;
+  int64_t num_themes = 12;
+  int64_t num_cuisines = 30;
+
+  uint64_t seed = 777;
+};
+
+/// Materialized food-delivery dataset plus hidden ground truth.
+struct ElemeDataset {
+  ElemeConfig config;
+
+  SchemaPtr restaurant_profile_schema;
+  SchemaPtr restaurant_stats_schema;
+  SchemaPtr user_group_schema;
+
+  /// Restaurant tables have num_restaurants + num_new_restaurants rows;
+  /// the stats rows of new restaurants are zeros and must not be used.
+  EntityTable restaurant_profiles;
+  EntityTable restaurant_stats;
+  EntityTable user_groups;
+
+  /// Location cell (= user group row) of each restaurant.
+  std::vector<int64_t> restaurant_cell;
+
+  /// Regression labels for trainside restaurants (indices
+  /// [0, num_restaurants)): value-per-page-view in (0,1) and log1p of the
+  /// 30-day GMV.
+  std::vector<float> vppv_labels;
+  std::vector<float> gmv_labels;
+
+  /// 80/20 split over trainside restaurant rows.
+  std::vector<int64_t> train_indices;
+  std::vector<int64_t> test_indices;
+
+  /// Row range [num_restaurants, num_restaurants + num_new_restaurants).
+  std::vector<int64_t> new_restaurants;
+
+  // --- hidden ground truth (for the recruiting simulator) ---
+  /// Expected per-view value and expected raw 30-day GMV for every
+  /// restaurant (train + new).
+  std::vector<double> true_vppv;
+  std::vector<double> true_gmv;
+  /// Latent quality (drives the expert baseline's partial signal).
+  std::vector<double> true_quality;
+
+  int64_t total_restaurants() const {
+    return config.num_restaurants + config.num_new_restaurants;
+  }
+};
+
+/// Generates the food-delivery world deterministically from config.seed.
+ElemeDataset GenerateElemeDataset(const ElemeConfig& config);
+
+/// Mini-batch for the multi-task model: restaurant profile block,
+/// statistics block, user-group block and the two regression targets.
+struct ElemeBatch {
+  BlockBatch restaurant_profile;
+  BlockBatch restaurant_stats;
+  BlockBatch user_group;
+  nn::Tensor vppv;  // [n, 1]
+  nn::Tensor gmv;   // [n, 1]
+};
+
+/// Gathers the given trainside restaurant rows into a batch.
+ElemeBatch MakeElemeBatch(const ElemeDataset& dataset,
+                          const std::vector<int64_t>& restaurant_rows);
+
+}  // namespace atnn::data
+
+#endif  // ATNN_DATA_ELEME_H_

@@ -1,0 +1,67 @@
+#include "data/normalize.h"
+
+#include <cmath>
+
+namespace atnn::data {
+
+namespace {
+constexpr float kMinStddev = 1e-6f;
+}  // namespace
+
+Normalizer Normalizer::Fit(const EntityTable& table,
+                           const std::vector<int64_t>& rows) {
+  const size_t cols = table.schema().num_numeric();
+  Normalizer result;
+  result.means_.assign(cols, 0.0f);
+  result.stddevs_.assign(cols, 1.0f);
+
+  std::vector<int64_t> all_rows;
+  const std::vector<int64_t>* use_rows = &rows;
+  if (rows.empty()) {
+    all_rows.resize(static_cast<size_t>(table.num_rows()));
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      all_rows[static_cast<size_t>(r)] = r;
+    }
+    use_rows = &all_rows;
+  }
+  if (use_rows->empty()) return result;
+
+  const double n = static_cast<double>(use_rows->size());
+  for (size_t c = 0; c < cols; ++c) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int64_t row : *use_rows) {
+      const double v = table.numeric(c, row);
+      sum += v;
+      sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double variance = std::max(sum_sq / n - mean * mean, 0.0);
+    result.means_[c] = static_cast<float>(mean);
+    result.stddevs_[c] =
+        std::max(static_cast<float>(std::sqrt(variance)), kMinStddev);
+  }
+  return result;
+}
+
+void Normalizer::Apply(EntityTable* table) const {
+  ATNN_CHECK_EQ(num_columns(), table->schema().num_numeric());
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      const float v = table->numeric(c, r);
+      table->set_numeric(c, r, (v - means_[c]) / stddevs_[c]);
+    }
+  }
+}
+
+void Normalizer::Apply(nn::Tensor* numeric) const {
+  ATNN_CHECK_EQ(static_cast<size_t>(numeric->cols()), num_columns());
+  for (int64_t r = 0; r < numeric->rows(); ++r) {
+    float* row = numeric->row_ptr(r);
+    for (size_t c = 0; c < num_columns(); ++c) {
+      row[c] = (row[c] - means_[c]) / stddevs_[c];
+    }
+  }
+}
+
+}  // namespace atnn::data

@@ -1,0 +1,39 @@
+#ifndef ATNN_DATA_NORMALIZE_H_
+#define ATNN_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "data/schema.h"
+
+namespace atnn::data {
+
+/// Per-column standardization statistics (mean/stddev), fit on training
+/// rows only to avoid test-set leakage.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  /// Fits mean and stddev per numeric column over the given rows of the
+  /// table (all rows when `rows` is empty).
+  static Normalizer Fit(const EntityTable& table,
+                        const std::vector<int64_t>& rows = {});
+
+  /// In-place standardizes every numeric column of the table:
+  /// x -> (x - mean) / max(stddev, eps).
+  void Apply(EntityTable* table) const;
+
+  /// Standardizes a gathered numeric slab ([rows, num_numeric]).
+  void Apply(nn::Tensor* numeric) const;
+
+  size_t num_columns() const { return means_.size(); }
+  float mean(size_t c) const { return means_[c]; }
+  float stddev(size_t c) const { return stddevs_[c]; }
+
+ private:
+  std::vector<float> means_;
+  std::vector<float> stddevs_;
+};
+
+}  // namespace atnn::data
+
+#endif  // ATNN_DATA_NORMALIZE_H_

@@ -1,0 +1,69 @@
+#include "data/schema.h"
+
+namespace atnn::data {
+
+FeatureSchema::FeatureSchema(std::vector<FeatureSpec> features)
+    : features_(std::move(features)) {
+  for (size_t i = 0; i < features_.size(); ++i) {
+    const FeatureSpec& spec = features_[i];
+    if (spec.kind == FeatureKind::kCategorical) {
+      ATNN_CHECK(spec.vocab_size > 0) << "feature " << spec.name;
+      ATNN_CHECK(spec.embed_dim > 0) << "feature " << spec.name;
+      categorical_indices_.push_back(i);
+    } else {
+      numeric_indices_.push_back(i);
+    }
+  }
+}
+
+int64_t FeatureSchema::TotalEmbedDim() const {
+  int64_t total = 0;
+  for (size_t idx : categorical_indices_) total += features_[idx].embed_dim;
+  return total;
+}
+
+EntityTable::EntityTable(SchemaPtr schema, int64_t num_rows)
+    : schema_(std::move(schema)),
+      num_rows_(num_rows),
+      numeric_(num_rows, static_cast<int64_t>(schema_->num_numeric())) {
+  ATNN_CHECK(schema_ != nullptr);
+  ATNN_CHECK(num_rows >= 0);
+  categorical_.resize(schema_->num_categorical());
+  for (auto& column : categorical_) {
+    column.assign(static_cast<size_t>(num_rows), 0);
+  }
+}
+
+void EntityTable::set_categorical(size_t field, int64_t row, int64_t value) {
+  ATNN_DCHECK(field < categorical_.size());
+  const int64_t vocab = schema_->categorical_spec(field).vocab_size;
+  ATNN_CHECK(value >= 0 && value < vocab)
+      << "value " << value << " out of vocab " << vocab << " for field "
+      << schema_->categorical_spec(field).name;
+  categorical_[field][static_cast<size_t>(row)] = value;
+}
+
+BlockBatch GatherBlock(const EntityTable& table,
+                       const std::vector<int64_t>& rows) {
+  const FeatureSchema& schema = table.schema();
+  BlockBatch batch;
+  batch.categorical.resize(schema.num_categorical());
+  const auto batch_size = static_cast<int64_t>(rows.size());
+  for (size_t f = 0; f < schema.num_categorical(); ++f) {
+    batch.categorical[f].reserve(rows.size());
+    for (int64_t row : rows) {
+      batch.categorical[f].push_back(table.categorical(f, row));
+    }
+  }
+  batch.numeric = nn::Tensor(batch_size,
+                             static_cast<int64_t>(schema.num_numeric()));
+  for (int64_t r = 0; r < batch_size; ++r) {
+    const int64_t src = rows[static_cast<size_t>(r)];
+    for (size_t f = 0; f < schema.num_numeric(); ++f) {
+      batch.numeric.at(r, static_cast<int64_t>(f)) = table.numeric(f, src);
+    }
+  }
+  return batch;
+}
+
+}  // namespace atnn::data

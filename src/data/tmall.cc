@@ -1,0 +1,439 @@
+#include "data/tmall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace atnn::data {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Builds the 19-feature user-profile schema (7 categorical, 12 numeric),
+/// mirroring the raw-feature counts reported in the paper.
+FeatureSchema MakeUserSchema(const TmallConfig& cfg) {
+  std::vector<FeatureSpec> features;
+  features.push_back(FeatureSpec::Categorical("user_id", cfg.num_users, 16));
+  features.push_back(FeatureSpec::Categorical("gender", 3, 2));
+  features.push_back(FeatureSpec::Categorical("age_bucket", 8, 4));
+  features.push_back(
+      FeatureSpec::Categorical("location", cfg.num_locations, 8));
+  features.push_back(
+      FeatureSpec::Categorical("occupation", cfg.num_occupations, 8));
+  features.push_back(FeatureSpec::Categorical("purchase_power", 5, 4));
+  features.push_back(
+      FeatureSpec::Categorical("pref_category", cfg.num_categories, 16));
+  features.push_back(FeatureSpec::Numeric("activity"));
+  features.push_back(FeatureSpec::Numeric("days_active"));
+  features.push_back(FeatureSpec::Numeric("avg_basket_value"));
+  features.push_back(FeatureSpec::Numeric("avg_session_length"));
+  for (int d = 0; d < 8; ++d) {
+    features.push_back(FeatureSpec::Numeric("u_proj_" + std::to_string(d)));
+  }
+  ATNN_CHECK_EQ(features.size(), 19u);
+  return FeatureSchema(std::move(features));
+}
+
+/// Builds the 38-feature item-profile schema (7 categorical, 31 numeric).
+FeatureSchema MakeItemProfileSchema(const TmallConfig& cfg) {
+  std::vector<FeatureSpec> features;
+  features.push_back(
+      FeatureSpec::Categorical("category", cfg.num_categories, 6));
+  features.push_back(
+      FeatureSpec::Categorical("subcategory", cfg.num_subcategories, 16));
+  features.push_back(FeatureSpec::Categorical("brand", cfg.num_brands, 16));
+  features.push_back(FeatureSpec::Categorical("seller", cfg.num_sellers, 16));
+  features.push_back(FeatureSpec::Categorical("price_bucket", 10, 4));
+  features.push_back(FeatureSpec::Categorical("shipping_type", 4, 2));
+  features.push_back(FeatureSpec::Categorical("origin", 20, 4));
+  features.push_back(FeatureSpec::Numeric("price_log"));
+  features.push_back(FeatureSpec::Numeric("title_length"));
+  features.push_back(FeatureSpec::Numeric("num_images"));
+  features.push_back(FeatureSpec::Numeric("description_quality"));
+  features.push_back(FeatureSpec::Numeric("seller_reputation"));
+  features.push_back(FeatureSpec::Numeric("seller_scale"));
+  features.push_back(FeatureSpec::Numeric("listing_completeness"));
+  for (int d = 0; d < 8; ++d) {
+    features.push_back(FeatureSpec::Numeric("p_proj_" + std::to_string(d)));
+  }
+  for (int d = 0; d < 16; ++d) {
+    features.push_back(FeatureSpec::Numeric("p2_proj_" + std::to_string(d)));
+  }
+  ATNN_CHECK_EQ(features.size(), 38u);
+  return FeatureSchema(std::move(features));
+}
+
+/// Builds the 46-feature item-statistics schema (all numeric): counts and
+/// rates over 7/14/30-day windows plus a behaviour-embedding block.
+FeatureSchema MakeItemStatsSchema() {
+  std::vector<FeatureSpec> features;
+  const char* kWindows[] = {"7d", "14d", "30d"};
+  const char* kCounts[] = {"pv", "uv", "click", "cart", "fav", "purchase",
+                           "gmv"};
+  for (const char* window : kWindows) {
+    for (const char* count : kCounts) {
+      features.push_back(
+          FeatureSpec::Numeric(std::string(count) + "_" + window));
+    }
+  }
+  const char* kRates[] = {"ctr", "cart_rate", "fav_rate", "conversion"};
+  for (const char* window : kWindows) {
+    for (const char* rate : kRates) {
+      features.push_back(
+          FeatureSpec::Numeric(std::string(rate) + "_" + window));
+    }
+  }
+  for (int d = 0; d < 8; ++d) {
+    features.push_back(FeatureSpec::Numeric("b_proj_" + std::to_string(d)));
+  }
+  features.push_back(FeatureSpec::Numeric("return_rate"));
+  features.push_back(FeatureSpec::Numeric("avg_dwell_seconds"));
+  features.push_back(FeatureSpec::Numeric("search_ctr"));
+  features.push_back(FeatureSpec::Numeric("rec_ctr"));
+  features.push_back(FeatureSpec::Numeric("share_count"));
+  ATNN_CHECK_EQ(features.size(), 46u);
+  return FeatureSchema(std::move(features));
+}
+
+/// Samples an index from a cumulative weight table via binary search.
+int64_t SampleCdf(const std::vector<double>& cdf, Rng* rng) {
+  const double target = rng->Uniform() * cdf.back();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+  return std::min<int64_t>(static_cast<int64_t>(it - cdf.begin()),
+                           static_cast<int64_t>(cdf.size()) - 1);
+}
+
+}  // namespace
+
+double TmallDataset::TrueClickProbability(int64_t user, int64_t item) const {
+  const int k = config.latent_dim;
+  const double* theta = &user_latents[static_cast<size_t>(user * k)];
+  const double* phi = &item_latents[static_cast<size_t>(item * k)];
+  double dot = 0.0;
+  for (int d = 0; d < k; ++d) dot += theta[d] * phi[d];
+  const double logit = config.base_logit +
+                       config.affinity_scale * dot / std::sqrt(double(k)) +
+                       user_bias[static_cast<size_t>(user)] +
+                       config.quality_scale * true_quality[size_t(item)];
+  return Sigmoid(logit);
+}
+
+TmallDataset GenerateTmallDataset(const TmallConfig& config) {
+  ATNN_CHECK(config.num_users > 0);
+  ATNN_CHECK(config.num_items > 0);
+  ATNN_CHECK(config.num_new_items >= 0);
+  ATNN_CHECK(config.latent_dim > 0);
+  ATNN_CHECK_EQ(config.num_subcategories, config.num_categories * 4);
+
+  TmallDataset ds;
+  ds.config = config;
+  ds.user_schema = std::make_shared<FeatureSchema>(MakeUserSchema(config));
+  ds.item_profile_schema =
+      std::make_shared<FeatureSchema>(MakeItemProfileSchema(config));
+  ds.item_stats_schema =
+      std::make_shared<FeatureSchema>(MakeItemStatsSchema());
+
+  const int64_t total_items = config.num_items + config.num_new_items;
+  const int k = config.latent_dim;
+  ds.users = EntityTable(ds.user_schema, config.num_users);
+  ds.item_profiles = EntityTable(ds.item_profile_schema, total_items);
+  ds.item_stats = EntityTable(ds.item_stats_schema, total_items);
+
+  Rng root(config.seed);
+  Rng world_rng = root.Fork(1);
+  Rng user_rng = root.Fork(2);
+  Rng item_rng = root.Fork(3);
+  Rng stats_rng = root.Fork(4);
+  Rng interact_rng = root.Fork(5);
+
+  // --- world structure ---
+  // Category centroids in latent space; items cluster around them so the
+  // category id is genuinely informative of the item latent.
+  std::vector<double> category_centroid(
+      static_cast<size_t>(config.num_categories * k));
+  for (double& v : category_centroid) v = world_rng.Normal();
+  std::vector<double> category_price(
+      static_cast<size_t>(config.num_categories));
+  for (double& v : category_price) v = world_rng.Normal(3.5, 0.8);
+  std::vector<double> brand_quality(static_cast<size_t>(config.num_brands));
+  for (double& v : brand_quality) v = world_rng.Normal(0.0, 0.6);
+  std::vector<double> seller_quality(static_cast<size_t>(config.num_sellers));
+  for (double& v : seller_quality) v = world_rng.Normal(0.0, 0.6);
+  // Fixed random projection exposing the item latent through 16 profile
+  // columns (a stand-in for text/image embeddings of the listing).
+  std::vector<double> profile_projection(static_cast<size_t>(k * 16));
+  for (double& v : profile_projection) {
+    v = world_rng.Normal(0.0, 1.0 / std::sqrt(double(k)));
+  }
+
+  // --- users ---
+  ds.user_latents.resize(static_cast<size_t>(config.num_users * k));
+  ds.user_bias.resize(static_cast<size_t>(config.num_users));
+  ds.user_activity.resize(static_cast<size_t>(config.num_users));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    double* theta = &ds.user_latents[static_cast<size_t>(u * k)];
+    for (int d = 0; d < k; ++d) theta[d] = user_rng.Normal();
+    ds.user_bias[size_t(u)] = user_rng.Normal(0.0, 0.3);
+    ds.user_activity[size_t(u)] = user_rng.LogNormal(0.0, 1.0);
+
+    ds.users.set_categorical(0, u, u);  // user_id
+    ds.users.set_categorical(1, u, int64_t(user_rng.UniformInt(uint64_t(3))));
+    ds.users.set_categorical(2, u, int64_t(user_rng.Zipf(8, 0.6)));
+    ds.users.set_categorical(
+        3, u, int64_t(user_rng.Zipf(size_t(config.num_locations), 0.9)));
+    ds.users.set_categorical(
+        4, u, int64_t(user_rng.Zipf(size_t(config.num_occupations), 0.7)));
+    const auto power = int64_t(user_rng.Zipf(5, 0.5));
+    ds.users.set_categorical(5, u, power);
+    // Preferred category: argmax affinity against category centroids.
+    int64_t best_category = 0;
+    double best_affinity = -1e30;
+    for (int64_t c = 0; c < config.num_categories; ++c) {
+      double dot = 0.0;
+      const double* mu = &category_centroid[static_cast<size_t>(c * k)];
+      for (int d = 0; d < k; ++d) dot += theta[d] * mu[d];
+      if (dot > best_affinity) {
+        best_affinity = dot;
+        best_category = c;
+      }
+    }
+    ds.users.set_categorical(6, u, best_category);
+
+    ds.users.set_numeric(
+        0, u, float(std::log(ds.user_activity[size_t(u)]) +
+                    user_rng.Normal(0.0, 0.2)));
+    ds.users.set_numeric(1, u, float(user_rng.Uniform(1.0, 1500.0)));
+    ds.users.set_numeric(
+        2, u, float(user_rng.LogNormal(3.0 + 0.4 * double(power), 0.5)));
+    ds.users.set_numeric(3, u, float(user_rng.LogNormal(1.5, 0.4)));
+    for (int d = 0; d < 8; ++d) {
+      const double proj = d < k ? theta[d] : 0.0;
+      ds.users.set_numeric(
+          size_t(4 + d), u,
+          float(proj + user_rng.Normal(0.0, config.user_profile_noise)));
+    }
+  }
+
+  // --- items (catalog then new arrivals; identical generative process) ---
+  ds.item_latents.resize(static_cast<size_t>(total_items * k));
+  ds.true_quality.resize(static_cast<size_t>(total_items));
+  ds.true_price.resize(static_cast<size_t>(total_items));
+  std::vector<int64_t> item_brand(static_cast<size_t>(total_items));
+  std::vector<int64_t> item_seller(static_cast<size_t>(total_items));
+  std::vector<double> item_price_log(static_cast<size_t>(total_items));
+  for (int64_t i = 0; i < total_items; ++i) {
+    const auto category =
+        int64_t(item_rng.Zipf(size_t(config.num_categories), 1.05));
+    const int64_t subcategory =
+        category * 4 + int64_t(item_rng.UniformInt(uint64_t(4)));
+    const auto brand = int64_t(item_rng.Zipf(size_t(config.num_brands), 1.0));
+    const auto seller =
+        int64_t(item_rng.Zipf(size_t(config.num_sellers), 1.0));
+    item_brand[size_t(i)] = brand;
+    item_seller[size_t(i)] = seller;
+
+    double* phi = &ds.item_latents[static_cast<size_t>(i * k)];
+    const double* mu = &category_centroid[static_cast<size_t>(category * k)];
+    for (int d = 0; d < k; ++d) {
+      phi[d] = 0.65 * mu[d] + 0.76 * item_rng.Normal();
+    }
+    const double quality = 0.6 * item_rng.Normal() +
+                           0.45 * brand_quality[size_t(brand)] +
+                           0.45 * seller_quality[size_t(seller)];
+    ds.true_quality[size_t(i)] = quality;
+
+    const double price_log = category_price[size_t(category)] +
+                             0.4 * item_rng.Normal() + 0.2 * quality;
+    item_price_log[size_t(i)] = price_log;
+    ds.true_price[size_t(i)] = std::exp(price_log);
+    const auto price_bucket = std::clamp<int64_t>(
+        static_cast<int64_t>((price_log - 1.0) / 0.6), 0, 9);
+
+    ds.item_profiles.set_categorical(0, i, category);
+    ds.item_profiles.set_categorical(1, i, subcategory);
+    ds.item_profiles.set_categorical(2, i, brand);
+    ds.item_profiles.set_categorical(3, i, seller);
+    ds.item_profiles.set_categorical(4, i, price_bucket);
+    ds.item_profiles.set_categorical(
+        5, i, int64_t(item_rng.UniformInt(uint64_t(4))));
+    ds.item_profiles.set_categorical(6, i, int64_t(item_rng.Zipf(20, 1.0)));
+
+    ds.item_profiles.set_numeric(0, i, float(price_log));
+    ds.item_profiles.set_numeric(1, i, float(item_rng.Normal(30.0, 8.0)));
+    ds.item_profiles.set_numeric(
+        2, i, float(item_rng.Poisson(std::max(0.5, 5.0 + quality))));
+    ds.item_profiles.set_numeric(
+        3, i, float(0.6 * quality + item_rng.Normal(0.0, 0.8)));
+    ds.item_profiles.set_numeric(
+        4, i,
+        float(seller_quality[size_t(seller)] + item_rng.Normal(0.0, 0.3)));
+    ds.item_profiles.set_numeric(
+        5, i, float(-std::log((double(seller) + 1.0) /
+                              double(config.num_sellers))));
+    ds.item_profiles.set_numeric(
+        6, i, float(Sigmoid(0.5 * quality + item_rng.Normal())));
+    for (int d = 0; d < 8; ++d) {
+      const double proj = d < k ? phi[d] : 0.0;
+      ds.item_profiles.set_numeric(
+          size_t(7 + d), i,
+          float(proj + item_rng.Normal(0.0, config.profile_noise)));
+    }
+    for (int d = 0; d < 16; ++d) {
+      double proj = 0.0;
+      for (int j = 0; j < k; ++j) {
+        proj += phi[j] * profile_projection[static_cast<size_t>(j * 16 + d)];
+      }
+      ds.item_profiles.set_numeric(
+          size_t(15 + d), i,
+          float(proj + item_rng.Normal(0.0, config.profile_noise)));
+    }
+  }
+
+  // --- ground-truth attractiveness (population mean click probability) ---
+  ds.true_attractiveness.resize(static_cast<size_t>(total_items));
+  const int64_t sample_users =
+      std::min(config.attractiveness_sample, config.num_users);
+  std::vector<int64_t> probe_users(static_cast<size_t>(config.num_users));
+  std::iota(probe_users.begin(), probe_users.end(), 0);
+  world_rng.Shuffle(&probe_users);
+  probe_users.resize(static_cast<size_t>(sample_users));
+  for (int64_t i = 0; i < total_items; ++i) {
+    double total = 0.0;
+    for (int64_t u : probe_users) total += ds.TrueClickProbability(u, i);
+    ds.true_attractiveness[size_t(i)] = total / double(sample_users);
+  }
+
+  // --- item statistics (catalog items only; new arrivals stay zero) ---
+  auto& stats = ds.item_stats;
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    const double attract = ds.true_attractiveness[size_t(i)];
+    const double quality = ds.true_quality[size_t(i)];
+    const double exposure = stats_rng.LogNormal(4.5, 0.7);
+    const double noise = config.stats_noise;
+
+    const double pv30 = exposure * 30.0 * std::exp(stats_rng.Normal(0, noise));
+    const double uv30 = pv30 * stats_rng.Uniform(0.5, 0.8);
+    const double click30 =
+        pv30 * attract * std::exp(stats_rng.Normal(0, noise));
+    const double cart30 =
+        click30 * 0.30 * Sigmoid(0.6 * quality + stats_rng.Normal(0, 0.3));
+    const double fav30 =
+        click30 * 0.20 * Sigmoid(0.5 * quality + stats_rng.Normal(0, 0.3));
+    const double purchase30 =
+        cart30 * 0.50 * Sigmoid(0.8 * quality + stats_rng.Normal(0, 0.3));
+    const double gmv30 = purchase30 * std::exp(item_price_log[size_t(i)]);
+
+    const double f7 = 0.23 * std::exp(stats_rng.Normal(0, 0.1));
+    const double f14 = 0.47 * std::exp(stats_rng.Normal(0, 0.1));
+    const double counts30[7] = {pv30, uv30,       click30, cart30,
+                                fav30, purchase30, gmv30};
+    // Counts are stored as log1p — the natural scale for heavy-tailed
+    // traffic features.
+    for (int c = 0; c < 7; ++c) {
+      stats.set_numeric(size_t(0 + c), i, float(std::log1p(counts30[c] * f7)));
+      stats.set_numeric(size_t(7 + c), i,
+                        float(std::log1p(counts30[c] * f14)));
+      stats.set_numeric(size_t(14 + c), i, float(std::log1p(counts30[c])));
+    }
+    // Rates per window (identical across windows up to noise).
+    for (int w = 0; w < 3; ++w) {
+      const double rate_noise = std::exp(stats_rng.Normal(0, 0.05));
+      stats.set_numeric(size_t(21 + w * 4 + 0), i,
+                        float(click30 / std::max(pv30, 1.0) * rate_noise));
+      stats.set_numeric(size_t(21 + w * 4 + 1), i,
+                        float(cart30 / std::max(click30, 1.0) * rate_noise));
+      stats.set_numeric(size_t(21 + w * 4 + 2), i,
+                        float(fav30 / std::max(click30, 1.0) * rate_noise));
+      stats.set_numeric(
+          size_t(21 + w * 4 + 3), i,
+          float(purchase30 / std::max(click30, 1.0) * rate_noise));
+    }
+    // Behaviour-embedding block: the item latent observed through
+    // co-engagement, with low noise. This is what makes complete features
+    // strictly more informative than profiles.
+    const double* phi = &ds.item_latents[static_cast<size_t>(i * k)];
+    for (int d = 0; d < 8; ++d) {
+      const double proj = d < k ? phi[d] : 0.0;
+      stats.set_numeric(size_t(33 + d), i,
+                        float(proj + stats_rng.Normal(0.0, noise)));
+    }
+    stats.set_numeric(41, i,
+                      float(Sigmoid(-0.8 * quality + stats_rng.Normal(0, 0.4))));
+    stats.set_numeric(
+        42, i, float(30.0 + 40.0 * attract + stats_rng.Normal(0.0, 3.0)));
+    stats.set_numeric(
+        43, i, float(attract * std::exp(stats_rng.Normal(0, noise))));
+    stats.set_numeric(
+        44, i, float(attract * std::exp(stats_rng.Normal(0, noise))));
+    stats.set_numeric(45, i, float(std::log1p(click30 * 0.02)));
+  }
+
+  ds.catalog_items.resize(static_cast<size_t>(config.num_items));
+  std::iota(ds.catalog_items.begin(), ds.catalog_items.end(), 0);
+  ds.new_items.resize(static_cast<size_t>(config.num_new_items));
+  std::iota(ds.new_items.begin(), ds.new_items.end(), config.num_items);
+
+  // --- interactions over catalog items ---
+  std::vector<double> user_cdf(static_cast<size_t>(config.num_users));
+  double acc = 0.0;
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    acc += ds.user_activity[size_t(u)];
+    user_cdf[size_t(u)] = acc;
+  }
+  std::vector<double> item_cdf(static_cast<size_t>(config.num_items));
+  acc = 0.0;
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    // Exposure-weighted item sampling: better items get shown more.
+    acc += std::exp(0.7 * ds.true_quality[size_t(i)] +
+                    0.3 * interact_rng.Normal());
+    item_cdf[size_t(i)] = acc;
+  }
+
+  ds.interaction_user.reserve(static_cast<size_t>(config.num_interactions));
+  ds.interaction_item.reserve(static_cast<size_t>(config.num_interactions));
+  ds.labels.reserve(static_cast<size_t>(config.num_interactions));
+  for (int64_t n = 0; n < config.num_interactions; ++n) {
+    const int64_t u = SampleCdf(user_cdf, &interact_rng);
+    const int64_t i = SampleCdf(item_cdf, &interact_rng);
+    const double p = ds.TrueClickProbability(u, i);
+    ds.interaction_user.push_back(u);
+    ds.interaction_item.push_back(i);
+    ds.labels.push_back(interact_rng.Bernoulli(p) ? 1.0f : 0.0f);
+  }
+
+  // --- train/test split ---
+  std::vector<int64_t> order(static_cast<size_t>(config.num_interactions));
+  std::iota(order.begin(), order.end(), 0);
+  interact_rng.Shuffle(&order);
+  const auto test_count = static_cast<size_t>(
+      double(config.num_interactions) * config.test_fraction);
+  ds.test_indices.assign(order.begin(), order.begin() + test_count);
+  ds.train_indices.assign(order.begin() + test_count, order.end());
+
+  return ds;
+}
+
+CtrBatch MakeCtrBatch(const TmallDataset& dataset,
+                      const std::vector<int64_t>& interaction_indices) {
+  std::vector<int64_t> user_rows;
+  std::vector<int64_t> item_rows;
+  user_rows.reserve(interaction_indices.size());
+  item_rows.reserve(interaction_indices.size());
+  nn::Tensor labels(static_cast<int64_t>(interaction_indices.size()), 1);
+  for (size_t n = 0; n < interaction_indices.size(); ++n) {
+    const auto idx = static_cast<size_t>(interaction_indices[n]);
+    ATNN_DCHECK(idx < dataset.interaction_user.size());
+    user_rows.push_back(dataset.interaction_user[idx]);
+    item_rows.push_back(dataset.interaction_item[idx]);
+    labels.at(static_cast<int64_t>(n), 0) = dataset.labels[idx];
+  }
+  CtrBatch batch;
+  batch.user = GatherBlock(dataset.users, user_rows);
+  batch.item_profile = GatherBlock(dataset.item_profiles, item_rows);
+  batch.item_stats = GatherBlock(dataset.item_stats, item_rows);
+  batch.labels = std::move(labels);
+  return batch;
+}
+
+}  // namespace atnn::data

@@ -1,0 +1,135 @@
+#ifndef ATNN_DATA_TMALL_H_
+#define ATNN_DATA_TMALL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+
+namespace atnn::data {
+
+/// Parameters of the synthetic Tmall-like world. The real dataset (23.1M
+/// items, 4M users, 40M interactions; 19 user / 38 item-profile / 46
+/// item-statistics raw features) is proprietary, so we generate a scaled
+/// latent-factor world with the same schema shape. See DESIGN.md §2 for why
+/// the substitution preserves the paper's relative claims.
+struct TmallConfig {
+  int64_t num_users = 2000;
+  /// Catalog items: have interaction history and item statistics.
+  int64_t num_items = 4000;
+  /// New arrivals: profile only, no interactions, no statistics.
+  int64_t num_new_items = 1000;
+  int64_t num_interactions = 150000;
+
+  /// Dimensionality of the latent user/item preference space.
+  int latent_dim = 8;
+
+  /// Noise stddev on the latent projections exposed through item profiles.
+  /// Larger than stats_noise: profiles are weaker evidence than behaviour.
+  double profile_noise = 0.9;
+  /// Noise stddev on the behaviour-derived statistics features.
+  double stats_noise = 0.25;
+  /// Noise on user-profile latent projections.
+  double user_profile_noise = 0.5;
+
+  /// Base click logit; -2.2 gives a realistic ~10% positive rate.
+  double base_logit = -2.2;
+  /// Weight of the latent affinity term in the click logit.
+  double affinity_scale = 2.2;
+  /// Weight of item quality in the click logit.
+  double quality_scale = 0.9;
+
+  /// Fraction of interactions held out as the test split.
+  double test_fraction = 0.2;
+
+  /// Vocabulary sizes for categorical features.
+  int64_t num_categories = 40;
+  int64_t num_subcategories = 160;
+  int64_t num_brands = 240;
+  int64_t num_sellers = 400;
+  int64_t num_locations = 50;
+  int64_t num_occupations = 12;
+
+  /// Number of users sampled when estimating an item's ground-truth
+  /// population attractiveness (used by the market simulator).
+  int64_t attractiveness_sample = 512;
+
+  uint64_t seed = 42;
+};
+
+/// Fully materialized synthetic dataset plus the hidden ground truth that
+/// generated it. The ground-truth fields are consumed only by the market
+/// simulator and by diagnostics/tests — models never see them.
+struct TmallDataset {
+  TmallConfig config;
+
+  SchemaPtr user_schema;
+  SchemaPtr item_profile_schema;
+  SchemaPtr item_stats_schema;
+
+  /// Feature tables. Item tables have num_items + num_new_items rows; the
+  /// new-arrival rows of `item_stats` are all zeros and must not be used
+  /// (new arrivals have no statistics by definition).
+  EntityTable users;
+  EntityTable item_profiles;
+  EntityTable item_stats;
+
+  /// Interaction log (user, item, clicked). Items here are catalog items.
+  std::vector<int64_t> interaction_user;
+  std::vector<int64_t> interaction_item;
+  std::vector<float> labels;
+
+  /// Disjoint 80/20 split over interaction indices.
+  std::vector<int64_t> train_indices;
+  std::vector<int64_t> test_indices;
+
+  /// Row ranges: catalog items are [0, num_items), new arrivals are
+  /// [num_items, num_items + num_new_items).
+  std::vector<int64_t> catalog_items;
+  std::vector<int64_t> new_items;
+
+  // --- hidden ground truth ---
+  /// Population-mean click probability per item (catalog + new).
+  std::vector<double> true_attractiveness;
+  /// Latent item quality (drives GMV/conversion in the simulator).
+  std::vector<double> true_quality;
+  /// Raw item price (the simulator's GMV unit; profile features only carry
+  /// a normalized log price).
+  std::vector<double> true_price;
+  /// Per-user activity weights used when sampling interactions.
+  std::vector<double> user_activity;
+
+  int64_t total_items() const {
+    return config.num_items + config.num_new_items;
+  }
+
+  /// True click probability for a specific (user, item) pair.
+  double TrueClickProbability(int64_t user, int64_t item) const;
+
+  // Internal ground-truth state needed by TrueClickProbability.
+  std::vector<double> user_latents;  // [num_users * latent_dim]
+  std::vector<double> item_latents;  // [total_items * latent_dim]
+  std::vector<double> user_bias;
+};
+
+/// Generates the world and the dataset deterministically from the config
+/// seed. Numeric features are left raw; fit a Normalizer on the training
+/// rows before feeding towers.
+TmallDataset GenerateTmallDataset(const TmallConfig& config);
+
+/// A mini-batch of (user, item, label) rows gathered into tower inputs.
+struct CtrBatch {
+  BlockBatch user;
+  BlockBatch item_profile;
+  BlockBatch item_stats;
+  nn::Tensor labels;  // [n, 1]
+};
+
+/// Gathers the given interaction indices into a CtrBatch.
+CtrBatch MakeCtrBatch(const TmallDataset& dataset,
+                      const std::vector<int64_t>& interaction_indices);
+
+}  // namespace atnn::data
+
+#endif  // ATNN_DATA_TMALL_H_

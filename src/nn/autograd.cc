@@ -1,0 +1,106 @@
+#include "nn/autograd.h"
+
+#include <unordered_set>
+
+namespace atnn::nn {
+
+void Node::EnsureGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Tensor(value.rows(), value.cols());
+  }
+}
+
+void Node::ZeroGrad() {
+  if (grad.empty()) return;
+  if (IsSparseGrad() &&
+      static_cast<int64_t>(touched_rows.size()) < grad.rows()) {
+    for (int64_t row : touched_rows) {
+      float* ptr = grad.row_ptr(row);
+      for (int64_t c = 0; c < grad.cols(); ++c) ptr[c] = 0.0f;
+    }
+  } else {
+    grad.SetZero();
+  }
+  touched_rows.clear();
+  has_dense_grad = false;
+}
+
+void Node::AccumulateGrad(const Tensor& contribution) {
+  EnsureGrad();
+  grad.AddInPlace(contribution);
+  has_dense_grad = true;
+}
+
+Var Constant(Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return Var(std::move(node));
+}
+
+Var Leaf(Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return Var(std::move(node));
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents before
+// children in the returned list; we traverse it in reverse for backprop).
+void TopologicalOrder(const NodePtr& root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) {
+    stack.push_back({root.get(), 0});
+    visited.insert(root.get());
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent].get();
+      ++top.next_parent;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& root, const Tensor& seed) {
+  ATNN_CHECK(root.defined());
+  ATNN_CHECK(root.requires_grad())
+      << "Backward on a graph with no differentiable leaves";
+  ATNN_CHECK(root.value().SameShape(seed))
+      << "seed shape " << seed.ShapeString() << " vs root "
+      << root.value().ShapeString();
+
+  std::vector<Node*> order;
+  TopologicalOrder(root.node(), &order);
+
+  // Ensure buffers exist before any accumulation.
+  for (Node* node : order) node->EnsureGrad();
+  root.node()->grad.AddInPlace(seed);
+
+  // order is post-order (leaves first); walk from the root backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) node->backward_fn(node);
+  }
+}
+
+void Backward(const Var& root) {
+  Backward(root, Tensor::Ones(root.rows(), root.cols()));
+}
+
+}  // namespace atnn::nn

@@ -1,0 +1,102 @@
+#ifndef ATNN_NN_AUTOGRAD_H_
+#define ATNN_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace atnn::nn {
+
+/// One vertex of the dynamic (define-by-run) computation graph. Nodes are
+/// created by the op functions in ops.h; parameters are long-lived leaf
+/// nodes owned by Parameter objects, everything else dies with the last Var
+/// referencing the graph.
+class Node {
+ public:
+  Tensor value;
+  /// Gradient buffer; lazily allocated by EnsureGrad(). For embedding
+  /// tables only the `touched_rows` may be nonzero (see sparse_grad).
+  Tensor grad;
+  bool requires_grad = false;
+  /// Marks long-lived leaves owned by a Parameter (never freed between
+  /// steps; optimizers iterate over these).
+  bool is_parameter = false;
+  /// True once a dense gradient contribution has been accumulated since the
+  /// last ZeroGrad(). See IsSparseGrad().
+  bool has_dense_grad = false;
+  /// Rows of `grad` written by scatter-add backward passes since the last
+  /// ZeroGrad(); may contain duplicates.
+  std::vector<int64_t> touched_rows;
+
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this->grad into parents' grads (must accumulate with +=).
+  std::function<void(Node*)> backward_fn;
+  /// Op name for debugging ("matmul", "sigmoid", ...). Leaves: "leaf".
+  std::string op = "leaf";
+
+  /// Allocates (and zeroes) the gradient buffer if not yet allocated.
+  void EnsureGrad();
+
+  /// Zeroes the gradient. For sparse_grad nodes clears only touched rows,
+  /// which keeps per-step cost proportional to actual traffic.
+  void ZeroGrad();
+
+  /// Adds a dense gradient contribution.
+  void AccumulateGrad(const Tensor& contribution);
+
+  /// True when the gradient is nonzero only on touched_rows (i.e. the node
+  /// received exclusively scatter-add contributions, as embedding tables
+  /// do). Optimizers may then perform lazy row-wise updates.
+  bool IsSparseGrad() const {
+    return !has_dense_grad && !touched_rows.empty();
+  }
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+/// Value-semantic handle on a graph node. Cheap to copy; copies alias the
+/// same node.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(NodePtr node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+  const NodePtr& node() const { return node_; }
+
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  const Tensor& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+
+  int64_t rows() const { return node_->value.rows(); }
+  int64_t cols() const { return node_->value.cols(); }
+
+ private:
+  NodePtr node_;
+};
+
+/// Creates a constant leaf (no gradient is ever computed for it).
+Var Constant(Tensor value);
+
+/// Creates a differentiable leaf (used by Parameter and by gradient-check
+/// tests).
+Var Leaf(Tensor value);
+
+/// Runs reverse-mode differentiation from `root`, accumulating into the
+/// grad buffers of every reachable node with requires_grad. The root is
+/// seeded with ones (for a 1x1 loss this is d(loss)/d(loss) = 1).
+/// Gradients accumulate across calls until ZeroGrad is invoked on the
+/// leaves, matching the usual deep-learning framework contract.
+void Backward(const Var& root);
+
+/// As Backward(root) but with an explicit seed gradient (shape must match).
+void Backward(const Var& root, const Tensor& seed);
+
+}  // namespace atnn::nn
+
+#endif  // ATNN_NN_AUTOGRAD_H_

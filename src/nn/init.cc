@@ -1,0 +1,38 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace atnn::nn {
+
+Tensor XavierUniform(int64_t rows, int64_t cols, Rng* rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  return UniformInit(rows, cols, static_cast<float>(-bound),
+                     static_cast<float>(bound), rng);
+}
+
+Tensor HeNormal(int64_t rows, int64_t cols, Rng* rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+  return NormalInit(rows, cols, static_cast<float>(stddev), rng);
+}
+
+Tensor NormalInit(int64_t rows, int64_t cols, float stddev, Rng* rng) {
+  Tensor result(rows, cols);
+  float* data = result.data();
+  const int64_t n = result.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return result;
+}
+
+Tensor UniformInit(int64_t rows, int64_t cols, float lo, float hi, Rng* rng) {
+  Tensor result(rows, cols);
+  float* data = result.data();
+  const int64_t n = result.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return result;
+}
+
+}  // namespace atnn::nn

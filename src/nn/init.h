@@ -1,0 +1,24 @@
+#ifndef ATNN_NN_INIT_H_
+#define ATNN_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace atnn::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// fan_in = rows, fan_out = cols for a [in, out] weight matrix.
+Tensor XavierUniform(int64_t rows, int64_t cols, Rng* rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)); pairs with ReLU towers.
+Tensor HeNormal(int64_t rows, int64_t cols, Rng* rng);
+
+/// N(0, stddev) — used for embedding tables (small stddev).
+Tensor NormalInit(int64_t rows, int64_t cols, float stddev, Rng* rng);
+
+/// U(lo, hi).
+Tensor UniformInit(int64_t rows, int64_t cols, float lo, float hi, Rng* rng);
+
+}  // namespace atnn::nn
+
+#endif  // ATNN_NN_INIT_H_

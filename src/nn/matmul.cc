@@ -1,0 +1,75 @@
+#include "nn/matmul.h"
+
+namespace atnn::nn {
+
+// All kernels use i-k-j loop order so the innermost loop streams through
+// contiguous rows of B and C; this is the standard cache-friendly ordering
+// for row-major data and is adequate for the layer sizes this library uses
+// (hundreds of columns). No explicit SIMD: the inner loops auto-vectorize.
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  ATNN_CHECK_EQ(b.rows(), k);
+  ATNN_CHECK(c->rows() == m && c->cols() == n)
+      << "output " << c->ShapeString() << " for [" << m << " x " << n << "]";
+  c->SetZero();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.row_ptr(i);
+    float* c_row = c->row_ptr(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0f) continue;
+      const float* b_row = b.row_ptr(p);
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.rows();
+  ATNN_CHECK_EQ(b.cols(), k);
+  ATNN_CHECK(c->rows() == m && c->cols() == n);
+  // C[i,j] += dot(A[i,:], B[j,:]) — both operands row-contiguous.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.row_ptr(i);
+    float* c_row = c->row_ptr(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b.row_ptr(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += acc;
+    }
+  }
+}
+
+void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  ATNN_CHECK_EQ(b.rows(), m);
+  ATNN_CHECK(c->rows() == k && c->cols() == n);
+  // C[p,j] += sum_i A[i,p] * B[i,j]; iterate i outermost so A and B rows
+  // stream contiguously and C rows are revisited (they fit in cache).
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.row_ptr(i);
+    const float* b_row = b.row_ptr(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0f) continue;
+      float* c_row = c->row_ptr(p);
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+Tensor MatMulNew(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  MatMulInto(a, b, &c);
+  return c;
+}
+
+}  // namespace atnn::nn

@@ -1,0 +1,22 @@
+#ifndef ATNN_NN_MATMUL_H_
+#define ATNN_NN_MATMUL_H_
+
+#include "nn/tensor.h"
+
+namespace atnn::nn {
+
+/// C = A * B. Shapes: A [m,k], B [k,n], C [m,n]. C is overwritten.
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C += A * B^T. Shapes: A [m,k], B [n,k], C [m,n]. Used for dX = dY * W^T.
+void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C += A^T * B. Shapes: A [m,k], B [m,n], C [k,n]. Used for dW = X^T * dY.
+void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// Returns A * B as a new tensor.
+Tensor MatMulNew(const Tensor& a, const Tensor& b);
+
+}  // namespace atnn::nn
+
+#endif  // ATNN_NN_MATMUL_H_

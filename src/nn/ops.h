@@ -1,0 +1,118 @@
+#ifndef ATNN_NN_OPS_H_
+#define ATNN_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+#include "nn/tensor.h"
+
+namespace atnn::nn {
+
+// Differentiable ops. Every function builds one (or a few) graph nodes;
+// gradients follow the standard formulas and are verified against finite
+// differences in tests/nn/gradcheck_test.cc.
+
+/// C = A * B. A [m,k], B [k,n] -> [m,n].
+Var MatMul(const Var& a, const Var& b);
+
+/// Elementwise sum; shapes must match.
+Var Add(const Var& a, const Var& b);
+
+/// Elementwise difference; shapes must match.
+Var Sub(const Var& a, const Var& b);
+
+/// Elementwise (Hadamard) product; shapes must match.
+Var Mul(const Var& a, const Var& b);
+
+/// Elementwise quotient; shapes must match. The caller is responsible for
+/// keeping the denominator bounded away from zero.
+Var Div(const Var& a, const Var& b);
+
+/// alpha * A.
+Var Scale(const Var& a, float alpha);
+
+/// X [m,n] + bias [1,n] broadcast over rows.
+Var AddBias(const Var& x, const Var& bias);
+
+/// out[i,j] = x[i,j] * s[i]; s is a column [m,1]. (Row-wise scaling, the
+/// core of the DCN cross layer.)
+Var ScaleRows(const Var& x, const Var& s);
+
+Var Sigmoid(const Var& x);
+Var Relu(const Var& x);
+Var Tanh(const Var& x);
+/// max(x, slope*x) with slope in (0,1).
+Var LeakyRelu(const Var& x, float slope = 0.01f);
+
+/// Horizontal concatenation; all inputs share the row count.
+Var ConcatCols(const std::vector<Var>& parts);
+
+/// Columns [begin, end) of x.
+Var SliceCols(const Var& x, int64_t begin, int64_t end);
+
+/// Mean over all elements -> [1,1].
+Var ReduceMean(const Var& x);
+
+/// Sum over all elements -> [1,1].
+Var ReduceSum(const Var& x);
+
+/// Column-wise mean over rows -> [1,n]. (Used for mean user vectors.)
+Var MeanRows(const Var& x);
+
+/// Elementwise square.
+Var Square(const Var& x);
+
+/// Row-wise dot products of equal-shape matrices -> [m,1]. This is the
+/// two-tower scoring head: score_i = <item_vec_i, user_vec_i>.
+Var RowwiseDot(const Var& a, const Var& b);
+
+/// Row-wise sums -> [m,1]. (DeepFM's second-order pooling, among others.)
+Var RowwiseSum(const Var& x);
+
+/// Row-wise L2 norm -> [m,1]; eps keeps the gradient finite at zero.
+Var RowwiseNorm(const Var& x, float eps = 1e-8f);
+
+/// Row-wise cosine similarity of equal-shape matrices -> [m,1]. Composed
+/// from RowwiseDot/RowwiseNorm/Div.
+Var CosineSimilarityRows(const Var& a, const Var& b, float eps = 1e-8f);
+
+/// Detaches x from the graph: value is copied, gradient does not flow.
+/// Used to freeze the encoder target in the generator's similarity loss.
+Var StopGradient(const Var& x);
+
+/// Gathers rows of `table` [vocab, dim] by ids -> [ids.size(), dim].
+/// Backward scatter-adds into the table's gradient and records touched
+/// rows so optimizers can apply lazy sparse updates.
+Var EmbeddingLookup(const Var& table, const std::vector<int64_t>& ids);
+
+/// Numerically-stable binary cross-entropy with logits, averaged over the
+/// batch. logits [m,1]; labels [m,1] constant tensor in {0,1} (soft labels
+/// allowed). This is L_i / L_g in the paper.
+Var SigmoidBceLossWithLogits(const Var& logits, const Tensor& labels);
+
+/// Mean squared error against a constant target; used for the paper's
+/// VpPV/GMV regression heads.
+Var MseLoss(const Var& pred, const Tensor& target);
+
+/// Mean squared difference of two differentiable matrices, i.e.
+/// mean((a - b)^2). Used for the L2 variant of the similarity loss L_s.
+Var MseBetween(const Var& a, const Var& b);
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate); at inference
+/// (training=false) it is the identity. The mask is drawn from *rng, so
+/// training remains deterministic under a fixed seed.
+Var Dropout(const Var& x, float rate, Rng* rng, bool training);
+
+/// Layer normalization (Ba et al. 2016): per-row standardization with a
+/// learned elementwise gain and bias:
+///   y = gamma * (x - mean_row) / sqrt(var_row + eps) + beta
+/// gamma and beta are [1, n].
+Var LayerNorm(const Var& x, const Var& gamma, const Var& beta,
+              float eps = 1e-5f);
+
+}  // namespace atnn::nn
+
+#endif  // ATNN_NN_OPS_H_

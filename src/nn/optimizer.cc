@@ -1,0 +1,207 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atnn::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params)) {
+  for (Parameter* param : params_) {
+    ATNN_CHECK(param != nullptr);
+    param->node()->EnsureGrad();
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* param : params_) param->node()->ZeroGrad();
+}
+
+std::vector<int64_t> Optimizer::UniqueTouchedRows(const Node& node) {
+  std::vector<int64_t> rows = node.touched_rows;
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  ATNN_CHECK(max_norm > 0.0);
+  double total = 0.0;
+  for (Parameter* param : params_) {
+    Node* node = param->node();
+    if (node->grad.empty()) continue;
+    if (node->IsSparseGrad()) {
+      for (int64_t row : UniqueTouchedRows(*node)) {
+        const float* g = node->grad.row_ptr(row);
+        for (int64_t c = 0; c < node->grad.cols(); ++c) {
+          total += static_cast<double>(g[c]) * g[c];
+        }
+      }
+    } else {
+      total += node->grad.SquaredNorm();
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* param : params_) {
+      Node* node = param->node();
+      if (node->grad.empty()) continue;
+      if (node->IsSparseGrad()) {
+        for (int64_t row : UniqueTouchedRows(*node)) {
+          float* g = node->grad.row_ptr(row);
+          for (int64_t c = 0; c < node->grad.cols(); ++c) g[c] *= scale;
+        }
+      } else {
+        node->grad.Scale(scale);
+      }
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float learning_rate, float momentum)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  ATNN_CHECK(learning_rate > 0.0f);
+  ATNN_CHECK(momentum >= 0.0f && momentum < 1.0f);
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Parameter* param : params_) {
+      velocity_.emplace_back(param->rows(), param->cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Node* node = params_[p]->node();
+    Tensor& value = node->value;
+    const Tensor& grad = node->grad;
+    if (grad.empty()) continue;
+
+    auto update_row = [&](int64_t row) {
+      const float* g = grad.row_ptr(row);
+      float* v = value.row_ptr(row);
+      if (momentum_ > 0.0f) {
+        float* vel = velocity_[p].row_ptr(row);
+        for (int64_t c = 0; c < value.cols(); ++c) {
+          vel[c] = momentum_ * vel[c] + g[c];
+          v[c] -= learning_rate_ * vel[c];
+        }
+      } else {
+        for (int64_t c = 0; c < value.cols(); ++c) {
+          v[c] -= learning_rate_ * g[c];
+        }
+      }
+    };
+
+    if (node->IsSparseGrad()) {
+      for (int64_t row : UniqueTouchedRows(*node)) update_row(row);
+    } else {
+      for (int64_t row = 0; row < value.rows(); ++row) update_row(row);
+    }
+  }
+}
+
+Adagrad::Adagrad(std::vector<Parameter*> params, float learning_rate,
+                 float epsilon)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      epsilon_(epsilon) {
+  ATNN_CHECK(learning_rate > 0.0f);
+  accumulators_.reserve(params_.size());
+  for (Parameter* param : params_) {
+    accumulators_.emplace_back(param->rows(), param->cols());
+  }
+}
+
+void Adagrad::Step() {
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Node* node = params_[p]->node();
+    Tensor& value = node->value;
+    const Tensor& grad = node->grad;
+    if (grad.empty()) continue;
+    Tensor& acc = accumulators_[p];
+
+    auto update_row = [&](int64_t row) {
+      const float* g = grad.row_ptr(row);
+      float* a = acc.row_ptr(row);
+      float* v = value.row_ptr(row);
+      for (int64_t c = 0; c < value.cols(); ++c) {
+        a[c] += g[c] * g[c];
+        v[c] -= learning_rate_ * g[c] / (std::sqrt(a[c]) + epsilon_);
+      }
+    };
+
+    if (node->IsSparseGrad()) {
+      for (int64_t row : UniqueTouchedRows(*node)) update_row(row);
+    } else {
+      for (int64_t row = 0; row < value.rows(); ++row) update_row(row);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float learning_rate, float beta1,
+           float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  ATNN_CHECK(learning_rate > 0.0f);
+  ATNN_CHECK(weight_decay >= 0.0f);
+  ATNN_CHECK(beta1 >= 0.0f && beta1 < 1.0f);
+  ATNN_CHECK(beta2 >= 0.0f && beta2 < 1.0f);
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (Parameter* param : params_) {
+    first_moment_.emplace_back(param->rows(), param->cols());
+    second_moment_.emplace_back(param->rows(), param->cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  const float alpha =
+      static_cast<float>(learning_rate_ * std::sqrt(bias2) / bias1);
+
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Node* node = params_[p]->node();
+    Tensor& value = node->value;
+    const Tensor& grad = node->grad;
+    if (grad.empty()) continue;
+    Tensor& m = first_moment_[p];
+    Tensor& v2 = second_moment_[p];
+
+    auto update_row = [&](int64_t row) {
+      const float* g = grad.row_ptr(row);
+      float* m_row = m.row_ptr(row);
+      float* v_row = v2.row_ptr(row);
+      float* val = value.row_ptr(row);
+      for (int64_t c = 0; c < value.cols(); ++c) {
+        m_row[c] = beta1_ * m_row[c] + (1.0f - beta1_) * g[c];
+        v_row[c] = beta2_ * v_row[c] + (1.0f - beta2_) * g[c] * g[c];
+        val[c] -= alpha * m_row[c] / (std::sqrt(v_row[c]) + epsilon_);
+        if (weight_decay_ > 0.0f) {
+          val[c] -= learning_rate_ * weight_decay_ * val[c];
+        }
+      }
+    };
+
+    if (node->IsSparseGrad()) {
+      // Lazy Adam: rows not in the batch keep stale moments. This matches
+      // TF's LazyAdamOptimizer semantics and is the standard trade-off for
+      // large embedding tables.
+      for (int64_t row : UniqueTouchedRows(*node)) update_row(row);
+    } else {
+      for (int64_t row = 0; row < value.rows(); ++row) update_row(row);
+    }
+  }
+}
+
+}  // namespace atnn::nn

@@ -1,0 +1,106 @@
+#ifndef ATNN_NN_OPTIMIZER_H_
+#define ATNN_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace atnn::nn {
+
+/// Base class for first-order optimizers. All optimizers understand sparse
+/// gradients: when a parameter received only scatter-add contributions
+/// (embedding tables), only the touched rows are updated and only their
+/// slots of the optimizer state advance ("lazy" updates, as in TensorFlow's
+/// LazyAdam). This keeps per-step cost proportional to batch traffic rather
+/// than vocabulary size.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients of all managed parameters (sparse-aware).
+  void ZeroGrad();
+
+  /// Rescales all gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm. Sparse gradients contribute only their
+  /// touched rows.
+  double ClipGradNorm(double max_norm);
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  /// Sorted, deduplicated touched rows for a sparse-grad parameter.
+  static std::vector<int64_t> UniqueTouchedRows(const Node& node);
+
+  std::vector<Parameter*> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float learning_rate,
+      float momentum = 0.0f);
+
+  void Step() override;
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<Tensor> velocity_;  // allocated lazily when momentum > 0
+};
+
+/// Adagrad — the classic choice for sparse CTR embeddings.
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(std::vector<Parameter*> params, float learning_rate,
+          float epsilon = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float epsilon_;
+  std::vector<Tensor> accumulators_;
+};
+
+/// Adam (Kingma & Ba). Sparse parameters get lazy row updates with the
+/// global step count used for bias correction. A nonzero weight_decay
+/// applies *decoupled* decay (AdamW, Loshchilov & Hutter): parameters
+/// shrink by learning_rate * weight_decay each step (touched rows only for
+/// sparse parameters).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+}  // namespace atnn::nn
+
+#endif  // ATNN_NN_OPTIMIZER_H_

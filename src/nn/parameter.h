@@ -1,0 +1,81 @@
+#ifndef ATNN_NN_PARAMETER_H_
+#define ATNN_NN_PARAMETER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "nn/autograd.h"
+
+namespace atnn::nn {
+
+/// A named, trainable tensor. The underlying graph node is long-lived:
+/// every training step builds fresh op nodes on top of the same parameter
+/// leaves, and optimizers mutate `value()` in place.
+class Parameter {
+ public:
+  Parameter() = default;
+  Parameter(std::string name, Tensor value);
+
+  const std::string& name() const { return name_; }
+
+  const Tensor& value() const { return node_->value; }
+  Tensor& value() { return node_->value; }
+
+  const Tensor& grad() const { return node_->grad; }
+
+  /// Graph handle for use in forward passes.
+  Var var() const { return Var(node_); }
+
+  Node* node() const { return node_.get(); }
+
+  int64_t rows() const { return node_->value.rows(); }
+  int64_t cols() const { return node_->value.cols(); }
+  int64_t numel() const { return node_->value.numel(); }
+
+ private:
+  std::string name_;
+  NodePtr node_;
+};
+
+/// Anything owning parameters. Composite modules forward the call to their
+/// children; the flattened list feeds optimizers and snapshots.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends pointers to every parameter owned (transitively) by this
+  /// module. Pointers stay valid for the module's lifetime.
+  virtual void CollectParameters(std::vector<Parameter*>* out) = 0;
+
+  /// Convenience wrapper over CollectParameters.
+  std::vector<Parameter*> Parameters() {
+    std::vector<Parameter*> result;
+    CollectParameters(&result);
+    return result;
+  }
+
+  /// Total scalar count across all parameters.
+  int64_t NumParameterElements();
+};
+
+/// Zeroes the gradient buffers of every parameter (sparse-aware). Use when
+/// several optimizers share a model and stray gradients from one half-step
+/// must not leak into the next (e.g. GAN-style alternating updates).
+void ZeroAllGrads(const std::vector<Parameter*>& params);
+
+/// Serializes parameters as (name, shape, data) records. Names must be
+/// unique within one snapshot.
+void SaveParameters(const std::vector<Parameter*>& params, BinaryWriter* writer);
+
+/// Restores parameters saved by SaveParameters. Every parameter in `params`
+/// must be present in the snapshot with a matching shape; extra snapshot
+/// entries are an error (catches architecture drift).
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      BinaryReader* reader);
+
+}  // namespace atnn::nn
+
+#endif  // ATNN_NN_PARAMETER_H_

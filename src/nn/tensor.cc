@@ -1,0 +1,120 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace atnn::nn {
+
+Tensor::Tensor(int64_t rows, int64_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  ATNN_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+}
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor result(rows, cols);
+  result.Fill(value);
+  return result;
+}
+
+Tensor Tensor::Row(std::vector<float> values) {
+  const auto n = static_cast<int64_t>(values.size());
+  return Tensor(1, n, std::move(values));
+}
+
+Tensor Tensor::Column(std::vector<float> values) {
+  const auto n = static_cast<int64_t>(values.size());
+  return Tensor(n, 1, std::move(values));
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  ATNN_CHECK(SameShape(other))
+      << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  float* dst = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  ATNN_CHECK(SameShape(other))
+      << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  float* dst = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::Scale(float alpha) {
+  for (float& value : data_) value *= alpha;
+}
+
+double Tensor::Sum() const {
+  double total = 0.0;
+  for (float value : data_) total += value;
+  return total;
+}
+
+double Tensor::Mean() const {
+  ATNN_CHECK(numel() > 0);
+  return Sum() / static_cast<double>(numel());
+}
+
+double Tensor::SquaredNorm() const {
+  double total = 0.0;
+  for (float value : data_) total += static_cast<double>(value) * value;
+  return total;
+}
+
+float Tensor::AbsMax() const {
+  float best = 0.0f;
+  for (float value : data_) best = std::max(best, std::abs(value));
+  return best;
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor result(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      result.at(c, r) = at(r, c);
+    }
+  }
+  return result;
+}
+
+bool Tensor::AllFinite() const {
+  for (float value : data_) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[" << rows_ << " x " << cols_ << "]";
+  return out.str();
+}
+
+std::string Tensor::ToString(int max_rows, int max_cols) const {
+  std::ostringstream out;
+  out << "Tensor " << ShapeString() << "\n";
+  const int64_t show_rows = std::min<int64_t>(rows_, max_rows);
+  const int64_t show_cols = std::min<int64_t>(cols_, max_cols);
+  for (int64_t r = 0; r < show_rows; ++r) {
+    out << "  [";
+    for (int64_t c = 0; c < show_cols; ++c) {
+      if (c > 0) out << ", ";
+      out << at(r, c);
+    }
+    if (show_cols < cols_) out << ", ...";
+    out << "]\n";
+  }
+  if (show_rows < rows_) out << "  ...\n";
+  return out.str();
+}
+
+}  // namespace atnn::nn

@@ -1,0 +1,119 @@
+#ifndef ATNN_NN_TENSOR_H_
+#define ATNN_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace atnn::nn {
+
+/// Dense row-major float matrix. The whole library works in 2-D: vectors
+/// are [1, n] or [n, 1] and scalars are [1, 1], which keeps shape logic
+/// simple and every op's gradient easy to verify.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized tensor of the given shape.
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    ATNN_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds from a flat row-major buffer; data.size() must equal rows*cols.
+  Tensor(int64_t rows, int64_t cols, std::vector<float> data);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+  static Tensor Ones(int64_t rows, int64_t cols) {
+    return Full(rows, cols, 1.0f);
+  }
+  /// 1x1 scalar tensor.
+  static Tensor Scalar(float value) { return Full(1, 1, value); }
+  /// Row vector [1, n] from values.
+  static Tensor Row(std::vector<float> values);
+  /// Column vector [n, 1] from values.
+  static Tensor Column(std::vector<float> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t r, int64_t c) {
+    ATNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    ATNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Pointer to the beginning of row r.
+  float* row_ptr(int64_t r) { return data() + r * cols_; }
+  const float* row_ptr(int64_t r) const { return data() + r * cols_; }
+
+  /// Value of a 1x1 tensor.
+  float scalar() const {
+    ATNN_CHECK(rows_ == 1 && cols_ == 1) << "scalar() on " << ShapeString();
+    return data_[0];
+  }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+  /// Sets every element to zero.
+  void SetZero() { Fill(0.0f); }
+
+  /// In-place this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  /// In-place this += alpha * other (same shape).
+  void Axpy(float alpha, const Tensor& other);
+  /// In-place this *= alpha.
+  void Scale(float alpha);
+
+  /// Sum of all elements.
+  double Sum() const;
+  /// Mean of all elements; requires numel() > 0.
+  double Mean() const;
+  /// Squared Frobenius norm.
+  double SquaredNorm() const;
+  /// Largest |element|; 0 for empty tensors.
+  float AbsMax() const;
+
+  /// Returns the transpose as a new tensor.
+  Tensor Transposed() const;
+
+  /// True when all elements are finite (no NaN/Inf).
+  bool AllFinite() const;
+
+  /// "[r x c]" for error messages.
+  std::string ShapeString() const;
+  /// Small-tensor debug rendering.
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+  const std::vector<float>& storage() const { return data_; }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace atnn::nn
+
+#endif  // ATNN_NN_TENSOR_H_

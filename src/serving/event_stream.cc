@@ -1,0 +1,56 @@
+#include "serving/event_stream.h"
+
+namespace atnn::serving {
+
+Status EventAggregator::Ingest(const BehaviorEvent& event) {
+  if (event.timestamp < watermark_) {
+    return Status::FailedPrecondition(
+        "event timestamp " + std::to_string(event.timestamp) +
+        " behind watermark " + std::to_string(watermark_));
+  }
+  if (event.amount < 0.0) {
+    return Status::InvalidArgument("negative purchase amount");
+  }
+  watermark_ = event.timestamp;
+  ++total_events_;
+
+  ItemCounters& counters = items_[event.item_id];
+  if (counters.first_seen_ts < 0) counters.first_seen_ts = event.timestamp;
+  counters.last_seen_ts = event.timestamp;
+  switch (event.type) {
+    case EventType::kImpression:
+      ++counters.impressions;
+      break;
+    case EventType::kClick:
+      ++counters.clicks;
+      break;
+    case EventType::kAddToCart:
+      ++counters.carts;
+      break;
+    case EventType::kAddToFavorite:
+      ++counters.favorites;
+      break;
+    case EventType::kPurchase:
+      ++counters.purchases;
+      counters.gmv += event.amount;
+      break;
+  }
+  return Status::OK();
+}
+
+EventAggregator::ItemCounters EventAggregator::counters(
+    int64_t item_id) const {
+  const auto it = items_.find(item_id);
+  return it == items_.end() ? ItemCounters{} : it->second;
+}
+
+std::vector<int64_t> EventAggregator::ItemsWithClicksAtLeast(
+    int64_t min_clicks) const {
+  std::vector<int64_t> result;
+  for (const auto& [id, counters] : items_) {
+    if (counters.clicks >= min_clicks) result.push_back(id);
+  }
+  return result;
+}
+
+}  // namespace atnn::serving

@@ -1,0 +1,81 @@
+#ifndef ATNN_SERVING_EVENT_STREAM_H_
+#define ATNN_SERVING_EVENT_STREAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atnn::serving {
+
+/// User-behaviour event kinds flowing from the platform (the paper's
+/// real-time engine "can obtain user behaviors, including clicking, adding
+/// to favorite, purchasing, etc.").
+enum class EventType : uint8_t {
+  kImpression = 0,
+  kClick = 1,
+  kAddToCart = 2,
+  kAddToFavorite = 3,
+  kPurchase = 4,
+};
+
+struct BehaviorEvent {
+  int64_t timestamp = 0;  // seconds since epoch (monotone per stream)
+  int64_t user_id = 0;
+  int64_t item_id = 0;
+  EventType type = EventType::kImpression;
+  /// Transaction amount for purchases, 0 otherwise.
+  double amount = 0.0;
+};
+
+/// Rolling per-item counters maintained from the behaviour stream. This is
+/// the online substrate that refreshes "item statistics" features for items
+/// once they accumulate history (a new arrival graduates from the generator
+/// path to the encoder path when counters become dense enough).
+class EventAggregator {
+ public:
+  struct ItemCounters {
+    int64_t impressions = 0;
+    int64_t clicks = 0;
+    int64_t carts = 0;
+    int64_t favorites = 0;
+    int64_t purchases = 0;
+    double gmv = 0.0;
+    int64_t first_seen_ts = -1;
+    int64_t last_seen_ts = -1;
+
+    double Ctr() const {
+      return impressions > 0
+                 ? static_cast<double>(clicks) / impressions
+                 : 0.0;
+    }
+    double ConversionRate() const {
+      return clicks > 0 ? static_cast<double>(purchases) / clicks : 0.0;
+    }
+  };
+
+  /// Ingests one event. Timestamps must be non-decreasing; out-of-order
+  /// events are rejected with FailedPrecondition (streams are ordered).
+  Status Ingest(const BehaviorEvent& event);
+
+  /// Counters for an item (zeros if never seen).
+  ItemCounters counters(int64_t item_id) const;
+
+  /// Items whose click count reached `min_clicks` — candidates for
+  /// switching from generated vectors to encoder vectors.
+  std::vector<int64_t> ItemsWithClicksAtLeast(int64_t min_clicks) const;
+
+  int64_t total_events() const { return total_events_; }
+  int64_t watermark() const { return watermark_; }
+  size_t num_items() const { return items_.size(); }
+
+ private:
+  std::unordered_map<int64_t, ItemCounters> items_;
+  int64_t watermark_ = -1;
+  int64_t total_events_ = 0;
+};
+
+}  // namespace atnn::serving
+
+#endif  // ATNN_SERVING_EVENT_STREAM_H_

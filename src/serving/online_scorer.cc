@@ -1,0 +1,56 @@
+#include "serving/online_scorer.h"
+
+namespace atnn::serving {
+
+OnlineScorer::OnlineScorer() : OnlineScorer(Config()) {}
+
+OnlineScorer::OnlineScorer(const Config& config) : config_(config) {
+  ATNN_CHECK(config.prior_strength > 0.0);
+}
+
+void OnlineScorer::SetPrior(int64_t item_id, double prior_ctr) {
+  ATNN_CHECK(prior_ctr >= 0.0 && prior_ctr <= 1.0)
+      << "prior must be a probability, got " << prior_ctr;
+  priors_[item_id] = prior_ctr;
+}
+
+Status OnlineScorer::Observe(const BehaviorEvent& event) {
+  if (priors_.find(event.item_id) == priors_.end()) {
+    return Status::NotFound("item " + std::to_string(event.item_id) +
+                            " has no model prior");
+  }
+  return aggregator_.Ingest(event);
+}
+
+StatusOr<double> OnlineScorer::Score(int64_t item_id) const {
+  const auto it = priors_.find(item_id);
+  if (it == priors_.end()) {
+    return Status::NotFound("item " + std::to_string(item_id) +
+                            " has no model prior");
+  }
+  const auto counters = aggregator_.counters(item_id);
+  const double numerator =
+      config_.prior_strength * it->second +
+      static_cast<double>(counters.clicks);
+  const double denominator =
+      config_.prior_strength + static_cast<double>(counters.impressions);
+  return numerator / denominator;
+}
+
+StatusOr<double> OnlineScorer::EvidenceWeight(int64_t item_id) const {
+  if (priors_.find(item_id) == priors_.end()) {
+    return Status::NotFound("item " + std::to_string(item_id) +
+                            " has no model prior");
+  }
+  const auto counters = aggregator_.counters(item_id);
+  const double impressions = static_cast<double>(counters.impressions);
+  return impressions / (config_.prior_strength + impressions);
+}
+
+void OnlineScorer::ExportIndex(PopularityIndex* index) const {
+  for (const auto& [item_id, prior] : priors_) {
+    index->Upsert(item_id, Score(item_id).value());
+  }
+}
+
+}  // namespace atnn::serving

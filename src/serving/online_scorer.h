@@ -1,0 +1,62 @@
+#ifndef ATNN_SERVING_ONLINE_SCORER_H_
+#define ATNN_SERVING_ONLINE_SCORER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "serving/event_stream.h"
+#include "serving/popularity_index.h"
+
+namespace atnn::serving {
+
+/// Keeps new-arrival popularity fresh after release: each item starts at
+/// the ATNN model's prior CTR (the generator-path popularity score) and is
+/// updated by the behaviour stream with an empirical-Bayes blend,
+///   posterior_ctr = (prior_strength * prior + clicks)
+///                 / (prior_strength + impressions),
+/// i.e. the model prior acts as `prior_strength` pseudo-impressions. With
+/// no traffic the score is the model's; with heavy traffic the observed
+/// CTR dominates — the online counterpart of the paper's "graduation" from
+/// generated vectors to behaviour-based statistics.
+class OnlineScorer {
+ public:
+  struct Config {
+    /// Pseudo-impression mass of the model prior.
+    double prior_strength = 100.0;
+  };
+
+  OnlineScorer();
+  explicit OnlineScorer(const Config& config);
+
+  /// Registers the model's prior CTR for an item (idempotent; re-setting
+  /// replaces the prior but keeps accumulated evidence).
+  void SetPrior(int64_t item_id, double prior_ctr);
+
+  /// Feeds one behaviour event. Events for items without a prior are
+  /// rejected with NotFound (the trainer must score an item before the
+  /// platform exposes it). Timestamps must be non-decreasing.
+  Status Observe(const BehaviorEvent& event);
+
+  /// Posterior CTR estimate; NotFound for unknown items.
+  StatusOr<double> Score(int64_t item_id) const;
+
+  /// Fraction of the score attributable to observed evidence (0 = all
+  /// prior, -> 1 under heavy traffic).
+  StatusOr<double> EvidenceWeight(int64_t item_id) const;
+
+  /// Exports all current scores into a popularity index snapshot.
+  void ExportIndex(PopularityIndex* index) const;
+
+  size_t num_items() const { return priors_.size(); }
+  const EventAggregator& aggregator() const { return aggregator_; }
+
+ private:
+  Config config_;
+  std::unordered_map<int64_t, double> priors_;
+  EventAggregator aggregator_;
+};
+
+}  // namespace atnn::serving
+
+#endif  // ATNN_SERVING_ONLINE_SCORER_H_

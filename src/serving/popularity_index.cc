@@ -1,0 +1,81 @@
+#include "serving/popularity_index.h"
+
+#include <algorithm>
+
+#include "common/serialize.h"
+
+namespace atnn::serving {
+
+void PopularityIndex::Upsert(int64_t item_id, double score) {
+  scores_[item_id] = score;
+}
+
+void PopularityIndex::BulkLoad(const std::vector<int64_t>& item_ids,
+                               const std::vector<double>& scores) {
+  ATNN_CHECK_EQ(item_ids.size(), scores.size());
+  scores_.reserve(scores_.size() + item_ids.size());
+  for (size_t i = 0; i < item_ids.size(); ++i) {
+    scores_[item_ids[i]] = scores[i];
+  }
+}
+
+std::vector<std::pair<int64_t, double>> PopularityIndex::TopK(
+    int64_t k) const {
+  ATNN_CHECK(k >= 0);
+  std::vector<std::pair<int64_t, double>> entries(scores_.begin(),
+                                                  scores_.end());
+  const auto take = std::min<size_t>(static_cast<size_t>(k), entries.size());
+  std::partial_sort(
+      entries.begin(), entries.begin() + take, entries.end(),
+      [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+      });
+  entries.resize(take);
+  return entries;
+}
+
+StatusOr<double> PopularityIndex::Score(int64_t item_id) const {
+  const auto it = scores_.find(item_id);
+  if (it == scores_.end()) {
+    return Status::NotFound("item " + std::to_string(item_id) +
+                            " not in popularity index");
+  }
+  return it->second;
+}
+
+Status PopularityIndex::SaveToFile(const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteU64(scores_.size());
+  // Sort by id for a canonical byte representation.
+  std::vector<std::pair<int64_t, double>> entries(scores_.begin(),
+                                                  scores_.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [id, score] : entries) {
+    writer.WriteI64(id);
+    writer.WriteF64(score);
+  }
+  return writer.FlushToFile(path);
+}
+
+StatusOr<PopularityIndex> PopularityIndex::LoadFromFile(
+    const std::string& path) {
+  ATNN_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  uint64_t count = 0;
+  ATNN_RETURN_IF_ERROR(reader.ReadU64(&count));
+  PopularityIndex index;
+  index.scores_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t id = 0;
+    double score = 0.0;
+    ATNN_RETURN_IF_ERROR(reader.ReadI64(&id));
+    ATNN_RETURN_IF_ERROR(reader.ReadF64(&score));
+    index.scores_[id] = score;
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes in popularity index file");
+  }
+  return index;
+}
+
+}  // namespace atnn::serving

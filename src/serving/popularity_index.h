@@ -1,0 +1,49 @@
+#ifndef ATNN_SERVING_POPULARITY_INDEX_H_
+#define ATNN_SERVING_POPULARITY_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atnn::serving {
+
+/// Precomputed popularity scores of new arrivals with top-K retrieval —
+/// the downstream store behind the paper's "smart selection of items for
+/// promotions" and search/recommendation consumers. IDs are dataset item
+/// rows (or any stable item key).
+class PopularityIndex {
+ public:
+  PopularityIndex() = default;
+
+  /// Inserts or overwrites an item's score.
+  void Upsert(int64_t item_id, double score);
+
+  /// Bulk-inserts aligned (ids, scores).
+  void BulkLoad(const std::vector<int64_t>& item_ids,
+                const std::vector<double>& scores);
+
+  /// The k highest-scored items, descending (ties broken by id for
+  /// determinism). k may exceed size().
+  std::vector<std::pair<int64_t, double>> TopK(int64_t k) const;
+
+  /// Score lookup; NotFound for unknown ids.
+  StatusOr<double> Score(int64_t item_id) const;
+
+  size_t size() const { return scores_.size(); }
+  bool empty() const { return scores_.empty(); }
+
+  /// Persistence for warm restarts of the serving process.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<PopularityIndex> LoadFromFile(const std::string& path);
+
+ private:
+  std::unordered_map<int64_t, double> scores_;
+};
+
+}  // namespace atnn::serving
+
+#endif  // ATNN_SERVING_POPULARITY_INDEX_H_

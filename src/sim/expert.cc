@@ -1,0 +1,59 @@
+#include "sim/expert.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace atnn::sim {
+
+namespace {
+
+std::vector<double> ScoreByQuality(const std::vector<double>& quality,
+                                   const std::vector<int64_t>& rows,
+                                   double quality_weight, double noise_sigma,
+                                   uint64_t seed) {
+  std::vector<double> scores;
+  scores.reserve(rows.size());
+  for (int64_t row : rows) {
+    // Per-entity fork: the expert's opinion of an item does not depend on
+    // which other items are in the review queue.
+    Rng rng(HashCombine(seed, SplitMix64(static_cast<uint64_t>(row))));
+    scores.push_back(quality_weight * quality[static_cast<size_t>(row)] +
+                     rng.Normal(0.0, noise_sigma));
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::vector<double> ExpertPolicy::ScoreItems(
+    const data::TmallDataset& dataset,
+    const std::vector<int64_t>& item_rows) const {
+  return ScoreByQuality(dataset.true_quality, item_rows, quality_weight,
+                        noise_sigma, seed);
+}
+
+std::vector<double> ExpertPolicy::ScoreRestaurants(
+    const data::ElemeDataset& dataset,
+    const std::vector<int64_t>& restaurant_rows) const {
+  return ScoreByQuality(dataset.true_quality, restaurant_rows, quality_weight,
+                        noise_sigma, seed);
+}
+
+std::vector<int64_t> TopKIndices(const std::vector<double>& scores,
+                                 int64_t k) {
+  ATNN_CHECK(k > 0);
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto take = std::min<size_t>(static_cast<size_t>(k), order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&scores](int64_t a, int64_t b) {
+                      return scores[static_cast<size_t>(a)] >
+                             scores[static_cast<size_t>(b)];
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace atnn::sim

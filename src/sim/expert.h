@@ -1,0 +1,44 @@
+#ifndef ATNN_SIM_EXPERT_H_
+#define ATNN_SIM_EXPERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/eleme.h"
+#include "data/tmall.h"
+
+namespace atnn::sim {
+
+/// A human merchandising expert, modeled as a noisy observer of item
+/// *quality*: experts judge visible cues (brand, photos, copy, seller
+/// reputation) well, but cannot estimate how an item's latent attributes
+/// fit the population's taste — which is exactly the extra signal ATNN's
+/// towers learn. This asymmetry produces the paper's single-digit A/B
+/// improvements rather than a blowout.
+struct ExpertPolicy {
+  /// How strongly the expert's score tracks true quality.
+  double quality_weight = 1.0;
+  /// Idiosyncratic judgment noise. The default models high-throughput
+  /// screening (seconds per item over hundreds of thousands of items);
+  /// the resulting rank correlation with true quality is ~0.5.
+  double noise_sigma = 1.5;
+  uint64_t seed = 31;
+
+  /// Scores the given item rows of the Tmall dataset.
+  std::vector<double> ScoreItems(const data::TmallDataset& dataset,
+                                 const std::vector<int64_t>& item_rows) const;
+
+  /// Scores the given restaurant rows of the Ele.me dataset.
+  std::vector<double> ScoreRestaurants(
+      const data::ElemeDataset& dataset,
+      const std::vector<int64_t>& restaurant_rows) const;
+};
+
+/// Indices (into the score vector) of the top-k scores, descending.
+std::vector<int64_t> TopKIndices(const std::vector<double>& scores,
+                                 int64_t k);
+
+}  // namespace atnn::sim
+
+#endif  // ATNN_SIM_EXPERT_H_

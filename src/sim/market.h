@@ -1,0 +1,82 @@
+#ifndef ATNN_SIM_MARKET_H_
+#define ATNN_SIM_MARKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/tmall.h"
+
+namespace atnn::sim {
+
+/// Parameters of the post-release market process. Each on-market day an
+/// item receives Poisson impressions; clicks are binomial in its
+/// ground-truth attractiveness; add-to-favorite and purchase are binomial
+/// in quality-dependent conversion rates; GMV accrues purchases * price.
+struct MarketConfig {
+  int horizon_days = 30;
+  /// Mean daily impressions allocated to a fresh item.
+  double daily_exposure_mean = 60.0;
+  /// Log-normal spread of per-item exposure (traffic inequality).
+  double exposure_sigma = 0.5;
+  /// Base add-to-favorite probability given a click.
+  double fav_base = 0.018;
+  /// Base purchase probability given a click.
+  double purchase_base = 0.030;
+  /// Quality elasticity of the conversion probabilities.
+  double quality_elasticity = 0.5;
+  /// Scales prices into GMV units.
+  double gmv_scale = 0.12;
+  uint64_t seed = 2024;
+};
+
+/// Cumulative outcomes of one item, sampled at 7/14/30 days, plus the day
+/// its fifth purchase happened (A/B-test metric; -1 when censored by the
+/// horizon).
+struct ItemOutcome {
+  double ipv7 = 0, ipv14 = 0, ipv30 = 0;
+  double atf7 = 0, atf14 = 0, atf30 = 0;
+  double gmv7 = 0, gmv14 = 0, gmv30 = 0;
+  int first_five_sales_day = -1;
+};
+
+/// 30-day e-commerce market simulator — the stand-in for observing real
+/// post-release behaviour on Tmall (Tables II and III).
+class MarketSimulator {
+ public:
+  explicit MarketSimulator(const MarketConfig& config) : config_(config) {}
+
+  /// Simulates one item from its ground truth. Deterministic in (*rng).
+  ItemOutcome SimulateItem(double attractiveness, double quality,
+                           double price, Rng* rng) const;
+
+  /// Simulates the given item rows of the dataset (ground truth supplies
+  /// attractiveness/quality/price). Outcomes are index-aligned with
+  /// `item_rows`. Deterministic in config.seed and the row list.
+  std::vector<ItemOutcome> SimulateItems(
+      const data::TmallDataset& dataset,
+      const std::vector<int64_t>& item_rows) const;
+
+  const MarketConfig& config() const { return config_; }
+
+ private:
+  MarketConfig config_;
+};
+
+/// Aggregates outcome means over an index subset (into `outcomes`).
+struct OutcomeMeans {
+  double ipv7 = 0, ipv14 = 0, ipv30 = 0;
+  double atf7 = 0, atf14 = 0, atf30 = 0;
+  double gmv7 = 0, gmv14 = 0, gmv30 = 0;
+};
+OutcomeMeans MeanOutcomes(const std::vector<ItemOutcome>& outcomes,
+                          const std::vector<int64_t>& subset);
+
+/// Mean of first_five_sales_day over the outcomes, counting censored items
+/// as `censored_value` days (typically the simulation horizon).
+double MeanTimeToFiveSales(const std::vector<ItemOutcome>& outcomes,
+                           double censored_value);
+
+}  // namespace atnn::sim
+
+#endif  // ATNN_SIM_MARKET_H_

@@ -1,0 +1,100 @@
+#include "baselines/ftrl_lr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/metrics.h"
+
+namespace atnn::baselines {
+namespace {
+
+SparseRow DenseRow(const std::vector<float>& values) {
+  SparseRow row;
+  for (size_t i = 0; i < values.size(); ++i) {
+    row.indices.push_back(static_cast<int64_t>(i));
+    row.values.push_back(values[i]);
+  }
+  return row;
+}
+
+TEST(FtrlLrTest, UntrainedPredictsHalf) {
+  FtrlLogisticRegression model(4);
+  EXPECT_DOUBLE_EQ(model.PredictProbability(DenseRow({1, 0, 1, 0})), 0.5);
+}
+
+TEST(FtrlLrTest, LearnsLinearlySeparableProblem) {
+  Rng rng(1);
+  FtrlConfig config;
+  config.lambda1 = 0.0;  // no sparsity pressure for this check
+  FtrlLogisticRegression model(3, config);
+  std::vector<SparseRow> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 4000; ++i) {
+    const float a = static_cast<float>(rng.Normal());
+    const float b = static_cast<float>(rng.Normal());
+    rows.push_back(DenseRow({a, b, 1.0f}));
+    labels.push_back(a + 0.5f * b > 0.0f ? 1.0f : 0.0f);
+  }
+  for (int pass = 0; pass < 3; ++pass) model.TrainPass(rows, labels);
+  EXPECT_GT(metrics::Auc(model.PredictProbability(rows), labels), 0.97);
+  // The learned direction matches (w0 > 0, w1 > 0, w0 > w1).
+  EXPECT_GT(model.Weight(0), 0.0);
+  EXPECT_GT(model.Weight(1), 0.0);
+  EXPECT_GT(model.Weight(0), model.Weight(1));
+}
+
+TEST(FtrlLrTest, L1ProducesExactZeroWeights) {
+  Rng rng(2);
+  FtrlConfig config;
+  config.lambda1 = 10.0;  // aggressive sparsity
+  FtrlLogisticRegression model(20, config);
+  std::vector<SparseRow> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<float> x(20);
+    for (auto& v : x) v = static_cast<float>(rng.Normal());
+    // Only coordinate 0 matters.
+    labels.push_back(x[0] > 0.0f ? 1.0f : 0.0f);
+    rows.push_back(DenseRow(x));
+  }
+  model.TrainPass(rows, labels);
+  EXPECT_EQ(model.CountTouched(), 20);
+  // Most of the 19 noise coordinates are pinned to exactly zero.
+  EXPECT_GE(model.CountZeroWeights(), 12);
+  EXPECT_NE(model.Weight(0), 0.0);
+}
+
+TEST(FtrlLrTest, ProgressiveValidationLossImproves) {
+  Rng rng(3);
+  FtrlConfig config;
+  config.lambda1 = 0.0;
+  FtrlLogisticRegression model(2, config);
+  double early_loss = 0.0;
+  double late_loss = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.Normal());
+    const float label = a > 0.0f ? 1.0f : 0.0f;
+    const double p = model.Update(DenseRow({a, 1.0f}), label);
+    const double loss =
+        label > 0.5f ? -std::log(std::max(p, 1e-12))
+                     : -std::log(std::max(1.0 - p, 1e-12));
+    if (i < n / 4) {
+      early_loss += loss;
+    } else if (i >= 3 * n / 4) {
+      late_loss += loss;
+    }
+  }
+  EXPECT_LT(late_loss, 0.6 * early_loss);
+}
+
+TEST(FtrlLrTest, UnseenCoordinateHasZeroWeight) {
+  FtrlLogisticRegression model(10);
+  EXPECT_DOUBLE_EQ(model.Weight(7), 0.0);
+  EXPECT_EQ(model.CountTouched(), 0);
+}
+
+}  // namespace
+}  // namespace atnn::baselines

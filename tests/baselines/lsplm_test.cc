@@ -1,0 +1,107 @@
+#include "baselines/lsplm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/metrics.h"
+
+namespace atnn::baselines {
+namespace {
+
+SparseRow DenseRow(const std::vector<float>& values) {
+  SparseRow row;
+  for (size_t i = 0; i < values.size(); ++i) {
+    row.indices.push_back(static_cast<int64_t>(i));
+    row.values.push_back(values[i]);
+  }
+  return row;
+}
+
+TEST(LsplmTest, UntrainedPredictsNearHalf) {
+  LsplmModel model(4);
+  EXPECT_NEAR(model.PredictProbability(DenseRow({1, 0, 1, 0})), 0.5, 0.05);
+}
+
+TEST(LsplmTest, GateWeightsFormDistribution) {
+  LsplmConfig config;
+  config.num_pieces = 5;
+  LsplmModel model(3, config);
+  const auto gate = model.GateWeights(DenseRow({0.5f, -1.0f, 2.0f}));
+  ASSERT_EQ(gate.size(), 5u);
+  double total = 0.0;
+  for (double g : gate) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+    total += g;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LsplmTest, LearnsLinearProblem) {
+  Rng rng(1);
+  std::vector<SparseRow> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 4000; ++i) {
+    const float a = static_cast<float>(rng.Normal());
+    const float b = static_cast<float>(rng.Normal());
+    rows.push_back(DenseRow({a, b, 1.0f}));
+    labels.push_back(a - b > 0.0f ? 1.0f : 0.0f);
+  }
+  LsplmConfig config;
+  config.num_pieces = 4;
+  LsplmModel model(3, config);
+  for (int pass = 0; pass < 5; ++pass) model.TrainPass(rows, labels);
+  EXPECT_GT(metrics::Auc(model.PredictProbability(rows), labels), 0.95);
+}
+
+TEST(LsplmTest, PiecewiseStructureSolvesNonLinearProblem) {
+  // y = 1 iff |x| > 1: a single logistic model cannot separate this
+  // (it's not linearly separable in x), but two gated pieces can.
+  Rng rng(2);
+  std::vector<SparseRow> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 8000; ++i) {
+    const float x = static_cast<float>(rng.Uniform(-3.0, 3.0));
+    rows.push_back(DenseRow({x, 1.0f}));
+    labels.push_back(std::abs(x) > 1.0f ? 1.0f : 0.0f);
+  }
+  LsplmConfig piecewise_config;
+  piecewise_config.num_pieces = 8;
+  piecewise_config.learning_rate = 0.2;
+  LsplmModel piecewise(2, piecewise_config);
+  LsplmConfig linear_config;
+  linear_config.num_pieces = 1;  // degenerates to plain LR
+  linear_config.learning_rate = 0.2;
+  LsplmModel linear(2, linear_config);
+  for (int pass = 0; pass < 20; ++pass) {
+    piecewise.TrainPass(rows, labels);
+    linear.TrainPass(rows, labels);
+  }
+  const double piecewise_auc =
+      metrics::Auc(piecewise.PredictProbability(rows), labels);
+  const double linear_auc =
+      metrics::Auc(linear.PredictProbability(rows), labels);
+  EXPECT_GT(piecewise_auc, 0.9);
+  EXPECT_LT(linear_auc, 0.65);
+  EXPECT_GT(piecewise_auc, linear_auc + 0.2);
+}
+
+TEST(LsplmTest, DeterministicForSeed) {
+  Rng rng(3);
+  std::vector<SparseRow> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back(DenseRow({float(rng.Normal()), 1.0f}));
+    labels.push_back(rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+  }
+  LsplmModel a(2);
+  LsplmModel b(2);
+  a.TrainPass(rows, labels);
+  b.TrainPass(rows, labels);
+  EXPECT_EQ(a.PredictProbability(rows), b.PredictProbability(rows));
+}
+
+}  // namespace
+}  // namespace atnn::baselines

@@ -1,0 +1,90 @@
+#include "baselines/sparse_encoder.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace atnn::baselines {
+namespace {
+
+data::TmallDataset MakeDataset() {
+  data::TmallConfig config;
+  config.num_users = 50;
+  config.num_items = 60;
+  config.num_new_items = 10;
+  config.num_interactions = 400;
+  config.attractiveness_sample = 16;
+  config.seed = 99;
+  return GenerateTmallDataset(config);
+}
+
+TEST(SparseCtrEncoderTest, DimensionCoversAllVocabsAndNumerics) {
+  const data::TmallDataset dataset = MakeDataset();
+  const SparseCtrEncoder with_stats(*dataset.user_schema,
+                                    *dataset.item_profile_schema,
+                                    *dataset.item_stats_schema, true);
+  const SparseCtrEncoder without_stats(*dataset.user_schema,
+                                       *dataset.item_profile_schema,
+                                       *dataset.item_stats_schema, false);
+  // Stats are all numeric: 46 extra coordinates.
+  EXPECT_EQ(with_stats.dimension(), without_stats.dimension() + 46);
+  // Every feature contributes exactly one nonzero.
+  EXPECT_EQ(with_stats.row_nnz(),
+            static_cast<int64_t>(dataset.user_schema->num_features() +
+                                 dataset.item_profile_schema->num_features() +
+                                 dataset.item_stats_schema->num_features()));
+}
+
+TEST(SparseCtrEncoderTest, EncodesOneHotAndNumerics) {
+  const data::TmallDataset dataset = MakeDataset();
+  const SparseCtrEncoder encoder(*dataset.user_schema,
+                                 *dataset.item_profile_schema,
+                                 *dataset.item_stats_schema, true);
+  const data::CtrBatch batch = MakeCtrBatch(dataset, {0, 1, 2});
+  const auto rows = encoder.Encode(batch);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const SparseRow& row : rows) {
+    EXPECT_EQ(static_cast<int64_t>(row.nnz()), encoder.row_nnz());
+    // Indices are unique, in-range and sorted within blocks.
+    std::set<int64_t> seen;
+    for (int64_t index : row.indices) {
+      EXPECT_GE(index, 0);
+      EXPECT_LT(index, encoder.dimension());
+      EXPECT_TRUE(seen.insert(index).second) << "duplicate index " << index;
+    }
+    // One-hot values are exactly 1.
+    size_t num_categorical = dataset.user_schema->num_categorical();
+    for (size_t k = 0; k < num_categorical; ++k) {
+      EXPECT_EQ(row.values[k], 1.0f);
+    }
+  }
+}
+
+TEST(SparseCtrEncoderTest, SameUserSameIndices) {
+  const data::TmallDataset dataset = MakeDataset();
+  const SparseCtrEncoder encoder(*dataset.user_schema,
+                                 *dataset.item_profile_schema,
+                                 *dataset.item_stats_schema, false);
+  // Find two interactions with the same user.
+  int64_t a = -1;
+  int64_t b = -1;
+  for (size_t i = 0; i < dataset.interaction_user.size() && b < 0; ++i) {
+    for (size_t j = i + 1; j < dataset.interaction_user.size(); ++j) {
+      if (dataset.interaction_user[i] == dataset.interaction_user[j]) {
+        a = static_cast<int64_t>(i);
+        b = static_cast<int64_t>(j);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(a, 0);
+  const data::CtrBatch batch = MakeCtrBatch(dataset, {a, b});
+  const auto rows = encoder.Encode(batch);
+  const size_t user_features = dataset.user_schema->num_features();
+  for (size_t k = 0; k < user_features; ++k) {
+    EXPECT_EQ(rows[0].indices[k], rows[1].indices[k]);
+  }
+}
+
+}  // namespace
+}  // namespace atnn::baselines

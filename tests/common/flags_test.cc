@@ -1,0 +1,94 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace atnn {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("test tool");
+  parser.AddString("name", "default", "a string");
+  parser.AddInt64("count", 42, "an int");
+  parser.AddDouble("rate", 0.5, "a double");
+  parser.AddBool("verbose", false, "a bool");
+  return parser;
+}
+
+Status ParseArgs(FlagParser* parser, std::vector<const char*> args) {
+  return parser->Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, DefaultsWhenUnset) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {}).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetInt64("count"), 42);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_FALSE(parser.IsSet("name"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--name=atnn", "--count=7",
+                                  "--rate=0.125", "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(parser.GetString("name"), "atnn");
+  EXPECT_EQ(parser.GetInt64("count"), 7);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 0.125);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  EXPECT_TRUE(parser.IsSet("count"));
+}
+
+TEST(FlagParserTest, SpaceSyntaxAndBareBool) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(&parser, {"--count", "9", "--verbose", "--name", "x"}).ok());
+  EXPECT_EQ(parser.GetInt64("count"), 9);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  EXPECT_EQ(parser.GetString("name"), "x");
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"first", "--count=1", "second"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser parser = MakeParser();
+  EXPECT_EQ(ParseArgs(&parser, {"--bogus=1"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, TypeErrorsRejected) {
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_FALSE(ParseArgs(&parser, {"--count=abc"}).ok());
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_FALSE(ParseArgs(&parser, {"--rate=xyz"}).ok());
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_FALSE(ParseArgs(&parser, {"--verbose=maybe"}).ok());
+  }
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(&parser, {"--count"}).ok());
+}
+
+TEST(FlagParserTest, UsageListsFlags) {
+  FlagParser parser = MakeParser();
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default 42"), std::string::npos);
+  EXPECT_NE(usage.find("test tool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atnn

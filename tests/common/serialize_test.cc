@@ -1,0 +1,121 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace atnn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripAllTypes) {
+  BinaryWriter writer;
+  writer.WriteU32(7);
+  writer.WriteU64(1ULL << 40);
+  writer.WriteI64(-12345);
+  writer.WriteF32(1.5f);
+  writer.WriteF64(-2.25);
+  writer.WriteString("hello");
+  writer.WriteFloatVector({1.0f, 2.0f, 3.0f});
+
+  BinaryReader reader(writer.buffer());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string str;
+  std::vector<float> vec;
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadF32(&f32).ok());
+  ASSERT_TRUE(reader.ReadF64(&f64).ok());
+  ASSERT_TRUE(reader.ReadString(&str).ok());
+  ASSERT_TRUE(reader.ReadFloatVector(&vec).ok());
+  EXPECT_EQ(u32, 7u);
+  EXPECT_EQ(u64, 1ULL << 40);
+  EXPECT_EQ(i64, -12345);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(str, "hello");
+  EXPECT_EQ(vec, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, ReadPastEndIsCorruption) {
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  BinaryReader reader(writer.buffer());
+  uint64_t value = 0;
+  Status status = reader.ReadU64(&value);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, StringLengthBeyondBufferIsCorruption) {
+  BinaryWriter writer;
+  writer.WriteU64(1000);  // claims a 1000-byte string that is not there
+  BinaryReader reader(writer.buffer());
+  std::string value;
+  EXPECT_EQ(reader.ReadString(&value).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path = TempPath("serialize_roundtrip.bin");
+  BinaryWriter writer;
+  writer.WriteString("payload");
+  writer.WriteF64(3.5);
+  ASSERT_TRUE(writer.FlushToFile(path).ok());
+
+  auto reader_or = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+  std::string str;
+  double value = 0;
+  ASSERT_TRUE(reader_or->ReadString(&str).ok());
+  ASSERT_TRUE(reader_or->ReadF64(&value).ok());
+  EXPECT_EQ(str, "payload");
+  EXPECT_EQ(value, 3.5);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  auto reader_or = BinaryReader::FromFile("/nonexistent/path/file.bin");
+  EXPECT_EQ(reader_or.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("serialize_bad_magic.bin");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << "NOTMAGIC and then some bytes";
+  }
+  auto reader_or = BinaryReader::FromFile(path);
+  EXPECT_EQ(reader_or.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedPayloadIsCorruption) {
+  const std::string path = TempPath("serialize_truncated.bin");
+  BinaryWriter writer;
+  writer.WriteFloatVector(std::vector<float>(100, 1.0f));
+  ASSERT_TRUE(writer.FlushToFile(path).ok());
+  // Chop the file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto reader_or = BinaryReader::FromFile(path);
+  EXPECT_EQ(reader_or.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace atnn

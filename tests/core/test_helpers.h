@@ -1,0 +1,41 @@
+#ifndef ATNN_TESTS_CORE_TEST_HELPERS_H_
+#define ATNN_TESTS_CORE_TEST_HELPERS_H_
+
+#include "core/feature_adapter.h"
+#include "data/tmall.h"
+#include "nn/layers.h"
+
+namespace atnn::core::testing_helpers {
+
+/// A tiny but learnable Tmall world for unit tests (seconds, not minutes).
+inline data::TmallConfig TinyTmallConfig() {
+  data::TmallConfig config;
+  config.num_users = 300;
+  config.num_items = 400;
+  config.num_new_items = 120;
+  config.num_interactions = 12000;
+  config.attractiveness_sample = 64;
+  config.seed = 20240601;
+  return config;
+}
+
+/// Small tower so forward/backward stays cheap.
+inline nn::TowerConfig TinyTowerConfig(nn::TowerKind kind) {
+  nn::TowerConfig config;
+  config.kind = kind;
+  config.deep_dims = {32, 16};
+  config.cross_layers = 2;
+  config.output_dim = 12;
+  return config;
+}
+
+/// Generates and normalizes the tiny dataset.
+inline data::TmallDataset MakeNormalizedTinyDataset() {
+  data::TmallDataset dataset = data::GenerateTmallDataset(TinyTmallConfig());
+  NormalizeTmallInPlace(&dataset);
+  return dataset;
+}
+
+}  // namespace atnn::core::testing_helpers
+
+#endif  // ATNN_TESTS_CORE_TEST_HELPERS_H_

@@ -1,0 +1,195 @@
+#include "core/user_clusters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "metrics/metrics.h"
+#include "test_helpers.h"
+
+namespace atnn::core {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D.
+nn::Tensor MakeBlobs(int per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  nn::Tensor points(3 * per_blob, 2);
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      const int64_t row = b * per_blob + i;
+      points.at(row, 0) = float(centers[b][0] + rng.Normal(0, 0.5));
+      points.at(row, 1) = float(centers[b][1] + rng.Normal(0, 0.5));
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const nn::Tensor points = MakeBlobs(100, 1);
+  KMeansConfig config;
+  config.num_clusters = 3;
+  const KMeansResult result = RunKMeans(points, config);
+
+  // Every blob maps to exactly one cluster.
+  for (int b = 0; b < 3; ++b) {
+    const int32_t first = result.assignment[size_t(b * 100)];
+    for (int i = 1; i < 100; ++i) {
+      EXPECT_EQ(result.assignment[size_t(b * 100 + i)], first)
+          << "blob " << b << " split";
+    }
+  }
+  // Clusters are distinct and sizes are equal.
+  EXPECT_NE(result.assignment[0], result.assignment[100]);
+  EXPECT_NE(result.assignment[100], result.assignment[200]);
+  for (int64_t size : result.cluster_sizes) EXPECT_EQ(size, 100);
+  // Inertia is near the within-blob variance (2 dims * 0.25 * 300).
+  EXPECT_LT(result.inertia, 300.0);
+}
+
+TEST(KMeansTest, SingleClusterIsTheMean) {
+  const nn::Tensor points(4, 1, {0, 2, 4, 6});
+  KMeansConfig config;
+  config.num_clusters = 1;
+  const KMeansResult result = RunKMeans(points, config);
+  EXPECT_FLOAT_EQ(result.centroids.at(0, 0), 3.0f);
+  EXPECT_EQ(result.cluster_sizes[0], 4);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const nn::Tensor points = MakeBlobs(40, 2);
+  KMeansConfig config;
+  config.num_clusters = 3;
+  const KMeansResult a = RunKMeans(points, config);
+  const KMeansResult b = RunKMeans(points, config);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  const nn::Tensor points = nn::Tensor::Full(10, 3, 1.0f);
+  KMeansConfig config;
+  config.num_clusters = 2;
+  const KMeansResult result = RunKMeans(points, config);
+  EXPECT_EQ(result.assignment.size(), 10u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, MoreClustersLowerInertia) {
+  const nn::Tensor points = MakeBlobs(50, 3);
+  KMeansConfig config2;
+  config2.num_clusters = 2;
+  KMeansConfig config6;
+  config6.num_clusters = 6;
+  EXPECT_GT(RunKMeans(points, config2).inertia,
+            RunKMeans(points, config6).inertia);
+}
+
+class ClusteredPopularityTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::TmallDataset(
+        testing_helpers::MakeNormalizedTinyDataset());
+    AtnnConfig config;
+    config.tower = testing_helpers::TinyTowerConfig(
+        nn::TowerKind::kDeepCross);
+    config.seed = 5;
+    model_ = new AtnnModel(*dataset_->user_schema,
+                           *dataset_->item_profile_schema,
+                           *dataset_->item_stats_schema, config);
+    TrainOptions options;
+    options.epochs = 4;
+    options.batch_size = 128;
+    options.learning_rate = 2e-3f;
+    TrainAtnnModel(model_, *dataset_, options);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static data::TmallDataset* dataset_;
+  static AtnnModel* model_;
+};
+
+data::TmallDataset* ClusteredPopularityTest::dataset_ = nullptr;
+AtnnModel* ClusteredPopularityTest::model_ = nullptr;
+
+TEST_F(ClusteredPopularityTest, WeightsSumToOne) {
+  const auto group = SelectActiveUsers(*dataset_, 128);
+  KMeansConfig config;
+  config.num_clusters = 4;
+  const auto predictor = ClusteredPopularityPredictor::Build(
+      *model_, *dataset_, group, config);
+  EXPECT_EQ(predictor.num_clusters(), 4);
+  double total = 0.0;
+  for (double w : predictor.cluster_weights()) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(ClusteredPopularityTest, OneClusterMatchesGlobalPredictor) {
+  const auto group = SelectActiveUsers(*dataset_, 128);
+  KMeansConfig config;
+  config.num_clusters = 1;
+  const auto clustered = ClusteredPopularityPredictor::Build(
+      *model_, *dataset_, group, config);
+  const auto global =
+      PopularityPredictor::Build(*model_, *dataset_, group);
+  const auto a = clustered.ScoreItems(*model_, *dataset_,
+                                      dataset_->new_items);
+  const auto b = global.ScoreItems(*model_, *dataset_, dataset_->new_items);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-5);
+  }
+}
+
+TEST_F(ClusteredPopularityTest, ScoresAreProbabilities) {
+  const auto group = SelectActiveUsers(*dataset_, 128);
+  KMeansConfig config;
+  config.num_clusters = 6;
+  const auto predictor = ClusteredPopularityPredictor::Build(
+      *model_, *dataset_, group, config);
+  for (double s :
+       predictor.ScoreItems(*model_, *dataset_, dataset_->new_items)) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST_F(ClusteredPopularityTest, ClusteredBetterApproximatesPairwise) {
+  // The pairwise mean over users is the quantity both predictors
+  // approximate; more clusters must not be a worse approximation.
+  const auto group = SelectActiveUsers(*dataset_, 128);
+  const auto exact = ScoreItemsPairwise(*model_, *dataset_,
+                                        dataset_->new_items, group);
+  KMeansConfig config;
+  config.num_clusters = 1;
+  const auto single = ClusteredPopularityPredictor::Build(
+      *model_, *dataset_, group, config);
+  config.num_clusters = 8;
+  const auto clustered = ClusteredPopularityPredictor::Build(
+      *model_, *dataset_, group, config);
+  const auto single_scores =
+      single.ScoreItems(*model_, *dataset_, dataset_->new_items);
+  const auto clustered_scores =
+      clustered.ScoreItems(*model_, *dataset_, dataset_->new_items);
+  auto mae = [&exact](const std::vector<double>& scores) {
+    double total = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      total += std::abs(scores[i] - exact[i]);
+    }
+    return total / double(scores.size());
+  };
+  EXPECT_LE(mae(clustered_scores), mae(single_scores) + 1e-6);
+}
+
+}  // namespace
+}  // namespace atnn::core

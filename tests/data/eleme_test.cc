@@ -1,0 +1,140 @@
+#include "data/eleme.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace atnn::data {
+namespace {
+
+ElemeConfig SmallConfig() {
+  ElemeConfig config;
+  config.num_restaurants = 500;
+  config.num_new_restaurants = 150;
+  config.num_cells = 30;
+  config.seed = 321;
+  return config;
+}
+
+class ElemeDatasetTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new ElemeDataset(GenerateElemeDataset(SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static ElemeDataset* dataset_;
+};
+
+ElemeDataset* ElemeDatasetTest::dataset_ = nullptr;
+
+TEST_F(ElemeDatasetTest, TableSizes) {
+  EXPECT_EQ(dataset_->restaurant_profiles.num_rows(), 650);
+  EXPECT_EQ(dataset_->restaurant_stats.num_rows(), 650);
+  EXPECT_EQ(dataset_->user_groups.num_rows(), 30);
+  EXPECT_EQ(dataset_->new_restaurants.size(), 150u);
+  EXPECT_EQ(dataset_->vppv_labels.size(), 500u);
+  EXPECT_EQ(dataset_->gmv_labels.size(), 500u);
+}
+
+TEST_F(ElemeDatasetTest, EveryRestaurantHasValidCell) {
+  ASSERT_EQ(dataset_->restaurant_cell.size(), 650u);
+  for (int64_t cell : dataset_->restaurant_cell) {
+    EXPECT_GE(cell, 0);
+    EXPECT_LT(cell, 30);
+  }
+}
+
+TEST_F(ElemeDatasetTest, SplitIsDisjoint) {
+  std::set<int64_t> train(dataset_->train_indices.begin(),
+                          dataset_->train_indices.end());
+  std::set<int64_t> test(dataset_->test_indices.begin(),
+                         dataset_->test_indices.end());
+  EXPECT_EQ(train.size() + test.size(), 500u);
+  for (int64_t idx : test) {
+    EXPECT_EQ(train.count(idx), 0u);
+    EXPECT_LT(idx, 500);  // only trainside restaurants are labeled
+  }
+}
+
+TEST_F(ElemeDatasetTest, LabelsInPlausibleRanges) {
+  double vppv_sum = 0.0;
+  for (float v : dataset_->vppv_labels) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 3.0f);  // sigmoid expectation times log-normal shock
+    vppv_sum += v;
+  }
+  // Paper-scale VpPV averages around 0.27.
+  EXPECT_GT(vppv_sum / 500.0, 0.08);
+  EXPECT_LT(vppv_sum / 500.0, 0.8);
+  for (float g : dataset_->gmv_labels) {
+    EXPECT_GE(g, 0.0f);
+    EXPECT_LT(g, 15.0f);  // log1p scale
+  }
+}
+
+TEST_F(ElemeDatasetTest, NewRestaurantStatsAreZero) {
+  for (int64_t row : dataset_->new_restaurants) {
+    for (size_t f = 0; f < dataset_->restaurant_stats_schema->num_numeric();
+         ++f) {
+      ASSERT_EQ(dataset_->restaurant_stats.numeric(f, row), 0.0f);
+    }
+  }
+}
+
+TEST_F(ElemeDatasetTest, GroundTruthPositive) {
+  for (int64_t r = 0; r < dataset_->total_restaurants(); ++r) {
+    EXPECT_GT(dataset_->true_vppv[size_t(r)], 0.0);
+    EXPECT_LT(dataset_->true_vppv[size_t(r)], 1.0);
+    EXPECT_GT(dataset_->true_gmv[size_t(r)], 0.0);
+  }
+}
+
+TEST_F(ElemeDatasetTest, LabelsTrackGroundTruth) {
+  // Realized VpPV is a noisy version of expected VpPV: correlation must be
+  // clearly positive.
+  double cov = 0, var_a = 0, var_b = 0, mean_a = 0, mean_b = 0;
+  const size_t n = dataset_->vppv_labels.size();
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += dataset_->vppv_labels[i];
+    mean_b += dataset_->true_vppv[i];
+  }
+  mean_a /= double(n);
+  mean_b /= double(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double da = dataset_->vppv_labels[i] - mean_a;
+    const double db = dataset_->true_vppv[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  EXPECT_GT(cov / std::sqrt(var_a * var_b), 0.6);
+}
+
+TEST_F(ElemeDatasetTest, Deterministic) {
+  ElemeDataset other = GenerateElemeDataset(SmallConfig());
+  EXPECT_EQ(other.vppv_labels, dataset_->vppv_labels);
+  EXPECT_EQ(other.restaurant_cell, dataset_->restaurant_cell);
+}
+
+TEST_F(ElemeDatasetTest, MakeElemeBatchAlignsCellsAndLabels) {
+  const std::vector<int64_t> rows = {0, 5, 9};
+  ElemeBatch batch = MakeElemeBatch(*dataset_, rows);
+  EXPECT_EQ(batch.restaurant_profile.rows(), 3);
+  EXPECT_EQ(batch.user_group.rows(), 3);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto row = static_cast<size_t>(rows[i]);
+    EXPECT_EQ(batch.user_group.categorical[0][i],
+              dataset_->restaurant_cell[row]);
+    EXPECT_FLOAT_EQ(batch.vppv.at(static_cast<int64_t>(i), 0),
+                    dataset_->vppv_labels[row]);
+    EXPECT_FLOAT_EQ(batch.gmv.at(static_cast<int64_t>(i), 0),
+                    dataset_->gmv_labels[row]);
+  }
+}
+
+}  // namespace
+}  // namespace atnn::data

@@ -1,0 +1,111 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "data/normalize.h"
+
+namespace atnn::data {
+namespace {
+
+FeatureSchema MakeMixedSchema() {
+  return FeatureSchema({FeatureSpec::Categorical("cat_a", 10, 4),
+                        FeatureSpec::Numeric("num_x"),
+                        FeatureSpec::Categorical("cat_b", 5, 2),
+                        FeatureSpec::Numeric("num_y")});
+}
+
+TEST(FeatureSchemaTest, SplitsCategoricalAndNumeric) {
+  FeatureSchema schema = MakeMixedSchema();
+  EXPECT_EQ(schema.num_features(), 4u);
+  EXPECT_EQ(schema.num_categorical(), 2u);
+  EXPECT_EQ(schema.num_numeric(), 2u);
+  EXPECT_EQ(schema.categorical_spec(0).name, "cat_a");
+  EXPECT_EQ(schema.categorical_spec(1).name, "cat_b");
+  EXPECT_EQ(schema.TotalEmbedDim(), 6);
+  EXPECT_EQ(schema.TowerInputDim(), 8);
+}
+
+TEST(EntityTableTest, StoresAndRetrievesValues) {
+  auto schema = std::make_shared<FeatureSchema>(MakeMixedSchema());
+  EntityTable table(schema, 3);
+  EXPECT_EQ(table.num_rows(), 3);
+  table.set_categorical(0, 1, 7);
+  table.set_categorical(1, 2, 4);
+  table.set_numeric(0, 0, 1.5f);
+  table.set_numeric(1, 2, -2.0f);
+  EXPECT_EQ(table.categorical(0, 1), 7);
+  EXPECT_EQ(table.categorical(1, 2), 4);
+  EXPECT_FLOAT_EQ(table.numeric(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(table.numeric(1, 2), -2.0f);
+  // Unset values default to zero.
+  EXPECT_EQ(table.categorical(0, 0), 0);
+  EXPECT_FLOAT_EQ(table.numeric(0, 1), 0.0f);
+}
+
+TEST(EntityTableTest, GatherBlockSelectsRows) {
+  auto schema = std::make_shared<FeatureSchema>(MakeMixedSchema());
+  EntityTable table(schema, 4);
+  for (int64_t r = 0; r < 4; ++r) {
+    table.set_categorical(0, r, r);
+    table.set_numeric(0, r, static_cast<float>(10 * r));
+  }
+  BlockBatch batch = GatherBlock(table, {3, 1});
+  EXPECT_EQ(batch.rows(), 2);
+  EXPECT_EQ(batch.categorical[0][0], 3);
+  EXPECT_EQ(batch.categorical[0][1], 1);
+  EXPECT_FLOAT_EQ(batch.numeric.at(0, 0), 30.0f);
+  EXPECT_FLOAT_EQ(batch.numeric.at(1, 0), 10.0f);
+}
+
+TEST(NormalizerTest, StandardizesColumns) {
+  auto schema = std::make_shared<FeatureSchema>(
+      FeatureSchema({FeatureSpec::Numeric("a"), FeatureSpec::Numeric("b")}));
+  EntityTable table(schema, 4);
+  const float a_vals[] = {1, 2, 3, 4};
+  const float b_vals[] = {10, 10, 10, 10};  // constant column
+  for (int64_t r = 0; r < 4; ++r) {
+    table.set_numeric(0, r, a_vals[r]);
+    table.set_numeric(1, r, b_vals[r]);
+  }
+  Normalizer norm = Normalizer::Fit(table);
+  EXPECT_FLOAT_EQ(norm.mean(0), 2.5f);
+  norm.Apply(&table);
+  // Standardized column has zero mean and unit-ish variance.
+  double mean = 0.0;
+  for (int64_t r = 0; r < 4; ++r) mean += table.numeric(0, r);
+  EXPECT_NEAR(mean / 4.0, 0.0, 1e-6);
+  // Constant column does not explode (guarded stddev).
+  for (int64_t r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(table.numeric(1, r), 0.0f);
+  }
+}
+
+TEST(NormalizerTest, FitOnSubsetOfRows) {
+  auto schema = std::make_shared<FeatureSchema>(
+      FeatureSchema({FeatureSpec::Numeric("a")}));
+  EntityTable table(schema, 3);
+  table.set_numeric(0, 0, 0.0f);
+  table.set_numeric(0, 1, 2.0f);
+  table.set_numeric(0, 2, 1000.0f);  // excluded from the fit
+  Normalizer norm = Normalizer::Fit(table, {0, 1});
+  EXPECT_FLOAT_EQ(norm.mean(0), 1.0f);
+  EXPECT_FLOAT_EQ(norm.stddev(0), 1.0f);
+}
+
+TEST(NormalizerTest, AppliesToGatheredTensor) {
+  Normalizer norm;
+  {
+    auto schema = std::make_shared<FeatureSchema>(
+        FeatureSchema({FeatureSpec::Numeric("a")}));
+    EntityTable table(schema, 2);
+    table.set_numeric(0, 0, 0.0f);
+    table.set_numeric(0, 1, 4.0f);
+    norm = Normalizer::Fit(table);
+  }
+  nn::Tensor block(1, 1, {2.0f});
+  norm.Apply(&block);
+  EXPECT_FLOAT_EQ(block.at(0, 0), 0.0f);  // (2 - 2) / 2
+}
+
+}  // namespace
+}  // namespace atnn::data

@@ -1,0 +1,196 @@
+#include "data/tmall.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace atnn::data {
+namespace {
+
+TmallConfig SmallConfig() {
+  TmallConfig config;
+  config.num_users = 200;
+  config.num_items = 300;
+  config.num_new_items = 100;
+  config.num_interactions = 5000;
+  config.attractiveness_sample = 64;
+  config.seed = 123;
+  return config;
+}
+
+class TmallDatasetTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() { dataset_ = new TmallDataset(GenerateTmallDataset(SmallConfig())); }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static TmallDataset* dataset_;
+};
+
+TmallDataset* TmallDatasetTest::dataset_ = nullptr;
+
+TEST_F(TmallDatasetTest, SchemaMatchesPaperRawFeatureCounts) {
+  EXPECT_EQ(dataset_->user_schema->num_features(), 19u);
+  EXPECT_EQ(dataset_->item_profile_schema->num_features(), 38u);
+  EXPECT_EQ(dataset_->item_stats_schema->num_features(), 46u);
+  // Item statistics are purely behavioural (all numeric).
+  EXPECT_EQ(dataset_->item_stats_schema->num_categorical(), 0u);
+}
+
+TEST_F(TmallDatasetTest, TableSizes) {
+  EXPECT_EQ(dataset_->users.num_rows(), 200);
+  EXPECT_EQ(dataset_->item_profiles.num_rows(), 400);
+  EXPECT_EQ(dataset_->item_stats.num_rows(), 400);
+  EXPECT_EQ(dataset_->catalog_items.size(), 300u);
+  EXPECT_EQ(dataset_->new_items.size(), 100u);
+}
+
+TEST_F(TmallDatasetTest, InteractionsReferenceCatalogItemsOnly) {
+  ASSERT_EQ(dataset_->interaction_user.size(), 5000u);
+  for (size_t i = 0; i < dataset_->interaction_item.size(); ++i) {
+    EXPECT_GE(dataset_->interaction_item[i], 0);
+    EXPECT_LT(dataset_->interaction_item[i], 300);
+    EXPECT_GE(dataset_->interaction_user[i], 0);
+    EXPECT_LT(dataset_->interaction_user[i], 200);
+  }
+}
+
+TEST_F(TmallDatasetTest, SplitIsDisjointAndComplete) {
+  std::set<int64_t> train(dataset_->train_indices.begin(),
+                          dataset_->train_indices.end());
+  std::set<int64_t> test(dataset_->test_indices.begin(),
+                         dataset_->test_indices.end());
+  EXPECT_EQ(train.size() + test.size(), 5000u);
+  for (int64_t idx : test) EXPECT_EQ(train.count(idx), 0u);
+  EXPECT_NEAR(static_cast<double>(test.size()) / 5000.0, 0.2, 0.01);
+}
+
+TEST_F(TmallDatasetTest, LabelsAreBinaryWithPlausibleBaseRate) {
+  double positives = 0.0;
+  for (float label : dataset_->labels) {
+    EXPECT_TRUE(label == 0.0f || label == 1.0f);
+    positives += label;
+  }
+  const double rate = positives / static_cast<double>(dataset_->labels.size());
+  EXPECT_GT(rate, 0.03);
+  EXPECT_LT(rate, 0.40);
+}
+
+TEST_F(TmallDatasetTest, NewArrivalStatsRowsAreZero) {
+  for (int64_t item : dataset_->new_items) {
+    for (size_t f = 0; f < dataset_->item_stats_schema->num_numeric(); ++f) {
+      ASSERT_EQ(dataset_->item_stats.numeric(f, item), 0.0f);
+    }
+  }
+}
+
+TEST_F(TmallDatasetTest, CatalogStatsRowsAreNonTrivial) {
+  int nonzero_rows = 0;
+  for (int64_t item : dataset_->catalog_items) {
+    double sum = 0.0;
+    for (size_t f = 0; f < dataset_->item_stats_schema->num_numeric(); ++f) {
+      sum += std::abs(dataset_->item_stats.numeric(f, item));
+    }
+    if (sum > 0.0) ++nonzero_rows;
+  }
+  EXPECT_EQ(nonzero_rows, 300);
+}
+
+TEST_F(TmallDatasetTest, GroundTruthSizesAndRanges) {
+  EXPECT_EQ(dataset_->true_attractiveness.size(), 400u);
+  EXPECT_EQ(dataset_->true_quality.size(), 400u);
+  EXPECT_EQ(dataset_->true_price.size(), 400u);
+  for (double a : dataset_->true_attractiveness) {
+    EXPECT_GT(a, 0.0);
+    EXPECT_LT(a, 1.0);
+  }
+  for (double p : dataset_->true_price) EXPECT_GT(p, 0.0);
+}
+
+TEST_F(TmallDatasetTest, TrueClickProbabilityInUnitInterval) {
+  for (int64_t u = 0; u < 20; ++u) {
+    for (int64_t i = 0; i < 20; ++i) {
+      const double p = dataset_->TrueClickProbability(u, i);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+}
+
+TEST_F(TmallDatasetTest, LabelsCorrelateWithTrueProbability) {
+  // Empirical click rate among high-probability pairs should beat the rate
+  // among low-probability pairs — the labels are learnable.
+  double high_clicks = 0, high_n = 0, low_clicks = 0, low_n = 0;
+  for (size_t n = 0; n < dataset_->labels.size(); ++n) {
+    const double p = dataset_->TrueClickProbability(
+        dataset_->interaction_user[n], dataset_->interaction_item[n]);
+    if (p > 0.2) {
+      high_clicks += dataset_->labels[n];
+      high_n += 1;
+    } else if (p < 0.05) {
+      low_clicks += dataset_->labels[n];
+      low_n += 1;
+    }
+  }
+  ASSERT_GT(high_n, 50.0);
+  ASSERT_GT(low_n, 50.0);
+  EXPECT_GT(high_clicks / high_n, 3.0 * (low_clicks / low_n));
+}
+
+TEST_F(TmallDatasetTest, DeterministicAcrossRuns) {
+  TmallDataset other = GenerateTmallDataset(SmallConfig());
+  EXPECT_EQ(other.labels, dataset_->labels);
+  EXPECT_EQ(other.interaction_item, dataset_->interaction_item);
+  EXPECT_EQ(other.true_quality, dataset_->true_quality);
+  for (int64_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(other.item_profiles.numeric(0, r),
+              dataset_->item_profiles.numeric(0, r));
+  }
+}
+
+TEST_F(TmallDatasetTest, DifferentSeedChangesData) {
+  TmallConfig config = SmallConfig();
+  config.seed = 999;
+  TmallDataset other = GenerateTmallDataset(config);
+  EXPECT_NE(other.labels, dataset_->labels);
+}
+
+TEST_F(TmallDatasetTest, MakeCtrBatchGathersAlignedRows) {
+  const std::vector<int64_t> indices = {0, 17, 42};
+  CtrBatch batch = MakeCtrBatch(*dataset_, indices);
+  EXPECT_EQ(batch.labels.rows(), 3);
+  EXPECT_EQ(batch.user.rows(), 3);
+  EXPECT_EQ(batch.item_profile.rows(), 3);
+  EXPECT_EQ(batch.item_stats.rows(), 3);
+  for (size_t n = 0; n < indices.size(); ++n) {
+    const auto idx = static_cast<size_t>(indices[n]);
+    EXPECT_EQ(batch.labels.at(static_cast<int64_t>(n), 0),
+              dataset_->labels[idx]);
+    // The user_id categorical must match the interaction's user.
+    EXPECT_EQ(batch.user.categorical[0][n], dataset_->interaction_user[idx]);
+  }
+}
+
+TEST(TmallAttractivenessTest, QualityRaisesAttractiveness) {
+  TmallDataset ds = GenerateTmallDataset(SmallConfig());
+  // Split items by quality; high-quality items must be more attractive on
+  // average (the quality term enters the click logit directly).
+  double high_sum = 0, high_n = 0, low_sum = 0, low_n = 0;
+  for (int64_t i = 0; i < ds.total_items(); ++i) {
+    if (ds.true_quality[size_t(i)] > 0.5) {
+      high_sum += ds.true_attractiveness[size_t(i)];
+      high_n += 1;
+    } else if (ds.true_quality[size_t(i)] < -0.5) {
+      low_sum += ds.true_attractiveness[size_t(i)];
+      low_n += 1;
+    }
+  }
+  ASSERT_GT(high_n, 10.0);
+  ASSERT_GT(low_n, 10.0);
+  EXPECT_GT(high_sum / high_n, low_sum / low_n);
+}
+
+}  // namespace
+}  // namespace atnn::data

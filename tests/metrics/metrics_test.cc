@@ -1,0 +1,149 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace atnn::metrics {
+namespace {
+
+TEST(AucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(Auc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucTest, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucTest, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, PartialTiesUseMidranks) {
+  // scores: pos {0.9, 0.5}, neg {0.5, 0.1}. Pairs: (0.9 vs 0.5)=1,
+  // (0.9 vs 0.1)=1, (0.5 vs 0.5)=0.5, (0.5 vs 0.1)=1 -> 3.5/4.
+  EXPECT_DOUBLE_EQ(Auc({0.9, 0.5, 0.5, 0.1}, {1, 1, 0, 0}), 0.875);
+}
+
+TEST(AucTest, HandComputedMixedCase) {
+  // pos scores {0.8, 0.3}, neg {0.6, 0.2}: pairs 0.8>0.6 (1), 0.8>0.2 (1),
+  // 0.3<0.6 (0), 0.3>0.2 (1) -> 3/4.
+  EXPECT_DOUBLE_EQ(Auc({0.8, 0.6, 0.3, 0.2}, {1, 0, 1, 0}), 0.75);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  const std::vector<float> labels = {1, 0, 1, 0, 1, 0};
+  const std::vector<double> scores = {2.0, -1.0, 0.5, 0.4, 3.0, -0.2};
+  std::vector<double> transformed;
+  for (double s : scores) transformed.push_back(1.0 / (1.0 + std::exp(-s)));
+  EXPECT_DOUBLE_EQ(Auc(scores, labels), Auc(transformed, labels));
+}
+
+TEST(GroupedAucTest, SingleGroupEqualsAuc) {
+  const std::vector<double> scores = {0.9, 0.2, 0.6, 0.4};
+  const std::vector<float> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(GroupedAuc(scores, labels, {7, 7, 7, 7}),
+                   Auc(scores, labels));
+}
+
+TEST(GroupedAucTest, WeightsGroupsBySize) {
+  // Group 1 (4 examples, AUC 1.0), group 2 (2 examples, AUC 0.0):
+  // GAUC = (4*1 + 2*0) / 6.
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1, 0.3, 0.7};
+  const std::vector<float> labels = {1, 1, 0, 0, 1, 0};
+  const std::vector<int64_t> groups = {1, 1, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(GroupedAuc(scores, labels, groups), 4.0 / 6.0);
+}
+
+TEST(GroupedAucTest, SingleClassGroupsSkipped) {
+  // Group 2 is all-positive -> excluded from the average entirely.
+  const std::vector<double> scores = {0.9, 0.1, 0.5, 0.6};
+  const std::vector<float> labels = {1, 0, 1, 1};
+  const std::vector<int64_t> groups = {1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(GroupedAuc(scores, labels, groups), 1.0);
+}
+
+TEST(GroupedAucTest, PerUserRankingDiffersFromGlobal) {
+  // Globally inverted scales per user: global AUC is poor, but within each
+  // user the ranking is perfect, so GAUC = 1.
+  const std::vector<double> scores = {10.0, 9.0, 0.2, 0.1};
+  const std::vector<float> labels = {1, 0, 1, 0};
+  const std::vector<int64_t> groups = {1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(GroupedAuc(scores, labels, groups), 1.0);
+  EXPECT_LT(Auc(scores, labels), 1.0);
+}
+
+TEST(LogLossTest, PerfectPredictionNearZero) {
+  EXPECT_LT(LogLoss({0.9999, 0.0001}, {1, 0}), 0.001);
+}
+
+TEST(LogLossTest, UninformedPredictionIsLog2) {
+  EXPECT_NEAR(LogLoss({0.5, 0.5}, {1, 0}), std::log(2.0), 1e-12);
+}
+
+TEST(LogLossTest, ClampsExtremeProbabilities) {
+  // p = 0 with label 1 must not produce infinity.
+  const double loss = LogLoss({0.0}, {1});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 10.0);
+}
+
+TEST(MaeTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 2.0, 5.0}, {1.0f, 4.0f, 2.0f}),
+                   (0.0 + 2.0 + 3.0) / 3.0);
+}
+
+TEST(RmseTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0.0, 0.0}, {3.0f, 4.0f}),
+                   std::sqrt((9.0 + 16.0) / 2.0));
+}
+
+TEST(PearsonTest, PerfectLinearCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSequenceIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {1, 8, 27, 64}), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  const double rho = SpearmanCorrelation({1, 2, 2, 3}, {1, 2, 3, 4});
+  EXPECT_GT(rho, 0.8);
+  EXPECT_LE(rho, 1.0);
+}
+
+TEST(RankGroupsTest, QuintilesAreOrderedByScore) {
+  std::vector<double> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(static_cast<double>(i));
+  auto groups = RankGroups(scores, 5);
+  ASSERT_EQ(groups.size(), 5u);
+  for (const auto& group : groups) EXPECT_EQ(group.size(), 20u);
+  // Group 0 holds the highest scores.
+  for (int64_t idx : groups[0]) EXPECT_GE(scores[size_t(idx)], 80.0);
+  for (int64_t idx : groups[4]) EXPECT_LT(scores[size_t(idx)], 20.0);
+}
+
+TEST(RankGroupsTest, UnevenSizesStayWithinOne) {
+  std::vector<double> scores(103, 0.0);
+  for (size_t i = 0; i < scores.size(); ++i) scores[i] = double(i);
+  auto groups = RankGroups(scores, 5);
+  size_t total = 0;
+  for (const auto& group : groups) {
+    EXPECT_GE(group.size(), 20u);
+    EXPECT_LE(group.size(), 21u);
+    total += group.size();
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(MeanOverTest, SubsetMean) {
+  EXPECT_DOUBLE_EQ(MeanOver({10, 20, 30, 40}, {0, 3}), 25.0);
+}
+
+}  // namespace
+}  // namespace atnn::metrics

@@ -1,0 +1,124 @@
+#include "nn/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace atnn::nn {
+namespace {
+
+TEST(AutogradTest, ConstantHasNoGradient) {
+  Var c = Constant(Tensor::Ones(2, 2));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, LeafRequiresGradient) {
+  Var leaf = Leaf(Tensor::Ones(2, 2));
+  EXPECT_TRUE(leaf.requires_grad());
+}
+
+TEST(AutogradTest, SimpleChainRule) {
+  // loss = mean((2x)^2) with x = [1, 2]: d/dx = 8x/2 = 4x.
+  Var x = Leaf(Tensor(1, 2, {1.0f, 2.0f}));
+  Var loss = ReduceMean(Square(Scale(x, 2.0f)));
+  EXPECT_FLOAT_EQ(loss.value().scalar(), (4.0f + 16.0f) / 2.0f);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 1), 8.0f);
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossBackwardCalls) {
+  Var x = Leaf(Tensor::Ones(1, 1));
+  Var loss1 = ReduceSum(Scale(x, 3.0f));
+  Backward(loss1);
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 3.0f);
+  Var loss2 = ReduceSum(Scale(x, 2.0f));
+  Backward(loss2);
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 5.0f);
+  x.node()->ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphSumsBothPaths) {
+  // y = x + x => dy/dx = 2.
+  Var x = Leaf(Tensor::Ones(1, 1));
+  Var y = ReduceSum(Add(x, x));
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 2.0f);
+}
+
+TEST(AutogradTest, ReusedSubexpressionBackpropagatesOnce) {
+  // z = sigmoid(x); y = sum(z * z). dy/dx = 2 z z'(x).
+  Var x = Leaf(Tensor::Scalar(0.5f));
+  Var z = Sigmoid(x);
+  Var y = ReduceSum(Mul(z, z));
+  Backward(y);
+  const float s = z.value().scalar();
+  EXPECT_NEAR(x.grad().scalar(), 2.0f * s * s * (1.0f - s), 1e-6f);
+}
+
+TEST(AutogradTest, StopGradientBlocksFlow) {
+  Var x = Leaf(Tensor::Scalar(2.0f));
+  Var y = ReduceSum(Mul(StopGradient(x), x));  // treated as c * x
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 2.0f);  // only the live branch
+}
+
+TEST(AutogradTest, BackwardWithExplicitSeed) {
+  Var x = Leaf(Tensor(1, 2, {1.0f, 1.0f}));
+  Var y = Scale(x, 3.0f);  // non-scalar root
+  Backward(y, Tensor(1, 2, {1.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 1), 6.0f);
+}
+
+TEST(AutogradTest, NoGradComputedThroughConstantBranch) {
+  Var x = Leaf(Tensor::Scalar(1.0f));
+  Var c = Constant(Tensor::Scalar(5.0f));
+  Var y = ReduceSum(Mul(x, c));
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 5.0f);
+  EXPECT_TRUE(c.grad().empty());  // never allocated
+}
+
+TEST(AutogradTest, SparseGradTrackingOnEmbeddings) {
+  Var table = Leaf(Tensor(10, 4));
+  table.node()->is_parameter = true;
+  std::vector<int64_t> ids = {2, 2, 7};
+  Var out = EmbeddingLookup(table, ids);
+  Var loss = ReduceSum(out);
+  Backward(loss);
+  EXPECT_TRUE(table.node()->IsSparseGrad());
+  // Row 2 hit twice, row 7 once, everything else zero.
+  EXPECT_FLOAT_EQ(table.grad().at(2, 0), 2.0f);
+  EXPECT_FLOAT_EQ(table.grad().at(7, 0), 1.0f);
+  EXPECT_FLOAT_EQ(table.grad().at(0, 0), 0.0f);
+  table.node()->ZeroGrad();
+  EXPECT_FLOAT_EQ(table.grad().at(2, 0), 0.0f);
+  EXPECT_FALSE(table.node()->IsSparseGrad());
+}
+
+TEST(AutogradTest, DenseContributionClearsSparseness) {
+  Var table = Leaf(Tensor(4, 2));
+  table.node()->is_parameter = true;
+  std::vector<int64_t> ids = {1};
+  // Mixed use: lookup + direct dense use of the whole table.
+  Var loss = Add(ReduceSum(EmbeddingLookup(table, ids)),
+                 ReduceSum(table));
+  Backward(loss);
+  EXPECT_FALSE(table.node()->IsSparseGrad());
+  EXPECT_FLOAT_EQ(table.grad().at(1, 0), 2.0f);  // lookup + dense
+  EXPECT_FLOAT_EQ(table.grad().at(0, 0), 1.0f);  // dense only
+}
+
+TEST(AutogradTest, DeepChainDoesNotOverflowStack) {
+  Var x = Leaf(Tensor::Scalar(1.0f));
+  Var y = x;
+  for (int i = 0; i < 5000; ++i) y = Scale(y, 1.0f);
+  Var loss = ReduceSum(y);
+  Backward(loss);  // iterative topo sort must survive depth 5000
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 1.0f);
+}
+
+}  // namespace
+}  // namespace atnn::nn

@@ -1,0 +1,143 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace atnn::nn {
+namespace {
+
+/// Minimizes mean((x - target)^2) and returns the final x values.
+template <typename Opt, typename... Args>
+Tensor MinimizeQuadratic(int steps, Args&&... args) {
+  Parameter x("x", Tensor(1, 2, {5.0f, -3.0f}));
+  const Tensor target(1, 2, {1.0f, 2.0f});
+  Opt optimizer({&x}, std::forward<Args>(args)...);
+  for (int i = 0; i < steps; ++i) {
+    optimizer.ZeroGrad();
+    Var loss = MseLoss(x.var(), target);
+    Backward(loss);
+    optimizer.Step();
+  }
+  return x.value();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x = MinimizeQuadratic<Sgd>(200, 0.1f, 0.0f);
+  EXPECT_NEAR(x.at(0, 0), 1.0f, 1e-3f);
+  EXPECT_NEAR(x.at(0, 1), 2.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  Tensor plain = MinimizeQuadratic<Sgd>(30, 0.05f, 0.0f);
+  Tensor momentum = MinimizeQuadratic<Sgd>(30, 0.05f, 0.9f);
+  const double err_plain = std::abs(plain.at(0, 0) - 1.0f);
+  const double err_momentum = std::abs(momentum.at(0, 0) - 1.0f);
+  EXPECT_LT(err_momentum, err_plain);
+}
+
+TEST(AdagradTest, ConvergesOnQuadratic) {
+  Tensor x = MinimizeQuadratic<Adagrad>(800, 0.5f);
+  EXPECT_NEAR(x.at(0, 0), 1.0f, 5e-2f);
+  EXPECT_NEAR(x.at(0, 1), 2.0f, 5e-2f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x = MinimizeQuadratic<Adam>(500, 0.05f);
+  EXPECT_NEAR(x.at(0, 0), 1.0f, 1e-2f);
+  EXPECT_NEAR(x.at(0, 1), 2.0f, 1e-2f);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Parameter x("x", Tensor::Scalar(1.0f));
+  Adam adam({&x}, 0.01f);
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.ZeroGrad();
+  Var loss = Square(x.var());
+  Backward(loss);
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDownLargeGradients) {
+  Parameter x("x", Tensor(1, 2, {0.0f, 0.0f}));
+  Sgd sgd({&x}, 1.0f);
+  sgd.ZeroGrad();
+  // Loss = sum(30 * x) -> gradient (30, 30), norm ~42.4.
+  Var loss = ReduceSum(Scale(x.var(), 30.0f));
+  Backward(loss);
+  const double pre_norm = sgd.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre_norm, 30.0 * std::sqrt(2.0), 1e-3);
+  const double post_norm_sq = x.grad().SquaredNorm();
+  EXPECT_NEAR(std::sqrt(post_norm_sq), 1.0, 1e-4);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradientsAlone) {
+  Parameter x("x", Tensor(1, 2, {0.0f, 0.0f}));
+  Sgd sgd({&x}, 1.0f);
+  sgd.ZeroGrad();
+  Var loss = ReduceSum(Scale(x.var(), 0.1f));
+  Backward(loss);
+  sgd.ClipGradNorm(10.0);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.1f);
+}
+
+TEST(OptimizerTest, SparseUpdateTouchesOnlyLookedUpRows) {
+  Parameter table("emb", Tensor::Ones(8, 2));
+  Adam adam({&table}, 0.1f);
+  adam.ZeroGrad();
+  std::vector<int64_t> ids = {3, 5};
+  Var loss = ReduceSum(EmbeddingLookup(table.var(), ids));
+  Backward(loss);
+  ASSERT_TRUE(table.node()->IsSparseGrad());
+  adam.Step();
+  // Rows 3 and 5 moved, every other row untouched.
+  for (int64_t r = 0; r < 8; ++r) {
+    if (r == 3 || r == 5) {
+      EXPECT_NE(table.value().at(r, 0), 1.0f);
+    } else {
+      EXPECT_FLOAT_EQ(table.value().at(r, 0), 1.0f);
+    }
+  }
+}
+
+TEST(OptimizerTest, SparseAndDenseConvergeToSameResultOnFullTouch) {
+  // When every row is touched, the lazy path must match a dense update.
+  auto run = [](bool as_sparse) {
+    Parameter table("emb", Tensor::Ones(4, 2));
+    Adagrad opt({&table}, 0.1f);
+    for (int step = 0; step < 5; ++step) {
+      opt.ZeroGrad();
+      Var out = as_sparse
+                    ? EmbeddingLookup(table.var(),
+                                      std::vector<int64_t>{0, 1, 2, 3})
+                    : table.var();
+      Var loss = ReduceMean(Square(out));
+      Backward(loss);
+      opt.Step();
+    }
+    return table.value();
+  };
+  Tensor sparse_result = run(true);
+  Tensor dense_result = run(false);
+  for (int64_t i = 0; i < sparse_result.numel(); ++i) {
+    EXPECT_NEAR(sparse_result.data()[i], dense_result.data()[i], 1e-6f);
+  }
+}
+
+TEST(OptimizerTest, ZeroGradClearsSparseRows) {
+  Parameter table("emb", Tensor::Ones(8, 2));
+  Sgd sgd({&table}, 0.1f);
+  std::vector<int64_t> ids = {2};
+  Var loss = ReduceSum(EmbeddingLookup(table.var(), ids));
+  Backward(loss);
+  EXPECT_NE(table.grad().at(2, 0), 0.0f);
+  sgd.ZeroGrad();
+  EXPECT_FLOAT_EQ(table.grad().at(2, 0), 0.0f);
+  EXPECT_TRUE(table.node()->touched_rows.empty());
+}
+
+}  // namespace
+}  // namespace atnn::nn

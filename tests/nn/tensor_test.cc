@@ -1,0 +1,124 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/matmul.h"
+
+namespace atnn::nn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.numel(), 12);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) EXPECT_EQ(t.at(r, c), 0.0f);
+  }
+}
+
+TEST(TensorTest, ConstructFromFlatData) {
+  Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, FactoryHelpers) {
+  EXPECT_EQ(Tensor::Ones(2, 2).Sum(), 4.0);
+  EXPECT_EQ(Tensor::Full(2, 2, 3.0f).Sum(), 12.0);
+  EXPECT_EQ(Tensor::Scalar(5.0f).scalar(), 5.0f);
+  Tensor row = Tensor::Row({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_EQ(row.cols(), 3);
+  Tensor col = Tensor::Column({1, 2});
+  EXPECT_EQ(col.rows(), 2);
+  EXPECT_EQ(col.cols(), 1);
+}
+
+TEST(TensorTest, InPlaceArithmetic) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a.at(0, 1), 22.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a.at(0, 0), 16.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a.at(0, 2), 96.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t(2, 2, {1, -2, 3, -4});
+  EXPECT_EQ(t.Sum(), -2.0);
+  EXPECT_EQ(t.Mean(), -0.5);
+  EXPECT_EQ(t.SquaredNorm(), 30.0);
+  EXPECT_EQ(t.AbsMax(), 4.0f);
+}
+
+TEST(TensorTest, Transpose) {
+  Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor tt = t.Transposed();
+  EXPECT_EQ(tt.rows(), 3);
+  EXPECT_EQ(tt.cols(), 2);
+  EXPECT_EQ(tt.at(0, 1), 4.0f);
+  EXPECT_EQ(tt.at(2, 0), 3.0f);
+}
+
+TEST(TensorTest, AllFiniteDetectsNanAndInf) {
+  Tensor t(1, 2, {1.0f, 2.0f});
+  EXPECT_TRUE(t.AllFinite());
+  t.at(0, 1) = std::nanf("");
+  EXPECT_FALSE(t.AllFinite());
+  t.at(0, 1) = INFINITY;
+  EXPECT_FALSE(t.AllFinite());
+}
+
+TEST(MatMulTest, MatchesHandComputedProduct) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMulNew(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransBMatchesExplicitTranspose) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(4, 3, {1, 0, 1, 0, 1, 0, 2, 2, 2, -1, 1, -1});
+  Tensor expected = MatMulNew(a, b.Transposed());
+  Tensor c(2, 4);
+  MatMulTransBAccum(a, b, &c);
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t col = 0; col < 4; ++col) {
+      EXPECT_FLOAT_EQ(c.at(r, col), expected.at(r, col));
+    }
+  }
+}
+
+TEST(MatMulTest, TransAMatchesExplicitTranspose) {
+  Tensor a(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 4, {1, 0, 1, 0, 0, 1, 0, 1, 2, 2, 2, 2});
+  Tensor expected = MatMulNew(a.Transposed(), b);
+  Tensor c(2, 4);
+  MatMulTransAAccum(a, b, &c);
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t col = 0; col < 4; ++col) {
+      EXPECT_FLOAT_EQ(c.at(r, col), expected.at(r, col));
+    }
+  }
+}
+
+TEST(MatMulTest, AccumulateVariantsAddToExisting) {
+  Tensor a(1, 2, {1, 1});
+  Tensor b(1, 2, {2, 3});
+  Tensor c = Tensor::Full(1, 1, 10.0f);
+  MatMulTransBAccum(a, b, &c);  // 10 + (1*2 + 1*3)
+  EXPECT_FLOAT_EQ(c.at(0, 0), 15.0f);
+}
+
+}  // namespace
+}  // namespace atnn::nn

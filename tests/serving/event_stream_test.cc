@@ -1,0 +1,97 @@
+#include "serving/event_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace atnn::serving {
+namespace {
+
+BehaviorEvent Event(int64_t ts, int64_t item, EventType type,
+                    double amount = 0.0) {
+  BehaviorEvent event;
+  event.timestamp = ts;
+  event.user_id = 1;
+  event.item_id = item;
+  event.type = type;
+  event.amount = amount;
+  return event;
+}
+
+TEST(EventAggregatorTest, CountsByType) {
+  EventAggregator agg;
+  ASSERT_TRUE(agg.Ingest(Event(1, 7, EventType::kImpression)).ok());
+  ASSERT_TRUE(agg.Ingest(Event(2, 7, EventType::kClick)).ok());
+  ASSERT_TRUE(agg.Ingest(Event(3, 7, EventType::kClick)).ok());
+  ASSERT_TRUE(agg.Ingest(Event(4, 7, EventType::kAddToCart)).ok());
+  ASSERT_TRUE(agg.Ingest(Event(5, 7, EventType::kAddToFavorite)).ok());
+  ASSERT_TRUE(agg.Ingest(Event(6, 7, EventType::kPurchase, 99.5)).ok());
+
+  const auto counters = agg.counters(7);
+  EXPECT_EQ(counters.impressions, 1);
+  EXPECT_EQ(counters.clicks, 2);
+  EXPECT_EQ(counters.carts, 1);
+  EXPECT_EQ(counters.favorites, 1);
+  EXPECT_EQ(counters.purchases, 1);
+  EXPECT_DOUBLE_EQ(counters.gmv, 99.5);
+  EXPECT_EQ(counters.first_seen_ts, 1);
+  EXPECT_EQ(counters.last_seen_ts, 6);
+  EXPECT_EQ(agg.total_events(), 6);
+}
+
+TEST(EventAggregatorTest, UnknownItemHasZeroCounters) {
+  EventAggregator agg;
+  const auto counters = agg.counters(123);
+  EXPECT_EQ(counters.clicks, 0);
+  EXPECT_EQ(counters.first_seen_ts, -1);
+}
+
+TEST(EventAggregatorTest, RejectsOutOfOrderEvents) {
+  EventAggregator agg;
+  ASSERT_TRUE(agg.Ingest(Event(10, 1, EventType::kClick)).ok());
+  const Status status = agg.Ingest(Event(5, 1, EventType::kClick));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // The failed event must not have been counted.
+  EXPECT_EQ(agg.counters(1).clicks, 1);
+  EXPECT_EQ(agg.total_events(), 1);
+}
+
+TEST(EventAggregatorTest, EqualTimestampsAllowed) {
+  EventAggregator agg;
+  ASSERT_TRUE(agg.Ingest(Event(10, 1, EventType::kClick)).ok());
+  EXPECT_TRUE(agg.Ingest(Event(10, 2, EventType::kClick)).ok());
+}
+
+TEST(EventAggregatorTest, RejectsNegativeAmounts) {
+  EventAggregator agg;
+  const Status status = agg.Ingest(Event(1, 1, EventType::kPurchase, -5.0));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EventAggregatorTest, DerivedRates) {
+  EventAggregator agg;
+  ASSERT_TRUE(agg.Ingest(Event(1, 3, EventType::kImpression)).ok());
+  ASSERT_TRUE(agg.Ingest(Event(2, 3, EventType::kImpression)).ok());
+  ASSERT_TRUE(agg.Ingest(Event(3, 3, EventType::kClick)).ok());
+  ASSERT_TRUE(agg.Ingest(Event(4, 3, EventType::kPurchase, 10)).ok());
+  const auto counters = agg.counters(3);
+  EXPECT_DOUBLE_EQ(counters.Ctr(), 0.5);
+  EXPECT_DOUBLE_EQ(counters.ConversionRate(), 1.0);
+  // No division by zero for fresh items.
+  EXPECT_DOUBLE_EQ(agg.counters(99).Ctr(), 0.0);
+}
+
+TEST(EventAggregatorTest, GraduationThreshold) {
+  EventAggregator agg;
+  int64_t ts = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(agg.Ingest(Event(++ts, 1, EventType::kClick)).ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(agg.Ingest(Event(++ts, 2, EventType::kClick)).ok());
+  }
+  const auto graduated = agg.ItemsWithClicksAtLeast(5);
+  ASSERT_EQ(graduated.size(), 1u);
+  EXPECT_EQ(graduated[0], 1);
+}
+
+}  // namespace
+}  // namespace atnn::serving

@@ -1,0 +1,101 @@
+#include "serving/online_scorer.h"
+
+#include <gtest/gtest.h>
+
+namespace atnn::serving {
+namespace {
+
+BehaviorEvent Event(int64_t ts, int64_t item, EventType type) {
+  BehaviorEvent event;
+  event.timestamp = ts;
+  event.user_id = 1;
+  event.item_id = item;
+  event.type = type;
+  return event;
+}
+
+TEST(OnlineScorerTest, NoEvidenceReturnsPrior) {
+  OnlineScorer scorer;
+  scorer.SetPrior(1, 0.23);
+  EXPECT_DOUBLE_EQ(scorer.Score(1).value(), 0.23);
+  EXPECT_DOUBLE_EQ(scorer.EvidenceWeight(1).value(), 0.0);
+}
+
+TEST(OnlineScorerTest, UnknownItemIsNotFound) {
+  OnlineScorer scorer;
+  EXPECT_EQ(scorer.Score(9).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(scorer.Observe(Event(1, 9, EventType::kClick)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(OnlineScorerTest, EvidencePullsTowardObservedCtr) {
+  OnlineScorer::Config config;
+  config.prior_strength = 50.0;
+  OnlineScorer scorer(config);
+  scorer.SetPrior(1, 0.5);  // optimistic prior
+  // 100 impressions, 10 clicks -> observed CTR 0.1.
+  int64_t ts = 0;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(scorer.Observe(Event(++ts, 1, EventType::kImpression)).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(scorer.Observe(Event(++ts, 1, EventType::kClick)).ok());
+  }
+  // Posterior = (50*0.5 + 10) / (50 + 100) = 35/150.
+  EXPECT_NEAR(scorer.Score(1).value(), 35.0 / 150.0, 1e-12);
+  const double score = scorer.Score(1).value();
+  EXPECT_LT(score, 0.5);
+  EXPECT_GT(score, 0.1);
+  EXPECT_NEAR(scorer.EvidenceWeight(1).value(), 100.0 / 150.0, 1e-12);
+}
+
+TEST(OnlineScorerTest, HeavyTrafficDominatesPrior) {
+  OnlineScorer scorer;  // prior strength 100
+  scorer.SetPrior(1, 0.5);
+  int64_t ts = 0;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(scorer.Observe(Event(++ts, 1, EventType::kImpression)).ok());
+    if (i % 50 == 0) {
+      ASSERT_TRUE(scorer.Observe(Event(++ts, 1, EventType::kClick)).ok());
+    }
+  }
+  EXPECT_NEAR(scorer.Score(1).value(), 0.02, 0.01);
+  EXPECT_GT(scorer.EvidenceWeight(1).value(), 0.95);
+}
+
+TEST(OnlineScorerTest, ResettingPriorKeepsEvidence) {
+  OnlineScorer::Config config;
+  config.prior_strength = 10.0;
+  OnlineScorer scorer(config);
+  scorer.SetPrior(1, 0.1);
+  int64_t ts = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(scorer.Observe(Event(++ts, 1, EventType::kImpression)).ok());
+  }
+  scorer.SetPrior(1, 0.9);  // a retrained model pushes a new prior
+  // (10*0.9 + 0) / (10 + 10) = 0.45.
+  EXPECT_NEAR(scorer.Score(1).value(), 0.45, 1e-12);
+}
+
+TEST(OnlineScorerTest, ExportIndexRanksPosterior) {
+  OnlineScorer scorer;
+  scorer.SetPrior(1, 0.2);
+  scorer.SetPrior(2, 0.6);
+  scorer.SetPrior(3, 0.4);
+  PopularityIndex index;
+  scorer.ExportIndex(&index);
+  ASSERT_EQ(index.size(), 3u);
+  const auto top = index.TopK(1);
+  EXPECT_EQ(top[0].first, 2);
+}
+
+TEST(OnlineScorerTest, OutOfOrderEventsRejected) {
+  OnlineScorer scorer;
+  scorer.SetPrior(1, 0.5);
+  ASSERT_TRUE(scorer.Observe(Event(10, 1, EventType::kClick)).ok());
+  EXPECT_EQ(scorer.Observe(Event(5, 1, EventType::kClick)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace atnn::serving

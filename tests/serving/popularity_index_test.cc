@@ -1,0 +1,71 @@
+#include "serving/popularity_index.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace atnn::serving {
+namespace {
+
+TEST(PopularityIndexTest, UpsertAndLookup) {
+  PopularityIndex index;
+  EXPECT_TRUE(index.empty());
+  index.Upsert(42, 0.7);
+  index.Upsert(42, 0.9);  // overwrite
+  EXPECT_EQ(index.size(), 1u);
+  auto score = index.Score(42);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score.value(), 0.9);
+}
+
+TEST(PopularityIndexTest, UnknownIdIsNotFound) {
+  PopularityIndex index;
+  EXPECT_EQ(index.Score(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PopularityIndexTest, TopKReturnsDescendingScores) {
+  PopularityIndex index;
+  index.BulkLoad({1, 2, 3, 4, 5}, {0.5, 0.9, 0.1, 0.7, 0.3});
+  const auto top = index.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 2);
+  EXPECT_EQ(top[1].first, 4);
+  EXPECT_EQ(top[2].first, 1);
+}
+
+TEST(PopularityIndexTest, TopKTieBreaksById) {
+  PopularityIndex index;
+  index.BulkLoad({9, 3, 7}, {0.5, 0.5, 0.5});
+  const auto top = index.TopK(3);
+  EXPECT_EQ(top[0].first, 3);
+  EXPECT_EQ(top[1].first, 7);
+  EXPECT_EQ(top[2].first, 9);
+}
+
+TEST(PopularityIndexTest, TopKLargerThanSize) {
+  PopularityIndex index;
+  index.BulkLoad({1}, {0.2});
+  EXPECT_EQ(index.TopK(100).size(), 1u);
+  EXPECT_TRUE(index.TopK(0).empty());
+}
+
+TEST(PopularityIndexTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/pop_index.bin";
+  PopularityIndex index;
+  index.BulkLoad({10, 20, 30}, {0.1, 0.3, 0.2});
+  ASSERT_TRUE(index.SaveToFile(path).ok());
+  auto loaded_or = PopularityIndex::LoadFromFile(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  EXPECT_EQ(loaded_or->size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded_or->Score(20).value(), 0.3);
+  const auto top = loaded_or->TopK(1);
+  EXPECT_EQ(top[0].first, 20);
+  std::remove(path.c_str());
+}
+
+TEST(PopularityIndexTest, LoadMissingFileFails) {
+  EXPECT_FALSE(PopularityIndex::LoadFromFile("/no/such/file.bin").ok());
+}
+
+}  // namespace
+}  // namespace atnn::serving

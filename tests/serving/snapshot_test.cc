@@ -1,0 +1,102 @@
+#include "serving/model_snapshot.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace atnn::serving {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Two-layer module used as the snapshot subject.
+class ToyModel : public nn::Module {
+ public:
+  explicit ToyModel(uint64_t seed)
+      : rng_(seed),
+        dense_("toy.dense", 4, 3, nn::Activation::kRelu, &rng_),
+        bag_("toy", {{"field", 10, 2}}, &rng_) {}
+
+  void CollectParameters(std::vector<nn::Parameter*>* out) override {
+    dense_.CollectParameters(out);
+    bag_.CollectParameters(out);
+  }
+
+  nn::Var Forward(const nn::Tensor& input,
+                  const std::vector<int64_t>& ids) const {
+    return nn::ConcatCols({dense_.Forward(nn::Constant(input)),
+                           bag_.Forward({ids}, nn::Tensor())});
+  }
+
+ private:
+  Rng rng_;
+  nn::Dense dense_;
+  nn::EmbeddingBag bag_;
+};
+
+TEST(ModelSnapshotTest, RoundTripReproducesPredictionsBitwise) {
+  const std::string path = TempPath("snapshot_roundtrip.bin");
+  ToyModel original(1);
+  ToyModel restored(2);  // different init: must be overwritten by load
+
+  const nn::Tensor input = nn::Tensor::Ones(2, 4);
+  const std::vector<int64_t> ids = {3, 7};
+  const nn::Tensor before = original.Forward(input, ids).value();
+
+  ASSERT_TRUE(SaveModelSnapshot(&original, path, "toy-v1").ok());
+  ASSERT_TRUE(LoadModelSnapshot(&restored, path, "toy-v1").ok());
+  const nn::Tensor after = restored.Forward(input, ids).value();
+
+  ASSERT_TRUE(before.SameShape(after));
+  for (int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_EQ(before.data()[i], after.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelSnapshotTest, TagMismatchRejected) {
+  const std::string path = TempPath("snapshot_tag.bin");
+  ToyModel model(1);
+  ASSERT_TRUE(SaveModelSnapshot(&model, path, "toy-v1").ok());
+  const Status status = LoadModelSnapshot(&model, path, "toy-v2");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSnapshotTest, ArchitectureMismatchRejected) {
+  // A model with a different parameter set must refuse the snapshot.
+  class OtherModel : public nn::Module {
+   public:
+    OtherModel() : rng_(3), dense_("other.dense", 4, 3,
+                                   nn::Activation::kRelu, &rng_) {}
+    void CollectParameters(std::vector<nn::Parameter*>* out) override {
+      dense_.CollectParameters(out);
+    }
+
+   private:
+    Rng rng_;
+    nn::Dense dense_;
+  };
+
+  const std::string path = TempPath("snapshot_arch.bin");
+  ToyModel model(1);
+  ASSERT_TRUE(SaveModelSnapshot(&model, path, "toy-v1").ok());
+  OtherModel other;
+  const Status status = LoadModelSnapshot(&other, path, "toy-v1");
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelSnapshotTest, MissingFileIsIoError) {
+  ToyModel model(1);
+  const Status status =
+      LoadModelSnapshot(&model, "/nonexistent/snap.bin", "toy-v1");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace atnn::serving

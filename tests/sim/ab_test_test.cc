@@ -1,0 +1,137 @@
+#include "sim/ab_test.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/expert.h"
+
+namespace atnn::sim {
+namespace {
+
+data::TmallDataset MakeDataset() {
+  data::TmallConfig config;
+  config.num_users = 150;
+  config.num_items = 100;
+  config.num_new_items = 200;
+  config.num_interactions = 1000;
+  config.attractiveness_sample = 48;
+  config.seed = 31337;
+  return GenerateTmallDataset(config);
+}
+
+TEST(TopKIndicesTest, ReturnsHighestScoresDescending) {
+  const auto top = TopKIndices({0.1, 0.9, 0.5, 0.7}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 3);
+}
+
+TEST(TopKIndicesTest, KLargerThanInputReturnsAll) {
+  EXPECT_EQ(TopKIndices({1.0, 2.0}, 10).size(), 2u);
+}
+
+TEST(ExpertPolicyTest, ScoresTrackQualityButImperfectly) {
+  const data::TmallDataset dataset = MakeDataset();
+  ExpertPolicy expert;
+  const auto scores = expert.ScoreItems(dataset, dataset.new_items);
+  ASSERT_EQ(scores.size(), dataset.new_items.size());
+  // Correlated with quality...
+  double cov = 0, va = 0, vb = 0, ma = 0, mb = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    ma += scores[i];
+    mb += dataset.true_quality[size_t(dataset.new_items[i])];
+  }
+  ma /= double(scores.size());
+  mb /= double(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double da = scores[i] - ma;
+    const double db =
+        dataset.true_quality[size_t(dataset.new_items[i])] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double corr = cov / std::sqrt(va * vb);
+  EXPECT_GT(corr, 0.25);
+  EXPECT_LT(corr, 0.9);  // ...but noisy: experts are not oracles
+}
+
+TEST(ExpertPolicyTest, DeterministicPerSeedAndOrderFree) {
+  const data::TmallDataset dataset = MakeDataset();
+  ExpertPolicy expert;
+  const auto a = expert.ScoreItems(dataset, {100, 101, 102});
+  const auto b = expert.ScoreItems(dataset, {102, 101, 100});
+  EXPECT_EQ(a[0], b[2]);
+  EXPECT_EQ(a[2], b[0]);
+}
+
+TEST(NewArrivalsAbTest, OracleSelectionBeatsAntiOracle) {
+  const data::TmallDataset dataset = MakeDataset();
+  MarketConfig market_config;
+  market_config.seed = 7;
+  const MarketSimulator market(market_config);
+
+  // "Expert" = anti-oracle (inverted attractiveness), "model" = oracle.
+  std::vector<double> oracle;
+  std::vector<double> anti_oracle;
+  for (int64_t item : dataset.new_items) {
+    oracle.push_back(dataset.true_attractiveness[size_t(item)]);
+    anti_oracle.push_back(-dataset.true_attractiveness[size_t(item)]);
+  }
+  const auto result = RunNewArrivalsAbTest(dataset, market,
+                                           dataset.new_items, anti_oracle,
+                                           oracle, 40);
+  EXPECT_LT(result.model_mean_days, result.expert_mean_days);
+  EXPECT_GT(result.improvement_pct, 0.0);
+  EXPECT_EQ(result.selected_count, 40);
+}
+
+TEST(NewArrivalsAbTest, IdenticalScoresTie) {
+  const data::TmallDataset dataset = MakeDataset();
+  const MarketSimulator market(MarketConfig{});
+  std::vector<double> same(dataset.new_items.size());
+  for (size_t i = 0; i < same.size(); ++i) same[i] = double(i);
+  const auto result = RunNewArrivalsAbTest(dataset, market,
+                                           dataset.new_items, same, same, 30);
+  EXPECT_DOUBLE_EQ(result.expert_mean_days, result.model_mean_days);
+  EXPECT_DOUBLE_EQ(result.improvement_pct, 0.0);
+}
+
+TEST(RecruitAbTest, OracleRecruitingWinsOnBothMetrics) {
+  data::ElemeConfig config;
+  config.num_restaurants = 300;
+  config.num_new_restaurants = 400;
+  config.num_cells = 20;
+  config.seed = 9;
+  const data::ElemeDataset dataset = GenerateElemeDataset(config);
+
+  std::vector<double> oracle_vppv;
+  std::vector<double> noise_scores;
+  Rng rng(55);
+  for (int64_t row : dataset.new_restaurants) {
+    oracle_vppv.push_back(dataset.true_vppv[size_t(row)]);
+    noise_scores.push_back(rng.Normal());
+  }
+  const auto result = RunRecruitAbTest(dataset, dataset.new_restaurants,
+                                       noise_scores, oracle_vppv, 80);
+  EXPECT_GT(result.model_vppv, result.expert_vppv);
+  EXPECT_GT(result.vppv_improvement_pct, 0.0);
+  EXPECT_EQ(result.selected_count, 80);
+}
+
+TEST(RecruitAbTest, RealizationIsPairedAcrossArms) {
+  // If both arms pick the same restaurants, metrics must be identical.
+  data::ElemeConfig config;
+  config.num_restaurants = 100;
+  config.num_new_restaurants = 50;
+  config.num_cells = 10;
+  const data::ElemeDataset dataset = GenerateElemeDataset(config);
+  std::vector<double> scores(dataset.new_restaurants.size());
+  for (size_t i = 0; i < scores.size(); ++i) scores[i] = double(i % 7);
+  const auto result = RunRecruitAbTest(dataset, dataset.new_restaurants,
+                                       scores, scores, 20);
+  EXPECT_DOUBLE_EQ(result.expert_vppv, result.model_vppv);
+  EXPECT_DOUBLE_EQ(result.expert_gmv, result.model_gmv);
+}
+
+}  // namespace
+}  // namespace atnn::sim

@@ -1,0 +1,108 @@
+#include "sim/market.h"
+
+#include <gtest/gtest.h>
+
+namespace atnn::sim {
+namespace {
+
+MarketConfig TestConfig() {
+  MarketConfig config;
+  config.horizon_days = 30;
+  config.daily_exposure_mean = 60.0;
+  config.seed = 99;
+  return config;
+}
+
+TEST(MarketSimulatorTest, OutcomesAreNonNegativeAndCumulative) {
+  MarketSimulator sim(TestConfig());
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ItemOutcome o = sim.SimulateItem(0.1, 0.0, 30.0, &rng);
+    EXPECT_GE(o.ipv7, 0.0);
+    EXPECT_LE(o.ipv7, o.ipv14);
+    EXPECT_LE(o.ipv14, o.ipv30);
+    EXPECT_LE(o.atf7, o.atf14);
+    EXPECT_LE(o.atf14, o.atf30);
+    EXPECT_LE(o.gmv7, o.gmv14);
+    EXPECT_LE(o.gmv14, o.gmv30);
+  }
+}
+
+TEST(MarketSimulatorTest, MoreAttractiveItemsGetMoreClicks) {
+  MarketSimulator sim(TestConfig());
+  double low_total = 0.0;
+  double high_total = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng low_rng(1000 + trial);
+    Rng high_rng(1000 + trial);  // identical randomness, only attr differs
+    low_total += sim.SimulateItem(0.02, 0.0, 30.0, &low_rng).ipv30;
+    high_total += sim.SimulateItem(0.25, 0.0, 30.0, &high_rng).ipv30;
+  }
+  EXPECT_GT(high_total, 5.0 * low_total);
+}
+
+TEST(MarketSimulatorTest, QualityRaisesConversionAndGmv) {
+  MarketSimulator sim(TestConfig());
+  double low_gmv = 0.0;
+  double high_gmv = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng low_rng(2000 + trial);
+    Rng high_rng(2000 + trial);
+    low_gmv += sim.SimulateItem(0.1, -1.0, 30.0, &low_rng).gmv30;
+    high_gmv += sim.SimulateItem(0.1, 1.5, 30.0, &high_rng).gmv30;
+  }
+  EXPECT_GT(high_gmv, 2.0 * low_gmv);
+}
+
+TEST(MarketSimulatorTest, AttractiveItemsReachFiveSalesSooner) {
+  MarketSimulator sim(TestConfig());
+  std::vector<ItemOutcome> hot;
+  std::vector<ItemOutcome> cold;
+  for (int trial = 0; trial < 60; ++trial) {
+    Rng rng_a(3000 + trial);
+    Rng rng_b(3000 + trial);
+    hot.push_back(sim.SimulateItem(0.3, 1.0, 30.0, &rng_a));
+    cold.push_back(sim.SimulateItem(0.03, -0.5, 30.0, &rng_b));
+  }
+  const double hot_days = MeanTimeToFiveSales(hot, 30.0);
+  const double cold_days = MeanTimeToFiveSales(cold, 30.0);
+  EXPECT_LT(hot_days, cold_days);
+}
+
+TEST(MarketSimulatorTest, SimulateItemsIsDeterministicAndOrderFree) {
+  data::TmallConfig config;
+  config.num_users = 100;
+  config.num_items = 50;
+  config.num_new_items = 20;
+  config.num_interactions = 500;
+  config.attractiveness_sample = 32;
+  data::TmallDataset dataset = GenerateTmallDataset(config);
+
+  MarketSimulator sim(TestConfig());
+  const auto outcomes_a = sim.SimulateItems(dataset, {50, 51, 52});
+  const auto outcomes_b = sim.SimulateItems(dataset, {52, 51, 50});
+  // Item 52's realization must not depend on simulation order.
+  EXPECT_EQ(outcomes_a[2].ipv30, outcomes_b[0].ipv30);
+  EXPECT_EQ(outcomes_a[0].gmv30, outcomes_b[2].gmv30);
+  EXPECT_EQ(outcomes_a[1].first_five_sales_day,
+            outcomes_b[1].first_five_sales_day);
+}
+
+TEST(MeanOutcomesTest, AveragesSubset) {
+  std::vector<ItemOutcome> outcomes(3);
+  outcomes[0].ipv30 = 10;
+  outcomes[1].ipv30 = 20;
+  outcomes[2].ipv30 = 90;
+  const OutcomeMeans means = MeanOutcomes(outcomes, {0, 1});
+  EXPECT_DOUBLE_EQ(means.ipv30, 15.0);
+}
+
+TEST(MeanTimeToFiveSalesTest, CensoredItemsUseFallback) {
+  std::vector<ItemOutcome> outcomes(2);
+  outcomes[0].first_five_sales_day = 4;
+  outcomes[1].first_five_sales_day = -1;  // never reached five sales
+  EXPECT_DOUBLE_EQ(MeanTimeToFiveSales(outcomes, 30.0), 17.0);
+}
+
+}  // namespace
+}  // namespace atnn::sim
