@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines_extended.dir/bench_baselines_extended.cc.o"
+  "CMakeFiles/bench_baselines_extended.dir/bench_baselines_extended.cc.o.d"
+  "bench_baselines_extended"
+  "bench_baselines_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_work_clusters.dir/bench_future_work_clusters.cc.o"
+  "CMakeFiles/bench_future_work_clusters.dir/bench_future_work_clusters.cc.o.d"
+  "bench_future_work_clusters"
+  "bench_future_work_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_work_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scoring_complexity.dir/bench_scoring_complexity.cc.o"
+  "CMakeFiles/bench_scoring_complexity.dir/bench_scoring_complexity.cc.o.d"
+  "bench_scoring_complexity"
+  "bench_scoring_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scoring_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

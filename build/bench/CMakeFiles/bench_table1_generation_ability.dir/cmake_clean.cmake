@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_generation_ability.dir/bench_table1_generation_ability.cc.o"
+  "CMakeFiles/bench_table1_generation_ability.dir/bench_table1_generation_ability.cc.o.d"
+  "bench_table1_generation_ability"
+  "bench_table1_generation_ability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_generation_ability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_food_delivery_offline.dir/bench_table4_food_delivery_offline.cc.o"
+  "CMakeFiles/bench_table4_food_delivery_offline.dir/bench_table4_food_delivery_offline.cc.o.d"
+  "bench_table4_food_delivery_offline"
+  "bench_table4_food_delivery_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_food_delivery_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_food_delivery_online.dir/bench_table5_food_delivery_online.cc.o"
+  "CMakeFiles/bench_table5_food_delivery_online.dir/bench_table5_food_delivery_online.cc.o.d"
+  "bench_table5_food_delivery_online"
+  "bench_table5_food_delivery_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_food_delivery_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/food_delivery.dir/food_delivery.cpp.o"
+  "CMakeFiles/food_delivery.dir/food_delivery.cpp.o.d"
+  "food_delivery"
+  "food_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/food_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

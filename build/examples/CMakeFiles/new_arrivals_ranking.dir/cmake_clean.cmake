@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_arrivals_ranking.dir/new_arrivals_ranking.cpp.o"
+  "CMakeFiles/new_arrivals_ranking.dir/new_arrivals_ranking.cpp.o.d"
+  "new_arrivals_ranking"
+  "new_arrivals_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_arrivals_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

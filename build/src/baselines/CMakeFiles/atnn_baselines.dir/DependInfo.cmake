@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/concat_dnn.cc" "src/baselines/CMakeFiles/atnn_baselines.dir/concat_dnn.cc.o" "gcc" "src/baselines/CMakeFiles/atnn_baselines.dir/concat_dnn.cc.o.d"
+  "/root/repo/src/baselines/deepfm.cc" "src/baselines/CMakeFiles/atnn_baselines.dir/deepfm.cc.o" "gcc" "src/baselines/CMakeFiles/atnn_baselines.dir/deepfm.cc.o.d"
+  "/root/repo/src/baselines/factorization_machine.cc" "src/baselines/CMakeFiles/atnn_baselines.dir/factorization_machine.cc.o" "gcc" "src/baselines/CMakeFiles/atnn_baselines.dir/factorization_machine.cc.o.d"
+  "/root/repo/src/baselines/ftrl_lr.cc" "src/baselines/CMakeFiles/atnn_baselines.dir/ftrl_lr.cc.o" "gcc" "src/baselines/CMakeFiles/atnn_baselines.dir/ftrl_lr.cc.o.d"
+  "/root/repo/src/baselines/lsplm.cc" "src/baselines/CMakeFiles/atnn_baselines.dir/lsplm.cc.o" "gcc" "src/baselines/CMakeFiles/atnn_baselines.dir/lsplm.cc.o.d"
+  "/root/repo/src/baselines/sparse_encoder.cc" "src/baselines/CMakeFiles/atnn_baselines.dir/sparse_encoder.cc.o" "gcc" "src/baselines/CMakeFiles/atnn_baselines.dir/sparse_encoder.cc.o.d"
+  "/root/repo/src/baselines/wide_deep.cc" "src/baselines/CMakeFiles/atnn_baselines.dir/wide_deep.cc.o" "gcc" "src/baselines/CMakeFiles/atnn_baselines.dir/wide_deep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/atnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/atnn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/atnn_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_baselines.dir/concat_dnn.cc.o"
+  "CMakeFiles/atnn_baselines.dir/concat_dnn.cc.o.d"
+  "CMakeFiles/atnn_baselines.dir/deepfm.cc.o"
+  "CMakeFiles/atnn_baselines.dir/deepfm.cc.o.d"
+  "CMakeFiles/atnn_baselines.dir/factorization_machine.cc.o"
+  "CMakeFiles/atnn_baselines.dir/factorization_machine.cc.o.d"
+  "CMakeFiles/atnn_baselines.dir/ftrl_lr.cc.o"
+  "CMakeFiles/atnn_baselines.dir/ftrl_lr.cc.o.d"
+  "CMakeFiles/atnn_baselines.dir/lsplm.cc.o"
+  "CMakeFiles/atnn_baselines.dir/lsplm.cc.o.d"
+  "CMakeFiles/atnn_baselines.dir/sparse_encoder.cc.o"
+  "CMakeFiles/atnn_baselines.dir/sparse_encoder.cc.o.d"
+  "CMakeFiles/atnn_baselines.dir/wide_deep.cc.o"
+  "CMakeFiles/atnn_baselines.dir/wide_deep.cc.o.d"
+  "libatnn_baselines.a"
+  "libatnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_common.dir/flags.cc.o"
+  "CMakeFiles/atnn_common.dir/flags.cc.o.d"
+  "CMakeFiles/atnn_common.dir/logging.cc.o"
+  "CMakeFiles/atnn_common.dir/logging.cc.o.d"
+  "CMakeFiles/atnn_common.dir/rng.cc.o"
+  "CMakeFiles/atnn_common.dir/rng.cc.o.d"
+  "CMakeFiles/atnn_common.dir/serialize.cc.o"
+  "CMakeFiles/atnn_common.dir/serialize.cc.o.d"
+  "CMakeFiles/atnn_common.dir/status.cc.o"
+  "CMakeFiles/atnn_common.dir/status.cc.o.d"
+  "CMakeFiles/atnn_common.dir/table_printer.cc.o"
+  "CMakeFiles/atnn_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/atnn_common.dir/thread_pool.cc.o"
+  "CMakeFiles/atnn_common.dir/thread_pool.cc.o.d"
+  "libatnn_common.a"
+  "libatnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atnn.cc" "src/core/CMakeFiles/atnn_core.dir/atnn.cc.o" "gcc" "src/core/CMakeFiles/atnn_core.dir/atnn.cc.o.d"
+  "/root/repo/src/core/feature_adapter.cc" "src/core/CMakeFiles/atnn_core.dir/feature_adapter.cc.o" "gcc" "src/core/CMakeFiles/atnn_core.dir/feature_adapter.cc.o.d"
+  "/root/repo/src/core/multitask_atnn.cc" "src/core/CMakeFiles/atnn_core.dir/multitask_atnn.cc.o" "gcc" "src/core/CMakeFiles/atnn_core.dir/multitask_atnn.cc.o.d"
+  "/root/repo/src/core/multitask_trainer.cc" "src/core/CMakeFiles/atnn_core.dir/multitask_trainer.cc.o" "gcc" "src/core/CMakeFiles/atnn_core.dir/multitask_trainer.cc.o.d"
+  "/root/repo/src/core/popularity.cc" "src/core/CMakeFiles/atnn_core.dir/popularity.cc.o" "gcc" "src/core/CMakeFiles/atnn_core.dir/popularity.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/atnn_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/atnn_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/two_tower.cc" "src/core/CMakeFiles/atnn_core.dir/two_tower.cc.o" "gcc" "src/core/CMakeFiles/atnn_core.dir/two_tower.cc.o.d"
+  "/root/repo/src/core/user_clusters.cc" "src/core/CMakeFiles/atnn_core.dir/user_clusters.cc.o" "gcc" "src/core/CMakeFiles/atnn_core.dir/user_clusters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/atnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/atnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/atnn_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

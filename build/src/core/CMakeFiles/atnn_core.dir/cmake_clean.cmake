@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_core.dir/atnn.cc.o"
+  "CMakeFiles/atnn_core.dir/atnn.cc.o.d"
+  "CMakeFiles/atnn_core.dir/feature_adapter.cc.o"
+  "CMakeFiles/atnn_core.dir/feature_adapter.cc.o.d"
+  "CMakeFiles/atnn_core.dir/multitask_atnn.cc.o"
+  "CMakeFiles/atnn_core.dir/multitask_atnn.cc.o.d"
+  "CMakeFiles/atnn_core.dir/multitask_trainer.cc.o"
+  "CMakeFiles/atnn_core.dir/multitask_trainer.cc.o.d"
+  "CMakeFiles/atnn_core.dir/popularity.cc.o"
+  "CMakeFiles/atnn_core.dir/popularity.cc.o.d"
+  "CMakeFiles/atnn_core.dir/trainer.cc.o"
+  "CMakeFiles/atnn_core.dir/trainer.cc.o.d"
+  "CMakeFiles/atnn_core.dir/two_tower.cc.o"
+  "CMakeFiles/atnn_core.dir/two_tower.cc.o.d"
+  "CMakeFiles/atnn_core.dir/user_clusters.cc.o"
+  "CMakeFiles/atnn_core.dir/user_clusters.cc.o.d"
+  "libatnn_core.a"
+  "libatnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/atnn_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/atnn_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/eleme.cc" "src/data/CMakeFiles/atnn_data.dir/eleme.cc.o" "gcc" "src/data/CMakeFiles/atnn_data.dir/eleme.cc.o.d"
+  "/root/repo/src/data/normalize.cc" "src/data/CMakeFiles/atnn_data.dir/normalize.cc.o" "gcc" "src/data/CMakeFiles/atnn_data.dir/normalize.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/atnn_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/atnn_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/tmall.cc" "src/data/CMakeFiles/atnn_data.dir/tmall.cc.o" "gcc" "src/data/CMakeFiles/atnn_data.dir/tmall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/atnn_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

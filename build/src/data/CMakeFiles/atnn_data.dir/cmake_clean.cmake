@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_data.dir/csv.cc.o"
+  "CMakeFiles/atnn_data.dir/csv.cc.o.d"
+  "CMakeFiles/atnn_data.dir/eleme.cc.o"
+  "CMakeFiles/atnn_data.dir/eleme.cc.o.d"
+  "CMakeFiles/atnn_data.dir/normalize.cc.o"
+  "CMakeFiles/atnn_data.dir/normalize.cc.o.d"
+  "CMakeFiles/atnn_data.dir/schema.cc.o"
+  "CMakeFiles/atnn_data.dir/schema.cc.o.d"
+  "CMakeFiles/atnn_data.dir/tmall.cc.o"
+  "CMakeFiles/atnn_data.dir/tmall.cc.o.d"
+  "libatnn_data.a"
+  "libatnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

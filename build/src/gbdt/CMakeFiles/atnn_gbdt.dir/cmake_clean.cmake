@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_gbdt.dir/binner.cc.o"
+  "CMakeFiles/atnn_gbdt.dir/binner.cc.o.d"
+  "CMakeFiles/atnn_gbdt.dir/gbdt.cc.o"
+  "CMakeFiles/atnn_gbdt.dir/gbdt.cc.o.d"
+  "CMakeFiles/atnn_gbdt.dir/tree.cc.o"
+  "CMakeFiles/atnn_gbdt.dir/tree.cc.o.d"
+  "libatnn_gbdt.a"
+  "libatnn_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

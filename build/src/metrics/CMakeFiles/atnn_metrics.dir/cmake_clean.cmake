@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_metrics.dir/metrics.cc.o"
+  "CMakeFiles/atnn_metrics.dir/metrics.cc.o.d"
+  "libatnn_metrics.a"
+  "libatnn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_nn.dir/autograd.cc.o"
+  "CMakeFiles/atnn_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/atnn_nn.dir/init.cc.o"
+  "CMakeFiles/atnn_nn.dir/init.cc.o.d"
+  "CMakeFiles/atnn_nn.dir/layers.cc.o"
+  "CMakeFiles/atnn_nn.dir/layers.cc.o.d"
+  "CMakeFiles/atnn_nn.dir/matmul.cc.o"
+  "CMakeFiles/atnn_nn.dir/matmul.cc.o.d"
+  "CMakeFiles/atnn_nn.dir/ops.cc.o"
+  "CMakeFiles/atnn_nn.dir/ops.cc.o.d"
+  "CMakeFiles/atnn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/atnn_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/atnn_nn.dir/parameter.cc.o"
+  "CMakeFiles/atnn_nn.dir/parameter.cc.o.d"
+  "CMakeFiles/atnn_nn.dir/tensor.cc.o"
+  "CMakeFiles/atnn_nn.dir/tensor.cc.o.d"
+  "libatnn_nn.a"
+  "libatnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

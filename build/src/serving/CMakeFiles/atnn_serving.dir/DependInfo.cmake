@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/event_stream.cc" "src/serving/CMakeFiles/atnn_serving.dir/event_stream.cc.o" "gcc" "src/serving/CMakeFiles/atnn_serving.dir/event_stream.cc.o.d"
+  "/root/repo/src/serving/model_snapshot.cc" "src/serving/CMakeFiles/atnn_serving.dir/model_snapshot.cc.o" "gcc" "src/serving/CMakeFiles/atnn_serving.dir/model_snapshot.cc.o.d"
+  "/root/repo/src/serving/online_scorer.cc" "src/serving/CMakeFiles/atnn_serving.dir/online_scorer.cc.o" "gcc" "src/serving/CMakeFiles/atnn_serving.dir/online_scorer.cc.o.d"
+  "/root/repo/src/serving/popularity_index.cc" "src/serving/CMakeFiles/atnn_serving.dir/popularity_index.cc.o" "gcc" "src/serving/CMakeFiles/atnn_serving.dir/popularity_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/atnn_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

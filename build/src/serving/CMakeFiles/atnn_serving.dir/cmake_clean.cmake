@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_serving.dir/event_stream.cc.o"
+  "CMakeFiles/atnn_serving.dir/event_stream.cc.o.d"
+  "CMakeFiles/atnn_serving.dir/model_snapshot.cc.o"
+  "CMakeFiles/atnn_serving.dir/model_snapshot.cc.o.d"
+  "CMakeFiles/atnn_serving.dir/online_scorer.cc.o"
+  "CMakeFiles/atnn_serving.dir/online_scorer.cc.o.d"
+  "CMakeFiles/atnn_serving.dir/popularity_index.cc.o"
+  "CMakeFiles/atnn_serving.dir/popularity_index.cc.o.d"
+  "libatnn_serving.a"
+  "libatnn_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

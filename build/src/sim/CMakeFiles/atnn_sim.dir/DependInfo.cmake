@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ab_test.cc" "src/sim/CMakeFiles/atnn_sim.dir/ab_test.cc.o" "gcc" "src/sim/CMakeFiles/atnn_sim.dir/ab_test.cc.o.d"
+  "/root/repo/src/sim/expert.cc" "src/sim/CMakeFiles/atnn_sim.dir/expert.cc.o" "gcc" "src/sim/CMakeFiles/atnn_sim.dir/expert.cc.o.d"
+  "/root/repo/src/sim/market.cc" "src/sim/CMakeFiles/atnn_sim.dir/market.cc.o" "gcc" "src/sim/CMakeFiles/atnn_sim.dir/market.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/atnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/atnn_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_sim.dir/ab_test.cc.o"
+  "CMakeFiles/atnn_sim.dir/ab_test.cc.o.d"
+  "CMakeFiles/atnn_sim.dir/expert.cc.o"
+  "CMakeFiles/atnn_sim.dir/expert.cc.o.d"
+  "CMakeFiles/atnn_sim.dir/market.cc.o"
+  "CMakeFiles/atnn_sim.dir/market.cc.o.d"
+  "libatnn_sim.a"
+  "libatnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

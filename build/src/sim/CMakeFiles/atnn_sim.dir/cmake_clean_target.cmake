@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatnn_sim.a"
+)

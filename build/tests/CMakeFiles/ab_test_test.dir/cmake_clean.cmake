@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_test_test.dir/sim/ab_test_test.cc.o"
+  "CMakeFiles/ab_test_test.dir/sim/ab_test_test.cc.o.d"
+  "ab_test_test"
+  "ab_test_test.pdb"
+  "ab_test_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

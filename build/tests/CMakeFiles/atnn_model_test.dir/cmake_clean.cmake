@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_model_test.dir/core/atnn_model_test.cc.o"
+  "CMakeFiles/atnn_model_test.dir/core/atnn_model_test.cc.o.d"
+  "atnn_model_test"
+  "atnn_model_test.pdb"
+  "atnn_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

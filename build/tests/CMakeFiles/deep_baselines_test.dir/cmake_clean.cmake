@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_baselines_test.dir/baselines/deep_baselines_test.cc.o"
+  "CMakeFiles/deep_baselines_test.dir/baselines/deep_baselines_test.cc.o.d"
+  "deep_baselines_test"
+  "deep_baselines_test.pdb"
+  "deep_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eleme_test.dir/data/eleme_test.cc.o"
+  "CMakeFiles/eleme_test.dir/data/eleme_test.cc.o.d"
+  "eleme_test"
+  "eleme_test.pdb"
+  "eleme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eleme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

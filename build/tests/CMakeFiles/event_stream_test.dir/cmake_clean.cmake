@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_stream_test.dir/serving/event_stream_test.cc.o"
+  "CMakeFiles/event_stream_test.dir/serving/event_stream_test.cc.o.d"
+  "event_stream_test"
+  "event_stream_test.pdb"
+  "event_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

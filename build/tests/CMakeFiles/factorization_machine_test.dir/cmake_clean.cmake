@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factorization_machine_test.dir/baselines/factorization_machine_test.cc.o"
+  "CMakeFiles/factorization_machine_test.dir/baselines/factorization_machine_test.cc.o.d"
+  "factorization_machine_test"
+  "factorization_machine_test.pdb"
+  "factorization_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factorization_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

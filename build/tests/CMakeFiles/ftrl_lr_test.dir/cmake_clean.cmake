@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftrl_lr_test.dir/baselines/ftrl_lr_test.cc.o"
+  "CMakeFiles/ftrl_lr_test.dir/baselines/ftrl_lr_test.cc.o.d"
+  "ftrl_lr_test"
+  "ftrl_lr_test.pdb"
+  "ftrl_lr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftrl_lr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

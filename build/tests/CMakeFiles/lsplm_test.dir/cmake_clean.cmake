@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsplm_test.dir/baselines/lsplm_test.cc.o"
+  "CMakeFiles/lsplm_test.dir/baselines/lsplm_test.cc.o.d"
+  "lsplm_test"
+  "lsplm_test.pdb"
+  "lsplm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsplm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

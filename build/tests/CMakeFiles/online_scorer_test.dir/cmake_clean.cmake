@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_scorer_test.dir/serving/online_scorer_test.cc.o"
+  "CMakeFiles/online_scorer_test.dir/serving/online_scorer_test.cc.o.d"
+  "online_scorer_test"
+  "online_scorer_test.pdb"
+  "online_scorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_scorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

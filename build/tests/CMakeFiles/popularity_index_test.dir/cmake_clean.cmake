@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popularity_index_test.dir/serving/popularity_index_test.cc.o"
+  "CMakeFiles/popularity_index_test.dir/serving/popularity_index_test.cc.o.d"
+  "popularity_index_test"
+  "popularity_index_test.pdb"
+  "popularity_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popularity_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/regularization_test.cc" "tests/CMakeFiles/regularization_test.dir/nn/regularization_test.cc.o" "gcc" "tests/CMakeFiles/regularization_test.dir/nn/regularization_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/atnn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/atnn_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/atnn_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/atnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/atnn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/atnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regularization_test.dir/nn/regularization_test.cc.o"
+  "CMakeFiles/regularization_test.dir/nn/regularization_test.cc.o.d"
+  "regularization_test"
+  "regularization_test.pdb"
+  "regularization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regularization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_encoder_test.dir/baselines/sparse_encoder_test.cc.o"
+  "CMakeFiles/sparse_encoder_test.dir/baselines/sparse_encoder_test.cc.o.d"
+  "sparse_encoder_test"
+  "sparse_encoder_test.pdb"
+  "sparse_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

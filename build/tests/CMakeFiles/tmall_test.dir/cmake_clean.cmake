@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmall_test.dir/data/tmall_test.cc.o"
+  "CMakeFiles/tmall_test.dir/data/tmall_test.cc.o.d"
+  "tmall_test"
+  "tmall_test.pdb"
+  "tmall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

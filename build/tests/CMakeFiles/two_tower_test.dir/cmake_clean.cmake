@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_tower_test.dir/core/two_tower_test.cc.o"
+  "CMakeFiles/two_tower_test.dir/core/two_tower_test.cc.o.d"
+  "two_tower_test"
+  "two_tower_test.pdb"
+  "two_tower_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_tower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_clusters_test.dir/core/user_clusters_test.cc.o"
+  "CMakeFiles/user_clusters_test.dir/core/user_clusters_test.cc.o.d"
+  "user_clusters_test"
+  "user_clusters_test.pdb"
+  "user_clusters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_clusters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

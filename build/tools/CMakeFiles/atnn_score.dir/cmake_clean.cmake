@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_score.dir/atnn_score.cc.o"
+  "CMakeFiles/atnn_score.dir/atnn_score.cc.o.d"
+  "atnn_score"
+  "atnn_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

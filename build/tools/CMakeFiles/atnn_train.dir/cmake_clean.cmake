@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atnn_train.dir/atnn_train.cc.o"
+  "CMakeFiles/atnn_train.dir/atnn_train.cc.o.d"
+  "atnn_train"
+  "atnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
