@@ -22,6 +22,9 @@ enum class StatusCode {
   kCorruption = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  /// A bounded resource (e.g. the serving runtime's request queue) is full
+  /// and the caller chose rejection over blocking.
+  kResourceExhausted = 10,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -68,6 +71,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

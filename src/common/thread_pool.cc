@@ -7,7 +7,9 @@
 namespace atnn {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  ATNN_CHECK(num_threads >= 1);
+  ATNN_CHECK(num_threads >= 1)
+      << "ThreadPool requires at least one worker; a 0-thread pool could "
+         "never run a task and Wait() would deadlock";
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

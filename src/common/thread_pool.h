@@ -13,11 +13,27 @@
 namespace atnn {
 
 /// Fixed-size worker pool for embarrassingly parallel work (GBDT split
-/// finding, batched data generation). Tasks are void() closures; Wait()
-/// blocks until everything submitted so far has run.
+/// finding, batched data generation) and for long-lived worker loops (the
+/// serving runtime submits one blocking loop per thread). Tasks are void()
+/// closures; Wait() blocks until everything submitted so far has run.
+///
+/// Concurrency contract:
+///   - Submit is safe from any thread, including from inside a running
+///     task (a task may fan out subtasks).
+///   - Wait blocks until the pool is fully idle. Tasks submitted by other
+///     threads — or by running tasks — *while* a Wait is in progress extend
+///     that Wait: it returns only when the in-flight count reaches zero,
+///     not when some earlier submission watermark drains. Callers that need
+///     "my tasks are done" semantics under concurrent submitters should
+///     count completions themselves (see thread_pool_test.cc).
+///   - Wait may be called concurrently from multiple threads; all of them
+///     return once the pool is idle.
+///   - Submitting after destruction has begun is a fatal error.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1).
+  /// Spawns `num_threads` workers. `num_threads == 0` is a fatal error
+  /// (ATNN_CHECK), not a silent "inline mode": every caller sizes its pool
+  /// explicitly, and a 0-thread pool would deadlock every Wait().
   explicit ThreadPool(size_t num_threads);
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,7 +44,8 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed (see the concurrency
+  /// contract above for behaviour under concurrent Submit).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }

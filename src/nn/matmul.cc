@@ -15,7 +15,41 @@ void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
   ATNN_CHECK(c->rows() == m && c->cols() == n)
       << "output " << c->ShapeString() << " for [" << m << " x " << n << "]";
   c->SetZero();
-  for (int64_t i = 0; i < m; ++i) {
+  // Process 4 rows of A per pass over B. A plain i-k-j loop re-streams the
+  // entire B matrix (the layer weights) from cache for every row of A,
+  // which makes a batch-64 forward no cheaper per row than 64 single-row
+  // forwards — exactly the amortization batched inference needs. Blocking
+  // 4 rows reuses each loaded B row for 4 accumulator streams (4x less B
+  // traffic) while keeping the per-row accumulation order of the unblocked
+  // loop (results differ at most by +-0.0 sign where a zero-skip turns
+  // into an explicit +0.0 contribution).
+  const int64_t blocked_rows = m - (m % 4);
+  for (int64_t i = 0; i < blocked_rows; i += 4) {
+    const float* a0 = a.row_ptr(i);
+    const float* a1 = a.row_ptr(i + 1);
+    const float* a2 = a.row_ptr(i + 2);
+    const float* a3 = a.row_ptr(i + 3);
+    float* c0 = c->row_ptr(i);
+    float* c1 = c->row_ptr(i + 1);
+    float* c2 = c->row_ptr(i + 2);
+    float* c3 = c->row_ptr(i + 3);
+    for (int64_t p = 0; p < k; ++p) {
+      const float v0 = a0[p];
+      const float v1 = a1[p];
+      const float v2 = a2[p];
+      const float v3 = a3[p];
+      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+      const float* b_row = b.row_ptr(p);
+      for (int64_t j = 0; j < n; ++j) {
+        const float b_val = b_row[j];
+        c0[j] += v0 * b_val;
+        c1[j] += v1 * b_val;
+        c2[j] += v2 * b_val;
+        c3[j] += v3 * b_val;
+      }
+    }
+  }
+  for (int64_t i = blocked_rows; i < m; ++i) {
     const float* a_row = a.row_ptr(i);
     float* c_row = c->row_ptr(i);
     for (int64_t p = 0; p < k; ++p) {

@@ -1,0 +1,187 @@
+#include "runtime/inference_runtime.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace atnn::runtime {
+
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+InferenceRuntime::InferenceRuntime(const RuntimeConfig& config)
+    : config_(config),
+      batcher_(config.batcher, &stats_),
+      pool_(config.num_workers) {
+  ATNN_CHECK(config.num_workers >= 1);
+  for (size_t i = 0; i < config.num_workers; ++i) {
+    pool_.Submit([this] { WorkerLoop(); });
+  }
+}
+
+InferenceRuntime::~InferenceRuntime() { Shutdown(); }
+
+uint64_t InferenceRuntime::Publish(ServingSnapshot snapshot) {
+  ATNN_CHECK(snapshot.model != nullptr);
+  ATNN_CHECK(snapshot.predictor != nullptr);
+  ATNN_CHECK(snapshot.item_profiles != nullptr);
+  ATNN_CHECK_EQ(snapshot.predictor->mean_user_vector().cols(),
+                snapshot.model->vector_dim());
+  const uint64_t version = snapshots_.Publish(std::move(snapshot));
+  stats_.RecordSwap();
+  return version;
+}
+
+std::future<StatusOr<ScoreResult>> InferenceRuntime::ScoreAsync(
+    int64_t item_row) {
+  return batcher_.Enqueue(item_row);
+}
+
+StatusOr<ScoreResult> InferenceRuntime::Score(int64_t item_row) {
+  return ScoreAsync(item_row).get();
+}
+
+void InferenceRuntime::Shutdown() {
+  batcher_.Close();
+  pool_.Wait();
+}
+
+void InferenceRuntime::WorkerLoop() {
+  for (;;) {
+    std::vector<PendingRequest> batch = batcher_.PopBatch();
+    if (batch.empty()) return;  // closed and drained
+    const auto snapshot = snapshots_.Acquire();
+    if (snapshot == nullptr) {
+      for (auto& request : batch) {
+        request.promise.set_value(Status::FailedPrecondition(
+            "no model snapshot published; call Publish() first"));
+        stats_.RecordResponse(false, MicrosSince(request.enqueue_time));
+      }
+      continue;
+    }
+    ExecuteBatch(*snapshot, &batch);
+  }
+}
+
+void InferenceRuntime::ExecuteBatch(const ServingSnapshot& snapshot,
+                                    std::vector<PendingRequest>* batch) {
+  const int64_t num_rows = snapshot.item_profiles->num_rows();
+
+  // Partition: out-of-range rows are answered immediately, valid rows go
+  // through one shared generator forward.
+  std::vector<int64_t> valid_rows;
+  std::vector<size_t> valid_index;  // position in *batch
+  valid_rows.reserve(batch->size());
+  valid_index.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const int64_t row = (*batch)[i].item_row;
+    if (row < 0 || row >= num_rows) {
+      (*batch)[i].promise.set_value(Status::InvalidArgument(
+          "item row " + std::to_string(row) + " outside profile table [0, " +
+          std::to_string(num_rows) + ")"));
+      stats_.RecordResponse(false, MicrosSince((*batch)[i].enqueue_time));
+    } else {
+      valid_rows.push_back(row);
+      valid_index.push_back(i);
+    }
+  }
+
+  if (valid_rows.empty()) return;
+
+  std::vector<double> scores(valid_rows.size(), 0.0);
+  std::vector<char> cached(valid_rows.size(), 0);
+  const size_t hits =
+      LookupCached(snapshot.version, valid_rows, &scores, &cached);
+  if (hits > 0) stats_.RecordCacheHits(hits);
+
+  if (hits < valid_rows.size()) {
+    // One generator forward over the cache misses only.
+    std::vector<int64_t> miss_rows;
+    std::vector<size_t> miss_pos;  // position in the `valid_*` arrays
+    miss_rows.reserve(valid_rows.size() - hits);
+    miss_pos.reserve(valid_rows.size() - hits);
+    for (size_t i = 0; i < valid_rows.size(); ++i) {
+      if (!cached[i]) {
+        miss_rows.push_back(valid_rows[i]);
+        miss_pos.push_back(i);
+      }
+    }
+    Stopwatch score_timer;
+    const data::BlockBatch block =
+        data::GatherBlock(*snapshot.item_profiles, miss_rows);
+    const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
+    std::vector<double> miss_scores;
+    miss_scores.reserve(miss_rows.size());
+    for (int64_t r = 0; r < vectors.rows(); ++r) {
+      const double score = snapshot.predictor->ScoreVector(
+          vectors.value().row_ptr(r), vectors.cols());
+      miss_scores.push_back(score);
+      scores[miss_pos[static_cast<size_t>(r)]] = score;
+    }
+    stats_.RecordBatch(miss_rows.size(), score_timer.ElapsedMillis() * 1e3);
+    InsertCached(snapshot.version, miss_rows, miss_scores);
+  }
+
+  for (size_t i = 0; i < valid_index.size(); ++i) {
+    PendingRequest& request = (*batch)[valid_index[i]];
+    ScoreResult result;
+    result.score = scores[i];
+    result.snapshot_version = snapshot.version;
+    request.promise.set_value(result);
+    stats_.RecordResponse(true, MicrosSince(request.enqueue_time));
+  }
+}
+
+size_t InferenceRuntime::LookupCached(uint64_t version,
+                                      const std::vector<int64_t>& rows,
+                                      std::vector<double>* scores_out,
+                                      std::vector<char>* hit_out) {
+  if (!config_.enable_score_cache) return 0;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (version > cache_version_) {
+    // First batch on a freshly published snapshot: every memoized score
+    // belongs to a dead version, drop them all.
+    score_cache_.clear();
+    cache_version_ = version;
+    return 0;
+  }
+  // A laggard worker still holding an older snapshot gets no hits (and,
+  // below, no inserts) — it must not read or clear the newer cache.
+  if (version < cache_version_) return 0;
+  size_t hits = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto it = score_cache_.find(rows[i]);
+    if (it == score_cache_.end()) continue;
+    (*scores_out)[i] = it->second;
+    (*hit_out)[i] = 1;
+    ++hits;
+  }
+  return hits;
+}
+
+void InferenceRuntime::InsertCached(uint64_t version,
+                                    const std::vector<int64_t>& rows,
+                                    const std::vector<double>& scores) {
+  if (!config_.enable_score_cache) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // A worker still finishing a batch on version N must not poison the
+  // cache after version N+1 was published and claimed it.
+  if (cache_version_ != version) return;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (score_cache_.size() >= config_.score_cache_capacity) return;
+    score_cache_.emplace(rows[i], scores[i]);
+  }
+}
+
+}  // namespace atnn::runtime

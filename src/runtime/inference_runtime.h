@@ -1,0 +1,126 @@
+#ifndef ATNN_RUNTIME_INFERENCE_RUNTIME_H_
+#define ATNN_RUNTIME_INFERENCE_RUNTIME_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "runtime/micro_batcher.h"
+#include "runtime/runtime_stats.h"
+#include "runtime/snapshot_handle.h"
+
+namespace atnn::runtime {
+
+struct RuntimeConfig {
+  /// Worker threads executing micro-batches (each runs one blocking loop on
+  /// the underlying atnn::ThreadPool).
+  size_t num_workers = 2;
+  /// Memoize scores per (snapshot version, item row). Sound because the
+  /// popularity path is deterministic given the published snapshot: the
+  /// score depends only on the item profile and the frozen generator +
+  /// mean-user vector. A Publish() invalidates the whole cache (it is keyed
+  /// by version), so hot swaps can never serve stale scores. Under the
+  /// Zipf-skewed traffic of real request logs this answers most requests
+  /// without a forward pass.
+  bool enable_score_cache = true;
+  /// Entry cap; inserts stop when reached (item tables are finite, so in
+  /// practice the cache holds at most one score per item).
+  size_t score_cache_capacity = 1 << 20;
+  BatcherConfig batcher;
+};
+
+/// Concurrent micro-batching scorer for the paper's O(1) popularity path:
+/// requests for single item rows are coalesced into micro-batches, each
+/// batch runs one generator forward (`g(X_ip)`) on a worker and is scored
+/// against the snapshot's mean user vector. This turns the per-call
+/// overhead of one-item-at-a-time scoring (graph construction, embedding
+/// gather, tiny matmuls) into amortized batch cost, and repeat requests
+/// for the same item are answered from a per-snapshot-version score cache
+/// — batching and caching are exactly the two properties that make
+/// decoupled two-tower item paths cheap to serve.
+///
+/// Lifecycle:
+///   InferenceRuntime runtime(config);
+///   runtime.Publish(snapshot);            // required before scoring
+///   auto future = runtime.ScoreAsync(row);
+///   ...
+///   runtime.Shutdown();                   // drains; also run by ~dtor
+///
+/// Hot swap: Publish() may be called at any time, from any thread, while
+/// requests are in flight. Workers pick up the new version at their next
+/// batch; batches already executing finish on the version they acquired.
+/// No request is ever dropped or scored against a half-written model.
+///
+/// Thread safety: ScoreAsync/Score/Publish/stats are safe from any thread.
+/// Scoring runs concurrent *forward* passes over a shared immutable model;
+/// this is safe because forward ops only read parameter values (training
+/// the published model concurrently is not supported — train a copy and
+/// Publish it).
+class InferenceRuntime {
+ public:
+  explicit InferenceRuntime(const RuntimeConfig& config);
+
+  InferenceRuntime(const InferenceRuntime&) = delete;
+  InferenceRuntime& operator=(const InferenceRuntime&) = delete;
+
+  /// Drains and stops (see Shutdown).
+  ~InferenceRuntime();
+
+  /// Atomically publishes a new serving snapshot (model + mean-user vector
+  /// + item-profile table) and returns its version. The snapshot's
+  /// `model`, `predictor` and `item_profiles` must all be non-null.
+  uint64_t Publish(ServingSnapshot snapshot);
+
+  /// Enqueues one item row for scoring. The future resolves with the score
+  /// and the snapshot version that produced it, or with:
+  ///   - ResourceExhausted: queue full under kRejectWithStatus
+  ///   - InvalidArgument:   item_row outside the snapshot's profile table
+  ///   - FailedPrecondition: no snapshot published yet, or shutting down
+  std::future<StatusOr<ScoreResult>> ScoreAsync(int64_t item_row);
+
+  /// Blocking convenience wrapper around ScoreAsync.
+  StatusOr<ScoreResult> Score(int64_t item_row);
+
+  /// Stops admission, waits for every queued request to be answered, then
+  /// joins the workers. Idempotent.
+  void Shutdown();
+
+  StatsSnapshot stats() const { return stats_.Snapshot(); }
+  uint64_t snapshot_version() const { return snapshots_.version(); }
+  size_t queue_depth() const { return batcher_.queue_depth(); }
+  const RuntimeConfig& config() const { return config_; }
+
+ private:
+  void WorkerLoop();
+  void ExecuteBatch(const ServingSnapshot& snapshot,
+                    std::vector<PendingRequest>* batch);
+  /// Fills `scores_out[i]` and marks `hit_out[i]` for each cached row;
+  /// returns the number of hits. No-op when the cache is disabled.
+  size_t LookupCached(uint64_t version, const std::vector<int64_t>& rows,
+                      std::vector<double>* scores_out,
+                      std::vector<char>* hit_out);
+  /// Inserts freshly computed scores, unless a newer version was published
+  /// in the meantime (the version check makes late writers harmless).
+  void InsertCached(uint64_t version, const std::vector<int64_t>& rows,
+                    const std::vector<double>& scores);
+
+  RuntimeConfig config_;
+  RuntimeStats stats_;
+  SnapshotHandle snapshots_;
+  MicroBatcher batcher_;
+  std::mutex cache_mutex_;
+  uint64_t cache_version_ = 0;
+  std::unordered_map<int64_t, double> score_cache_;
+  /// Declared after the batcher/stats the worker loops use; the destructor
+  /// runs Shutdown() before any member is torn down.
+  ThreadPool pool_;
+};
+
+}  // namespace atnn::runtime
+
+#endif  // ATNN_RUNTIME_INFERENCE_RUNTIME_H_

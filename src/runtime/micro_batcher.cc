@@ -1,0 +1,139 @@
+#include "runtime/micro_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace atnn::runtime {
+
+namespace {
+
+std::future<StatusOr<ScoreResult>> ReadyError(Status status) {
+  std::promise<StatusOr<ScoreResult>> promise;
+  auto future = promise.get_future();
+  promise.set_value(std::move(status));
+  return future;
+}
+
+double MicrosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const BatcherConfig& config, RuntimeStats* stats)
+    : config_(config), stats_(stats) {
+  ATNN_CHECK(config.max_batch_size >= 1);
+  ATNN_CHECK(config.queue_capacity >= config.max_batch_size)
+      << "queue must hold at least one full batch";
+  ATNN_CHECK(config.max_delay_us >= 0);
+}
+
+std::future<StatusOr<ScoreResult>> MicroBatcher::Enqueue(int64_t item_row) {
+  PendingRequest request;
+  request.item_row = item_row;
+  request.enqueue_time = std::chrono::steady_clock::now();
+  auto future = request.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (config_.admission == AdmissionPolicy::kBlock) {
+      not_full_.wait(lock, [this] {
+        return closed_ || queue_.size() < config_.queue_capacity;
+      });
+    }
+    if (closed_) {
+      if (stats_ != nullptr) stats_->RecordRejected();
+      return ReadyError(
+          Status::FailedPrecondition("runtime is shutting down"));
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      // Only reachable under kRejectWithStatus: kBlock waited for space.
+      if (stats_ != nullptr) stats_->RecordRejected();
+      return ReadyError(Status::ResourceExhausted(
+          "request queue full (" + std::to_string(config_.queue_capacity) +
+          " pending)"));
+    }
+    queue_.push_back(std::move(request));
+    // Wake a consumer only on the transitions that change what a consumer
+    // would do: the queue becoming non-empty (an idle worker must start a
+    // batch window) or another full batch becoming available (a second
+    // worker can run it). Per-enqueue notify_one would wake the collecting
+    // worker 64 times per batch for nothing — measurable context-switch
+    // churn at six-figure request rates.
+    const size_t depth = queue_.size();
+    if (depth == 1 || depth % config_.max_batch_size == 0) {
+      not_empty_.notify_one();
+    }
+  }
+  if (stats_ != nullptr) stats_->RecordEnqueued();
+  return future;
+}
+
+std::vector<PendingRequest> MicroBatcher::PopBatch() {
+  std::vector<PendingRequest> batch;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return {};  // closed and drained
+
+      // Flush rule: full batch, or the *oldest* request has aged out.
+      // After Close() any partial batch flushes immediately — drain fast.
+      // Producers only notify on empty->nonempty and full-batch
+      // boundaries, so this wait normally wakes exactly twice per batch:
+      // once to open the window, once when it can flush.
+      const auto deadline =
+          queue_.front().enqueue_time +
+          std::chrono::microseconds(config_.max_delay_us);
+      while (!closed_ && queue_.size() < config_.max_batch_size) {
+        if (not_empty_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      // Another consumer may have taken everything while we waited.
+      if (queue_.empty()) continue;
+
+      const size_t take = std::min(queue_.size(), config_.max_batch_size);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      not_full_.notify_all();
+      break;
+    }
+  }
+  if (stats_ != nullptr) {
+    // Record enqueue waits outside the queue lock: stats take their own
+    // mutex and producers are hot on ours.
+    const auto now = std::chrono::steady_clock::now();
+    for (const PendingRequest& request : batch) {
+      stats_->RecordEnqueueWait(MicrosBetween(request.enqueue_time, now));
+    }
+  }
+  return batch;
+}
+
+void MicroBatcher::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool MicroBatcher::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace atnn::runtime

@@ -1,0 +1,105 @@
+#ifndef ATNN_RUNTIME_MICRO_BATCHER_H_
+#define ATNN_RUNTIME_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/runtime_stats.h"
+
+namespace atnn::runtime {
+
+/// What overload does to new requests once the queue is at capacity.
+enum class AdmissionPolicy {
+  /// Enqueue blocks the caller until space frees up (producer-side
+  /// backpressure; total memory stays bounded, latency absorbs the spike).
+  kBlock,
+  /// Enqueue immediately fulfils the request's future with
+  /// ResourceExhausted (load shedding; callers see the overload and can
+  /// retry or degrade).
+  kRejectWithStatus,
+};
+
+struct BatcherConfig {
+  /// Flush a batch as soon as it reaches this many requests.
+  size_t max_batch_size = 64;
+  /// ... or as soon as the oldest queued request has waited this long.
+  int64_t max_delay_us = 2000;
+  /// Bound on queued (admitted but not yet batched) requests.
+  size_t queue_capacity = 4096;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+};
+
+/// One fulfilled score: the model output plus the snapshot version that
+/// produced it (so callers can attribute scores across hot-swaps).
+struct ScoreResult {
+  double score = 0.0;
+  uint64_t snapshot_version = 0;
+};
+
+/// A request admitted to the queue, waiting to be batched. Movable-only
+/// because of the promise.
+struct PendingRequest {
+  int64_t item_row = 0;
+  std::promise<StatusOr<ScoreResult>> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+/// Coalesces single-item score requests into micro-batches. Producers call
+/// Enqueue from any thread; consumers (the runtime's workers) call
+/// PopBatch, which blocks until at least one request is queued and then
+/// waits until the batch is full or the oldest request's age reaches
+/// max_delay_us — the standard size-or-deadline flush rule.
+///
+/// The queue is bounded (queue_capacity); see AdmissionPolicy for what
+/// happens at the bound. Close() wakes everyone: queued requests still
+/// drain through PopBatch (zero drops on shutdown), new Enqueues fail with
+/// FailedPrecondition, and PopBatch returns an empty batch once the queue
+/// is empty — the workers' exit signal.
+class MicroBatcher {
+ public:
+  /// `stats` may be nullptr (no recording). Not owned; must outlive the
+  /// batcher.
+  explicit MicroBatcher(const BatcherConfig& config,
+                        RuntimeStats* stats = nullptr);
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Admits a request and returns the future that will carry its response.
+  /// On rejection (kRejectWithStatus + full queue) or after Close() the
+  /// returned future is immediately ready with an error status.
+  std::future<StatusOr<ScoreResult>> Enqueue(int64_t item_row);
+
+  /// Blocks for the next micro-batch. Returns an empty vector only after
+  /// Close() once all queued requests have been handed out. Safe to call
+  /// from multiple consumer threads; each request is handed to exactly one
+  /// consumer.
+  std::vector<PendingRequest> PopBatch();
+
+  /// Stops admission and wakes all blocked producers/consumers.
+  void Close();
+
+  size_t queue_depth() const;
+  bool closed() const;
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  BatcherConfig config_;
+  RuntimeStats* stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace atnn::runtime
+
+#endif  // ATNN_RUNTIME_MICRO_BATCHER_H_

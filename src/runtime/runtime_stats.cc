@@ -1,0 +1,146 @@
+#include "runtime/runtime_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table_printer.h"
+
+namespace atnn::runtime {
+
+namespace {
+
+size_t BucketFor(double value) {
+  if (value < 1.0) return 0;
+  const auto bucket = static_cast<size_t>(std::log2(value));
+  return std::min(bucket, LogHistogram::kNumBuckets - 1);
+}
+
+double BucketLow(size_t bucket) {
+  return bucket == 0 ? 0.0 : std::exp2(static_cast<double>(bucket));
+}
+
+double BucketHigh(size_t bucket) {
+  return std::exp2(static_cast<double>(bucket + 1));
+}
+
+}  // namespace
+
+void LogHistogram::Record(double value) {
+  if (value < 0.0) value = 0.0;
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+double LogHistogram::Mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LogHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_ - 1) + 1.0;
+  double seen = 0.0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets_[b]);
+    if (next >= target) {
+      const double frac = (target - seen) / static_cast<double>(buckets_[b]);
+      const double high = std::min(BucketHigh(b), max_);
+      return BucketLow(b) + frac * std::max(high - BucketLow(b), 0.0);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+void LogHistogram::MergeFrom(const LogHistogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void RuntimeStats::RecordEnqueued() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.enqueued;
+}
+
+void RuntimeStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.rejected;
+}
+
+void RuntimeStats::RecordBatch(size_t batch_size, double score_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.batches;
+  data_.batch_size.Record(static_cast<double>(batch_size));
+  data_.score_us.Record(score_us);
+}
+
+void RuntimeStats::RecordCacheHits(size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.cache_hits += static_cast<int64_t>(count);
+}
+
+void RuntimeStats::RecordEnqueueWait(double wait_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.enqueue_wait_us.Record(wait_us);
+}
+
+void RuntimeStats::RecordResponse(bool ok, double total_latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ok) {
+    ++data_.completed_ok;
+  } else {
+    ++data_.completed_error;
+  }
+  data_.total_latency_us.Record(total_latency_us);
+}
+
+void RuntimeStats::RecordSwap() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.swaps;
+}
+
+StatsSnapshot RuntimeStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+std::string RuntimeStats::ToTable(const StatsSnapshot& snapshot,
+                                  const std::string& title) {
+  TablePrinter table(title);
+  table.SetHeader({"stage", "count", "mean", "p50", "p95", "p99", "max"});
+  const auto row = [&table](const std::string& name,
+                            const LogHistogram& hist) {
+    table.AddRow({name, std::to_string(hist.count()),
+                  TablePrinter::Num(hist.Mean(), 1),
+                  TablePrinter::Num(hist.Percentile(0.50), 1),
+                  TablePrinter::Num(hist.Percentile(0.95), 1),
+                  TablePrinter::Num(hist.Percentile(0.99), 1),
+                  TablePrinter::Num(hist.max(), 1)});
+  };
+  row("enqueue_wait_us", snapshot.enqueue_wait_us);
+  row("batch_size", snapshot.batch_size);
+  row("score_us", snapshot.score_us);
+  row("total_latency_us", snapshot.total_latency_us);
+  table.AddRow({"enqueued", std::to_string(snapshot.enqueued), "", "", "", "",
+                ""});
+  table.AddRow({"rejected", std::to_string(snapshot.rejected), "", "", "", "",
+                ""});
+  table.AddRow({"completed_ok", std::to_string(snapshot.completed_ok), "", "",
+                "", "", ""});
+  table.AddRow({"completed_error", std::to_string(snapshot.completed_error),
+                "", "", "", "", ""});
+  table.AddRow({"batches", std::to_string(snapshot.batches), "", "", "", "",
+                ""});
+  table.AddRow({"cache_hits", std::to_string(snapshot.cache_hits), "", "", "",
+                "", ""});
+  table.AddRow({"snapshot_swaps", std::to_string(snapshot.swaps), "", "", "",
+                "", ""});
+  return table.ToString();
+}
+
+}  // namespace atnn::runtime

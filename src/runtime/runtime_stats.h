@@ -1,0 +1,83 @@
+#ifndef ATNN_RUNTIME_RUNTIME_STATS_H_
+#define ATNN_RUNTIME_RUNTIME_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace atnn::runtime {
+
+/// Fixed-footprint log2-bucketed histogram for latencies (microseconds) and
+/// batch sizes. Bucket b covers [2^b, 2^(b+1)); values below 1 land in
+/// bucket 0. Percentiles are estimated by linear interpolation inside the
+/// bucket that crosses the requested rank, which is accurate enough for the
+/// order-of-magnitude latency reporting the runtime needs. Not thread-safe
+/// on its own; RuntimeStats serializes access.
+class LogHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  void Record(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double max() const { return max_; }
+  double Mean() const;
+  /// q in [0, 1]; returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// Merges `other` into this (used to snapshot under one lock).
+  void MergeFrom(const LogHistogram& other);
+
+ private:
+  std::array<int64_t, kNumBuckets> buckets_ = {};
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point-in-time copy of all runtime counters and histograms, safe to read
+/// without synchronization after the copy.
+struct StatsSnapshot {
+  int64_t enqueued = 0;        // requests admitted into the queue
+  int64_t rejected = 0;        // requests refused by backpressure
+  int64_t completed_ok = 0;    // responses fulfilled with a score
+  int64_t completed_error = 0; // responses fulfilled with an error status
+  int64_t batches = 0;         // micro-batches executed
+  int64_t cache_hits = 0;      // requests answered from the score cache
+  int64_t swaps = 0;           // snapshot publishes observed
+  LogHistogram enqueue_wait_us; // enqueue -> batch formation
+  LogHistogram batch_size;      // items per executed micro-batch
+  LogHistogram score_us;        // model forward + scoring per batch
+  LogHistogram total_latency_us; // enqueue -> response, per request
+};
+
+/// Thread-safe stats sink shared by the micro-batcher and the workers.
+/// Recording is cheap (one short critical section); Snapshot() copies
+/// everything at once so readers never see half-updated rows.
+class RuntimeStats {
+ public:
+  void RecordEnqueued();
+  void RecordRejected();
+  void RecordBatch(size_t batch_size, double score_us);
+  void RecordCacheHits(size_t count);
+  void RecordEnqueueWait(double wait_us);
+  void RecordResponse(bool ok, double total_latency_us);
+  void RecordSwap();
+
+  StatsSnapshot Snapshot() const;
+
+  /// Renders the counters + latency percentiles through common/table_printer
+  /// (one row per stage: count, mean, p50, p95, p99, max).
+  static std::string ToTable(const StatsSnapshot& snapshot,
+                             const std::string& title = "runtime stats");
+
+ private:
+  mutable std::mutex mutex_;
+  StatsSnapshot data_;
+};
+
+}  // namespace atnn::runtime
+
+#endif  // ATNN_RUNTIME_RUNTIME_STATS_H_

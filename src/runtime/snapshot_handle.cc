@@ -1,0 +1,25 @@
+#include "runtime/snapshot_handle.h"
+
+#include <utility>
+
+namespace atnn::runtime {
+
+std::shared_ptr<const ServingSnapshot> SnapshotHandle::Acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t SnapshotHandle::Publish(ServingSnapshot snapshot) {
+  auto owned = std::make_shared<ServingSnapshot>(std::move(snapshot));
+  std::lock_guard<std::mutex> lock(mutex_);
+  owned->version = ++version_;
+  current_ = std::move(owned);
+  return version_;
+}
+
+uint64_t SnapshotHandle::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+}  // namespace atnn::runtime

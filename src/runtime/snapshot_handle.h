@@ -1,0 +1,79 @@
+#ifndef ATNN_RUNTIME_SNAPSHOT_HANDLE_H_
+#define ATNN_RUNTIME_SNAPSHOT_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/atnn.h"
+#include "core/popularity.h"
+#include "data/schema.h"
+
+namespace atnn::runtime {
+
+/// Everything one published model version needs to answer popularity
+/// queries: the trained ATNN (generator path), the precomputed mean-user
+/// vector (core::PopularityPredictor), and the item-profile feature table
+/// keyed by item row. All members are immutable once published — workers
+/// may run concurrent forward passes against the same snapshot because
+/// inference never mutates graph leaves (see DESIGN.md, "Serving runtime").
+///
+/// Members are shared_ptrs so a snapshot can outlive its publisher: a
+/// worker mid-batch keeps the whole version alive through its Acquire()'d
+/// reference even after a newer version is published.
+struct ServingSnapshot {
+  std::shared_ptr<const core::AtnnModel> model;
+  std::shared_ptr<const core::PopularityPredictor> predictor;
+  std::shared_ptr<const data::EntityTable> item_profiles;
+  /// Free-form checkpoint label (e.g. the snapshot file it was loaded from).
+  std::string tag;
+  /// Assigned by SnapshotHandle::Publish; 0 means "never published".
+  uint64_t version = 0;
+};
+
+/// Wraps a T owned by the caller in a non-owning shared_ptr (aliasing
+/// constructor with an empty control block). Used by examples/tools whose
+/// model and feature tables live on the stack for the whole process; the
+/// caller must keep `ptr` alive for as long as any snapshot references it.
+template <typename T>
+std::shared_ptr<const T> Unowned(const T* ptr) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>(), ptr);
+}
+
+/// RCU-style publication point for model hot-swap. Readers Acquire() an
+/// immutable snapshot and hold it for the duration of one micro-batch;
+/// Publish() atomically replaces the current version and assigns it the
+/// next monotonically increasing version number. In-flight batches finish
+/// on the version they acquired — nothing is dropped or torn during a swap,
+/// and the old version is freed when its last reader releases it.
+///
+/// The critical section is a single shared_ptr copy/swap under a mutex, so
+/// readers never block on model loading: publishers fully construct the new
+/// snapshot *before* calling Publish.
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  /// Current snapshot, or nullptr if nothing has been published yet.
+  std::shared_ptr<const ServingSnapshot> Acquire() const;
+
+  /// Publishes `snapshot` as the new current version and returns the
+  /// version number assigned to it (1, 2, 3, ...).
+  uint64_t Publish(ServingSnapshot snapshot);
+
+  /// Version of the currently published snapshot (0 before first Publish).
+  uint64_t version() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ServingSnapshot> current_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace atnn::runtime
+
+#endif  // ATNN_RUNTIME_SNAPSHOT_HANDLE_H_

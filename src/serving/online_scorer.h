@@ -2,6 +2,7 @@
 #define ATNN_SERVING_ONLINE_SCORER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -19,6 +20,13 @@ namespace atnn::serving {
 /// no traffic the score is the model's; with heavy traffic the observed
 /// CTR dominates — the online counterpart of the paper's "graduation" from
 /// generated vectors to behaviour-based statistics.
+///
+/// Thread safety: NOT thread-safe. All methods (including const readers —
+/// Score walks the same hash maps Observe mutates) must be externally
+/// serialized; the intended deployment is a single-writer event loop. Use
+/// ConcurrentOnlineScorer below when the behaviour stream and score reads
+/// come from different threads (e.g. alongside the inference runtime's
+/// worker pool).
 class OnlineScorer {
  public:
   struct Config {
@@ -55,6 +63,50 @@ class OnlineScorer {
   Config config_;
   std::unordered_map<int64_t, double> priors_;
   EventAggregator aggregator_;
+};
+
+/// Mutex-guarded facade over OnlineScorer for multi-threaded serving: any
+/// thread may feed events or read scores. A single coarse lock is the
+/// right tradeoff here — every operation is a hash-map probe plus O(1)
+/// arithmetic, so the critical sections are tiny and the stream stays
+/// totally ordered (the timestamp monotonicity contract of Observe is
+/// preserved exactly as in the single-threaded scorer: an event with a
+/// decreasing timestamp is rejected with FailedPrecondition no matter
+/// which thread delivers it).
+class ConcurrentOnlineScorer {
+ public:
+  ConcurrentOnlineScorer() = default;
+  explicit ConcurrentOnlineScorer(const OnlineScorer::Config& config)
+      : scorer_(config) {}
+
+  void SetPrior(int64_t item_id, double prior_ctr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scorer_.SetPrior(item_id, prior_ctr);
+  }
+  Status Observe(const BehaviorEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scorer_.Observe(event);
+  }
+  StatusOr<double> Score(int64_t item_id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scorer_.Score(item_id);
+  }
+  StatusOr<double> EvidenceWeight(int64_t item_id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scorer_.EvidenceWeight(item_id);
+  }
+  void ExportIndex(PopularityIndex* index) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scorer_.ExportIndex(index);
+  }
+  size_t num_items() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scorer_.num_items();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  OnlineScorer scorer_;
 };
 
 }  // namespace atnn::serving

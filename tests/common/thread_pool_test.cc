@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -63,6 +64,66 @@ TEST(ThreadPoolTest, SingleThreadPoolWorks) {
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolDeathTest, ZeroThreadsIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ThreadPool pool(0), "at least one worker");
+}
+
+TEST(ThreadPoolTest, SubmitFromManyThreadsRunsEverything) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 250; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, TasksMayFanOutSubtasksAndWaitCoversThem) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  // Each root task submits children while it is still in flight, so the
+  // in-flight count never reaches zero before the children are queued:
+  // Wait() must observe the whole tree.
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      for (int c = 0; c < 4; ++c) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8 * (1 + 4));
+}
+
+TEST(ThreadPoolTest, WaitReturnsOnlyWhenConcurrentSubmittersDrain) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  std::atomic<bool> producer_done{false};
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&completed] { completed.fetch_add(1); });
+    }
+    producer_done.store(true);
+  });
+  // Wait racing with the producer: per the contract it returns only once
+  // the pool is idle, which (because the producer keeps the queue nonempty
+  // until it finishes) implies every task it managed to submit has run.
+  pool.Wait();
+  producer.join();
+  pool.Wait();  // cover anything submitted after the first Wait returned
+  EXPECT_TRUE(producer_done.load());
+  EXPECT_EQ(completed.load(), 100);
 }
 
 TEST(ThreadPoolTest, DestructionJoinsOutstandingWork) {

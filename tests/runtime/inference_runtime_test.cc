@@ -1,0 +1,302 @@
+#include "runtime/inference_runtime.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../core/test_helpers.h"
+#include "core/atnn.h"
+#include "core/popularity.h"
+#include "data/tmall.h"
+
+namespace atnn::runtime {
+namespace {
+
+/// One tiny world + model per test binary: the runtime's correctness
+/// contract is "same scores as the sequential O(1) path", which does not
+/// require trained weights, so the model stays at its (deterministic,
+/// seeded) initialization.
+class InferenceRuntimeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::TmallDataset(
+        core::testing_helpers::MakeNormalizedTinyDataset());
+    core::AtnnConfig config;
+    config.tower = core::testing_helpers::TinyTowerConfig(
+        nn::TowerKind::kDeepCross);
+    config.seed = 11;
+    model_ = new core::AtnnModel(*dataset_->user_schema,
+                                 *dataset_->item_profile_schema,
+                                 *dataset_->item_stats_schema, config);
+    const auto group = core::SelectActiveUsers(*dataset_, 64);
+    predictor_ = new core::PopularityPredictor(
+        core::PopularityPredictor::Build(*model_, *dataset_, group));
+  }
+
+  static void TearDownTestSuite() {
+    delete predictor_;
+    predictor_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static ServingSnapshot MakeSnapshot() {
+    ServingSnapshot snapshot;
+    snapshot.model = Unowned(model_);
+    snapshot.predictor = Unowned(predictor_);
+    snapshot.item_profiles = Unowned(&dataset_->item_profiles);
+    snapshot.tag = "test";
+    return snapshot;
+  }
+
+  static RuntimeConfig SmallRuntimeConfig() {
+    RuntimeConfig config;
+    config.num_workers = 2;
+    config.batcher.max_batch_size = 16;
+    config.batcher.max_delay_us = 500;
+    config.batcher.queue_capacity = 256;
+    return config;
+  }
+
+  static data::TmallDataset* dataset_;
+  static core::AtnnModel* model_;
+  static core::PopularityPredictor* predictor_;
+};
+
+data::TmallDataset* InferenceRuntimeTest::dataset_ = nullptr;
+core::AtnnModel* InferenceRuntimeTest::model_ = nullptr;
+core::PopularityPredictor* InferenceRuntimeTest::predictor_ = nullptr;
+
+TEST_F(InferenceRuntimeTest, MatchesSequentialScoring) {
+  const std::vector<double> expected =
+      predictor_->ScoreItems(*model_, *dataset_, dataset_->new_items);
+
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  EXPECT_EQ(runtime.Publish(MakeSnapshot()), 1u);
+
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  futures.reserve(dataset_->new_items.size());
+  for (int64_t item : dataset_->new_items) {
+    futures.push_back(runtime.ScoreAsync(item));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NEAR(result.value().score, expected[i], 1e-9);
+    EXPECT_EQ(result.value().snapshot_version, 1u);
+  }
+
+  runtime.Shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.enqueued,
+            static_cast<int64_t>(dataset_->new_items.size()));
+  EXPECT_EQ(stats.completed_ok,
+            static_cast<int64_t>(dataset_->new_items.size()));
+  EXPECT_EQ(stats.completed_error, 0);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_GE(stats.batches, 1);
+  // Micro-batching actually coalesced: fewer batches than requests.
+  EXPECT_LT(stats.batches, stats.enqueued);
+  EXPECT_LE(stats.batch_size.max(),
+            static_cast<double>(SmallRuntimeConfig().batcher.max_batch_size));
+}
+
+TEST_F(InferenceRuntimeTest, ScoreBeforePublishFailsCleanly) {
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  const auto result = runtime.Score(0);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InferenceRuntimeTest, OutOfRangeRowIsInvalidArgument) {
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  runtime.Publish(MakeSnapshot());
+  EXPECT_EQ(runtime.Score(-1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(runtime
+                .Score(dataset_->item_profiles.num_rows() + 5)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A valid row still works in the same runtime (mixed batches split).
+  EXPECT_TRUE(runtime.Score(dataset_->new_items.front()).ok());
+}
+
+TEST_F(InferenceRuntimeTest, SyncScoreMatchesAsync) {
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  runtime.Publish(MakeSnapshot());
+  const int64_t item = dataset_->new_items.front();
+  const auto sync = runtime.Score(item);
+  ASSERT_TRUE(sync.ok());
+  const auto async = runtime.ScoreAsync(item).get();
+  ASSERT_TRUE(async.ok());
+  EXPECT_NEAR(sync.value().score, async.value().score, 1e-12);
+}
+
+TEST_F(InferenceRuntimeTest, ScoreCacheServesRepeatsAndInvalidatesOnPublish) {
+  RuntimeConfig config = SmallRuntimeConfig();
+  config.num_workers = 1;  // sync Score => one request per batch, so the
+                           // cache-hit count below is exact
+  InferenceRuntime runtime(config);
+  runtime.Publish(MakeSnapshot());
+
+  const int64_t item = dataset_->new_items.front();
+  const auto first = runtime.Score(item);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 8; ++i) {
+    const auto repeat = runtime.Score(item);
+    ASSERT_TRUE(repeat.ok());
+    // Memoized, so bit-identical — not merely close.
+    EXPECT_EQ(repeat.value().score, first.value().score);
+    EXPECT_EQ(repeat.value().snapshot_version, 1u);
+  }
+  EXPECT_EQ(runtime.stats().cache_hits, 8);
+
+  // Publishing a snapshot with a different mean-user vector must invalidate
+  // every cached score: version 1 values may not leak into version 2.
+  const auto group_b = core::SelectActiveUsers(*dataset_, 16);
+  const auto predictor_b = std::make_shared<core::PopularityPredictor>(
+      core::PopularityPredictor::Build(*model_, *dataset_, group_b));
+  const double expected_b =
+      predictor_b->ScoreItems(*model_, *dataset_, {item}).front();
+  ServingSnapshot snapshot;
+  snapshot.model = Unowned(model_);
+  snapshot.predictor = predictor_b;
+  snapshot.item_profiles = Unowned(&dataset_->item_profiles);
+  runtime.Publish(std::move(snapshot));
+
+  const auto after = runtime.Score(item);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().snapshot_version, 2u);
+  EXPECT_NEAR(after.value().score, expected_b, 1e-9);
+  EXPECT_NE(after.value().score, first.value().score);
+}
+
+TEST_F(InferenceRuntimeTest, HotSwapChurnDropsNothingAndScoresConsistently) {
+  // Two model versions that differ only in the mean-user vector: odd
+  // versions serve group A, even versions group B.
+  const auto group_a = core::SelectActiveUsers(*dataset_, 64);
+  const auto group_b = core::SelectActiveUsers(*dataset_, 16);
+  const auto predictor_a = std::make_shared<core::PopularityPredictor>(
+      core::PopularityPredictor::Build(*model_, *dataset_, group_a));
+  const auto predictor_b = std::make_shared<core::PopularityPredictor>(
+      core::PopularityPredictor::Build(*model_, *dataset_, group_b));
+  const std::vector<double> expected_a =
+      predictor_a->ScoreItems(*model_, *dataset_, dataset_->new_items);
+  const std::vector<double> expected_b =
+      predictor_b->ScoreItems(*model_, *dataset_, dataset_->new_items);
+
+  const auto snapshot_for = [&](int version_parity) {
+    ServingSnapshot snapshot;
+    snapshot.model = Unowned(model_);
+    snapshot.predictor = version_parity % 2 == 1 ? predictor_a : predictor_b;
+    snapshot.item_profiles = Unowned(&dataset_->item_profiles);
+    return snapshot;
+  };
+
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  runtime.Publish(snapshot_for(1));
+
+  std::atomic<bool> stop_publishing{false};
+  std::thread publisher([&] {
+    int version = 2;
+    while (!stop_publishing.load()) {
+      runtime.Publish(snapshot_for(version++));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kRounds = 20;
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  std::vector<size_t> item_index;
+  futures.reserve(kRounds * dataset_->new_items.size());
+  for (int round = 0; round < kRounds; ++round) {
+    for (size_t i = 0; i < dataset_->new_items.size(); ++i) {
+      futures.push_back(runtime.ScoreAsync(dataset_->new_items[i]));
+      item_index.push_back(i);
+    }
+  }
+
+  // Zero drops: every single future resolves with a score, and each score
+  // is exactly what the version recorded in its response would produce.
+  for (size_t f = 0; f < futures.size(); ++f) {
+    const auto result = futures[f].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const auto& expected = result.value().snapshot_version % 2 == 1
+                               ? expected_a
+                               : expected_b;
+    EXPECT_NEAR(result.value().score, expected[item_index[f]], 1e-9);
+  }
+
+  stop_publishing.store(true);
+  publisher.join();
+  runtime.Shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.completed_ok, static_cast<int64_t>(futures.size()));
+  EXPECT_EQ(stats.completed_error, 0);
+  EXPECT_GE(stats.swaps, 2);
+}
+
+TEST_F(InferenceRuntimeTest, RejectPolicyShedsButNeverHangs) {
+  RuntimeConfig config;
+  config.num_workers = 1;
+  config.batcher.max_batch_size = 8;
+  config.batcher.max_delay_us = 200;
+  config.batcher.queue_capacity = 8;
+  config.batcher.admission = AdmissionPolicy::kRejectWithStatus;
+  InferenceRuntime runtime(config);
+  runtime.Publish(MakeSnapshot());
+
+  constexpr int kRequests = 400;
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        runtime.ScoreAsync(dataset_->new_items[static_cast<size_t>(i) %
+                                               dataset_->new_items.size()]));
+  }
+  int ok = 0;
+  int rejected = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kRequests);
+  EXPECT_GT(ok, 0);  // overload sheds, it does not collapse
+  runtime.Shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.enqueued, ok);
+  EXPECT_EQ(stats.rejected, rejected);
+}
+
+TEST_F(InferenceRuntimeTest, StatsTableRendersEveryStage) {
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  runtime.Publish(MakeSnapshot());
+  for (int i = 0; i < 32; ++i) {
+    runtime.ScoreAsync(dataset_->new_items[static_cast<size_t>(i) %
+                                           dataset_->new_items.size()]);
+  }
+  runtime.Shutdown();
+  const std::string table = RuntimeStats::ToTable(runtime.stats());
+  for (const char* stage :
+       {"enqueue_wait_us", "batch_size", "score_us", "total_latency_us",
+        "enqueued", "rejected", "completed_ok", "cache_hits",
+        "snapshot_swaps"}) {
+    EXPECT_NE(table.find(stage), std::string::npos) << stage;
+  }
+}
+
+}  // namespace
+}  // namespace atnn::runtime

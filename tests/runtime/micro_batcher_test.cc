@@ -1,0 +1,175 @@
+#include "runtime/micro_batcher.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace atnn::runtime {
+namespace {
+
+BatcherConfig SmallConfig() {
+  BatcherConfig config;
+  config.max_batch_size = 4;
+  config.max_delay_us = 2000;
+  config.queue_capacity = 8;
+  return config;
+}
+
+TEST(MicroBatcherTest, FlushesWhenBatchFills) {
+  BatcherConfig config = SmallConfig();
+  config.max_delay_us = 10'000'000;  // never flush on time in this test
+  MicroBatcher batcher(config);
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  for (int64_t i = 0; i < 4; ++i) futures.push_back(batcher.Enqueue(i));
+  const auto batch = batcher.PopBatch();
+  ASSERT_EQ(batch.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].item_row, i);
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, FlushesPartialBatchOnDeadline) {
+  BatcherConfig config = SmallConfig();
+  config.max_delay_us = 1000;
+  MicroBatcher batcher(config);
+  auto f0 = batcher.Enqueue(7);
+  auto f1 = batcher.Enqueue(8);
+  // Only 2 of 4 queued: PopBatch must return once the oldest request ages
+  // past max_delay_us instead of waiting for a full batch.
+  const auto batch = batcher.PopBatch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].item_row, 7);
+  EXPECT_EQ(batch[1].item_row, 8);
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, OversizedBurstSplitsIntoBatches) {
+  MicroBatcher batcher(SmallConfig());
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  for (int64_t i = 0; i < 7; ++i) futures.push_back(batcher.Enqueue(i));
+  EXPECT_EQ(batcher.PopBatch().size(), 4u);
+  EXPECT_EQ(batcher.PopBatch().size(), 3u);
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, RejectPolicyShedsLoadWhenFull) {
+  BatcherConfig config = SmallConfig();
+  config.admission = AdmissionPolicy::kRejectWithStatus;
+  RuntimeStats stats;
+  MicroBatcher batcher(config, &stats);
+  std::vector<std::future<StatusOr<ScoreResult>>> admitted;
+  for (size_t i = 0; i < config.queue_capacity; ++i) {
+    admitted.push_back(batcher.Enqueue(static_cast<int64_t>(i)));
+  }
+  auto rejected = batcher.Enqueue(99);
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().status().code(), StatusCode::kResourceExhausted);
+  const auto snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.enqueued, static_cast<int64_t>(config.queue_capacity));
+  EXPECT_EQ(snapshot.rejected, 1);
+  // Draining one batch frees capacity again.
+  EXPECT_EQ(batcher.PopBatch().size(), config.max_batch_size);
+  auto readmitted = batcher.Enqueue(100);
+  EXPECT_NE(readmitted.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, BlockPolicyWaitsForSpace) {
+  BatcherConfig config = SmallConfig();
+  config.admission = AdmissionPolicy::kBlock;
+  MicroBatcher batcher(config);
+  for (size_t i = 0; i < config.queue_capacity; ++i) {
+    batcher.Enqueue(static_cast<int64_t>(i));
+  }
+  std::atomic<bool> admitted{false};
+  std::thread producer([&batcher, &admitted] {
+    batcher.Enqueue(42);  // must block until a batch is popped
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(batcher.PopBatch().size(), config.max_batch_size);
+  producer.join();
+  EXPECT_TRUE(admitted.load());
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, CloseDrainsQueuedRequestsThenSignalsExit) {
+  MicroBatcher batcher(SmallConfig());
+  for (int64_t i = 0; i < 6; ++i) batcher.Enqueue(i);
+  batcher.Close();
+  // Queued work still comes out (zero drops on shutdown)...
+  EXPECT_EQ(batcher.PopBatch().size(), 4u);
+  EXPECT_EQ(batcher.PopBatch().size(), 2u);
+  // ...and only then does PopBatch signal the workers to exit.
+  EXPECT_TRUE(batcher.PopBatch().empty());
+}
+
+TEST(MicroBatcherTest, EnqueueAfterCloseFailsFast) {
+  MicroBatcher batcher(SmallConfig());
+  batcher.Close();
+  auto future = batcher.Enqueue(1);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MicroBatcherTest, CloseUnblocksBlockedProducers) {
+  BatcherConfig config = SmallConfig();
+  config.admission = AdmissionPolicy::kBlock;
+  MicroBatcher batcher(config);
+  for (size_t i = 0; i < config.queue_capacity; ++i) {
+    batcher.Enqueue(static_cast<int64_t>(i));
+  }
+  std::thread producer([&batcher] {
+    auto future = batcher.Enqueue(42);
+    EXPECT_EQ(future.get().status().code(), StatusCode::kFailedPrecondition);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  batcher.Close();
+  producer.join();
+}
+
+TEST(MicroBatcherTest, ManyProducersTwoConsumersLoseNothing) {
+  BatcherConfig config;
+  config.max_batch_size = 16;
+  config.max_delay_us = 500;
+  config.queue_capacity = 64;
+  MicroBatcher batcher(config);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(2);
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&batcher, &consumed] {
+      for (;;) {
+        auto batch = batcher.PopBatch();
+        if (batch.empty()) return;
+        consumed.fetch_add(static_cast<int>(batch.size()));
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&batcher] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        batcher.Enqueue(i);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  batcher.Close();
+  for (auto& consumer : consumers) consumer.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace atnn::runtime

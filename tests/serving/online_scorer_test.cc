@@ -1,5 +1,9 @@
 #include "serving/online_scorer.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace atnn::serving {
@@ -95,6 +99,57 @@ TEST(OnlineScorerTest, OutOfOrderEventsRejected) {
   ASSERT_TRUE(scorer.Observe(Event(10, 1, EventType::kClick)).ok());
   EXPECT_EQ(scorer.Observe(Event(5, 1, EventType::kClick)).code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(ConcurrentOnlineScorerTest, RejectsDecreasingTimestamps) {
+  ConcurrentOnlineScorer scorer;
+  scorer.SetPrior(1, 0.5);
+  ASSERT_TRUE(scorer.Observe(Event(10, 1, EventType::kClick)).ok());
+  EXPECT_EQ(scorer.Observe(Event(5, 1, EventType::kClick)).code(),
+            StatusCode::kFailedPrecondition);
+  // The rejected event must not have advanced the stream: ts 10 is still
+  // the watermark, so a later event at 11 is accepted.
+  EXPECT_TRUE(scorer.Observe(Event(11, 1, EventType::kImpression)).ok());
+}
+
+TEST(ConcurrentOnlineScorerTest, ConcurrentObserversAndReadersAgree) {
+  OnlineScorer::Config config;
+  config.prior_strength = 10.0;
+  ConcurrentOnlineScorer scorer(config);
+  scorer.SetPrior(1, 0.5);
+
+  // Writers share a global timestamp sequence; the scorer's monotonicity
+  // check accepts an event only if its timestamp is >= the watermark, so
+  // some interleavings are rejected — count what actually landed and check
+  // the posterior against that.
+  std::atomic<int64_t> clock{0};
+  std::atomic<int64_t> accepted_impressions{0};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        const int64_t ts = clock.fetch_add(1) + 1;
+        if (scorer.Observe(Event(ts, 1, EventType::kImpression)).ok()) {
+          accepted_impressions.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread reader([&scorer] {
+    for (int i = 0; i < 200; ++i) {
+      const auto score = scorer.Score(1);
+      ASSERT_TRUE(score.ok());
+      EXPECT_GT(score.value(), 0.0);
+      EXPECT_LE(score.value(), 0.5);
+    }
+  });
+  for (auto& writer : writers) writer.join();
+  reader.join();
+
+  const double n = static_cast<double>(accepted_impressions.load());
+  // All accepted events were impressions: posterior = 10*0.5 / (10 + n).
+  EXPECT_NEAR(scorer.Score(1).value(), 5.0 / (10.0 + n), 1e-12);
 }
 
 }  // namespace
