@@ -21,20 +21,32 @@
 // to, and skipping training keeps the bench runnable in seconds.
 //
 //   $ ./build/bench/bench_runtime_throughput
+//
+// --chaos switches to the fault-tolerance protocol (DESIGN.md §7): a
+// fault-free baseline run followed by the same stream under injected
+// worker delays, batch failures, queue rejections, and corrupt snapshot
+// publishes. Gates: zero crashed requests, every response tier-tagged,
+// every corrupt publish rejected while serving continues, and the p99 of
+// fresh (non-degraded) responses within 2x the fault-free baseline.
+// --smoke shrinks the world/stream for CI sanitizer jobs and makes the
+// p99 gate report-only (sanitizer scheduling noise swamps tail latency).
 
 #include <atomic>
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/flags.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/popularity.h"
 #include "runtime/inference_runtime.h"
+#include "serving/popularity_index.h"
 
 namespace atnn::bench {
 namespace {
@@ -144,6 +156,189 @@ RuntimeRunResult RunRuntime(const core::AtnnModel& model,
   return result;
 }
 
+/// One pass of the chaos protocol. `inject` turns the fault harness on;
+/// the baseline pass runs the identical configuration with it off so the
+/// two fresh-tier latency distributions are comparable.
+struct ChaosRunOutcome {
+  runtime::StatsSnapshot stats;
+  int64_t requests = 0;
+  int64_t crashed = 0;           // futures that resolved with an error
+  int64_t corrupt_attempts = 0;  // armed-corrupt publishes issued
+  int64_t corrupt_accepted = 0;  // ...that validation failed to reject
+  uint64_t final_version = 0;
+};
+
+ChaosRunOutcome RunChaosPass(const core::AtnnModel& model,
+                             const data::TmallDataset& dataset,
+                             const core::PopularityPredictor& predictor,
+                             const std::vector<int64_t>& stream,
+                             std::shared_ptr<const serving::PopularityIndex>
+                                 prior,
+                             bool inject) {
+  runtime::RuntimeConfig config;
+  config.num_workers = 4;
+  config.batcher.max_batch_size = kMaxBatch;
+  config.batcher.max_delay_us = 1000;
+  config.batcher.queue_capacity = 8192;
+  config.batcher.admission = runtime::AdmissionPolicy::kBlock;
+  config.default_deadline_us = 50000;  // 50ms per-request budget
+  config.prior = std::move(prior);
+  if (inject) {
+    config.fault_injection.enabled = true;
+    config.fault_injection.seed = 20240304;
+    config.fault_injection.worker_delay_probability = 0.05;
+    config.fault_injection.worker_delay_us = 2000;
+    config.fault_injection.batch_failure_probability = 0.02;
+    config.fault_injection.enqueue_reject_probability = 0.02;
+  }
+  runtime::InferenceRuntime runtime(config);
+
+  runtime::ServingSnapshot snapshot;
+  snapshot.model = runtime::Unowned(&model);
+  snapshot.predictor = runtime::Unowned(&predictor);
+  snapshot.item_profiles = runtime::Unowned(&dataset.item_profiles);
+  ChaosRunOutcome outcome;
+  if (!runtime.Publish(snapshot).ok()) {
+    std::printf("FATAL: initial publish rejected\n");
+    outcome.crashed = static_cast<int64_t>(stream.size());
+    return outcome;
+  }
+
+  // The publisher thread keeps hot-swapping under load; in the injected
+  // pass every other publish is armed to be corrupted in flight, which
+  // validation must reject without interrupting service.
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    bool corrupt_next = inject;
+    while (!stop_swapping.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (corrupt_next) {
+        runtime.fault_injector().ArmCorruptPublish();
+        ++outcome.corrupt_attempts;
+        if (runtime.Publish(snapshot).ok()) ++outcome.corrupt_accepted;
+      } else {
+        runtime.Publish(snapshot);
+      }
+      if (inject) corrupt_next = !corrupt_next;
+    }
+  });
+
+  std::vector<std::future<StatusOr<runtime::ScoreResult>>> futures;
+  futures.reserve(stream.size());
+  for (int64_t item : stream) futures.push_back(runtime.ScoreAsync(item));
+  outcome.requests = static_cast<int64_t>(stream.size());
+  for (auto& future : futures) {
+    if (!future.get().ok()) ++outcome.crashed;
+  }
+
+  stop_swapping.store(true);
+  swapper.join();
+
+  if (inject) {
+    // Guarantee the corrupt-publish path ran even when the stream drained
+    // faster than the publisher's first tick (smoke budgets), and prove the
+    // surviving version still serves after a rejected publish.
+    runtime.fault_injector().ArmCorruptPublish();
+    ++outcome.corrupt_attempts;
+    if (runtime.Publish(snapshot).ok()) ++outcome.corrupt_accepted;
+    runtime.Publish(snapshot);  // a clean publish still lands afterwards
+    ++outcome.requests;
+    if (!runtime.Score(stream.front()).ok()) ++outcome.crashed;
+  }
+
+  runtime.Shutdown();
+  outcome.stats = runtime.stats();
+  outcome.final_version = runtime.snapshot_version();
+  return outcome;
+}
+
+int RunChaos(bool smoke) {
+  data::TmallConfig world = PaperScaleTmallConfig();
+  world.num_users = smoke ? 200 : 1000;
+  world.num_items = smoke ? 500 : 2000;
+  world.num_new_items = smoke ? 150 : 600;
+  world.num_interactions = smoke ? 8000 : 50000;
+  data::TmallDataset dataset = data::GenerateTmallDataset(world);
+  core::NormalizeTmallInPlace(&dataset);
+
+  core::AtnnConfig config;
+  config.tower = BenchTowerConfig(nn::TowerKind::kDeepCross);
+  config.seed = 7;
+  const core::AtnnModel model(*dataset.user_schema,
+                              *dataset.item_profile_schema,
+                              *dataset.item_stats_schema, config);
+  const auto group = core::SelectActiveUsers(dataset, smoke ? 100 : 300);
+  const auto predictor =
+      core::PopularityPredictor::Build(model, dataset, group);
+  const auto stream =
+      MakeRequestStream(dataset, smoke ? 3000 : 100000);
+
+  // Tier-2 prior: "yesterday's" precomputed scores for every new arrival —
+  // exactly what a production popularity index would hold.
+  const auto prior_scores =
+      predictor.ScoreItems(model, dataset, dataset.new_items);
+  auto prior = std::make_shared<serving::PopularityIndex>();
+  prior->BulkLoad(dataset.new_items, prior_scores);
+
+  std::printf("chaos protocol: %zu requests, %s\n\n", stream.size(),
+              smoke ? "smoke budget" : "full budget");
+  const auto baseline = RunChaosPass(model, dataset, predictor, stream,
+                                     prior, /*inject=*/false);
+  const auto chaos = RunChaosPass(model, dataset, predictor, stream, prior,
+                                  /*inject=*/true);
+
+  std::printf("%s\n",
+              runtime::RuntimeStats::ToTable(baseline.stats,
+                                             "fault-free baseline")
+                  .c_str());
+  std::printf("\n%s\n",
+              runtime::RuntimeStats::ToTable(chaos.stats, "chaos run")
+                  .c_str());
+
+  const double baseline_p99 = baseline.stats.fresh_latency_us.Percentile(0.99);
+  const double chaos_p99 = chaos.stats.fresh_latency_us.Percentile(0.99);
+  int64_t tier_tagged = 0;
+  for (const int64_t count : chaos.stats.tier_counts) tier_tagged += count;
+
+  std::printf(
+      "\nfresh-tier p99: baseline %.0fus, chaos %.0fus (%.2fx)\n"
+      "corrupt publishes: %lld attempted, %lld accepted, "
+      "%lld rejected by validation\n"
+      "snapshot versions published under chaos: %llu\n",
+      baseline_p99, chaos_p99,
+      baseline_p99 > 0.0 ? chaos_p99 / baseline_p99 : 0.0,
+      static_cast<long long>(chaos.corrupt_attempts),
+      static_cast<long long>(chaos.corrupt_accepted),
+      static_cast<long long>(chaos.stats.publish_rejected),
+      static_cast<unsigned long long>(chaos.final_version));
+
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const char* what) {
+    std::printf("%s %s\n", ok ? "PASS:" : "FAIL:", what);
+    if (!ok) ++failures;
+  };
+  gate(baseline.crashed == 0 && chaos.crashed == 0,
+       "zero crashed requests in both passes");
+  gate(tier_tagged == chaos.requests,
+       "every chaos response carries a serving tier");
+  gate(chaos.stats.faults_injected > 0, "faults actually fired");
+  gate(chaos.corrupt_attempts > 0 && chaos.corrupt_accepted == 0,
+       "every corrupt publish rejected by validation");
+  gate(chaos.stats.swaps >= 2 &&
+           chaos.stats.publish_rejected >= chaos.corrupt_attempts,
+       "valid publishes kept landing while corrupt ones were rejected");
+  const bool p99_ok = chaos_p99 <= 2.0 * baseline_p99;
+  if (smoke) {
+    // Sanitizer/CI scheduling noise makes tail gates flaky; report only.
+    std::printf("%s fresh-tier p99 within 2x of baseline (report-only "
+                "under --smoke)\n",
+                p99_ok ? "PASS:" : "WARN:");
+  } else {
+    gate(p99_ok, "fresh-tier p99 within 2x of fault-free baseline");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int Run() {
   data::TmallConfig world = PaperScaleTmallConfig();
   world.num_users = 1000;
@@ -219,4 +414,22 @@ int Run() {
 }  // namespace
 }  // namespace atnn::bench
 
-int main() { return atnn::bench::Run(); }
+int main(int argc, char** argv) {
+  atnn::FlagParser flags("Serving-runtime throughput and chaos benchmark");
+  flags.AddBool("chaos", false,
+                "run the fault-tolerance protocol instead of the "
+                "throughput sweep");
+  flags.AddBool("smoke", false,
+                "with --chaos: small world + stream and a report-only p99 "
+                "gate, for CI sanitizer jobs");
+  const atnn::Status status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("chaos")) {
+    return atnn::bench::RunChaos(flags.GetBool("smoke"));
+  }
+  return atnn::bench::Run();
+}

@@ -64,7 +64,8 @@ int main() {
   snapshot.predictor = runtime::Unowned(&predictor);
   snapshot.item_profiles = runtime::Unowned(&dataset.item_profiles);
   snapshot.tag = "online-serving-example";
-  runtime.Publish(snapshot);
+  const auto published = runtime.Publish(snapshot);
+  ATNN_CHECK(published.ok()) << published.status().ToString();
 
   std::vector<std::future<StatusOr<runtime::ScoreResult>>> prior_futures;
   prior_futures.reserve(dataset.new_items.size());

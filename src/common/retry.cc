@@ -1,0 +1,38 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace atnn {
+
+Status RetryWithBackoff(const std::function<Status()>& op,
+                        const RetryConfig& config,
+                        const std::function<void(int64_t)>& sleep_ms) {
+  if (config.max_attempts < 1) {
+    return Status::InvalidArgument("RetryConfig.max_attempts must be >= 1");
+  }
+  if (config.initial_backoff_ms < 0 || config.max_backoff_ms < 0 ||
+      config.multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "RetryConfig backoff must be non-negative with multiplier >= 1");
+  }
+  double backoff = static_cast<double>(config.initial_backoff_ms);
+  Status status;
+  for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
+    status = op();
+    if (status.ok() || !IsRetriable(status.code())) return status;
+    if (attempt + 1 == config.max_attempts) break;  // no sleep after last try
+    const auto delay = static_cast<int64_t>(
+        std::min(backoff, static_cast<double>(config.max_backoff_ms)));
+    if (sleep_ms != nullptr) {
+      sleep_ms(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    backoff *= config.multiplier;
+  }
+  return status;
+}
+
+}  // namespace atnn

@@ -1,0 +1,40 @@
+#ifndef ATNN_COMMON_RETRY_H_
+#define ATNN_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace atnn {
+
+/// Exponential-backoff schedule for RetryWithBackoff. Attempt k (0-based)
+/// sleeps initial_backoff_ms * multiplier^k before re-running, capped at
+/// max_backoff_ms. No jitter: every caller in this codebase is either a
+/// test (which wants determinism) or a single publisher loop (no thundering
+/// herd to break up).
+struct RetryConfig {
+  /// Total attempts, including the first one. Must be >= 1.
+  int max_attempts = 3;
+  int64_t initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  int64_t max_backoff_ms = 1000;
+};
+
+/// Runs `op` until it returns OK, a non-retriable status (see IsRetriable),
+/// or `config.max_attempts` is exhausted; sleeps the backoff schedule
+/// between attempts. Returns the last status observed. `sleep_ms` exists so
+/// tests can capture the schedule instead of actually sleeping; the default
+/// is std::this_thread::sleep_for.
+///
+/// Intended for transient snapshot publish/load failures (an NFS blip, a
+/// checkpoint mid-write, the runtime's queue momentarily full) — the
+/// operations around a serving hot-swap that must not give up on the first
+/// hiccup but also must not spin on a corrupt file forever.
+Status RetryWithBackoff(
+    const std::function<Status()>& op, const RetryConfig& config = {},
+    const std::function<void(int64_t)>& sleep_ms = nullptr);
+
+}  // namespace atnn
+
+#endif  // ATNN_COMMON_RETRY_H_

@@ -45,9 +45,18 @@ Status BinaryWriter::FlushToFile(const std::string& path) const {
 }
 
 StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
   if (!file.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
+  }
+  // The header's length field is attacker/bitrot-controlled; bound it by
+  // the actual file size before allocating, so a flipped bit in the length
+  // yields Corruption instead of a multi-exabyte allocation.
+  const std::streamoff file_size = file.tellg();
+  file.seekg(0);
+  constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
+  if (file_size < 0 || static_cast<size_t>(file_size) < kHeaderSize) {
+    return Status::Corruption("truncated header in " + path);
   }
   char magic[sizeof(kMagic)];
   file.read(magic, sizeof(magic));
@@ -57,6 +66,9 @@ StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   uint64_t size = 0;
   file.read(reinterpret_cast<char*>(&size), sizeof(size));
   if (!file.good()) return Status::Corruption("truncated header in " + path);
+  if (size != static_cast<uint64_t>(file_size) - kHeaderSize) {
+    return Status::Corruption("payload length mismatch in " + path);
+  }
   std::string buffer(size, '\0');
   file.read(buffer.data(), static_cast<std::streamsize>(size));
   if (static_cast<uint64_t>(file.gcount()) != size) {
@@ -66,7 +78,7 @@ StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
 }
 
 Status BinaryReader::ReadBytes(void* out, size_t size) {
-  if (position_ + size > buffer_.size()) {
+  if (size > buffer_.size() - position_) {  // overflow-safe form
     return Status::Corruption("read past end of buffer");
   }
   std::memcpy(out, buffer_.data() + position_, size);
@@ -83,7 +95,10 @@ Status BinaryReader::ReadF64(double* value) { return ReadBytes(value, sizeof(*va
 Status BinaryReader::ReadString(std::string* value) {
   uint64_t size = 0;
   ATNN_RETURN_IF_ERROR(ReadU64(&size));
-  if (position_ + size > buffer_.size()) {
+  // Compare against the remaining bytes rather than computing
+  // position_ + size: a bit-flipped length near 2^64 would wrap the sum
+  // and slip past the check straight into an out-of-bounds read.
+  if (size > buffer_.size() - position_) {
     return Status::Corruption("string length exceeds buffer");
   }
   value->assign(buffer_.data() + position_, size);
@@ -94,7 +109,9 @@ Status BinaryReader::ReadString(std::string* value) {
 Status BinaryReader::ReadFloatVector(std::vector<float>* values) {
   uint64_t size = 0;
   ATNN_RETURN_IF_ERROR(ReadU64(&size));
-  if (position_ + size * sizeof(float) > buffer_.size()) {
+  // Divide instead of multiplying: size * sizeof(float) overflows for a
+  // corrupt length >= 2^62, making the bound check pass and resize() abort.
+  if (size > (buffer_.size() - position_) / sizeof(float)) {
     return Status::Corruption("float vector length exceeds buffer");
   }
   values->resize(size);

@@ -25,10 +25,36 @@ enum class StatusCode {
   /// A bounded resource (e.g. the serving runtime's request queue) is full
   /// and the caller chose rejection over blocking.
   kResourceExhausted = 10,
+  /// A per-request deadline expired before the work completed. The request
+  /// was answered (possibly from a degraded tier) or dropped, but the full
+  /// fresh path did not run in time.
+  kDeadlineExceeded = 11,
+  /// Data that should exist is unrecoverably damaged (e.g. a snapshot whose
+  /// weights contain NaN/Inf). Unlike kCorruption — a malformed byte stream
+  /// — kDataLoss means the bytes parsed but the *content* is unusable.
+  kDataLoss = 12,
+  /// A dependency is temporarily down; the operation may succeed if retried
+  /// (the canonical transient failure in serving systems).
+  kUnavailable = 13,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
+
+/// True for the transient codes a caller should retry with backoff
+/// (see common/retry.h): the overload and flakiness family. Permanent
+/// failures — bad arguments, corruption, data loss — are never retriable.
+inline bool IsRetriable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kIoError:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// Lightweight Status value for fallible operations. The library does not
 /// use exceptions (see DESIGN.md); functions that can fail return Status or
@@ -74,6 +100,15 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

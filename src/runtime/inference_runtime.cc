@@ -1,7 +1,10 @@
 #include "runtime/inference_runtime.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -12,19 +15,77 @@ namespace atnn::runtime {
 
 namespace {
 
-double MicrosSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - start)
+using Clock = std::chrono::steady_clock;
+constexpr auto kNoDeadline = Clock::time_point::max();
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
       .count();
+}
+
+std::future<StatusOr<ScoreResult>> ReadyResponse(
+    StatusOr<ScoreResult> response) {
+  std::promise<StatusOr<ScoreResult>> promise;
+  auto future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+/// The fault injector's snapshot-publish corruption: a NaN poked into a
+/// copy of the mean-user vector. The corrupt snapshot then flows through
+/// the *real* ValidateServingSnapshot rejection path — the injection
+/// fabricates the damage, not the handling.
+void CorruptSnapshotInPlace(ServingSnapshot* snapshot) {
+  if (snapshot->predictor == nullptr) return;
+  nn::Tensor mean = snapshot->predictor->mean_user_vector();
+  if (mean.numel() > 0) {
+    mean.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+  snapshot->predictor = std::make_shared<core::PopularityPredictor>(
+      std::move(mean), snapshot->predictor->bias());
 }
 
 }  // namespace
 
+Status RuntimeConfig::Validate() const {
+  if (num_workers < 1) {
+    return Status::InvalidArgument(
+        "num_workers must be >= 1 (zero workers would leave every request "
+        "unanswered forever)");
+  }
+  ATNN_RETURN_IF_ERROR(batcher.Validate());
+  if (enable_score_cache && score_cache_capacity == 0) {
+    return Status::InvalidArgument(
+        "score_cache_capacity must be >= 1 when the cache is enabled");
+  }
+  if (default_deadline_us < 0) {
+    return Status::InvalidArgument("default_deadline_us must be >= 0");
+  }
+  if (default_deadline_us > 0 && default_deadline_us < batcher.max_delay_us) {
+    return Status::InvalidArgument(
+        "default_deadline_us (" + std::to_string(default_deadline_us) +
+        ") is shorter than the batcher flush interval (" +
+        std::to_string(batcher.max_delay_us) +
+        "us): every request would expire waiting for its batch window");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<InferenceRuntime>> InferenceRuntime::Create(
+    const RuntimeConfig& config) {
+  ATNN_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<InferenceRuntime>(config);
+}
+
 InferenceRuntime::InferenceRuntime(const RuntimeConfig& config)
     : config_(config),
+      injector_(config.fault_injection),
       batcher_(config.batcher, &stats_),
+      prior_(config.prior),
       pool_(config.num_workers) {
-  ATNN_CHECK(config.num_workers >= 1);
+  const Status valid = config.Validate();
+  ATNN_CHECK(valid.ok()) << "invalid RuntimeConfig: " << valid.ToString()
+                         << " (use InferenceRuntime::Create for a Status)";
   for (size_t i = 0; i < config.num_workers; ++i) {
     pool_.Submit([this] { WorkerLoop(); });
   }
@@ -32,12 +93,16 @@ InferenceRuntime::InferenceRuntime(const RuntimeConfig& config)
 
 InferenceRuntime::~InferenceRuntime() { Shutdown(); }
 
-uint64_t InferenceRuntime::Publish(ServingSnapshot snapshot) {
-  ATNN_CHECK(snapshot.model != nullptr);
-  ATNN_CHECK(snapshot.predictor != nullptr);
-  ATNN_CHECK(snapshot.item_profiles != nullptr);
-  ATNN_CHECK_EQ(snapshot.predictor->mean_user_vector().cols(),
-                snapshot.model->vector_dim());
+StatusOr<uint64_t> InferenceRuntime::Publish(ServingSnapshot snapshot) {
+  if (injector_.TakeCorruptPublish()) CorruptSnapshotInPlace(&snapshot);
+  const Status valid = ValidateServingSnapshot(snapshot);
+  if (!valid.ok()) {
+    // Reject without touching the published version: the previous snapshot
+    // keeps serving and the caller decides whether to retry (see
+    // common/retry.h) or page someone.
+    stats_.RecordPublishRejected();
+    return valid;
+  }
   const uint64_t version = snapshots_.Publish(std::move(snapshot));
   stats_.RecordSwap();
   return version;
@@ -45,11 +110,55 @@ uint64_t InferenceRuntime::Publish(ServingSnapshot snapshot) {
 
 std::future<StatusOr<ScoreResult>> InferenceRuntime::ScoreAsync(
     int64_t item_row) {
-  return batcher_.Enqueue(item_row);
+  return ScoreAsync(item_row, config_.default_deadline_us);
+}
+
+std::future<StatusOr<ScoreResult>> InferenceRuntime::ScoreAsync(
+    int64_t item_row, int64_t deadline_us) {
+  const Clock::time_point deadline =
+      deadline_us > 0 ? Clock::now() + std::chrono::microseconds(deadline_us)
+                      : kNoDeadline;
+
+  if (injector_.ShouldRejectEnqueue()) {
+    PendingRequest request;
+    request.item_row = item_row;
+    request.enqueue_time = Clock::now();
+    auto future = request.promise.get_future();
+    AnswerDegraded(&request,
+                   Status::ResourceExhausted("fault injection: queue full"),
+                   /*expired=*/false);
+    return future;
+  }
+
+  std::future<StatusOr<ScoreResult>> future;
+  const Status admitted = batcher_.TryEnqueue(item_row, deadline, &future);
+  if (admitted.ok()) return future;
+  if (admitted.code() == StatusCode::kFailedPrecondition) {
+    // Shutdown is not an overload: a degraded answer would hide that the
+    // process is going away. Callers see the real condition.
+    return ReadyResponse(admitted);
+  }
+  // Queue rejection (ResourceExhausted) or deadline expiry while blocked on
+  // backpressure (DeadlineExceeded): answer degraded, never re-touching the
+  // queue — degraded responses must stay cheap precisely when the fresh
+  // path is the bottleneck.
+  PendingRequest request;
+  request.item_row = item_row;
+  request.enqueue_time = Clock::now();
+  auto degraded_future = request.promise.get_future();
+  AnswerDegraded(&request, admitted,
+                 admitted.code() == StatusCode::kDeadlineExceeded);
+  return degraded_future;
 }
 
 StatusOr<ScoreResult> InferenceRuntime::Score(int64_t item_row) {
   return ScoreAsync(item_row).get();
+}
+
+void InferenceRuntime::SetPrior(
+    std::shared_ptr<const serving::PopularityIndex> prior) {
+  std::lock_guard<std::mutex> lock(prior_mutex_);
+  prior_ = std::move(prior);
 }
 
 void InferenceRuntime::Shutdown() {
@@ -57,10 +166,21 @@ void InferenceRuntime::Shutdown() {
   pool_.Wait();
 }
 
+StatsSnapshot InferenceRuntime::stats() const {
+  StatsSnapshot snapshot = stats_.Snapshot();
+  snapshot.faults_injected = injector_.faults_injected();
+  return snapshot;
+}
+
 void InferenceRuntime::WorkerLoop() {
   for (;;) {
     std::vector<PendingRequest> batch = batcher_.PopBatch();
     if (batch.empty()) return;  // closed and drained
+    const int64_t injected_delay_us = injector_.MaybeWorkerDelayUs();
+    if (injected_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(injected_delay_us));
+    }
     const auto snapshot = snapshots_.Acquire();
     if (snapshot == nullptr) {
       for (auto& request : batch) {
@@ -76,70 +196,135 @@ void InferenceRuntime::WorkerLoop() {
 
 void InferenceRuntime::ExecuteBatch(const ServingSnapshot& snapshot,
                                     std::vector<PendingRequest>* batch) {
+  const auto now = Clock::now();
   const int64_t num_rows = snapshot.item_profiles->num_rows();
 
-  // Partition: out-of-range rows are answered immediately, valid rows go
-  // through one shared generator forward.
-  std::vector<int64_t> valid_rows;
-  std::vector<size_t> valid_index;  // position in *batch
-  valid_rows.reserve(batch->size());
-  valid_index.reserve(batch->size());
+  // Partition: out-of-range rows are answered immediately, requests past
+  // their deadline degrade without a forward pass, the rest go through one
+  // shared generator forward.
+  std::vector<size_t> live;  // positions in *batch still awaiting a score
+  live.reserve(batch->size());
   for (size_t i = 0; i < batch->size(); ++i) {
-    const int64_t row = (*batch)[i].item_row;
+    PendingRequest& request = (*batch)[i];
+    const int64_t row = request.item_row;
     if (row < 0 || row >= num_rows) {
-      (*batch)[i].promise.set_value(Status::InvalidArgument(
+      request.promise.set_value(Status::InvalidArgument(
           "item row " + std::to_string(row) + " outside profile table [0, " +
           std::to_string(num_rows) + ")"));
-      stats_.RecordResponse(false, MicrosSince((*batch)[i].enqueue_time));
+      stats_.RecordResponse(false, MicrosSince(request.enqueue_time));
+    } else if (request.deadline <= now) {
+      AnswerDegraded(&request,
+                     Status::DeadlineExceeded(
+                         "deadline expired before batch execution"),
+                     /*expired=*/true);
     } else {
-      valid_rows.push_back(row);
-      valid_index.push_back(i);
+      live.push_back(i);
     }
   }
+  if (live.empty()) return;
 
-  if (valid_rows.empty()) return;
+  if (injector_.ShouldFailBatch()) {
+    const Status why =
+        Status::Unavailable("fault injection: forced batch scoring failure");
+    for (const size_t i : live) {
+      AnswerDegraded(&(*batch)[i], why, /*expired=*/false);
+    }
+    return;
+  }
 
-  std::vector<double> scores(valid_rows.size(), 0.0);
-  std::vector<char> cached(valid_rows.size(), 0);
-  const size_t hits =
-      LookupCached(snapshot.version, valid_rows, &scores, &cached);
+  std::vector<int64_t> rows(live.size());
+  for (size_t j = 0; j < live.size(); ++j) {
+    rows[j] = (*batch)[live[j]].item_row;
+  }
+  std::vector<double> scores(live.size(), 0.0);
+  // 0 = needs forward, 1 = cache hit, 2 = already answered degraded.
+  std::vector<char> state(live.size(), 0);
+  const size_t hits = LookupCached(snapshot.version, rows, &scores, &state);
   if (hits > 0) stats_.RecordCacheHits(hits);
 
-  if (hits < valid_rows.size()) {
-    // One generator forward over the cache misses only.
-    std::vector<int64_t> miss_rows;
-    std::vector<size_t> miss_pos;  // position in the `valid_*` arrays
-    miss_rows.reserve(valid_rows.size() - hits);
-    miss_pos.reserve(valid_rows.size() - hits);
-    for (size_t i = 0; i < valid_rows.size(); ++i) {
-      if (!cached[i]) {
-        miss_rows.push_back(valid_rows[i]);
-        miss_pos.push_back(i);
+  if (hits < live.size()) {
+    // A miss pays for the forward pass (the cache-fill slow path). A
+    // request whose remaining budget is below the recent forward cost
+    // cannot make it: degrade now instead of blowing the deadline inside
+    // the model.
+    const int64_t estimate_us =
+        forward_cost_ewma_us_.load(std::memory_order_relaxed);
+    std::vector<size_t> miss_pos;  // positions in the live-aligned arrays
+    miss_pos.reserve(live.size() - hits);
+    for (size_t j = 0; j < live.size(); ++j) {
+      if (state[j] != 0) continue;
+      PendingRequest& request = (*batch)[live[j]];
+      if (estimate_us > 0 && request.deadline != kNoDeadline &&
+          request.deadline - now < std::chrono::microseconds(estimate_us)) {
+        AnswerDegraded(&request,
+                       Status::DeadlineExceeded(
+                           "remaining deadline budget below the estimated "
+                           "forward-pass cost"),
+                       /*expired=*/true);
+        state[j] = 2;
+        continue;
+      }
+      miss_pos.push_back(j);
+    }
+
+    if (!miss_pos.empty()) {
+      std::vector<int64_t> miss_rows;
+      miss_rows.reserve(miss_pos.size());
+      for (const size_t j : miss_pos) miss_rows.push_back(rows[j]);
+      Stopwatch score_timer;
+      const data::BlockBatch block =
+          data::GatherBlock(*snapshot.item_profiles, miss_rows);
+      const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
+      std::vector<double> miss_scores;
+      miss_scores.reserve(miss_rows.size());
+      bool all_finite = true;
+      for (int64_t r = 0; r < vectors.rows(); ++r) {
+        const double score = snapshot.predictor->ScoreVector(
+            vectors.value().row_ptr(r), vectors.cols());
+        if (!std::isfinite(score)) all_finite = false;
+        miss_scores.push_back(score);
+      }
+      const double forward_us = score_timer.ElapsedMillis() * 1e3;
+      stats_.RecordBatch(miss_rows.size(), forward_us);
+      // EWMA (3/4 old, 1/4 new) of the batch forward cost feeds the
+      // near-deadline skip above. Approximate by design.
+      const auto measured = static_cast<int64_t>(forward_us);
+      const int64_t old =
+          forward_cost_ewma_us_.load(std::memory_order_relaxed);
+      forward_cost_ewma_us_.store(
+          old == 0 ? measured : (3 * old + measured) / 4,
+          std::memory_order_relaxed);
+
+      if (!all_finite) {
+        // Scoring failure (a corrupt snapshot that slipped past validation,
+        // or an injected numerical fault): nothing from this forward is
+        // trustworthy, so every miss degrades and the cache stays clean.
+        const Status why =
+            Status::DataLoss("forward pass produced non-finite scores");
+        for (const size_t j : miss_pos) {
+          AnswerDegraded(&(*batch)[live[j]], why, /*expired=*/false);
+          state[j] = 2;
+        }
+      } else {
+        for (size_t k = 0; k < miss_pos.size(); ++k) {
+          scores[miss_pos[k]] = miss_scores[k];
+        }
+        InsertCached(snapshot.version, miss_rows, miss_scores);
+        RecordFreshScores(miss_scores);
       }
     }
-    Stopwatch score_timer;
-    const data::BlockBatch block =
-        data::GatherBlock(*snapshot.item_profiles, miss_rows);
-    const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
-    std::vector<double> miss_scores;
-    miss_scores.reserve(miss_rows.size());
-    for (int64_t r = 0; r < vectors.rows(); ++r) {
-      const double score = snapshot.predictor->ScoreVector(
-          vectors.value().row_ptr(r), vectors.cols());
-      miss_scores.push_back(score);
-      scores[miss_pos[static_cast<size_t>(r)]] = score;
-    }
-    stats_.RecordBatch(miss_rows.size(), score_timer.ElapsedMillis() * 1e3);
-    InsertCached(snapshot.version, miss_rows, miss_scores);
   }
 
-  for (size_t i = 0; i < valid_index.size(); ++i) {
-    PendingRequest& request = (*batch)[valid_index[i]];
+  for (size_t j = 0; j < live.size(); ++j) {
+    if (state[j] == 2) continue;  // already answered degraded
+    PendingRequest& request = (*batch)[live[j]];
     ScoreResult result;
-    result.score = scores[i];
+    result.score = scores[j];
     result.snapshot_version = snapshot.version;
+    result.tier = ServingTier::kFresh;
     request.promise.set_value(result);
-    stats_.RecordResponse(true, MicrosSince(request.enqueue_time));
+    stats_.RecordServed(ServingTier::kFresh,
+                        MicrosSince(request.enqueue_time));
   }
 }
 
@@ -150,14 +335,18 @@ size_t InferenceRuntime::LookupCached(uint64_t version,
   if (!config_.enable_score_cache) return 0;
   std::lock_guard<std::mutex> lock(cache_mutex_);
   if (version > cache_version_) {
-    // First batch on a freshly published snapshot: every memoized score
-    // belongs to a dead version, drop them all.
+    // First batch on a freshly published snapshot: rotate the memoized
+    // scores into the stale generation. They are dead for fresh serving
+    // but remain the best available answer in degraded mode
+    // (stale-while-revalidate); the generation before them is dropped.
+    stale_cache_ = std::move(score_cache_);
+    stale_version_ = cache_version_;
     score_cache_.clear();
     cache_version_ = version;
     return 0;
   }
   // A laggard worker still holding an older snapshot gets no hits (and,
-  // below, no inserts) — it must not read or clear the newer cache.
+  // below, no inserts) — it must not read or rotate the newer cache.
   if (version < cache_version_) return 0;
   size_t hits = 0;
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -182,6 +371,79 @@ void InferenceRuntime::InsertCached(uint64_t version,
     if (score_cache_.size() >= config_.score_cache_capacity) return;
     score_cache_.emplace(rows[i], scores[i]);
   }
+}
+
+ScoreResult InferenceRuntime::DegradedScore(int64_t item_row) {
+  ScoreResult result;
+  const uint64_t published_version = snapshots_.version();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = score_cache_.find(item_row);
+    if (it != score_cache_.end()) {
+      // A cache hit at the published version is the exact score — serving
+      // it without a forward pass is not a degradation. Rotation is lazy
+      // (first batch after a publish), so the live map can briefly hold the
+      // previous version's scores: those are stale, and tagged as such.
+      result.score = it->second;
+      result.snapshot_version = cache_version_;
+      result.tier = cache_version_ == published_version
+                        ? ServingTier::kFresh
+                        : ServingTier::kStaleCache;
+      return result;
+    }
+    it = stale_cache_.find(item_row);
+    if (it != stale_cache_.end()) {
+      result.score = it->second;
+      result.snapshot_version = stale_version_;
+      result.tier = ServingTier::kStaleCache;
+      return result;
+    }
+  }
+  std::shared_ptr<const serving::PopularityIndex> prior;
+  {
+    std::lock_guard<std::mutex> lock(prior_mutex_);
+    prior = prior_;
+  }
+  if (prior != nullptr) {
+    const auto prior_score = prior->Score(item_row);
+    if (prior_score.ok()) {
+      result.score = prior_score.value();
+      result.snapshot_version = published_version;
+      result.tier = ServingTier::kPrior;
+      return result;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mean_mutex_);
+    // Before any fresh score exists the catalog-wide expectation is
+    // unknown; 0.5 is the sigmoid midpoint — maximally noncommittal.
+    result.score = fresh_score_count_ > 0
+                       ? fresh_score_sum_ /
+                             static_cast<double>(fresh_score_count_)
+                       : 0.5;
+  }
+  result.snapshot_version = published_version;
+  result.tier = ServingTier::kGlobalMean;
+  return result;
+}
+
+void InferenceRuntime::AnswerDegraded(PendingRequest* request,
+                                      const Status& why, bool expired) {
+  if (expired) stats_.RecordDeadlineExpired();
+  if (!config_.enable_degraded_fallback) {
+    request->promise.set_value(why);
+    stats_.RecordResponse(false, MicrosSince(request->enqueue_time));
+    return;
+  }
+  const ScoreResult result = DegradedScore(request->item_row);
+  request->promise.set_value(result);
+  stats_.RecordServed(result.tier, MicrosSince(request->enqueue_time));
+}
+
+void InferenceRuntime::RecordFreshScores(const std::vector<double>& scores) {
+  std::lock_guard<std::mutex> lock(mean_mutex_);
+  for (const double score : scores) fresh_score_sum_ += score;
+  fresh_score_count_ += static_cast<int64_t>(scores.size());
 }
 
 }  // namespace atnn::runtime

@@ -1,6 +1,7 @@
 #ifndef ATNN_RUNTIME_INFERENCE_RUNTIME_H_
 #define ATNN_RUNTIME_INFERENCE_RUNTIME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -10,9 +11,11 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "runtime/fault_injection.h"
 #include "runtime/micro_batcher.h"
 #include "runtime/runtime_stats.h"
 #include "runtime/snapshot_handle.h"
+#include "serving/popularity_index.h"
 
 namespace atnn::runtime {
 
@@ -23,15 +26,45 @@ struct RuntimeConfig {
   /// Memoize scores per (snapshot version, item row). Sound because the
   /// popularity path is deterministic given the published snapshot: the
   /// score depends only on the item profile and the frozen generator +
-  /// mean-user vector. A Publish() invalidates the whole cache (it is keyed
-  /// by version), so hot swaps can never serve stale scores. Under the
-  /// Zipf-skewed traffic of real request logs this answers most requests
-  /// without a forward pass.
+  /// mean-user vector. A Publish() rotates the cache (it is keyed by
+  /// version), so hot swaps can never serve a stale score as fresh; the
+  /// rotated-out generation survives one version as the degraded-mode
+  /// stale tier. Under the Zipf-skewed traffic of real request logs this
+  /// answers most requests without a forward pass.
   bool enable_score_cache = true;
   /// Entry cap; inserts stop when reached (item tables are finite, so in
   /// practice the cache holds at most one score per item).
   size_t score_cache_capacity = 1 << 20;
+  /// Per-request completion budget applied by ScoreAsync(row); 0 means no
+  /// deadline. ScoreAsync(row, deadline_us) overrides per call. A request
+  /// past its deadline is never given a forward pass: it is answered from
+  /// the degraded fallback chain (or with DeadlineExceeded when the chain
+  /// is disabled).
+  int64_t default_deadline_us = 0;
+  /// Degraded-mode fallback chain: on deadline expiry, queue rejection, or
+  /// scoring failure, answer from (in order) the score cache — current
+  /// version first, then the previous version's rotated-out generation
+  /// (stale-while-revalidate) — then the `prior` popularity index, then
+  /// the running global mean score. Every ScoreResult is tagged with the
+  /// tier that served it. Disabled => those conditions surface as error
+  /// Statuses instead (the pre-fault-tolerance behaviour).
+  bool enable_degraded_fallback = true;
+  /// Tier-2 fallback source, e.g. yesterday's precomputed popularity index
+  /// (see serving/PopularityIndex). May be null; replaceable at runtime
+  /// via SetPrior().
+  std::shared_ptr<const serving::PopularityIndex> prior;
+  /// Chaos-testing hooks; disabled (zero-cost) by default.
+  FaultInjectionConfig fault_injection;
   BatcherConfig batcher;
+
+  /// InvalidArgument on: zero workers (requests would hang forever), an
+  /// invalid batcher config (see BatcherConfig::Validate), a zero cache
+  /// capacity with the cache enabled, or a nonzero default deadline
+  /// shorter than the batcher's flush interval (every request would blow
+  /// its budget waiting for the batch window — a config that can only
+  /// degrade). Use InferenceRuntime::Create to get this as a Status
+  /// instead of a checked abort.
+  Status Validate() const;
 };
 
 /// Concurrent micro-batching scorer for the paper's O(1) popularity path:
@@ -44,25 +77,38 @@ struct RuntimeConfig {
 /// — batching and caching are exactly the two properties that make
 /// decoupled two-tower item paths cheap to serve.
 ///
+/// Fault tolerance (DESIGN.md §7): requests carry deadlines, overload and
+/// partial failure degrade instead of erroring (stale cache -> prior ->
+/// global mean, each response tagged with its serving tier), snapshots are
+/// validated on Publish so a corrupt model never becomes the serving
+/// version, and a seeded fault injector can exercise all of it.
+///
 /// Lifecycle:
-///   InferenceRuntime runtime(config);
-///   runtime.Publish(snapshot);            // required before scoring
-///   auto future = runtime.ScoreAsync(row);
+///   ATNN_ASSIGN_OR_RETURN(auto runtime, InferenceRuntime::Create(config));
+///   ATNN_RETURN_IF_ERROR(runtime->Publish(snapshot).status());
+///   auto future = runtime->ScoreAsync(row);
 ///   ...
-///   runtime.Shutdown();                   // drains; also run by ~dtor
+///   runtime->Shutdown();                  // drains; also run by ~dtor
 ///
 /// Hot swap: Publish() may be called at any time, from any thread, while
 /// requests are in flight. Workers pick up the new version at their next
 /// batch; batches already executing finish on the version they acquired.
-/// No request is ever dropped or scored against a half-written model.
+/// No request is ever dropped or scored against a half-written model, and
+/// a snapshot failing validation leaves the current version serving.
 ///
-/// Thread safety: ScoreAsync/Score/Publish/stats are safe from any thread.
-/// Scoring runs concurrent *forward* passes over a shared immutable model;
-/// this is safe because forward ops only read parameter values (training
-/// the published model concurrently is not supported — train a copy and
-/// Publish it).
+/// Thread safety: ScoreAsync/Score/Publish/SetPrior/stats are safe from
+/// any thread. Scoring runs concurrent *forward* passes over a shared
+/// immutable model; this is safe because forward ops only read parameter
+/// values (training the published model concurrently is not supported —
+/// train a copy and Publish it).
 class InferenceRuntime {
  public:
+  /// Validates `config` (see RuntimeConfig::Validate) and constructs.
+  static StatusOr<std::unique_ptr<InferenceRuntime>> Create(
+      const RuntimeConfig& config);
+
+  /// Direct construction for call sites with known-good configs; aborts on
+  /// an invalid one (Create is the Status-returning path).
   explicit InferenceRuntime(const RuntimeConfig& config);
 
   InferenceRuntime(const InferenceRuntime&) = delete;
@@ -71,36 +117,53 @@ class InferenceRuntime {
   /// Drains and stops (see Shutdown).
   ~InferenceRuntime();
 
-  /// Atomically publishes a new serving snapshot (model + mean-user vector
-  /// + item-profile table) and returns its version. The snapshot's
-  /// `model`, `predictor` and `item_profiles` must all be non-null.
-  uint64_t Publish(ServingSnapshot snapshot);
+  /// Validates and atomically publishes a new serving snapshot (model +
+  /// mean-user vector + item-profile table), returning its version. A
+  /// snapshot rejected by ValidateServingSnapshot (null members, dimension
+  /// mismatch, NaN/Inf weights) returns that Status and the previously
+  /// published version keeps serving untouched.
+  StatusOr<uint64_t> Publish(ServingSnapshot snapshot);
 
-  /// Enqueues one item row for scoring. The future resolves with the score
-  /// and the snapshot version that produced it, or with:
-  ///   - ResourceExhausted: queue full under kRejectWithStatus
-  ///   - InvalidArgument:   item_row outside the snapshot's profile table
+  /// Enqueues one item row for scoring under the config's default
+  /// deadline. The future resolves with the score, the snapshot version
+  /// that produced it and the serving tier, or with:
+  ///   - ResourceExhausted:  queue full under kRejectWithStatus, fallback
+  ///                         chain disabled
+  ///   - DeadlineExceeded:   deadline blown with the fallback disabled
+  ///   - InvalidArgument:    item_row outside the snapshot's profile table
   ///   - FailedPrecondition: no snapshot published yet, or shutting down
+  /// With the fallback chain enabled (default), overload and deadline
+  /// expiry produce degraded OK responses instead of the first two errors.
   std::future<StatusOr<ScoreResult>> ScoreAsync(int64_t item_row);
+
+  /// Same, with an explicit per-request deadline (microseconds from now;
+  /// 0 = no deadline, overriding any config default).
+  std::future<StatusOr<ScoreResult>> ScoreAsync(int64_t item_row,
+                                                int64_t deadline_us);
 
   /// Blocking convenience wrapper around ScoreAsync.
   StatusOr<ScoreResult> Score(int64_t item_row);
+
+  /// Replaces the tier-2 fallback prior (may be null to remove it).
+  void SetPrior(std::shared_ptr<const serving::PopularityIndex> prior);
 
   /// Stops admission, waits for every queued request to be answered, then
   /// joins the workers. Idempotent.
   void Shutdown();
 
-  StatsSnapshot stats() const { return stats_.Snapshot(); }
+  StatsSnapshot stats() const;
   uint64_t snapshot_version() const { return snapshots_.version(); }
   size_t queue_depth() const { return batcher_.queue_depth(); }
   const RuntimeConfig& config() const { return config_; }
+  FaultInjector& fault_injector() { return injector_; }
 
  private:
   void WorkerLoop();
   void ExecuteBatch(const ServingSnapshot& snapshot,
                     std::vector<PendingRequest>* batch);
-  /// Fills `scores_out[i]` and marks `hit_out[i]` for each cached row;
-  /// returns the number of hits. No-op when the cache is disabled.
+  /// Fills `scores_out[i]` and marks `hit_out[i]` for each row cached at
+  /// `version`; returns the number of hits. No-op when the cache is
+  /// disabled.
   size_t LookupCached(uint64_t version, const std::vector<int64_t>& rows,
                       std::vector<double>* scores_out,
                       std::vector<char>* hit_out);
@@ -108,14 +171,48 @@ class InferenceRuntime {
   /// in the meantime (the version check makes late writers harmless).
   void InsertCached(uint64_t version, const std::vector<int64_t>& rows,
                     const std::vector<double>& scores);
+  /// Walks the fallback chain for one item row and returns the degraded
+  /// answer: cache (current then stale generation) -> prior -> global
+  /// mean. Always succeeds; never blocks on the queue; never runs a
+  /// forward pass.
+  ScoreResult DegradedScore(int64_t item_row);
+  /// Answers `request` from the fallback chain (or with `why` when the
+  /// chain is disabled) and records stats. `expired` marks deadline blown.
+  void AnswerDegraded(PendingRequest* request, const Status& why,
+                      bool expired);
+  /// Feeds the running global-mean accumulator (fresh scores only).
+  void RecordFreshScores(const std::vector<double>& scores);
 
   RuntimeConfig config_;
   RuntimeStats stats_;
+  FaultInjector injector_;
   SnapshotHandle snapshots_;
   MicroBatcher batcher_;
+
   std::mutex cache_mutex_;
   uint64_t cache_version_ = 0;
   std::unordered_map<int64_t, double> score_cache_;
+  /// The previous version's scores, rotated out by the first batch on a new
+  /// version — the stale-while-revalidate tier of the fallback chain.
+  uint64_t stale_version_ = 0;
+  std::unordered_map<int64_t, double> stale_cache_;
+
+  std::mutex prior_mutex_;
+  std::shared_ptr<const serving::PopularityIndex> prior_;
+
+  /// Running mean of fresh scores (global-mean fallback tier). Guarded by
+  /// mean_mutex_; read/written on degraded paths only, so it is never on
+  /// the fresh hot path's critical section.
+  std::mutex mean_mutex_;
+  double fresh_score_sum_ = 0.0;
+  int64_t fresh_score_count_ = 0;
+
+  /// EWMA of recent per-batch forward+score time, microseconds. Used to
+  /// decide whether a near-deadline request can still afford the
+  /// cache-fill slow path. Relaxed atomics: an approximate estimate is
+  /// fine, a lock is not worth it.
+  std::atomic<int64_t> forward_cost_ewma_us_{0};
+
   /// Declared after the batcher/stats the worker loops use; the destructor
   /// runs Shutdown() before any member is torn down.
   ThreadPool pool_;

@@ -23,37 +23,70 @@ double MicrosBetween(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
+Status BatcherConfig::Validate() const {
+  if (max_batch_size < 1) {
+    return Status::InvalidArgument("max_batch_size must be >= 1");
+  }
+  if (queue_capacity < max_batch_size) {
+    return Status::InvalidArgument(
+        "queue_capacity (" + std::to_string(queue_capacity) +
+        ") must hold at least one full batch of " +
+        std::to_string(max_batch_size));
+  }
+  if (max_delay_us < 0) {
+    return Status::InvalidArgument("max_delay_us must be >= 0");
+  }
+  return Status::OK();
+}
+
 MicroBatcher::MicroBatcher(const BatcherConfig& config, RuntimeStats* stats)
     : config_(config), stats_(stats) {
-  ATNN_CHECK(config.max_batch_size >= 1);
-  ATNN_CHECK(config.queue_capacity >= config.max_batch_size)
-      << "queue must hold at least one full batch";
-  ATNN_CHECK(config.max_delay_us >= 0);
+  ATNN_CHECK(config.Validate().ok())
+      << "invalid BatcherConfig: " << config.Validate().ToString()
+      << " (call Validate() before constructing)";
 }
 
 std::future<StatusOr<ScoreResult>> MicroBatcher::Enqueue(int64_t item_row) {
+  std::future<StatusOr<ScoreResult>> future;
+  const Status admitted = TryEnqueue(
+      item_row, std::chrono::steady_clock::time_point::max(), &future);
+  if (!admitted.ok()) return ReadyError(admitted);
+  return future;
+}
+
+Status MicroBatcher::TryEnqueue(
+    int64_t item_row, std::chrono::steady_clock::time_point deadline,
+    std::future<StatusOr<ScoreResult>>* out) {
   PendingRequest request;
   request.item_row = item_row;
   request.enqueue_time = std::chrono::steady_clock::now();
+  request.deadline = deadline;
   auto future = request.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (config_.admission == AdmissionPolicy::kBlock) {
-      not_full_.wait(lock, [this] {
+      const auto have_space = [this] {
         return closed_ || queue_.size() < config_.queue_capacity;
-      });
+      };
+      if (deadline == std::chrono::steady_clock::time_point::max()) {
+        not_full_.wait(lock, have_space);
+      } else if (!not_full_.wait_until(lock, deadline, have_space)) {
+        // Backpressure held the caller all the way to its deadline.
+        if (stats_ != nullptr) stats_->RecordRejected();
+        return Status::DeadlineExceeded(
+            "request deadline expired waiting for queue space");
+      }
     }
     if (closed_) {
       if (stats_ != nullptr) stats_->RecordRejected();
-      return ReadyError(
-          Status::FailedPrecondition("runtime is shutting down"));
+      return Status::FailedPrecondition("runtime is shutting down");
     }
     if (queue_.size() >= config_.queue_capacity) {
       // Only reachable under kRejectWithStatus: kBlock waited for space.
       if (stats_ != nullptr) stats_->RecordRejected();
-      return ReadyError(Status::ResourceExhausted(
+      return Status::ResourceExhausted(
           "request queue full (" + std::to_string(config_.queue_capacity) +
-          " pending)"));
+          " pending)");
     }
     queue_.push_back(std::move(request));
     // Wake a consumer only on the transitions that change what a consumer
@@ -68,7 +101,8 @@ std::future<StatusOr<ScoreResult>> MicroBatcher::Enqueue(int64_t item_row) {
     }
   }
   if (stats_ != nullptr) stats_->RecordEnqueued();
-  return future;
+  *out = std::move(future);
+  return Status::OK();
 }
 
 std::vector<PendingRequest> MicroBatcher::PopBatch() {

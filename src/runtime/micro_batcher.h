@@ -33,13 +33,22 @@ struct BatcherConfig {
   /// Bound on queued (admitted but not yet batched) requests.
   size_t queue_capacity = 4096;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
+
+  /// InvalidArgument unless max_batch_size >= 1, queue_capacity holds at
+  /// least one full batch, and max_delay_us >= 0. Construction requires a
+  /// valid config (checked); call this first on untrusted input so a typo'd
+  /// flag becomes a Status instead of an abort or a queue that can never
+  /// flush.
+  Status Validate() const;
 };
 
 /// One fulfilled score: the model output plus the snapshot version that
-/// produced it (so callers can attribute scores across hot-swaps).
+/// produced it (so callers can attribute scores across hot-swaps) and the
+/// serving tier that answered (kFresh outside degraded mode).
 struct ScoreResult {
   double score = 0.0;
   uint64_t snapshot_version = 0;
+  ServingTier tier = ServingTier::kFresh;
 };
 
 /// A request admitted to the queue, waiting to be batched. Movable-only
@@ -48,6 +57,11 @@ struct PendingRequest {
   int64_t item_row = 0;
   std::promise<StatusOr<ScoreResult>> promise;
   std::chrono::steady_clock::time_point enqueue_time;
+  /// Absolute completion deadline; time_point::max() means "none". Expired
+  /// requests are answered without a forward pass (degraded or
+  /// DeadlineExceeded — the runtime decides, the batcher only carries it).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Coalesces single-item score requests into micro-batches. Producers call
@@ -75,6 +89,19 @@ class MicroBatcher {
   /// On rejection (kRejectWithStatus + full queue) or after Close() the
   /// returned future is immediately ready with an error status.
   std::future<StatusOr<ScoreResult>> Enqueue(int64_t item_row);
+
+  /// Admission primitive underneath Enqueue: on success sets *out to the
+  /// response future and returns OK; on failure returns why —
+  ///   ResourceExhausted:  queue full under kRejectWithStatus
+  ///   DeadlineExceeded:   kBlock waited until `deadline` without space
+  ///   FailedPrecondition: closed (shutting down)
+  /// — and leaves *out untouched, so the caller can substitute a degraded
+  /// answer instead of an error. Under kBlock with a finite deadline the
+  /// wait for space is bounded by the deadline (backpressure can no longer
+  /// stall a caller past its own budget).
+  Status TryEnqueue(int64_t item_row,
+                    std::chrono::steady_clock::time_point deadline,
+                    std::future<StatusOr<ScoreResult>>* out);
 
   /// Blocks for the next micro-batch. Returns an empty vector only after
   /// Close() once all queued requests have been handed out. Safe to call

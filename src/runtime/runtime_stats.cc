@@ -25,6 +25,20 @@ double BucketHigh(size_t bucket) {
 
 }  // namespace
 
+const char* ServingTierToString(ServingTier tier) {
+  switch (tier) {
+    case ServingTier::kFresh:
+      return "fresh";
+    case ServingTier::kStaleCache:
+      return "stale_cache";
+    case ServingTier::kPrior:
+      return "prior";
+    case ServingTier::kGlobalMean:
+      return "global_mean";
+  }
+  return "unknown";
+}
+
 void LogHistogram::Record(double value) {
   if (value < 0.0) value = 0.0;
   ++buckets_[BucketFor(value)];
@@ -99,9 +113,30 @@ void RuntimeStats::RecordResponse(bool ok, double total_latency_us) {
   data_.total_latency_us.Record(total_latency_us);
 }
 
+void RuntimeStats::RecordServed(ServingTier tier, double total_latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.completed_ok;
+  ++data_.tier_counts[static_cast<size_t>(tier)];
+  if (tier != ServingTier::kFresh) ++data_.degraded;
+  data_.total_latency_us.Record(total_latency_us);
+  if (tier == ServingTier::kFresh) {
+    data_.fresh_latency_us.Record(total_latency_us);
+  }
+}
+
 void RuntimeStats::RecordSwap() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++data_.swaps;
+}
+
+void RuntimeStats::RecordPublishRejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.publish_rejected;
+}
+
+void RuntimeStats::RecordDeadlineExpired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.deadline_expired;
 }
 
 StatsSnapshot RuntimeStats::Snapshot() const {
@@ -126,6 +161,7 @@ std::string RuntimeStats::ToTable(const StatsSnapshot& snapshot,
   row("batch_size", snapshot.batch_size);
   row("score_us", snapshot.score_us);
   row("total_latency_us", snapshot.total_latency_us);
+  row("fresh_latency_us", snapshot.fresh_latency_us);
   table.AddRow({"enqueued", std::to_string(snapshot.enqueued), "", "", "", "",
                 ""});
   table.AddRow({"rejected", std::to_string(snapshot.rejected), "", "", "", "",
@@ -140,6 +176,20 @@ std::string RuntimeStats::ToTable(const StatsSnapshot& snapshot,
                 "", ""});
   table.AddRow({"snapshot_swaps", std::to_string(snapshot.swaps), "", "", "",
                 "", ""});
+  table.AddRow({"publish_rejected", std::to_string(snapshot.publish_rejected),
+                "", "", "", "", ""});
+  table.AddRow({"deadline_expired", std::to_string(snapshot.deadline_expired),
+                "", "", "", "", ""});
+  table.AddRow({"degraded", std::to_string(snapshot.degraded), "", "", "", "",
+                ""});
+  table.AddRow({"faults_injected", std::to_string(snapshot.faults_injected),
+                "", "", "", "", ""});
+  for (size_t t = 0; t < kNumServingTiers; ++t) {
+    table.AddRow({std::string("tier_") +
+                      ServingTierToString(static_cast<ServingTier>(t)),
+                  std::to_string(snapshot.tier_counts[t]), "", "", "", "",
+                  ""});
+  }
   return table.ToString();
 }
 

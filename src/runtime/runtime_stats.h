@@ -8,6 +8,28 @@
 
 namespace atnn::runtime {
 
+/// Which tier of the serving stack produced a response. Ordered best to
+/// worst: the degraded-mode fallback chain walks kStaleCache -> kPrior ->
+/// kGlobalMean when the fresh path (forward pass or current-version cache)
+/// cannot answer in time. Every ScoreResult carries its tier so callers —
+/// and the chaos harness — can measure exactly how degraded a run was.
+enum class ServingTier : uint8_t {
+  /// Full forward pass or a current-version score-cache hit: the exact
+  /// score the published model produces.
+  kFresh = 0,
+  /// A previous snapshot version's cached score (stale-while-revalidate).
+  kStaleCache = 1,
+  /// The popularity-index prior (e.g. yesterday's precomputed scores).
+  kPrior = 2,
+  /// Running mean of all fresh scores served so far — the answer of last
+  /// resort, still unbiased over the catalog.
+  kGlobalMean = 3,
+};
+inline constexpr size_t kNumServingTiers = 4;
+
+/// Stable lowercase name, e.g. "fresh", "stale_cache".
+const char* ServingTierToString(ServingTier tier);
+
 /// Fixed-footprint log2-bucketed histogram for latencies (microseconds) and
 /// batch sizes. Bucket b covers [2^b, 2^(b+1)); values below 1 land in
 /// bucket 0. Percentiles are estimated by linear interpolation inside the
@@ -47,10 +69,18 @@ struct StatsSnapshot {
   int64_t batches = 0;         // micro-batches executed
   int64_t cache_hits = 0;      // requests answered from the score cache
   int64_t swaps = 0;           // snapshot publishes observed
+  int64_t publish_rejected = 0; // snapshots refused by validation
+  int64_t deadline_expired = 0; // requests that blew their deadline
+  int64_t degraded = 0;         // responses served by a non-fresh tier
+  int64_t faults_injected = 0;  // chaos-harness triggers (0 in production)
+  std::array<int64_t, kNumServingTiers> tier_counts = {};
   LogHistogram enqueue_wait_us; // enqueue -> batch formation
   LogHistogram batch_size;      // items per executed micro-batch
   LogHistogram score_us;        // model forward + scoring per batch
   LogHistogram total_latency_us; // enqueue -> response, per request
+  LogHistogram fresh_latency_us; // same, kFresh-tier responses only — the
+                                 // p99 the chaos bench holds against the
+                                 // fault-free baseline
 };
 
 /// Thread-safe stats sink shared by the micro-batcher and the workers.
@@ -64,7 +94,12 @@ class RuntimeStats {
   void RecordCacheHits(size_t count);
   void RecordEnqueueWait(double wait_us);
   void RecordResponse(bool ok, double total_latency_us);
+  /// An OK response attributed to its serving tier; non-fresh tiers also
+  /// count as degraded.
+  void RecordServed(ServingTier tier, double total_latency_us);
   void RecordSwap();
+  void RecordPublishRejected();
+  void RecordDeadlineExpired();
 
   StatsSnapshot Snapshot() const;
 

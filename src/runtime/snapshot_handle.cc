@@ -1,8 +1,60 @@
 #include "runtime/snapshot_handle.h"
 
+#include <cmath>
 #include <utility>
+#include <vector>
 
 namespace atnn::runtime {
+
+namespace {
+
+/// Index of the first non-finite element, or -1 when all values are finite.
+int64_t FirstNonFinite(const float* data, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    if (!std::isfinite(data[i])) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Status ValidateServingSnapshot(const ServingSnapshot& snapshot) {
+  if (snapshot.model == nullptr) {
+    return Status::InvalidArgument("snapshot.model is null");
+  }
+  if (snapshot.predictor == nullptr) {
+    return Status::InvalidArgument("snapshot.predictor is null");
+  }
+  if (snapshot.item_profiles == nullptr) {
+    return Status::InvalidArgument("snapshot.item_profiles is null");
+  }
+  const nn::Tensor& mean = snapshot.predictor->mean_user_vector();
+  if (mean.cols() != snapshot.model->vector_dim()) {
+    return Status::InvalidArgument(
+        "mean-user vector width " + std::to_string(mean.cols()) +
+        " does not match model vector_dim " +
+        std::to_string(snapshot.model->vector_dim()));
+  }
+  if (FirstNonFinite(mean.data(), mean.numel()) >= 0) {
+    return Status::DataLoss("mean-user vector contains NaN/Inf");
+  }
+  if (!std::isfinite(snapshot.predictor->bias())) {
+    return Status::DataLoss("predictor bias is NaN/Inf");
+  }
+  // GeneratorParameters() only appends pointers — the const_cast never
+  // mutates the model, it bridges the Module interface being non-const.
+  auto* model = const_cast<core::AtnnModel*>(snapshot.model.get());
+  for (const nn::Parameter* param : model->GeneratorParameters()) {
+    const nn::Tensor& value = param->value();
+    const int64_t bad = FirstNonFinite(value.data(), value.numel());
+    if (bad >= 0) {
+      return Status::DataLoss("generator parameter '" + param->name() +
+                              "' contains NaN/Inf at element " +
+                              std::to_string(bad));
+    }
+  }
+  return Status::OK();
+}
 
 std::shared_ptr<const ServingSnapshot> SnapshotHandle::Acquire() const {
   std::lock_guard<std::mutex> lock(mutex_);

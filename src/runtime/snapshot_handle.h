@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/status.h"
 #include "core/atnn.h"
 #include "core/popularity.h"
 #include "data/schema.h"
@@ -31,6 +32,17 @@ struct ServingSnapshot {
   /// Assigned by SnapshotHandle::Publish; 0 means "never published".
   uint64_t version = 0;
 };
+
+/// Structural and numerical integrity check run by InferenceRuntime before
+/// a snapshot becomes the serving version:
+///   - model / predictor / item_profiles non-null       (InvalidArgument)
+///   - mean-user vector width matches the model's d     (InvalidArgument)
+///   - NaN/Inf sweep over the mean-user vector and every generator-path
+///     parameter                                        (DataLoss)
+/// A snapshot that fails here is never published — the previous version
+/// keeps serving. The sweep touches each generator weight once (a few MB
+/// at most), which is noise next to the model load that preceded it.
+Status ValidateServingSnapshot(const ServingSnapshot& snapshot);
 
 /// Wraps a T owned by the caller in a non-owning shared_ptr (aliasing
 /// constructor with an empty control block). Used by examples/tools whose

@@ -1,5 +1,6 @@
 #include "common/serialize.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -115,6 +116,79 @@ TEST(SerializeTest, TruncatedPayloadIsCorruption) {
   auto reader_or = BinaryReader::FromFile(path);
   EXPECT_EQ(reader_or.status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncationAtEveryByteBoundaryFailsCleanly) {
+  // Serialize a mixed-type payload, then replay the load with the file cut
+  // at every possible byte boundary. Every prefix must come back as a clean
+  // Status — no crash, no partial read accepted as complete.
+  const std::string path = TempPath("serialize_fuzz_truncate.bin");
+  BinaryWriter writer;
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteString("truncation fuzz subject");
+  writer.WriteFloatVector({1.0f, 2.0f, 3.0f, 4.0f});
+  writer.WriteI64(-1);
+  writer.WriteF64(6.25);
+  ASSERT_TRUE(writer.FlushToFile(path).ok());
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(full.size(), 16u);
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    auto reader_or = BinaryReader::FromFile(path);
+    // The header length field makes any truncation detectable at open time.
+    EXPECT_FALSE(reader_or.ok()) << "prefix of " << cut << " bytes accepted";
+    if (reader_or.ok()) continue;
+    EXPECT_EQ(reader_or.status().code(), StatusCode::kCorruption)
+        << "prefix " << cut << ": " << reader_or.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BitFlippedHugeLengthsDoNotOverflowBoundsChecks) {
+  // A flipped high bit in a length prefix produces sizes near 2^64 (string)
+  // or above 2^62 (float vector, where naive `size * sizeof(float)` wraps).
+  // Both must be caught by the overflow-safe bounds checks.
+  {
+    BinaryWriter writer;
+    writer.WriteU64(UINT64_MAX);  // string "length"
+    BinaryReader reader(writer.buffer());
+    std::string value;
+    EXPECT_EQ(reader.ReadString(&value).code(), StatusCode::kCorruption);
+  }
+  {
+    BinaryWriter writer;
+    writer.WriteU64(UINT64_MAX / 2);
+    BinaryReader reader(writer.buffer());
+    std::string value;
+    EXPECT_EQ(reader.ReadString(&value).code(), StatusCode::kCorruption);
+  }
+  {
+    BinaryWriter writer;
+    writer.WriteU64(1ULL << 62);  // 2^62 floats: byte count wraps to 0
+    writer.WriteF32(1.0f);
+    BinaryReader reader(writer.buffer());
+    std::vector<float> values;
+    EXPECT_EQ(reader.ReadFloatVector(&values).code(),
+              StatusCode::kCorruption);
+  }
+  {
+    BinaryWriter writer;
+    writer.WriteU64((1ULL << 62) + 1);  // wraps to 4 bytes: exactly one float
+    writer.WriteF32(1.0f);
+    BinaryReader reader(writer.buffer());
+    std::vector<float> values;
+    EXPECT_EQ(reader.ReadFloatVector(&values).code(),
+              StatusCode::kCorruption);
+  }
 }
 
 }  // namespace

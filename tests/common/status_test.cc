@@ -30,6 +30,32 @@ TEST(StatusTest, AllFactoryCodesRoundTrip) {
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, NewCodesRenderTheirNames) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::DataLoss("bits").ToString(), "DataLoss: bits");
+  EXPECT_EQ(Status::Unavailable("down").ToString(), "Unavailable: down");
+}
+
+TEST(StatusTest, IsRetriableSplitsTransientFromPermanent) {
+  EXPECT_TRUE(IsRetriable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetriable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetriable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetriable(StatusCode::kIoError));
+  EXPECT_FALSE(IsRetriable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetriable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetriable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetriable(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsRetriable(StatusCode::kCorruption));
+  EXPECT_FALSE(IsRetriable(StatusCode::kInternal));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

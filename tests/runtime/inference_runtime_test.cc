@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "core/atnn.h"
 #include "core/popularity.h"
 #include "data/tmall.h"
+#include "serving/popularity_index.h"
 
 namespace atnn::runtime {
 namespace {
@@ -80,7 +82,9 @@ TEST_F(InferenceRuntimeTest, MatchesSequentialScoring) {
       predictor_->ScoreItems(*model_, *dataset_, dataset_->new_items);
 
   InferenceRuntime runtime(SmallRuntimeConfig());
-  EXPECT_EQ(runtime.Publish(MakeSnapshot()), 1u);
+  const auto published = runtime.Publish(MakeSnapshot());
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_EQ(published.value(), 1u);
 
   std::vector<std::future<StatusOr<ScoreResult>>> futures;
   futures.reserve(dataset_->new_items.size());
@@ -251,6 +255,10 @@ TEST_F(InferenceRuntimeTest, RejectPolicyShedsButNeverHangs) {
   config.batcher.max_delay_us = 200;
   config.batcher.queue_capacity = 8;
   config.batcher.admission = AdmissionPolicy::kRejectWithStatus;
+  // With the fallback chain on (the default), shed requests are served
+  // degraded instead of erroring — covered elsewhere. This test pins the
+  // explicit error-surfacing mode.
+  config.enable_degraded_fallback = false;
   InferenceRuntime runtime(config);
   runtime.Publish(MakeSnapshot());
 
@@ -279,6 +287,291 @@ TEST_F(InferenceRuntimeTest, RejectPolicyShedsButNeverHangs) {
   const auto stats = runtime.stats();
   EXPECT_EQ(stats.enqueued, ok);
   EXPECT_EQ(stats.rejected, rejected);
+}
+
+TEST_F(InferenceRuntimeTest, ConfigValidationReturnsStatusNotAbort) {
+  RuntimeConfig config = SmallRuntimeConfig();
+  config.num_workers = 0;  // would hang every request forever
+  EXPECT_EQ(InferenceRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = SmallRuntimeConfig();
+  config.batcher.max_batch_size = 0;
+  EXPECT_EQ(InferenceRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(config.batcher.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = SmallRuntimeConfig();
+  config.batcher.queue_capacity = 0;  // cannot hold one full batch
+  EXPECT_EQ(InferenceRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = SmallRuntimeConfig();
+  config.batcher.max_delay_us = -1;
+  EXPECT_EQ(InferenceRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = SmallRuntimeConfig();
+  config.batcher.max_delay_us = 2000;
+  config.default_deadline_us = 500;  // shorter than the flush interval
+  EXPECT_EQ(InferenceRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = SmallRuntimeConfig();
+  config.enable_score_cache = true;
+  config.score_cache_capacity = 0;
+  EXPECT_EQ(InferenceRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A valid config constructs and serves through Create.
+  auto runtime = InferenceRuntime::Create(SmallRuntimeConfig());
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  ASSERT_TRUE((*runtime)->Publish(MakeSnapshot()).ok());
+  EXPECT_TRUE((*runtime)->Score(dataset_->new_items.front()).ok());
+}
+
+TEST_F(InferenceRuntimeTest, PublishRejectsCorruptSnapshotAndKeepsServing) {
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+  const int64_t item = dataset_->new_items.front();
+  const auto before = runtime.Score(item);
+  ASSERT_TRUE(before.ok());
+
+  // NaN in the mean-user vector: DataLoss, version unchanged.
+  nn::Tensor poisoned = predictor_->mean_user_vector();
+  poisoned.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  ServingSnapshot corrupt = MakeSnapshot();
+  corrupt.predictor = std::make_shared<core::PopularityPredictor>(
+      std::move(poisoned), predictor_->bias());
+  const auto rejected = runtime.Publish(std::move(corrupt));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(runtime.snapshot_version(), 1u);
+
+  // Null members and dimension mismatches are InvalidArgument.
+  ServingSnapshot null_model = MakeSnapshot();
+  null_model.model = nullptr;
+  EXPECT_EQ(runtime.Publish(std::move(null_model)).status().code(),
+            StatusCode::kInvalidArgument);
+  ServingSnapshot bad_dim = MakeSnapshot();
+  bad_dim.predictor = std::make_shared<core::PopularityPredictor>(
+      nn::Tensor(1, model_->vector_dim() + 1), 0.0f);
+  EXPECT_EQ(runtime.Publish(std::move(bad_dim)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The version published before the corrupt attempts still serves, with
+  // identical scores.
+  const auto after = runtime.Score(item);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().score, before.value().score);
+  EXPECT_EQ(after.value().snapshot_version, 1u);
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.stats().publish_rejected, 3);
+  EXPECT_EQ(runtime.stats().swaps, 1);
+}
+
+TEST_F(InferenceRuntimeTest, FallbackChainWalksCacheThenPriorThenGlobalMean) {
+  RuntimeConfig config = SmallRuntimeConfig();
+  config.num_workers = 1;  // deterministic batching and cache contents
+  InferenceRuntime runtime(config);
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+
+  // Four distinct items play four roles.
+  const int64_t cached_item = dataset_->new_items[0];
+  const int64_t rotated_item = dataset_->new_items[1];
+  const int64_t prior_item = dataset_->new_items[2];
+  const int64_t unknown_item = dataset_->new_items[3];
+
+  // Tier 0 (fresh-from-cache): a cached item answered under an expired
+  // deadline is exact — no forward pass, no degradation.
+  const auto fresh = runtime.Score(cached_item);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().tier, ServingTier::kFresh);
+  const auto from_cache = runtime.ScoreAsync(cached_item, 1).get();
+  ASSERT_TRUE(from_cache.ok());
+  EXPECT_EQ(from_cache.value().tier, ServingTier::kFresh);
+  EXPECT_EQ(from_cache.value().score, fresh.value().score);
+
+  // Tier 1 (stale cache): publish v2 with a different predictor, warm the
+  // v2 cache with another item (rotating v1's scores into the stale
+  // generation), then ask for the v1-cached item under an expired deadline.
+  const auto group_b = core::SelectActiveUsers(*dataset_, 16);
+  ServingSnapshot snapshot_b = MakeSnapshot();
+  snapshot_b.predictor = std::make_shared<core::PopularityPredictor>(
+      core::PopularityPredictor::Build(*model_, *dataset_, group_b));
+  ASSERT_TRUE(runtime.Publish(std::move(snapshot_b)).ok());
+  const auto rotated_fresh = runtime.Score(rotated_item);
+  ASSERT_TRUE(rotated_fresh.ok());
+  EXPECT_EQ(rotated_fresh.value().snapshot_version, 2u);
+  const auto stale = runtime.ScoreAsync(cached_item, 1).get();
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale.value().tier, ServingTier::kStaleCache);
+  EXPECT_EQ(stale.value().snapshot_version, 1u);
+  EXPECT_EQ(stale.value().score, fresh.value().score);
+
+  // Tier 2 (prior): an item never scored by any version, present in the
+  // popularity-index prior.
+  auto prior = std::make_shared<serving::PopularityIndex>();
+  prior->Upsert(prior_item, 0.777);
+  runtime.SetPrior(prior);
+  const auto from_prior = runtime.ScoreAsync(prior_item, 1).get();
+  ASSERT_TRUE(from_prior.ok());
+  EXPECT_EQ(from_prior.value().tier, ServingTier::kPrior);
+  EXPECT_EQ(from_prior.value().score, 0.777);
+
+  // Tier 3 (global mean): unknown everywhere — the running mean of the two
+  // fresh forwards served above.
+  const auto from_mean = runtime.ScoreAsync(unknown_item, 1).get();
+  ASSERT_TRUE(from_mean.ok());
+  EXPECT_EQ(from_mean.value().tier, ServingTier::kGlobalMean);
+  EXPECT_NEAR(
+      from_mean.value().score,
+      (fresh.value().score + rotated_fresh.value().score) / 2.0, 1e-12);
+
+  runtime.Shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.tier_counts[static_cast<size_t>(ServingTier::kStaleCache)],
+            1);
+  EXPECT_EQ(stats.tier_counts[static_cast<size_t>(ServingTier::kPrior)], 1);
+  EXPECT_EQ(stats.tier_counts[static_cast<size_t>(ServingTier::kGlobalMean)],
+            1);
+  EXPECT_EQ(stats.degraded, 3);
+  EXPECT_GE(stats.deadline_expired, 3);
+}
+
+TEST_F(InferenceRuntimeTest, DeadlineWithFallbackDisabledIsAnError) {
+  RuntimeConfig config = SmallRuntimeConfig();
+  config.enable_degraded_fallback = false;
+  InferenceRuntime runtime(config);
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+  const auto result =
+      runtime.ScoreAsync(dataset_->new_items.front(), 1).get();
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.stats().deadline_expired, 1);
+  EXPECT_EQ(runtime.stats().completed_error, 1);
+}
+
+TEST_F(InferenceRuntimeTest, DegradedAnswersNeverBlockOnTheQueue) {
+  // Every admission is treated as queue-full by the injector; with the
+  // fallback chain on, each request must resolve immediately without ever
+  // entering the queue — degraded service stays cheap under overload.
+  RuntimeConfig config = SmallRuntimeConfig();
+  config.fault_injection.enabled = true;
+  config.fault_injection.enqueue_reject_probability = 1.0;
+  auto prior = std::make_shared<serving::PopularityIndex>();
+  for (int64_t item : dataset_->new_items) prior->Upsert(item, 0.25);
+  config.prior = prior;
+  InferenceRuntime runtime(config);
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+
+  for (int i = 0; i < 64; ++i) {
+    auto future = runtime.ScoreAsync(
+        dataset_->new_items[static_cast<size_t>(i) %
+                            dataset_->new_items.size()]);
+    // Already fulfilled: the degraded path answered synchronously.
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().tier, ServingTier::kPrior);
+    EXPECT_EQ(result.value().score, 0.25);
+  }
+  EXPECT_EQ(runtime.queue_depth(), 0u);
+  runtime.Shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.degraded, 64);
+  EXPECT_EQ(stats.faults_injected, 64);
+  EXPECT_EQ(stats.enqueued, 0);
+}
+
+TEST_F(InferenceRuntimeTest, InjectedFaultsDegradeEveryResponseCleanly) {
+  RuntimeConfig config = SmallRuntimeConfig();
+  config.fault_injection.enabled = true;
+  config.fault_injection.seed = 99;
+  config.fault_injection.worker_delay_probability = 0.2;
+  config.fault_injection.worker_delay_us = 200;
+  config.fault_injection.batch_failure_probability = 0.3;
+  config.fault_injection.enqueue_reject_probability = 0.1;
+  InferenceRuntime runtime(config);
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+
+  constexpr int kRequests = 500;
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(runtime.ScoreAsync(
+        dataset_->new_items[static_cast<size_t>(i) %
+                            dataset_->new_items.size()]));
+  }
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  runtime.Shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.completed_ok, kRequests);
+  EXPECT_EQ(stats.completed_error, 0);
+  EXPECT_GT(stats.faults_injected, 0);
+  int64_t tier_sum = 0;
+  for (const int64_t count : stats.tier_counts) tier_sum += count;
+  EXPECT_EQ(tier_sum, kRequests);  // every response carries a tier
+}
+
+TEST_F(InferenceRuntimeTest,
+       CorruptAndValidPublishesUnderConcurrentLoadStayConsistent) {
+  // TSan stress for the validation path: publishers race corrupt and valid
+  // snapshots against scoring clients. Corrupt publishes must all be
+  // rejected, every request answered, and served versions only ever name
+  // validly published snapshots.
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> corrupt_accepted{0};
+  std::thread valid_publisher([&] {
+    while (!stop.load()) {
+      runtime.Publish(MakeSnapshot());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread corrupt_publisher([&] {
+    while (!stop.load()) {
+      nn::Tensor poisoned = predictor_->mean_user_vector();
+      poisoned.data()[0] = std::numeric_limits<float>::infinity();
+      ServingSnapshot corrupt = MakeSnapshot();
+      corrupt.predictor = std::make_shared<core::PopularityPredictor>(
+          std::move(poisoned), predictor_->bias());
+      if (runtime.Publish(std::move(corrupt)).ok()) {
+        corrupt_accepted.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kRounds = 10;
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const int64_t item : dataset_->new_items) {
+      futures.push_back(runtime.ScoreAsync(item));
+    }
+  }
+  int64_t answered = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GE(result.value().snapshot_version, 1u);
+    ++answered;
+  }
+  stop.store(true);
+  valid_publisher.join();
+  corrupt_publisher.join();
+  runtime.Shutdown();
+
+  EXPECT_EQ(answered, static_cast<int64_t>(futures.size()));
+  EXPECT_EQ(corrupt_accepted.load(), 0);
+  const auto stats = runtime.stats();
+  EXPECT_GT(stats.publish_rejected, 0);
+  EXPECT_EQ(stats.completed_error, 0);
 }
 
 TEST_F(InferenceRuntimeTest, StatsTableRendersEveryStage) {

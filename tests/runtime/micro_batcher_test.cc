@@ -171,5 +171,94 @@ TEST(MicroBatcherTest, ManyProducersTwoConsumersLoseNothing) {
   EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
 }
 
+TEST(MicroBatcherTest, ConfigValidateCatchesDegenerateShapes) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+
+  BatcherConfig config = SmallConfig();
+  config.max_batch_size = 0;  // batches could never form
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = SmallConfig();
+  config.queue_capacity = 0;  // every enqueue would reject or hang
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = SmallConfig();
+  config.queue_capacity = config.max_batch_size - 1;  // can't hold a batch
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+
+  config = SmallConfig();
+  config.max_delay_us = -5;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MicroBatcherTest, TryEnqueueReturnsFutureOnAdmission) {
+  MicroBatcher batcher(SmallConfig());
+  std::future<StatusOr<ScoreResult>> future;
+  const Status status = batcher.TryEnqueue(
+      42, std::chrono::steady_clock::time_point::max(), &future);
+  ASSERT_TRUE(status.ok());
+  ASSERT_TRUE(future.valid());
+  const auto batch = batcher.PopBatch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].item_row, 42);
+  EXPECT_EQ(batch[0].deadline, std::chrono::steady_clock::time_point::max());
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, TryEnqueueRejectsWhenFullWithoutTouchingFuture) {
+  BatcherConfig config = SmallConfig();
+  config.admission = AdmissionPolicy::kRejectWithStatus;
+  MicroBatcher batcher(config);
+  std::vector<std::future<StatusOr<ScoreResult>>> admitted;
+  for (size_t i = 0; i < config.queue_capacity; ++i) {
+    admitted.push_back(batcher.Enqueue(static_cast<int64_t>(i)));
+  }
+  std::future<StatusOr<ScoreResult>> future;
+  const Status status = batcher.TryEnqueue(
+      99, std::chrono::steady_clock::time_point::max(), &future);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // The caller's future is untouched so it can substitute a degraded answer.
+  EXPECT_FALSE(future.valid());
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, TryEnqueueBlockingWaitsOnlyUntilDeadline) {
+  MicroBatcher batcher(SmallConfig());  // kBlock admission
+  std::vector<std::future<StatusOr<ScoreResult>>> admitted;
+  for (size_t i = 0; i < SmallConfig().queue_capacity; ++i) {
+    admitted.push_back(batcher.Enqueue(static_cast<int64_t>(i)));
+  }
+  // Queue full, nobody draining: a deadline-carrying enqueue gives up at the
+  // deadline instead of blocking forever.
+  const auto start = std::chrono::steady_clock::now();
+  std::future<StatusOr<ScoreResult>> future;
+  const Status status = batcher.TryEnqueue(
+      99, start + std::chrono::milliseconds(50), &future);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(future.valid());
+  EXPECT_GE(waited, std::chrono::milliseconds(50));
+  EXPECT_LT(waited, std::chrono::seconds(5));
+
+  // With space available the same call admits immediately.
+  batcher.PopBatch();
+  const Status admitted_status = batcher.TryEnqueue(
+      100, std::chrono::steady_clock::now() + std::chrono::seconds(5),
+      &future);
+  EXPECT_TRUE(admitted_status.ok());
+  EXPECT_TRUE(future.valid());
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, TryEnqueueAfterCloseIsFailedPrecondition) {
+  MicroBatcher batcher(SmallConfig());
+  batcher.Close();
+  std::future<StatusOr<ScoreResult>> future;
+  const Status status = batcher.TryEnqueue(
+      1, std::chrono::steady_clock::time_point::max(), &future);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(future.valid());
+}
+
 }  // namespace
 }  // namespace atnn::runtime

@@ -1,6 +1,10 @@
 #include "serving/model_snapshot.h"
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -96,6 +100,52 @@ TEST(ModelSnapshotTest, MissingFileIsIoError) {
   const Status status =
       LoadModelSnapshot(&model, "/nonexistent/snap.bin", "toy-v1");
   EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(ModelSnapshotTest, TruncationAtEveryByteBoundaryLoadsCleanly) {
+  // A real model snapshot cut at every possible byte boundary: every prefix
+  // must be rejected with a clean Status (a crashed loader here would take
+  // the serving process down with it) and must leave the target model's
+  // weights untouched.
+  const std::string path = TempPath("snapshot_fuzz_truncate.bin");
+  ToyModel original(1);
+  ASSERT_TRUE(SaveModelSnapshot(&original, path, "toy-v1").ok());
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(full.size(), 0u);
+
+  ToyModel restored(2);
+  std::vector<nn::Parameter*> params;
+  restored.CollectParameters(&params);
+  std::vector<float> before;
+  for (const nn::Parameter* param : params) {
+    const nn::Tensor& value = param->value();
+    before.insert(before.end(), value.data(), value.data() + value.numel());
+  }
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    const Status status = LoadModelSnapshot(&restored, path, "toy-v1");
+    EXPECT_FALSE(status.ok()) << "prefix of " << cut << " bytes accepted";
+  }
+
+  // No partial load leaked into the parameters.
+  size_t offset = 0;
+  for (const nn::Parameter* param : params) {
+    const nn::Tensor& value = param->value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      ASSERT_EQ(value.data()[i], before[offset + static_cast<size_t>(i)]);
+    }
+    offset += static_cast<size_t>(value.numel());
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -9,10 +9,18 @@
 //   $ atnn_serve --requests=20000 --workers=4 --clients=2
 //   $ atnn_serve --admission=reject --queue_capacity=128   # load-shedding
 //   $ atnn_serve --swap_every_ms=100                       # hot-swap churn
+//   $ atnn_serve --chaos --deadline_us=20000               # fault drill
+//
+// --chaos turns on the runtime's seeded fault injector (worker delays,
+// batch failures, queue rejections) and attempts corrupt snapshot
+// publishes mid-run; the degraded-mode fallback chain (stale cache ->
+// popularity prior -> global mean) must keep answering every request, and
+// the final stats table shows the serving-tier distribution.
 //
 // Optionally loads trained weights with --snapshot= (a file written by
 // atnn_train); by default it serves the seeded initialization, which
-// exercises the identical code path.
+// exercises the identical code path. Snapshot loads retry transient I/O
+// failures with exponential backoff before giving up.
 
 #include <algorithm>
 #include <atomic>
@@ -25,6 +33,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/atnn.h"
@@ -71,6 +80,20 @@ int Run(int argc, const char* const* argv) {
                  "the stream replays (hot-swap churn)");
   flags.AddDouble("zipf", 1.1, "request-stream skew exponent");
   flags.AddInt64("top_k", 10, "ranked arrivals to print at the end");
+  flags.AddInt64("deadline_us", 0,
+                 "per-request completion budget; expired requests are "
+                 "answered from the degraded fallback chain (0 = none)");
+  flags.AddBool("chaos", false,
+                "inject worker delays, batch failures, queue rejections, "
+                "and corrupt snapshot publishes while serving");
+  flags.AddInt64("chaos_seed", 20210304, "fault-injector seed");
+  flags.AddDouble("chaos_delay_p", 0.05,
+                  "per-batch probability of an injected worker delay");
+  flags.AddInt64("chaos_delay_us", 2000, "injected worker delay");
+  flags.AddDouble("chaos_batch_fail_p", 0.02,
+                  "per-batch probability of a forced scoring failure");
+  flags.AddDouble("chaos_reject_p", 0.02,
+                  "per-request probability of a simulated full queue");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc - 1, argv + 1);
@@ -120,8 +143,13 @@ int Run(int argc, const char* const* argv) {
   core::AtnnModel model(*dataset.user_schema, *dataset.item_profile_schema,
                         *dataset.item_stats_schema, config);
   if (!flags.GetString("snapshot").empty()) {
-    status = serving::LoadModelSnapshot(&model, flags.GetString("snapshot"),
+    // A checkpoint mid-write or an NFS blip shows up as a transient
+    // IoError; retry those with backoff before declaring the load dead.
+    // Corruption/tag mismatches are permanent and fail on the first try.
+    status = RetryWithBackoff([&] {
+      return serving::LoadModelSnapshot(&model, flags.GetString("snapshot"),
                                         kModelTag);
+    });
     if (!status.ok()) {
       std::fprintf(stderr, "snapshot load failed: %s\n",
                    status.ToString().c_str());
@@ -133,11 +161,21 @@ int Run(int argc, const char* const* argv) {
   const auto predictor =
       core::PopularityPredictor::Build(model, dataset, group);
 
+  // Precomputed popularity index over the arrivals: the end-of-run ranking
+  // display, and the tier-2 prior of the degraded fallback chain.
+  auto prior = std::make_shared<serving::PopularityIndex>();
+  const auto prior_scores =
+      predictor.ScoreItems(model, dataset, dataset.new_items);
+  prior->BulkLoad(dataset.new_items, prior_scores);
+
   // --- runtime ---
+  const bool chaos = flags.GetBool("chaos");
   runtime::RuntimeConfig runtime_config;
   runtime_config.num_workers =
       static_cast<size_t>(flags.GetInt64("workers"));
   runtime_config.enable_score_cache = flags.GetBool("score_cache");
+  runtime_config.default_deadline_us = flags.GetInt64("deadline_us");
+  runtime_config.prior = prior;
   runtime_config.batcher.max_batch_size =
       static_cast<size_t>(flags.GetInt64("max_batch"));
   runtime_config.batcher.max_delay_us = flags.GetInt64("max_delay_us");
@@ -146,14 +184,38 @@ int Run(int argc, const char* const* argv) {
   runtime_config.batcher.admission =
       admission == "block" ? runtime::AdmissionPolicy::kBlock
                            : runtime::AdmissionPolicy::kRejectWithStatus;
-  runtime::InferenceRuntime runtime(runtime_config);
+  if (chaos) {
+    runtime_config.fault_injection.enabled = true;
+    runtime_config.fault_injection.seed =
+        static_cast<uint64_t>(flags.GetInt64("chaos_seed"));
+    runtime_config.fault_injection.worker_delay_probability =
+        flags.GetDouble("chaos_delay_p");
+    runtime_config.fault_injection.worker_delay_us =
+        flags.GetInt64("chaos_delay_us");
+    runtime_config.fault_injection.batch_failure_probability =
+        flags.GetDouble("chaos_batch_fail_p");
+    runtime_config.fault_injection.enqueue_reject_probability =
+        flags.GetDouble("chaos_reject_p");
+  }
+  auto runtime_or = runtime::InferenceRuntime::Create(runtime_config);
+  if (!runtime_or.ok()) {
+    std::fprintf(stderr, "invalid runtime configuration: %s\n",
+                 runtime_or.status().ToString().c_str());
+    return 2;
+  }
+  runtime::InferenceRuntime& runtime = **runtime_or;
 
   runtime::ServingSnapshot snapshot;
   snapshot.model = runtime::Unowned(&model);
   snapshot.predictor = runtime::Unowned(&predictor);
   snapshot.item_profiles = runtime::Unowned(&dataset.item_profiles);
   snapshot.tag = "atnn_serve";
-  runtime.Publish(snapshot);
+  const auto published = runtime.Publish(snapshot);
+  if (!published.ok()) {
+    std::fprintf(stderr, "initial publish rejected: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
 
   // --- request stream: Zipf-skewed over the new arrivals ---
   const auto total_requests = flags.GetInt64("requests");
@@ -170,13 +232,26 @@ int Run(int argc, const char* const* argv) {
   }
 
   std::atomic<bool> stop_swapping{false};
+  std::atomic<int64_t> corrupt_attempts{0};
+  std::atomic<int64_t> corrupt_accepted{0};
   std::thread swapper;
   if (flags.GetInt64("swap_every_ms") > 0) {
     swapper = std::thread([&] {
+      // Under --chaos every other publish is armed to be corrupted in
+      // flight; validation must reject it while the previous version keeps
+      // serving.
+      bool corrupt_next = chaos;
       while (!stop_swapping.load()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(
             flags.GetInt64("swap_every_ms")));
-        runtime.Publish(snapshot);
+        if (corrupt_next) {
+          runtime.fault_injector().ArmCorruptPublish();
+          corrupt_attempts.fetch_add(1);
+          if (runtime.Publish(snapshot).ok()) corrupt_accepted.fetch_add(1);
+        } else {
+          runtime.Publish(snapshot);
+        }
+        if (chaos) corrupt_next = !corrupt_next;
       }
     });
   }
@@ -210,6 +285,27 @@ int Run(int argc, const char* const* argv) {
     stop_swapping.store(true);
     swapper.join();
   }
+
+  if (chaos) {
+    // Deterministic corrupt-publish drill (the swapper's attempts depend on
+    // timing): arm, publish, expect rejection, then prove a clean publish
+    // and a live score still work on the surviving version.
+    runtime.fault_injector().ArmCorruptPublish();
+    corrupt_attempts.fetch_add(1);
+    const auto corrupt_publish = runtime.Publish(snapshot);
+    if (corrupt_publish.ok()) {
+      corrupt_accepted.fetch_add(1);
+    } else {
+      std::printf("corrupt publish rejected as expected: %s\n",
+                  corrupt_publish.status().ToString().c_str());
+    }
+    if (!runtime.Publish(snapshot).ok() ||
+        !runtime.Score(stream.front()).ok()) {
+      std::fprintf(stderr,
+                   "FAIL: serving did not survive the corrupt publish\n");
+      error_count.fetch_add(1);
+    }
+  }
   runtime.Shutdown();
 
   const auto stats = runtime.stats();
@@ -223,18 +319,38 @@ int Run(int argc, const char* const* argv) {
       static_cast<long long>(ok_count.load()),
       static_cast<long long>(error_count.load()),
       static_cast<long long>(stats.swaps));
+  if (chaos) {
+    const int64_t served = std::max<int64_t>(1, stats.completed_ok);
+    std::printf(
+        "chaos: %lld faults injected, %lld corrupt publishes attempted "
+        "(%lld accepted, %lld rejected), %.2f%% of responses degraded\n",
+        static_cast<long long>(stats.faults_injected),
+        static_cast<long long>(corrupt_attempts.load()),
+        static_cast<long long>(corrupt_accepted.load()),
+        static_cast<long long>(stats.publish_rejected),
+        100.0 * static_cast<double>(stats.degraded) /
+            static_cast<double>(served));
+    std::printf("serving tiers:");
+    for (size_t t = 0; t < runtime::kNumServingTiers; ++t) {
+      std::printf("  %s=%lld",
+                  runtime::ServingTierToString(
+                      static_cast<runtime::ServingTier>(t)),
+                  static_cast<long long>(stats.tier_counts[t]));
+    }
+    std::printf("\n");
+  }
 
   // --- final display: rank all arrivals (same O(1) path the runtime ran) ---
-  serving::PopularityIndex index;
-  const auto scores =
-      predictor.ScoreItems(model, dataset, dataset.new_items);
-  index.BulkLoad(dataset.new_items, scores);
   const auto top_k = flags.GetInt64("top_k");
   std::printf("\ntop %lld new arrivals:\n", static_cast<long long>(top_k));
   int rank = 1;
-  for (const auto& [item, score] : index.TopK(top_k)) {
+  for (const auto& [item, score] : prior->TopK(top_k)) {
     std::printf("  #%3d item %lld  score %.4f\n", rank++,
                 static_cast<long long>(item), score);
+  }
+  if (corrupt_accepted.load() > 0) {
+    std::fprintf(stderr, "FAIL: a corrupt snapshot passed validation\n");
+    return 1;
   }
   return error_count.load() > 0 && admission == "block" ? 1 : 0;
 }
