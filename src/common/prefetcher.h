@@ -1,0 +1,79 @@
+#ifndef ATNN_COMMON_PREFETCHER_H_
+#define ATNN_COMMON_PREFETCHER_H_
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+
+namespace atnn {
+
+/// Single-slot (double-buffered) lookahead over a sequence of expensive-to-
+/// produce items: while the consumer processes item i, item i+1 is being
+/// assembled on the pool. The training loops use this to overlap
+/// MakeCtrBatch/GatherBlock for batch t+1 with the forward/backward of
+/// batch t.
+///
+/// Determinism: items are produced by index and consumed strictly in order,
+/// so the consumer observes exactly the sequence produce(0), produce(1),
+/// ..., produce(count-1) — identical to a serial loop. Only *where* the
+/// production runs changes, which is why a prefetched training epoch yields
+/// a bitwise-identical loss history to the serial one (produce must be a
+/// pure function of its index; it runs on a pool thread).
+///
+/// With pool == nullptr every item is produced inline in Next(), which is
+/// the serial reference path.
+template <typename T>
+class Prefetcher {
+ public:
+  /// `produce(i)` builds item i; with a pool it must be safe to run on a
+  /// pool thread concurrently with the consumer's work on item i-1 (i.e.
+  /// it should only read state that the consumer does not mutate).
+  Prefetcher(ThreadPool* pool, size_t count, std::function<T(size_t)> produce)
+      : pool_(pool), count_(count), produce_(std::move(produce)) {
+    Schedule();
+  }
+
+  /// Drains any in-flight production so `produce`'s captures stay valid.
+  ~Prefetcher() {
+    if (pending_.valid()) pending_.wait();
+  }
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  bool HasNext() const { return next_ < count_; }
+
+  /// Returns the next item in sequence, blocking until it is ready, and
+  /// kicks off production of the following one.
+  T Next() {
+    ATNN_CHECK(HasNext());
+    T item = pool_ != nullptr ? pending_.get() : produce_(next_);
+    ++next_;
+    Schedule();
+    return item;
+  }
+
+ private:
+  void Schedule() {
+    if (pool_ == nullptr || next_ >= count_) return;
+    auto task = std::make_shared<std::packaged_task<T()>>(
+        [this, i = next_] { return produce_(i); });
+    pending_ = task->get_future();
+    pool_->Submit([task] { (*task)(); });
+  }
+
+  ThreadPool* pool_;
+  size_t count_;
+  size_t next_ = 0;
+  std::function<T(size_t)> produce_;
+  std::future<T> pending_;
+};
+
+}  // namespace atnn
+
+#endif  // ATNN_COMMON_PREFETCHER_H_

@@ -97,6 +97,7 @@ nn::Var AtnnModel::SimilarityLoss(const nn::Var& gen_vec,
 std::vector<double> AtnnModel::PredictCtrEncoder(
     const data::BlockBatch& user, const data::BlockBatch& item_profile,
     const data::BlockBatch& item_stats) const {
+  nn::NoGradGuard no_grad;
   nn::Var probs = nn::Sigmoid(EncoderLogits(
       EncoderItemVector(item_profile, item_stats), UserVector(user)));
   std::vector<double> result(static_cast<size_t>(probs.rows()));
@@ -109,6 +110,7 @@ std::vector<double> AtnnModel::PredictCtrEncoder(
 std::vector<double> AtnnModel::PredictCtrGenerator(
     const data::BlockBatch& user,
     const data::BlockBatch& item_profile) const {
+  nn::NoGradGuard no_grad;
   nn::Var probs = nn::Sigmoid(
       GeneratorLogits(GeneratorItemVector(item_profile), UserVector(user)));
   std::vector<double> result(static_cast<size_t>(probs.rows()));

@@ -110,6 +110,7 @@ nn::Var MultiTaskAtnnModel::SimilarityLoss(const nn::Var& gen_vec,
 
 MultiTaskAtnnModel::Predictions MultiTaskAtnnModel::PredictColdStart(
     const data::BlockBatch& profile, const data::BlockBatch& group) const {
+  nn::NoGradGuard no_grad;
   nn::Var group_vec = GroupVector(group);
   nn::Var item_vec;
   if (config_.adversarial) {

@@ -1,6 +1,7 @@
 #include "core/multitask_trainer.h"
 
 #include "common/logging.h"
+#include "common/prefetcher.h"
 #include "common/rng.h"
 #include "metrics/metrics.h"
 #include "nn/optimizer.h"
@@ -10,6 +11,11 @@ namespace atnn::core {
 std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
     MultiTaskAtnnModel* model, const data::ElemeDataset& dataset,
     const TrainOptions& options) {
+  if (dataset.train_indices.empty()) {
+    ATNN_LOG(Warning) << "TrainMultiTaskAtnn: empty train split, nothing to "
+                         "do; returning empty history";
+    return {};
+  }
   const bool adversarial = model->config().adversarial;
   nn::Adam optimizer_d(model->DiscriminatorParameters(),
                        options.learning_rate);
@@ -28,10 +34,18 @@ std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&order);
+    // `order` is stable until the next epoch's shuffle, so the prefetcher
+    // may gather batch t+1 from these views while batch t trains.
+    const std::vector<std::span<const int64_t>> batches =
+        MakeBatchSpans(order, options.batch_size);
+    Prefetcher<data::ElemeBatch> batches_ahead(
+        options.pool, batches.size(), [&dataset, &batches](size_t i) {
+          return data::MakeElemeBatch(dataset, batches[i]);
+        });
     MultiTaskEpochStats stats;
     int64_t steps = 0;
-    for (const auto& rows : MakeBatches(order, options.batch_size)) {
-      const data::ElemeBatch batch = MakeElemeBatch(dataset, rows);
+    while (batches_ahead.HasNext()) {
+      const data::ElemeBatch batch = batches_ahead.Next();
 
       // --- D step: L_r^GMV + lambda1 * L_r^VpPV through the encoder. ---
       nn::ZeroAllGrads(all_params);
@@ -97,23 +111,51 @@ std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
 ElemeEval EvaluateEleme(const MultiTaskAtnnModel& model,
                         const data::ElemeDataset& dataset,
                         const std::vector<int64_t>& restaurant_rows,
-                        int batch_size) {
+                        int batch_size, ThreadPool* pool) {
+  struct ChunkResult {
+    std::vector<double> vppv_pred;
+    std::vector<double> gmv_pred;
+    std::vector<float> vppv_true;
+    std::vector<float> gmv_true;
+  };
+  const std::vector<std::span<const int64_t>> chunks =
+      MakeBatchSpans(restaurant_rows, batch_size);
+  std::vector<ChunkResult> results(chunks.size());
+  auto score_chunk = [&](size_t i) {
+    const nn::NoGradGuard no_grad;
+    const data::ElemeBatch batch = MakeElemeBatch(dataset, chunks[i]);
+    const auto predictions =
+        model.PredictColdStart(batch.restaurant_profile, batch.user_group);
+    ChunkResult& out = results[i];
+    out.vppv_pred = predictions.vppv;
+    out.gmv_pred = predictions.gmv;
+    out.vppv_true.reserve(static_cast<size_t>(batch.vppv.rows()));
+    out.gmv_true.reserve(static_cast<size_t>(batch.gmv.rows()));
+    for (int64_t r = 0; r < batch.vppv.rows(); ++r) {
+      out.vppv_true.push_back(batch.vppv.at(r, 0));
+      out.gmv_true.push_back(batch.gmv.at(r, 0));
+    }
+  };
+  if (pool != nullptr && chunks.size() > 1) {
+    pool->ParallelFor(chunks.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) score_chunk(i);
+    });
+  } else {
+    for (size_t i = 0; i < chunks.size(); ++i) score_chunk(i);
+  }
   std::vector<double> vppv_pred;
   std::vector<double> gmv_pred;
   std::vector<float> vppv_true;
   std::vector<float> gmv_true;
-  for (const auto& rows : MakeBatches(restaurant_rows, batch_size)) {
-    const data::ElemeBatch batch = MakeElemeBatch(dataset, rows);
-    const auto predictions =
-        model.PredictColdStart(batch.restaurant_profile, batch.user_group);
-    vppv_pred.insert(vppv_pred.end(), predictions.vppv.begin(),
-                     predictions.vppv.end());
-    gmv_pred.insert(gmv_pred.end(), predictions.gmv.begin(),
-                    predictions.gmv.end());
-    for (int64_t r = 0; r < batch.vppv.rows(); ++r) {
-      vppv_true.push_back(batch.vppv.at(r, 0));
-      gmv_true.push_back(batch.gmv.at(r, 0));
-    }
+  for (ChunkResult& chunk : results) {
+    vppv_pred.insert(vppv_pred.end(), chunk.vppv_pred.begin(),
+                     chunk.vppv_pred.end());
+    gmv_pred.insert(gmv_pred.end(), chunk.gmv_pred.begin(),
+                    chunk.gmv_pred.end());
+    vppv_true.insert(vppv_true.end(), chunk.vppv_true.begin(),
+                     chunk.vppv_true.end());
+    gmv_true.insert(gmv_true.end(), chunk.gmv_true.begin(),
+                    chunk.gmv_true.end());
   }
   ElemeEval eval;
   eval.vppv_mae = metrics::MeanAbsoluteError(vppv_pred, vppv_true);

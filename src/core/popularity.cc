@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
 #include "core/trainer.h"
 
@@ -11,6 +12,20 @@ namespace atnn::core {
 namespace {
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Runs fn(i) for every chunk index, across the pool when provided. Every
+/// chunk writes only its own output slot; merging in chunk order keeps the
+/// result sequence identical to the serial loop.
+void ForEachChunk(ThreadPool* pool, size_t count,
+                  const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || count < 2) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(count, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
 
 }  // namespace
 
@@ -22,18 +37,27 @@ PopularityPredictor::PopularityPredictor(nn::Tensor mean_user_vector,
 
 PopularityPredictor PopularityPredictor::Build(
     const AtnnModel& model, const data::TmallDataset& dataset,
-    const std::vector<int64_t>& user_group, int batch_size) {
+    const std::vector<int64_t>& user_group, int batch_size,
+    ThreadPool* pool) {
   ATNN_CHECK(!user_group.empty());
-  nn::Tensor sum(1, model.vector_dim());
-  for (const auto& chunk : MakeBatches(user_group, batch_size)) {
-    const data::BlockBatch block = data::GatherBlock(dataset.users, chunk);
+  const std::vector<std::span<const int64_t>> chunks =
+      MakeBatchSpans(user_group, batch_size);
+  // Per-chunk partial sums, merged in chunk order below.
+  std::vector<nn::Tensor> partial(chunks.size());
+  ForEachChunk(pool, chunks.size(), [&](size_t i) {
+    const nn::NoGradGuard no_grad;
+    const data::BlockBatch block = data::GatherBlock(dataset.users, chunks[i]);
     nn::Var vectors = model.UserVector(block);
+    nn::Tensor sum(1, model.vector_dim());
     for (int64_t r = 0; r < vectors.rows(); ++r) {
       const float* row = vectors.value().row_ptr(r);
       float* dst = sum.data();
       for (int64_t c = 0; c < sum.cols(); ++c) dst[c] += row[c];
     }
-  }
+    partial[i] = std::move(sum);
+  });
+  nn::Tensor sum(1, model.vector_dim());
+  for (const nn::Tensor& chunk_sum : partial) sum.AddInPlace(chunk_sum);
   sum.Scale(1.0f / static_cast<float>(user_group.size()));
   return PopularityPredictor(std::move(sum), model.generator_bias_value());
 }
@@ -49,17 +73,26 @@ double PopularityPredictor::ScoreVector(const float* item_vector,
 
 std::vector<double> PopularityPredictor::ScoreItems(
     const AtnnModel& model, const data::TmallDataset& dataset,
-    const std::vector<int64_t>& item_rows, int batch_size) const {
+    const std::vector<int64_t>& item_rows, int batch_size,
+    ThreadPool* pool) const {
+  const std::vector<std::span<const int64_t>> chunks =
+      MakeBatchSpans(item_rows, batch_size);
+  std::vector<std::vector<double>> chunk_scores(chunks.size());
+  ForEachChunk(pool, chunks.size(), [&](size_t i) {
+    const nn::NoGradGuard no_grad;
+    const data::BlockBatch block =
+        data::GatherBlock(dataset.item_profiles, chunks[i]);
+    nn::Var vectors = model.GeneratorItemVector(block);
+    std::vector<double>& out = chunk_scores[i];
+    out.reserve(static_cast<size_t>(vectors.rows()));
+    for (int64_t r = 0; r < vectors.rows(); ++r) {
+      out.push_back(ScoreVector(vectors.value().row_ptr(r), vectors.cols()));
+    }
+  });
   std::vector<double> scores;
   scores.reserve(item_rows.size());
-  for (const auto& chunk : MakeBatches(item_rows, batch_size)) {
-    const data::BlockBatch block =
-        data::GatherBlock(dataset.item_profiles, chunk);
-    nn::Var vectors = model.GeneratorItemVector(block);
-    for (int64_t r = 0; r < vectors.rows(); ++r) {
-      scores.push_back(
-          ScoreVector(vectors.value().row_ptr(r), vectors.cols()));
-    }
+  for (const auto& chunk : chunk_scores) {
+    scores.insert(scores.end(), chunk.begin(), chunk.end());
   }
   return scores;
 }
@@ -68,31 +101,43 @@ std::vector<double> ScoreItemsPairwise(const AtnnModel& model,
                                        const data::TmallDataset& dataset,
                                        const std::vector<int64_t>& item_rows,
                                        const std::vector<int64_t>& user_group,
-                                       int batch_size) {
+                                       int batch_size, ThreadPool* pool) {
   ATNN_CHECK(!user_group.empty());
   // Precompute all user vectors once (amortized across items); the cost
   // that remains per item is still O(|user_group|) dot products.
   nn::Tensor user_vectors(static_cast<int64_t>(user_group.size()),
                           model.vector_dim());
-  int64_t row = 0;
-  for (const auto& chunk : MakeBatches(user_group, batch_size)) {
-    const data::BlockBatch block = data::GatherBlock(dataset.users, chunk);
-    nn::Var vectors = model.UserVector(block);
-    for (int64_t r = 0; r < vectors.rows(); ++r, ++row) {
-      std::copy(vectors.value().row_ptr(r),
-                vectors.value().row_ptr(r) + vectors.cols(),
-                user_vectors.row_ptr(row));
-    }
+  {
+    const std::vector<std::span<const int64_t>> user_chunks =
+        MakeBatchSpans(user_group, batch_size);
+    // Chunk c starts at row c * batch_size: chunks are contiguous and
+    // full-sized except the last, so parallel workers write disjoint rows.
+    ForEachChunk(pool, user_chunks.size(), [&](size_t c) {
+      const nn::NoGradGuard no_grad;
+      const data::BlockBatch block =
+          data::GatherBlock(dataset.users, user_chunks[c]);
+      nn::Var vectors = model.UserVector(block);
+      int64_t row = static_cast<int64_t>(c) * batch_size;
+      for (int64_t r = 0; r < vectors.rows(); ++r, ++row) {
+        std::copy(vectors.value().row_ptr(r),
+                  vectors.value().row_ptr(r) + vectors.cols(),
+                  user_vectors.row_ptr(row));
+      }
+    });
   }
 
   const float gen_bias = model.generator_bias_value();
 
-  std::vector<double> scores;
-  scores.reserve(item_rows.size());
-  for (const auto& chunk : MakeBatches(item_rows, batch_size)) {
+  const std::vector<std::span<const int64_t>> item_chunks =
+      MakeBatchSpans(item_rows, batch_size);
+  std::vector<std::vector<double>> chunk_scores(item_chunks.size());
+  ForEachChunk(pool, item_chunks.size(), [&](size_t i) {
+    const nn::NoGradGuard no_grad;
     const data::BlockBatch block =
-        data::GatherBlock(dataset.item_profiles, chunk);
+        data::GatherBlock(dataset.item_profiles, item_chunks[i]);
     nn::Var vectors = model.GeneratorItemVector(block);
+    std::vector<double>& out = chunk_scores[i];
+    out.reserve(static_cast<size_t>(vectors.rows()));
     for (int64_t r = 0; r < vectors.rows(); ++r) {
       const float* item_vec = vectors.value().row_ptr(r);
       double total = 0.0;
@@ -104,8 +149,13 @@ std::vector<double> ScoreItemsPairwise(const AtnnModel& model,
         }
         total += Sigmoid(dot + gen_bias);
       }
-      scores.push_back(total / static_cast<double>(user_vectors.rows()));
+      out.push_back(total / static_cast<double>(user_vectors.rows()));
     }
+  });
+  std::vector<double> scores;
+  scores.reserve(item_rows.size());
+  for (const auto& chunk : chunk_scores) {
+    scores.insert(scores.end(), chunk.begin(), chunk.end());
   }
   return scores;
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/atnn.h"
 #include "data/tmall.h"
 
@@ -16,11 +17,15 @@ namespace atnn::core {
 class PopularityPredictor {
  public:
   /// Computes the mean user vector of `user_group` (user rows) through the
-  /// model's user tower, in batches.
+  /// model's user tower, in batches. Forwards run in no-grad mode; with a
+  /// pool, chunks run in parallel and their partial sums merge in chunk
+  /// order (deterministic for a fixed batch_size, though the float
+  /// summation order differs from the serial loop's).
   static PopularityPredictor Build(const AtnnModel& model,
                                    const data::TmallDataset& dataset,
                                    const std::vector<int64_t>& user_group,
-                                   int batch_size = 1024);
+                                   int batch_size = 1024,
+                                   ThreadPool* pool = nullptr);
 
   /// Constructs directly from a stored mean vector + bias (serving path).
   PopularityPredictor(nn::Tensor mean_user_vector, float bias);
@@ -29,11 +34,14 @@ class PopularityPredictor {
   double ScoreVector(const float* item_vector, int64_t dim) const;
 
   /// Scores the given item rows via the generator path. Cost: one
-  /// generator forward per batch plus one dot product per item.
+  /// generator forward per batch plus one dot product per item. No-grad;
+  /// with a pool, chunks are scored in parallel and merged in chunk order,
+  /// so the score sequence is identical to the serial path.
   std::vector<double> ScoreItems(const AtnnModel& model,
                                  const data::TmallDataset& dataset,
                                  const std::vector<int64_t>& item_rows,
-                                 int batch_size = 1024) const;
+                                 int batch_size = 1024,
+                                 ThreadPool* pool = nullptr) const;
 
   const nn::Tensor& mean_user_vector() const { return mean_user_vector_; }
   float bias() const { return bias_; }
@@ -51,7 +59,8 @@ std::vector<double> ScoreItemsPairwise(const AtnnModel& model,
                                        const data::TmallDataset& dataset,
                                        const std::vector<int64_t>& item_rows,
                                        const std::vector<int64_t>& user_group,
-                                       int batch_size = 1024);
+                                       int batch_size = 1024,
+                                       ThreadPool* pool = nullptr);
 
 /// Selects the top-k most active users — the paper's "top 20 million
 /// active users who prefer new arrivals" device, scaled down.

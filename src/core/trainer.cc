@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include "common/logging.h"
+#include "common/prefetcher.h"
 #include "common/rng.h"
 #include "metrics/metrics.h"
 #include "nn/optimizer.h"
@@ -20,9 +21,57 @@ std::vector<std::vector<int64_t>> MakeBatches(
   return batches;
 }
 
+std::vector<std::span<const int64_t>> MakeBatchSpans(
+    std::span<const int64_t> indices, int batch_size) {
+  ATNN_CHECK(batch_size > 0);
+  const auto step = static_cast<size_t>(batch_size);
+  std::vector<std::span<const int64_t>> batches;
+  batches.reserve((indices.size() + step - 1) / step);
+  for (size_t begin = 0; begin < indices.size(); begin += step) {
+    batches.push_back(
+        indices.subspan(begin, std::min(step, indices.size() - begin)));
+  }
+  return batches;
+}
+
+namespace {
+
+/// Runs fn(i) for i in [0, count), across the pool when one is provided.
+/// Used by the evaluation paths: every chunk writes only its own slot, and
+/// the caller merges slots in chunk order, so results match the serial
+/// loop exactly.
+void ForEachChunkIndex(ThreadPool* pool, size_t count,
+                       const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || count < 2) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(count, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// Concatenates per-chunk score vectors in chunk order.
+std::vector<double> MergeChunks(std::vector<std::vector<double>>* chunks,
+                                size_t total) {
+  std::vector<double> merged;
+  merged.reserve(total);
+  for (auto& chunk : *chunks) {
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+  }
+  return merged;
+}
+
+}  // namespace
+
 std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
                                            const data::TmallDataset& dataset,
                                            const TrainOptions& options) {
+  if (dataset.train_indices.empty()) {
+    ATNN_LOG(Warning) << "TrainTwoTowerModel: empty train split, nothing to "
+                         "do; returning empty history";
+    return {};
+  }
   nn::Adam optimizer(model->Parameters(), options.learning_rate, 0.9f,
                      0.999f, 1e-8f, options.weight_decay);
   Rng rng(options.seed);
@@ -35,10 +84,18 @@ std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
                                   options.lr_decay_per_epoch);
     }
     rng.Shuffle(&order);
+    // `order` is stable until the next epoch's shuffle, so the prefetcher
+    // may gather batch t+1 from these views while batch t trains.
+    const std::vector<std::span<const int64_t>> batches =
+        MakeBatchSpans(order, options.batch_size);
+    Prefetcher<data::CtrBatch> batches_ahead(
+        options.pool, batches.size(), [&dataset, &batches](size_t i) {
+          return data::MakeCtrBatch(dataset, batches[i]);
+        });
     EpochStats stats;
     int64_t steps = 0;
-    for (const auto& batch_indices : MakeBatches(order, options.batch_size)) {
-      const data::CtrBatch batch = MakeCtrBatch(dataset, batch_indices);
+    while (batches_ahead.HasNext()) {
+      const data::CtrBatch batch = batches_ahead.Next();
       optimizer.ZeroGrad();
       nn::Var logits =
           model->ScoreLogits(model->ItemVector(batch.item_profile,
@@ -64,6 +121,11 @@ std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
 std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
                                        const data::TmallDataset& dataset,
                                        const TrainOptions& options) {
+  if (dataset.train_indices.empty()) {
+    ATNN_LOG(Warning) << "TrainAtnnModel: empty train split, nothing to do; "
+                         "returning empty history";
+    return {};
+  }
   // Two optimizers over disjoint parameter groups, per Algorithm 1.
   nn::Adam optimizer_d(model->DiscriminatorParameters(),
                        options.learning_rate, 0.9f, 0.999f, 1e-8f,
@@ -86,10 +148,16 @@ std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
                                     options.lr_decay_per_epoch);
     }
     rng.Shuffle(&order);
+    const std::vector<std::span<const int64_t>> batches =
+        MakeBatchSpans(order, options.batch_size);
+    Prefetcher<data::CtrBatch> batches_ahead(
+        options.pool, batches.size(), [&dataset, &batches](size_t i) {
+          return data::MakeCtrBatch(dataset, batches[i]);
+        });
     EpochStats stats;
     int64_t steps = 0;
-    for (const auto& batch_indices : MakeBatches(order, options.batch_size)) {
-      const data::CtrBatch batch = MakeCtrBatch(dataset, batch_indices);
+    while (batches_ahead.HasNext()) {
+      const data::CtrBatch batch = batches_ahead.Next();
 
       // --- D step: minimize L_i through the encoder path. ---
       nn::ZeroAllGrads(all_params);
@@ -159,16 +227,18 @@ std::vector<float> GatherLabels(const data::TmallDataset& dataset,
 double EvaluateTwoTowerAuc(const TwoTowerModel& model,
                            const data::TmallDataset& dataset,
                            const std::vector<int64_t>& interaction_indices,
-                           int batch_size) {
-  std::vector<double> scores;
-  scores.reserve(interaction_indices.size());
-  for (const auto& chunk : MakeBatches(interaction_indices, batch_size)) {
-    const data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
-    const std::vector<double> probs =
+                           int batch_size, ThreadPool* pool) {
+  const std::vector<std::span<const int64_t>> chunks =
+      MakeBatchSpans(interaction_indices, batch_size);
+  std::vector<std::vector<double>> chunk_scores(chunks.size());
+  ForEachChunkIndex(pool, chunks.size(), [&](size_t i) {
+    const nn::NoGradGuard no_grad;
+    const data::CtrBatch batch = MakeCtrBatch(dataset, chunks[i]);
+    chunk_scores[i] =
         model.PredictCtr(batch.user, batch.item_profile, batch.item_stats);
-    scores.insert(scores.end(), probs.begin(), probs.end());
-  }
-  return metrics::Auc(scores, GatherLabels(dataset, interaction_indices));
+  });
+  return metrics::Auc(MergeChunks(&chunk_scores, interaction_indices.size()),
+                      GatherLabels(dataset, interaction_indices));
 }
 
 void MaskStatsAsMissing(data::BlockBatch* stats) {
@@ -178,35 +248,40 @@ void MaskStatsAsMissing(data::BlockBatch* stats) {
 
 double EvaluateTwoTowerAucMissingStats(
     const TwoTowerModel& model, const data::TmallDataset& dataset,
-    const std::vector<int64_t>& interaction_indices, int batch_size) {
-  std::vector<double> scores;
-  scores.reserve(interaction_indices.size());
-  for (const auto& chunk : MakeBatches(interaction_indices, batch_size)) {
-    data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
+    const std::vector<int64_t>& interaction_indices, int batch_size,
+    ThreadPool* pool) {
+  const std::vector<std::span<const int64_t>> chunks =
+      MakeBatchSpans(interaction_indices, batch_size);
+  std::vector<std::vector<double>> chunk_scores(chunks.size());
+  ForEachChunkIndex(pool, chunks.size(), [&](size_t i) {
+    const nn::NoGradGuard no_grad;
+    data::CtrBatch batch = MakeCtrBatch(dataset, chunks[i]);
     MaskStatsAsMissing(&batch.item_stats);
-    const std::vector<double> probs =
+    chunk_scores[i] =
         model.PredictCtr(batch.user, batch.item_profile, batch.item_stats);
-    scores.insert(scores.end(), probs.begin(), probs.end());
-  }
-  return metrics::Auc(scores, GatherLabels(dataset, interaction_indices));
+  });
+  return metrics::Auc(MergeChunks(&chunk_scores, interaction_indices.size()),
+                      GatherLabels(dataset, interaction_indices));
 }
 
 double EvaluateAtnnAuc(const AtnnModel& model,
                        const data::TmallDataset& dataset,
                        const std::vector<int64_t>& interaction_indices,
-                       CtrPath path, int batch_size) {
-  std::vector<double> scores;
-  scores.reserve(interaction_indices.size());
-  for (const auto& chunk : MakeBatches(interaction_indices, batch_size)) {
-    const data::CtrBatch batch = MakeCtrBatch(dataset, chunk);
-    const std::vector<double> probs =
+                       CtrPath path, int batch_size, ThreadPool* pool) {
+  const std::vector<std::span<const int64_t>> chunks =
+      MakeBatchSpans(interaction_indices, batch_size);
+  std::vector<std::vector<double>> chunk_scores(chunks.size());
+  ForEachChunkIndex(pool, chunks.size(), [&](size_t i) {
+    const nn::NoGradGuard no_grad;
+    const data::CtrBatch batch = MakeCtrBatch(dataset, chunks[i]);
+    chunk_scores[i] =
         path == CtrPath::kEncoder
             ? model.PredictCtrEncoder(batch.user, batch.item_profile,
                                       batch.item_stats)
             : model.PredictCtrGenerator(batch.user, batch.item_profile);
-    scores.insert(scores.end(), probs.begin(), probs.end());
-  }
-  return metrics::Auc(scores, GatherLabels(dataset, interaction_indices));
+  });
+  return metrics::Auc(MergeChunks(&chunk_scores, interaction_indices.size()),
+                      GatherLabels(dataset, interaction_indices));
 }
 
 }  // namespace atnn::core

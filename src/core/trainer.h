@@ -1,8 +1,10 @@
 #ifndef ATNN_CORE_TRAINER_H_
 #define ATNN_CORE_TRAINER_H_
 
+#include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/atnn.h"
 #include "core/two_tower.h"
 #include "data/normalize.h"
@@ -24,6 +26,12 @@ struct TrainOptions {
   float weight_decay = 0.0f;
   uint64_t seed = 99;
   bool verbose = false;
+  /// Optional worker pool (not owned). When set, the batch for step t+1 is
+  /// gathered on the pool while step t runs its forward/backward — the
+  /// loss history stays bitwise identical to the serial loop (same seed,
+  /// same shuffle, same batch order; only batch *assembly* moves off the
+  /// training thread). nullptr = fully serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-epoch averages of the three paper losses (unused entries are 0).
@@ -34,12 +42,14 @@ struct EpochStats {
 };
 
 /// Trains a two-tower baseline with Adam on L_i over the train split.
+/// An empty train split returns an empty history (no NaN epoch rows).
 std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
                                            const data::TmallDataset& dataset,
                                            const TrainOptions& options);
 
 /// Trains ATNN per Algorithm 1: for every mini-batch, a D step on L_i
 /// followed by a G step on L_g + lambda * L_s.
+/// An empty train split returns an empty history (no NaN epoch rows).
 std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
                                        const data::TmallDataset& dataset,
                                        const TrainOptions& options);
@@ -50,11 +60,15 @@ enum class CtrPath {
   kGenerator,  // item profiles only (cold-start column of Table I)
 };
 
-/// Test-set AUC of a two-tower baseline.
+/// Test-set AUC of a two-tower baseline. All Evaluate* functions run their
+/// forwards in no-grad mode; when a pool is given, the MakeBatches chunks
+/// are scored across the pool and merged in deterministic chunk order, so
+/// the score sequence (and hence the metric) is identical to the serial
+/// path.
 double EvaluateTwoTowerAuc(const TwoTowerModel& model,
                            const data::TmallDataset& dataset,
                            const std::vector<int64_t>& interaction_indices,
-                           int batch_size = 1024);
+                           int batch_size = 1024, ThreadPool* pool = nullptr);
 
 /// Overwrites a gathered (already normalized) statistics block with the
 /// representation of *missing* statistics: train-mean imputation, which in
@@ -68,17 +82,26 @@ void MaskStatsAsMissing(data::BlockBatch* stats);
 /// I's cold-start column for the baselines.
 double EvaluateTwoTowerAucMissingStats(
     const TwoTowerModel& model, const data::TmallDataset& dataset,
-    const std::vector<int64_t>& interaction_indices, int batch_size = 1024);
+    const std::vector<int64_t>& interaction_indices, int batch_size = 1024,
+    ThreadPool* pool = nullptr);
 
 /// Test-set AUC of ATNN through the chosen path.
 double EvaluateAtnnAuc(const AtnnModel& model,
                        const data::TmallDataset& dataset,
                        const std::vector<int64_t>& interaction_indices,
-                       CtrPath path, int batch_size = 1024);
+                       CtrPath path, int batch_size = 1024,
+                       ThreadPool* pool = nullptr);
 
 /// Splits `indices` into contiguous chunks of at most batch_size.
 std::vector<std::vector<int64_t>> MakeBatches(
     const std::vector<int64_t>& indices, int batch_size);
+
+/// View-based MakeBatches: the returned spans alias `indices`, so the hot
+/// shuffle-then-batch loop allocates O(num_batches) span headers instead of
+/// O(dataset) copied ids per epoch. `indices` must outlive (and not be
+/// reallocated or reshuffled under) the returned views.
+std::vector<std::span<const int64_t>> MakeBatchSpans(
+    std::span<const int64_t> indices, int batch_size);
 
 }  // namespace atnn::core
 

@@ -59,6 +59,8 @@ nn::Var TwoTowerModel::ScoreLogits(const nn::Var& item_vec,
 std::vector<double> TwoTowerModel::PredictCtr(
     const data::BlockBatch& user, const data::BlockBatch& item_profile,
     const data::BlockBatch& item_stats) const {
+  // Pure inference: no tape, no grad buffers, no parameter-node mutation.
+  nn::NoGradGuard no_grad;
   nn::Var logits = ScoreLogits(ItemVector(item_profile, item_stats),
                                UserVector(user));
   nn::Var probs = nn::Sigmoid(logits);

@@ -131,6 +131,7 @@ ClusteredPopularityPredictor ClusteredPopularityPredictor::Build(
     const std::vector<int64_t>& user_group, const KMeansConfig& config,
     int batch_size) {
   ATNN_CHECK(!user_group.empty());
+  const nn::NoGradGuard no_grad;
   // Materialize all user vectors for the group.
   nn::Tensor user_vectors(static_cast<int64_t>(user_group.size()),
                           model.vector_dim());
@@ -171,6 +172,7 @@ double ClusteredPopularityPredictor::ScoreVector(const float* item_vector,
 std::vector<double> ClusteredPopularityPredictor::ScoreItems(
     const AtnnModel& model, const data::TmallDataset& dataset,
     const std::vector<int64_t>& item_rows, int batch_size) const {
+  const nn::NoGradGuard no_grad;
   std::vector<double> scores;
   scores.reserve(item_rows.size());
   for (const auto& chunk : MakeBatches(item_rows, batch_size)) {

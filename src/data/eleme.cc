@@ -274,7 +274,7 @@ ElemeDataset GenerateElemeDataset(const ElemeConfig& config) {
 }
 
 ElemeBatch MakeElemeBatch(const ElemeDataset& dataset,
-                          const std::vector<int64_t>& restaurant_rows) {
+                          std::span<const int64_t> restaurant_rows) {
   ElemeBatch batch;
   std::vector<int64_t> cell_rows;
   cell_rows.reserve(restaurant_rows.size());

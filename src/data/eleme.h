@@ -2,6 +2,7 @@
 #define ATNN_DATA_ELEME_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -92,7 +93,14 @@ struct ElemeBatch {
 
 /// Gathers the given trainside restaurant rows into a batch.
 ElemeBatch MakeElemeBatch(const ElemeDataset& dataset,
-                          const std::vector<int64_t>& restaurant_rows);
+                          std::span<const int64_t> restaurant_rows);
+
+/// Brace-list convenience (std::span gains this ctor only in C++26).
+inline ElemeBatch MakeElemeBatch(const ElemeDataset& dataset,
+                                 std::initializer_list<int64_t> rows) {
+  return MakeElemeBatch(dataset,
+                        std::span<const int64_t>(rows.begin(), rows.size()));
+}
 
 }  // namespace atnn::data
 

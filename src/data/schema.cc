@@ -44,7 +44,7 @@ void EntityTable::set_categorical(size_t field, int64_t row, int64_t value) {
 }
 
 BlockBatch GatherBlock(const EntityTable& table,
-                       const std::vector<int64_t>& rows) {
+                       std::span<const int64_t> rows) {
   const FeatureSchema& schema = table.schema();
   BlockBatch batch;
   batch.categorical.resize(schema.num_categorical());

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -143,9 +144,17 @@ struct BlockBatch {
   }
 };
 
-/// Gathers the given entity rows into a BlockBatch.
-BlockBatch GatherBlock(const EntityTable& table,
-                       const std::vector<int64_t>& rows);
+/// Gathers the given entity rows into a BlockBatch. Takes a view so hot
+/// loops (shuffle-then-batch training epochs) can hand out slices of one
+/// shuffled index vector without materializing a fresh vector per batch.
+BlockBatch GatherBlock(const EntityTable& table, std::span<const int64_t> rows);
+
+/// Brace-list convenience (std::span gains this ctor only in C++26).
+inline BlockBatch GatherBlock(const EntityTable& table,
+                              std::initializer_list<int64_t> rows) {
+  return GatherBlock(table, std::span<const int64_t>(rows.begin(),
+                                                     rows.size()));
+}
 
 }  // namespace atnn::data
 

@@ -415,7 +415,7 @@ TmallDataset GenerateTmallDataset(const TmallConfig& config) {
 }
 
 CtrBatch MakeCtrBatch(const TmallDataset& dataset,
-                      const std::vector<int64_t>& interaction_indices) {
+                      std::span<const int64_t> interaction_indices) {
   std::vector<int64_t> user_rows;
   std::vector<int64_t> item_rows;
   user_rows.reserve(interaction_indices.size());

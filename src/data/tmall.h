@@ -2,6 +2,7 @@
 #define ATNN_DATA_TMALL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -126,9 +127,18 @@ struct CtrBatch {
   nn::Tensor labels;  // [n, 1]
 };
 
-/// Gathers the given interaction indices into a CtrBatch.
+/// Gathers the given interaction indices into a CtrBatch. The view
+/// parameter lets training loops pass batch slices of the shuffled epoch
+/// order without per-batch index copies.
 CtrBatch MakeCtrBatch(const TmallDataset& dataset,
-                      const std::vector<int64_t>& interaction_indices);
+                      std::span<const int64_t> interaction_indices);
+
+/// Brace-list convenience (std::span gains this ctor only in C++26).
+inline CtrBatch MakeCtrBatch(const TmallDataset& dataset,
+                             std::initializer_list<int64_t> indices) {
+  return MakeCtrBatch(
+      dataset, std::span<const int64_t>(indices.begin(), indices.size()));
+}
 
 }  // namespace atnn::data
 

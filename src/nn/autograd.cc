@@ -31,6 +31,20 @@ void Node::AccumulateGrad(const Tensor& contribution) {
   has_dense_grad = true;
 }
 
+namespace {
+
+thread_local bool t_grad_mode_enabled = true;
+
+}  // namespace
+
+bool GradModeEnabled() { return t_grad_mode_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_mode_enabled) {
+  t_grad_mode_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { t_grad_mode_enabled = previous_; }
+
 Var Constant(Tensor value) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);

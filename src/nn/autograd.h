@@ -80,6 +80,30 @@ class Var {
   NodePtr node_;
 };
 
+/// Whether ops built on the calling thread record the computation graph.
+/// Defaults to true; disable with NoGradGuard for pure-inference forwards.
+/// The flag is thread-local, so concurrent evaluation workers can run
+/// tape-free while a training thread keeps building graphs.
+bool GradModeEnabled();
+
+/// RAII scope that disables graph construction on the current thread: ops
+/// executed inside the scope produce plain value nodes with
+/// requires_grad == false, no backward closures, and no parent edges — so
+/// inference forwards allocate no tape and no gradient buffers, and never
+/// mutate parameter nodes (making shared-model concurrent reads safe).
+/// Nests correctly; the previous mode is restored on destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Creates a constant leaf (no gradient is ever computed for it).
 Var Constant(Tensor value);
 

@@ -10,11 +10,16 @@ namespace atnn::nn {
 namespace {
 
 /// Creates an op node whose requires_grad is inherited from its parents.
+/// Under NoGradGuard the node records neither parent edges nor
+/// requires_grad: the op callers then skip installing backward closures,
+/// so inference forwards build no tape and intermediate values are freed
+/// as soon as the last Var referencing them goes out of scope.
 NodePtr MakeNode(Tensor value, std::vector<NodePtr> parents, const char* op) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
-  node->parents = std::move(parents);
   node->op = op;
+  if (!GradModeEnabled()) return node;
+  node->parents = std::move(parents);
   for (const auto& parent : node->parents) {
     if (parent->requires_grad) {
       node->requires_grad = true;

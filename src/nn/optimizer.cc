@@ -186,10 +186,14 @@ void Adam::Step() {
       for (int64_t c = 0; c < value.cols(); ++c) {
         m_row[c] = beta1_ * m_row[c] + (1.0f - beta1_) * g[c];
         v_row[c] = beta2_ * v_row[c] + (1.0f - beta2_) * g[c] * g[c];
-        val[c] -= alpha * m_row[c] / (std::sqrt(v_row[c]) + epsilon_);
+        // Decoupled (AdamW) decay shrinks the *pre-step* parameter:
+        // theta_t = theta_{t-1} - lr*wd*theta_{t-1} - alpha*m_hat/(sqrt(v_hat)+eps).
+        // Decaying after the moment update would compound the decay on the
+        // fresh Adam step instead.
         if (weight_decay_ > 0.0f) {
           val[c] -= learning_rate_ * weight_decay_ * val[c];
         }
+        val[c] -= alpha * m_row[c] / (std::sqrt(v_row[c]) + epsilon_);
       }
     };
 

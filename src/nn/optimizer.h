@@ -75,9 +75,9 @@ class Adagrad : public Optimizer {
 
 /// Adam (Kingma & Ba). Sparse parameters get lazy row updates with the
 /// global step count used for bias correction. A nonzero weight_decay
-/// applies *decoupled* decay (AdamW, Loshchilov & Hutter): parameters
-/// shrink by learning_rate * weight_decay each step (touched rows only for
-/// sparse parameters).
+/// applies *decoupled* decay (AdamW, Loshchilov & Hutter): the pre-step
+/// parameter shrinks by learning_rate * weight_decay before the Adam step
+/// is subtracted (touched rows only for sparse parameters).
 class Adam : public Optimizer {
  public:
   Adam(std::vector<Parameter*> params, float learning_rate,

@@ -274,6 +274,10 @@ void InferenceRuntime::ExecuteBatch(const ServingSnapshot& snapshot,
       Stopwatch score_timer;
       const data::BlockBatch block =
           data::GatherBlock(*snapshot.item_profiles, miss_rows);
+      // Snapshot forwards are read-only inference on shared weights: the
+      // no-grad scope keeps them tape-free and free of parameter-node
+      // writes across concurrent workers.
+      const nn::NoGradGuard no_grad;
       const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
       std::vector<double> miss_scores;
       miss_scores.reserve(miss_rows.size());

@@ -1,5 +1,7 @@
 #include "nn/autograd.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "nn/ops.h"
@@ -109,6 +111,58 @@ TEST(AutogradTest, DenseContributionClearsSparseness) {
   EXPECT_FALSE(table.node()->IsSparseGrad());
   EXPECT_FLOAT_EQ(table.grad().at(1, 0), 2.0f);  // lookup + dense
   EXPECT_FLOAT_EQ(table.grad().at(0, 0), 1.0f);  // dense only
+}
+
+TEST(NoGradTest, GuardDisablesTapeConstruction) {
+  Var x = Leaf(Tensor(1, 2, {1.0f, 2.0f}));
+  {
+    NoGradGuard no_grad;
+    EXPECT_FALSE(GradModeEnabled());
+    Var y = Square(Scale(x, 2.0f));
+    // Forward values are unaffected; only the tape is suppressed.
+    EXPECT_FLOAT_EQ(y.value().at(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(y.value().at(0, 1), 16.0f);
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_TRUE(y.node()->parents.empty());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+  Var z = Scale(x, 2.0f);
+  EXPECT_TRUE(z.requires_grad());
+  EXPECT_EQ(z.node()->parents.size(), 1u);
+}
+
+TEST(NoGradTest, GuardsNestAndRestorePreviousState) {
+  NoGradGuard outer;
+  {
+    NoGradGuard inner;
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  // The inner guard restores the *outer* state, not unconditionally true.
+  EXPECT_FALSE(GradModeEnabled());
+}
+
+TEST(NoGradTest, GuardIsThreadLocal) {
+  NoGradGuard no_grad;
+  bool other_thread_grad_mode = false;
+  std::thread worker(
+      [&other_thread_grad_mode] { other_thread_grad_mode = GradModeEnabled(); });
+  worker.join();
+  // A guard on this thread must not leak into eval workers on other
+  // threads (and vice versa) — the contract parallel evaluation relies on.
+  EXPECT_TRUE(other_thread_grad_mode);
+  EXPECT_FALSE(GradModeEnabled());
+}
+
+TEST(NoGradTest, NoGradForwardDetachesFromDifferentiableLeaves) {
+  Var x = Leaf(Tensor::Scalar(3.0f));
+  {
+    NoGradGuard no_grad;
+    Var loss = ReduceSum(Square(x));
+    EXPECT_FLOAT_EQ(loss.value().scalar(), 9.0f);
+    // The graph was never recorded, so the result is detached even though
+    // x itself requires grad — Backward on it would be a usage error.
+    EXPECT_FALSE(loss.requires_grad());
+  }
 }
 
 TEST(AutogradTest, DeepChainDoesNotOverflowStack) {

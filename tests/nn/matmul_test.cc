@@ -1,0 +1,139 @@
+#include "nn/matmul.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace atnn::nn {
+namespace {
+
+/// Textbook i-p-j reference with the same per-row accumulation order as
+/// the production kernel, so results are comparable with FLOAT_EQ rather
+/// than a loose tolerance.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t p = 0; p < a.cols(); ++p) {
+      const float a_val = a.at(i, p);
+      for (int64_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += a_val * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor RandomTensor(int64_t rows, int64_t cols, uint64_t seed,
+                    double zero_fraction = 0.0) {
+  Rng rng(seed);
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      const bool zero = rng.Uniform() < zero_fraction;
+      t.at(i, j) = zero ? 0.0f : static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+  }
+  return t;
+}
+
+void ExpectMatchesNaive(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  MatMulInto(a, b, &c);
+  const Tensor expected = NaiveMatMul(a, b);
+  for (int64_t i = 0; i < c.rows(); ++i) {
+    for (int64_t j = 0; j < c.cols(); ++j) {
+      EXPECT_FLOAT_EQ(c.at(i, j), expected.at(i, j))
+          << "mismatch at (" << i << ", " << j << ") for shapes ["
+          << a.rows() << "x" << a.cols() << "] * [" << b.rows() << "x"
+          << b.cols() << "]";
+    }
+  }
+}
+
+TEST(MatMulIntoTest, RemainderRowsAfterFourRowBlocks) {
+  // m % 4 in {1, 2, 3} exercises the scalar tail loop after the 4-row
+  // blocked passes; m % 4 == 0 exercises the pure-blocked path.
+  for (int64_t m : {1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+    ExpectMatchesNaive(RandomTensor(m, 5, 100 + static_cast<uint64_t>(m)),
+                       RandomTensor(5, 6, 200 + static_cast<uint64_t>(m)));
+  }
+}
+
+TEST(MatMulIntoTest, ZeroSkipRowsMatchNaive) {
+  // Heavily sparse A hits the all-four-zero skip in the blocked loop and
+  // the single-value skip in the tail loop; an all-zero A row must still
+  // produce an exactly-zero C row.
+  Tensor a = RandomTensor(11, 7, 42, /*zero_fraction=*/0.7);
+  for (int64_t p = 0; p < a.cols(); ++p) a.at(2, p) = 0.0f;   // blocked row
+  for (int64_t p = 0; p < a.cols(); ++p) a.at(10, p) = 0.0f;  // tail row
+  const Tensor b = RandomTensor(7, 9, 43);
+  ExpectMatchesNaive(a, b);
+
+  Tensor c(11, 9);
+  MatMulInto(a, b, &c);
+  for (int64_t j = 0; j < 9; ++j) {
+    EXPECT_EQ(c.at(2, j), 0.0f);
+    EXPECT_EQ(c.at(10, j), 0.0f);
+  }
+}
+
+TEST(MatMulIntoTest, DegenerateShapes) {
+  // Single-row A (pure tail), single-column B, and inner dimension 1.
+  ExpectMatchesNaive(RandomTensor(1, 8, 1), RandomTensor(8, 5, 2));
+  ExpectMatchesNaive(RandomTensor(6, 8, 3), RandomTensor(8, 1, 4));
+  ExpectMatchesNaive(RandomTensor(5, 1, 5), RandomTensor(1, 7, 6));
+  ExpectMatchesNaive(RandomTensor(1, 1, 7), RandomTensor(1, 1, 8));
+}
+
+TEST(MatMulIntoTest, OverwritesStaleOutput) {
+  const Tensor a = RandomTensor(4, 3, 9);
+  const Tensor b = RandomTensor(3, 4, 10);
+  Tensor c(4, 4);
+  c.Fill(123.0f);
+  MatMulInto(a, b, &c);
+  const Tensor expected = NaiveMatMul(a, b);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(c.at(i, j), expected.at(i, j));
+    }
+  }
+}
+
+TEST(MatMulAccumTest, TransBAndTransAMatchNaive) {
+  // dX = dY * W^T and dW = X^T * dY against naively transposed inputs.
+  const Tensor a = RandomTensor(5, 3, 11);   // [m, k]
+  const Tensor b = RandomTensor(7, 3, 12);   // [n, k]
+  Tensor bt(3, 7);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor c(5, 7);
+  MatMulTransBAccum(a, b, &c);
+  const Tensor expected = NaiveMatMul(a, bt);
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_NEAR(c.at(i, j), expected.at(i, j), 1e-5f);
+    }
+  }
+
+  const Tensor x = RandomTensor(6, 4, 13);  // [m, k]
+  const Tensor y = RandomTensor(6, 5, 14);  // [m, n]
+  Tensor xt(4, 6);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 4; ++j) xt.at(j, i) = x.at(i, j);
+  }
+  Tensor dw(4, 5);
+  MatMulTransAAccum(x, y, &dw);
+  const Tensor expected_dw = NaiveMatMul(xt, y);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(dw.at(i, j), expected_dw.at(i, j), 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atnn::nn

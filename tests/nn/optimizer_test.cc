@@ -61,6 +61,51 @@ TEST(AdamTest, StepCountAdvances) {
   EXPECT_EQ(adam.step_count(), 1);
 }
 
+TEST(AdamTest, DecoupledWeightDecayShrinksPreStepParameter) {
+  // One step from theta0 with a constant gradient g has a closed form:
+  //   m = (1-b1) g,  v = (1-b2) g^2,
+  //   alpha = lr * sqrt(1 - b2^t) / (1 - b1^t)   with t = 1,
+  //   theta1 = theta0 - lr*wd*theta0 - alpha * m / (sqrt(v) + eps).
+  // Applying the decay to the post-step value instead (the old bug) yields
+  //   (theta0 - step) * (1 - lr*wd), which at lr=wd=0.5 is off by
+  //   lr*wd*step = 0.125 — far outside the tolerance below.
+  const float theta0 = 2.0f;
+  const float lr = 0.5f, wd = 0.5f;
+  const float b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  Parameter x("x", Tensor::Scalar(theta0));
+  Adam adam({&x}, lr, b1, b2, eps, wd);
+  adam.ZeroGrad();
+  Var loss = ReduceSum(Scale(x.var(), 3.0f));  // gradient = 3 everywhere
+  Backward(loss);
+  adam.Step();
+
+  const float g = 3.0f;
+  const float m = (1.0f - b1) * g;
+  const float v = (1.0f - b2) * g * g;
+  const float alpha = lr * std::sqrt(1.0f - b2) / (1.0f - b1);
+  const float expected =
+      theta0 - lr * wd * theta0 - alpha * m / (std::sqrt(v) + eps);
+  EXPECT_NEAR(x.value().scalar(), expected, 1e-5f);
+}
+
+TEST(AdamTest, WeightDecayDoesNotCompoundOnTheFreshStep) {
+  // Same setup, compared against a wd=0 twin: the gap between the two
+  // runs after one step must be exactly the decay of theta0 — any
+  // dependence of the gap on the Adam step itself means the decay
+  // compounded on the fresh update.
+  auto one_step = [](float wd) {
+    Parameter x("x", Tensor::Scalar(2.0f));
+    Adam adam({&x}, 0.5f, 0.9f, 0.999f, 1e-8f, wd);
+    adam.ZeroGrad();
+    Var loss = ReduceSum(Scale(x.var(), 3.0f));
+    Backward(loss);
+    adam.Step();
+    return x.value().scalar();
+  };
+  const float gap = one_step(0.0f) - one_step(0.5f);
+  EXPECT_NEAR(gap, 0.5f * 0.5f * 2.0f, 1e-5f);
+}
+
 TEST(OptimizerTest, ClipGradNormScalesDownLargeGradients) {
   Parameter x("x", Tensor(1, 2, {0.0f, 0.0f}));
   Sgd sgd({&x}, 1.0f);
@@ -82,6 +127,44 @@ TEST(OptimizerTest, ClipGradNormLeavesSmallGradientsAlone) {
   Backward(loss);
   sgd.ClipGradNorm(10.0);
   EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.1f);
+}
+
+TEST(OptimizerTest, ClipGradNormHandlesSparseRowsWithDuplicates) {
+  Parameter table("emb", Tensor::Ones(8, 2));
+  Sgd sgd({&table}, 1.0f);
+  sgd.ZeroGrad();
+  // Row 6 is looked up twice, so its gradient accumulates to (6, 6) while
+  // touched_rows records it twice; the norm must count the row once.
+  std::vector<int64_t> ids = {1, 6, 6};
+  Var loss = ReduceSum(Scale(EmbeddingLookup(table.var(), ids), 3.0f));
+  Backward(loss);
+  ASSERT_TRUE(table.node()->IsSparseGrad());
+  // Rows: 1 -> (3,3), 6 -> (6,6). Norm = sqrt(2*9 + 2*36) = sqrt(90).
+  const double pre_norm = sgd.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre_norm, std::sqrt(90.0), 1e-4);
+  double post_sq = 0.0;
+  for (int64_t row : {int64_t{1}, int64_t{6}}) {
+    for (int64_t c = 0; c < 2; ++c) {
+      const double v = table.grad().at(row, c);
+      post_sq += v * v;
+    }
+  }
+  EXPECT_NEAR(std::sqrt(post_sq), 1.0, 1e-4);
+  // Untouched rows stay exactly zero (clipping must not densify them).
+  EXPECT_FLOAT_EQ(table.grad().at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(table.grad().at(7, 1), 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallSparseGradientsAlone) {
+  Parameter table("emb", Tensor::Ones(8, 2));
+  Sgd sgd({&table}, 1.0f);
+  sgd.ZeroGrad();
+  std::vector<int64_t> ids = {4};
+  Var loss = ReduceSum(Scale(EmbeddingLookup(table.var(), ids), 0.1f));
+  Backward(loss);
+  const double pre_norm = sgd.ClipGradNorm(10.0);
+  EXPECT_NEAR(pre_norm, 0.1 * std::sqrt(2.0), 1e-6);
+  EXPECT_FLOAT_EQ(table.grad().at(4, 0), 0.1f);
 }
 
 TEST(OptimizerTest, SparseUpdateTouchesOnlyLookedUpRows) {
