@@ -31,6 +31,7 @@
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "nn/arena.h"
 
 namespace atnn::bench {
 namespace {
@@ -158,6 +159,13 @@ int Run(bool smoke) {
 
   table.Print();
   std::printf("\n");
+
+  // The training thread's arena workspace peak (the steady-state bytes a
+  // step reuses instead of heap-allocating); bench_kernels gates the
+  // zero-allocation claim itself.
+  std::printf("arena high-water mark: %.1f KiB in use, %.1f KiB reserved\n",
+              nn::ThreadArena().HighWaterMark() / 1024.0,
+              nn::ThreadArena().BytesReserved() / 1024.0);
 
   // Hard gates: parallelism must never change a result.
   gate(SameHistory(serial_history, prefetch_history),

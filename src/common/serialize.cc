@@ -26,6 +26,10 @@ void BinaryWriter::WriteString(const std::string& value) {
 }
 
 void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+  WriteFloatSpan(std::span<const float>(values.data(), values.size()));
+}
+
+void BinaryWriter::WriteFloatSpan(std::span<const float> values) {
   WriteU64(values.size());
   WriteBytes(values.data(), values.size() * sizeof(float));
 }

@@ -2,6 +2,7 @@
 #define ATNN_COMMON_SERIALIZE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,9 @@ class BinaryWriter {
   void WriteF64(double value);
   void WriteString(const std::string& value);
   void WriteFloatVector(const std::vector<float>& values);
+  /// Same wire format as WriteFloatVector, without requiring the floats to
+  /// live in a std::vector (tensors hand out spans over raw storage).
+  void WriteFloatSpan(std::span<const float> values);
   void WriteBytes(const void* data, size_t size);
 
   const std::string& buffer() const { return buffer_; }

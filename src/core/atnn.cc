@@ -50,8 +50,10 @@ nn::Var AtnnModel::EncoderItemVector(
   ATNN_CHECK_EQ(item_stats.numeric.rows(), item_profile.rows());
   nn::Var profile_input = item_profile_bag_->Forward(item_profile.categorical,
                                                      item_profile.numeric);
-  nn::Var full_input =
-      nn::ConcatCols({profile_input, nn::Constant(item_stats.numeric)});
+  // ScratchCopy keeps the step allocation-free: a plain Constant copy
+  // would deep-copy the stats block onto the heap every step.
+  nn::Var full_input = nn::ConcatCols(
+      {profile_input, nn::Constant(nn::ScratchCopy(item_stats.numeric))});
   return encoder_tower_->Forward(full_input);
 }
 
@@ -84,7 +86,9 @@ nn::Var AtnnModel::SimilarityLoss(const nn::Var& gen_vec,
     case SimilarityMode::kCosine: {
       // L_s = mean((1 - cos(g, f_i))^2), the paper's mean((1 - x_i)^2).
       nn::Var cosine = nn::CosineSimilarityRows(gen_vec, target);
-      nn::Var ones = nn::Constant(nn::Tensor::Ones(cosine.rows(), 1));
+      nn::Tensor ones_data = nn::ScratchTensorUninit(cosine.rows(), 1);
+      ones_data.Fill(1.0f);
+      nn::Var ones = nn::Constant(std::move(ones_data));
       return nn::ReduceMean(nn::Square(nn::Sub(ones, cosine)));
     }
     case SimilarityMode::kL2:
@@ -98,6 +102,7 @@ std::vector<double> AtnnModel::PredictCtrEncoder(
     const data::BlockBatch& user, const data::BlockBatch& item_profile,
     const data::BlockBatch& item_stats) const {
   nn::NoGradGuard no_grad;
+  const nn::ArenaScope arena_scope;
   nn::Var probs = nn::Sigmoid(EncoderLogits(
       EncoderItemVector(item_profile, item_stats), UserVector(user)));
   std::vector<double> result(static_cast<size_t>(probs.rows()));
@@ -111,6 +116,7 @@ std::vector<double> AtnnModel::PredictCtrGenerator(
     const data::BlockBatch& user,
     const data::BlockBatch& item_profile) const {
   nn::NoGradGuard no_grad;
+  const nn::ArenaScope arena_scope;
   nn::Var probs = nn::Sigmoid(
       GeneratorLogits(GeneratorItemVector(item_profile), UserVector(user)));
   std::vector<double> result(static_cast<size_t>(probs.rows()));

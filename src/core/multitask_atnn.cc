@@ -69,7 +69,8 @@ nn::Var MultiTaskAtnnModel::EncoderVector(
   }
   ATNN_CHECK_EQ(stats.numeric.rows(), profile.rows());
   return encoder_tower_->Forward(
-      nn::ConcatCols({profile_input, nn::Constant(stats.numeric)}));
+      nn::ConcatCols(
+          {profile_input, nn::Constant(nn::ScratchCopy(stats.numeric))}));
 }
 
 nn::Var MultiTaskAtnnModel::GeneratorVector(
@@ -98,7 +99,9 @@ nn::Var MultiTaskAtnnModel::SimilarityLoss(const nn::Var& gen_vec,
   switch (config_.similarity) {
     case SimilarityMode::kCosine: {
       nn::Var cosine = nn::CosineSimilarityRows(gen_vec, target);
-      nn::Var ones = nn::Constant(nn::Tensor::Ones(cosine.rows(), 1));
+      nn::Tensor ones_data = nn::ScratchTensorUninit(cosine.rows(), 1);
+      ones_data.Fill(1.0f);
+      nn::Var ones = nn::Constant(std::move(ones_data));
       return nn::ReduceMean(nn::Square(nn::Sub(ones, cosine)));
     }
     case SimilarityMode::kL2:
@@ -111,6 +114,7 @@ nn::Var MultiTaskAtnnModel::SimilarityLoss(const nn::Var& gen_vec,
 MultiTaskAtnnModel::Predictions MultiTaskAtnnModel::PredictColdStart(
     const data::BlockBatch& profile, const data::BlockBatch& group) const {
   nn::NoGradGuard no_grad;
+  const nn::ArenaScope arena_scope;
   nn::Var group_vec = GroupVector(group);
   nn::Var item_vec;
   if (config_.adversarial) {

@@ -46,6 +46,8 @@ std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
     int64_t steps = 0;
     while (batches_ahead.HasNext()) {
       const data::ElemeBatch batch = batches_ahead.Next();
+      // Step-scoped tensors come from the thread arena; one rewind per step.
+      const nn::ArenaScope arena_scope;
 
       // --- D step: L_r^GMV + lambda1 * L_r^VpPV through the encoder. ---
       nn::ZeroAllGrads(all_params);
@@ -123,6 +125,7 @@ ElemeEval EvaluateEleme(const MultiTaskAtnnModel& model,
   std::vector<ChunkResult> results(chunks.size());
   auto score_chunk = [&](size_t i) {
     const nn::NoGradGuard no_grad;
+    const nn::ArenaScope arena_scope;
     const data::ElemeBatch batch = MakeElemeBatch(dataset, chunks[i]);
     const auto predictions =
         model.PredictColdStart(batch.restaurant_profile, batch.user_group);

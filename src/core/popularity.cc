@@ -46,6 +46,7 @@ PopularityPredictor PopularityPredictor::Build(
   std::vector<nn::Tensor> partial(chunks.size());
   ForEachChunk(pool, chunks.size(), [&](size_t i) {
     const nn::NoGradGuard no_grad;
+    const nn::ArenaScope arena_scope;
     const data::BlockBatch block = data::GatherBlock(dataset.users, chunks[i]);
     nn::Var vectors = model.UserVector(block);
     nn::Tensor sum(1, model.vector_dim());
@@ -80,6 +81,7 @@ std::vector<double> PopularityPredictor::ScoreItems(
   std::vector<std::vector<double>> chunk_scores(chunks.size());
   ForEachChunk(pool, chunks.size(), [&](size_t i) {
     const nn::NoGradGuard no_grad;
+    const nn::ArenaScope arena_scope;
     const data::BlockBatch block =
         data::GatherBlock(dataset.item_profiles, chunks[i]);
     nn::Var vectors = model.GeneratorItemVector(block);
@@ -114,6 +116,7 @@ std::vector<double> ScoreItemsPairwise(const AtnnModel& model,
     // full-sized except the last, so parallel workers write disjoint rows.
     ForEachChunk(pool, user_chunks.size(), [&](size_t c) {
       const nn::NoGradGuard no_grad;
+      const nn::ArenaScope arena_scope;
       const data::BlockBatch block =
           data::GatherBlock(dataset.users, user_chunks[c]);
       nn::Var vectors = model.UserVector(block);
@@ -133,6 +136,7 @@ std::vector<double> ScoreItemsPairwise(const AtnnModel& model,
   std::vector<std::vector<double>> chunk_scores(item_chunks.size());
   ForEachChunk(pool, item_chunks.size(), [&](size_t i) {
     const nn::NoGradGuard no_grad;
+    const nn::ArenaScope arena_scope;
     const data::BlockBatch block =
         data::GatherBlock(dataset.item_profiles, item_chunks[i]);
     nn::Var vectors = model.GeneratorItemVector(block);

@@ -4,6 +4,7 @@
 #include "common/prefetcher.h"
 #include "common/rng.h"
 #include "metrics/metrics.h"
+#include "nn/arena.h"
 #include "nn/optimizer.h"
 
 namespace atnn::core {
@@ -96,6 +97,11 @@ std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
     int64_t steps = 0;
     while (batches_ahead.HasNext()) {
       const data::CtrBatch batch = batches_ahead.Next();
+      // Step-scoped tensors (graph nodes, activations, gradients of
+      // non-parameters) come from the thread arena and are released in one
+      // rewind here; after the first few steps grow the arena, a step
+      // performs no heap allocations.
+      const nn::ArenaScope arena_scope;
       optimizer.ZeroGrad();
       nn::Var logits =
           model->ScoreLogits(model->ItemVector(batch.item_profile,
@@ -158,6 +164,8 @@ std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
     int64_t steps = 0;
     while (batches_ahead.HasNext()) {
       const data::CtrBatch batch = batches_ahead.Next();
+      // One arena scope spans both half-steps; see TrainTwoTowerModel.
+      const nn::ArenaScope arena_scope;
 
       // --- D step: minimize L_i through the encoder path. ---
       nn::ZeroAllGrads(all_params);
@@ -233,6 +241,7 @@ double EvaluateTwoTowerAuc(const TwoTowerModel& model,
   std::vector<std::vector<double>> chunk_scores(chunks.size());
   ForEachChunkIndex(pool, chunks.size(), [&](size_t i) {
     const nn::NoGradGuard no_grad;
+    const nn::ArenaScope arena_scope;  // per-chunk tensors, freed at once
     const data::CtrBatch batch = MakeCtrBatch(dataset, chunks[i]);
     chunk_scores[i] =
         model.PredictCtr(batch.user, batch.item_profile, batch.item_stats);
@@ -255,6 +264,7 @@ double EvaluateTwoTowerAucMissingStats(
   std::vector<std::vector<double>> chunk_scores(chunks.size());
   ForEachChunkIndex(pool, chunks.size(), [&](size_t i) {
     const nn::NoGradGuard no_grad;
+    const nn::ArenaScope arena_scope;
     data::CtrBatch batch = MakeCtrBatch(dataset, chunks[i]);
     MaskStatsAsMissing(&batch.item_stats);
     chunk_scores[i] =
@@ -273,6 +283,7 @@ double EvaluateAtnnAuc(const AtnnModel& model,
   std::vector<std::vector<double>> chunk_scores(chunks.size());
   ForEachChunkIndex(pool, chunks.size(), [&](size_t i) {
     const nn::NoGradGuard no_grad;
+    const nn::ArenaScope arena_scope;
     const data::CtrBatch batch = MakeCtrBatch(dataset, chunks[i]);
     chunk_scores[i] =
         path == CtrPath::kEncoder

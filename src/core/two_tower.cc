@@ -47,7 +47,8 @@ nn::Var TwoTowerModel::ItemVector(const data::BlockBatch& item_profile,
   }
   ATNN_CHECK_EQ(item_stats.numeric.rows(), item_profile.rows());
   nn::Var full_input =
-      nn::ConcatCols({profile_input, nn::Constant(item_stats.numeric)});
+      nn::ConcatCols(
+          {profile_input, nn::Constant(nn::ScratchCopy(item_stats.numeric))});
   return item_tower_->Forward(full_input);
 }
 
@@ -61,6 +62,7 @@ std::vector<double> TwoTowerModel::PredictCtr(
     const data::BlockBatch& item_stats) const {
   // Pure inference: no tape, no grad buffers, no parameter-node mutation.
   nn::NoGradGuard no_grad;
+  const nn::ArenaScope arena_scope;
   nn::Var logits = ScoreLogits(ItemVector(item_profile, item_stats),
                                UserVector(user));
   nn::Var probs = nn::Sigmoid(logits);

@@ -137,6 +137,7 @@ ClusteredPopularityPredictor ClusteredPopularityPredictor::Build(
                           model.vector_dim());
   int64_t row = 0;
   for (const auto& chunk : MakeBatches(user_group, batch_size)) {
+    const nn::ArenaScope arena_scope;  // per-chunk tensors, freed at once
     const data::BlockBatch block = data::GatherBlock(dataset.users, chunk);
     nn::Var vectors = model.UserVector(block);
     for (int64_t r = 0; r < vectors.rows(); ++r, ++row) {
@@ -176,6 +177,7 @@ std::vector<double> ClusteredPopularityPredictor::ScoreItems(
   std::vector<double> scores;
   scores.reserve(item_rows.size());
   for (const auto& chunk : MakeBatches(item_rows, batch_size)) {
+    const nn::ArenaScope arena_scope;
     const data::BlockBatch block =
         data::GatherBlock(dataset.item_profiles, chunk);
     nn::Var vectors = model.GeneratorItemVector(block);

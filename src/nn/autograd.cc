@@ -1,12 +1,15 @@
 #include "nn/autograd.h"
 
-#include <unordered_set>
+#include <atomic>
 
 namespace atnn::nn {
 
 void Node::EnsureGrad() {
   if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
-    grad = Tensor(value.rows(), value.cols());
+    // Parameter gradients must survive until the optimizer step (and their
+    // buffer is reused across steps); op-node gradients die with the step.
+    grad = is_parameter ? Tensor(value.rows(), value.cols())
+                        : ScratchTensor(value.rows(), value.cols());
   }
 }
 
@@ -31,6 +34,10 @@ void Node::AccumulateGrad(const Tensor& contribution) {
   has_dense_grad = true;
 }
 
+NodePtr AllocateNode() {
+  return std::allocate_shared<Node>(ArenaStdAllocator<Node>{});
+}
+
 namespace {
 
 thread_local bool t_grad_mode_enabled = true;
@@ -46,14 +53,14 @@ NoGradGuard::NoGradGuard() : previous_(t_grad_mode_enabled) {
 NoGradGuard::~NoGradGuard() { t_grad_mode_enabled = previous_; }
 
 Var Constant(Tensor value) {
-  auto node = std::make_shared<Node>();
+  NodePtr node = AllocateNode();
   node->value = std::move(value);
   node->requires_grad = false;
   return Var(std::move(node));
 }
 
 Var Leaf(Tensor value) {
-  auto node = std::make_shared<Node>();
+  NodePtr node = AllocateNode();
   node->value = std::move(value);
   node->requires_grad = true;
   return Var(std::move(node));
@@ -61,25 +68,41 @@ Var Leaf(Tensor value) {
 
 namespace {
 
+struct Frame {
+  Node* node;
+  size_t next_parent;
+};
+
+// Reused across Backward calls so a steady-state training step performs no
+// traversal allocations (the vectors keep their capacity). Thread-local:
+// concurrent Backward over DISJOINT graphs is fine; sharing differentiable
+// nodes across threads was never supported.
+thread_local std::vector<Node*> t_topo_order;
+thread_local std::vector<Frame> t_dfs_stack;
+
+uint64_t NextTopoMark() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 // Iterative post-order DFS producing a topological order (parents before
 // children in the returned list; we traverse it in reverse for backprop).
+// Visited-tracking uses per-node epoch stamps instead of a hash set.
 void TopologicalOrder(const NodePtr& root, std::vector<Node*>* order) {
-  std::unordered_set<Node*> visited;
-  struct Frame {
-    Node* node;
-    size_t next_parent;
-  };
-  std::vector<Frame> stack;
+  const uint64_t mark = NextTopoMark();
+  std::vector<Frame>& stack = t_dfs_stack;
+  stack.clear();
   if (root->requires_grad) {
     stack.push_back({root.get(), 0});
-    visited.insert(root.get());
+    root->topo_mark = mark;
   }
   while (!stack.empty()) {
     Frame& top = stack.back();
     if (top.next_parent < top.node->parents.size()) {
       Node* parent = top.node->parents[top.next_parent].get();
       ++top.next_parent;
-      if (parent->requires_grad && visited.insert(parent).second) {
+      if (parent->requires_grad && parent->topo_mark != mark) {
+        parent->topo_mark = mark;
         stack.push_back({parent, 0});
       }
     } else {
@@ -89,22 +112,31 @@ void TopologicalOrder(const NodePtr& root, std::vector<Node*>* order) {
   }
 }
 
-}  // namespace
-
-void Backward(const Var& root, const Tensor& seed) {
+void BackwardImpl(const Var& root, const Tensor* seed) {
   ATNN_CHECK(root.defined());
   ATNN_CHECK(root.requires_grad())
       << "Backward on a graph with no differentiable leaves";
-  ATNN_CHECK(root.value().SameShape(seed))
-      << "seed shape " << seed.ShapeString() << " vs root "
-      << root.value().ShapeString();
+  if (seed != nullptr) {
+    ATNN_CHECK(root.value().SameShape(*seed))
+        << "seed shape " << seed->ShapeString() << " vs root "
+        << root.value().ShapeString();
+  }
 
-  std::vector<Node*> order;
+  std::vector<Node*>& order = t_topo_order;
+  order.clear();
   TopologicalOrder(root.node(), &order);
 
   // Ensure buffers exist before any accumulation.
   for (Node* node : order) node->EnsureGrad();
-  root.node()->grad.AddInPlace(seed);
+  if (seed != nullptr) {
+    root.node()->grad.AddInPlace(*seed);
+  } else {
+    // Seed with ones without materializing a ones tensor.
+    Tensor& grad = root.node()->grad;
+    float* data = grad.data();
+    const int64_t n = grad.numel();
+    for (int64_t i = 0; i < n; ++i) data[i] += 1.0f;
+  }
 
   // order is post-order (leaves first); walk from the root backwards.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -113,8 +145,12 @@ void Backward(const Var& root, const Tensor& seed) {
   }
 }
 
-void Backward(const Var& root) {
-  Backward(root, Tensor::Ones(root.rows(), root.cols()));
+}  // namespace
+
+void Backward(const Var& root, const Tensor& seed) {
+  BackwardImpl(root, &seed);
 }
+
+void Backward(const Var& root) { BackwardImpl(root, nullptr); }
 
 }  // namespace atnn::nn

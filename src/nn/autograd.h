@@ -1,20 +1,36 @@
 #ifndef ATNN_NN_AUTOGRAD_H_
 #define ATNN_NN_AUTOGRAD_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "nn/arena.h"
 #include "nn/tensor.h"
 
 namespace atnn::nn {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// Graph-edge container. Backed by the thread arena inside an ArenaScope
+/// (freed wholesale at scope exit), by the heap otherwise — the tagged
+/// allocator makes either deallocation correct on any thread.
+using NodeVector = std::vector<NodePtr, ArenaStdAllocator<NodePtr>>;
 
 /// One vertex of the dynamic (define-by-run) computation graph. Nodes are
 /// created by the op functions in ops.h; parameters are long-lived leaf
 /// nodes owned by Parameter objects, everything else dies with the last Var
 /// referencing the graph.
+///
+/// Step-scoped state (value/grad of non-parameters, parents, saved
+/// workspaces) draws from the TensorArena when the step runs inside an
+/// ArenaScope, which is what makes a steady-state training step
+/// allocation-free. Parameter nodes always keep owning (heap) buffers:
+/// they outlive every scope.
 class Node {
  public:
   Tensor value;
@@ -23,22 +39,37 @@ class Node {
   Tensor grad;
   bool requires_grad = false;
   /// Marks long-lived leaves owned by a Parameter (never freed between
-  /// steps; optimizers iterate over these).
+  /// steps; optimizers iterate over these). Their value/grad stay owning.
   bool is_parameter = false;
   /// True once a dense gradient contribution has been accumulated since the
   /// last ZeroGrad(). See IsSparseGrad().
   bool has_dense_grad = false;
   /// Rows of `grad` written by scatter-add backward passes since the last
-  /// ZeroGrad(); may contain duplicates.
+  /// ZeroGrad(); may contain duplicates. Deliberately a plain heap vector:
+  /// on parameter nodes it must survive into the NEXT step's ZeroGrad, so
+  /// it cannot live in the step's arena (its capacity is reused instead).
   std::vector<int64_t> touched_rows;
 
-  std::vector<std::shared_ptr<Node>> parents;
+  NodeVector parents;
+  /// Tensors the backward pass needs that are neither value nor a parent's
+  /// value (dropout mask, layernorm row stats, loss labels). Stored on the
+  /// node rather than captured in backward_fn so the closure stays within
+  /// std::function's small-buffer size (no heap allocation).
+  std::vector<Tensor, ArenaStdAllocator<Tensor>> saved;
+  /// Ids for scatter ops (embedding lookups), same storage rationale.
+  std::vector<int64_t, ArenaStdAllocator<int64_t>> saved_ids;
   /// Propagates this->grad into parents' grads (must accumulate with +=).
+  /// Closures capture at most a few scalars (std::function small-buffer
+  /// optimized); per-op data goes in `saved`/`saved_ids`.
   std::function<void(Node*)> backward_fn;
   /// Op name for debugging ("matmul", "sigmoid", ...). Leaves: "leaf".
+  /// All op literals fit std::string's small-string buffer.
   std::string op = "leaf";
+  /// Visit stamp for Backward's traversal (epoch-based, no per-call set).
+  uint64_t topo_mark = 0;
 
   /// Allocates (and zeroes) the gradient buffer if not yet allocated.
+  /// Parameter nodes get owning storage, op nodes scratch (arena) storage.
   void EnsureGrad();
 
   /// Zeroes the gradient. For sparse_grad nodes clears only touched rows,
@@ -56,7 +87,10 @@ class Node {
   }
 };
 
-using NodePtr = std::shared_ptr<Node>;
+/// Creates an empty Node. Control block and payload come from the thread
+/// arena inside an ArenaScope (heap otherwise); long-lived nodes
+/// (parameters) must be created outside any scope.
+NodePtr AllocateNode();
 
 /// Value-semantic handle on a graph node. Cheap to copy; copies alias the
 /// same node.

@@ -1,0 +1,626 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ATNN_X86 1
+#else
+#define ATNN_X86 0
+#endif
+
+namespace atnn::nn::kernels {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.
+//
+// These are the pre-SIMD production loops (minus the MatMulInto zero-skip,
+// whose removal is bitwise-neutral for finite inputs and fixes NaN/Inf
+// propagation in blocked rows). Vectorization is disabled for this family
+// so that "scalar" genuinely means one element per instruction: the family
+// is the portable fallback, the deterministic reference the AVX2 kernels
+// are tested against, and the baseline the bench speedup gate measures.
+// FP contraction is unaffected by the pragma, so per-element results match
+// the previously auto-vectorized build bit for bit (same a*b+c chains in
+// the same order).
+// ---------------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC optimize("no-tree-vectorize,no-tree-slp-vectorize")
+
+namespace {
+
+void GemmScalar(int64_t m, int64_t k, int64_t n, const float* a,
+                const float* b, float* c) {
+  std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  // 4 rows of A per pass over B: each loaded B row feeds 4 accumulator
+  // streams, quartering B traffic while keeping the per-element
+  // accumulation order of the plain i-k-j loop.
+  const int64_t blocked_rows = m - (m % 4);
+  for (int64_t i = 0; i < blocked_rows; i += 4) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float v0 = a0[p];
+      const float v1 = a1[p];
+      const float v2 = a2[p];
+      const float v3 = a3[p];
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float b_val = b_row[j];
+        c0[j] += v0 * b_val;
+        c1[j] += v1 * b_val;
+        c2[j] += v2 * b_val;
+        c3[j] += v3 * b_val;
+      }
+    }
+  }
+  for (int64_t i = blocked_rows; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+void GemmTransBAccumScalar(int64_t m, int64_t k, int64_t n, const float* a,
+                           const float* b, float* c) {
+  // C[i,j] += dot(A[i,:], B[j,:]) — both operands row-contiguous.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += acc;
+    }
+  }
+}
+
+void GemmTransAAccumScalar(int64_t m, int64_t k, int64_t n, const float* a,
+                           const float* b, float* c) {
+  // C[p,j] += sum_i A[i,p] * B[i,j]; i outermost so A and B stream. The
+  // zero-skip pays off because A is usually a ReLU activation (sparse).
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0f) continue;
+      float* c_row = c + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+void AxpyScalar(int64_t n, float alpha, const float* x, float* y) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleScalar(int64_t n, float alpha, float* x) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void AddScalar(int64_t n, const float* x, float* y) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+double SumScalar(int64_t n, const float* x) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += x[i];
+  return total;
+}
+
+double SquaredNormScalar(int64_t n, const float* x) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += static_cast<double>(x[i]) * x[i];
+  }
+  return total;
+}
+
+float DotScalar(int64_t n, const float* x, const float* y) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void BiasIdentityScalar(int64_t rows, int64_t cols, const float* bias,
+                        float* x) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void BiasReluScalar(int64_t rows, int64_t cols, const float* bias, float* x) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      row[c] = std::max(row[c] + bias[c], 0.0f);
+    }
+  }
+}
+
+void BiasSigmoidScalar(int64_t rows, int64_t cols, const float* bias,
+                       float* x) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float z = row[c] + bias[c];
+      row[c] = 1.0f / (1.0f + std::exp(-z));
+    }
+  }
+}
+
+}  // namespace
+
+#pragma GCC pop_options
+
+namespace {
+
+constexpr KernelTable kScalarTable = {
+    GemmScalar,       GemmTransBAccumScalar, GemmTransAAccumScalar,
+    AxpyScalar,       ScaleScalar,           AddScalar,
+    SumScalar,        SquaredNormScalar,     DotScalar,
+    BiasIdentityScalar, BiasReluScalar,      BiasSigmoidScalar,
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels. Compiled with per-function target attributes so the
+// translation unit builds on any x86 host; the dispatcher only installs the
+// table when CPUID reports avx2+fma. Unaligned loads throughout: tensors
+// are 32-byte aligned at allocation, but views (row_ptr on odd widths) may
+// not be, and loadu on aligned addresses has no penalty on AVX2 hardware.
+// ---------------------------------------------------------------------------
+
+#if ATNN_X86
+
+namespace {
+
+#define ATNN_AVX2 __attribute__((target("avx2,fma")))
+
+ATNN_AVX2 inline float HSum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 0x1));
+  return _mm_cvtss_f32(lo);
+}
+
+ATNN_AVX2 inline double HSum256d(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  lo = _mm_add_sd(lo, _mm_unpackhi_pd(lo, lo));
+  return _mm_cvtsd_f64(lo);
+}
+
+/// One row of C = A*B: c_row[0..n) = sum_p a_row[p] * b[p,:], using 16-wide
+/// register tiles, then 8-wide, then scalar for the ragged tail.
+ATNN_AVX2 void GemmAvx2Row(int64_t k, int64_t n, const float* a_row,
+                           const float* b, float* c_row) {
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    for (int64_t p = 0; p < k; ++p) {
+      const __m256 av = _mm256_set1_ps(a_row[p]);
+      const float* b_row = b + p * n + j;
+      acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row), acc0);
+      acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row + 8), acc1);
+    }
+    _mm256_storeu_ps(c_row + j, acc0);
+    _mm256_storeu_ps(c_row + j + 8, acc1);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (int64_t p = 0; p < k; ++p) {
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(a_row[p]),
+                            _mm256_loadu_ps(b + p * n + j), acc);
+    }
+    _mm256_storeu_ps(c_row + j, acc);
+  }
+  for (; j < n; ++j) {
+    float acc = 0.0f;
+    for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b[p * n + j];
+    c_row[j] = acc;
+  }
+}
+
+ATNN_AVX2 void GemmAvx2(int64_t m, int64_t k, int64_t n, const float* a,
+                        const float* b, float* c) {
+  // 4x16 register tiles: 8 accumulators + 2 B lanes + 1 broadcast = 11 of
+  // the 16 ymm registers, all accumulation in-register (C written once).
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+      __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+      __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+      __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+      for (int64_t p = 0; p < k; ++p) {
+        const float* b_row = b + p * n + j;
+        const __m256 b0 = _mm256_loadu_ps(b_row);
+        const __m256 b1 = _mm256_loadu_ps(b_row + 8);
+        __m256 av = _mm256_set1_ps(a0[p]);
+        acc00 = _mm256_fmadd_ps(av, b0, acc00);
+        acc01 = _mm256_fmadd_ps(av, b1, acc01);
+        av = _mm256_set1_ps(a1[p]);
+        acc10 = _mm256_fmadd_ps(av, b0, acc10);
+        acc11 = _mm256_fmadd_ps(av, b1, acc11);
+        av = _mm256_set1_ps(a2[p]);
+        acc20 = _mm256_fmadd_ps(av, b0, acc20);
+        acc21 = _mm256_fmadd_ps(av, b1, acc21);
+        av = _mm256_set1_ps(a3[p]);
+        acc30 = _mm256_fmadd_ps(av, b0, acc30);
+        acc31 = _mm256_fmadd_ps(av, b1, acc31);
+      }
+      _mm256_storeu_ps(c0 + j, acc00);
+      _mm256_storeu_ps(c0 + j + 8, acc01);
+      _mm256_storeu_ps(c1 + j, acc10);
+      _mm256_storeu_ps(c1 + j + 8, acc11);
+      _mm256_storeu_ps(c2 + j, acc20);
+      _mm256_storeu_ps(c2 + j + 8, acc21);
+      _mm256_storeu_ps(c3 + j, acc30);
+      _mm256_storeu_ps(c3 + j + 8, acc31);
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+      for (int64_t p = 0; p < k; ++p) {
+        const __m256 bv = _mm256_loadu_ps(b + p * n + j);
+        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[p]), bv, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[p]), bv, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[p]), bv, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[p]), bv, acc3);
+      }
+      _mm256_storeu_ps(c0 + j, acc0);
+      _mm256_storeu_ps(c1 + j, acc1);
+      _mm256_storeu_ps(c2 + j, acc2);
+      _mm256_storeu_ps(c3 + j, acc3);
+    }
+    for (; j < n; ++j) {
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float b_val = b[p * n + j];
+        s0 += a0[p] * b_val;
+        s1 += a1[p] * b_val;
+        s2 += a2[p] * b_val;
+        s3 += a3[p] * b_val;
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+    }
+  }
+  for (; i < m; ++i) GemmAvx2Row(k, n, a + i * k, b, c + i * n);
+}
+
+ATNN_AVX2 void GemmTransBAccumAvx2(int64_t m, int64_t k, int64_t n,
+                                   const float* a, const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      __m256 acc = _mm256_setzero_ps();
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a_row + p),
+                              _mm256_loadu_ps(b_row + p), acc);
+      }
+      float total = HSum256(acc);
+      for (; p < k; ++p) total += a_row[p] * b_row[p];
+      c_row[j] += total;
+    }
+  }
+}
+
+ATNN_AVX2 void GemmTransAAccumAvx2(int64_t m, int64_t k, int64_t n,
+                                   const float* a, const float* b, float* c) {
+  // Same zero-skip semantics as the scalar kernel (A is typically a sparse
+  // ReLU activation or a one-hot-ish gradient).
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      if (a_val == 0.0f) continue;
+      float* c_row = c + p * n;
+      const __m256 av = _mm256_set1_ps(a_val);
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 updated = _mm256_fmadd_ps(
+            av, _mm256_loadu_ps(b_row + j), _mm256_loadu_ps(c_row + j));
+        _mm256_storeu_ps(c_row + j, updated);
+      }
+      for (; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+ATNN_AVX2 void AxpyAvx2(int64_t n, float alpha, const float* x, float* y) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i,
+        _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+ATNN_AVX2 void ScaleAvx2(int64_t n, float alpha, float* x) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(av, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+ATNN_AVX2 void AddAvx2(int64_t n, const float* x, float* y) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+ATNN_AVX2 double SumAvx2(int64_t n, const float* x) {
+  // Double-precision accumulation like the scalar reference; two 4-wide
+  // double lanes, so results agree with scalar to ~1 ulp of the float data
+  // (not bitwise — lane order differs).
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm_loadu_ps(x + i)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm_loadu_ps(x + i + 4)));
+  }
+  double total = HSum256d(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) total += x[i];
+  return total;
+}
+
+ATNN_AVX2 double SquaredNormAvx2(int64_t n, const float* x) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d d1 = _mm256_cvtps_pd(_mm_loadu_ps(x + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double total = HSum256d(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) total += static_cast<double>(x[i]) * x[i];
+  return total;
+}
+
+ATNN_AVX2 float DotAvx2(int64_t n, const float* x, const float* y) {
+  __m256 acc = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i),
+                          acc);
+  }
+  float total = HSum256(acc);
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+ATNN_AVX2 void BiasIdentityAvx2(int64_t rows, int64_t cols, const float* bias,
+                                float* x) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      _mm256_storeu_ps(row + c, _mm256_add_ps(_mm256_loadu_ps(row + c),
+                                              _mm256_loadu_ps(bias + c)));
+    }
+    for (; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+ATNN_AVX2 void BiasReluAvx2(int64_t rows, int64_t cols, const float* bias,
+                            float* x) {
+  const __m256 zero = _mm256_setzero_ps();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const __m256 v = _mm256_add_ps(_mm256_loadu_ps(row + c),
+                                     _mm256_loadu_ps(bias + c));
+      // max(0, v) (not max(v, 0)): maxps returns the SECOND operand when
+      // either input is NaN, so this order propagates NaN like std::max.
+      _mm256_storeu_ps(row + c, _mm256_max_ps(zero, v));
+    }
+    for (; c < cols; ++c) row[c] = std::max(row[c] + bias[c], 0.0f);
+  }
+}
+
+/// Cephes-style polynomial expf for the sigmoid epilogue (no SVML in a
+/// plain GCC build). |error| is a few ulp over the clamped range, well
+/// inside the 1e-5 tolerance the fused-vs-unfused tests allow.
+ATNN_AVX2 inline __m256 Exp256(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 ln2_hi = _mm256_set1_ps(0.693359375f);
+  const __m256 ln2_lo = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(x, hi);
+  x = _mm256_max_ps(x, lo);
+
+  // n = round(x / ln2); r = x - n*ln2 in two parts for precision.
+  __m256 fx = _mm256_fmadd_ps(x, log2e, _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, ln2_hi, x);
+  x = _mm256_fnmadd_ps(fx, ln2_lo, x);
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, _mm256_add_ps(x, one));
+
+  // Scale by 2^n via the exponent bits.
+  __m256i n = _mm256_cvttps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+  n = _mm256_slli_epi32(n, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+ATNN_AVX2 void BiasSigmoidAvx2(int64_t rows, int64_t cols, const float* bias,
+                               float* x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const __m256 z = _mm256_add_ps(_mm256_loadu_ps(row + c),
+                                     _mm256_loadu_ps(bias + c));
+      const __m256 e = Exp256(_mm256_sub_ps(_mm256_setzero_ps(), z));
+      __m256 out = _mm256_div_ps(one, _mm256_add_ps(one, e));
+      // Exp256 clamps its argument, which would swallow NaN inputs; put
+      // them back so the fused path propagates like the scalar one.
+      const __m256 nan_mask = _mm256_cmp_ps(z, z, _CMP_UNORD_Q);
+      out = _mm256_blendv_ps(out, z, nan_mask);
+      _mm256_storeu_ps(row + c, out);
+    }
+    for (; c < cols; ++c) {
+      const float z = row[c] + bias[c];
+      row[c] = 1.0f / (1.0f + std::exp(-z));
+    }
+  }
+}
+
+#undef ATNN_AVX2
+
+constexpr KernelTable kAvx2Table = {
+    GemmAvx2,       GemmTransBAccumAvx2, GemmTransAAccumAvx2,
+    AxpyAvx2,       ScaleAvx2,           AddAvx2,
+    SumAvx2,        SquaredNormAvx2,     DotAvx2,
+    BiasIdentityAvx2, BiasReluAvx2,      BiasSigmoidAvx2,
+};
+
+}  // namespace
+
+#endif  // ATNN_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+bool Avx2Supported() {
+#if ATNN_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+struct Dispatch {
+  const KernelTable* table;
+  Backend backend;
+  Dispatch() {
+#if ATNN_X86
+    if (Avx2Supported()) {
+      table = &kAvx2Table;
+      backend = Backend::kAvx2;
+      return;
+    }
+#endif
+    table = &kScalarTable;
+    backend = Backend::kScalar;
+  }
+};
+
+Dispatch& GetDispatch() {
+  static Dispatch dispatch;  // thread-safe one-time CPUID probe
+  return dispatch;
+}
+
+}  // namespace
+
+const KernelTable& Kernels() { return *GetDispatch().table; }
+
+Backend ActiveBackend() { return GetDispatch().backend; }
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelTable& Table(Backend backend) {
+  if (backend == Backend::kScalar) return kScalarTable;
+#if ATNN_X86
+  ATNN_CHECK(Avx2Supported()) << "avx2 kernel table on a non-AVX2 host";
+  return kAvx2Table;
+#else
+  ATNN_CHECK(false) << "avx2 kernel table on a non-x86 host";
+  return kScalarTable;
+#endif
+}
+
+Status SetBackend(Backend backend) {
+  if (backend == Backend::kAvx2 && !Avx2Supported()) {
+    return Status::InvalidArgument(
+        "--atnn_kernel=avx2 requested but the CPU lacks AVX2/FMA");
+  }
+  Dispatch& dispatch = GetDispatch();
+  dispatch.table = &Table(backend);
+  dispatch.backend = backend;
+  return Status::OK();
+}
+
+Status SetBackendFromString(const std::string& name) {
+  if (name == "auto") {
+    return SetBackend(Avx2Supported() ? Backend::kAvx2 : Backend::kScalar);
+  }
+  if (name == "scalar") return SetBackend(Backend::kScalar);
+  if (name == "avx2") return SetBackend(Backend::kAvx2);
+  return Status::InvalidArgument("unknown kernel backend '" + name +
+                                 "' (want auto|scalar|avx2)");
+}
+
+}  // namespace atnn::nn::kernels

@@ -1,0 +1,80 @@
+#ifndef ATNN_NN_KERNELS_H_
+#define ATNN_NN_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace atnn::nn::kernels {
+
+/// Which implementation family the dispatch table points at.
+///   kScalar — portable reference loops, compiled without auto-vectorization
+///             so the family really is scalar (and deterministic across
+///             compilers/hosts). This path reproduces the original
+///             hand-written loops bit for bit.
+///   kAvx2   — AVX2+FMA intrinsics; requires runtime CPU support.
+enum class Backend { kScalar, kAvx2 };
+
+/// Function-pointer table for the hot numeric primitives. All matrices are
+/// dense row-major with no padding (leading dimension == column count).
+/// Pointers may be unaligned; kernels use unaligned loads, which cost
+/// nothing on aligned data with modern x86. No pointer may alias except
+/// where noted in the member comment.
+struct KernelTable {
+  /// C = A * B. A [m,k], B [k,n], C [m,n]; C is overwritten.
+  void (*gemm)(int64_t m, int64_t k, int64_t n, const float* a,
+               const float* b, float* c);
+  /// C += A * B^T. A [m,k], B [n,k], C [m,n]. (dX = dY * W^T.)
+  void (*gemm_trans_b_accum)(int64_t m, int64_t k, int64_t n, const float* a,
+                             const float* b, float* c);
+  /// C += A^T * B. A [m,k], B [m,n], C [k,n]. (dW = X^T * dY.) Skips zero
+  /// entries of A — profitable because ReLU activations are sparse.
+  void (*gemm_trans_a_accum)(int64_t m, int64_t k, int64_t n, const float* a,
+                             const float* b, float* c);
+  /// y += alpha * x.
+  void (*axpy)(int64_t n, float alpha, const float* x, float* y);
+  /// x *= alpha.
+  void (*scale)(int64_t n, float alpha, float* x);
+  /// y += x.
+  void (*add)(int64_t n, const float* x, float* y);
+  /// Sum of elements, accumulated in double (matches the serial reference).
+  double (*sum)(int64_t n, const float* x);
+  /// Sum of squares, accumulated in double.
+  double (*squared_norm)(int64_t n, const float* x);
+  /// Single-precision dot product.
+  float (*dot)(int64_t n, const float* x, const float* y);
+  /// Fused GEMM epilogues: for each row r, x[r,c] = f(x[r,c] + bias[c]).
+  void (*bias_identity)(int64_t rows, int64_t cols, const float* bias,
+                        float* x);
+  void (*bias_relu)(int64_t rows, int64_t cols, const float* bias, float* x);
+  void (*bias_sigmoid)(int64_t rows, int64_t cols, const float* bias,
+                       float* x);
+};
+
+/// The active dispatch table. Resolved once (CPUID) on first use; every hot
+/// call site goes through this so a backend switch is a pointer swap.
+const KernelTable& Kernels();
+
+/// The table for a specific backend (tests compare kAvx2 against kScalar
+/// directly). CHECK-fails for kAvx2 on hosts without AVX2+FMA.
+const KernelTable& Table(Backend backend);
+
+Backend ActiveBackend();
+const char* BackendName(Backend backend);
+
+/// True when the running CPU supports AVX2 and FMA.
+bool Avx2Supported();
+
+/// Selects the dispatch table. kAvx2 on a host without AVX2+FMA is an
+/// InvalidArgument error. Not thread-safe against in-flight kernel calls;
+/// call during startup (flag parsing) or between bench phases.
+Status SetBackend(Backend backend);
+
+/// Parses "auto" | "scalar" | "avx2" (the --atnn_kernel flag values) and
+/// calls SetBackend. "auto" picks the best supported backend.
+Status SetBackendFromString(const std::string& name);
+
+}  // namespace atnn::nn::kernels
+
+#endif  // ATNN_NN_KERNELS_H_

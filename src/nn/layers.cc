@@ -32,6 +32,15 @@ Dense::Dense(const std::string& name, int64_t in_dim, int64_t out_dim,
 
 Var Dense::Forward(const Var& x) const {
   ATNN_CHECK_EQ(x.cols(), in_dim());
+  // One fused node (GEMM + in-register bias/activation epilogue) for the
+  // activations the kernel layer fuses; bitwise-identical to the three-node
+  // composition below on the scalar backend.
+  if (FusedEpiloguesEnabled() &&
+      (activation_ == Activation::kIdentity ||
+       activation_ == Activation::kRelu ||
+       activation_ == Activation::kSigmoid)) {
+    return DenseAffine(x, weight_.var(), bias_.var(), activation_);
+  }
   return Activate(AddBias(MatMul(x, weight_.var()), bias_.var()), activation_);
 }
 
@@ -187,10 +196,12 @@ EmbeddingBag::EmbeddingBag(const std::string& name,
 Var EmbeddingBag::Forward(const std::vector<std::vector<int64_t>>& ids,
                           const Tensor& dense) const {
   ATNN_CHECK_EQ(ids.size(), tables_.size());
-  std::vector<Var> parts;
+  // Arena-backed scratch (heap-backed outside a scope) so the per-batch
+  // forward performs no heap allocations.
+  std::vector<Var, ArenaStdAllocator<Var>> parts;
   parts.reserve(tables_.size() + 1);
   size_t batch = 0;
-  std::vector<int64_t> hashed;
+  std::vector<int64_t, ArenaStdAllocator<int64_t>> hashed;
   for (size_t f = 0; f < tables_.size(); ++f) {
     if (f == 0) {
       batch = ids[f].size();
@@ -213,9 +224,9 @@ Var EmbeddingBag::Forward(const std::vector<std::vector<int64_t>>& ids,
   }
   if (!dense.empty()) {
     ATNN_CHECK_EQ(dense.rows(), static_cast<int64_t>(batch));
-    parts.push_back(Constant(dense));
+    parts.push_back(Constant(ScratchCopy(dense)));
   }
-  return ConcatCols(parts);
+  return ConcatCols(std::span<const Var>(parts.data(), parts.size()));
 }
 
 void EmbeddingBag::CollectParameters(std::vector<Parameter*>* out) {

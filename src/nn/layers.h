@@ -12,13 +12,7 @@
 
 namespace atnn::nn {
 
-enum class Activation {
-  kIdentity,
-  kRelu,
-  kSigmoid,
-  kTanh,
-  kLeakyRelu,
-};
+// Activation lives in ops.h (DenseAffine needs it below the layer level).
 
 /// Applies the chosen nonlinearity.
 Var Activate(const Var& x, Activation activation);

@@ -1,11 +1,16 @@
 #include "nn/matmul.h"
 
+#include "nn/kernels.h"
+
 namespace atnn::nn {
 
-// All kernels use i-k-j loop order so the innermost loop streams through
-// contiguous rows of B and C; this is the standard cache-friendly ordering
-// for row-major data and is adequate for the layer sizes this library uses
-// (hundreds of columns). No explicit SIMD: the inner loops auto-vectorize.
+// Shape-checking wrappers over the dispatched kernels (nn/kernels.h). The
+// previous hand-written loops live on as the scalar kernel family; the
+// AVX2 family is selected at startup on supporting hosts. Note the old
+// MatMulInto zero-skip is gone: it made blocked and tail rows disagree on
+// NaN/Inf inputs (a skipped 0*Inf never produced the NaN the tail path
+// did), and skipping +-0.0 contributions is bitwise-identical to adding
+// them for finite data, so removing it changes nothing else.
 
 void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t m = a.rows();
@@ -14,51 +19,7 @@ void MatMulInto(const Tensor& a, const Tensor& b, Tensor* c) {
   ATNN_CHECK_EQ(b.rows(), k);
   ATNN_CHECK(c->rows() == m && c->cols() == n)
       << "output " << c->ShapeString() << " for [" << m << " x " << n << "]";
-  c->SetZero();
-  // Process 4 rows of A per pass over B. A plain i-k-j loop re-streams the
-  // entire B matrix (the layer weights) from cache for every row of A,
-  // which makes a batch-64 forward no cheaper per row than 64 single-row
-  // forwards — exactly the amortization batched inference needs. Blocking
-  // 4 rows reuses each loaded B row for 4 accumulator streams (4x less B
-  // traffic) while keeping the per-row accumulation order of the unblocked
-  // loop (results differ at most by +-0.0 sign where a zero-skip turns
-  // into an explicit +0.0 contribution).
-  const int64_t blocked_rows = m - (m % 4);
-  for (int64_t i = 0; i < blocked_rows; i += 4) {
-    const float* a0 = a.row_ptr(i);
-    const float* a1 = a.row_ptr(i + 1);
-    const float* a2 = a.row_ptr(i + 2);
-    const float* a3 = a.row_ptr(i + 3);
-    float* c0 = c->row_ptr(i);
-    float* c1 = c->row_ptr(i + 1);
-    float* c2 = c->row_ptr(i + 2);
-    float* c3 = c->row_ptr(i + 3);
-    for (int64_t p = 0; p < k; ++p) {
-      const float v0 = a0[p];
-      const float v1 = a1[p];
-      const float v2 = a2[p];
-      const float v3 = a3[p];
-      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
-      const float* b_row = b.row_ptr(p);
-      for (int64_t j = 0; j < n; ++j) {
-        const float b_val = b_row[j];
-        c0[j] += v0 * b_val;
-        c1[j] += v1 * b_val;
-        c2[j] += v2 * b_val;
-        c3[j] += v3 * b_val;
-      }
-    }
-  }
-  for (int64_t i = blocked_rows; i < m; ++i) {
-    const float* a_row = a.row_ptr(i);
-    float* c_row = c->row_ptr(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_val = a_row[p];
-      if (a_val == 0.0f) continue;
-      const float* b_row = b.row_ptr(p);
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
-    }
-  }
+  kernels::Kernels().gemm(m, k, n, a.data(), b.data(), c->data());
 }
 
 void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -67,17 +28,8 @@ void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t n = b.rows();
   ATNN_CHECK_EQ(b.cols(), k);
   ATNN_CHECK(c->rows() == m && c->cols() == n);
-  // C[i,j] += dot(A[i,:], B[j,:]) — both operands row-contiguous.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.row_ptr(i);
-    float* c_row = c->row_ptr(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b.row_ptr(j);
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      c_row[j] += acc;
-    }
-  }
+  kernels::Kernels().gemm_trans_b_accum(m, k, n, a.data(), b.data(),
+                                        c->data());
 }
 
 void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -86,18 +38,8 @@ void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
   const int64_t n = b.cols();
   ATNN_CHECK_EQ(b.rows(), m);
   ATNN_CHECK(c->rows() == k && c->cols() == n);
-  // C[p,j] += sum_i A[i,p] * B[i,j]; iterate i outermost so A and B rows
-  // stream contiguously and C rows are revisited (they fit in cache).
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.row_ptr(i);
-    const float* b_row = b.row_ptr(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_val = a_row[p];
-      if (a_val == 0.0f) continue;
-      float* c_row = c->row_ptr(p);
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
-    }
-  }
+  kernels::Kernels().gemm_trans_a_accum(m, k, n, a.data(), b.data(),
+                                        c->data());
 }
 
 Tensor MatMulNew(const Tensor& a, const Tensor& b) {

@@ -1,8 +1,10 @@
 #include "nn/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "nn/matmul.h"
 
 namespace atnn::nn {
@@ -14,8 +16,8 @@ namespace {
 /// requires_grad: the op callers then skip installing backward closures,
 /// so inference forwards build no tape and intermediate values are freed
 /// as soon as the last Var referencing them goes out of scope.
-NodePtr MakeNode(Tensor value, std::vector<NodePtr> parents, const char* op) {
-  auto node = std::make_shared<Node>();
+NodePtr MakeNode(Tensor value, NodeVector parents, const char* op) {
+  NodePtr node = AllocateNode();
   node->value = std::move(value);
   node->op = op;
   if (!GradModeEnabled()) return node;
@@ -29,11 +31,29 @@ NodePtr MakeNode(Tensor value, std::vector<NodePtr> parents, const char* op) {
   return node;
 }
 
+/// 1x1 scratch tensor holding `value` (loss outputs; arena-backed inside a
+/// scope, unlike Tensor::Scalar which always heap-allocates).
+Tensor ScratchScalar(float value) {
+  Tensor out = ScratchTensorUninit(1, 1);
+  out.data()[0] = value;
+  return out;
+}
+
+std::atomic<bool> g_fused_epilogues{true};
+
 }  // namespace
+
+bool FusedEpiloguesEnabled() {
+  return g_fused_epilogues.load(std::memory_order_relaxed);
+}
+
+void SetFusedEpilogues(bool enabled) {
+  g_fused_epilogues.store(enabled, std::memory_order_relaxed);
+}
 
 Var MatMul(const Var& a, const Var& b) {
   ATNN_CHECK_EQ(a.cols(), b.rows());
-  Tensor out(a.rows(), b.cols());
+  Tensor out = ScratchTensorUninit(a.rows(), b.cols());
   MatMulInto(a.value(), b.value(), &out);
   auto node = MakeNode(std::move(out), {a.node(), b.node()}, "matmul");
   if (node->requires_grad) {
@@ -55,10 +75,92 @@ Var MatMul(const Var& a, const Var& b) {
   return Var(node);
 }
 
+Var DenseAffine(const Var& x, const Var& w, const Var& b, Activation act) {
+  ATNN_CHECK_EQ(x.cols(), w.rows());
+  ATNN_CHECK(b.rows() == 1 && b.cols() == w.cols());
+  ATNN_CHECK(act == Activation::kIdentity || act == Activation::kRelu ||
+             act == Activation::kSigmoid)
+      << "DenseAffine has fused epilogues for identity/relu/sigmoid only";
+  const int64_t m = x.rows();
+  const int64_t k = x.cols();
+  const int64_t n = w.cols();
+  const kernels::KernelTable& kt = kernels::Kernels();
+  Tensor out = ScratchTensorUninit(m, n);
+  kt.gemm(m, k, n, x.value().data(), w.value().data(), out.data());
+  switch (act) {
+    case Activation::kIdentity:
+      kt.bias_identity(m, n, b.value().data(), out.data());
+      break;
+    case Activation::kRelu:
+      kt.bias_relu(m, n, b.value().data(), out.data());
+      break;
+    default:
+      kt.bias_sigmoid(m, n, b.value().data(), out.data());
+      break;
+  }
+  auto node = MakeNode(std::move(out), {x.node(), w.node(), b.node()},
+                       "dense_affine");
+  if (node->requires_grad) {
+    node->backward_fn = [act](Node* self) {
+      const NodePtr& x_node = self->parents[0];
+      const NodePtr& w_node = self->parents[1];
+      const NodePtr& b_node = self->parents[2];
+      const int64_t rows = self->grad.rows();
+      const int64_t cols = self->grad.cols();
+      // dZ (gradient at the pre-activation) is recovered from the OUTPUT:
+      // for relu, y > 0 iff z > 0; for sigmoid, dz = g*y*(1-y). Expressions
+      // and loop order match the unfused Relu/Sigmoid backward exactly, so
+      // results are bitwise-identical on the scalar backend.
+      Tensor dz_local;
+      const Tensor* dz = &self->grad;
+      if (act != Activation::kIdentity) {
+        dz_local = ScratchTensorUninit(rows, cols);
+        const float* g = self->grad.data();
+        const float* y = self->value.data();
+        float* dst = dz_local.data();
+        const int64_t count = self->grad.numel();
+        if (act == Activation::kRelu) {
+          for (int64_t i = 0; i < count; ++i) {
+            dst[i] = y[i] > 0.0f ? g[i] : 0.0f;
+          }
+        } else {
+          for (int64_t i = 0; i < count; ++i) {
+            dst[i] = g[i] * y[i] * (1.0f - y[i]);
+          }
+        }
+        dz = &dz_local;
+      }
+      // Same accumulation order as the unfused chain: bias first (the
+      // AddBias node sits closer to the root than the MatMul node), then
+      // dX, then dW.
+      if (b_node->requires_grad) {
+        b_node->EnsureGrad();
+        float* db = b_node->grad.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* g = dz->row_ptr(r);
+          for (int64_t c = 0; c < cols; ++c) db[c] += g[c];
+        }
+        b_node->has_dense_grad = true;
+      }
+      if (x_node->requires_grad) {
+        x_node->EnsureGrad();
+        MatMulTransBAccum(*dz, w_node->value, &x_node->grad);
+        x_node->has_dense_grad = true;
+      }
+      if (w_node->requires_grad) {
+        w_node->EnsureGrad();
+        MatMulTransAAccum(x_node->value, *dz, &w_node->grad);
+        w_node->has_dense_grad = true;
+      }
+    };
+  }
+  return Var(node);
+}
+
 Var Add(const Var& a, const Var& b) {
   ATNN_CHECK(a.value().SameShape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
-  Tensor out = a.value();
+  Tensor out = ScratchCopy(a.value());
   out.AddInPlace(b.value());
   auto node = MakeNode(std::move(out), {a.node(), b.node()}, "add");
   if (node->requires_grad) {
@@ -74,7 +176,7 @@ Var Add(const Var& a, const Var& b) {
 Var Sub(const Var& a, const Var& b) {
   ATNN_CHECK(a.value().SameShape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
-  Tensor out = a.value();
+  Tensor out = ScratchCopy(a.value());
   out.Axpy(-1.0f, b.value());
   auto node = MakeNode(std::move(out), {a.node(), b.node()}, "sub");
   if (node->requires_grad) {
@@ -95,7 +197,7 @@ Var Sub(const Var& a, const Var& b) {
 Var Mul(const Var& a, const Var& b) {
   ATNN_CHECK(a.value().SameShape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
-  Tensor out = a.value();
+  Tensor out = ScratchCopy(a.value());
   {
     float* dst = out.data();
     const float* src = b.value().data();
@@ -132,7 +234,7 @@ Var Mul(const Var& a, const Var& b) {
 Var Div(const Var& a, const Var& b) {
   ATNN_CHECK(a.value().SameShape(b.value()))
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
-  Tensor out = a.value();
+  Tensor out = ScratchCopy(a.value());
   {
     float* dst = out.data();
     const float* src = b.value().data();
@@ -168,7 +270,7 @@ Var Div(const Var& a, const Var& b) {
 }
 
 Var Scale(const Var& a, float alpha) {
-  Tensor out = a.value();
+  Tensor out = ScratchCopy(a.value());
   out.Scale(alpha);
   auto node = MakeNode(std::move(out), {a.node()}, "scale");
   if (node->requires_grad) {
@@ -186,12 +288,9 @@ Var Scale(const Var& a, float alpha) {
 Var AddBias(const Var& x, const Var& bias) {
   ATNN_CHECK_EQ(bias.rows(), 1);
   ATNN_CHECK_EQ(bias.cols(), x.cols());
-  Tensor out = x.value();
-  const float* b = bias.value().data();
-  for (int64_t r = 0; r < out.rows(); ++r) {
-    float* row = out.row_ptr(r);
-    for (int64_t c = 0; c < out.cols(); ++c) row[c] += b[c];
-  }
+  Tensor out = ScratchCopy(x.value());
+  kernels::Kernels().bias_identity(out.rows(), out.cols(),
+                                   bias.value().data(), out.data());
   auto node = MakeNode(std::move(out), {x.node(), bias.node()}, "add_bias");
   if (node->requires_grad) {
     node->backward_fn = [](Node* self) {
@@ -215,7 +314,7 @@ Var AddBias(const Var& x, const Var& bias) {
 Var ScaleRows(const Var& x, const Var& s) {
   ATNN_CHECK_EQ(s.cols(), 1);
   ATNN_CHECK_EQ(s.rows(), x.rows());
-  Tensor out = x.value();
+  Tensor out = ScratchCopy(x.value());
   for (int64_t r = 0; r < out.rows(); ++r) {
     const float factor = s.value().at(r, 0);
     float* row = out.row_ptr(r);
@@ -255,7 +354,7 @@ Var ScaleRows(const Var& x, const Var& s) {
 }
 
 Var Sigmoid(const Var& x) {
-  Tensor out = x.value();
+  Tensor out = ScratchCopy(x.value());
   {
     float* dst = out.data();
     const int64_t n = out.numel();
@@ -281,7 +380,7 @@ Var Sigmoid(const Var& x) {
 }
 
 Var Relu(const Var& x) {
-  Tensor out = x.value();
+  Tensor out = ScratchCopy(x.value());
   {
     float* dst = out.data();
     const int64_t n = out.numel();
@@ -307,7 +406,7 @@ Var Relu(const Var& x) {
 }
 
 Var Tanh(const Var& x) {
-  Tensor out = x.value();
+  Tensor out = ScratchCopy(x.value());
   {
     float* dst = out.data();
     const int64_t n = out.numel();
@@ -331,7 +430,7 @@ Var Tanh(const Var& x) {
 }
 
 Var LeakyRelu(const Var& x, float slope) {
-  Tensor out = x.value();
+  Tensor out = ScratchCopy(x.value());
   {
     float* dst = out.data();
     const int64_t n = out.numel();
@@ -358,18 +457,18 @@ Var LeakyRelu(const Var& x, float slope) {
   return Var(node);
 }
 
-Var ConcatCols(const std::vector<Var>& parts) {
+Var ConcatCols(std::span<const Var> parts) {
   ATNN_CHECK(!parts.empty());
   const int64_t rows = parts[0].rows();
   int64_t total_cols = 0;
-  std::vector<NodePtr> parents;
+  NodeVector parents;
   parents.reserve(parts.size());
   for (const Var& part : parts) {
     ATNN_CHECK_EQ(part.rows(), rows);
     total_cols += part.cols();
     parents.push_back(part.node());
   }
-  Tensor out(rows, total_cols);
+  Tensor out = ScratchTensorUninit(rows, total_cols);
   int64_t offset = 0;
   for (const Var& part : parts) {
     const Tensor& v = part.value();
@@ -407,7 +506,7 @@ Var SliceCols(const Var& x, int64_t begin, int64_t end) {
       << "slice [" << begin << "," << end << ") of " << x.cols() << " cols";
   const int64_t rows = x.rows();
   const int64_t cols = end - begin;
-  Tensor out(rows, cols);
+  Tensor out = ScratchTensorUninit(rows, cols);
   for (int64_t r = 0; r < rows; ++r) {
     const float* src = x.value().row_ptr(r) + begin;
     std::copy(src, src + cols, out.row_ptr(r));
@@ -431,7 +530,7 @@ Var SliceCols(const Var& x, int64_t begin, int64_t end) {
 
 Var ReduceMean(const Var& x) {
   ATNN_CHECK(x.value().numel() > 0);
-  Tensor out = Tensor::Scalar(static_cast<float>(x.value().Mean()));
+  Tensor out = ScratchScalar(static_cast<float>(x.value().Mean()));
   auto node = MakeNode(std::move(out), {x.node()}, "reduce_mean");
   if (node->requires_grad) {
     node->backward_fn = [](Node* self) {
@@ -450,7 +549,7 @@ Var ReduceMean(const Var& x) {
 }
 
 Var ReduceSum(const Var& x) {
-  Tensor out = Tensor::Scalar(static_cast<float>(x.value().Sum()));
+  Tensor out = ScratchScalar(static_cast<float>(x.value().Sum()));
   auto node = MakeNode(std::move(out), {x.node()}, "reduce_sum");
   if (node->requires_grad) {
     node->backward_fn = [](Node* self) {
@@ -469,7 +568,7 @@ Var ReduceSum(const Var& x) {
 
 Var MeanRows(const Var& x) {
   ATNN_CHECK(x.rows() > 0);
-  Tensor out(1, x.cols());
+  Tensor out = ScratchTensor(1, x.cols());
   for (int64_t r = 0; r < x.rows(); ++r) {
     const float* row = x.value().row_ptr(r);
     float* dst = out.data();
@@ -497,7 +596,7 @@ Var MeanRows(const Var& x) {
 }
 
 Var Square(const Var& x) {
-  Tensor out = x.value();
+  Tensor out = ScratchCopy(x.value());
   {
     float* dst = out.data();
     const int64_t n = out.numel();
@@ -525,7 +624,7 @@ Var RowwiseDot(const Var& a, const Var& b) {
       << a.value().ShapeString() << " vs " << b.value().ShapeString();
   const int64_t rows = a.rows();
   const int64_t cols = a.cols();
-  Tensor out(rows, 1);
+  Tensor out = ScratchTensorUninit(rows, 1);
   for (int64_t r = 0; r < rows; ++r) {
     const float* av = a.value().row_ptr(r);
     const float* bv = b.value().row_ptr(r);
@@ -568,7 +667,7 @@ Var RowwiseDot(const Var& a, const Var& b) {
 Var RowwiseSum(const Var& x) {
   const int64_t rows = x.rows();
   const int64_t cols = x.cols();
-  Tensor out(rows, 1);
+  Tensor out = ScratchTensorUninit(rows, 1);
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = x.value().row_ptr(r);
     float acc = 0.0f;
@@ -595,7 +694,7 @@ Var RowwiseSum(const Var& x) {
 Var RowwiseNorm(const Var& x, float eps) {
   const int64_t rows = x.rows();
   const int64_t cols = x.cols();
-  Tensor out(rows, 1);
+  Tensor out = ScratchTensorUninit(rows, 1);
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = x.value().row_ptr(r);
     float acc = 0.0f;
@@ -632,14 +731,14 @@ Var CosineSimilarityRows(const Var& a, const Var& b, float eps) {
 
 Var StopGradient(const Var& x) {
   // Copies the value into a fresh constant leaf detached from the graph.
-  return Constant(x.value());
+  return Constant(ScratchCopy(x.value()));
 }
 
-Var EmbeddingLookup(const Var& table, const std::vector<int64_t>& ids) {
+Var EmbeddingLookup(const Var& table, std::span<const int64_t> ids) {
   const int64_t vocab = table.rows();
   const int64_t dim = table.cols();
   const auto batch = static_cast<int64_t>(ids.size());
-  Tensor out(batch, dim);
+  Tensor out = ScratchTensorUninit(batch, dim);
   for (int64_t r = 0; r < batch; ++r) {
     const int64_t id = ids[static_cast<size_t>(r)];
     ATNN_CHECK(id >= 0 && id < vocab)
@@ -647,14 +746,15 @@ Var EmbeddingLookup(const Var& table, const std::vector<int64_t>& ids) {
     std::copy(table.value().row_ptr(id), table.value().row_ptr(id) + dim,
               out.row_ptr(r));
   }
-  auto node = MakeNode(std::move(out), {table.node()}, "embedding_lookup");
+  auto node = MakeNode(std::move(out), {table.node()}, "embed_lookup");
   if (node->requires_grad) {
-    // The ids are captured by value; batches are small relative to tables.
-    node->backward_fn = [ids](Node* self) {
+    node->saved_ids.assign(ids.begin(), ids.end());
+    node->backward_fn = [](Node* self) {
       const NodePtr& table_node = self->parents[0];
       if (!table_node->requires_grad) return;
       table_node->EnsureGrad();
       const int64_t dim = self->grad.cols();
+      const auto& ids = self->saved_ids;
       for (size_t r = 0; r < ids.size(); ++r) {
         const int64_t id = ids[r];
         const float* g = self->grad.row_ptr(static_cast<int64_t>(r));
@@ -681,10 +781,11 @@ Var SigmoidBceLossWithLogits(const Var& logits, const Tensor& labels) {
     total += std::max(zi, 0.0f) - zi * y[i] +
              std::log1p(std::exp(-std::abs(zi)));
   }
-  Tensor out = Tensor::Scalar(static_cast<float>(total / n));
+  Tensor out = ScratchScalar(static_cast<float>(total / n));
   auto node = MakeNode(std::move(out), {logits.node()}, "bce_with_logits");
   if (node->requires_grad) {
-    node->backward_fn = [labels](Node* self) {
+    node->saved.push_back(ScratchCopy(labels));
+    node->backward_fn = [](Node* self) {
       const NodePtr& z_node = self->parents[0];
       if (!z_node->requires_grad) return;
       z_node->EnsureGrad();
@@ -692,7 +793,7 @@ Var SigmoidBceLossWithLogits(const Var& logits, const Tensor& labels) {
       const int64_t n = z_node->value.numel();
       const float inv_n = 1.0f / static_cast<float>(n);
       const float* z = z_node->value.data();
-      const float* y = labels.data();
+      const float* y = self->saved[0].data();
       float* dst = z_node->grad.data();
       for (int64_t i = 0; i < n; ++i) {
         const float prob = 1.0f / (1.0f + std::exp(-z[i]));
@@ -716,10 +817,11 @@ Var MseLoss(const Var& pred, const Tensor& target) {
     const double diff = static_cast<double>(p[i]) - t[i];
     total += diff * diff;
   }
-  Tensor out = Tensor::Scalar(static_cast<float>(total / n));
+  Tensor out = ScratchScalar(static_cast<float>(total / n));
   auto node = MakeNode(std::move(out), {pred.node()}, "mse_loss");
   if (node->requires_grad) {
-    node->backward_fn = [target](Node* self) {
+    node->saved.push_back(ScratchCopy(target));
+    node->backward_fn = [](Node* self) {
       const NodePtr& p_node = self->parents[0];
       if (!p_node->requires_grad) return;
       p_node->EnsureGrad();
@@ -727,7 +829,7 @@ Var MseLoss(const Var& pred, const Tensor& target) {
       const int64_t n = p_node->value.numel();
       const float scale = 2.0f * g / static_cast<float>(n);
       const float* p = p_node->value.data();
-      const float* t = target.data();
+      const float* t = self->saved[0].data();
       float* dst = p_node->grad.data();
       for (int64_t i = 0; i < n; ++i) dst[i] += scale * (p[i] - t[i]);
       p_node->has_dense_grad = true;
@@ -744,28 +846,29 @@ Var Dropout(const Var& x, float rate, Rng* rng, bool training) {
   ATNN_CHECK(rate >= 0.0f && rate < 1.0f);
   if (!training || rate == 0.0f) return x;
   const float keep_scale = 1.0f / (1.0f - rate);
-  // Shared mask tensor used by forward and backward.
-  auto mask = std::make_shared<Tensor>(x.rows(), x.cols());
+  // Mask tensor used by forward and (via node->saved) backward.
+  Tensor mask = ScratchTensorUninit(x.rows(), x.cols());
   {
-    float* m = mask->data();
-    for (int64_t i = 0; i < mask->numel(); ++i) {
+    float* m = mask.data();
+    for (int64_t i = 0; i < mask.numel(); ++i) {
       m[i] = rng->Bernoulli(rate) ? 0.0f : keep_scale;
     }
   }
-  Tensor out = x.value();
+  Tensor out = ScratchCopy(x.value());
   {
     float* dst = out.data();
-    const float* m = mask->data();
+    const float* m = mask.data();
     for (int64_t i = 0; i < out.numel(); ++i) dst[i] *= m[i];
   }
   auto node = MakeNode(std::move(out), {x.node()}, "dropout");
   if (node->requires_grad) {
-    node->backward_fn = [mask](Node* self) {
+    node->saved.push_back(std::move(mask));
+    node->backward_fn = [](Node* self) {
       const NodePtr& x_node = self->parents[0];
       if (!x_node->requires_grad) return;
       x_node->EnsureGrad();
       const float* g = self->grad.data();
-      const float* m = mask->data();
+      const float* m = self->saved[0].data();
       float* dst = x_node->grad.data();
       const int64_t n = self->grad.numel();
       for (int64_t i = 0; i < n; ++i) dst[i] += g[i] * m[i];
@@ -782,10 +885,11 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
   ATNN_CHECK(beta.rows() == 1 && beta.cols() == cols);
   ATNN_CHECK(cols > 0);
 
-  // Cache the per-row standardized values and inverse stddevs for backward.
-  auto x_hat = std::make_shared<Tensor>(rows, cols);
-  auto inv_std = std::make_shared<Tensor>(rows, 1);
-  Tensor out(rows, cols);
+  // Cache the per-row standardized values and inverse stddevs for backward
+  // (stored in node->saved when a backward pass will run).
+  Tensor x_hat = ScratchTensorUninit(rows, cols);
+  Tensor inv_std = ScratchTensorUninit(rows, 1);
+  Tensor out = ScratchTensorUninit(rows, cols);
   const float* gv = gamma.value().data();
   const float* bv = beta.value().data();
   for (int64_t r = 0; r < rows; ++r) {
@@ -800,8 +904,8 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
     }
     variance /= static_cast<double>(cols);
     const auto s_inv = static_cast<float>(1.0 / std::sqrt(variance + eps));
-    inv_std->at(r, 0) = s_inv;
-    float* hat = x_hat->row_ptr(r);
+    inv_std.at(r, 0) = s_inv;
+    float* hat = x_hat.row_ptr(r);
     float* dst = out.row_ptr(r);
     for (int64_t c = 0; c < cols; ++c) {
       hat[c] = (row[c] - static_cast<float>(mean)) * s_inv;
@@ -813,10 +917,15 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
       MakeNode(std::move(out), {x.node(), gamma.node(), beta.node()},
                "layer_norm");
   if (node->requires_grad) {
-    node->backward_fn = [x_hat, inv_std](Node* self) {
+    node->saved.reserve(2);
+    node->saved.push_back(std::move(x_hat));
+    node->saved.push_back(std::move(inv_std));
+    node->backward_fn = [](Node* self) {
       const NodePtr& x_node = self->parents[0];
       const NodePtr& gamma_node = self->parents[1];
       const NodePtr& beta_node = self->parents[2];
+      const Tensor& x_hat = self->saved[0];
+      const Tensor& inv_std = self->saved[1];
       const int64_t rows = self->grad.rows();
       const int64_t cols = self->grad.cols();
       if (beta_node->requires_grad) {
@@ -833,7 +942,7 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
         float* dg = gamma_node->grad.data();
         for (int64_t r = 0; r < rows; ++r) {
           const float* g = self->grad.row_ptr(r);
-          const float* hat = x_hat->row_ptr(r);
+          const float* hat = x_hat.row_ptr(r);
           for (int64_t c = 0; c < cols; ++c) dg[c] += g[c] * hat[c];
         }
         gamma_node->has_dense_grad = true;
@@ -843,7 +952,7 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
         const float* gv = gamma_node->value.data();
         for (int64_t r = 0; r < rows; ++r) {
           const float* g = self->grad.row_ptr(r);
-          const float* hat = x_hat->row_ptr(r);
+          const float* hat = x_hat.row_ptr(r);
           float* dst = x_node->grad.row_ptr(r);
           // dxhat = g * gamma; dx = (dxhat - mean(dxhat)
           //        - xhat * mean(dxhat * xhat)) * inv_std.
@@ -856,7 +965,7 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
           }
           mean_dxhat /= static_cast<double>(cols);
           mean_dxhat_xhat /= static_cast<double>(cols);
-          const float s_inv = inv_std->at(r, 0);
+          const float s_inv = inv_std.at(r, 0);
           for (int64_t c = 0; c < cols; ++c) {
             const double dxhat = static_cast<double>(g[c]) * gv[c];
             dst[c] += static_cast<float>(

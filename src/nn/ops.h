@@ -2,6 +2,8 @@
 #define ATNN_NN_OPS_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -12,7 +14,19 @@ namespace atnn::nn {
 
 // Differentiable ops. Every function builds one (or a few) graph nodes;
 // gradients follow the standard formulas and are verified against finite
-// differences in tests/nn/gradcheck_test.cc.
+// differences in tests/nn/gradcheck_test.cc. Inside an ArenaScope all node
+// outputs, gradients and backward workspaces draw from the thread arena,
+// so a steady-state training step allocates nothing from the heap.
+
+/// Nonlinearity selector (used by DenseAffine here and the layers in
+/// layers.h).
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kLeakyRelu,
+};
 
 /// C = A * B. A [m,k], B [k,n] -> [m,n].
 Var MatMul(const Var& a, const Var& b);
@@ -36,6 +50,20 @@ Var Scale(const Var& a, float alpha);
 /// X [m,n] + bias [1,n] broadcast over rows.
 Var AddBias(const Var& x, const Var& bias);
 
+/// Fused dense layer: act(x W + b) in one node, with the GEMM epilogue
+/// (bias add + activation) applied in-register by the kernel layer instead
+/// of as three tape nodes. Supports kIdentity/kRelu/kSigmoid (the
+/// activations with fused epilogue kernels); forward and backward are
+/// bitwise-identical to the Activate(AddBias(MatMul(x,w),b)) composition on
+/// the scalar backend. x [m,k], w [k,n], b [1,n] -> [m,n].
+Var DenseAffine(const Var& x, const Var& w, const Var& b, Activation act);
+
+/// Whether Dense::Forward routes through DenseAffine (default) or the
+/// three-node composition. The off switch exists for A/B equality gates in
+/// bench_kernels and tests.
+bool FusedEpiloguesEnabled();
+void SetFusedEpilogues(bool enabled);
+
 /// out[i,j] = x[i,j] * s[i]; s is a column [m,1]. (Row-wise scaling, the
 /// core of the DCN cross layer.)
 Var ScaleRows(const Var& x, const Var& s);
@@ -47,7 +75,10 @@ Var Tanh(const Var& x);
 Var LeakyRelu(const Var& x, float slope = 0.01f);
 
 /// Horizontal concatenation; all inputs share the row count.
-Var ConcatCols(const std::vector<Var>& parts);
+Var ConcatCols(std::span<const Var> parts);
+inline Var ConcatCols(std::initializer_list<Var> parts) {
+  return ConcatCols(std::span<const Var>(parts.begin(), parts.size()));
+}
 
 /// Columns [begin, end) of x.
 Var SliceCols(const Var& x, int64_t begin, int64_t end);
@@ -85,7 +116,7 @@ Var StopGradient(const Var& x);
 /// Gathers rows of `table` [vocab, dim] by ids -> [ids.size(), dim].
 /// Backward scatter-adds into the table's gradient and records touched
 /// rows so optimizers can apply lazy sparse updates.
-Var EmbeddingLookup(const Var& table, const std::vector<int64_t>& ids);
+Var EmbeddingLookup(const Var& table, std::span<const int64_t> ids);
 
 /// Numerically-stable binary cross-entropy with logits, averaged over the
 /// batch. logits [m,1]; labels [m,1] constant tensor in {0,1} (soft labels

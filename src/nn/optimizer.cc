@@ -17,8 +17,9 @@ void Optimizer::ZeroGrad() {
   for (Parameter* param : params_) param->node()->ZeroGrad();
 }
 
-std::vector<int64_t> Optimizer::UniqueTouchedRows(const Node& node) {
-  std::vector<int64_t> rows = node.touched_rows;
+const std::vector<int64_t>& Optimizer::UniqueTouchedRows(const Node& node) {
+  std::vector<int64_t>& rows = touched_scratch_;
+  rows.assign(node.touched_rows.begin(), node.touched_rows.end());
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
   return rows;

@@ -36,10 +36,15 @@ class Optimizer {
   const std::vector<Parameter*>& params() const { return params_; }
 
  protected:
-  /// Sorted, deduplicated touched rows for a sparse-grad parameter.
-  static std::vector<int64_t> UniqueTouchedRows(const Node& node);
+  /// Sorted, deduplicated touched rows for a sparse-grad parameter. The
+  /// returned reference points at a reused member buffer (so steady-state
+  /// steps allocate nothing); it is invalidated by the next call.
+  const std::vector<int64_t>& UniqueTouchedRows(const Node& node);
 
   std::vector<Parameter*> params_;
+
+ private:
+  std::vector<int64_t> touched_scratch_;
 };
 
 /// Plain SGD with optional momentum.

@@ -29,7 +29,7 @@ void SaveParameters(const std::vector<Parameter*>& params,
     writer->WriteString(param->name());
     writer->WriteI64(param->rows());
     writer->WriteI64(param->cols());
-    writer->WriteFloatVector(param->value().storage());
+    writer->WriteFloatSpan(param->value().span());
   }
 }
 

@@ -2,13 +2,107 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <new>
 #include <sstream>
+
+#include "nn/kernels.h"
 
 namespace atnn::nn {
 
-Tensor::Tensor(int64_t rows, int64_t cols, std::vector<float> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
-  ATNN_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+int64_t Tensor::CheckedNumel(int64_t rows, int64_t cols) {
+  ATNN_CHECK(rows >= 0 && cols >= 0)
+      << "negative tensor shape [" << rows << " x " << cols << "]";
+  // Cap so count * sizeof(float) also fits in size_t; far beyond any
+  // plausible allocation, so it only trips on overflowing shapes.
+  constexpr int64_t kMaxElements = std::numeric_limits<int64_t>::max() / 8;
+  ATNN_CHECK(cols == 0 || rows <= kMaxElements / cols)
+      << "tensor shape [" << rows << " x " << cols
+      << "] overflows the element count";
+  return rows * cols;
+}
+
+void Tensor::AllocateOwning(int64_t count) {
+  if (count == 0) return;
+  ptr_ = static_cast<float*>(
+      ::operator new(static_cast<size_t>(count) * sizeof(float),
+                     std::align_val_t{kTensorAlignment}));
+  owning_ = true;
+}
+
+Tensor::Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  const int64_t count = CheckedNumel(rows, cols);
+  AllocateOwning(count);
+  if (count > 0) std::memset(ptr_, 0, static_cast<size_t>(count) * sizeof(float));
+}
+
+Tensor::Tensor(int64_t rows, int64_t cols, const std::vector<float>& data)
+    : rows_(rows), cols_(cols) {
+  const int64_t count = CheckedNumel(rows, cols);
+  ATNN_CHECK_EQ(static_cast<int64_t>(data.size()), count);
+  AllocateOwning(count);
+  if (count > 0) {
+    std::memcpy(ptr_, data.data(), static_cast<size_t>(count) * sizeof(float));
+  }
+}
+
+Tensor::Tensor(const Tensor& other) : rows_(other.rows_), cols_(other.cols_) {
+  const int64_t count = other.numel();
+  AllocateOwning(count);
+  if (count > 0) {
+    std::memcpy(ptr_, other.ptr_, static_cast<size_t>(count) * sizeof(float));
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  const int64_t count = other.numel();
+  // Reuse the existing owning buffer when the element count matches —
+  // optimizer state and parameter assignments then allocate nothing.
+  if (!(owning_ && numel() == count) && !(count == 0 && ptr_ == nullptr)) {
+    Release();
+    AllocateOwning(count);
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  if (count > 0) {
+    std::memcpy(ptr_, other.ptr_, static_cast<size_t>(count) * sizeof(float));
+  }
+  return *this;
+}
+
+Tensor ScratchTensorUninit(int64_t rows, int64_t cols) {
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  const int64_t count = Tensor::CheckedNumel(rows, cols);
+  if (count == 0) return t;
+  if (ArenaActive()) {
+    t.ptr_ = ThreadArena().AllocateFloats(static_cast<size_t>(count));
+    t.owning_ = false;
+  } else {
+    t.AllocateOwning(count);
+  }
+  return t;
+}
+
+Tensor ScratchTensor(int64_t rows, int64_t cols) {
+  Tensor t = ScratchTensorUninit(rows, cols);
+  if (!t.empty()) {
+    std::memset(t.data(), 0,
+                static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+  return t;
+}
+
+Tensor ScratchCopy(const Tensor& src) {
+  Tensor t = ScratchTensorUninit(src.rows(), src.cols());
+  if (!t.empty()) {
+    std::memcpy(t.data(), src.data(),
+                static_cast<size_t>(src.numel()) * sizeof(float));
+  }
+  return t;
 }
 
 Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
@@ -17,47 +111,43 @@ Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
   return result;
 }
 
-Tensor Tensor::Row(std::vector<float> values) {
+Tensor Tensor::Row(const std::vector<float>& values) {
   const auto n = static_cast<int64_t>(values.size());
-  return Tensor(1, n, std::move(values));
+  return Tensor(1, n, values);
 }
 
-Tensor Tensor::Column(std::vector<float> values) {
+Tensor Tensor::Column(const std::vector<float>& values) {
   const auto n = static_cast<int64_t>(values.size());
-  return Tensor(n, 1, std::move(values));
+  return Tensor(n, 1, values);
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(ptr_, ptr_ + numel(), value);
+}
+
+void Tensor::SetZero() {
+  if (ptr_ != nullptr) {
+    std::memset(ptr_, 0, static_cast<size_t>(numel()) * sizeof(float));
+  }
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
   ATNN_CHECK(SameShape(other))
       << ShapeString() << " vs " << other.ShapeString();
-  const float* src = other.data();
-  float* dst = data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  kernels::Kernels().add(numel(), other.ptr_, ptr_);
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   ATNN_CHECK(SameShape(other))
       << ShapeString() << " vs " << other.ShapeString();
-  const float* src = other.data();
-  float* dst = data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+  kernels::Kernels().axpy(numel(), alpha, other.ptr_, ptr_);
 }
 
 void Tensor::Scale(float alpha) {
-  for (float& value : data_) value *= alpha;
+  kernels::Kernels().scale(numel(), alpha, ptr_);
 }
 
-double Tensor::Sum() const {
-  double total = 0.0;
-  for (float value : data_) total += value;
-  return total;
-}
+double Tensor::Sum() const { return kernels::Kernels().sum(numel(), ptr_); }
 
 double Tensor::Mean() const {
   ATNN_CHECK(numel() > 0);
@@ -65,14 +155,13 @@ double Tensor::Mean() const {
 }
 
 double Tensor::SquaredNorm() const {
-  double total = 0.0;
-  for (float value : data_) total += static_cast<double>(value) * value;
-  return total;
+  return kernels::Kernels().squared_norm(numel(), ptr_);
 }
 
 float Tensor::AbsMax() const {
   float best = 0.0f;
-  for (float value : data_) best = std::max(best, std::abs(value));
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) best = std::max(best, std::abs(ptr_[i]));
   return best;
 }
 
@@ -87,8 +176,9 @@ Tensor Tensor::Transposed() const {
 }
 
 bool Tensor::AllFinite() const {
-  for (float value : data_) {
-    if (!std::isfinite(value)) return false;
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(ptr_[i])) return false;
   }
   return true;
 }

@@ -2,35 +2,70 @@
 #define ATNN_NN_TENSOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "nn/arena.h"
 
 namespace atnn::nn {
 
 /// Dense row-major float matrix. The whole library works in 2-D: vectors
 /// are [1, n] or [n, 1] and scalars are [1, 1], which keeps shape logic
 /// simple and every op's gradient easy to verify.
+///
+/// Storage is 32-byte aligned (kTensorAlignment) so SIMD kernels can rely
+/// on aligned rows where the width allows. A tensor either OWNS its buffer
+/// (aligned heap allocation, freed in the destructor) or BORROWS it from
+/// the thread's TensorArena (freed wholesale by the enclosing ArenaScope's
+/// rewind — see ScratchTensor/ScratchCopy below). All plain constructors
+/// and copies produce owning tensors; only the Scratch* helpers draw from
+/// the arena, and only the step-scoped graph machinery (ops, autograd)
+/// uses them.
 class Tensor {
  public:
   /// Empty 0x0 tensor.
-  Tensor() : rows_(0), cols_(0) {}
+  Tensor() = default;
 
-  /// Zero-initialized tensor of the given shape.
-  Tensor(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0f) {
-    ATNN_CHECK(rows >= 0 && cols >= 0);
-  }
+  /// Zero-initialized owning tensor of the given shape. Checks the element
+  /// count for int64 overflow before it is used as an allocation size.
+  Tensor(int64_t rows, int64_t cols);
 
   /// Builds from a flat row-major buffer; data.size() must equal rows*cols.
-  Tensor(int64_t rows, int64_t cols, std::vector<float> data);
+  Tensor(int64_t rows, int64_t cols, const std::vector<float>& data);
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  ~Tensor() { Release(); }
+
+  /// Copies always deep-copy into owning storage, so copying an
+  /// arena-backed tensor is the way to make its contents outlive the scope.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+
+  /// Moves steal the buffer (and its owning/arena-backed character).
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), ptr_(other.ptr_),
+        owning_(other.owning_) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.ptr_ = nullptr;
+    other.owning_ = false;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      Release();
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      ptr_ = other.ptr_;
+      owning_ = other.owning_;
+      other.rows_ = 0;
+      other.cols_ = 0;
+      other.ptr_ = nullptr;
+      other.owning_ = false;
+    }
+    return *this;
+  }
 
   static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
   static Tensor Full(int64_t rows, int64_t cols, float value);
@@ -40,9 +75,9 @@ class Tensor {
   /// 1x1 scalar tensor.
   static Tensor Scalar(float value) { return Full(1, 1, value); }
   /// Row vector [1, n] from values.
-  static Tensor Row(std::vector<float> values);
+  static Tensor Row(const std::vector<float>& values);
   /// Column vector [n, 1] from values.
-  static Tensor Column(std::vector<float> values);
+  static Tensor Column(const std::vector<float>& values);
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
@@ -51,33 +86,40 @@ class Tensor {
   bool SameShape(const Tensor& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
+  /// True when the buffer lives in a TensorArena (step-scoped lifetime).
+  bool arena_backed() const { return ptr_ != nullptr && !owning_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+
+  /// Read-only view of the flat row-major storage.
+  std::span<const float> span() const {
+    return {ptr_, static_cast<size_t>(numel())};
+  }
 
   float& at(int64_t r, int64_t c) {
     ATNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r * cols_ + c)];
+    return ptr_[r * cols_ + c];
   }
   float at(int64_t r, int64_t c) const {
     ATNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r * cols_ + c)];
+    return ptr_[r * cols_ + c];
   }
 
   /// Pointer to the beginning of row r.
-  float* row_ptr(int64_t r) { return data() + r * cols_; }
-  const float* row_ptr(int64_t r) const { return data() + r * cols_; }
+  float* row_ptr(int64_t r) { return ptr_ + r * cols_; }
+  const float* row_ptr(int64_t r) const { return ptr_ + r * cols_; }
 
   /// Value of a 1x1 tensor.
   float scalar() const {
     ATNN_CHECK(rows_ == 1 && cols_ == 1) << "scalar() on " << ShapeString();
-    return data_[0];
+    return ptr_[0];
   }
 
   /// Sets every element to `value`.
   void Fill(float value);
   /// Sets every element to zero.
-  void SetZero() { Fill(0.0f); }
+  void SetZero();
 
   /// In-place this += other (same shape).
   void AddInPlace(const Tensor& other);
@@ -86,7 +128,7 @@ class Tensor {
   /// In-place this *= alpha.
   void Scale(float alpha);
 
-  /// Sum of all elements.
+  /// Sum of all elements (double accumulation).
   double Sum() const;
   /// Mean of all elements; requires numel() > 0.
   double Mean() const;
@@ -95,7 +137,7 @@ class Tensor {
   /// Largest |element|; 0 for empty tensors.
   float AbsMax() const;
 
-  /// Returns the transpose as a new tensor.
+  /// Returns the transpose as a new owning tensor.
   Tensor Transposed() const;
 
   /// True when all elements are finite (no NaN/Inf).
@@ -106,13 +148,42 @@ class Tensor {
   /// Small-tensor debug rendering.
   std::string ToString(int max_rows = 8, int max_cols = 8) const;
 
-  const std::vector<float>& storage() const { return data_; }
+  /// Validates rows*cols fits in int64 (and in an allocatable size) and
+  /// returns it. CHECK-fails on overflow — this runs BEFORE any allocation.
+  static int64_t CheckedNumel(int64_t rows, int64_t cols);
 
  private:
-  int64_t rows_;
-  int64_t cols_;
-  std::vector<float> data_;
+  friend Tensor ScratchTensor(int64_t rows, int64_t cols);
+  friend Tensor ScratchTensorUninit(int64_t rows, int64_t cols);
+
+  void AllocateOwning(int64_t count);
+  void Release() {
+    if (owning_ && ptr_ != nullptr) {
+      ::operator delete(ptr_, std::align_val_t{kTensorAlignment});
+    }
+    ptr_ = nullptr;
+    owning_ = false;
+  }
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  float* ptr_ = nullptr;
+  bool owning_ = false;
 };
+
+/// Zero-initialized tensor whose storage comes from the thread's arena when
+/// an ArenaScope is active (heap otherwise). The result must not outlive
+/// the enclosing scope; copy it (deep, owning) to keep the data. Ops and
+/// autograd use this for node outputs, gradients and backward workspaces.
+Tensor ScratchTensor(int64_t rows, int64_t cols);
+
+/// As ScratchTensor but with UNINITIALIZED contents; callers must write
+/// every element (GEMM outputs, full elementwise maps, concatenation).
+Tensor ScratchTensorUninit(int64_t rows, int64_t cols);
+
+/// Scratch-allocated deep copy of `src` (the arena-aware version of the
+/// copy constructor; same lifetime contract as ScratchTensor).
+Tensor ScratchCopy(const Tensor& src);
 
 }  // namespace atnn::nn
 

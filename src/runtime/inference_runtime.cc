@@ -278,6 +278,7 @@ void InferenceRuntime::ExecuteBatch(const ServingSnapshot& snapshot,
       // no-grad scope keeps them tape-free and free of parameter-node
       // writes across concurrent workers.
       const nn::NoGradGuard no_grad;
+      const nn::ArenaScope arena_scope;  // batch-scoped tensors, one rewind
       const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
       std::vector<double> miss_scores;
       miss_scores.reserve(miss_rows.size());

@@ -1,0 +1,254 @@
+#include "nn/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <latch>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/autograd.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace atnn::nn {
+namespace {
+
+bool IsAligned(const void* ptr) {
+  return reinterpret_cast<uintptr_t>(ptr) % kTensorAlignment == 0;
+}
+
+TEST(TensorArenaTest, HandsOutAlignedDistinctStorage) {
+  TensorArena arena;
+  float* a = arena.AllocateFloats(3);
+  float* b = arena.AllocateFloats(5);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(IsAligned(a));
+  EXPECT_TRUE(IsAligned(b));
+  // The hand-outs are genuinely usable (ASan would flag overlap/overflow).
+  for (int i = 0; i < 3; ++i) a[i] = 1.0f;
+  for (int i = 0; i < 5; ++i) b[i] = 2.0f;
+  EXPECT_EQ(a[2], 1.0f);
+  EXPECT_EQ(b[0], 2.0f);
+}
+
+TEST(TensorArenaTest, ZeroByteAllocationIsNonNull) {
+  TensorArena arena;
+  EXPECT_NE(arena.Allocate(0), nullptr);
+}
+
+TEST(TensorArenaTest, RewindReusesStorage) {
+  TensorArena arena;
+  const TensorArena::Mark mark = arena.Checkpoint();
+  float* first = arena.AllocateFloats(64);
+  const size_t in_use = arena.BytesInUse();
+  arena.Rewind(mark);
+  EXPECT_EQ(arena.BytesInUse(), 0u);
+  // The next allocation of the same size lands on the same bytes: the
+  // steady-state training loop touches the heap zero times.
+  float* second = arena.AllocateFloats(64);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.BytesInUse(), in_use);
+}
+
+TEST(TensorArenaTest, GrowsAcrossBlocksAndKeepsOldPointersValid) {
+  TensorArena arena;
+  std::vector<float*> chunks;
+  // First block is 64 KiB; 40 x 4 KiB spills into several grown blocks.
+  for (int i = 0; i < 40; ++i) {
+    float* p = arena.AllocateFloats(1024);
+    p[0] = static_cast<float>(i);
+    p[1023] = static_cast<float>(i);
+    chunks.push_back(p);
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(chunks[i][0], static_cast<float>(i)) << i;
+    EXPECT_EQ(chunks[i][1023], static_cast<float>(i)) << i;
+  }
+  EXPECT_GE(arena.BytesReserved(), arena.BytesInUse());
+}
+
+TEST(TensorArenaTest, HighWaterMarkTracksPeakNotCurrent) {
+  TensorArena arena;
+  const TensorArena::Mark mark = arena.Checkpoint();
+  arena.AllocateFloats(256);
+  const size_t peak = arena.BytesInUse();
+  EXPECT_GE(arena.HighWaterMark(), peak);
+  arena.Rewind(mark);
+  EXPECT_EQ(arena.BytesInUse(), 0u);
+  EXPECT_GE(arena.HighWaterMark(), peak);  // survives the rewind
+}
+
+TEST(TensorArenaTest, NestedCheckpointsRewindLifo) {
+  TensorArena arena;
+  const TensorArena::Mark outer = arena.Checkpoint();
+  float* a = arena.AllocateFloats(16);
+  const TensorArena::Mark inner = arena.Checkpoint();
+  float* b = arena.AllocateFloats(16);
+  arena.Rewind(inner);
+  float* b2 = arena.AllocateFloats(16);
+  EXPECT_EQ(b, b2);  // inner rewind reclaimed only the inner hand-out
+  a[0] = 7.0f;
+  EXPECT_EQ(a[0], 7.0f);
+  arena.Rewind(outer);
+  EXPECT_EQ(arena.BytesInUse(), 0u);
+}
+
+TEST(ArenaScopeTest, ActivatesArenaBackedScratchTensors) {
+  ASSERT_FALSE(ArenaActive());
+  {
+    const ArenaScope scope;
+    EXPECT_TRUE(ArenaActive());
+    const Tensor t = ScratchTensor(4, 5);
+    EXPECT_TRUE(t.arena_backed());
+    EXPECT_TRUE(IsAligned(t.data()));
+    for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+  }
+  EXPECT_FALSE(ArenaActive());
+}
+
+TEST(ArenaScopeTest, ScratchFallsBackToHeapOutsideScope) {
+  ASSERT_FALSE(ArenaActive());
+  const Tensor t = ScratchTensor(4, 5);
+  EXPECT_FALSE(t.arena_backed());  // owning; safe to outlive any scope
+  const Tensor c = ScratchCopy(t);
+  EXPECT_FALSE(c.arena_backed());
+}
+
+TEST(ArenaScopeTest, CopyingScratchEscapesTheScope) {
+  Tensor escaped;
+  {
+    const ArenaScope scope;
+    Tensor t = ScratchTensor(2, 3);
+    t.Fill(42.0f);
+    escaped = t;  // deep copy into owning storage
+  }
+  EXPECT_FALSE(escaped.arena_backed());
+  EXPECT_EQ(escaped.at(1, 2), 42.0f);
+}
+
+TEST(ArenaScopeTest, NestedScopesRewindInOrder) {
+  const ArenaScope outer;
+  const size_t before = ThreadArena().BytesInUse();
+  const Tensor a = ScratchTensor(8, 8);
+  {
+    const ArenaScope inner;
+    const Tensor b = ScratchTensor(8, 8);
+    EXPECT_GT(ThreadArena().BytesInUse(), before + 8 * 8 * sizeof(float));
+  }
+  // Inner rewind freed b but not a.
+  EXPECT_GE(ThreadArena().BytesInUse(), before + 8 * 8 * sizeof(float));
+  EXPECT_TRUE(a.arena_backed());
+}
+
+TEST(ArenaScopeTest, StepLoopReachesZeroSteadyStateGrowth) {
+  // After the first iteration warms the arena, repeating the same graph
+  // must not grow the reservation — the allocation-free steady state.
+  auto run_step = [] {
+    const ArenaScope scope;
+    Var x = Leaf(Tensor::Full(4, 6, 0.5f));
+    Var w = Leaf(Tensor::Full(6, 3, 0.25f));
+    Var b = Leaf(Tensor::Full(1, 3, 0.1f));
+    const Var y = DenseAffine(x, w, b, Activation::kRelu);
+    const Var loss = ReduceMean(Square(y));
+    Backward(loss);
+    return loss.value().scalar();
+  };
+  const float first = run_step();
+  const size_t reserved_after_warmup = ThreadArena().BytesReserved();
+  const size_t high_water = ThreadArena().HighWaterMark();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(run_step(), first);  // deterministic graph, identical loss
+  }
+  EXPECT_EQ(ThreadArena().BytesReserved(), reserved_after_warmup);
+  EXPECT_EQ(ThreadArena().HighWaterMark(), high_water);
+}
+
+TEST(ArenaScopeTest, DisabledGlobalSwitchMakesScopesNoOps) {
+  ASSERT_TRUE(ArenaEnabled());
+  SetArenaEnabled(false);
+  {
+    const ArenaScope scope;
+    EXPECT_FALSE(ArenaActive());
+    const Tensor t = ScratchTensor(3, 3);
+    EXPECT_FALSE(t.arena_backed());
+  }
+  SetArenaEnabled(true);
+}
+
+TEST(ArenaThreadingTest, EachThreadHasItsOwnArena) {
+  // Four threads bump their own arenas concurrently; TSan (CI job) would
+  // flag any shared mutable state, and the pointers must never collide.
+  constexpr int kThreads = 4;
+  std::vector<float*> first_alloc(kThreads, nullptr);
+  // All threads must still be alive when the pointers are compared — a
+  // thread-exit frees its arena and the next thread may reuse the address.
+  std::latch all_allocated(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &first_alloc, &all_allocated] {
+      const ArenaScope scope;
+      Tensor mine = ScratchTensor(16, 16);
+      first_alloc[t] = mine.data();
+      all_allocated.arrive_and_wait();
+      for (int step = 0; step < 50; ++step) {
+        const ArenaScope inner;
+        Tensor s = ScratchTensor(8, 8);
+        s.Fill(static_cast<float>(t));
+        ASSERT_EQ(s.at(7, 7), static_cast<float>(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < kThreads; ++i) {
+    for (int j = i + 1; j < kThreads; ++j) {
+      EXPECT_NE(first_alloc[i], first_alloc[j]);
+    }
+  }
+}
+
+TEST(ArenaStdAllocatorTest, HeapFallbackOutsideScope) {
+  ASSERT_FALSE(ArenaActive());
+  std::vector<int64_t, ArenaStdAllocator<int64_t>> v;
+  for (int64_t i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v[999], 999);
+  // Destructor exercises the tag-checked heap deallocation path.
+}
+
+TEST(ArenaStdAllocatorTest, ArenaBackedInsideScope) {
+  const ArenaScope scope;
+  const size_t before = ThreadArena().BytesInUse();
+  {
+    std::vector<float, ArenaStdAllocator<float>> v(64, 1.5f);
+    EXPECT_GT(ThreadArena().BytesInUse(), before);
+    EXPECT_EQ(v[63], 1.5f);
+  }
+  // deallocate() was a tag-checked no-op; the scope rewind reclaims.
+}
+
+TEST(ArenaStdAllocatorTest, SharedPtrControlBlockOutlivesScope) {
+  // allocate_shared inside a scope, last reference dropped outside (and on
+  // another thread): the tag header must route the free correctly.
+  std::shared_ptr<int> survivor;
+  {
+    const ArenaScope scope;
+    survivor = std::allocate_shared<int>(ArenaStdAllocator<int>(), 41);
+  }
+  EXPECT_EQ(*survivor, 41);
+  std::thread([ptr = std::move(survivor)]() mutable {
+    EXPECT_EQ(*ptr, 41);
+    ptr.reset();
+  }).join();
+}
+
+TEST(ArenaStdAllocatorTest, AllocatorEqualityIsStateless) {
+  EXPECT_TRUE(ArenaStdAllocator<int>() == ArenaStdAllocator<float>());
+}
+
+}  // namespace
+}  // namespace atnn::nn

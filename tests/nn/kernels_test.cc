@@ -1,0 +1,418 @@
+#include "nn/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace atnn::nn::kernels {
+namespace {
+
+/// Restores the dispatched backend when a test body returns.
+class BackendGuard {
+ public:
+  BackendGuard() : previous_(ActiveBackend()) {}
+  ~BackendGuard() { (void)SetBackend(previous_); }
+
+ private:
+  Backend previous_;
+};
+
+std::vector<float> RandomVector(size_t n, uint64_t seed,
+                                double zero_fraction = 0.0) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = rng.Uniform() < zero_fraction
+            ? 0.0f
+            : static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  return v;
+}
+
+// Sizes straddling the 16- and 8-wide column tiles plus ragged tails
+// (n % 8 != 0) and sub-vector-width cases.
+constexpr int64_t kSizes[] = {1, 2, 3, 7, 8, 9, 15, 16, 17, 24, 31, 33, 64,
+                              100};
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatchTest, BackendNames) {
+  EXPECT_STREQ(BackendName(Backend::kScalar), "scalar");
+  EXPECT_STREQ(BackendName(Backend::kAvx2), "avx2");
+}
+
+TEST(KernelDispatchTest, SetBackendScalarAlwaysWorks) {
+  BackendGuard guard;
+  ASSERT_TRUE(SetBackend(Backend::kScalar).ok());
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  EXPECT_EQ(&Kernels(), &Table(Backend::kScalar));
+}
+
+TEST(KernelDispatchTest, SetBackendAvx2MatchesCpuSupport) {
+  BackendGuard guard;
+  const Status status = SetBackend(Backend::kAvx2);
+  if (Avx2Supported()) {
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(ActiveBackend(), Backend::kAvx2);
+    EXPECT_EQ(&Kernels(), &Table(Backend::kAvx2));
+  } else {
+    EXPECT_FALSE(status.ok());
+  }
+}
+
+TEST(KernelDispatchTest, SetBackendFromString) {
+  BackendGuard guard;
+  ASSERT_TRUE(SetBackendFromString("scalar").ok());
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+
+  ASSERT_TRUE(SetBackendFromString("auto").ok());
+  EXPECT_EQ(ActiveBackend(),
+            Avx2Supported() ? Backend::kAvx2 : Backend::kScalar);
+
+  EXPECT_EQ(SetBackendFromString("avx2").ok(), Avx2Supported());
+  EXPECT_FALSE(SetBackendFromString("sse9").ok());
+  EXPECT_FALSE(SetBackendFromString("").ok());
+  EXPECT_FALSE(SetBackendFromString("AVX2").ok());  // case-sensitive
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels vs the scalar reference table. Elementwise kernels whose
+// vector lanes perform the exact same operation per element (scale, add,
+// bias_identity, bias_relu) must match bitwise; reductions and FMA-based
+// kernels reassociate or round once instead of twice, so they get a
+// tolerance.
+// ---------------------------------------------------------------------------
+
+class Avx2VsScalarTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Avx2Supported()) GTEST_SKIP() << "host lacks AVX2+FMA";
+  }
+  const KernelTable& scalar() { return Table(Backend::kScalar); }
+  const KernelTable& avx2() { return Table(Backend::kAvx2); }
+};
+
+TEST_F(Avx2VsScalarTest, Gemm) {
+  for (int64_t m : {1, 3, 4, 5, 8}) {
+    for (int64_t n : kSizes) {
+      const int64_t k = 7;
+      const auto a = RandomVector(static_cast<size_t>(m * k), 1000 + n);
+      const auto b = RandomVector(static_cast<size_t>(k * n), 2000 + n);
+      std::vector<float> c_scalar(static_cast<size_t>(m * n));
+      std::vector<float> c_avx2(static_cast<size_t>(m * n));
+      scalar().gemm(m, k, n, a.data(), b.data(), c_scalar.data());
+      avx2().gemm(m, k, n, a.data(), b.data(), c_avx2.data());
+      for (size_t i = 0; i < c_scalar.size(); ++i) {
+        EXPECT_NEAR(c_avx2[i], c_scalar[i], 1e-4)
+            << "m=" << m << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(Avx2VsScalarTest, GemmTransBAccumulates) {
+  for (int64_t k : kSizes) {
+    const int64_t m = 5, n = 6;
+    const auto a = RandomVector(static_cast<size_t>(m * k), 10 + k);
+    const auto b = RandomVector(static_cast<size_t>(n * k), 20 + k);
+    // Pre-fill C to pin the += contract.
+    auto c_scalar = RandomVector(static_cast<size_t>(m * n), 30 + k);
+    auto c_avx2 = c_scalar;
+    scalar().gemm_trans_b_accum(m, k, n, a.data(), b.data(), c_scalar.data());
+    avx2().gemm_trans_b_accum(m, k, n, a.data(), b.data(), c_avx2.data());
+    for (size_t i = 0; i < c_scalar.size(); ++i) {
+      EXPECT_NEAR(c_avx2[i], c_scalar[i], 1e-4) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST_F(Avx2VsScalarTest, GemmTransAAccumulatesWithSparseA) {
+  for (int64_t n : kSizes) {
+    const int64_t m = 6, k = 5;
+    // 60% zeros exercises the shared zero-skip on both backends.
+    const auto a =
+        RandomVector(static_cast<size_t>(m * k), 40 + n, /*zero_fraction=*/0.6);
+    const auto b = RandomVector(static_cast<size_t>(m * n), 50 + n);
+    auto c_scalar = RandomVector(static_cast<size_t>(k * n), 60 + n);
+    auto c_avx2 = c_scalar;
+    scalar().gemm_trans_a_accum(m, k, n, a.data(), b.data(), c_scalar.data());
+    avx2().gemm_trans_a_accum(m, k, n, a.data(), b.data(), c_avx2.data());
+    for (size_t i = 0; i < c_scalar.size(); ++i) {
+      EXPECT_NEAR(c_avx2[i], c_scalar[i], 1e-4) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(Avx2VsScalarTest, Axpy) {
+  for (int64_t n : kSizes) {
+    const auto x = RandomVector(static_cast<size_t>(n), 70 + n);
+    auto y_scalar = RandomVector(static_cast<size_t>(n), 80 + n);
+    auto y_avx2 = y_scalar;
+    scalar().axpy(n, 0.37f, x.data(), y_scalar.data());
+    avx2().axpy(n, 0.37f, x.data(), y_avx2.data());
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y_avx2[i], y_scalar[i], 1e-6) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(Avx2VsScalarTest, ScaleBitwise) {
+  for (int64_t n : kSizes) {
+    auto x_scalar = RandomVector(static_cast<size_t>(n), 90 + n);
+    auto x_avx2 = x_scalar;
+    scalar().scale(n, -1.75f, x_scalar.data());
+    avx2().scale(n, -1.75f, x_avx2.data());
+    EXPECT_EQ(std::memcmp(x_scalar.data(), x_avx2.data(),
+                          static_cast<size_t>(n) * sizeof(float)),
+              0)
+        << "n=" << n;
+  }
+}
+
+TEST_F(Avx2VsScalarTest, AddBitwise) {
+  for (int64_t n : kSizes) {
+    const auto x = RandomVector(static_cast<size_t>(n), 100 + n);
+    auto y_scalar = RandomVector(static_cast<size_t>(n), 110 + n);
+    auto y_avx2 = y_scalar;
+    scalar().add(n, x.data(), y_scalar.data());
+    avx2().add(n, x.data(), y_avx2.data());
+    EXPECT_EQ(std::memcmp(y_scalar.data(), y_avx2.data(),
+                          static_cast<size_t>(n) * sizeof(float)),
+              0)
+        << "n=" << n;
+  }
+}
+
+TEST_F(Avx2VsScalarTest, SumAndSquaredNorm) {
+  for (int64_t n : kSizes) {
+    const auto x = RandomVector(static_cast<size_t>(n), 120 + n);
+    EXPECT_NEAR(avx2().sum(n, x.data()), scalar().sum(n, x.data()), 1e-10)
+        << "n=" << n;
+    EXPECT_NEAR(avx2().squared_norm(n, x.data()),
+                scalar().squared_norm(n, x.data()), 1e-10)
+        << "n=" << n;
+  }
+}
+
+TEST_F(Avx2VsScalarTest, Dot) {
+  for (int64_t n : kSizes) {
+    const auto x = RandomVector(static_cast<size_t>(n), 130 + n);
+    const auto y = RandomVector(static_cast<size_t>(n), 140 + n);
+    EXPECT_NEAR(avx2().dot(n, x.data(), y.data()),
+                scalar().dot(n, x.data(), y.data()),
+                1e-4 * std::max<int64_t>(n, 1))
+        << "n=" << n;
+  }
+}
+
+TEST_F(Avx2VsScalarTest, BiasEpilogues) {
+  for (int64_t cols : kSizes) {
+    const int64_t rows = 3;
+    const auto bias = RandomVector(static_cast<size_t>(cols), 150 + cols);
+    const auto base =
+        RandomVector(static_cast<size_t>(rows * cols), 160 + cols);
+
+    // identity and relu: one add (and one max) per element, bitwise.
+    for (int variant = 0; variant < 2; ++variant) {
+      auto x_scalar = base;
+      auto x_avx2 = base;
+      if (variant == 0) {
+        scalar().bias_identity(rows, cols, bias.data(), x_scalar.data());
+        avx2().bias_identity(rows, cols, bias.data(), x_avx2.data());
+      } else {
+        scalar().bias_relu(rows, cols, bias.data(), x_scalar.data());
+        avx2().bias_relu(rows, cols, bias.data(), x_avx2.data());
+      }
+      EXPECT_EQ(std::memcmp(x_scalar.data(), x_avx2.data(),
+                            x_scalar.size() * sizeof(float)),
+                0)
+          << "variant=" << variant << " cols=" << cols;
+    }
+
+    // sigmoid: Exp256 is a polynomial approximation, tolerance-equal.
+    auto x_scalar = base;
+    auto x_avx2 = base;
+    scalar().bias_sigmoid(rows, cols, bias.data(), x_scalar.data());
+    avx2().bias_sigmoid(rows, cols, bias.data(), x_avx2.data());
+    for (size_t i = 0; i < x_scalar.size(); ++i) {
+      EXPECT_NEAR(x_avx2[i], x_scalar[i], 1e-6) << "cols=" << cols;
+      EXPECT_GE(x_avx2[i], 0.0f);
+      EXPECT_LE(x_avx2[i], 1.0f);
+    }
+  }
+}
+
+TEST_F(Avx2VsScalarTest, UnalignedRowStarts) {
+  // Feed pointers offset by one float so no vector load is 32-byte aligned;
+  // kernels use unaligned loads and must not care.
+  const int64_t n = 37;
+  const auto x = RandomVector(static_cast<size_t>(n) + 1, 170);
+  auto y_scalar = RandomVector(static_cast<size_t>(n) + 1, 171);
+  auto y_avx2 = y_scalar;
+  scalar().add(n, x.data() + 1, y_scalar.data() + 1);
+  avx2().add(n, x.data() + 1, y_avx2.data() + 1);
+  EXPECT_EQ(std::memcmp(y_scalar.data(), y_avx2.data(),
+                        y_scalar.size() * sizeof(float)),
+            0);
+
+  const auto a = RandomVector(3 * 5 + 1, 172);
+  const auto b = RandomVector(5 * static_cast<size_t>(n) + 1, 173);
+  std::vector<float> c_scalar(3 * static_cast<size_t>(n) + 1);
+  std::vector<float> c_avx2(c_scalar.size());
+  scalar().gemm(3, 5, n, a.data() + 1, b.data() + 1, c_scalar.data() + 1);
+  avx2().gemm(3, 5, n, a.data() + 1, b.data() + 1, c_avx2.data() + 1);
+  for (size_t i = 1; i < c_scalar.size(); ++i) {
+    EXPECT_NEAR(c_avx2[i], c_scalar[i], 1e-4) << "i=" << i;
+  }
+}
+
+TEST_F(Avx2VsScalarTest, NanAndInfPropagation) {
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  // bias_relu: a NaN sum must survive the max on both backends
+  // (std::max(nan, 0) == nan; _mm256_max_ps(zero, v) returns v on NaN).
+  for (const KernelTable* table : {&scalar(), &avx2()}) {
+    std::vector<float> x = {kNan, -1.0f, 2.0f, kInf, -kInf, 0.5f, -0.5f,
+                            1.5f, kNan};
+    const std::vector<float> bias(x.size(), 0.0f);
+    table->bias_relu(1, static_cast<int64_t>(x.size()), bias.data(), x.data());
+    EXPECT_TRUE(std::isnan(x[0]));
+    EXPECT_EQ(x[1], 0.0f);
+    EXPECT_EQ(x[3], kInf);
+    EXPECT_EQ(x[4], 0.0f);  // max(0, -inf)
+    EXPECT_TRUE(std::isnan(x[8]));  // NaN in the scalar tail (9 % 8 == 1)
+
+    // bias_sigmoid: NaN in, NaN out (the AVX2 path restores NaN after the
+    // clamped Exp256); +/-inf saturate to the asymptotes.
+    std::vector<float> s = {kNan, 0.0f, 100.0f, -100.0f, kInf, -kInf, 1.0f,
+                            -1.0f, kNan};
+    table->bias_sigmoid(1, static_cast<int64_t>(s.size()), bias.data(),
+                        s.data());
+    EXPECT_TRUE(std::isnan(s[0]));
+    EXPECT_FLOAT_EQ(s[1], 0.5f);
+    EXPECT_FLOAT_EQ(s[2], 1.0f);
+    // Saturation: the AVX2 exp clamps its argument, leaving a denormal
+    // rather than an exact zero, so compare with a tolerance.
+    EXPECT_NEAR(s[3], 0.0f, 1e-6);
+    EXPECT_FLOAT_EQ(s[4], 1.0f);
+    EXPECT_NEAR(s[5], 0.0f, 1e-6);
+    EXPECT_TRUE(std::isnan(s[8]));
+
+    // gemm: 0 * inf inside the accumulation must produce NaN.
+    const std::vector<float> a = {0.0f, 1.0f};
+    const std::vector<float> b = {kInf, 3.0f};
+    std::vector<float> c = {0.0f};
+    table->gemm(1, 2, 1, a.data(), b.data(), c.data());
+    EXPECT_TRUE(std::isnan(c[0]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused DenseAffine vs the unfused Activate(AddBias(MatMul)) chain. On the
+// scalar backend the contract is bitwise equality of both the forward
+// values and every input gradient — this is the op-level half of the
+// "--atnn_kernel=scalar reproduces the pre-PR training run" guarantee.
+// ---------------------------------------------------------------------------
+
+class FusedDenseAffineTest : public testing::TestWithParam<Activation> {
+ protected:
+  void SetUp() override {
+    ATNN_CHECK(SetBackend(Backend::kScalar).ok());
+  }
+  void TearDown() override { (void)SetBackend(guard_previous_); }
+
+ private:
+  Backend guard_previous_ = ActiveBackend();
+};
+
+Var UnfusedChain(const Var& x, const Var& w, const Var& b, Activation act) {
+  const Var z = AddBias(MatMul(x, w), b);
+  switch (act) {
+    case Activation::kIdentity:
+      return z;
+    case Activation::kRelu:
+      return Relu(z);
+    case Activation::kSigmoid:
+      return Sigmoid(z);
+    default:
+      ATNN_CHECK(false) << "unsupported activation in test";
+      return z;
+  }
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what << " differs between fused and unfused paths";
+}
+
+TEST_P(FusedDenseAffineTest, ForwardAndBackwardBitwiseMatchUnfused) {
+  const Activation act = GetParam();
+  Rng rng(7);
+  Tensor x_init(9, 6);   // 9 rows: blocked + tail GEMM paths
+  Tensor w_init(6, 11);  // 11 cols: ragged epilogue tail
+  Tensor b_init(1, 11);
+  for (int64_t i = 0; i < x_init.numel(); ++i) {
+    x_init.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  for (int64_t i = 0; i < w_init.numel(); ++i) {
+    w_init.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  for (int64_t i = 0; i < b_init.numel(); ++i) {
+    b_init.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+
+  Var x_f = Leaf(x_init), w_f = Leaf(w_init), b_f = Leaf(b_init);
+  const Var fused = DenseAffine(x_f, w_f, b_f, act);
+  Backward(fused);
+
+  Var x_u = Leaf(x_init), w_u = Leaf(w_init), b_u = Leaf(b_init);
+  const Var unfused = UnfusedChain(x_u, w_u, b_u, act);
+  Backward(unfused);
+
+  ExpectBitwiseEqual(fused.value(), unfused.value(), "forward value");
+  ExpectBitwiseEqual(x_f.grad(), x_u.grad(), "dX");
+  ExpectBitwiseEqual(w_f.grad(), w_u.grad(), "dW");
+  ExpectBitwiseEqual(b_f.grad(), b_u.grad(), "db");
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, FusedDenseAffineTest,
+                         testing::Values(Activation::kIdentity,
+                                         Activation::kRelu,
+                                         Activation::kSigmoid),
+                         [](const testing::TestParamInfo<Activation>& info) {
+                           switch (info.param) {
+                             case Activation::kIdentity:
+                               return "identity";
+                             case Activation::kRelu:
+                               return "relu";
+                             default:
+                               return "sigmoid";
+                           }
+                         });
+
+TEST(FusedEpiloguesFlagTest, ToggleRoundTrips) {
+  const bool before = FusedEpiloguesEnabled();
+  SetFusedEpilogues(false);
+  EXPECT_FALSE(FusedEpiloguesEnabled());
+  SetFusedEpilogues(true);
+  EXPECT_TRUE(FusedEpiloguesEnabled());
+  SetFusedEpilogues(before);
+}
+
+}  // namespace
+}  // namespace atnn::nn::kernels

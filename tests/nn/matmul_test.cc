@@ -1,18 +1,21 @@
 #include "nn/matmul.h"
 
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "nn/kernels.h"
 
 namespace atnn::nn {
 namespace {
 
 /// Textbook i-p-j reference with the same per-row accumulation order as
-/// the production kernel, so results are comparable with FLOAT_EQ rather
-/// than a loose tolerance.
+/// the scalar kernel, so scalar results are comparable with FLOAT_EQ; the
+/// AVX2 kernel reassociates across lanes and is checked with a tolerance.
 Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
   Tensor c(a.rows(), b.cols());
   for (int64_t i = 0; i < a.rows(); ++i) {
@@ -39,36 +42,133 @@ Tensor RandomTensor(int64_t rows, int64_t cols, uint64_t seed,
   return t;
 }
 
-void ExpectMatchesNaive(const Tensor& a, const Tensor& b) {
-  Tensor c(a.rows(), b.cols());
-  MatMulInto(a, b, &c);
-  const Tensor expected = NaiveMatMul(a, b);
-  for (int64_t i = 0; i < c.rows(); ++i) {
-    for (int64_t j = 0; j < c.cols(); ++j) {
-      EXPECT_FLOAT_EQ(c.at(i, j), expected.at(i, j))
-          << "mismatch at (" << i << ", " << j << ") for shapes ["
-          << a.rows() << "x" << a.cols() << "] * [" << b.rows() << "x"
-          << b.cols() << "]";
+std::vector<kernels::Backend> AvailableBackends() {
+  std::vector<kernels::Backend> backends = {kernels::Backend::kScalar};
+  if (kernels::Avx2Supported()) backends.push_back(kernels::Backend::kAvx2);
+  return backends;
+}
+
+std::string BackendLabel(
+    const testing::TestParamInfo<kernels::Backend>& info) {
+  return info.param == kernels::Backend::kScalar ? "scalar" : "avx2";
+}
+
+/// Pins the dispatched backend for the duration of a test.
+class BackendGuard {
+ public:
+  explicit BackendGuard(kernels::Backend backend)
+      : previous_(kernels::ActiveBackend()) {
+    ATNN_CHECK(kernels::SetBackend(backend).ok());
+  }
+  ~BackendGuard() { (void)kernels::SetBackend(previous_); }
+
+ private:
+  kernels::Backend previous_;
+};
+
+class MatMulBackendTest : public testing::TestWithParam<kernels::Backend> {
+ protected:
+  MatMulBackendTest() : guard_(GetParam()) {}
+
+  bool scalar() const { return GetParam() == kernels::Backend::kScalar; }
+
+  void ExpectMatchesNaive(const Tensor& a, const Tensor& b) {
+    Tensor c(a.rows(), b.cols());
+    MatMulInto(a, b, &c);
+    const Tensor expected = NaiveMatMul(a, b);
+    for (int64_t i = 0; i < c.rows(); ++i) {
+      for (int64_t j = 0; j < c.cols(); ++j) {
+        if (scalar()) {
+          EXPECT_FLOAT_EQ(c.at(i, j), expected.at(i, j))
+              << "mismatch at (" << i << ", " << j << ") for shapes ["
+              << a.rows() << "x" << a.cols() << "] * [" << b.rows() << "x"
+              << b.cols() << "]";
+        } else {
+          EXPECT_NEAR(c.at(i, j), expected.at(i, j), 1e-4)
+              << "mismatch at (" << i << ", " << j << ")";
+        }
+      }
+    }
+  }
+
+ private:
+  BackendGuard guard_;
+};
+
+TEST_P(MatMulBackendTest, RemainderRowsAfterFourRowBlocks) {
+  // m % 4 in {1, 2, 3} exercises the tail-row loop after the 4-row blocked
+  // passes; m % 4 == 0 exercises the pure-blocked path. n spans the 16/8/1
+  // column tiles of the AVX2 kernel.
+  for (int64_t m : {1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+    for (int64_t n : {1, 6, 8, 16, 17, 40}) {
+      ExpectMatchesNaive(RandomTensor(m, 5, 100 + static_cast<uint64_t>(m)),
+                         RandomTensor(5, n, 200 + static_cast<uint64_t>(n)));
     }
   }
 }
 
-TEST(MatMulIntoTest, RemainderRowsAfterFourRowBlocks) {
-  // m % 4 in {1, 2, 3} exercises the scalar tail loop after the 4-row
-  // blocked passes; m % 4 == 0 exercises the pure-blocked path.
-  for (int64_t m : {1, 2, 3, 4, 5, 6, 7, 8, 9}) {
-    ExpectMatchesNaive(RandomTensor(m, 5, 100 + static_cast<uint64_t>(m)),
-                       RandomTensor(5, 6, 200 + static_cast<uint64_t>(m)));
+TEST_P(MatMulBackendTest, BlockedAndTailRowsBitwiseIdentical) {
+  // Every output row must be byte-for-byte the same whether the row was
+  // produced by the 4-row blocked path or by the single-row tail path.
+  // Sprinkling signed zeros, NaN and both infinities into the inputs pins
+  // the uniform-propagation contract: the old zero-skip made a blocked row
+  // skip 0 * Inf (never producing the NaN the tail row produced).
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  Tensor a = RandomTensor(9, 7, 77, /*zero_fraction=*/0.3);
+  a.at(0, 3) = -0.0f;
+  a.at(1, 2) = kNan;
+  a.at(2, 6) = kInf;
+  a.at(5, 4) = -kInf;
+  a.at(8, 0) = kNan;  // tail row (9 % 4 == 1)
+  Tensor b = RandomTensor(7, 19, 78, /*zero_fraction=*/0.3);
+  b.at(3, 2) = kNan;
+  b.at(6, 11) = kInf;
+  b.at(2, 0) = -0.0f;
+
+  Tensor full(9, 19);
+  MatMulInto(a, b, &full);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    Tensor a_row(1, a.cols());
+    std::memcpy(a_row.data(), a.row_ptr(r),
+                static_cast<size_t>(a.cols()) * sizeof(float));
+    Tensor c_row(1, b.cols());
+    MatMulInto(a_row, b, &c_row);
+    EXPECT_EQ(std::memcmp(full.row_ptr(r), c_row.data(),
+                          static_cast<size_t>(b.cols()) * sizeof(float)),
+              0)
+        << "row " << r << " differs between blocked and single-row paths";
   }
 }
 
-TEST(MatMulIntoTest, ZeroSkipRowsMatchNaive) {
-  // Heavily sparse A hits the all-four-zero skip in the blocked loop and
-  // the single-value skip in the tail loop; an all-zero A row must still
-  // produce an exactly-zero C row.
+TEST_P(MatMulBackendTest, NanAndInfPropagateUniformly) {
+  // A NaN anywhere in an A row or a B column must reach every affected
+  // output element on every code path (blocked, tail, ragged columns).
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = RandomTensor(6, 5, 91);
+  a.at(4, 2) = kNan;
+  const Tensor b = RandomTensor(5, 11, 92);
+  Tensor c(6, 11);
+  MatMulInto(a, b, &c);
+  for (int64_t j = 0; j < 11; ++j) {
+    EXPECT_TRUE(std::isnan(c.at(4, j))) << "col " << j;
+  }
+  // 0 * Inf = NaN must appear even when the A value is zero.
+  Tensor a2(1, 2, {0.0f, 1.0f});
+  Tensor b2(2, 1);
+  b2.at(0, 0) = std::numeric_limits<float>::infinity();
+  b2.at(1, 0) = 3.0f;
+  Tensor c2(1, 1);
+  MatMulInto(a2, b2, &c2);
+  EXPECT_TRUE(std::isnan(c2.at(0, 0)));
+}
+
+TEST_P(MatMulBackendTest, ZeroRowsStayExactlyZero) {
+  // An all-zero A row still produces an exactly-zero C row (additions of
+  // +-0 into a +0 accumulator never flip the sign for finite B).
   Tensor a = RandomTensor(11, 7, 42, /*zero_fraction=*/0.7);
   for (int64_t p = 0; p < a.cols(); ++p) a.at(2, p) = 0.0f;   // blocked row
-  for (int64_t p = 0; p < a.cols(); ++p) a.at(10, p) = 0.0f;  // tail row
+  for (int64_t p = 0; p < a.cols(); ++p) a.at(10, p) = -0.0f;  // tail row
   const Tensor b = RandomTensor(7, 9, 43);
   ExpectMatchesNaive(a, b);
 
@@ -80,7 +180,7 @@ TEST(MatMulIntoTest, ZeroSkipRowsMatchNaive) {
   }
 }
 
-TEST(MatMulIntoTest, DegenerateShapes) {
+TEST_P(MatMulBackendTest, DegenerateShapes) {
   // Single-row A (pure tail), single-column B, and inner dimension 1.
   ExpectMatchesNaive(RandomTensor(1, 8, 1), RandomTensor(8, 5, 2));
   ExpectMatchesNaive(RandomTensor(6, 8, 3), RandomTensor(8, 1, 4));
@@ -88,7 +188,7 @@ TEST(MatMulIntoTest, DegenerateShapes) {
   ExpectMatchesNaive(RandomTensor(1, 1, 7), RandomTensor(1, 1, 8));
 }
 
-TEST(MatMulIntoTest, OverwritesStaleOutput) {
+TEST_P(MatMulBackendTest, OverwritesStaleOutput) {
   const Tensor a = RandomTensor(4, 3, 9);
   const Tensor b = RandomTensor(3, 4, 10);
   Tensor c(4, 4);
@@ -97,12 +197,16 @@ TEST(MatMulIntoTest, OverwritesStaleOutput) {
   const Tensor expected = NaiveMatMul(a, b);
   for (int64_t i = 0; i < 4; ++i) {
     for (int64_t j = 0; j < 4; ++j) {
-      EXPECT_FLOAT_EQ(c.at(i, j), expected.at(i, j));
+      if (scalar()) {
+        EXPECT_FLOAT_EQ(c.at(i, j), expected.at(i, j));
+      } else {
+        EXPECT_NEAR(c.at(i, j), expected.at(i, j), 1e-4);
+      }
     }
   }
 }
 
-TEST(MatMulAccumTest, TransBAndTransAMatchNaive) {
+TEST_P(MatMulBackendTest, TransBAndTransAMatchNaive) {
   // dX = dY * W^T and dW = X^T * dY against naively transposed inputs.
   const Tensor a = RandomTensor(5, 3, 11);   // [m, k]
   const Tensor b = RandomTensor(7, 3, 12);   // [n, k]
@@ -134,6 +238,10 @@ TEST(MatMulAccumTest, TransBAndTransAMatchNaive) {
     }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, MatMulBackendTest,
+                         testing::ValuesIn(AvailableBackends()),
+                         BackendLabel);
 
 }  // namespace
 }  // namespace atnn::nn

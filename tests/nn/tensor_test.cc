@@ -1,6 +1,8 @@
 #include "nn/tensor.h"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -74,6 +76,41 @@ TEST(TensorTest, AllFiniteDetectsNanAndInf) {
   EXPECT_FALSE(t.AllFinite());
   t.at(0, 1) = INFINITY;
   EXPECT_FALSE(t.AllFinite());
+}
+
+TEST(TensorTest, StorageIs32ByteAligned) {
+  // SIMD kernels rely on allocation-time alignment (kTensorAlignment);
+  // odd shapes must not break it.
+  for (int64_t cols : {1, 3, 7, 8, 33}) {
+    Tensor t(3, cols);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) % kTensorAlignment, 0u)
+        << "cols=" << cols;
+  }
+}
+
+TEST(TensorTest, CopyPreservesValuesIntoFreshAlignedStorage) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = a;
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % kTensorAlignment, 0u);
+  b.at(1, 2) = -1.0f;
+  EXPECT_EQ(a.at(1, 2), 6.0f);  // deep copy
+}
+
+TEST(TensorDeathTest, NumelOverflowIsCaughtBeforeAllocation) {
+  // rows * cols wraps int64; the CheckedNumel guard must abort instead of
+  // letting the wrapped (possibly small or negative) product reach
+  // operator new.
+  constexpr int64_t kHuge = std::numeric_limits<int64_t>::max() / 2;
+  EXPECT_DEATH(Tensor t(kHuge, 4), "overflow");
+  EXPECT_DEATH(Tensor t(3'000'000'000, 3'000'000'000), "overflow");
+  EXPECT_DEATH(Tensor::CheckedNumel(kHuge, kHuge), "overflow");
+}
+
+TEST(TensorTest, CheckedNumelAcceptsValidShapes) {
+  EXPECT_EQ(Tensor::CheckedNumel(0, 0), 0);
+  EXPECT_EQ(Tensor::CheckedNumel(3, 4), 12);
+  EXPECT_EQ(Tensor::CheckedNumel(1'000'000, 1'000), 1'000'000'000);
 }
 
 TEST(MatMulTest, MatchesHandComputedProduct) {

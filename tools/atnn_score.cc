@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "nn/kernels.h"
 #include "core/atnn.h"
 #include "core/feature_adapter.h"
 #include "core/popularity.h"
@@ -37,6 +38,8 @@ int Run(int argc, const char* const* argv) {
   flags.AddString("index", "",
                   "optional: serve from this precomputed index instead of "
                   "re-scoring");
+  flags.AddString("atnn_kernel", "auto",
+                  "compute backend: auto | scalar | avx2");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc - 1, argv + 1);
@@ -49,6 +52,13 @@ int Run(int argc, const char* const* argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
+  status = nn::kernels::SetBackendFromString(flags.GetString("atnn_kernel"));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("kernel backend: %s\n",
+              nn::kernels::BackendName(nn::kernels::ActiveBackend()));
   const auto top_k = flags.GetInt64("top_k");
 
   // Fast path: answer from the precomputed index.

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "nn/kernels.h"
 #include "common/retry.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -94,6 +95,8 @@ int Run(int argc, const char* const* argv) {
                   "per-batch probability of a forced scoring failure");
   flags.AddDouble("chaos_reject_p", 0.02,
                   "per-request probability of a simulated full queue");
+  flags.AddString("atnn_kernel", "auto",
+                  "compute backend: auto | scalar | avx2");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc - 1, argv + 1);
@@ -106,6 +109,13 @@ int Run(int argc, const char* const* argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
+  status = nn::kernels::SetBackendFromString(flags.GetString("atnn_kernel"));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("kernel backend: %s\n",
+              nn::kernels::BackendName(nn::kernels::ActiveBackend()));
   const std::string admission = flags.GetString("admission");
   if (admission != "block" && admission != "reject") {
     std::fprintf(stderr, "--admission must be 'block' or 'reject'\n");

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "nn/kernels.h"
 #include "core/atnn.h"
 #include "core/feature_adapter.h"
 #include "core/popularity.h"
@@ -45,6 +46,8 @@ int Run(int argc, const char* const* argv) {
                   "output path for the model snapshot");
   flags.AddString("index", "/tmp/atnn_popularity.bin",
                   "output path for the popularity index");
+  flags.AddString("atnn_kernel", "auto",
+                  "compute backend: auto | scalar | avx2");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc - 1, argv + 1);
@@ -57,6 +60,13 @@ int Run(int argc, const char* const* argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
+  status = nn::kernels::SetBackendFromString(flags.GetString("atnn_kernel"));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("kernel backend: %s\n",
+              nn::kernels::BackendName(nn::kernels::ActiveBackend()));
 
   data::TmallConfig world;
   world.num_users = flags.GetInt64("users");
