@@ -93,6 +93,11 @@ struct RuntimeRunResult {
   int64_t cache_hits = 0;
   int64_t swaps = 0;
   int64_t errors = 0;
+  /// Registry-mutex acquisitions between the first enqueue and the last
+  /// resolved future. The metrics layer's contract is that the score path
+  /// records lock-free — handles are registered at construction, so this
+  /// must be zero; anything else means a mutex crept into a Record* chain.
+  int64_t mutex_locks_during_replay = 0;
 };
 
 RuntimeRunResult RunRuntime(const core::AtnnModel& model,
@@ -129,6 +134,8 @@ RuntimeRunResult RunRuntime(const core::AtnnModel& model,
   }
 
   Stopwatch timer;
+  const int64_t locks_before =
+      runtime.metrics_registry().mutex_acquisitions();
   std::vector<std::future<StatusOr<runtime::ScoreResult>>> futures;
   futures.reserve(stream.size());
   for (int64_t item : stream) futures.push_back(runtime.ScoreAsync(item));
@@ -137,6 +144,8 @@ RuntimeRunResult RunRuntime(const core::AtnnModel& model,
     if (!future.get().ok()) ++result.errors;
   }
   result.seconds = timer.ElapsedSeconds();
+  result.mutex_locks_during_replay =
+      runtime.metrics_registry().mutex_acquisitions() - locks_before;
 
   if (swapper.joinable()) {
     stop_swapping.store(true);
@@ -165,6 +174,7 @@ struct ChaosRunOutcome {
   int64_t crashed = 0;           // futures that resolved with an error
   int64_t corrupt_attempts = 0;  // armed-corrupt publishes issued
   int64_t corrupt_accepted = 0;  // ...that validation failed to reject
+  int64_t mutex_locks_during_replay = 0;  // see RuntimeRunResult
   uint64_t final_version = 0;
 };
 
@@ -203,6 +213,8 @@ ChaosRunOutcome RunChaosPass(const core::AtnnModel& model,
     outcome.crashed = static_cast<int64_t>(stream.size());
     return outcome;
   }
+  const int64_t locks_before =
+      runtime.metrics_registry().mutex_acquisitions();
 
   // The publisher thread keeps hot-swapping under load; in the injected
   // pass every other publish is armed to be corrupted in flight, which
@@ -230,6 +242,8 @@ ChaosRunOutcome RunChaosPass(const core::AtnnModel& model,
   for (auto& future : futures) {
     if (!future.get().ok()) ++outcome.crashed;
   }
+  outcome.mutex_locks_during_replay =
+      runtime.metrics_registry().mutex_acquisitions() - locks_before;
 
   stop_swapping.store(true);
   swapper.join();
@@ -327,6 +341,9 @@ int RunChaos(bool smoke) {
   gate(chaos.stats.swaps >= 2 &&
            chaos.stats.publish_rejected >= chaos.corrupt_attempts,
        "valid publishes kept landing while corrupt ones were rejected");
+  gate(baseline.mutex_locks_during_replay == 0 &&
+           chaos.mutex_locks_during_replay == 0,
+       "zero metrics-registry mutex acquisitions on the score path");
   const bool p99_ok = chaos_p99 <= 2.0 * baseline_p99;
   if (smoke) {
     // Sanitizer/CI scheduling noise makes tail gates flaky; report only.
@@ -339,12 +356,12 @@ int RunChaos(bool smoke) {
   return failures == 0 ? 0 : 1;
 }
 
-int Run() {
+int Run(bool smoke) {
   data::TmallConfig world = PaperScaleTmallConfig();
-  world.num_users = 1000;
-  world.num_items = 2000;
-  world.num_new_items = 600;
-  world.num_interactions = 50000;
+  world.num_users = smoke ? 200 : 1000;
+  world.num_items = smoke ? 500 : 2000;
+  world.num_new_items = smoke ? 150 : 600;
+  world.num_interactions = smoke ? 8000 : 50000;
   data::TmallDataset dataset = data::GenerateTmallDataset(world);
   core::NormalizeTmallInPlace(&dataset);
 
@@ -354,21 +371,24 @@ int Run() {
   const core::AtnnModel model(*dataset.user_schema,
                               *dataset.item_profile_schema,
                               *dataset.item_stats_schema, config);
-  const auto group = core::SelectActiveUsers(dataset, 300);
+  const auto group = core::SelectActiveUsers(dataset, smoke ? 100 : 300);
   const auto predictor =
       core::PopularityPredictor::Build(model, dataset, group);
-  const auto stream = MakeRequestStream(dataset, kRequests);
-  const auto churn_stream = MakeRequestStream(dataset, kChurnRequests);
+  const int num_requests = smoke ? 2000 : kRequests;
+  const int num_churn_requests = smoke ? 20000 : kChurnRequests;
+  const auto stream = MakeRequestStream(dataset, num_requests);
+  const auto churn_stream = MakeRequestStream(dataset, num_churn_requests);
 
-  TablePrinter table("runtime throughput — " + std::to_string(kRequests) +
+  TablePrinter table("runtime throughput — " + std::to_string(num_requests) +
                      " requests, max batch " + std::to_string(kMaxBatch));
   table.SetHeader({"mode", "workers", "wall_s", "req/s", "speedup",
                    "mean_batch", "cache_hits", "swaps", "errors"});
 
   const double seq_seconds = RunSequential(model, dataset, predictor, stream);
-  const double seq_rps = static_cast<double>(kRequests) / seq_seconds;
+  const double seq_rps = static_cast<double>(num_requests) / seq_seconds;
   table.AddRow({"sequential", "1", TablePrinter::Num(seq_seconds, 2),
                 TablePrinter::Num(seq_rps, 0), "1.00", "1", "0", "0", "0"});
+  int64_t replay_mutex_locks = 0;
 
   const auto add_row = [&](const std::string& mode, size_t workers,
                            int num_requests, const RuntimeRunResult& run) {
@@ -380,15 +400,16 @@ int Run() {
                   TablePrinter::Num(run.mean_batch, 1),
                   std::to_string(run.cache_hits),
                   std::to_string(run.swaps), std::to_string(run.errors)});
+    replay_mutex_locks += run.mutex_locks_during_replay;
   };
 
   for (size_t workers : {1u, 2u, 4u}) {
-    add_row("batched, no cache", workers, kRequests,
+    add_row("batched, no cache", workers, num_requests,
             RunRuntime(model, dataset, predictor, stream, workers,
                        /*enable_cache=*/false, /*swap_every_ms=*/0));
   }
   for (size_t workers : {1u, 2u, 4u}) {
-    add_row("batched+cache", workers, kRequests,
+    add_row("batched+cache", workers, num_requests,
             RunRuntime(model, dataset, predictor, stream, workers,
                        /*enable_cache=*/true, /*swap_every_ms=*/0));
   }
@@ -396,7 +417,7 @@ int Run() {
   const auto churn =
       RunRuntime(model, dataset, predictor, churn_stream, 4,
                  /*enable_cache=*/true, /*swap_every_ms=*/100);
-  add_row("batched+cache+churn", 4, kChurnRequests, churn);
+  add_row("batched+cache+churn", 4, num_churn_requests, churn);
 
   table.Print();
   if (churn.errors > 0) {
@@ -404,9 +425,17 @@ int Run() {
                 static_cast<long long>(churn.errors));
     return 1;
   }
+  if (replay_mutex_locks != 0) {
+    std::printf(
+        "FAIL: %lld metrics-registry mutex acquisitions during replay — "
+        "the score path is supposed to record lock-free\n",
+        static_cast<long long>(replay_mutex_locks));
+    return 1;
+  }
   std::printf(
       "\nhot-swap churn: %lld publishes under load, every response "
-      "answered.\n",
+      "answered.\nPASS: zero metrics-registry mutex acquisitions across "
+      "all replays.\n",
       static_cast<long long>(churn.swaps));
   return 0;
 }
@@ -420,8 +449,8 @@ int main(int argc, char** argv) {
                 "run the fault-tolerance protocol instead of the "
                 "throughput sweep");
   flags.AddBool("smoke", false,
-                "with --chaos: small world + stream and a report-only p99 "
-                "gate, for CI sanitizer jobs");
+                "small world + stream (and with --chaos a report-only p99 "
+                "gate), for CI sanitizer jobs");
   const atnn::Status status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -431,5 +460,5 @@ int main(int argc, char** argv) {
   if (flags.GetBool("chaos")) {
     return atnn::bench::RunChaos(flags.GetBool("smoke"));
   }
-  return atnn::bench::Run();
+  return atnn::bench::Run(flags.GetBool("smoke"));
 }

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/macros.h"
 
@@ -26,13 +27,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     ATNN_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    depth = queue_.size();
   }
   work_available_.notify_one();
+  if (ThreadPoolObserver* observer =
+          observer_.load(std::memory_order_acquire)) {
+    observer->OnTaskQueued(depth);
+  }
 }
 
 void ThreadPool::Wait() {
@@ -54,11 +61,22 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto task_start = std::chrono::steady_clock::now();
     task();
+    size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;
+      depth = queue_.size();
       if (in_flight_ == 0) all_done_.notify_all();
+    }
+    if (ThreadPoolObserver* observer =
+            observer_.load(std::memory_order_acquire)) {
+      observer->OnTaskComplete(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - task_start)
+              .count(),
+          depth);
     }
   }
 }

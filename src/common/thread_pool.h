@@ -12,6 +12,19 @@
 
 namespace atnn {
 
+/// Instrumentation hook for ThreadPool (see SetObserver). Implementations
+/// must be thread-safe and cheap: callbacks run on producer and worker
+/// threads with the pool lock released. obs::ThreadPoolMetrics adapts this
+/// onto the lock-free metrics registry.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// A task was enqueued; `queue_depth` counts tasks waiting (not running).
+  virtual void OnTaskQueued(size_t queue_depth) = 0;
+  /// A task finished after running for `task_us` microseconds.
+  virtual void OnTaskComplete(double task_us, size_t queue_depth) = 0;
+};
+
 /// Fixed-size worker pool for embarrassingly parallel work (GBDT split
 /// finding, batched data generation) and for long-lived worker loops (the
 /// serving runtime submits one blocking loop per thread). Tasks are void()
@@ -50,6 +63,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Installs (or clears, with nullptr) the instrumentation observer. Not
+  /// owned; must outlive the pool or be cleared first. A relaxed atomic
+  /// pointer: in-flight tasks may complete against the old observer for
+  /// one callback, which telemetry tolerates.
+  void SetObserver(ThreadPoolObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+
   /// Splits [0, total) into roughly equal chunks and runs
   /// fn(begin, end) for each chunk across the pool, blocking until done.
   /// Runs inline when total is small or the pool has a single thread.
@@ -59,6 +80,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::atomic<ThreadPoolObserver*> observer_{nullptr};
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;

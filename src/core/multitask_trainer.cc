@@ -3,8 +3,10 @@
 #include "common/logging.h"
 #include "common/prefetcher.h"
 #include "common/rng.h"
+#include "core/train_telemetry.h"
 #include "metrics/metrics.h"
 #include "nn/optimizer.h"
+#include "obs/trace_span.h"
 
 namespace atnn::core {
 
@@ -31,8 +33,10 @@ std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
   Rng rng(options.seed);
   std::vector<int64_t> order = dataset.train_indices;
   std::vector<MultiTaskEpochStats> history;
+  TrainTelemetry telemetry(options.metrics, options.emit_metric_lines);
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const auto epoch_start = TrainTelemetry::Now();
     rng.Shuffle(&order);
     // `order` is stable until the next epoch's shuffle, so the prefetcher
     // may gather batch t+1 from these views while batch t trains.
@@ -46,6 +50,8 @@ std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
     int64_t steps = 0;
     while (batches_ahead.HasNext()) {
       const data::ElemeBatch batch = batches_ahead.Next();
+      const obs::ScopedTimer step_timer(telemetry.step_sink());
+      telemetry.RecordStep();
       // Step-scoped tensors come from the thread arena; one rewind per step.
       const nn::ArenaScope arena_scope;
 
@@ -100,6 +106,12 @@ std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
     stats.loss_vppv_g *= inv;
     stats.loss_s *= inv;
     history.push_back(stats);
+    telemetry.EndEpoch(epoch, TrainTelemetry::MsSince(epoch_start),
+                       {{"loss_gmv_d", stats.loss_gmv_d},
+                        {"loss_vppv_d", stats.loss_vppv_d},
+                        {"loss_gmv_g", stats.loss_gmv_g},
+                        {"loss_vppv_g", stats.loss_vppv_g},
+                        {"loss_s", stats.loss_s}});
     if (options.verbose) {
       ATNN_LOG(Info) << "mt-atnn epoch " << epoch + 1 << "/" << options.epochs
                      << " L_gmv=" << stats.loss_gmv_d

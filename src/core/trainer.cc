@@ -3,9 +3,11 @@
 #include "common/logging.h"
 #include "common/prefetcher.h"
 #include "common/rng.h"
+#include "core/train_telemetry.h"
 #include "metrics/metrics.h"
 #include "nn/arena.h"
 #include "nn/optimizer.h"
+#include "obs/trace_span.h"
 
 namespace atnn::core {
 
@@ -78,8 +80,10 @@ std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
   Rng rng(options.seed);
   std::vector<int64_t> order = dataset.train_indices;
   std::vector<EpochStats> history;
+  TrainTelemetry telemetry(options.metrics, options.emit_metric_lines);
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const auto epoch_start = TrainTelemetry::Now();
     if (epoch > 0 && options.lr_decay_per_epoch != 1.0f) {
       optimizer.set_learning_rate(optimizer.learning_rate() *
                                   options.lr_decay_per_epoch);
@@ -97,6 +101,8 @@ std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
     int64_t steps = 0;
     while (batches_ahead.HasNext()) {
       const data::CtrBatch batch = batches_ahead.Next();
+      const obs::ScopedTimer step_timer(telemetry.step_sink());
+      telemetry.RecordStep();
       // Step-scoped tensors (graph nodes, activations, gradients of
       // non-parameters) come from the thread arena and are released in one
       // rewind here; after the first few steps grow the arena, a step
@@ -116,6 +122,8 @@ std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
     }
     stats.loss_i /= static_cast<double>(steps);
     history.push_back(stats);
+    telemetry.EndEpoch(epoch, TrainTelemetry::MsSince(epoch_start),
+                       {{"loss_i", stats.loss_i}});
     if (options.verbose) {
       ATNN_LOG(Info) << "two-tower epoch " << epoch + 1 << "/"
                      << options.epochs << " L_i=" << stats.loss_i;
@@ -145,8 +153,10 @@ std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
   Rng rng(options.seed);
   std::vector<int64_t> order = dataset.train_indices;
   std::vector<EpochStats> history;
+  TrainTelemetry telemetry(options.metrics, options.emit_metric_lines);
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const auto epoch_start = TrainTelemetry::Now();
     if (epoch > 0 && options.lr_decay_per_epoch != 1.0f) {
       optimizer_d.set_learning_rate(optimizer_d.learning_rate() *
                                     options.lr_decay_per_epoch);
@@ -164,6 +174,8 @@ std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
     int64_t steps = 0;
     while (batches_ahead.HasNext()) {
       const data::CtrBatch batch = batches_ahead.Next();
+      const obs::ScopedTimer step_timer(telemetry.step_sink());
+      telemetry.RecordStep();
       // One arena scope spans both half-steps; see TrainTwoTowerModel.
       const nn::ArenaScope arena_scope;
 
@@ -208,6 +220,10 @@ std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
     stats.loss_g /= static_cast<double>(steps);
     stats.loss_s /= static_cast<double>(steps);
     history.push_back(stats);
+    telemetry.EndEpoch(epoch, TrainTelemetry::MsSince(epoch_start),
+                       {{"loss_i", stats.loss_i},
+                        {"loss_g", stats.loss_g},
+                        {"loss_s", stats.loss_s}});
     if (options.verbose) {
       ATNN_LOG(Info) << "atnn epoch " << epoch + 1 << "/" << options.epochs
                      << " L_i=" << stats.loss_i << " L_g=" << stats.loss_g

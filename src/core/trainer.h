@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
 #include "core/atnn.h"
 #include "core/two_tower.h"
 #include "data/normalize.h"
@@ -32,6 +33,15 @@ struct TrainOptions {
   /// same shuffle, same batch order; only batch *assembly* moves off the
   /// training thread). nullptr = fully serial.
   ThreadPool* pool = nullptr;
+  /// Optional metrics sink (not owned). When set, the loops record counter
+  /// `train.steps`, histograms `train.step_us` / `train.epoch_ms`, and
+  /// per-epoch gauges `train.epoch`, `train.loss_*`,
+  /// `train.arena_high_water_bytes`. Recording is lock-free per step; see
+  /// core/train_telemetry.h.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// With `metrics` set, print one "ATNN_METRICS {json}" line per epoch
+  /// (the machine-readable twin of `verbose`; atnn_train turns this on).
+  bool emit_metric_lines = false;
 };
 
 /// Per-epoch averages of the three paper losses (unused entries are 0).

@@ -1,24 +1,61 @@
 #include "data/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <utility>
 
 #include "data/tmall.h"
 
 namespace atnn::data {
 
-namespace {
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  // getline keeps the '\r' of a CRLF terminator; without this strip the
+  // last field of every row in a Windows-written file carries an invisible
+  // trailing byte that fails ParseInt/ParseFloat (or worse, header
+  // comparison) with a baffling "bad value" on data that looks fine.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.empty()) return {};  // blank line (possibly CR-only), not [""]
 
-std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
   std::string field;
-  std::istringstream stream(line);
-  while (std::getline(stream, field, ',')) fields.push_back(field);
-  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  size_t i = 0;
+  while (true) {
+    field.clear();
+    if (i < line.size() && line[i] == '"') {
+      // Quoted field: scan to the closing quote, unescaping "" pairs.
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field += '"';
+            i += 2;
+          } else {
+            ++i;  // closing quote
+            break;
+          }
+        } else {
+          field += line[i++];
+        }
+      }
+      // Lenient tail: anything before the next comma rides along.
+      while (i < line.size() && line[i] != ',') field += line[i++];
+    } else {
+      while (i < line.size() && line[i] != ',') field += line[i++];
+    }
+    fields.push_back(field);
+    if (i >= line.size()) break;
+    ++i;  // skip the comma; a trailing comma yields one more empty field
+    if (i == line.size()) {
+      fields.emplace_back();
+      break;
+    }
+  }
   return fields;
 }
+
+namespace {
 
 Status ParseInt(const std::string& text, int64_t* out) {
   errno = 0;
@@ -37,6 +74,13 @@ Status ParseFloat(const std::string& text, float* out) {
   const float value = std::strtof(text.c_str(), &end);
   if (errno != 0 || end == text.c_str() || *end != '\0') {
     return Status::Corruption("bad float: '" + text + "'");
+  }
+  // strtof happily parses "nan", "inf", "-infinity" — values no feature
+  // column or label legitimately contains. Accepting them here silently
+  // poisons every downstream mean/normalizer/loss; reject at the boundary
+  // where the row and file are still known.
+  if (!std::isfinite(value)) {
+    return Status::Corruption("non-finite float: '" + text + "'");
   }
   *out = value;
   return Status::OK();
@@ -103,8 +147,9 @@ StatusOr<EntityTable> ReadEntityTableCsv(SchemaPtr schema,
   // Two passes would need a seekable stream; buffer rows instead.
   std::vector<std::vector<std::string>> rows;
   while (std::getline(file, line)) {
-    if (line.empty()) continue;
-    rows.push_back(SplitCsvLine(line));
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.empty()) continue;  // blank (or CR-only) line
+    rows.push_back(std::move(fields));
     if (rows.back().size() != schema->num_features()) {
       return Status::Corruption(
           "row " + std::to_string(rows.size()) + " has " +
@@ -163,15 +208,18 @@ StatusOr<InteractionLog> ReadInteractionsCsv(const std::string& path) {
     return Status::IoError("cannot open for reading: " + path);
   }
   std::string line;
-  if (!std::getline(file, line) || line != "user_id,item_id,label") {
+  // Compare split fields, not raw bytes: a CRLF header is still valid.
+  const std::vector<std::string> expected_header = {"user_id", "item_id",
+                                                    "label"};
+  if (!std::getline(file, line) || SplitCsvLine(line) != expected_header) {
     return Status::Corruption("bad interactions header in " + path);
   }
   InteractionLog log;
   size_t row = 0;
   while (std::getline(file, line)) {
-    if (line.empty()) continue;
-    ++row;
     const auto fields = SplitCsvLine(line);
+    if (fields.empty()) continue;  // blank (or CR-only) line
+    ++row;
     if (fields.size() != 3) {
       return Status::Corruption("row " + std::to_string(row) +
                                 " has wrong field count");

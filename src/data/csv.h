@@ -2,12 +2,23 @@
 #define ATNN_DATA_CSV_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "data/schema.h"
 
 namespace atnn::data {
+
+/// Splits one CSV line into fields per RFC 4180: a trailing '\r' (CRLF
+/// files from Windows tooling / Excel exports) is stripped, and a field
+/// that starts with '"' is read as a quoted field — commas inside it do
+/// not split, and a doubled quote ("") is a literal quote character.
+/// Lenient on malformed quoting (an unterminated quote takes the rest of
+/// the line; text after a closing quote is appended verbatim): the
+/// callers' field-count and value parses are the error boundary, and a
+/// hard error here would reject files other readers accept.
+std::vector<std::string> SplitCsvLine(std::string_view line);
 
 /// Writes an entity table as CSV: a header row with feature names (in
 /// schema declaration order), then one row per entity. Categorical values

@@ -1,0 +1,178 @@
+#include "obs/exporter.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/table_printer.h"
+
+namespace atnn::obs {
+
+namespace {
+
+/// JSON number or null for non-finite input (bare NaN/Inf tokens are not
+/// valid JSON and would break every downstream parser).
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+/// Metric names are ASCII identifiers by convention, but escape the JSON
+/// specials anyway so a stray name cannot produce an unparsable line.
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendHistogramJson(const LogHistogram& hist, std::string* out) {
+  *out += "{\"count\":" + std::to_string(hist.count());
+  *out += ",\"mean\":" + JsonNumber(hist.Mean());
+  *out += ",\"p50\":" + JsonNumber(hist.Percentile(0.50));
+  *out += ",\"p95\":" + JsonNumber(hist.Percentile(0.95));
+  *out += ",\"p99\":" + JsonNumber(hist.Percentile(0.99));
+  *out += ",\"max\":" + JsonNumber(hist.max());
+  *out += ",\"invalid\":" + std::to_string(hist.invalid());
+  *out += "}";
+}
+
+}  // namespace
+
+std::string ToTable(const MetricsSnapshot& snapshot,
+                    const std::string& title) {
+  TablePrinter table(title);
+  table.SetHeader({"metric", "count", "mean", "p50", "p95", "p99", "max",
+                   "invalid"});
+  for (const auto& [name, hist] : snapshot.histograms) {
+    table.AddRow({name, std::to_string(hist.count()),
+                  TablePrinter::Num(hist.Mean(), 1),
+                  TablePrinter::Num(hist.Percentile(0.50), 1),
+                  TablePrinter::Num(hist.Percentile(0.95), 1),
+                  TablePrinter::Num(hist.Percentile(0.99), 1),
+                  TablePrinter::Num(hist.max(), 1),
+                  std::to_string(hist.invalid())});
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    table.AddRow({name, std::to_string(value), "", "", "", "", "", ""});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    table.AddRow({name, TablePrinter::Num(value, 2), "", "", "", "", "",
+                  ""});
+  }
+  return table.ToString();
+}
+
+std::string ToJsonLine(const MetricsSnapshot& snapshot) {
+  const auto now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string line = "{\"ts_ms\":" + std::to_string(now_ms);
+
+  line += ",\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) line += ',';
+    line += JsonString(snapshot.counters[i].first) + ":" +
+            std::to_string(snapshot.counters[i].second);
+  }
+  line += "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) line += ',';
+    line += JsonString(snapshot.gauges[i].first) + ":" +
+            JsonNumber(snapshot.gauges[i].second);
+  }
+  line += "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) line += ',';
+    line += JsonString(snapshot.histograms[i].first) + ":";
+    AppendHistogramJson(snapshot.histograms[i].second, &line);
+  }
+  line += "}}";
+  return line;
+}
+
+Status AppendJsonLine(const MetricsSnapshot& snapshot,
+                      const std::string& path) {
+  std::ofstream file(path, std::ios::app);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open metrics file: " + path);
+  }
+  file << ToJsonLine(snapshot) << '\n';
+  file.flush();
+  if (!file.good()) return Status::IoError("metrics write failed: " + path);
+  return Status::OK();
+}
+
+PeriodicJsonExporter::PeriodicJsonExporter(const MetricsRegistry* registry,
+                                           std::string path,
+                                           int64_t interval_ms)
+    : registry_(registry),
+      path_(std::move(path)),
+      interval_ms_(interval_ms > 0 ? interval_ms : 1000),
+      thread_([this] { Loop(); }) {}
+
+PeriodicJsonExporter::~PeriodicJsonExporter() { Stop(); }
+
+void PeriodicJsonExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  // The loop exits without flushing; write the end-state snapshot here so
+  // Stop() returns with the final line durably on disk.
+  FlushOnce();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+}
+
+Status PeriodicJsonExporter::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_error_;
+}
+
+void PeriodicJsonExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (wake_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stopping_; })) {
+      return;  // Stop() writes the final snapshot after the join
+    }
+    lock.unlock();
+    FlushOnce();
+    lock.lock();
+  }
+}
+
+void PeriodicJsonExporter::FlushOnce() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_.ok()) return;  // sticky failure: stop spamming I/O
+  }
+  const Status written = AppendJsonLine(registry_->Collect(), path_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (written.ok()) {
+    ++flushes_;
+  } else if (first_error_.ok()) {
+    first_error_ = written;
+  }
+}
+
+}  // namespace atnn::obs

@@ -1,0 +1,80 @@
+#ifndef ATNN_OBS_EXPORTER_H_
+#define ATNN_OBS_EXPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+
+namespace atnn::obs {
+
+/// Renders a snapshot through common/table_printer: one row per histogram
+/// (count, mean, p50, p95, p99, max, invalid), then one row per counter
+/// and gauge. The human-facing twin of ToJsonLine.
+std::string ToTable(const MetricsSnapshot& snapshot,
+                    const std::string& title = "metrics");
+
+/// Renders a snapshot as one JSON object on a single line:
+///   {"ts_ms":...,"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":...,"mean":...,"p50":...,"p95":...,
+///                          "p99":...,"max":...,"invalid":...},...}}
+/// Keys are sorted (registry collection order); non-finite gauge values
+/// serialize as null so the line always stays valid JSON. ts_ms is wall
+/// time (unix epoch milliseconds) at render.
+std::string ToJsonLine(const MetricsSnapshot& snapshot);
+
+/// Appends ToJsonLine(snapshot) + '\n' to `path` (creating it if needed).
+Status AppendJsonLine(const MetricsSnapshot& snapshot,
+                      const std::string& path);
+
+/// Background flusher: every `interval_ms` it collects `registry` and
+/// appends one JSON line to `path`. Stop() (also run by the destructor)
+/// wakes the thread, writes one final snapshot — so the file always ends
+/// with the complete end-state — and joins. The first write error is
+/// sticky in status(); subsequent ticks stop writing (telemetry must
+/// never take the process down with it).
+class PeriodicJsonExporter {
+ public:
+  PeriodicJsonExporter(const MetricsRegistry* registry, std::string path,
+                       int64_t interval_ms);
+
+  PeriodicJsonExporter(const PeriodicJsonExporter&) = delete;
+  PeriodicJsonExporter& operator=(const PeriodicJsonExporter&) = delete;
+
+  ~PeriodicJsonExporter();
+
+  /// Idempotent: final flush + join on first call, no-op after.
+  void Stop();
+
+  /// OK until a write fails; then the first failure, permanently.
+  Status status() const;
+
+  int64_t flushes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flushes_;
+  }
+
+ private:
+  void Loop();
+  void FlushOnce();
+
+  const MetricsRegistry* registry_;
+  const std::string path_;
+  const int64_t interval_ms_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  Status first_error_ = Status::OK();
+  int64_t flushes_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace atnn::obs
+
+#endif  // ATNN_OBS_EXPORTER_H_

@@ -1,0 +1,99 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace atnn::obs {
+
+namespace {
+
+double BucketLow(size_t bucket) {
+  return bucket == 0 ? 0.0 : std::exp2(static_cast<double>(bucket));
+}
+
+double BucketHigh(size_t bucket) {
+  return std::exp2(static_cast<double>(bucket + 1));
+}
+
+}  // namespace
+
+size_t LogHistogram::BucketFor(double value) {
+  // NaN compares false against everything, so the old `value < 1.0` guard
+  // let it reach std::log2(NaN) and a NaN->size_t cast — UB that indexed
+  // the bucket array with garbage. Route it to 0 here; Record() never
+  // bucketizes NaN (it drops to invalid()), so this path only serves
+  // direct BucketFor callers.
+  if (std::isnan(value) || value < 1.0) return 0;
+  if (std::isinf(value)) return kNumBuckets - 1;
+  // Finite and >= 1: log2 is finite and nonnegative, the cast is defined.
+  const auto bucket = static_cast<size_t>(std::log2(value));
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double LogHistogram::ValueClamp() {
+  return std::exp2(static_cast<double>(kNumBuckets));
+}
+
+void LogHistogram::Record(double value) {
+  if (std::isnan(value)) {
+    // A NaN latency means the *caller's* measurement is broken; dropping
+    // it silently would hide that, corrupting a bucket would be worse.
+    ++invalid_;
+    return;
+  }
+  if (value < 0.0) value = 0.0;
+  // +Inf (and anything beyond the top bucket) is clamped so sum()/Mean()
+  // stay finite: one sentinel sample must not poison the aggregate.
+  value = std::min(value, ValueClamp());
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+double LogHistogram::Mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LogHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_ - 1) + 1.0;
+  double seen = 0.0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets_[b]);
+    if (next >= target) {
+      const double frac = (target - seen) / static_cast<double>(buckets_[b]);
+      const double high = std::min(BucketHigh(b), max_);
+      return BucketLow(b) + frac * std::max(high - BucketLow(b), 0.0);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+void LogHistogram::MergeFrom(const LogHistogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  invalid_ += other.invalid_;
+}
+
+void LogHistogram::AccumulateBucket(size_t bucket, int64_t n) {
+  ATNN_DCHECK(bucket < kNumBuckets);
+  buckets_[bucket] += n;
+}
+
+void LogHistogram::AccumulateMeta(int64_t count, double sum, double max,
+                                  int64_t invalid) {
+  count_ += count;
+  sum_ += sum;
+  max_ = std::max(max_, max);
+  invalid_ += invalid;
+}
+
+}  // namespace atnn::obs

@@ -1,0 +1,71 @@
+#ifndef ATNN_OBS_HISTOGRAM_H_
+#define ATNN_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace atnn::obs {
+
+/// Fixed-footprint log2-bucketed histogram for latencies (microseconds),
+/// batch sizes, and other nonnegative order-of-magnitude quantities.
+/// Bucket b covers [2^b, 2^(b+1)); values below 1 land in bucket 0.
+///
+/// Edge cases (all well-defined, none UB):
+///   - NaN input is dropped and counted in invalid() — it carries no
+///     magnitude information and must not corrupt a bucket index.
+///   - +Inf routes to the top bucket; for sum/max purposes it is clamped
+///     to 2^kNumBuckets so Mean() stays finite and one bad sample cannot
+///     poison the aggregate.
+///   - Negative values clamp to 0 (bucket 0), matching the "latencies are
+///     nonnegative" contract the callers rely on.
+///
+/// Percentiles are estimated by linear interpolation inside the bucket
+/// that crosses the requested rank — accurate enough for order-of-
+/// magnitude latency reporting. Not thread-safe on its own: this is the
+/// aggregated *view* type; obs::Histogram is the sharded atomic recorder
+/// that produces it, and runtime::RuntimeStats snapshots under it.
+class LogHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  /// Index of the bucket `value` lands in. NaN and negatives map to 0,
+  /// +Inf and anything >= 2^kNumBuckets to the top bucket. Record() is the
+  /// normal entry point; this is exposed for the sharded recorder and for
+  /// regression tests on the edge-case routing.
+  static size_t BucketFor(double value);
+
+  /// Upper clamp applied to recorded values (2^kNumBuckets): +Inf and
+  /// larger-than-top-bucket samples contribute this much to sum()/max().
+  static double ValueClamp();
+
+  void Record(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double max() const { return max_; }
+  /// NaN samples dropped by Record (never bucketed, never in count()).
+  int64_t invalid() const { return invalid_; }
+  double Mean() const;
+  /// q in [0, 1]; returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// Merges `other` into this (used to aggregate shards / snapshots).
+  void MergeFrom(const LogHistogram& other);
+
+  /// Raw accumulation used by the sharded atomic recorder when it folds
+  /// its per-thread cells into one view. `bucket` must be < kNumBuckets.
+  void AccumulateBucket(size_t bucket, int64_t n);
+  void AccumulateMeta(int64_t count, double sum, double max, int64_t invalid);
+
+ private:
+  std::array<int64_t, kNumBuckets> buckets_ = {};
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  int64_t invalid_ = 0;
+};
+
+}  // namespace atnn::obs
+
+#endif  // ATNN_OBS_HISTOGRAM_H_

@@ -1,0 +1,92 @@
+#ifndef ATNN_OBS_TRACE_SPAN_H_
+#define ATNN_OBS_TRACE_SPAN_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "common/thread_pool.h"
+#include "obs/metrics_registry.h"
+
+namespace atnn::obs {
+
+/// RAII timer feeding a pre-resolved histogram: construction stamps the
+/// clock, destruction records the elapsed microseconds. The hot-path
+/// primitive — resolve the Histogram once at setup (GetHistogram takes the
+/// registry mutex), then a ScopedTimer per event is clock reads plus a
+/// lock-free Record.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->Record(ElapsedUs());
+  }
+
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Detaches the sink: nothing is recorded at destruction (e.g. the timed
+  /// operation failed and its latency would pollute the distribution).
+  void Cancel() { sink_ = nullptr; }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named trace span: times its scope into the registry histogram
+/// `span.<name>_us`. The name lookup takes the registry mutex, so spans
+/// belong around coarse units (an epoch, a snapshot load, a flush) — for
+/// per-request work, resolve a Histogram once and use ScopedTimer.
+class TraceSpan {
+ public:
+  TraceSpan(MetricsRegistry* registry, std::string_view name)
+      : timer_(&registry->GetHistogram("span." + std::string(name) + "_us")) {
+  }
+
+  double ElapsedUs() const { return timer_.ElapsedUs(); }
+
+ private:
+  ScopedTimer timer_;
+};
+
+/// Bridges ThreadPool's observer hook into a registry: `<prefix>.tasks`
+/// (counter), `<prefix>.queue_depth` (gauge), `<prefix>.task_us`
+/// (histogram of per-task run time). Handles resolve at construction; the
+/// per-task callbacks are lock-free. Attach with pool->SetObserver(&m);
+/// the adapter must outlive its pool (or be detached first).
+class ThreadPoolMetrics : public ThreadPoolObserver {
+ public:
+  ThreadPoolMetrics(MetricsRegistry* registry, std::string_view prefix)
+      : tasks_(registry->GetCounter(std::string(prefix) + ".tasks")),
+        queue_depth_(registry->GetGauge(std::string(prefix) +
+                                        ".queue_depth")),
+        task_us_(registry->GetHistogram(std::string(prefix) + ".task_us")) {}
+
+  void OnTaskQueued(size_t queue_depth) override {
+    tasks_.Increment();
+    queue_depth_.Set(static_cast<double>(queue_depth));
+  }
+
+  void OnTaskComplete(double task_us, size_t queue_depth) override {
+    task_us_.Record(task_us);
+    queue_depth_.Set(static_cast<double>(queue_depth));
+  }
+
+ private:
+  Counter& tasks_;
+  Gauge& queue_depth_;
+  Histogram& task_us_;
+};
+
+}  // namespace atnn::obs
+
+#endif  // ATNN_OBS_TRACE_SPAN_H_

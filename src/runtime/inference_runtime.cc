@@ -79,6 +79,7 @@ StatusOr<std::unique_ptr<InferenceRuntime>> InferenceRuntime::Create(
 
 InferenceRuntime::InferenceRuntime(const RuntimeConfig& config)
     : config_(config),
+      pool_metrics_(&stats_.registry(), "pool"),
       injector_(config.fault_injection),
       batcher_(config.batcher, &stats_),
       prior_(config.prior),
@@ -86,6 +87,7 @@ InferenceRuntime::InferenceRuntime(const RuntimeConfig& config)
   const Status valid = config.Validate();
   ATNN_CHECK(valid.ok()) << "invalid RuntimeConfig: " << valid.ToString()
                          << " (use InferenceRuntime::Create for a Status)";
+  pool_.SetObserver(&pool_metrics_);
   for (size_t i = 0; i < config.num_workers; ++i) {
     pool_.Submit([this] { WorkerLoop(); });
   }

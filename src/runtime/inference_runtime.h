@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/trace_span.h"
 #include "runtime/fault_injection.h"
 #include "runtime/micro_batcher.h"
 #include "runtime/runtime_stats.h"
@@ -152,6 +153,14 @@ class InferenceRuntime {
   void Shutdown();
 
   StatsSnapshot stats() const;
+  /// The runtime's metrics namespace: everything RuntimeStats records plus
+  /// the worker pool's `pool.*` instruments. Hand this to a
+  /// obs::PeriodicJsonExporter (atnn_serve --metrics_json) or collect it
+  /// directly; recording stays lock-free while you read.
+  const obs::MetricsRegistry& metrics_registry() const {
+    return stats_.registry();
+  }
+  obs::MetricsRegistry& metrics_registry() { return stats_.registry(); }
   uint64_t snapshot_version() const { return snapshots_.version(); }
   size_t queue_depth() const { return batcher_.queue_depth(); }
   const RuntimeConfig& config() const { return config_; }
@@ -185,6 +194,9 @@ class InferenceRuntime {
 
   RuntimeConfig config_;
   RuntimeStats stats_;
+  /// Feeds pool.{tasks,queue_depth,task_us} into stats_'s registry; must be
+  /// declared before pool_ (attached at construction, read by workers).
+  obs::ThreadPoolMetrics pool_metrics_;
   FaultInjector injector_;
   SnapshotHandle snapshots_;
   MicroBatcher batcher_;

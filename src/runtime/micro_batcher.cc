@@ -99,6 +99,9 @@ Status MicroBatcher::TryEnqueue(
     if (depth == 1 || depth % config_.max_batch_size == 0) {
       not_empty_.notify_one();
     }
+    // Lock-free gauge store; publishing it under the queue lock keeps the
+    // reading exporter's view consistent with what consumers will see.
+    if (stats_ != nullptr) stats_->SetQueueDepth(depth);
   }
   if (stats_ != nullptr) stats_->RecordEnqueued();
   *out = std::move(future);
@@ -137,6 +140,7 @@ std::vector<PendingRequest> MicroBatcher::PopBatch() {
         queue_.pop_front();
       }
       not_full_.notify_all();
+      if (stats_ != nullptr) stats_->SetQueueDepth(queue_.size());
       break;
     }
   }

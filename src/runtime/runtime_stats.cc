@@ -1,26 +1,21 @@
 #include "runtime/runtime_stats.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/table_printer.h"
 
 namespace atnn::runtime {
 
 namespace {
 
-size_t BucketFor(double value) {
-  if (value < 1.0) return 0;
-  const auto bucket = static_cast<size_t>(std::log2(value));
-  return std::min(bucket, LogHistogram::kNumBuckets - 1);
-}
-
-double BucketLow(size_t bucket) {
-  return bucket == 0 ? 0.0 : std::exp2(static_cast<double>(bucket));
-}
-
-double BucketHigh(size_t bucket) {
-  return std::exp2(static_cast<double>(bucket + 1));
+/// Registers the per-tier counter handles ("tier.fresh", ...) up front so
+/// RecordServed never touches the registry mutex.
+std::array<obs::Counter*, kNumServingTiers> MakeTierCounters(
+    obs::MetricsRegistry& registry) {
+  std::array<obs::Counter*, kNumServingTiers> counters;
+  for (size_t t = 0; t < kNumServingTiers; ++t) {
+    counters[t] = &registry.GetCounter(
+        std::string("tier.") + ServingTierToString(static_cast<ServingTier>(t)));
+  }
+  return counters;
 }
 
 }  // namespace
@@ -39,109 +34,48 @@ const char* ServingTierToString(ServingTier tier) {
   return "unknown";
 }
 
-void LogHistogram::Record(double value) {
-  if (value < 0.0) value = 0.0;
-  ++buckets_[BucketFor(value)];
-  ++count_;
-  sum_ += value;
-  max_ = std::max(max_, value);
-}
-
-double LogHistogram::Mean() const {
-  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
-}
-
-double LogHistogram::Percentile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(count_ - 1) + 1.0;
-  double seen = 0.0;
-  for (size_t b = 0; b < kNumBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    const double next = seen + static_cast<double>(buckets_[b]);
-    if (next >= target) {
-      const double frac = (target - seen) / static_cast<double>(buckets_[b]);
-      const double high = std::min(BucketHigh(b), max_);
-      return BucketLow(b) + frac * std::max(high - BucketLow(b), 0.0);
-    }
-    seen = next;
-  }
-  return max_;
-}
-
-void LogHistogram::MergeFrom(const LogHistogram& other) {
-  for (size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
-  count_ += other.count_;
-  sum_ += other.sum_;
-  max_ = std::max(max_, other.max_);
-}
-
-void RuntimeStats::RecordEnqueued() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.enqueued;
-}
-
-void RuntimeStats::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.rejected;
-}
-
-void RuntimeStats::RecordBatch(size_t batch_size, double score_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.batches;
-  data_.batch_size.Record(static_cast<double>(batch_size));
-  data_.score_us.Record(score_us);
-}
-
-void RuntimeStats::RecordCacheHits(size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  data_.cache_hits += static_cast<int64_t>(count);
-}
-
-void RuntimeStats::RecordEnqueueWait(double wait_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  data_.enqueue_wait_us.Record(wait_us);
-}
-
-void RuntimeStats::RecordResponse(bool ok, double total_latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (ok) {
-    ++data_.completed_ok;
-  } else {
-    ++data_.completed_error;
-  }
-  data_.total_latency_us.Record(total_latency_us);
-}
-
-void RuntimeStats::RecordServed(ServingTier tier, double total_latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.completed_ok;
-  ++data_.tier_counts[static_cast<size_t>(tier)];
-  if (tier != ServingTier::kFresh) ++data_.degraded;
-  data_.total_latency_us.Record(total_latency_us);
-  if (tier == ServingTier::kFresh) {
-    data_.fresh_latency_us.Record(total_latency_us);
-  }
-}
-
-void RuntimeStats::RecordSwap() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.swaps;
-}
-
-void RuntimeStats::RecordPublishRejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.publish_rejected;
-}
-
-void RuntimeStats::RecordDeadlineExpired() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.deadline_expired;
-}
+RuntimeStats::RuntimeStats()
+    : enqueued_(registry_.GetCounter("enqueued")),
+      rejected_(registry_.GetCounter("rejected")),
+      completed_ok_(registry_.GetCounter("completed_ok")),
+      completed_error_(registry_.GetCounter("completed_error")),
+      batches_(registry_.GetCounter("batches")),
+      cache_hits_(registry_.GetCounter("cache_hits")),
+      swaps_(registry_.GetCounter("snapshot_swaps")),
+      publish_rejected_(registry_.GetCounter("publish_rejected")),
+      deadline_expired_(registry_.GetCounter("deadline_expired")),
+      degraded_(registry_.GetCounter("degraded")),
+      tier_counts_(MakeTierCounters(registry_)),
+      queue_depth_(registry_.GetGauge("queue_depth")),
+      enqueue_wait_us_(registry_.GetHistogram("enqueue_wait_us")),
+      batch_size_(registry_.GetHistogram("batch_size")),
+      score_us_(registry_.GetHistogram("score_us")),
+      total_latency_us_(registry_.GetHistogram("total_latency_us")),
+      fresh_latency_us_(registry_.GetHistogram("fresh_latency_us")) {}
 
 StatsSnapshot RuntimeStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return data_;
+  // Reads go straight through the pinned handles: no registry mutex, so a
+  // snapshot never perturbs the bench's mutex_acquisitions() assertion.
+  StatsSnapshot snapshot;
+  snapshot.enqueued = enqueued_.Value();
+  snapshot.rejected = rejected_.Value();
+  snapshot.completed_ok = completed_ok_.Value();
+  snapshot.completed_error = completed_error_.Value();
+  snapshot.batches = batches_.Value();
+  snapshot.cache_hits = cache_hits_.Value();
+  snapshot.swaps = swaps_.Value();
+  snapshot.publish_rejected = publish_rejected_.Value();
+  snapshot.deadline_expired = deadline_expired_.Value();
+  snapshot.degraded = degraded_.Value();
+  for (size_t t = 0; t < kNumServingTiers; ++t) {
+    snapshot.tier_counts[t] = tier_counts_[t]->Value();
+  }
+  snapshot.enqueue_wait_us = enqueue_wait_us_.Snapshot();
+  snapshot.batch_size = batch_size_.Snapshot();
+  snapshot.score_us = score_us_.Snapshot();
+  snapshot.total_latency_us = total_latency_us_.Snapshot();
+  snapshot.fresh_latency_us = fresh_latency_us_.Snapshot();
+  return snapshot;
 }
 
 std::string RuntimeStats::ToTable(const StatsSnapshot& snapshot,

@@ -3,10 +3,16 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "obs/metrics_registry.h"
+
 namespace atnn::runtime {
+
+/// The runtime's histogram view type now lives in the observability layer
+/// (src/obs/histogram.h); this alias keeps every existing
+/// atnn::runtime::LogHistogram spelling working.
+using LogHistogram = obs::LogHistogram;
 
 /// Which tier of the serving stack produced a response. Ordered best to
 /// worst: the degraded-mode fallback chain walks kStaleCache -> kPrior ->
@@ -29,35 +35,6 @@ inline constexpr size_t kNumServingTiers = 4;
 
 /// Stable lowercase name, e.g. "fresh", "stale_cache".
 const char* ServingTierToString(ServingTier tier);
-
-/// Fixed-footprint log2-bucketed histogram for latencies (microseconds) and
-/// batch sizes. Bucket b covers [2^b, 2^(b+1)); values below 1 land in
-/// bucket 0. Percentiles are estimated by linear interpolation inside the
-/// bucket that crosses the requested rank, which is accurate enough for the
-/// order-of-magnitude latency reporting the runtime needs. Not thread-safe
-/// on its own; RuntimeStats serializes access.
-class LogHistogram {
- public:
-  static constexpr size_t kNumBuckets = 40;
-
-  void Record(double value);
-
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double max() const { return max_; }
-  double Mean() const;
-  /// q in [0, 1]; returns 0 when empty.
-  double Percentile(double q) const;
-
-  /// Merges `other` into this (used to snapshot under one lock).
-  void MergeFrom(const LogHistogram& other);
-
- private:
-  std::array<int64_t, kNumBuckets> buckets_ = {};
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double max_ = 0.0;
-};
 
 /// Point-in-time copy of all runtime counters and histograms, safe to read
 /// without synchronization after the copy.
@@ -83,25 +60,67 @@ struct StatsSnapshot {
                                  // fault-free baseline
 };
 
-/// Thread-safe stats sink shared by the micro-batcher and the workers.
-/// Recording is cheap (one short critical section); Snapshot() copies
-/// everything at once so readers never see half-updated rows.
+/// Stats sink shared by the micro-batcher and the workers, backed by an
+/// owned obs::MetricsRegistry. Every Record* call is lock-free: the
+/// handles are resolved once at construction and each record is a relaxed
+/// atomic op on a per-thread shard cell — no mutex anywhere in the
+/// recording call chain (the old single-mutex design serialized every
+/// worker and client three times per request). Snapshot() aggregates the
+/// shards; it tolerates concurrent writers (eventually-consistent
+/// telemetry reads, never torn memory).
+///
+/// The registry is exposed for exporters (atnn_serve --metrics_json) and
+/// for attaching more instruments (thread-pool metrics, trace spans) to
+/// the same namespace.
 class RuntimeStats {
  public:
-  void RecordEnqueued();
-  void RecordRejected();
-  void RecordBatch(size_t batch_size, double score_us);
-  void RecordCacheHits(size_t count);
-  void RecordEnqueueWait(double wait_us);
-  void RecordResponse(bool ok, double total_latency_us);
+  RuntimeStats();
+
+  RuntimeStats(const RuntimeStats&) = delete;
+  RuntimeStats& operator=(const RuntimeStats&) = delete;
+
+  void RecordEnqueued() { enqueued_.Increment(); }
+  void RecordRejected() { rejected_.Increment(); }
+  void RecordBatch(size_t batch_size, double score_us) {
+    batches_.Increment();
+    batch_size_.Record(static_cast<double>(batch_size));
+    score_us_.Record(score_us);
+  }
+  void RecordCacheHits(size_t count) {
+    cache_hits_.Increment(static_cast<int64_t>(count));
+  }
+  void RecordEnqueueWait(double wait_us) { enqueue_wait_us_.Record(wait_us); }
+  void RecordResponse(bool ok, double total_latency_us) {
+    (ok ? completed_ok_ : completed_error_).Increment();
+    total_latency_us_.Record(total_latency_us);
+  }
   /// An OK response attributed to its serving tier; non-fresh tiers also
   /// count as degraded.
-  void RecordServed(ServingTier tier, double total_latency_us);
-  void RecordSwap();
-  void RecordPublishRejected();
-  void RecordDeadlineExpired();
+  void RecordServed(ServingTier tier, double total_latency_us) {
+    completed_ok_.Increment();
+    tier_counts_[static_cast<size_t>(tier)]->Increment();
+    total_latency_us_.Record(total_latency_us);
+    if (tier == ServingTier::kFresh) {
+      fresh_latency_us_.Record(total_latency_us);
+    } else {
+      degraded_.Increment();
+    }
+  }
+  void RecordSwap() { swaps_.Increment(); }
+  void RecordPublishRejected() { publish_rejected_.Increment(); }
+  void RecordDeadlineExpired() { deadline_expired_.Increment(); }
+  /// Instantaneous admitted-but-unbatched queue depth (gauge).
+  void SetQueueDepth(size_t depth) {
+    queue_depth_.Set(static_cast<double>(depth));
+  }
 
   StatsSnapshot Snapshot() const;
+
+  /// The backing registry, for exporters and extra instruments. Handles
+  /// registered here share the snapshot/flush lifecycle of the runtime's
+  /// own metrics.
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
 
   /// Renders the counters + latency percentiles through common/table_printer
   /// (one row per stage: count, mean, p50, p95, p99, max).
@@ -109,8 +128,24 @@ class RuntimeStats {
                              const std::string& title = "runtime stats");
 
  private:
-  mutable std::mutex mutex_;
-  StatsSnapshot data_;
+  obs::MetricsRegistry registry_;
+  obs::Counter& enqueued_;
+  obs::Counter& rejected_;
+  obs::Counter& completed_ok_;
+  obs::Counter& completed_error_;
+  obs::Counter& batches_;
+  obs::Counter& cache_hits_;
+  obs::Counter& swaps_;
+  obs::Counter& publish_rejected_;
+  obs::Counter& deadline_expired_;
+  obs::Counter& degraded_;
+  std::array<obs::Counter*, kNumServingTiers> tier_counts_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& enqueue_wait_us_;
+  obs::Histogram& batch_size_;
+  obs::Histogram& score_us_;
+  obs::Histogram& total_latency_us_;
+  obs::Histogram& fresh_latency_us_;
 };
 
 }  // namespace atnn::runtime

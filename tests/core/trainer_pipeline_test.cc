@@ -1,0 +1,287 @@
+// Tests of the parallel training/evaluation pipeline: span-based batching,
+// empty-split handling, prefetched training loops (which must match the
+// serial loop bitwise), and pool-parallel evaluation (which must produce
+// the exact serial score sequence via in-order chunk merging).
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/atnn.h"
+#include "core/multitask_trainer.h"
+#include "core/popularity.h"
+#include "core/trainer.h"
+#include "core/two_tower.h"
+#include "test_helpers.h"
+
+namespace atnn::core {
+namespace {
+
+using testing_helpers::MakeNormalizedTinyDataset;
+using testing_helpers::TinyTowerConfig;
+
+TEST(MakeBatchSpansTest, MatchesMakeBatches) {
+  const std::vector<int64_t> indices = {4, 8, 15, 16, 23, 42, 7};
+  for (int batch_size : {1, 2, 3, 7, 100}) {
+    const auto copies = MakeBatches(indices, batch_size);
+    const auto views = MakeBatchSpans(indices, batch_size);
+    ASSERT_EQ(views.size(), copies.size()) << "batch_size " << batch_size;
+    for (size_t b = 0; b < views.size(); ++b) {
+      const std::vector<int64_t> materialized(views[b].begin(),
+                                              views[b].end());
+      EXPECT_EQ(materialized, copies[b]);
+    }
+  }
+}
+
+TEST(MakeBatchSpansTest, ViewsAliasTheIndexVector) {
+  const std::vector<int64_t> indices = {1, 2, 3, 4, 5};
+  const auto views = MakeBatchSpans(indices, 2);
+  ASSERT_EQ(views.size(), 3u);
+  EXPECT_EQ(views[0].data(), indices.data());
+  EXPECT_EQ(views[1].data(), indices.data() + 2);
+  EXPECT_EQ(views[2].size(), 1u);
+}
+
+TEST(MakeBatchSpansTest, EmptyInputYieldsNoBatches) {
+  const std::vector<int64_t> empty;
+  EXPECT_TRUE(MakeBatchSpans(empty, 16).empty());
+}
+
+class TrainerPipelineTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::TmallDataset(MakeNormalizedTinyDataset());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static TwoTowerConfig TwoTowerCfg() {
+    TwoTowerConfig config;
+    config.tower = TinyTowerConfig(nn::TowerKind::kDeepCross);
+    config.seed = 5;
+    return config;
+  }
+
+  static AtnnConfig AtnnCfg() {
+    AtnnConfig config;
+    config.tower = TinyTowerConfig(nn::TowerKind::kDeepCross);
+    config.lambda = 0.1f;
+    config.seed = 5;
+    return config;
+  }
+
+  static TrainOptions FastOptions() {
+    TrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 256;
+    options.learning_rate = 2e-3f;
+    return options;
+  }
+
+  static data::TmallDataset* dataset_;
+};
+
+data::TmallDataset* TrainerPipelineTest::dataset_ = nullptr;
+
+TEST_F(TrainerPipelineTest, EmptyTrainSplitReturnsEmptyHistory) {
+  data::TmallDataset empty_split = *dataset_;
+  empty_split.train_indices.clear();
+
+  TwoTowerModel two_tower(*dataset_->user_schema,
+                          *dataset_->item_profile_schema,
+                          *dataset_->item_stats_schema, TwoTowerCfg());
+  const auto tt_history =
+      TrainTwoTowerModel(&two_tower, empty_split, FastOptions());
+  EXPECT_TRUE(tt_history.empty());  // no NaN epoch rows from 0/0
+
+  AtnnModel atnn(*dataset_->user_schema, *dataset_->item_profile_schema,
+                 *dataset_->item_stats_schema, AtnnCfg());
+  const auto atnn_history = TrainAtnnModel(&atnn, empty_split, FastOptions());
+  EXPECT_TRUE(atnn_history.empty());
+}
+
+TEST_F(TrainerPipelineTest, PrefetchedTwoTowerLossHistoryIsBitwiseIdentical) {
+  ThreadPool pool(4);
+  auto train = [&](ThreadPool* p) {
+    TwoTowerModel model(*dataset_->user_schema,
+                        *dataset_->item_profile_schema,
+                        *dataset_->item_stats_schema, TwoTowerCfg());
+    TrainOptions options = FastOptions();
+    options.pool = p;
+    return TrainTwoTowerModel(&model, *dataset_, options);
+  };
+  const auto serial = train(nullptr);
+  const auto prefetched = train(&pool);
+  ASSERT_EQ(serial.size(), prefetched.size());
+  for (size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(serial[e].loss_i, prefetched[e].loss_i) << "epoch " << e;
+  }
+}
+
+TEST_F(TrainerPipelineTest, PrefetchedAtnnLossHistoryIsBitwiseIdentical) {
+  ThreadPool pool(4);
+  auto train = [&](ThreadPool* p) {
+    AtnnModel model(*dataset_->user_schema, *dataset_->item_profile_schema,
+                    *dataset_->item_stats_schema, AtnnCfg());
+    TrainOptions options = FastOptions();
+    options.pool = p;
+    return TrainAtnnModel(&model, *dataset_, options);
+  };
+  const auto serial = train(nullptr);
+  const auto prefetched = train(&pool);
+  ASSERT_EQ(serial.size(), prefetched.size());
+  for (size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(serial[e].loss_i, prefetched[e].loss_i) << "epoch " << e;
+    EXPECT_EQ(serial[e].loss_g, prefetched[e].loss_g) << "epoch " << e;
+    EXPECT_EQ(serial[e].loss_s, prefetched[e].loss_s) << "epoch " << e;
+  }
+}
+
+TEST_F(TrainerPipelineTest, ParallelAucMatchesSerialExactly) {
+  ThreadPool pool(4);
+  TwoTowerModel two_tower(*dataset_->user_schema,
+                          *dataset_->item_profile_schema,
+                          *dataset_->item_stats_schema, TwoTowerCfg());
+  // batch_size 128 over the tiny test split yields many chunks, so the
+  // merge order actually matters.
+  const double tt_serial = EvaluateTwoTowerAuc(
+      two_tower, *dataset_, dataset_->test_indices, 128, nullptr);
+  const double tt_parallel = EvaluateTwoTowerAuc(
+      two_tower, *dataset_, dataset_->test_indices, 128, &pool);
+  EXPECT_EQ(tt_serial, tt_parallel);
+
+  const double miss_serial = EvaluateTwoTowerAucMissingStats(
+      two_tower, *dataset_, dataset_->test_indices, 128, nullptr);
+  const double miss_parallel = EvaluateTwoTowerAucMissingStats(
+      two_tower, *dataset_, dataset_->test_indices, 128, &pool);
+  EXPECT_EQ(miss_serial, miss_parallel);
+
+  AtnnModel atnn(*dataset_->user_schema, *dataset_->item_profile_schema,
+                 *dataset_->item_stats_schema, AtnnCfg());
+  for (CtrPath path : {CtrPath::kEncoder, CtrPath::kGenerator}) {
+    const double serial = EvaluateAtnnAuc(atnn, *dataset_,
+                                          dataset_->test_indices, path, 128,
+                                          nullptr);
+    const double parallel = EvaluateAtnnAuc(atnn, *dataset_,
+                                            dataset_->test_indices, path, 128,
+                                            &pool);
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+TEST_F(TrainerPipelineTest, ParallelPopularityScoringMatchesSerial) {
+  ThreadPool pool(4);
+  AtnnModel atnn(*dataset_->user_schema, *dataset_->item_profile_schema,
+                 *dataset_->item_stats_schema, AtnnCfg());
+  const std::vector<int64_t> group = SelectActiveUsers(*dataset_, 100);
+
+  const auto serial_predictor =
+      PopularityPredictor::Build(atnn, *dataset_, group, 32, nullptr);
+  const auto parallel_predictor =
+      PopularityPredictor::Build(atnn, *dataset_, group, 32, &pool);
+
+  const auto serial_scores = serial_predictor.ScoreItems(
+      atnn, *dataset_, dataset_->new_items, 64, nullptr);
+  const auto parallel_scores = parallel_predictor.ScoreItems(
+      atnn, *dataset_, dataset_->new_items, 64, &pool);
+  ASSERT_EQ(serial_scores.size(), parallel_scores.size());
+  // Build merges per-chunk partial sums in chunk order regardless of the
+  // pool, so even the mean user vector is bitwise reproducible.
+  EXPECT_EQ(serial_scores, parallel_scores);
+
+  const auto pairwise_serial = ScoreItemsPairwise(
+      atnn, *dataset_, dataset_->new_items, group, 64, nullptr);
+  const auto pairwise_parallel = ScoreItemsPairwise(
+      atnn, *dataset_, dataset_->new_items, group, 64, &pool);
+  EXPECT_EQ(pairwise_serial, pairwise_parallel);
+}
+
+class MultiTaskPipelineTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::ElemeConfig config;
+    config.num_restaurants = 1200;
+    config.num_new_restaurants = 200;
+    config.num_cells = 40;
+    config.seed = 4242;
+    dataset_ = new data::ElemeDataset(GenerateElemeDataset(config));
+    NormalizeElemeInPlace(dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static MultiTaskAtnnConfig MtCfg() {
+    MultiTaskAtnnConfig config;
+    config.tower.kind = nn::TowerKind::kDeepCross;
+    config.tower.deep_dims = {32, 16};
+    config.tower.cross_layers = 2;
+    config.tower.output_dim = 12;
+    config.adversarial = true;
+    config.seed = 5;
+    return config;
+  }
+
+  static data::ElemeDataset* dataset_;
+};
+
+data::ElemeDataset* MultiTaskPipelineTest::dataset_ = nullptr;
+
+TEST_F(MultiTaskPipelineTest, EmptyTrainSplitReturnsEmptyHistory) {
+  data::ElemeDataset empty_split = *dataset_;
+  empty_split.train_indices.clear();
+  MultiTaskAtnnModel model(*dataset_->restaurant_profile_schema,
+                           *dataset_->restaurant_stats_schema,
+                           *dataset_->user_group_schema, MtCfg());
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 64;
+  EXPECT_TRUE(TrainMultiTaskAtnn(&model, empty_split, options).empty());
+}
+
+TEST_F(MultiTaskPipelineTest, PrefetchedLossHistoryIsBitwiseIdentical) {
+  ThreadPool pool(4);
+  auto train = [&](ThreadPool* p) {
+    MultiTaskAtnnModel model(*dataset_->restaurant_profile_schema,
+                             *dataset_->restaurant_stats_schema,
+                             *dataset_->user_group_schema, MtCfg());
+    TrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 64;
+    options.learning_rate = 1e-3f;
+    options.pool = p;
+    return TrainMultiTaskAtnn(&model, *dataset_, options);
+  };
+  const auto serial = train(nullptr);
+  const auto prefetched = train(&pool);
+  ASSERT_EQ(serial.size(), prefetched.size());
+  for (size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(serial[e].loss_gmv_d, prefetched[e].loss_gmv_d);
+    EXPECT_EQ(serial[e].loss_vppv_d, prefetched[e].loss_vppv_d);
+    EXPECT_EQ(serial[e].loss_gmv_g, prefetched[e].loss_gmv_g);
+    EXPECT_EQ(serial[e].loss_vppv_g, prefetched[e].loss_vppv_g);
+    EXPECT_EQ(serial[e].loss_s, prefetched[e].loss_s);
+  }
+}
+
+TEST_F(MultiTaskPipelineTest, ParallelEvalMatchesSerial) {
+  ThreadPool pool(4);
+  MultiTaskAtnnModel model(*dataset_->restaurant_profile_schema,
+                           *dataset_->restaurant_stats_schema,
+                           *dataset_->user_group_schema, MtCfg());
+  const ElemeEval serial =
+      EvaluateEleme(model, *dataset_, dataset_->test_indices, 64, nullptr);
+  const ElemeEval parallel =
+      EvaluateEleme(model, *dataset_, dataset_->test_indices, 64, &pool);
+  EXPECT_EQ(serial.vppv_mae, parallel.vppv_mae);
+  EXPECT_EQ(serial.gmv_mae, parallel.gmv_mae);
+}
+
+}  // namespace
+}  // namespace atnn::core

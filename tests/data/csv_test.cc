@@ -153,6 +153,126 @@ TEST(CsvTest, ExportTmallDatasetWritesAllFiles) {
   }
 }
 
+// --- SplitCsvLine: RFC-4180 behaviour, tested directly ---
+
+TEST(SplitCsvLineTest, PlainFieldsAndTrailingComma) {
+  EXPECT_EQ(SplitCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitCsvLine("a,b,"), (std::vector<std::string>{"a", "b", ""}));
+  EXPECT_EQ(SplitCsvLine(""), std::vector<std::string>{});
+}
+
+// Regression: getline keeps the '\r' of CRLF terminators, so every last
+// field of a Windows-written file used to carry an invisible byte that
+// failed value parsing.
+TEST(SplitCsvLineTest, StripsTrailingCarriageReturn) {
+  EXPECT_EQ(SplitCsvLine("a,b,c\r"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("\r"), std::vector<std::string>{});
+  EXPECT_EQ(SplitCsvLine("7\r"), std::vector<std::string>{"7"});
+}
+
+TEST(SplitCsvLineTest, QuotedFieldsKeepCommas) {
+  EXPECT_EQ(SplitCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(SplitCsvLine("x,\"1,2,3\",y"),
+            (std::vector<std::string>{"x", "1,2,3", "y"}));
+  EXPECT_EQ(SplitCsvLine("\"\",b"), (std::vector<std::string>{"", "b"}));
+}
+
+TEST(SplitCsvLineTest, DoubledQuoteIsLiteralQuote) {
+  EXPECT_EQ(SplitCsvLine("\"say \"\"hi\"\"\",b"),
+            (std::vector<std::string>{"say \"hi\"", "b"}));
+  EXPECT_EQ(SplitCsvLine("\"\"\"\""), std::vector<std::string>{"\""});
+}
+
+TEST(SplitCsvLineTest, QuotedFieldWithCrlfTail) {
+  EXPECT_EQ(SplitCsvLine("a,\"b,c\"\r"),
+            (std::vector<std::string>{"a", "b,c"}));
+}
+
+// --- CRLF fixtures through the real readers ---
+
+TEST(CsvTest, CrlfEntityTableReadsClean) {
+  const std::string path = TempPath("crlf_entity.csv");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << "cat_a,num_x,cat_b,num_y\r\n"
+         << "1,0.5,2,-1.25\r\n"
+         << "3,1.5,4,2.5\r\n";
+  }
+  auto loaded_or = ReadEntityTableCsv(MakeSchema(), path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const EntityTable& loaded = loaded_or.value();
+  ASSERT_EQ(loaded.num_rows(), 2);
+  EXPECT_EQ(loaded.categorical(0, 0), 1);
+  EXPECT_FLOAT_EQ(loaded.numeric(1, 0), -1.25f);
+  EXPECT_FLOAT_EQ(loaded.numeric(1, 1), 2.5f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, CrlfInteractionsReadClean) {
+  const std::string path = TempPath("crlf_interactions.csv");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << "user_id,item_id,label\r\n"
+         << "1,10,1\r\n"
+         << "2,20,0\r\n"
+         << "\r\n";  // trailing blank CRLF line must be skipped
+  }
+  auto log_or = ReadInteractionsCsv(path);
+  ASSERT_TRUE(log_or.ok()) << log_or.status().ToString();
+  ASSERT_EQ(log_or.value().users.size(), 2u);
+  EXPECT_EQ(log_or.value().items[1], 20);
+  EXPECT_FLOAT_EQ(log_or.value().labels[0], 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, QuotedNumericFieldParses) {
+  const std::string path = TempPath("quoted_entity.csv");
+  {
+    std::ofstream file(path);
+    file << "cat_a,num_x,cat_b,num_y\n"
+         << "\"1\",\"0.5\",2,-1.25\n";
+  }
+  auto loaded_or = ReadEntityTableCsv(MakeSchema(), path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  EXPECT_EQ(loaded_or.value().categorical(0, 0), 1);
+  EXPECT_FLOAT_EQ(loaded_or.value().numeric(0, 0), 0.5f);
+  std::remove(path.c_str());
+}
+
+// --- non-finite ingestion rejected at the parse boundary ---
+
+TEST(CsvTest, NonFiniteNumericValuesRejected) {
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "infinity"}) {
+    const std::string path = TempPath("nonfinite_entity.csv");
+    {
+      std::ofstream file(path);
+      file << "cat_a,num_x,cat_b,num_y\n"
+           << "1," << bad << ",2,0.5\n";
+    }
+    const auto status = ReadEntityTableCsv(MakeSchema(), path).status();
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << bad;
+    EXPECT_NE(status.ToString().find("non-finite"), std::string::npos)
+        << status.ToString();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CsvTest, NonFiniteInteractionLabelRejected) {
+  const std::string path = TempPath("nonfinite_interactions.csv");
+  {
+    std::ofstream file(path);
+    file << "user_id,item_id,label\n"
+         << "1,10,nan\n";
+  }
+  EXPECT_EQ(ReadInteractionsCsv(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, MisalignedInteractionsRejected) {
   EXPECT_EQ(WriteInteractionsCsv({1, 2}, {10}, {1.0f, 0.0f}, "/tmp/x.csv")
                 .code(),

@@ -25,6 +25,24 @@ TEST(AucTest, PartialTiesUseMidranks) {
   EXPECT_DOUBLE_EQ(Auc({0.9, 0.5, 0.5, 0.1}, {1, 1, 0, 0}), 0.875);
 }
 
+TEST(AucTest, MultipleTieBlocksUseMidranks) {
+  // Two separate tie blocks: {0.7, 0.7} mixed-class, {0.3, 0.3} mixed-class.
+  // Pairs: (0.7 vs 0.7)=0.5, (0.7 vs 0.3)=1, (0.3 vs 0.7)=0, (0.3 vs 0.3)=0.5
+  // -> 2/4.
+  EXPECT_DOUBLE_EQ(Auc({0.7, 0.7, 0.3, 0.3}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, TieBlockSpanningManyExamples) {
+  // One positive at 0.5 tied with three negatives at 0.5, one negative
+  // below: pairs (0.5 vs 0.5)x3 = 1.5, (0.5 vs 0.1) = 1 -> 2.5/4.
+  EXPECT_DOUBLE_EQ(Auc({0.5, 0.5, 0.5, 0.5, 0.1}, {1, 0, 0, 0, 0}), 0.625);
+}
+
+TEST(AucDeathTest, SingleClassInputAborts) {
+  EXPECT_DEATH(Auc({0.9, 0.1}, {1, 1}), "AUC undefined");
+  EXPECT_DEATH(Auc({0.9, 0.1}, {0, 0}), "AUC undefined");
+}
+
 TEST(AucTest, HandComputedMixedCase) {
   // pos scores {0.8, 0.3}, neg {0.6, 0.2}: pairs 0.8>0.6 (1), 0.8>0.2 (1),
   // 0.3<0.6 (0), 0.3>0.2 (1) -> 3/4.
@@ -61,6 +79,13 @@ TEST(GroupedAucTest, SingleClassGroupsSkipped) {
   const std::vector<float> labels = {1, 0, 1, 1};
   const std::vector<int64_t> groups = {1, 1, 2, 2};
   EXPECT_DOUBLE_EQ(GroupedAuc(scores, labels, groups), 1.0);
+}
+
+TEST(GroupedAucTest, AllSingleClassGroupsAbort) {
+  // Every group has only one label value, so no group contributes a defined
+  // AUC and the weighted average has zero total weight.
+  EXPECT_DEATH(GroupedAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}, {1, 1, 2, 2}),
+               "GAUC undefined");
 }
 
 TEST(GroupedAucTest, PerUserRankingDiffersFromGlobal) {

@@ -1,0 +1,176 @@
+#include "obs/exporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+
+namespace atnn::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream file(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Minimal structural validation: braces/brackets balance outside strings,
+/// and the line parses as one object. Enough to catch escaping bugs
+/// without a JSON dependency.
+bool LooksLikeBalancedJsonObject(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+MetricsRegistry& PopulatedRegistry(MetricsRegistry& registry) {
+  registry.GetCounter("requests").Increment(42);
+  registry.GetGauge("queue_depth").Set(3.5);
+  Histogram& hist = registry.GetHistogram("latency_us");
+  hist.Record(100.0);
+  hist.Record(200.0);
+  return registry;
+}
+
+TEST(ToJsonLineTest, EmitsOneValidObjectWithAllSections) {
+  MetricsRegistry registry;
+  const std::string line = ToJsonLine(PopulatedRegistry(registry).Collect());
+  EXPECT_TRUE(LooksLikeBalancedJsonObject(line)) << line;
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"counters\":{\"requests\":42}"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"queue_depth\":3.5"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"latency_us\":{\"count\":2"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"invalid\":0"), std::string::npos) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "must be a single line";
+}
+
+TEST(ToJsonLineTest, NonFiniteGaugeSerializesAsNull) {
+  MetricsRegistry registry;
+  registry.GetGauge("bad").Set(std::numeric_limits<double>::infinity());
+  const std::string line = ToJsonLine(registry.Collect());
+  EXPECT_NE(line.find("\"bad\":null"), std::string::npos) << line;
+  EXPECT_TRUE(LooksLikeBalancedJsonObject(line)) << line;
+}
+
+TEST(ToJsonLineTest, MetricNamesAreEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name\\here").Increment();
+  const std::string line = ToJsonLine(registry.Collect());
+  EXPECT_TRUE(LooksLikeBalancedJsonObject(line)) << line;
+  EXPECT_NE(line.find("weird\\\"name\\\\here"), std::string::npos) << line;
+}
+
+TEST(ToTableTest, RendersHistogramsCountersGauges) {
+  MetricsRegistry registry;
+  const std::string table =
+      ToTable(PopulatedRegistry(registry).Collect(), "test metrics");
+  EXPECT_NE(table.find("test metrics"), std::string::npos);
+  EXPECT_NE(table.find("latency_us"), std::string::npos);
+  EXPECT_NE(table.find("requests"), std::string::npos);
+  EXPECT_NE(table.find("queue_depth"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+  EXPECT_NE(table.find("invalid"), std::string::npos);
+}
+
+TEST(AppendJsonLineTest, AppendsOneLinePerCall) {
+  MetricsRegistry registry;
+  PopulatedRegistry(registry);
+  const std::string path = TempPath("append_metrics.jsonl");
+  std::remove(path.c_str());
+  ASSERT_TRUE(AppendJsonLine(registry.Collect(), path).ok());
+  ASSERT_TRUE(AppendJsonLine(registry.Collect(), path).ok());
+  const auto lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(LooksLikeBalancedJsonObject(line)) << line;
+  }
+}
+
+TEST(AppendJsonLineTest, UnwritablePathReturnsIoError) {
+  MetricsRegistry registry;
+  const Status status =
+      AppendJsonLine(registry.Collect(), "/nonexistent_dir_xyz/m.jsonl");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(PeriodicJsonExporterTest, FlushesPeriodicallyAndOnStop) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("ticks");
+  const std::string path = TempPath("periodic_metrics.jsonl");
+  std::remove(path.c_str());
+  {
+    PeriodicJsonExporter exporter(&registry, path, /*interval_ms=*/20);
+    for (int i = 0; i < 5; ++i) {
+      counter.Increment();
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+    exporter.Stop();
+    EXPECT_TRUE(exporter.status().ok());
+    EXPECT_GE(exporter.flushes(), 2);  // >= one periodic + the final flush
+  }
+  const auto lines = ReadLines(path);
+  ASSERT_GE(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(LooksLikeBalancedJsonObject(line)) << line;
+  }
+  // The final (Stop-time) line carries the end state.
+  EXPECT_NE(lines.back().find("\"ticks\":5"), std::string::npos)
+      << lines.back();
+}
+
+TEST(PeriodicJsonExporterTest, StopIsIdempotentAndDestructorSafe) {
+  MetricsRegistry registry;
+  const std::string path = TempPath("idempotent_metrics.jsonl");
+  std::remove(path.c_str());
+  PeriodicJsonExporter exporter(&registry, path, /*interval_ms=*/1000);
+  exporter.Stop();
+  const int64_t flushes = exporter.flushes();
+  exporter.Stop();  // second Stop must not double-flush or deadlock
+  EXPECT_EQ(exporter.flushes(), flushes);
+}
+
+TEST(PeriodicJsonExporterTest, WriteFailureIsStickyNotFatal) {
+  MetricsRegistry registry;
+  PeriodicJsonExporter exporter(&registry, "/nonexistent_dir_xyz/m.jsonl",
+                                /*interval_ms=*/5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  exporter.Stop();
+  EXPECT_FALSE(exporter.status().ok());
+  EXPECT_EQ(exporter.flushes(), 0);
+}
+
+}  // namespace
+}  // namespace atnn::obs

@@ -1,0 +1,149 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace atnn::obs {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LogHistogramTest, RecordsBasicValues) {
+  LogHistogram hist;
+  hist.Record(1.0);
+  hist.Record(2.0);
+  hist.Record(3.0);
+  EXPECT_EQ(hist.count(), 3);
+  EXPECT_DOUBLE_EQ(hist.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 2.0);
+  EXPECT_EQ(hist.invalid(), 0);
+}
+
+// Regression: the original BucketFor computed
+// static_cast<size_t>(std::log2(value)) with no NaN guard — NaN compares
+// false against the `< 1.0` cutoff, log2(NaN) is NaN, and casting NaN to
+// size_t is undefined behaviour that indexed the bucket array with
+// garbage.
+TEST(LogHistogramTest, NanIsDroppedAndCountedInvalid) {
+  LogHistogram hist;
+  hist.Record(kNaN);
+  hist.Record(-kNaN);
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.invalid(), 2);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 0.0);
+}
+
+TEST(LogHistogramTest, NanBucketForIsZeroNotGarbage) {
+  EXPECT_EQ(LogHistogram::BucketFor(kNaN), 0u);
+}
+
+// Regression: log2(+Inf) is +Inf, and size_t(+Inf) is UB. +Inf must land
+// in the top bucket with the recorded magnitude clamped so one sentinel
+// sample cannot make Mean() infinite forever.
+TEST(LogHistogramTest, InfinityGoesToTopBucketWithFiniteAggregates) {
+  LogHistogram hist;
+  hist.Record(kInf);
+  hist.Record(10.0);
+  EXPECT_EQ(hist.count(), 2);
+  EXPECT_EQ(hist.invalid(), 0);
+  EXPECT_TRUE(std::isfinite(hist.sum()));
+  EXPECT_TRUE(std::isfinite(hist.Mean()));
+  EXPECT_DOUBLE_EQ(hist.max(), LogHistogram::ValueClamp());
+  EXPECT_EQ(LogHistogram::BucketFor(kInf), LogHistogram::kNumBuckets - 1);
+}
+
+TEST(LogHistogramTest, NegativeClampsToZeroBucket) {
+  LogHistogram hist;
+  hist.Record(-123.0);
+  EXPECT_EQ(hist.count(), 1);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  EXPECT_EQ(LogHistogram::BucketFor(-123.0), 0u);
+  EXPECT_EQ(LogHistogram::BucketFor(-kInf), 0u);
+}
+
+TEST(LogHistogramTest, ZeroAndSubOneLandInBucketZero) {
+  EXPECT_EQ(LogHistogram::BucketFor(0.0), 0u);
+  EXPECT_EQ(LogHistogram::BucketFor(0.5), 0u);
+  EXPECT_EQ(LogHistogram::BucketFor(0.999), 0u);
+}
+
+TEST(LogHistogramTest, HugeFiniteValueClampsToTopBucket) {
+  const double huge = std::numeric_limits<double>::max();
+  EXPECT_EQ(LogHistogram::BucketFor(huge), LogHistogram::kNumBuckets - 1);
+  LogHistogram hist;
+  hist.Record(huge);
+  EXPECT_DOUBLE_EQ(hist.max(), LogHistogram::ValueClamp());
+}
+
+TEST(LogHistogramTest, PercentileEdgeCases) {
+  LogHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(1.0), 0.0);
+
+  LogHistogram single;
+  single.Record(100.0);
+  // One sample: every quantile is inside its bucket, p100 hits the max.
+  EXPECT_GT(single.Percentile(0.0), 0.0);
+  EXPECT_LE(single.Percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(1.0), 100.0);
+
+  LogHistogram one_bucket;
+  for (int i = 0; i < 100; ++i) one_bucket.Record(5.0);  // all in [4, 8)
+  EXPECT_GE(one_bucket.Percentile(0.5), 4.0);
+  EXPECT_LE(one_bucket.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(one_bucket.Percentile(1.0), 5.0);
+
+  // Out-of-range q clamps instead of reading past the rank range.
+  EXPECT_DOUBLE_EQ(one_bucket.Percentile(-1.0), one_bucket.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(one_bucket.Percentile(2.0), one_bucket.Percentile(1.0));
+}
+
+TEST(LogHistogramTest, PercentileOrderingAcrossBuckets) {
+  LogHistogram hist;
+  for (int i = 0; i < 90; ++i) hist.Record(10.0);
+  for (int i = 0; i < 10; ++i) hist.Record(1000.0);
+  const double p50 = hist.Percentile(0.50);
+  const double p95 = hist.Percentile(0.95);
+  const double p99 = hist.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LT(p50, 16.0);   // in 10's bucket [8, 16)
+  EXPECT_GE(p95, 512.0);  // in 1000's bucket [512, 1024)
+}
+
+TEST(LogHistogramTest, MergeFromCombinesEverythingIncludingInvalid) {
+  LogHistogram a;
+  a.Record(10.0);
+  a.Record(kNaN);
+  LogHistogram b;
+  b.Record(1000.0);
+  b.Record(kNaN);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.invalid(), 2);
+  EXPECT_DOUBLE_EQ(a.sum(), 1010.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+}
+
+TEST(LogHistogramTest, AccumulateRawCellsMatchesRecord) {
+  LogHistogram recorded;
+  recorded.Record(10.0);
+  recorded.Record(1000.0);
+
+  LogHistogram folded;
+  folded.AccumulateBucket(LogHistogram::BucketFor(10.0), 1);
+  folded.AccumulateBucket(LogHistogram::BucketFor(1000.0), 1);
+  folded.AccumulateMeta(2, 1010.0, 1000.0, 0);
+  EXPECT_EQ(folded.count(), recorded.count());
+  EXPECT_DOUBLE_EQ(folded.sum(), recorded.sum());
+  EXPECT_DOUBLE_EQ(folded.Percentile(0.5), recorded.Percentile(0.5));
+}
+
+}  // namespace
+}  // namespace atnn::obs

@@ -41,6 +41,7 @@
 #include "core/feature_adapter.h"
 #include "core/popularity.h"
 #include "data/tmall.h"
+#include "obs/exporter.h"
 #include "runtime/inference_runtime.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
@@ -97,6 +98,12 @@ int Run(int argc, const char* const* argv) {
                   "per-request probability of a simulated full queue");
   flags.AddString("atnn_kernel", "auto",
                   "compute backend: auto | scalar | avx2");
+  flags.AddString("metrics_json", "",
+                  "append one JSON metrics line to this file every "
+                  "--metrics_interval_ms while serving (plus a final line "
+                  "at shutdown); empty disables");
+  flags.AddInt64("metrics_interval_ms", 1000,
+                 "flush period for --metrics_json");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc - 1, argv + 1);
@@ -227,6 +234,16 @@ int Run(int argc, const char* const* argv) {
     return 1;
   }
 
+  // Periodic JSON-lines export of the runtime's registry (runtime counters
+  // and latency histograms, batcher queue depth, pool.* instruments).
+  // Recording stays lock-free while the exporter reads.
+  std::unique_ptr<obs::PeriodicJsonExporter> metrics_exporter;
+  if (!flags.GetString("metrics_json").empty()) {
+    metrics_exporter = std::make_unique<obs::PeriodicJsonExporter>(
+        &runtime.metrics_registry(), flags.GetString("metrics_json"),
+        flags.GetInt64("metrics_interval_ms"));
+  }
+
   // --- request stream: Zipf-skewed over the new arrivals ---
   const auto total_requests = flags.GetInt64("requests");
   const auto num_clients =
@@ -317,6 +334,17 @@ int Run(int argc, const char* const* argv) {
     }
   }
   runtime.Shutdown();
+  if (metrics_exporter != nullptr) {
+    metrics_exporter->Stop();  // writes the final end-state line
+    if (!metrics_exporter->status().ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   metrics_exporter->status().ToString().c_str());
+    } else {
+      std::printf("metrics: %lld JSON line(s) -> %s\n",
+                  static_cast<long long>(metrics_exporter->flushes()),
+                  flags.GetString("metrics_json").c_str());
+    }
+  }
 
   const auto stats = runtime.stats();
   std::printf("%s\n", runtime::RuntimeStats::ToTable(stats).c_str());

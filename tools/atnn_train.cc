@@ -17,6 +17,7 @@
 #include "core/popularity.h"
 #include "core/trainer.h"
 #include "data/tmall.h"
+#include "obs/metrics_registry.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
 
@@ -48,6 +49,9 @@ int Run(int argc, const char* const* argv) {
                   "output path for the popularity index");
   flags.AddString("atnn_kernel", "auto",
                   "compute backend: auto | scalar | avx2");
+  flags.AddBool("metric_lines", true,
+                "print one machine-readable ATNN_METRICS {json} line per "
+                "epoch (loss gauges, step-time histogram, arena high-water)");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc - 1, argv + 1);
@@ -99,6 +103,9 @@ int Run(int argc, const char* const* argv) {
   options.learning_rate =
       static_cast<float>(flags.GetDouble("learning_rate"));
   options.verbose = true;
+  obs::MetricsRegistry training_metrics;
+  options.metrics = &training_metrics;
+  options.emit_metric_lines = flags.GetBool("metric_lines");
   core::TrainAtnnModel(&model, dataset, options);
 
   const double auc_complete = core::EvaluateAtnnAuc(
