@@ -1,0 +1,306 @@
+#include "cluster/sharded_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "data/schema.h"
+
+namespace atnn::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Sorts a collected family by name; Collect() concatenates per-shard
+/// namespaces, which are not globally ordered once shard indices hit two
+/// digits ("shard10." < "shard2." lexicographically).
+template <typename T>
+void SortByName(std::vector<std::pair<std::string, T>>* family) {
+  std::sort(family->begin(), family->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+template <typename T>
+void AppendPrefixed(const std::string& prefix,
+                    std::vector<std::pair<std::string, T>> from,
+                    std::vector<std::pair<std::string, T>>* into) {
+  for (auto& [name, value] : from) {
+    into->emplace_back(prefix + name, std::move(value));
+  }
+}
+
+}  // namespace
+
+Status ShardedRuntimeConfig::Validate() const {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  ShardRingConfig ring_config = ring;
+  ring_config.num_shards = num_shards;
+  ATNN_RETURN_IF_ERROR(ring_config.Validate());
+  ATNN_RETURN_IF_ERROR(shard.Validate());
+  if (default_deadline_us < 0) {
+    return Status::InvalidArgument("default_deadline_us must be >= 0");
+  }
+  if (!(fanout_budget_fraction > 0.0) || fanout_budget_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "fanout_budget_fraction must be in (0, 1]: the scatter leg needs a "
+        "nonzero slice of the budget and cannot exceed the whole");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<ShardedRuntime>> ShardedRuntime::Create(
+    const ShardedRuntimeConfig& config) {
+  ATNN_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<ShardedRuntime>(config);
+}
+
+ShardedRuntime::ShardedRuntime(const ShardedRuntimeConfig& config)
+    : config_([&config] {
+        ShardedRuntimeConfig fixed = config;
+        fixed.ring.num_shards = config.num_shards;
+        return fixed;
+      }()),
+      ring_(config_.ring),
+      requests_(frontend_.GetCounter("gather.requests")),
+      shard_errors_(frontend_.GetCounter("gather.shard_errors")),
+      gather_timeouts_(frontend_.GetCounter("gather.timeouts")),
+      frontend_degraded_(frontend_.GetCounter("gather.degraded")),
+      fanout_us_(frontend_.GetHistogram("gather.fanout_us")),
+      merge_us_(frontend_.GetHistogram("gather.merge_us")) {
+  const Status valid = config_.Validate();
+  ATNN_CHECK(valid.ok()) << "invalid ShardedRuntimeConfig: "
+                         << valid.ToString()
+                         << " (use ShardedRuntime::Create for a Status)";
+  runtime::RuntimeConfig shard_config = config_.shard;
+  shard_config.prior = nullptr;  // installed per shard at publish time
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(
+        std::make_unique<runtime::InferenceRuntime>(shard_config));
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() { Shutdown(); }
+
+StatusOr<uint64_t> ShardedRuntime::PublishSharded(
+    const runtime::ServingSnapshot& full) {
+  // One up-front validation over the whole snapshot: a corrupt model is
+  // rejected before any shard swaps, so a failed publish is atomic in the
+  // common case (per-shard rejections below only fire under injected
+  // faults).
+  ATNN_RETURN_IF_ERROR(runtime::ValidateServingSnapshot(full));
+  const int64_t num_rows = full.item_profiles->num_rows();
+
+  auto routing = std::make_shared<RoutingTable>();
+  routing->shard_of_row.resize(static_cast<size_t>(num_rows));
+  routing->local_of_row.resize(static_cast<size_t>(num_rows));
+  routing->rows_of_shard.resize(shards_.size());
+  for (int64_t row = 0; row < num_rows; ++row) {
+    const size_t shard = ring_.ShardFor(row);
+    auto& members = routing->rows_of_shard[shard];
+    routing->shard_of_row[static_cast<size_t>(row)] =
+        static_cast<uint32_t>(shard);
+    routing->local_of_row[static_cast<size_t>(row)] =
+        static_cast<int64_t>(members.size());
+    members.push_back(row);
+  }
+
+  uint64_t version = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const auto& members = routing->rows_of_shard[i];
+    runtime::ServingSnapshot slice = full;
+    slice.item_profiles = std::make_shared<const data::EntityTable>(
+        data::SliceRows(*full.item_profiles, members));
+    slice.tag = full.tag + "/shard" + std::to_string(i);
+    ATNN_ASSIGN_OR_RETURN(version, shards_[i]->Publish(std::move(slice)));
+
+    if (config_.prior != nullptr) {
+      // Shards score by local row, so their tier-2 prior must be re-keyed
+      // from the global index.
+      auto local_prior = std::make_shared<serving::PopularityIndex>();
+      for (size_t local = 0; local < members.size(); ++local) {
+        const auto score = config_.prior->Score(members[local]);
+        if (score.ok()) {
+          local_prior->Upsert(static_cast<int64_t>(local), score.value());
+        }
+      }
+      shards_[i]->SetPrior(std::move(local_prior));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(routing_mutex_);
+    routing_ = std::move(routing);
+  }
+  published_version_.store(version, std::memory_order_relaxed);
+  return version;
+}
+
+std::shared_ptr<const ShardedRuntime::RoutingTable> ShardedRuntime::routing()
+    const {
+  std::lock_guard<std::mutex> lock(routing_mutex_);
+  return routing_;
+}
+
+runtime::ScoreResult ShardedRuntime::FrontendDegraded(int64_t global_row) {
+  frontend_degraded_.Increment();
+  runtime::ScoreResult result;
+  result.snapshot_version =
+      published_version_.load(std::memory_order_relaxed);
+  if (config_.prior != nullptr) {
+    const auto prior_score = config_.prior->Score(global_row);
+    if (prior_score.ok()) {
+      result.score = prior_score.value();
+      result.tier = runtime::ServingTier::kPrior;
+      return result;
+    }
+  }
+  // No prior coverage: the sigmoid midpoint, the same answer of last
+  // resort a single runtime gives before any fresh score exists.
+  result.score = 0.5;
+  result.tier = runtime::ServingTier::kGlobalMean;
+  return result;
+}
+
+std::vector<StatusOr<runtime::ScoreResult>> ShardedRuntime::ScoreBatch(
+    const std::vector<int64_t>& item_rows) {
+  return ScoreBatch(item_rows, config_.default_deadline_us);
+}
+
+std::vector<StatusOr<runtime::ScoreResult>> ShardedRuntime::ScoreBatch(
+    const std::vector<int64_t>& item_rows, int64_t deadline_us) {
+  std::vector<StatusOr<runtime::ScoreResult>> results;
+  results.reserve(item_rows.size());
+  const auto table = routing();
+  if (table == nullptr) {
+    for (size_t i = 0; i < item_rows.size(); ++i) {
+      results.emplace_back(Status::FailedPrecondition(
+          "no sharded snapshot published; call PublishSharded() first"));
+    }
+    return results;
+  }
+  requests_.Increment(static_cast<int64_t>(item_rows.size()));
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point overall_deadline =
+      deadline_us > 0 ? start + std::chrono::microseconds(deadline_us)
+                      : Clock::time_point::max();
+  // Deadline split: the scatter leg hands every shard request this budget;
+  // whatever the budget leaves after fan-out bounds the merge waits below.
+  const int64_t fanout_deadline_us =
+      deadline_us > 0
+          ? std::max<int64_t>(
+                1, static_cast<int64_t>(
+                       static_cast<double>(deadline_us) *
+                       config_.fanout_budget_fraction))
+          : 0;
+
+  // --- scatter ---
+  const int64_t num_rows =
+      static_cast<int64_t>(table->shard_of_row.size());
+  std::vector<std::optional<std::future<StatusOr<runtime::ScoreResult>>>>
+      futures(item_rows.size());
+  // Route first, then enqueue each shard's rows as one contiguous burst
+  // closed by a FlushHint. Interleaving enqueues row-by-row instead would
+  // hold every shard's batch window open for the entire scatter leg (each
+  // queue fills as a trickle), and the hash split almost never aligns with
+  // max_batch_size — the tail of every sub-batch would then ride out the
+  // full coalescing window before the gather could complete.
+  std::vector<std::vector<std::pair<size_t, int64_t>>> bursts(
+      shards_.size());  // shard -> (result index, local row)
+  for (size_t i = 0; i < item_rows.size(); ++i) {
+    const int64_t row = item_rows[i];
+    if (row < 0 || row >= num_rows) {
+      results.emplace_back(Status::InvalidArgument(
+          "item row " + std::to_string(row) + " outside catalog [0, " +
+          std::to_string(num_rows) + ")"));
+      continue;
+    }
+    const size_t shard = table->shard_of_row[static_cast<size_t>(row)];
+    bursts[shard].emplace_back(
+        i, table->local_of_row[static_cast<size_t>(row)]);
+    results.emplace_back(runtime::ScoreResult{});  // merged below
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (bursts[s].empty()) continue;
+    for (const auto& [index, local] : bursts[s]) {
+      futures[index] = shards_[s]->ScoreAsync(local, fanout_deadline_us);
+    }
+    shards_[s]->FlushHint();  // end of this shard's group — no co-riders
+  }
+  fanout_us_.Record(MicrosSince(start));
+
+  // --- gather ---
+  const Clock::time_point merge_start = Clock::now();
+  for (size_t i = 0; i < item_rows.size(); ++i) {
+    if (!futures[i].has_value()) continue;  // answered at scatter time
+    auto& future = *futures[i];
+    if (overall_deadline != Clock::time_point::max() &&
+        future.wait_until(overall_deadline) != std::future_status::ready) {
+      // Straggler past the whole-request budget: abandon the future (the
+      // shard will still resolve it harmlessly) and answer degraded now —
+      // the merge leg must never hold the batch hostage to one shard.
+      gather_timeouts_.Increment();
+      results[i] = FrontendDegraded(item_rows[i]);
+      continue;
+    }
+    StatusOr<runtime::ScoreResult> result = future.get();
+    if (result.ok()) {
+      results[i] = std::move(result);
+    } else {
+      // A down shard (FailedPrecondition after ShutDownShard) or a shard
+      // erroring with its fallback chain disabled: degrade at the
+      // front-end instead of surfacing a partial-failure error.
+      shard_errors_.Increment();
+      results[i] = FrontendDegraded(item_rows[i]);
+    }
+  }
+  merge_us_.Record(MicrosSince(merge_start));
+  return results;
+}
+
+StatusOr<runtime::ScoreResult> ShardedRuntime::Score(int64_t item_row) {
+  return std::move(ScoreBatch({item_row}).front());
+}
+
+void ShardedRuntime::ShutDownShard(size_t shard) {
+  ATNN_CHECK(shard < shards_.size());
+  shards_[shard]->Shutdown();
+}
+
+void ShardedRuntime::Shutdown() {
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+obs::MetricsSnapshot ShardedRuntime::Collect() const {
+  obs::MetricsSnapshot merged = frontend_.Collect();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "shard" + std::to_string(i) + ".";
+    obs::MetricsSnapshot shard_snapshot =
+        shards_[i]->metrics_registry().Collect();
+    AppendPrefixed(prefix, std::move(shard_snapshot.counters),
+                   &merged.counters);
+    AppendPrefixed(prefix, std::move(shard_snapshot.gauges), &merged.gauges);
+    AppendPrefixed(prefix, std::move(shard_snapshot.histograms),
+                   &merged.histograms);
+  }
+  SortByName(&merged.counters);
+  SortByName(&merged.gauges);
+  SortByName(&merged.histograms);
+  return merged;
+}
+
+}  // namespace atnn::cluster

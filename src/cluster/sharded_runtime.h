@@ -1,0 +1,162 @@
+#ifndef ATNN_CLUSTER_SHARDED_RUNTIME_H_
+#define ATNN_CLUSTER_SHARDED_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/shard_ring.h"
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+#include "runtime/inference_runtime.h"
+#include "serving/popularity_index.h"
+
+namespace atnn::cluster {
+
+struct ShardedRuntimeConfig {
+  /// Per-shard InferenceRuntime worker groups. Total worker threads are
+  /// num_shards * shard.num_workers.
+  size_t num_shards = 2;
+  /// Ring geometry; `ring.num_shards` is overwritten with `num_shards` at
+  /// construction so the two can never disagree.
+  ShardRingConfig ring;
+  /// Template applied to every shard: worker count, batcher, score cache,
+  /// degraded-fallback chain, chaos hooks. `shard.prior` is ignored — each
+  /// shard's prior is sliced out of `prior` (re-keyed to local rows) at
+  /// PublishSharded time, because shards score by local row.
+  runtime::RuntimeConfig shard;
+  /// Whole-request completion budget for Score/ScoreBatch, microseconds;
+  /// 0 = none. Split between fan-out and merge by
+  /// `fanout_budget_fraction`.
+  int64_t default_deadline_us = 0;
+  /// Fraction of the budget given to the scatter leg (it becomes each
+  /// shard request's deadline); the remainder bounds how long the gather
+  /// waits on stragglers before degrading them. Must be in (0, 1].
+  double fanout_budget_fraction = 0.75;
+  /// Front-end fallback, keyed by *global* item row: answers requests
+  /// whose shard is down or whose gather budget expired. May be null (the
+  /// fallback then serves the noncommittal 0.5 global-mean answer).
+  std::shared_ptr<const serving::PopularityIndex> prior;
+
+  Status Validate() const;
+};
+
+/// Scatter/gather front-end over N per-shard InferenceRuntimes — ROADMAP
+/// item 1's "shard the catalog N ways" layer. The consistent-hash ring
+/// assigns every global item row to a shard; PublishSharded slices the
+/// catalog so each shard holds only its rows (its own snapshot slice,
+/// score cache, and metrics namespace), and ScoreBatch fans a batch out to
+/// the owning shards and merges the answers under a deadline budget split
+/// between the two legs.
+///
+/// Failure semantics: a shard that is down (chaos: ShutDownShard), or that
+/// cannot answer inside the gather budget, never fails the request — the
+/// front-end answers from the global popularity prior (tier kPrior, or
+/// kGlobalMean without one). Shard-internal overload/deadline pressure
+/// degrades inside the shard exactly as a single InferenceRuntime does.
+/// Every response carries a serving tier; the only error Statuses a caller
+/// can see are InvalidArgument (row outside the catalog) and
+/// FailedPrecondition (nothing published yet).
+///
+/// Thread safety: PublishSharded/ScoreBatch/Score/Collect are safe from
+/// any thread.
+class ShardedRuntime {
+ public:
+  static StatusOr<std::unique_ptr<ShardedRuntime>> Create(
+      const ShardedRuntimeConfig& config);
+
+  /// Aborts on an invalid config (Create is the Status path).
+  explicit ShardedRuntime(const ShardedRuntimeConfig& config);
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  ~ShardedRuntime();
+
+  /// Validates `full` once up front, partitions its item-profile table by
+  /// the ring, and publishes each shard's slice (sharing the model and
+  /// predictor, which are row-independent) plus its re-keyed prior slice.
+  /// Returns the per-shard snapshot version (all shards advance in
+  /// lockstep). On a per-shard rejection (only reachable via injected
+  /// corruption — validation already passed) the previous version keeps
+  /// serving on every shard and the routing table is left untouched.
+  StatusOr<uint64_t> PublishSharded(const runtime::ServingSnapshot& full);
+
+  /// Scatter/gathers one batch of global item rows under the config's
+  /// default deadline budget. results[i] answers item_rows[i]:
+  ///   - OK + tier:          fresh/degraded score (see class comment)
+  ///   - InvalidArgument:    row outside the published catalog
+  ///   - FailedPrecondition: PublishSharded never succeeded
+  std::vector<StatusOr<runtime::ScoreResult>> ScoreBatch(
+      const std::vector<int64_t>& item_rows);
+
+  /// Same, with an explicit whole-request budget (microseconds; 0 = none).
+  std::vector<StatusOr<runtime::ScoreResult>> ScoreBatch(
+      const std::vector<int64_t>& item_rows, int64_t deadline_us);
+
+  /// Single-row convenience wrapper.
+  StatusOr<runtime::ScoreResult> Score(int64_t item_row);
+
+  /// Chaos hook: permanently takes shard `i` down (drains and joins its
+  /// workers). Requests routed to it thereafter degrade through the
+  /// front-end prior — the "partial shard failure" drill
+  /// bench_sharded_serving gates on.
+  void ShutDownShard(size_t shard);
+
+  /// Shuts every shard down. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardRing& ring() const { return ring_; }
+  runtime::InferenceRuntime& shard(size_t i) { return *shards_[i]; }
+  const runtime::InferenceRuntime& shard(size_t i) const {
+    return *shards_[i];
+  }
+  const ShardedRuntimeConfig& config() const { return config_; }
+  uint64_t snapshot_version() const {
+    return published_version_.load(std::memory_order_relaxed);
+  }
+
+  /// One snapshot of the whole tree: the front-end's own gather.* metrics
+  /// plus every shard's registry under the namespace "shard<i>." —
+  /// disjoint by construction, so per-shard behaviour stays attributable
+  /// after aggregation. Names come back sorted.
+  obs::MetricsSnapshot Collect() const;
+
+ private:
+  /// Immutable global-row routing, rebuilt per publish and swapped
+  /// RCU-style: shard_of_row/local_of_row are dense over [0, num_rows).
+  struct RoutingTable {
+    std::vector<uint32_t> shard_of_row;
+    std::vector<int64_t> local_of_row;
+    std::vector<std::vector<int64_t>> rows_of_shard;  // local -> global
+  };
+
+  std::shared_ptr<const RoutingTable> routing() const;
+  /// Prior/global-mean fallback for `global_row`; always OK, always
+  /// tier-tagged.
+  runtime::ScoreResult FrontendDegraded(int64_t global_row);
+
+  ShardedRuntimeConfig config_;
+  ShardRing ring_;
+
+  obs::MetricsRegistry frontend_;
+  obs::Counter& requests_;
+  obs::Counter& shard_errors_;
+  obs::Counter& gather_timeouts_;
+  obs::Counter& frontend_degraded_;
+  obs::Histogram& fanout_us_;
+  obs::Histogram& merge_us_;
+
+  std::vector<std::unique_ptr<runtime::InferenceRuntime>> shards_;
+
+  mutable std::mutex routing_mutex_;
+  std::shared_ptr<const RoutingTable> routing_;
+  std::atomic<uint64_t> published_version_{0};
+};
+
+}  // namespace atnn::cluster
+
+#endif  // ATNN_CLUSTER_SHARDED_RUNTIME_H_

@@ -1,0 +1,142 @@
+#include "cluster/tenant_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace atnn::cluster {
+
+namespace {
+
+bool IsTenantNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+template <typename T>
+void AppendPrefixed(const std::string& prefix,
+                    std::vector<std::pair<std::string, T>> from,
+                    std::vector<std::pair<std::string, T>>* into) {
+  for (auto& [name, value] : from) {
+    into->emplace_back(prefix + name, std::move(value));
+  }
+}
+
+}  // namespace
+
+Status TenantConfig::Validate() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("tenant name must be non-empty");
+  }
+  for (const char c : name) {
+    if (!IsTenantNameChar(c)) {
+      return Status::InvalidArgument(
+          "tenant name '" + name +
+          "' may only contain [A-Za-z0-9_-]: it becomes a metrics "
+          "namespace segment");
+    }
+  }
+  return sharded.Validate();
+}
+
+StatusOr<ShardedRuntime*> TenantRegistry::AddTenant(
+    const TenantConfig& config) {
+  ATNN_RETURN_IF_ERROR(config.Validate());
+  // Construct outside the lock: spinning up shard worker groups is slow
+  // and AddTenant may race a serving thread's Get().
+  auto runtime = std::make_unique<ShardedRuntime>(config.sharded);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      tenants_.emplace(config.name, std::move(runtime));
+  if (!inserted) {
+    return Status::AlreadyExists("tenant '" + config.name +
+                                 "' is already registered");
+  }
+  return it->second.get();
+}
+
+ShardedRuntime* TenantRegistry::Get(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::vector<StatusOr<runtime::ScoreResult>> TenantRegistry::ScoreBatch(
+    std::string_view tenant, const std::vector<int64_t>& item_rows) {
+  ShardedRuntime* runtime = Get(tenant);
+  if (runtime == nullptr) {
+    std::vector<StatusOr<runtime::ScoreResult>> results;
+    results.reserve(item_rows.size());
+    for (size_t i = 0; i < item_rows.size(); ++i) {
+      results.emplace_back(Status::NotFound(
+          "tenant '" + std::string(tenant) + "' is not registered"));
+    }
+    return results;
+  }
+  return runtime->ScoreBatch(item_rows);
+}
+
+StatusOr<runtime::ScoreResult> TenantRegistry::Score(std::string_view tenant,
+                                                     int64_t item_row) {
+  ShardedRuntime* runtime = Get(tenant);
+  if (runtime == nullptr) {
+    return Status::NotFound("tenant '" + std::string(tenant) +
+                            "' is not registered");
+  }
+  return runtime->Score(item_row);
+}
+
+std::vector<std::string> TenantRegistry::TenantNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, runtime] : tenants_) names.push_back(name);
+  return names;  // map iteration order: already sorted
+}
+
+obs::MetricsSnapshot TenantRegistry::Collect() const {
+  // Snapshot the pointers first: each tenant's Collect() walks every shard
+  // registry, and holding the registration mutex across that would stall
+  // Get() on the serving path. Tenants are never removed, so the pointers
+  // stay valid after the lock drops.
+  std::vector<std::pair<std::string, const ShardedRuntime*>> tenants;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tenants.reserve(tenants_.size());
+    for (const auto& [name, runtime] : tenants_) {
+      tenants.emplace_back(name, runtime.get());
+    }
+  }
+  obs::MetricsSnapshot merged;
+  for (const auto& [name, runtime] : tenants) {
+    const std::string prefix = "tenant." + name + ".";
+    obs::MetricsSnapshot snapshot = runtime->Collect();
+    AppendPrefixed(prefix, std::move(snapshot.counters), &merged.counters);
+    AppendPrefixed(prefix, std::move(snapshot.gauges), &merged.gauges);
+    AppendPrefixed(prefix, std::move(snapshot.histograms),
+                   &merged.histograms);
+  }
+  // Re-sort for the MetricsSnapshot determinism contract: map order on
+  // tenant names does not survive prefixing (e.g. '-' sorts before the
+  // '.' separator, so "tenant.a-b.x" < "tenant.a.x" while "a" < "a-b").
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(merged.counters.begin(), merged.counters.end(), by_name);
+  std::sort(merged.gauges.begin(), merged.gauges.end(), by_name);
+  std::sort(merged.histograms.begin(), merged.histograms.end(), by_name);
+  return merged;
+}
+
+void TenantRegistry::Shutdown() {
+  std::vector<ShardedRuntime*> runtimes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    runtimes.reserve(tenants_.size());
+    for (const auto& [name, runtime] : tenants_) {
+      runtimes.push_back(runtime.get());
+    }
+  }
+  for (ShardedRuntime* runtime : runtimes) runtime->Shutdown();
+}
+
+}  // namespace atnn::cluster

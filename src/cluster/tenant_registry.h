@@ -1,0 +1,93 @@
+#ifndef ATNN_CLUSTER_TENANT_REGISTRY_H_
+#define ATNN_CLUSTER_TENANT_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/sharded_runtime.h"
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+#include "runtime/micro_batcher.h"
+
+namespace atnn::cluster {
+
+/// One model tenant behind the shared serving process: a name (the metrics
+/// namespace and routing key) plus the full sharded-runtime configuration
+/// — shard count, per-shard workers, deadline budget, fallback prior. The
+/// paper's production A/B test serves TNN, ATNN, and the multitask variant
+/// side by side; a TenantConfig is one arm of that test.
+struct TenantConfig {
+  /// Routing key and metrics namespace segment. Restricted to
+  /// [A-Za-z0-9_-]+ so "tenant.<name>.shard<i>.<metric>" stays parseable
+  /// (no '.' collisions with the namespace separator).
+  std::string name;
+  ShardedRuntimeConfig sharded;
+
+  Status Validate() const;
+};
+
+/// Routes score requests for multiple model tenants, each behind its own
+/// ShardedRuntime with an independent shard set, deadline budget, and
+/// degraded-fallback chain. One process, N tenants — the deployment shape
+/// of the paper's A/B test, where every arm must be isolated enough to
+/// measure (disjoint metrics namespaces) but cheap enough to co-host
+/// (shared binary, shared catalog generation).
+///
+/// AddTenant is a setup-time operation; Score/ScoreBatch are serving-time
+/// and safe from any thread (tenant lookup is a short map find under a
+/// mutex — the scatter/gather dominates it by orders of magnitude).
+/// Tenants live until the registry dies; there is deliberately no
+/// RemoveTenant, because handing out raw ShardedRuntime pointers is what
+/// keeps the hot path allocation-free.
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Creates the tenant's ShardedRuntime and registers it under
+  /// config.name. The returned pointer stays valid for the registry's
+  /// lifetime. AlreadyExists on a duplicate name; InvalidArgument on a bad
+  /// name or sharded config.
+  StatusOr<ShardedRuntime*> AddTenant(const TenantConfig& config);
+
+  /// Tenant lookup; nullptr when absent.
+  ShardedRuntime* Get(std::string_view name) const;
+
+  /// Scatter/gathers `item_rows` through the named tenant under its own
+  /// deadline budget. Every entry is NotFound when the tenant does not
+  /// exist (the per-row shape is kept so callers can zip results to rows
+  /// unconditionally).
+  std::vector<StatusOr<runtime::ScoreResult>> ScoreBatch(
+      std::string_view tenant, const std::vector<int64_t>& item_rows);
+
+  /// Single-row convenience; NotFound for an unknown tenant.
+  StatusOr<runtime::ScoreResult> Score(std::string_view tenant,
+                                       int64_t item_row);
+
+  /// Registered tenant names, sorted.
+  std::vector<std::string> TenantNames() const;
+
+  /// Every tenant's Collect() merged under "tenant.<name>." — the prefix
+  /// plus each tenant's own "shard<i>." layer gives every metric a unique,
+  /// attributable path (e.g. "tenant.atnn.shard2.tier.fresh"). Namespaces
+  /// are disjoint by construction: names cannot repeat and cannot contain
+  /// the '.' separator.
+  obs::MetricsSnapshot Collect() const;
+
+  /// Shuts every tenant's runtime down. Idempotent.
+  void Shutdown();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<ShardedRuntime>, std::less<>>
+      tenants_;
+};
+
+}  // namespace atnn::cluster
+
+#endif  // ATNN_CLUSTER_TENANT_REGISTRY_H_

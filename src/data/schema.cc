@@ -66,4 +66,23 @@ BlockBatch GatherBlock(const EntityTable& table,
   return batch;
 }
 
+EntityTable SliceRows(const EntityTable& table,
+                      std::span<const int64_t> rows) {
+  const FeatureSchema& schema = table.schema();
+  EntityTable slice(table.schema_ptr(), static_cast<int64_t>(rows.size()));
+  for (int64_t local = 0; local < slice.num_rows(); ++local) {
+    const int64_t src = rows[static_cast<size_t>(local)];
+    ATNN_CHECK(src >= 0 && src < table.num_rows())
+        << "SliceRows: row " << src << " outside table of "
+        << table.num_rows();
+    for (size_t f = 0; f < schema.num_categorical(); ++f) {
+      slice.set_categorical(f, local, table.categorical(f, src));
+    }
+    for (size_t f = 0; f < schema.num_numeric(); ++f) {
+      slice.set_numeric(f, local, table.numeric(f, src));
+    }
+  }
+  return slice;
+}
+
 }  // namespace atnn::data

@@ -156,6 +156,15 @@ inline BlockBatch GatherBlock(const EntityTable& table,
                                                      rows.size()));
 }
 
+/// Materializes the given rows of `table` as a standalone EntityTable under
+/// the same schema: slice row i is table row rows[i]. Rows may repeat or
+/// reorder. The sharded serving layer uses this to give every shard its own
+/// catalog slice (local row -> global row mapping kept by the caller).
+/// Checked abort on an out-of-range row — callers partition rows they just
+/// enumerated, so a bad index is a programmer error, not input.
+EntityTable SliceRows(const EntityTable& table,
+                      std::span<const int64_t> rows);
+
 }  // namespace atnn::data
 
 #endif  // ATNN_DATA_SCHEMA_H_

@@ -145,6 +145,15 @@ class InferenceRuntime {
   /// Blocking convenience wrapper around ScoreAsync.
   StatusOr<ScoreResult> Score(int64_t item_row);
 
+  /// Group-boundary hint after a burst of ScoreAsync calls: the caller
+  /// promises no more requests are coming for the current batch window, so
+  /// any partial batch of already-admitted requests flushes immediately
+  /// instead of waiting out max_delay_us for co-riders that never arrive.
+  /// The sharded front-end issues one per shard after each scatter leg —
+  /// hash-split sub-batches almost never align with max_batch_size, and
+  /// without the hint every chunk's tail rides the full batch window.
+  void FlushHint() { batcher_.FlushHint(); }
+
   /// Replaces the tier-2 fallback prior (may be null to remove it).
   void SetPrior(std::shared_ptr<const serving::PopularityIndex> prior);
 

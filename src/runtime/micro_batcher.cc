@@ -88,6 +88,7 @@ Status MicroBatcher::TryEnqueue(
           "request queue full (" + std::to_string(config_.queue_capacity) +
           " pending)");
     }
+    request.seq = ++admitted_seq_;
     queue_.push_back(std::move(request));
     // Wake a consumer only on the transitions that change what a consumer
     // would do: the queue becoming non-empty (an idle worker must start a
@@ -99,9 +100,7 @@ Status MicroBatcher::TryEnqueue(
     if (depth == 1 || depth % config_.max_batch_size == 0) {
       not_empty_.notify_one();
     }
-    // Lock-free gauge store; publishing it under the queue lock keeps the
-    // reading exporter's view consistent with what consumers will see.
-    if (stats_ != nullptr) stats_->SetQueueDepth(depth);
+    PublishDepthLocked();
   }
   if (stats_ != nullptr) stats_->RecordEnqueued();
   *out = std::move(future);
@@ -114,17 +113,27 @@ std::vector<PendingRequest> MicroBatcher::PopBatch() {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-      if (queue_.empty()) return {};  // closed and drained
+      if (queue_.empty()) {
+        // Closed and drained: republish so the gauge reads 0 even if this
+        // consumer lost a race for the final batch after the last
+        // publication it observed.
+        PublishDepthLocked();
+        return {};
+      }
 
-      // Flush rule: full batch, or the *oldest* request has aged out.
+      // Flush rule: full batch, the *oldest* request has aged out, or a
+      // FlushHint covers it (its producer promised no more co-riders).
       // After Close() any partial batch flushes immediately — drain fast.
       // Producers only notify on empty->nonempty and full-batch
       // boundaries, so this wait normally wakes exactly twice per batch:
-      // once to open the window, once when it can flush.
+      // once to open the window, once when it can flush. The empty()
+      // guard re-checks front() safely after another consumer drains the
+      // queue mid-wait.
       const auto deadline =
           queue_.front().enqueue_time +
           std::chrono::microseconds(config_.max_delay_us);
-      while (!closed_ && queue_.size() < config_.max_batch_size) {
+      while (!closed_ && queue_.size() < config_.max_batch_size &&
+             (queue_.empty() || queue_.front().seq > flush_seq_)) {
         if (not_empty_.wait_until(lock, deadline) ==
             std::cv_status::timeout) {
           break;
@@ -140,7 +149,7 @@ std::vector<PendingRequest> MicroBatcher::PopBatch() {
         queue_.pop_front();
       }
       not_full_.notify_all();
-      if (stats_ != nullptr) stats_->SetQueueDepth(queue_.size());
+      PublishDepthLocked();
       break;
     }
   }
@@ -153,6 +162,23 @@ std::vector<PendingRequest> MicroBatcher::PopBatch() {
     }
   }
   return batch;
+}
+
+void MicroBatcher::PublishDepthLocked() {
+  // Lock-free gauge store; publishing it under the queue lock keeps the
+  // reading exporter's view consistent with what consumers will see.
+  if (stats_ != nullptr) stats_->SetQueueDepth(queue_.size());
+}
+
+void MicroBatcher::FlushHint() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return;
+    flush_seq_ = admitted_seq_;
+  }
+  // notify_all, not notify_one: the consumer sitting in the batch window
+  // is not necessarily the one the enqueue-path notifications went to.
+  not_empty_.notify_all();
 }
 
 void MicroBatcher::Close() {

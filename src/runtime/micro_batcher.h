@@ -57,6 +57,9 @@ struct PendingRequest {
   int64_t item_row = 0;
   std::promise<StatusOr<ScoreResult>> promise;
   std::chrono::steady_clock::time_point enqueue_time;
+  /// Admission order, assigned by the batcher. Lets FlushHint name "every
+  /// request admitted so far" without touching the requests themselves.
+  uint64_t seq = 0;
   /// Absolute completion deadline; time_point::max() means "none". Expired
   /// requests are answered without a forward pass (degraded or
   /// DeadlineExceeded — the runtime decides, the batcher only carries it).
@@ -68,7 +71,8 @@ struct PendingRequest {
 /// Enqueue from any thread; consumers (the runtime's workers) call
 /// PopBatch, which blocks until at least one request is queued and then
 /// waits until the batch is full or the oldest request's age reaches
-/// max_delay_us — the standard size-or-deadline flush rule.
+/// max_delay_us — the standard size-or-deadline flush rule. A producer
+/// that knows its burst is over can cut the wait short with FlushHint.
 ///
 /// The queue is bounded (queue_capacity); see AdmissionPolicy for what
 /// happens at the bound. Close() wakes everyone: queued requests still
@@ -109,6 +113,13 @@ class MicroBatcher {
   /// consumer.
   std::vector<PendingRequest> PopBatch();
 
+  /// Group-boundary hint: every request admitted so far may flush as a
+  /// partial batch immediately — the producer knows no co-riders are
+  /// coming for them, so holding the batch window open is pure added
+  /// latency. Requests admitted *after* the hint get the normal window.
+  /// Cheap no-op when the queue is empty.
+  void FlushHint();
+
   /// Stops admission and wakes all blocked producers/consumers.
   void Close();
 
@@ -117,6 +128,11 @@ class MicroBatcher {
   const BatcherConfig& config() const { return config_; }
 
  private:
+  /// The single accounting point for the queue_depth gauge: every queue
+  /// mutation publishes through here, under mutex_, so the gauge can never
+  /// disagree with what a consumer holding the lock would observe.
+  void PublishDepthLocked();
+
   BatcherConfig config_;
   RuntimeStats* stats_;
 
@@ -125,6 +141,10 @@ class MicroBatcher {
   std::condition_variable not_full_;
   std::deque<PendingRequest> queue_;
   bool closed_ = false;
+  /// Admission counter and the high-water mark of the last FlushHint:
+  /// requests with seq <= flush_seq_ skip the batch window.
+  uint64_t admitted_seq_ = 0;
+  uint64_t flush_seq_ = 0;
 };
 
 }  // namespace atnn::runtime

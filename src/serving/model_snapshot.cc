@@ -37,4 +37,13 @@ Status LoadModelSnapshot(nn::Module* model, const std::string& path,
   return Status::OK();
 }
 
+Status LoadModelSnapshotWithRetry(
+    nn::Module* model, const std::string& path,
+    const std::string& expected_tag, const RetryConfig& retry,
+    const std::function<void(int64_t)>& sleep_ms) {
+  return RetryWithBackoff(
+      [&] { return LoadModelSnapshot(model, path, expected_tag); }, retry,
+      sleep_ms);
+}
+
 }  // namespace atnn::serving

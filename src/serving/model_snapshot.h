@@ -1,8 +1,10 @@
 #ifndef ATNN_SERVING_MODEL_SNAPSHOT_H_
 #define ATNN_SERVING_MODEL_SNAPSHOT_H_
 
+#include <functional>
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "nn/parameter.h"
 
@@ -23,6 +25,17 @@ Status SaveModelSnapshot(nn::Module* model, const std::string& path,
 /// if the file is damaged, the tag differs, or shapes mismatch.
 Status LoadModelSnapshot(nn::Module* model, const std::string& path,
                          const std::string& expected_tag);
+
+/// LoadModelSnapshot behind RetryWithBackoff: a checkpoint mid-write or an
+/// NFS blip surfaces as a transient IoError and is retried on the backoff
+/// schedule; Corruption/tag mismatches are permanent and fail on the first
+/// attempt. The one loader every serving binary should use — a scorer
+/// without retry turns a routine checkpoint rotation into a startup
+/// failure. `sleep_ms` is the test seam from RetryWithBackoff.
+Status LoadModelSnapshotWithRetry(
+    nn::Module* model, const std::string& path,
+    const std::string& expected_tag, const RetryConfig& retry = {},
+    const std::function<void(int64_t)>& sleep_ms = nullptr);
 
 }  // namespace atnn::serving
 

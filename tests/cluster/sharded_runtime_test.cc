@@ -1,0 +1,331 @@
+#include "cluster/sharded_runtime.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../core/test_helpers.h"
+#include "core/atnn.h"
+#include "core/popularity.h"
+#include "data/tmall.h"
+#include "serving/popularity_index.h"
+
+namespace atnn::cluster {
+namespace {
+
+/// Same tiny world as the single-runtime tests: the sharded front-end's
+/// correctness contract is "identical scores to the unsharded path", which
+/// holds at (deterministic, seeded) initialization without training.
+class ShardedRuntimeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::TmallDataset(
+        core::testing_helpers::MakeNormalizedTinyDataset());
+    core::AtnnConfig config;
+    config.tower =
+        core::testing_helpers::TinyTowerConfig(nn::TowerKind::kDeepCross);
+    config.seed = 11;
+    model_ = new core::AtnnModel(*dataset_->user_schema,
+                                 *dataset_->item_profile_schema,
+                                 *dataset_->item_stats_schema, config);
+    const auto group = core::SelectActiveUsers(*dataset_, 64);
+    predictor_ = new core::PopularityPredictor(
+        core::PopularityPredictor::Build(*model_, *dataset_, group));
+  }
+
+  static void TearDownTestSuite() {
+    delete predictor_;
+    predictor_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static runtime::ServingSnapshot MakeSnapshot() {
+    runtime::ServingSnapshot snapshot;
+    snapshot.model = runtime::Unowned(model_);
+    snapshot.predictor = runtime::Unowned(predictor_);
+    snapshot.item_profiles = runtime::Unowned(&dataset_->item_profiles);
+    snapshot.tag = "test";
+    return snapshot;
+  }
+
+  static ShardedRuntimeConfig SmallShardedConfig(size_t num_shards) {
+    ShardedRuntimeConfig config;
+    config.num_shards = num_shards;
+    config.shard.num_workers = 2;
+    config.shard.batcher.max_batch_size = 16;
+    config.shard.batcher.max_delay_us = 500;
+    config.shard.batcher.queue_capacity = 256;
+    return config;
+  }
+
+  static std::shared_ptr<serving::PopularityIndex> FlatPrior(double value) {
+    auto prior = std::make_shared<serving::PopularityIndex>();
+    for (int64_t row = 0; row < dataset_->item_profiles.num_rows(); ++row) {
+      prior->Upsert(row, value);
+    }
+    return prior;
+  }
+
+  static std::vector<int64_t> AllRows() {
+    std::vector<int64_t> rows(
+        static_cast<size_t>(dataset_->item_profiles.num_rows()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<int64_t>(i);
+    }
+    return rows;
+  }
+
+  static data::TmallDataset* dataset_;
+  static core::AtnnModel* model_;
+  static core::PopularityPredictor* predictor_;
+};
+
+data::TmallDataset* ShardedRuntimeTest::dataset_ = nullptr;
+core::AtnnModel* ShardedRuntimeTest::model_ = nullptr;
+core::PopularityPredictor* ShardedRuntimeTest::predictor_ = nullptr;
+
+TEST_F(ShardedRuntimeTest, ConfigValidationReturnsStatusNotAbort) {
+  ShardedRuntimeConfig config = SmallShardedConfig(0);
+  EXPECT_EQ(ShardedRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = SmallShardedConfig(2);
+  config.fanout_budget_fraction = 0.0;
+  EXPECT_EQ(ShardedRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.fanout_budget_fraction = 1.5;
+  EXPECT_EQ(ShardedRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = SmallShardedConfig(2);
+  config.default_deadline_us = -1;
+  EXPECT_EQ(ShardedRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = SmallShardedConfig(2);
+  config.shard.num_workers = 0;  // invalid per-shard template
+  EXPECT_EQ(ShardedRuntime::Create(config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const auto runtime = ShardedRuntime::Create(SmallShardedConfig(2));
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  EXPECT_EQ((*runtime)->num_shards(), 2u);
+  // The ring can never disagree with the shard count.
+  EXPECT_EQ((*runtime)->ring().num_shards(), 2u);
+}
+
+TEST_F(ShardedRuntimeTest, MatchesUnshardedScoringAcrossShardCounts) {
+  const std::vector<double> expected =
+      predictor_->ScoreItems(*model_, *dataset_, dataset_->new_items);
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    ShardedRuntime runtime(SmallShardedConfig(shards));
+    const auto published = runtime.PublishSharded(MakeSnapshot());
+    ASSERT_TRUE(published.ok()) << published.status().ToString();
+    EXPECT_EQ(published.value(), 1u);
+    EXPECT_EQ(runtime.snapshot_version(), 1u);
+
+    const auto results = runtime.ScoreBatch(dataset_->new_items);
+    ASSERT_EQ(results.size(), dataset_->new_items.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << shards << " shards: " << results[i].status().ToString();
+      EXPECT_NEAR(results[i].value().score, expected[i], 1e-9)
+          << shards << " shards, item " << dataset_->new_items[i];
+      EXPECT_EQ(results[i].value().tier, runtime::ServingTier::kFresh);
+      EXPECT_EQ(results[i].value().snapshot_version, 1u);
+    }
+    runtime.Shutdown();
+  }
+}
+
+TEST_F(ShardedRuntimeTest, RoutesEveryRowToItsRingShard) {
+  ShardedRuntime runtime(SmallShardedConfig(4));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+
+  const std::vector<int64_t> rows = AllRows();
+  std::vector<int64_t> expected_per_shard(4, 0);
+  for (const int64_t row : rows) {
+    ++expected_per_shard[runtime.ring().ShardFor(row)];
+  }
+  const auto results = runtime.ScoreBatch(rows);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  runtime.Shutdown();
+  for (size_t s = 0; s < 4; ++s) {
+    // With 400 catalog rows each shard owns some slice, and every request
+    // must have been admitted by exactly the shard the ring names.
+    EXPECT_GT(expected_per_shard[s], 0) << "degenerate ring split";
+    EXPECT_EQ(runtime.shard(s).stats().enqueued, expected_per_shard[s])
+        << "shard " << s;
+  }
+}
+
+TEST_F(ShardedRuntimeTest, ScoreBeforePublishFailsCleanly) {
+  ShardedRuntime runtime(SmallShardedConfig(2));
+  const auto single = runtime.Score(0);
+  EXPECT_EQ(single.status().code(), StatusCode::kFailedPrecondition);
+  const auto batch = runtime.ScoreBatch({0, 1, 2});
+  ASSERT_EQ(batch.size(), 3u);
+  for (const auto& result : batch) {
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(ShardedRuntimeTest, OutOfRangeRowIsInvalidArgumentOthersStillServe) {
+  ShardedRuntime runtime(SmallShardedConfig(2));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const int64_t valid = dataset_->new_items.front();
+  const auto results = runtime.ScoreBatch(
+      {-1, valid, dataset_->item_profiles.num_rows() + 5});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(results[1].ok()) << results[1].status().ToString();
+  EXPECT_EQ(results[2].status().code(), StatusCode::kInvalidArgument);
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, DeadShardDegradesThroughPriorNeverErrors) {
+  ShardedRuntimeConfig config = SmallShardedConfig(2);
+  config.prior = FlatPrior(0.25);
+  ShardedRuntime runtime(config);
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const std::vector<double> expected =
+      predictor_->ScoreItems(*model_, *dataset_, AllRows());
+
+  runtime.ShutDownShard(0);
+
+  const std::vector<int64_t> rows = AllRows();
+  const auto results = runtime.ScoreBatch(rows);
+  int64_t degraded = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    // The partial-failure contract: a dead shard is a serving-quality
+    // event, never a request failure.
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    if (runtime.ring().ShardFor(rows[i]) == 0) {
+      EXPECT_EQ(results[i].value().tier, runtime::ServingTier::kPrior);
+      EXPECT_EQ(results[i].value().score, 0.25);
+      ++degraded;
+    } else {
+      EXPECT_EQ(results[i].value().tier, runtime::ServingTier::kFresh);
+      EXPECT_NEAR(results[i].value().score, expected[i], 1e-9);
+    }
+  }
+  EXPECT_GT(degraded, 0) << "shard 0 owned no rows; test is vacuous";
+  runtime.Shutdown();
+
+  const auto snapshot = runtime.Collect();
+  int64_t shard_errors = 0;
+  int64_t frontend_degraded = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "gather.shard_errors") shard_errors = value;
+    if (name == "gather.degraded") frontend_degraded = value;
+  }
+  EXPECT_EQ(shard_errors, degraded);
+  EXPECT_EQ(frontend_degraded, degraded);
+}
+
+TEST_F(ShardedRuntimeTest, ExpiredBudgetDegradesEveryAnswerWithTier) {
+  ShardedRuntimeConfig config = SmallShardedConfig(2);
+  config.prior = FlatPrior(0.125);
+  ShardedRuntime runtime(config);
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+
+  // A 1us whole-request budget cannot cover a batcher flush: every answer
+  // must be degraded — and still tier-tagged, never an error.
+  const auto results = runtime.ScoreBatch(dataset_->new_items, 1);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NE(result.value().tier, runtime::ServingTier::kFresh);
+  }
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, PublishAdvancesAllShardsInLockstep) {
+  ShardedRuntime runtime(SmallShardedConfig(4));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const auto second = runtime.PublishSharded(MakeSnapshot());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 2u);
+  EXPECT_EQ(runtime.snapshot_version(), 2u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(runtime.shard(s).snapshot_version(), 2u) << "shard " << s;
+  }
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, CorruptPublishRejectsBeforeAnyShardSwaps) {
+  ShardedRuntime runtime(SmallShardedConfig(2));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+
+  runtime::ServingSnapshot corrupt = MakeSnapshot();
+  corrupt.model = nullptr;
+  EXPECT_EQ(runtime.PublishSharded(corrupt).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(runtime.snapshot_version(), 1u);
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(runtime.shard(s).snapshot_version(), 1u) << "shard " << s;
+  }
+  // Version 1 still serves.
+  EXPECT_TRUE(runtime.Score(dataset_->new_items.front()).ok());
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, SingleRowScoreMatchesBatch) {
+  ShardedRuntime runtime(SmallShardedConfig(2));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const int64_t item = dataset_->new_items.front();
+  const auto single = runtime.Score(item);
+  ASSERT_TRUE(single.ok());
+  const auto batch = runtime.ScoreBatch({item});
+  ASSERT_TRUE(batch.front().ok());
+  EXPECT_NEAR(single.value().score, batch.front().value().score, 1e-12);
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, CollectKeepsShardNamespacesDisjointAndSorted) {
+  ShardedRuntime runtime(SmallShardedConfig(2));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  for (const int64_t item : dataset_->new_items) {
+    ASSERT_TRUE(runtime.Score(item).ok());
+  }
+  runtime.Shutdown();
+
+  const auto snapshot = runtime.Collect();
+  std::set<std::string> names;
+  for (const auto& [name, value] : snapshot.counters) names.insert(name);
+  // Front-end metrics live at the root; each shard's runtime metrics under
+  // its own prefix.
+  EXPECT_TRUE(names.count("gather.requests"));
+  EXPECT_TRUE(names.count("shard0.enqueued"));
+  EXPECT_TRUE(names.count("shard1.enqueued"));
+  EXPECT_TRUE(names.count("shard0.completed_ok"));
+  // Disjoint: concatenation produced no duplicate names.
+  EXPECT_EQ(names.size(), snapshot.counters.size());
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.counters.begin(), snapshot.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.histograms.begin(), snapshot.histograms.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+
+  int64_t total_enqueued = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "shard0.enqueued" || name == "shard1.enqueued") {
+      total_enqueued += value;
+    }
+  }
+  EXPECT_EQ(total_enqueued,
+            static_cast<int64_t>(dataset_->new_items.size()));
+}
+
+}  // namespace
+}  // namespace atnn::cluster

@@ -1,0 +1,268 @@
+#include "cluster/tenant_registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../core/test_helpers.h"
+#include "core/atnn.h"
+#include "core/popularity.h"
+#include "data/tmall.h"
+#include "serving/popularity_index.h"
+
+namespace atnn::cluster {
+namespace {
+
+/// Two predictors over one world stand in for two model tenants (the
+/// paper's A/B arms): same catalog, different mean-user vectors, so each
+/// tenant must answer with its own scores.
+class TenantRegistryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::TmallDataset(
+        core::testing_helpers::MakeNormalizedTinyDataset());
+    core::AtnnConfig config;
+    config.tower =
+        core::testing_helpers::TinyTowerConfig(nn::TowerKind::kDeepCross);
+    config.seed = 11;
+    model_ = new core::AtnnModel(*dataset_->user_schema,
+                                 *dataset_->item_profile_schema,
+                                 *dataset_->item_stats_schema, config);
+    predictor_a_ = new core::PopularityPredictor(
+        core::PopularityPredictor::Build(
+            *model_, *dataset_, core::SelectActiveUsers(*dataset_, 64)));
+    predictor_b_ = new core::PopularityPredictor(
+        core::PopularityPredictor::Build(
+            *model_, *dataset_, core::SelectActiveUsers(*dataset_, 16)));
+  }
+
+  static void TearDownTestSuite() {
+    delete predictor_b_;
+    predictor_b_ = nullptr;
+    delete predictor_a_;
+    predictor_a_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static runtime::ServingSnapshot MakeSnapshot(
+      core::PopularityPredictor* predictor) {
+    runtime::ServingSnapshot snapshot;
+    snapshot.model = runtime::Unowned(model_);
+    snapshot.predictor = runtime::Unowned(predictor);
+    snapshot.item_profiles = runtime::Unowned(&dataset_->item_profiles);
+    snapshot.tag = "test";
+    return snapshot;
+  }
+
+  static TenantConfig SmallTenant(const std::string& name) {
+    TenantConfig config;
+    config.name = name;
+    config.sharded.num_shards = 2;
+    config.sharded.shard.num_workers = 2;
+    config.sharded.shard.batcher.max_batch_size = 16;
+    config.sharded.shard.batcher.max_delay_us = 500;
+    config.sharded.shard.batcher.queue_capacity = 256;
+    return config;
+  }
+
+  static std::shared_ptr<serving::PopularityIndex> FlatPrior(double value) {
+    auto prior = std::make_shared<serving::PopularityIndex>();
+    for (int64_t row = 0; row < dataset_->item_profiles.num_rows(); ++row) {
+      prior->Upsert(row, value);
+    }
+    return prior;
+  }
+
+  static data::TmallDataset* dataset_;
+  static core::AtnnModel* model_;
+  static core::PopularityPredictor* predictor_a_;
+  static core::PopularityPredictor* predictor_b_;
+};
+
+data::TmallDataset* TenantRegistryTest::dataset_ = nullptr;
+core::AtnnModel* TenantRegistryTest::model_ = nullptr;
+core::PopularityPredictor* TenantRegistryTest::predictor_a_ = nullptr;
+core::PopularityPredictor* TenantRegistryTest::predictor_b_ = nullptr;
+
+TEST_F(TenantRegistryTest, TwoTenantsServeConcurrentlyWithTheirOwnModels) {
+  TenantRegistry registry;
+  const auto atnn = registry.AddTenant(SmallTenant("atnn"));
+  ASSERT_TRUE(atnn.ok()) << atnn.status().ToString();
+  const auto multitask = registry.AddTenant(SmallTenant("multitask"));
+  ASSERT_TRUE(multitask.ok()) << multitask.status().ToString();
+  ASSERT_TRUE(
+      (*atnn)->PublishSharded(MakeSnapshot(predictor_a_)).ok());
+  ASSERT_TRUE(
+      (*multitask)->PublishSharded(MakeSnapshot(predictor_b_)).ok());
+
+  const std::vector<double> expected_a =
+      predictor_a_->ScoreItems(*model_, *dataset_, dataset_->new_items);
+  const std::vector<double> expected_b =
+      predictor_b_->ScoreItems(*model_, *dataset_, dataset_->new_items);
+
+  // Both arms serve at once; each must only ever answer with its own
+  // model's scores.
+  std::atomic<int> failures{0};
+  const auto drive = [&](const std::string& tenant,
+                         const std::vector<double>& expected) {
+    for (int round = 0; round < 5; ++round) {
+      const auto results =
+          registry.ScoreBatch(tenant, dataset_->new_items);
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok() ||
+            std::abs(results[i].value().score - expected[i]) > 1e-9) {
+          failures.fetch_add(1);
+        }
+      }
+    }
+  };
+  std::thread thread_a(drive, "atnn", std::cref(expected_a));
+  std::thread thread_b(drive, "multitask", std::cref(expected_b));
+  thread_a.join();
+  thread_b.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The arms genuinely differ — agreement would mean the registry routed
+  // both names to one runtime.
+  double max_gap = 0.0;
+  for (size_t i = 0; i < expected_a.size(); ++i) {
+    max_gap = std::max(max_gap, std::abs(expected_a[i] - expected_b[i]));
+  }
+  EXPECT_GT(max_gap, 1e-6);
+  registry.Shutdown();
+}
+
+TEST_F(TenantRegistryTest, CollectKeepsTenantNamespacesDisjoint) {
+  TenantRegistry registry;
+  const auto atnn = registry.AddTenant(SmallTenant("atnn"));
+  ASSERT_TRUE(atnn.ok());
+  const auto multitask = registry.AddTenant(SmallTenant("multitask"));
+  ASSERT_TRUE(multitask.ok());
+  ASSERT_TRUE((*atnn)->PublishSharded(MakeSnapshot(predictor_a_)).ok());
+  ASSERT_TRUE(
+      (*multitask)->PublishSharded(MakeSnapshot(predictor_b_)).ok());
+  for (const int64_t item : dataset_->new_items) {
+    ASSERT_TRUE(registry.Score("atnn", item).ok());
+    ASSERT_TRUE(registry.Score("multitask", item).ok());
+  }
+  registry.Shutdown();
+
+  const auto snapshot = registry.Collect();
+  std::set<std::string> names;
+  for (const auto& [name, value] : snapshot.counters) {
+    names.insert(name);
+    // Every metric is attributable to exactly one tenant.
+    EXPECT_TRUE(name.rfind("tenant.atnn.", 0) == 0 ||
+                name.rfind("tenant.multitask.", 0) == 0)
+        << name;
+  }
+  EXPECT_EQ(names.size(), snapshot.counters.size()) << "duplicate names";
+  // The full path survives both prefix layers: tenant, then shard.
+  EXPECT_TRUE(names.count("tenant.atnn.gather.requests"));
+  EXPECT_TRUE(names.count("tenant.atnn.shard0.enqueued"));
+  EXPECT_TRUE(names.count("tenant.multitask.shard1.enqueued"));
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.counters.begin(), snapshot.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST_F(TenantRegistryTest, TenantsKeepIndependentDeadlineBudgets) {
+  TenantRegistry registry;
+  TenantConfig relaxed = SmallTenant("relaxed");
+  relaxed.sharded.prior = FlatPrior(0.25);
+  TenantConfig tight = SmallTenant("tight");
+  tight.sharded.prior = FlatPrior(0.25);
+  // One arm serves without a budget, the other under an unmeetable 1us
+  // whole-request budget: the tight arm's degradation must not leak into
+  // the relaxed arm.
+  tight.sharded.default_deadline_us = 1;
+  const auto relaxed_runtime = registry.AddTenant(relaxed);
+  ASSERT_TRUE(relaxed_runtime.ok());
+  const auto tight_runtime = registry.AddTenant(tight);
+  ASSERT_TRUE(tight_runtime.ok());
+  ASSERT_TRUE(
+      (*relaxed_runtime)->PublishSharded(MakeSnapshot(predictor_a_)).ok());
+  ASSERT_TRUE(
+      (*tight_runtime)->PublishSharded(MakeSnapshot(predictor_a_)).ok());
+
+  const auto relaxed_results =
+      registry.ScoreBatch("relaxed", dataset_->new_items);
+  const auto tight_results =
+      registry.ScoreBatch("tight", dataset_->new_items);
+  for (size_t i = 0; i < dataset_->new_items.size(); ++i) {
+    ASSERT_TRUE(relaxed_results[i].ok());
+    EXPECT_EQ(relaxed_results[i].value().tier,
+              runtime::ServingTier::kFresh);
+    ASSERT_TRUE(tight_results[i].ok());
+    EXPECT_NE(tight_results[i].value().tier, runtime::ServingTier::kFresh);
+  }
+  registry.Shutdown();
+
+  // The budget pressure is visible exactly where it happened: some
+  // degraded counter under tenant.tight.*, none under tenant.relaxed.*.
+  const auto snapshot = registry.Collect();
+  int64_t tight_degraded = 0;
+  int64_t relaxed_degraded = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    const bool is_degraded =
+        name.size() >= 9 &&
+        name.compare(name.size() - 9, 9, ".degraded") == 0;
+    if (!is_degraded) continue;
+    if (name.rfind("tenant.tight.", 0) == 0) tight_degraded += value;
+    if (name.rfind("tenant.relaxed.", 0) == 0) relaxed_degraded += value;
+  }
+  EXPECT_GT(tight_degraded, 0);
+  EXPECT_EQ(relaxed_degraded, 0);
+}
+
+TEST_F(TenantRegistryTest, DuplicateAndInvalidNamesAreRejected) {
+  TenantRegistry registry;
+  ASSERT_TRUE(registry.AddTenant(SmallTenant("atnn")).ok());
+  EXPECT_EQ(registry.AddTenant(SmallTenant("atnn")).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.AddTenant(SmallTenant("")).status().code(),
+            StatusCode::kInvalidArgument);
+  // '.' would collide with the metrics namespace separator.
+  EXPECT_EQ(registry.AddTenant(SmallTenant("a.b")).status().code(),
+            StatusCode::kInvalidArgument);
+  TenantConfig bad_sharded = SmallTenant("ok-name");
+  bad_sharded.sharded.num_shards = 0;
+  EXPECT_EQ(registry.AddTenant(bad_sharded).status().code(),
+            StatusCode::kInvalidArgument);
+  registry.Shutdown();
+}
+
+TEST_F(TenantRegistryTest, UnknownTenantIsNotFoundWithPerRowShape) {
+  TenantRegistry registry;
+  EXPECT_EQ(registry.Get("ghost"), nullptr);
+  EXPECT_EQ(registry.Score("ghost", 0).status().code(),
+            StatusCode::kNotFound);
+  const auto batch = registry.ScoreBatch("ghost", {0, 1, 2});
+  ASSERT_EQ(batch.size(), 3u);  // zips to rows unconditionally
+  for (const auto& result : batch) {
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  }
+}
+
+TEST_F(TenantRegistryTest, TenantNamesComeBackSorted) {
+  TenantRegistry registry;
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(registry.AddTenant(SmallTenant(name)).ok());
+  }
+  const std::vector<std::string> expected = {"alpha", "mid", "zeta"};
+  EXPECT_EQ(registry.TenantNames(), expected);
+  registry.Shutdown();
+}
+
+}  // namespace
+}  // namespace atnn::cluster

@@ -57,6 +57,39 @@ TEST(EntityTableTest, GatherBlockSelectsRows) {
   EXPECT_FLOAT_EQ(batch.numeric.at(1, 0), 10.0f);
 }
 
+TEST(EntityTableTest, SliceRowsMaterializesAStandaloneTable) {
+  auto schema = std::make_shared<FeatureSchema>(MakeMixedSchema());
+  EntityTable table(schema, 5);
+  for (int64_t r = 0; r < 5; ++r) {
+    table.set_categorical(0, r, r + 1);
+    table.set_categorical(1, r, r);
+    table.set_numeric(0, r, static_cast<float>(r) * 0.5f);
+    table.set_numeric(1, r, static_cast<float>(-r));
+  }
+
+  // Out-of-order, repeated selection — exactly what a shard slice does
+  // when the ring hands it a scattered row set.
+  const std::vector<int64_t> rows = {4, 0, 2, 4};
+  EntityTable slice = SliceRows(table, rows);
+  ASSERT_EQ(slice.num_rows(), 4);
+  EXPECT_EQ(slice.schema_ptr(), table.schema_ptr());  // schema shared
+  for (int64_t local = 0; local < slice.num_rows(); ++local) {
+    const int64_t src = rows[static_cast<size_t>(local)];
+    EXPECT_EQ(slice.categorical(0, local), table.categorical(0, src));
+    EXPECT_EQ(slice.categorical(1, local), table.categorical(1, src));
+    EXPECT_FLOAT_EQ(slice.numeric(0, local), table.numeric(0, src));
+    EXPECT_FLOAT_EQ(slice.numeric(1, local), table.numeric(1, src));
+  }
+
+  // Standalone copy: mutating the source later must not leak through.
+  table.set_categorical(0, 4, 9);
+  EXPECT_EQ(slice.categorical(0, 0), 5);
+
+  // An empty selection is a valid (0-row) table, not an error — shards can
+  // own no rows on tiny catalogs.
+  EXPECT_EQ(SliceRows(table, {}).num_rows(), 0);
+}
+
 TEST(NormalizerTest, StandardizesColumns) {
   auto schema = std::make_shared<FeatureSchema>(
       FeatureSchema({FeatureSpec::Numeric("a"), FeatureSpec::Numeric("b")}));

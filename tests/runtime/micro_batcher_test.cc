@@ -46,6 +46,45 @@ TEST(MicroBatcherTest, FlushesPartialBatchOnDeadline) {
   batcher.Close();
 }
 
+TEST(MicroBatcherTest, FlushHintReleasesPartialBatchWithoutTheWindow) {
+  BatcherConfig config = SmallConfig();
+  config.max_delay_us = 10'000'000;  // a missed hint would hang 10s here
+  MicroBatcher batcher(config);
+  auto f0 = batcher.Enqueue(7);
+  auto f1 = batcher.Enqueue(8);
+  batcher.FlushHint();  // producer: this burst is over, no co-riders coming
+  const auto start = std::chrono::steady_clock::now();
+  const auto batch = batcher.PopBatch();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].item_row, 7);
+  EXPECT_EQ(batch[1].item_row, 8);
+  EXPECT_LT(waited, std::chrono::seconds(5)) << "hint did not cut the window";
+
+  // The hint only covers requests admitted before it: a later enqueue opens
+  // a fresh window (released here by a second hint, not by aging out).
+  auto f2 = batcher.Enqueue(9);
+  batcher.FlushHint();
+  const auto next = batcher.PopBatch();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].item_row, 9);
+  batcher.Close();
+}
+
+TEST(MicroBatcherTest, FlushHintOnEmptyQueueIsANoOp) {
+  BatcherConfig config = SmallConfig();
+  config.max_delay_us = 1000;
+  MicroBatcher batcher(config);
+  batcher.FlushHint();  // nothing queued: must not poison the next window
+  // A request admitted after the empty-queue hint still gets coalescing:
+  // the second request enqueued during its window must ride the same batch.
+  auto f0 = batcher.Enqueue(1);
+  auto f1 = batcher.Enqueue(2);
+  const auto batch = batcher.PopBatch();
+  EXPECT_EQ(batch.size(), 2u);
+  batcher.Close();
+}
+
 TEST(MicroBatcherTest, OversizedBurstSplitsIntoBatches) {
   MicroBatcher batcher(SmallConfig());
   std::vector<std::future<StatusOr<ScoreResult>>> futures;
@@ -108,6 +147,37 @@ TEST(MicroBatcherTest, CloseDrainsQueuedRequestsThenSignalsExit) {
   EXPECT_EQ(batcher.PopBatch().size(), 2u);
   // ...and only then does PopBatch signal the workers to exit.
   EXPECT_TRUE(batcher.PopBatch().empty());
+}
+
+TEST(MicroBatcherTest, QueueDepthGaugeTracksEveryMutationBackToZero) {
+  // Regression: the gauge used to be published by two ad-hoc call sites,
+  // and the closed-and-drained exit never touched it — a worker observing
+  // that path could leave a stale nonzero depth on the exporter forever.
+  // All publications now go through one locked accounting point; the gauge
+  // must track the queue exactly at every step and read 0 after drain.
+  RuntimeStats stats;
+  MicroBatcher batcher(SmallConfig(), &stats);
+  const auto gauge_depth = [&stats]() -> double {
+    for (const auto& [name, value] : stats.registry().Collect().gauges) {
+      if (name == "queue_depth") return value;
+    }
+    return -1.0;
+  };
+
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  for (int64_t i = 0; i < 6; ++i) {
+    futures.push_back(batcher.Enqueue(i));
+    EXPECT_EQ(gauge_depth(), static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(batcher.PopBatch().size(), 4u);
+  EXPECT_EQ(gauge_depth(), 2.0);
+  batcher.Close();
+  EXPECT_EQ(batcher.PopBatch().size(), 2u);
+  EXPECT_EQ(gauge_depth(), 0.0);
+  // The closed-and-drained exit republishes too.
+  EXPECT_TRUE(batcher.PopBatch().empty());
+  EXPECT_EQ(gauge_depth(), 0.0);
+  EXPECT_EQ(batcher.queue_depth(), 0u);
 }
 
 TEST(MicroBatcherTest, EnqueueAfterCloseFailsFast) {

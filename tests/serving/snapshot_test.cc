@@ -102,6 +102,61 @@ TEST(ModelSnapshotTest, MissingFileIsIoError) {
   EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
+TEST(ModelSnapshotTest, RetryingLoaderRetriesTransientsThenSucceeds) {
+  // A snapshot that appears mid-run (checkpoint rotation): the first
+  // attempts hit a missing file (retriable IoError); the file materializes
+  // before the attempt budget runs out and the load lands.
+  const std::string path = TempPath("snapshot_retry_appears.bin");
+  std::remove(path.c_str());
+  ToyModel original(1);
+  ToyModel restored(2);
+
+  RetryConfig retry;
+  retry.max_attempts = 3;
+  std::vector<int64_t> backoffs;
+  const auto capture_sleep = [&](int64_t ms) {
+    backoffs.push_back(ms);
+    // The file shows up while the loader is backing off.
+    if (backoffs.size() == 2) {
+      ASSERT_TRUE(SaveModelSnapshot(&original, path, "toy-v1").ok());
+    }
+  };
+  const Status status =
+      LoadModelSnapshotWithRetry(&restored, path, "toy-v1", retry,
+                                 capture_sleep);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(backoffs.size(), 2u);  // two failures, success on attempt 3
+  std::remove(path.c_str());
+}
+
+TEST(ModelSnapshotTest, RetryingLoaderFailsFastOnPermanentErrors) {
+  // A tag mismatch is not transient: retrying would spin on a wrong file.
+  const std::string path = TempPath("snapshot_retry_tag.bin");
+  ToyModel original(1);
+  ASSERT_TRUE(SaveModelSnapshot(&original, path, "toy-v1").ok());
+
+  ToyModel restored(2);
+  std::vector<int64_t> backoffs;
+  const Status status = LoadModelSnapshotWithRetry(
+      &restored, path, "other-tag", {},
+      [&](int64_t ms) { backoffs.push_back(ms); });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(backoffs.empty()) << "permanent error must not back off";
+  std::remove(path.c_str());
+}
+
+TEST(ModelSnapshotTest, RetryingLoaderGivesUpAfterAttemptBudget) {
+  ToyModel model(1);
+  RetryConfig retry;
+  retry.max_attempts = 4;
+  std::vector<int64_t> backoffs;
+  const Status status = LoadModelSnapshotWithRetry(
+      &model, "/nonexistent/snap.bin", "toy-v1", retry,
+      [&](int64_t ms) { backoffs.push_back(ms); });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(backoffs.size(), 3u);  // sleeps between the 4 attempts only
+}
+
 TEST(ModelSnapshotTest, TruncationAtEveryByteBoundaryLoadsCleanly) {
   // A real model snapshot cut at every possible byte boundary: every prefix
   // must be rejected with a clean Status (a crashed loader here would take

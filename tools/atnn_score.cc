@@ -97,8 +97,11 @@ int Run(int argc, const char* const* argv) {
   config.seed = 7;
   core::AtnnModel model(*dataset.user_schema, *dataset.item_profile_schema,
                         *dataset.item_stats_schema, config);
-  status = serving::LoadModelSnapshot(&model, flags.GetString("snapshot"),
-                                      kModelTag);
+  // Retrying loader: atnn_score is routinely pointed at a snapshot that a
+  // concurrently running trainer is rotating; a mid-write read is an
+  // IoError worth a second attempt, not a failed run.
+  status = serving::LoadModelSnapshotWithRetry(
+      &model, flags.GetString("snapshot"), kModelTag);
   if (!status.ok()) {
     std::fprintf(stderr, "snapshot load failed: %s\n",
                  status.ToString().c_str());

@@ -10,6 +10,16 @@
 //   $ atnn_serve --admission=reject --queue_capacity=128   # load-shedding
 //   $ atnn_serve --swap_every_ms=100                       # hot-swap churn
 //   $ atnn_serve --chaos --deadline_us=20000               # fault drill
+//   $ atnn_serve --shards=4                                # sharded catalog
+//   $ atnn_serve --shards=2 --tenants=atnn,multitask       # multi-tenant
+//
+// --shards/--tenants switch to the cluster front-end: the catalog is
+// consistent-hash sharded across per-shard runtimes behind a
+// scatter/gather layer, optionally with several named tenants served side
+// by side (each with its own shard set, deadline budget, and
+// "tenant.<name>.shard<i>.*" metrics namespace). --kill_shard=i shuts
+// shard i down on every tenant mid-replay to demonstrate degraded serving
+// through the popularity prior.
 //
 // --chaos turns on the runtime's seeded fault injector (worker delays,
 // batch failures, queue rejections) and attempts corrupt snapshot
@@ -23,6 +33,7 @@
 // failures with exponential backoff before giving up.
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -32,9 +43,9 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/tenant_registry.h"
 #include "common/flags.h"
 #include "nn/kernels.h"
-#include "common/retry.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/atnn.h"
@@ -96,6 +107,16 @@ int Run(int argc, const char* const* argv) {
                   "per-batch probability of a forced scoring failure");
   flags.AddDouble("chaos_reject_p", 0.02,
                   "per-request probability of a simulated full queue");
+  flags.AddInt64("shards", 0,
+                 "if > 0, serve through the consistent-hash sharded "
+                 "front-end with this many per-shard runtimes (0 = classic "
+                 "single-runtime path)");
+  flags.AddString("tenants", "",
+                  "comma-separated tenant names served side by side, each "
+                  "behind its own shard set (implies --shards, default 2)");
+  flags.AddInt64("kill_shard", -1,
+                 "sharded path only: shut this shard down on every tenant "
+                 "halfway through the replay (degraded-serving drill)");
   flags.AddString("atnn_kernel", "auto",
                   "compute backend: auto | scalar | avx2");
   flags.AddString("metrics_json", "",
@@ -160,13 +181,8 @@ int Run(int argc, const char* const* argv) {
   core::AtnnModel model(*dataset.user_schema, *dataset.item_profile_schema,
                         *dataset.item_stats_schema, config);
   if (!flags.GetString("snapshot").empty()) {
-    // A checkpoint mid-write or an NFS blip shows up as a transient
-    // IoError; retry those with backoff before declaring the load dead.
-    // Corruption/tag mismatches are permanent and fail on the first try.
-    status = RetryWithBackoff([&] {
-      return serving::LoadModelSnapshot(&model, flags.GetString("snapshot"),
-                                        kModelTag);
-    });
+    status = serving::LoadModelSnapshotWithRetry(
+        &model, flags.GetString("snapshot"), kModelTag);
     if (!status.ok()) {
       std::fprintf(stderr, "snapshot load failed: %s\n",
                    status.ToString().c_str());
@@ -184,6 +200,170 @@ int Run(int argc, const char* const* argv) {
   const auto prior_scores =
       predictor.ScoreItems(model, dataset, dataset.new_items);
   prior->BulkLoad(dataset.new_items, prior_scores);
+
+  // Shared by both serving paths: the snapshot to publish and the
+  // Zipf-skewed request stream over the new arrivals.
+  runtime::ServingSnapshot snapshot;
+  snapshot.model = runtime::Unowned(&model);
+  snapshot.predictor = runtime::Unowned(&predictor);
+  snapshot.item_profiles = runtime::Unowned(&dataset.item_profiles);
+  snapshot.tag = "atnn_serve";
+
+  const auto total_requests = flags.GetInt64("requests");
+  const auto num_clients =
+      std::max<int64_t>(1, flags.GetInt64("clients"));
+  std::vector<int64_t> stream;
+  stream.reserve(static_cast<size_t>(total_requests));
+  {
+    Rng rng(world.seed ^ 0x5e77eULL);
+    for (int64_t i = 0; i < total_requests; ++i) {
+      stream.push_back(dataset.new_items[rng.Zipf(
+          dataset.new_items.size(), flags.GetDouble("zipf"))]);
+    }
+  }
+
+  // --- sharded multi-tenant path (--shards / --tenants) ---
+  if (flags.GetInt64("shards") > 0 || !flags.GetString("tenants").empty()) {
+    std::vector<std::string> tenant_names;
+    {
+      const std::string& spec = flags.GetString("tenants");
+      std::string name;
+      for (const char c : spec) {
+        if (c == ',') {
+          if (!name.empty()) tenant_names.push_back(name);
+          name.clear();
+        } else {
+          name.push_back(c);
+        }
+      }
+      if (!name.empty()) tenant_names.push_back(name);
+      if (tenant_names.empty()) tenant_names.push_back("atnn");
+    }
+    const size_t num_shards = static_cast<size_t>(
+        flags.GetInt64("shards") > 0 ? flags.GetInt64("shards") : 2);
+    const int64_t kill_shard = flags.GetInt64("kill_shard");
+    if (kill_shard >= static_cast<int64_t>(num_shards)) {
+      std::fprintf(stderr, "--kill_shard must be < --shards\n");
+      return 2;
+    }
+
+    cluster::TenantRegistry registry;
+    for (const std::string& name : tenant_names) {
+      cluster::TenantConfig tenant;
+      tenant.name = name;
+      tenant.sharded.num_shards = num_shards;
+      tenant.sharded.default_deadline_us = flags.GetInt64("deadline_us");
+      tenant.sharded.prior = prior;
+      tenant.sharded.shard.num_workers =
+          static_cast<size_t>(flags.GetInt64("workers"));
+      tenant.sharded.shard.enable_score_cache = flags.GetBool("score_cache");
+      tenant.sharded.shard.batcher.max_batch_size =
+          static_cast<size_t>(flags.GetInt64("max_batch"));
+      tenant.sharded.shard.batcher.max_delay_us =
+          flags.GetInt64("max_delay_us");
+      tenant.sharded.shard.batcher.queue_capacity =
+          static_cast<size_t>(flags.GetInt64("queue_capacity"));
+      tenant.sharded.shard.batcher.admission =
+          admission == "block" ? runtime::AdmissionPolicy::kBlock
+                               : runtime::AdmissionPolicy::kRejectWithStatus;
+      auto added = registry.AddTenant(tenant);
+      if (!added.ok()) {
+        std::fprintf(stderr, "tenant '%s' rejected: %s\n", name.c_str(),
+                     added.status().ToString().c_str());
+        return 2;
+      }
+      const auto tenant_published = (*added)->PublishSharded(snapshot);
+      if (!tenant_published.ok()) {
+        std::fprintf(stderr, "tenant '%s' publish rejected: %s\n",
+                     name.c_str(),
+                     tenant_published.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("sharded serving: %zu tenant(s) x %zu shard(s), %lld "
+                "worker(s)/shard\n",
+                tenant_names.size(), num_shards,
+                static_cast<long long>(flags.GetInt64("workers")));
+
+    // Replay: each client thread owns every num_clients-th chunk, and
+    // chunks rotate across tenants so every tenant sees the same skew.
+    Stopwatch timer;
+    std::atomic<int64_t> ok_count{0};
+    std::atomic<int64_t> error_count{0};
+    std::array<std::atomic<int64_t>, runtime::kNumServingTiers> tiers{};
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(static_cast<size_t>(num_clients));
+    constexpr size_t kChunk = 512;
+    for (int64_t c = 0; c < num_clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        size_t chunk_index = 0;
+        for (size_t begin = 0; begin < stream.size();
+             begin += kChunk, ++chunk_index) {
+          if (chunk_index % static_cast<size_t>(num_clients) !=
+              static_cast<size_t>(c)) {
+            continue;
+          }
+          const size_t end = std::min(begin + kChunk, stream.size());
+          const std::vector<int64_t> chunk(stream.begin() + begin,
+                                           stream.begin() + end);
+          const auto& tenant =
+              tenant_names[chunk_index % tenant_names.size()];
+          for (const auto& result : registry.ScoreBatch(tenant, chunk)) {
+            if (result.ok()) {
+              ok_count.fetch_add(1);
+              tiers[static_cast<size_t>(result.value().tier)].fetch_add(1);
+            } else {
+              error_count.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    if (kill_shard >= 0) {
+      // Degraded-serving drill: wait until roughly half the stream has
+      // been answered, then take the shard down on every tenant.
+      while (ok_count.load() + error_count.load() < total_requests / 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      for (const std::string& name : tenant_names) {
+        registry.Get(name)->ShutDownShard(static_cast<size_t>(kill_shard));
+      }
+      std::printf("killed shard %lld on every tenant mid-replay\n",
+                  static_cast<long long>(kill_shard));
+    }
+    for (auto& client : client_threads) client.join();
+    const double seconds = timer.ElapsedSeconds();
+    registry.Shutdown();
+
+    const auto collected = registry.Collect();
+    std::printf("%s\n",
+                obs::ToTable(collected, "multi-tenant metrics").c_str());
+    if (!flags.GetString("metrics_json").empty()) {
+      const Status appended =
+          obs::AppendJsonLine(collected, flags.GetString("metrics_json"));
+      if (!appended.ok()) {
+        std::fprintf(stderr, "metrics export failed: %s\n",
+                     appended.ToString().c_str());
+      }
+    }
+    std::printf(
+        "\nreplayed %lld requests across %zu tenant(s) from %lld client(s) "
+        "in %.3fs — %.0f req/s (%lld ok, %lld rejected/error)\n",
+        static_cast<long long>(total_requests), tenant_names.size(),
+        static_cast<long long>(num_clients), seconds,
+        static_cast<double>(total_requests) / seconds,
+        static_cast<long long>(ok_count.load()),
+        static_cast<long long>(error_count.load()));
+    std::printf("serving tiers:");
+    for (size_t t = 0; t < runtime::kNumServingTiers; ++t) {
+      std::printf("  %s=%lld",
+                  runtime::ServingTierToString(
+                      static_cast<runtime::ServingTier>(t)),
+                  static_cast<long long>(tiers[t].load()));
+    }
+    std::printf("\n");
+    return error_count.load() > 0 && admission == "block" ? 1 : 0;
+  }
 
   // --- runtime ---
   const bool chaos = flags.GetBool("chaos");
@@ -222,11 +402,6 @@ int Run(int argc, const char* const* argv) {
   }
   runtime::InferenceRuntime& runtime = **runtime_or;
 
-  runtime::ServingSnapshot snapshot;
-  snapshot.model = runtime::Unowned(&model);
-  snapshot.predictor = runtime::Unowned(&predictor);
-  snapshot.item_profiles = runtime::Unowned(&dataset.item_profiles);
-  snapshot.tag = "atnn_serve";
   const auto published = runtime.Publish(snapshot);
   if (!published.ok()) {
     std::fprintf(stderr, "initial publish rejected: %s\n",
@@ -242,20 +417,6 @@ int Run(int argc, const char* const* argv) {
     metrics_exporter = std::make_unique<obs::PeriodicJsonExporter>(
         &runtime.metrics_registry(), flags.GetString("metrics_json"),
         flags.GetInt64("metrics_interval_ms"));
-  }
-
-  // --- request stream: Zipf-skewed over the new arrivals ---
-  const auto total_requests = flags.GetInt64("requests");
-  const auto num_clients =
-      std::max<int64_t>(1, flags.GetInt64("clients"));
-  std::vector<int64_t> stream;
-  stream.reserve(static_cast<size_t>(total_requests));
-  {
-    Rng rng(world.seed ^ 0x5e77eULL);
-    for (int64_t i = 0; i < total_requests; ++i) {
-      stream.push_back(dataset.new_items[rng.Zipf(
-          dataset.new_items.size(), flags.GetDouble("zipf"))]);
-    }
   }
 
   std::atomic<bool> stop_swapping{false};
