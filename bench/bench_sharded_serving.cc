@@ -1,7 +1,7 @@
 // Sharded multi-tenant serving bench: the scatter/gather layer of
 // src/cluster under a replay of millions of distinct simulated users.
 //
-// Two protocols:
+// Protocols:
 //
 //   (default) shard sweep — the identical Zipf-skewed workload replayed
 //   against 1, 2, 4 and 8 shards of the same catalog. Gates: zero request
@@ -16,17 +16,39 @@
 //   shard's traffic degrades to the prior tier (never an error), and the
 //   surviving shards keep serving fresh.
 //
+//   --recover — the chaos drill with a ShardSupervisor attached: the
+//   shard killed one third in is detected dead, rebuilt from the last
+//   published snapshot slice, and re-admitted through its circuit
+//   breaker. Gates: zero errors, every response tier-tagged, the shard
+//   walks back to healthy, and the final third's fresh-tier fraction is
+//   within 5 points of the pre-kill fraction.
+//
+//   --resize — a 4-shard runtime is live-resized to 6 shards halfway
+//   through the replay while clients keep scoring. Gates: zero errors,
+//   every response tier-tagged, only bounded-remap rows moved, and both
+//   new shards take traffic after the swap.
+//
+//   --shed — tenant "limited" gets a starvation-level admission quota
+//   while tenant "unlimited" shares the process unthrottled. Gates: the
+//   limited tenant's over-quota rows shed tier-tagged (never errors) and
+//   the unlimited tenant's worst-shard fresh p99 stays within 1.5x of an
+//   isolated baseline run (report-only under --smoke).
+//
 // Weights stay at their seeded initialization: routing, batching and
 // degradation behaviour do not depend on what the weights converged to.
 //
 //   $ ./build/bench/bench_sharded_serving            # full sweep
 //   $ ./build/bench/bench_sharded_serving --chaos
+//   $ ./build/bench/bench_sharded_serving --recover
+//   $ ./build/bench/bench_sharded_serving --resize
+//   $ ./build/bench/bench_sharded_serving --shed
 //
 // --smoke shrinks the world and stream for CI sanitizer jobs and makes
-// the p99 gate report-only (sanitizer scheduling noise swamps tails).
+// the p99 gates report-only (sanitizer scheduling noise swamps tails).
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -34,7 +56,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "cluster/shard_supervisor.h"
 #include "cluster/sharded_runtime.h"
+#include "cluster/tenant_registry.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -351,6 +375,359 @@ int RunChaos(bool smoke) {
   return failures == 0 ? 0 : 1;
 }
 
+/// --recover: the chaos kill with a supervisor attached. The replay is
+/// split into thirds — the kill lands at the 1/3 mark, the supervisor
+/// heals the shard during the middle third (the drill waits, bounded,
+/// for probation to finish before the final third starts so the gate
+/// measures recovery, not scheduling luck), and the final third must
+/// serve fresh at the pre-kill rate again.
+int RunRecover(bool smoke) {
+  const BenchWorld world = BuildWorld(smoke);
+  const int64_t num_users = smoke ? 20000 : 1000000;
+  const auto stream = MakeUserReplay(world.dataset, num_users);
+  constexpr size_t kShards = 4;
+  constexpr size_t kDeadShard = 1;
+
+  cluster::ShardedRuntimeConfig config =
+      ShardedConfig(kShards, world.prior);
+  config.default_deadline_us = 50000;
+  // Fast breaker re-admission: the drill's wall clock is the replay, not
+  // a production cooldown.
+  config.breaker.cooldown_ms = 5;
+  config.breaker.probes_to_close = 2;
+  cluster::ShardedRuntime runtime(config);
+  const auto published = runtime.PublishSharded(MakeSnapshot(world));
+  if (!published.ok()) {
+    std::printf("FATAL: publish failed: %s\n",
+                published.status().ToString().c_str());
+    return 1;
+  }
+
+  cluster::ShardSupervisorConfig supervision;
+  supervision.probe_period_ms = 2;
+  supervision.seed = 0x5eedULL;
+  cluster::ShardSupervisor supervisor(&runtime, supervision);
+  supervisor.Start();
+
+  std::printf(
+      "recover: %lld users over %zu shards, shard %zu dies one third in, "
+      "supervisor heals it\n\n",
+      static_cast<long long>(num_users), kShards, kDeadShard);
+
+  const size_t third = stream.size() / 3;
+  int64_t errors = 0;
+  int64_t tier_tagged = 0;
+  int64_t fresh_first_third = 0;
+  int64_t fresh_final_third = 0;
+  int64_t answered_first_third = 0;
+  int64_t answered_final_third = 0;
+  for (size_t begin = 0; begin < stream.size(); begin += kChunk) {
+    if (begin >= third && begin < third + kChunk) {
+      runtime.ShutDownShard(kDeadShard);
+    }
+    if (begin >= 2 * third && begin < 2 * third + kChunk) {
+      // Bounded wait for the supervisor to finish probation; the gate
+      // below still checks the final health independently. Recovery is
+      // rebuild evidence AND health — health alone starts at kHealthy
+      // and would read as recovered before the kill is even detected.
+      const auto rebuilt = [&supervisor] {
+        for (const auto& [name, value] : supervisor.Collect().counters) {
+          if (name == "supervisor.rebuilds") return value >= 1;
+        }
+        return false;
+      };
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while ((!rebuilt() || supervisor.health(kDeadShard) !=
+                                cluster::ShardHealth::kHealthy) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    const size_t end = std::min(begin + kChunk, stream.size());
+    const std::vector<int64_t> chunk(stream.begin() + begin,
+                                     stream.begin() + end);
+    for (const auto& result : runtime.ScoreBatch(chunk)) {
+      if (!result.ok()) {
+        ++errors;
+        continue;
+      }
+      ++tier_tagged;
+      const bool fresh =
+          result.value().tier == runtime::ServingTier::kFresh;
+      if (begin < third) {
+        ++answered_first_third;
+        fresh_first_third += fresh ? 1 : 0;
+      } else if (begin >= 2 * third) {
+        ++answered_final_third;
+        fresh_final_third += fresh ? 1 : 0;
+      }
+    }
+  }
+  supervisor.Stop();
+  const auto health = supervisor.health(kDeadShard);
+  runtime.Shutdown();
+
+  int64_t rebuilds = 0;
+  for (const auto& [name, value] : supervisor.Collect().counters) {
+    if (name == "supervisor.rebuilds") rebuilds = value;
+  }
+  const double fresh_before =
+      static_cast<double>(fresh_first_third) /
+      static_cast<double>(std::max<int64_t>(1, answered_first_third));
+  const double fresh_after =
+      static_cast<double>(fresh_final_third) /
+      static_cast<double>(std::max<int64_t>(1, answered_final_third));
+  std::printf(
+      "requests %zu, errors %lld, rebuilds %lld, shard %zu final health "
+      "%s\nfresh fraction: first third %.3f, final third %.3f\n\n",
+      stream.size(), static_cast<long long>(errors),
+      static_cast<long long>(rebuilds), kDeadShard,
+      cluster::ShardHealthToString(health), fresh_before, fresh_after);
+
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const char* what) {
+    std::printf("%s %s\n", ok ? "PASS:" : "FAIL:", what);
+    if (!ok) ++failures;
+  };
+  gate(errors == 0, "zero dropped or errored requests through the kill");
+  gate(tier_tagged == static_cast<int64_t>(stream.size()),
+       "every response tier-tagged");
+  gate(rebuilds >= 1, "supervisor rebuilt the dead shard");
+  gate(health == cluster::ShardHealth::kHealthy,
+       "killed shard walked back to healthy through probation");
+  gate(fresh_after >= fresh_before - 0.05,
+       "final-third fresh fraction within 5 points of pre-kill");
+  return failures == 0 ? 0 : 1;
+}
+
+/// --resize: live 4 -> 6 rebalance halfway through the replay. The epoch
+/// swap must drain in-flight work on the old routing (zero errors), the
+/// consistent-hash ring must move only the bounded-remap row set, and the
+/// two new shards must actually take traffic afterwards.
+int RunResize(bool smoke) {
+  const BenchWorld world = BuildWorld(smoke);
+  const int64_t num_users = smoke ? 20000 : 1000000;
+  const auto stream = MakeUserReplay(world.dataset, num_users);
+  constexpr size_t kFromShards = 4;
+  constexpr size_t kToShards = 6;
+
+  cluster::ShardedRuntime runtime(
+      ShardedConfig(kFromShards, world.prior));
+  const auto published = runtime.PublishSharded(MakeSnapshot(world));
+  if (!published.ok()) {
+    std::printf("FATAL: publish failed: %s\n",
+                published.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("resize: %lld users, %zu -> %zu shards at the halfway mark\n\n",
+              static_cast<long long>(num_users), kFromShards, kToShards);
+
+  int64_t errors = 0;
+  int64_t tier_tagged = 0;
+  cluster::ResizeReport report;
+  bool resized = false;
+  const size_t resize_at = stream.size() / 2;
+  for (size_t begin = 0; begin < stream.size(); begin += kChunk) {
+    if (!resized && begin >= resize_at) {
+      const auto resize_or = runtime.ResizeShards(kToShards);
+      if (!resize_or.ok()) {
+        std::printf("FATAL: resize failed: %s\n",
+                    resize_or.status().ToString().c_str());
+        return 1;
+      }
+      report = *resize_or;
+      resized = true;
+    }
+    const size_t end = std::min(begin + kChunk, stream.size());
+    const std::vector<int64_t> chunk(stream.begin() + begin,
+                                     stream.begin() + end);
+    for (const auto& result : runtime.ScoreBatch(chunk)) {
+      if (!result.ok()) {
+        ++errors;
+        continue;
+      }
+      ++tier_tagged;
+    }
+  }
+  runtime.Shutdown();
+
+  int64_t shard4_enqueued = 0;
+  int64_t shard5_enqueued = 0;
+  for (const auto& [name, value] : runtime.Collect().counters) {
+    if (name == "shard4.enqueued") shard4_enqueued = value;
+    if (name == "shard5.enqueued") shard5_enqueued = value;
+  }
+  std::printf(
+      "requests %zu, errors %lld; moved %lld/%lld rows, epoch %llu, new "
+      "shards enqueued %lld / %lld\n\n",
+      stream.size(), static_cast<long long>(errors),
+      static_cast<long long>(report.moved_rows),
+      static_cast<long long>(report.total_rows),
+      static_cast<unsigned long long>(report.epoch),
+      static_cast<long long>(shard4_enqueued),
+      static_cast<long long>(shard5_enqueued));
+
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const char* what) {
+    std::printf("%s %s\n", ok ? "PASS:" : "FAIL:", what);
+    if (!ok) ++failures;
+  };
+  gate(errors == 0, "zero dropped or errored requests through the resize");
+  gate(tier_tagged == static_cast<int64_t>(stream.size()),
+       "every response tier-tagged");
+  gate(report.moved_only_within_bound,
+       "only bounded-remap rows moved (ring guarantee held)");
+  gate(report.moved_rows < report.total_rows,
+       "resize moved a strict subset of the catalog");
+  gate(shard4_enqueued > 0 && shard5_enqueued > 0,
+       "both new shards took traffic after the swap");
+  return failures == 0 ? 0 : 1;
+}
+
+/// --shed: per-tenant admission isolation. Tenant "limited" gets a
+/// starvation quota; tenant "unlimited" shares the process. The limited
+/// tenant's overload must turn into tier-tagged sheds (never errors, no
+/// shard queueing), and the unlimited tenant's tail must stay within
+/// 1.5x of a baseline run where it has the process to itself.
+int RunShed(bool smoke) {
+  const BenchWorld world = BuildWorld(smoke);
+  const int64_t num_users = smoke ? 20000 : 500000;
+  const auto stream = MakeUserReplay(world.dataset, num_users);
+  constexpr size_t kShards = 2;
+
+  const auto make_tenant = [&](const std::string& name, double qps) {
+    cluster::TenantConfig tenant;
+    tenant.name = name;
+    tenant.sharded = ShardedConfig(kShards, world.prior);
+    tenant.admission_qps = qps;
+    tenant.admission_burst = qps > 0.0 ? 64.0 : 0.0;
+    return tenant;
+  };
+  const auto worst_fresh_p99 = [](const cluster::ShardedRuntime& runtime) {
+    double worst = 0.0;
+    for (size_t s = 0; s < runtime.num_shards(); ++s) {
+      worst = std::max(
+          worst, runtime.shard(s).stats().fresh_latency_us.Percentile(0.99));
+    }
+    return worst;
+  };
+
+  // Baseline: the unlimited tenant alone in the process.
+  double baseline_p99 = 0.0;
+  {
+    cluster::TenantRegistry registry;
+    auto added = registry.AddTenant(make_tenant("unlimited", 0.0));
+    if (!added.ok() || !(*added)->PublishSharded(MakeSnapshot(world)).ok()) {
+      std::printf("FATAL: baseline tenant setup failed\n");
+      return 1;
+    }
+    for (size_t begin = 0; begin < stream.size(); begin += kChunk) {
+      const size_t end = std::min(begin + kChunk, stream.size());
+      registry.ScoreBatch("unlimited",
+                          {stream.begin() + begin, stream.begin() + end});
+    }
+    baseline_p99 = worst_fresh_p99(*registry.Get("unlimited"));
+    registry.Shutdown();
+  }
+
+  // Contended: the same workload for "unlimited", plus a starved tenant
+  // hammering the same chunks through a near-zero quota.
+  cluster::TenantRegistry registry;
+  for (const auto& tenant :
+       {make_tenant("unlimited", 0.0), make_tenant("limited", 1e-6)}) {
+    auto added = registry.AddTenant(tenant);
+    if (!added.ok() || !(*added)->PublishSharded(MakeSnapshot(world)).ok()) {
+      std::printf("FATAL: tenant '%s' setup failed\n", tenant.name.c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "shed: %lld users x 2 tenants over %zu shards each; tenant "
+      "'limited' quota ~0 rows/s\n\n",
+      static_cast<long long>(num_users), kShards);
+
+  int64_t limited_errors = 0;
+  int64_t limited_fresh = 0;
+  int64_t limited_tagged = 0;
+  int64_t unlimited_errors = 0;
+  int64_t unlimited_fresh = 0;
+  std::thread limited_client([&] {
+    for (size_t begin = 0; begin < stream.size(); begin += kChunk) {
+      const size_t end = std::min(begin + kChunk, stream.size());
+      const std::vector<int64_t> chunk(stream.begin() + begin,
+                                       stream.begin() + end);
+      for (const auto& result : registry.ScoreBatch("limited", chunk)) {
+        if (!result.ok()) {
+          ++limited_errors;
+          continue;
+        }
+        ++limited_tagged;
+        if (result.value().tier == runtime::ServingTier::kFresh) {
+          ++limited_fresh;
+        }
+      }
+    }
+  });
+  for (size_t begin = 0; begin < stream.size(); begin += kChunk) {
+    const size_t end = std::min(begin + kChunk, stream.size());
+    const std::vector<int64_t> chunk(stream.begin() + begin,
+                                     stream.begin() + end);
+    for (const auto& result : registry.ScoreBatch("unlimited", chunk)) {
+      if (!result.ok()) {
+        ++unlimited_errors;
+        continue;
+      }
+      if (result.value().tier == runtime::ServingTier::kFresh) {
+        ++unlimited_fresh;
+      }
+    }
+  }
+  limited_client.join();
+  const double contended_p99 = worst_fresh_p99(*registry.Get("unlimited"));
+  int64_t shed = 0;
+  for (const auto& [name, value] : registry.Collect().counters) {
+    if (name == "tenant.limited.admission.shed") shed = value;
+  }
+  registry.Shutdown();
+
+  std::printf(
+      "limited: %lld tagged (%lld fresh, %lld shed, %lld errors); "
+      "unlimited: %lld fresh, %lld errors\nunlimited worst-shard fresh "
+      "p99: baseline %.0fus, contended %.0fus\n\n",
+      static_cast<long long>(limited_tagged),
+      static_cast<long long>(limited_fresh),
+      static_cast<long long>(shed),
+      static_cast<long long>(limited_errors),
+      static_cast<long long>(unlimited_fresh),
+      static_cast<long long>(unlimited_errors),
+      baseline_p99, contended_p99);
+
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const char* what) {
+    std::printf("%s %s\n", ok ? "PASS:" : "FAIL:", what);
+    if (!ok) ++failures;
+  };
+  gate(limited_errors == 0 && unlimited_errors == 0,
+       "zero errors on both tenants");
+  gate(limited_tagged == static_cast<int64_t>(stream.size()),
+       "every over-quota row answered tier-tagged, not dropped");
+  gate(shed > 0 && limited_fresh < static_cast<int64_t>(stream.size()),
+       "the starved tenant actually shed load");
+  gate(unlimited_fresh == static_cast<int64_t>(stream.size()),
+       "the unlimited tenant stayed all-fresh");
+  const bool p99_ok = contended_p99 <= 1.5 * baseline_p99;
+  if (smoke) {
+    std::printf("%s unlimited tenant p99 within 1.5x of isolated baseline "
+                "(report-only: --smoke)\n",
+                p99_ok ? "PASS:" : "WARN:");
+  } else {
+    gate(p99_ok, "unlimited tenant p99 within 1.5x of isolated baseline");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace atnn::bench
 
@@ -358,8 +735,16 @@ int main(int argc, char** argv) {
   atnn::FlagParser flags("Sharded scatter/gather serving benchmark");
   flags.AddBool("chaos", false,
                 "kill one shard mid-replay instead of the shard sweep");
+  flags.AddBool("recover", false,
+                "chaos kill plus a ShardSupervisor that must heal the "
+                "shard and restore the fresh tier");
+  flags.AddBool("resize", false,
+                "live-resize 4 -> 6 shards halfway through the replay");
+  flags.AddBool("shed", false,
+                "starved tenant sheds tier-tagged while an unlimited "
+                "tenant's tail stays isolated");
   flags.AddBool("smoke", false,
-                "small world + stream (and a report-only p99 gate), for "
+                "small world + stream (and report-only p99 gates), for "
                 "CI sanitizer jobs");
   const atnn::Status status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
@@ -367,8 +752,25 @@ int main(int argc, char** argv) {
                  flags.Usage().c_str());
     return 2;
   }
+  const bool smoke = flags.GetBool("smoke");
+  int failures = 0;
+  bool ran = false;
   if (flags.GetBool("chaos")) {
-    return atnn::bench::RunChaos(flags.GetBool("smoke"));
+    ran = true;
+    failures += atnn::bench::RunChaos(smoke);
   }
-  return atnn::bench::RunSweep(flags.GetBool("smoke"));
+  if (flags.GetBool("recover")) {
+    ran = true;
+    failures += atnn::bench::RunRecover(smoke);
+  }
+  if (flags.GetBool("resize")) {
+    ran = true;
+    failures += atnn::bench::RunResize(smoke);
+  }
+  if (flags.GetBool("shed")) {
+    ran = true;
+    failures += atnn::bench::RunShed(smoke);
+  }
+  if (ran) return failures == 0 ? 0 : 1;
+  return atnn::bench::RunSweep(smoke);
 }

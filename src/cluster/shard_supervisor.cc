@@ -1,0 +1,228 @@
+#include "cluster/shard_supervisor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace atnn::cluster {
+
+const char* ShardHealthToString(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kSuspect:
+      return "suspect";
+    case ShardHealth::kDead:
+      return "dead";
+    case ShardHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+Status ShardSupervisorConfig::Validate() const {
+  if (probe_deadline_us < 1) {
+    return Status::InvalidArgument("probe_deadline_us must be >= 1");
+  }
+  if (probe_period_ms < 1) {
+    return Status::InvalidArgument("probe_period_ms must be >= 1");
+  }
+  if (consecutive_to_suspect < 1) {
+    return Status::InvalidArgument("consecutive_to_suspect must be >= 1");
+  }
+  if (consecutive_to_dead <= consecutive_to_suspect) {
+    return Status::InvalidArgument(
+        "consecutive_to_dead must exceed consecutive_to_suspect: the "
+        "suspect state must be reachable before dead");
+  }
+  if (probes_to_healthy < 1) {
+    return Status::InvalidArgument("probes_to_healthy must be >= 1");
+  }
+  if (!(latency_ewma_alpha > 0.0) || latency_ewma_alpha > 1.0) {
+    return Status::InvalidArgument("latency_ewma_alpha must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+ShardSupervisor::ShardSupervisor(ShardedRuntime* runtime,
+                                 const ShardSupervisorConfig& config)
+    : runtime_(runtime),
+      config_(config),
+      probes_(registry_.GetCounter("supervisor.probes")),
+      probe_failures_(registry_.GetCounter("supervisor.probe_failures")),
+      transitions_(registry_.GetCounter("supervisor.transitions")),
+      rebuilds_(registry_.GetCounter("supervisor.rebuilds")),
+      rebuild_failures_(registry_.GetCounter("supervisor.rebuild_failures")),
+      healthy_shards_(registry_.GetGauge("supervisor.healthy_shards")),
+      dead_shards_(registry_.GetGauge("supervisor.dead_shards")) {
+  ATNN_CHECK(runtime_ != nullptr) << "ShardSupervisor needs a runtime";
+  const Status valid = config_.Validate();
+  ATNN_CHECK(valid.ok()) << "invalid ShardSupervisorConfig: "
+                         << valid.ToString();
+}
+
+ShardSupervisor::~ShardSupervisor() { Stop(); }
+
+void ShardSupervisor::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread(&ShardSupervisor::Run, this);
+}
+
+void ShardSupervisor::Stop() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  wake_.notify_all();
+  thread_.join();
+  thread_ = std::thread();
+}
+
+void ShardSupervisor::Run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Step();
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_.wait_for(lock,
+                   std::chrono::milliseconds(config_.probe_period_ms),
+                   [this] { return stop_.load(std::memory_order_relaxed); });
+  }
+}
+
+size_t ShardSupervisor::Step() {
+  std::lock_guard<std::mutex> lock(step_mutex_);
+  // Resize-aware: re-read the shard count every round. Shards added by a
+  // grow start healthy (their breakers are closed and their slices were
+  // published before they became routable); state for removed shards is
+  // dropped.
+  const size_t n = runtime_->num_shards();
+  shards_.resize(n);
+  ++round_;
+  for (size_t i = 0; i < n; ++i) {
+    ProbeAndAdvance(i, &shards_[i]);
+  }
+  int64_t healthy = 0;
+  int64_t dead = 0;
+  for (const ShardState& state : shards_) {
+    if (state.health == ShardHealth::kHealthy) ++healthy;
+    if (state.health == ShardHealth::kDead) ++dead;
+  }
+  healthy_shards_.Set(static_cast<double>(healthy));
+  dead_shards_.Set(static_cast<double>(dead));
+  return n;
+}
+
+void ShardSupervisor::ProbeAndAdvance(size_t i, ShardState* state) {
+  // Decorrelated per (round, shard): consecutive rounds probe different
+  // rows of the slice, so a single poisoned row cannot condemn a shard by
+  // being the only one ever sampled.
+  const uint64_t salt =
+      HashCombine(config_.seed, round_ * 0x100000001b3ULL + i);
+  const ProbeReport report =
+      runtime_->ProbeShard(i, salt, config_.probe_deadline_us);
+  probes_.Increment();
+
+  if (report.healthy()) {
+    state->ewma_latency_us =
+        state->ewma_latency_us == 0.0
+            ? report.latency_us
+            : (1.0 - config_.latency_ewma_alpha) * state->ewma_latency_us +
+                  config_.latency_ewma_alpha * report.latency_us;
+    state->consecutive_failures = 0;
+    ++state->consecutive_healthy;
+    switch (state->health) {
+      case ShardHealth::kHealthy:
+        break;
+      case ShardHealth::kSuspect:
+        // One good probe clears a suspicion — suspect exists to debounce,
+        // not to punish.
+        Transition(i, state, ShardHealth::kHealthy);
+        break;
+      case ShardHealth::kDead:
+        // Something outside the supervisor revived it (operator rebuild,
+        // auto_rebuild off): it still re-earns healthy through probation.
+        Transition(i, state, ShardHealth::kRecovering);
+        [[fallthrough]];
+      case ShardHealth::kRecovering:
+        if (state->consecutive_healthy >= config_.probes_to_healthy) {
+          Transition(i, state, ShardHealth::kHealthy);
+        }
+        break;
+    }
+    return;
+  }
+
+  probe_failures_.Increment();
+  state->consecutive_healthy = 0;
+  ++state->consecutive_failures;
+  switch (state->health) {
+    case ShardHealth::kHealthy:
+      if (state->consecutive_failures >= config_.consecutive_to_suspect) {
+        Transition(i, state, ShardHealth::kSuspect);
+      }
+      break;
+    case ShardHealth::kSuspect:
+    case ShardHealth::kRecovering:
+      if (state->consecutive_failures >= config_.consecutive_to_dead) {
+        Transition(i, state, ShardHealth::kDead);
+      }
+      break;
+    case ShardHealth::kDead:
+      break;
+  }
+  if (state->health == ShardHealth::kDead && config_.auto_rebuild) {
+    // First entry and every later round while still dead: a rebuild that
+    // failed (snapshot store blip) is retried next round, paced by the
+    // probe period on top of the per-call retry budget.
+    Rebuild(i, state);
+  }
+}
+
+void ShardSupervisor::Transition(size_t shard, ShardState* state,
+                                 ShardHealth to) {
+  (void)shard;
+  if (state->health == to) return;
+  state->health = to;
+  transitions_.Increment();
+}
+
+void ShardSupervisor::Rebuild(size_t shard, ShardState* state) {
+  RetryConfig retry = config_.rebuild_retry;
+  // Per-shard jitter stream: a multi-shard outage must not hammer the
+  // snapshot store with synchronized retries.
+  retry.jitter_seed = config_.seed ^ static_cast<uint64_t>(shard);
+  rebuilds_.Increment();
+  const Status status = RetryWithBackoff(
+      [this, shard] { return runtime_->RebuildShard(shard); }, retry);
+  if (!status.ok()) {
+    // Stays dead; the next round tries again.
+    rebuild_failures_.Increment();
+    return;
+  }
+  // The rebuilt shard serves nothing yet — RebuildShard force-opened its
+  // breaker — so it is recovering, not healthy, until probes walk the
+  // breaker closed and probes_to_healthy fresh answers land here.
+  Transition(shard, state, ShardHealth::kRecovering);
+  state->consecutive_failures = 0;
+  state->consecutive_healthy = 0;
+}
+
+ShardHealth ShardSupervisor::health(size_t shard) const {
+  std::lock_guard<std::mutex> lock(step_mutex_);
+  if (shard >= shards_.size()) return ShardHealth::kHealthy;
+  return shards_[shard].health;
+}
+
+double ShardSupervisor::probe_latency_us(size_t shard) const {
+  std::lock_guard<std::mutex> lock(step_mutex_);
+  if (shard >= shards_.size()) return 0.0;
+  return shards_[shard].ewma_latency_us;
+}
+
+obs::MetricsSnapshot ShardSupervisor::Collect() const {
+  return registry_.Collect();
+}
+
+}  // namespace atnn::cluster

@@ -1,0 +1,158 @@
+#ifndef ATNN_CLUSTER_SHARD_SUPERVISOR_H_
+#define ATNN_CLUSTER_SHARD_SUPERVISOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/sharded_runtime.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+
+namespace atnn::cluster {
+
+/// Health verdict the supervisor holds for one shard:
+///
+///   kHealthy ──(suspect_after consecutive failed probes)──> kSuspect
+///   kSuspect ──(one healthy probe)──> kHealthy
+///   kSuspect ──(dead_after total consecutive failures)──> kDead
+///   kDead ──(auto-rebuild from the last published snapshot)──> kRecovering
+///   kRecovering ──(probes_to_healthy consecutive healthy probes)──> kHealthy
+///   kRecovering ──(dead_after consecutive failures again)──> kDead
+///
+/// A probe is healthy only when the shard answers inside the deadline AND
+/// serves fresh (ProbeReport::healthy): a shard limping along on its
+/// degraded fallback chain is suspect, not fine.
+enum class ShardHealth { kHealthy = 0, kSuspect = 1, kDead = 2,
+                         kRecovering = 3 };
+
+const char* ShardHealthToString(ShardHealth health);
+
+struct ShardSupervisorConfig {
+  /// Wall-time budget per synthetic probe, microseconds.
+  int64_t probe_deadline_us = 50'000;
+  /// Background cadence of Run(): one probe round per period.
+  int64_t probe_period_ms = 20;
+  /// Consecutive probe failures before healthy -> suspect.
+  int consecutive_to_suspect = 2;
+  /// Consecutive probe failures before suspect -> dead (counted from the
+  /// first failure, so it must exceed consecutive_to_suspect).
+  int consecutive_to_dead = 4;
+  /// Consecutive healthy probes before recovering -> healthy. Keep >= the
+  /// breaker's probes_to_close or the shard goes "healthy" while its
+  /// breaker still sheds.
+  int probes_to_healthy = 3;
+  /// EWMA smoothing for the per-shard probe latency estimate. In (0, 1].
+  double latency_ewma_alpha = 0.2;
+  /// Seed for probe row choice and rebuild-retry jitter; each shard's
+  /// retry stream is seeded with `seed ^ shard` so a multi-shard outage
+  /// does not retry in lockstep.
+  uint64_t seed = 0x5eed;
+  /// Rebuild dead shards automatically. Off, the supervisor only
+  /// diagnoses (state still reaches kDead) — the atnn_serve operator path.
+  bool auto_rebuild = true;
+  /// Retry policy for one rebuild attempt burst (RebuildShard can fail
+  /// transiently while a publish races the outage).
+  RetryConfig rebuild_retry;
+
+  Status Validate() const;
+};
+
+/// Health supervisor for a ShardedRuntime: probes every shard with seeded
+/// synthetic requests, tracks per-shard EWMA probe latency and consecutive
+/// failures, walks the health state machine above, and auto-rebuilds dead
+/// shards from the last validated snapshot slice. A rebuilt shard is
+/// re-admitted only after passing probes — RebuildShard force-opens the
+/// shard's circuit breaker, and only the supervisor's continued probe
+/// traffic can close it again.
+///
+/// Drive it either way:
+///   - Start()/Stop(): a background thread runs one probe round per
+///     probe_period_ms — the serving-binary mode.
+///   - Step(): one synchronous probe round — the deterministic test mode
+///     (also what the background thread calls).
+///
+/// Resize-aware: each round re-reads the runtime's shard count and grows
+/// or truncates its health table, so a live ResizeShards needs no
+/// supervisor coordination.
+///
+/// Thread-safe; Step() may race Start()'s thread harmlessly (rounds
+/// serialize on an internal mutex).
+class ShardSupervisor {
+ public:
+  /// `runtime` must outlive the supervisor. Aborts on invalid config.
+  ShardSupervisor(ShardedRuntime* runtime,
+                  const ShardSupervisorConfig& config = {});
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Stops the background thread (Stop()).
+  ~ShardSupervisor();
+
+  /// Launches the background probe loop. Idempotent.
+  void Start();
+  /// Joins the background probe loop. Idempotent; safe without Start().
+  void Stop();
+
+  /// One probe round over every shard: probe, update health, rebuild the
+  /// dead (when auto_rebuild). Returns the number of shards probed.
+  size_t Step();
+
+  ShardHealth health(size_t shard) const;
+  /// EWMA probe latency, microseconds; 0 until the first probe lands.
+  double probe_latency_us(size_t shard) const;
+  const ShardSupervisorConfig& config() const { return config_; }
+
+  /// supervisor.* metrics: probes, probe_failures, transitions (one per
+  /// state change), rebuilds, rebuild_failures, plus gauges
+  /// supervisor.healthy_shards and supervisor.dead_shards.
+  obs::MetricsSnapshot Collect() const;
+
+ private:
+  struct ShardState {
+    ShardHealth health = ShardHealth::kHealthy;
+    int consecutive_failures = 0;
+    int consecutive_healthy = 0;
+    double ewma_latency_us = 0.0;
+  };
+
+  void Run();
+  /// Probes shard `i` and advances its state machine. Caller holds
+  /// step_mutex_; `state` is the entry for shard `i`.
+  void ProbeAndAdvance(size_t i, ShardState* state);
+  void Transition(size_t shard, ShardState* state, ShardHealth to);
+  void Rebuild(size_t shard, ShardState* state);
+
+  ShardedRuntime* const runtime_;
+  const ShardSupervisorConfig config_;
+
+  obs::MetricsRegistry registry_;
+  obs::Counter& probes_;
+  obs::Counter& probe_failures_;
+  obs::Counter& transitions_;
+  obs::Counter& rebuilds_;
+  obs::Counter& rebuild_failures_;
+  obs::Gauge& healthy_shards_;
+  obs::Gauge& dead_shards_;
+
+  /// Serializes probe rounds (Step vs the background thread) and guards
+  /// shards_ + round_.
+  mutable std::mutex step_mutex_;
+  std::vector<ShardState> shards_;
+  uint64_t round_ = 0;
+
+  std::mutex thread_mutex_;  // guards thread_ start/stop
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+};
+
+}  // namespace atnn::cluster
+
+#endif  // ATNN_CLUSTER_SHARD_SUPERVISOR_H_

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
-#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "data/schema.h"
 
@@ -22,23 +23,9 @@ double MicrosSince(Clock::time_point start) {
       .count();
 }
 
-/// Sorts a collected family by name; Collect() concatenates per-shard
-/// namespaces, which are not globally ordered once shard indices hit two
-/// digits ("shard10." < "shard2." lexicographically).
-template <typename T>
-void SortByName(std::vector<std::pair<std::string, T>>* family) {
-  std::sort(family->begin(), family->end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-}
-
-template <typename T>
-void AppendPrefixed(const std::string& prefix,
-                    std::vector<std::pair<std::string, T>> from,
-                    std::vector<std::pair<std::string, T>>* into) {
-  for (auto& [name, value] : from) {
-    into->emplace_back(prefix + name, std::move(value));
-  }
-}
+// Probes without an explicit budget still need a bound, or a hung shard
+// would hang the prober.
+constexpr int64_t kDefaultProbeDeadlineUs = 50'000;
 
 }  // namespace
 
@@ -58,6 +45,7 @@ Status ShardedRuntimeConfig::Validate() const {
         "fanout_budget_fraction must be in (0, 1]: the scatter leg needs a "
         "nonzero slice of the budget and cannot exceed the whole");
   }
+  ATNN_RETURN_IF_ERROR(breaker.Validate());
   return Status::OK();
 }
 
@@ -73,27 +61,90 @@ ShardedRuntime::ShardedRuntime(const ShardedRuntimeConfig& config)
         fixed.ring.num_shards = config.num_shards;
         return fixed;
       }()),
-      ring_(config_.ring),
       requests_(frontend_.GetCounter("gather.requests")),
       shard_errors_(frontend_.GetCounter("gather.shard_errors")),
       gather_timeouts_(frontend_.GetCounter("gather.timeouts")),
       frontend_degraded_(frontend_.GetCounter("gather.degraded")),
+      breaker_shed_(frontend_.GetCounter("gather.breaker_shed")),
+      probes_(frontend_.GetCounter("gather.probes")),
+      probe_failures_(frontend_.GetCounter("gather.probe_failures")),
+      resizes_(frontend_.GetCounter("gather.resizes")),
+      rebuilds_(frontend_.GetCounter("gather.rebuilds")),
+      epoch_gauge_(frontend_.GetGauge("gather.epoch")),
       fanout_us_(frontend_.GetHistogram("gather.fanout_us")),
       merge_us_(frontend_.GetHistogram("gather.merge_us")) {
   const Status valid = config_.Validate();
   ATNN_CHECK(valid.ok()) << "invalid ShardedRuntimeConfig: "
                          << valid.ToString()
                          << " (use ShardedRuntime::Create for a Status)";
-  runtime::RuntimeConfig shard_config = config_.shard;
-  shard_config.prior = nullptr;  // installed per shard at publish time
-  shards_.reserve(config_.num_shards);
+  auto epoch = std::make_shared<Epoch>(ShardRing(config_.ring));
+  epoch->shards.reserve(config_.num_shards);
   for (size_t i = 0; i < config_.num_shards; ++i) {
-    shards_.push_back(
-        std::make_unique<runtime::InferenceRuntime>(shard_config));
+    epoch->shards.push_back(
+        ShardSlot{MakeShardRuntime(),
+                  std::make_shared<CircuitBreaker>(config_.breaker)});
   }
+  epoch_ = std::move(epoch);
+  epoch_gauge_.Set(1.0);
 }
 
 ShardedRuntime::~ShardedRuntime() { Shutdown(); }
+
+std::shared_ptr<const ShardedRuntime::Epoch> ShardedRuntime::CurrentEpoch()
+    const {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  return epoch_;
+}
+
+void ShardedRuntime::SwapEpochAndDrain(std::shared_ptr<const Epoch> epoch) {
+  epoch_gauge_.Set(static_cast<double>(epoch->id));
+  std::shared_ptr<const Epoch> old;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
+    old = std::move(epoch_);
+    epoch_ = std::move(epoch);
+  }
+  // Drain: every in-flight request took one reference on the old epoch at
+  // scatter time and holds it through its gather, so once we are the last
+  // owner no request can still be routing with the old table or talking to
+  // a runtime absent from the new epoch. Gather waits are deadline-bounded,
+  // which bounds this loop too.
+  while (old.use_count() > 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+std::shared_ptr<runtime::InferenceRuntime> ShardedRuntime::MakeShardRuntime()
+    const {
+  runtime::RuntimeConfig shard_config = config_.shard;
+  shard_config.prior = nullptr;  // installed per shard at publish time
+  return std::make_shared<runtime::InferenceRuntime>(shard_config);
+}
+
+StatusOr<uint64_t> ShardedRuntime::PublishSlice(
+    const runtime::ServingSnapshot& full, const std::vector<int64_t>& members,
+    size_t shard_index, runtime::InferenceRuntime* target) {
+  runtime::ServingSnapshot slice = full;
+  slice.item_profiles = std::make_shared<const data::EntityTable>(
+      data::SliceRows(*full.item_profiles, members));
+  slice.tag = full.tag + "/shard" + std::to_string(shard_index);
+  uint64_t version = 0;
+  ATNN_ASSIGN_OR_RETURN(version, target->Publish(std::move(slice)));
+
+  if (config_.prior != nullptr) {
+    // Shards score by local row, so their tier-2 prior must be re-keyed
+    // from the global index.
+    auto local_prior = std::make_shared<serving::PopularityIndex>();
+    for (size_t local = 0; local < members.size(); ++local) {
+      const auto score = config_.prior->Score(members[local]);
+      if (score.ok()) {
+        local_prior->Upsert(static_cast<int64_t>(local), score.value());
+      }
+    }
+    target->SetPrior(std::move(local_prior));
+  }
+  return version;
+}
 
 StatusOr<uint64_t> ShardedRuntime::PublishSharded(
     const runtime::ServingSnapshot& full) {
@@ -104,12 +155,17 @@ StatusOr<uint64_t> ShardedRuntime::PublishSharded(
   ATNN_RETURN_IF_ERROR(runtime::ValidateServingSnapshot(full));
   const int64_t num_rows = full.item_profiles->num_rows();
 
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  std::shared_ptr<const Epoch> current = CurrentEpoch();
+
+  // Compact routing under the current ring: each shard's slice is its
+  // owned rows in global-row order.
   auto routing = std::make_shared<RoutingTable>();
   routing->shard_of_row.resize(static_cast<size_t>(num_rows));
   routing->local_of_row.resize(static_cast<size_t>(num_rows));
-  routing->rows_of_shard.resize(shards_.size());
+  routing->rows_of_shard.resize(current->shards.size());
   for (int64_t row = 0; row < num_rows; ++row) {
-    const size_t shard = ring_.ShardFor(row);
+    const size_t shard = current->ring.ShardFor(row);
     auto& members = routing->rows_of_shard[shard];
     routing->shard_of_row[static_cast<size_t>(row)] =
         static_cast<uint32_t>(shard);
@@ -118,41 +174,265 @@ StatusOr<uint64_t> ShardedRuntime::PublishSharded(
     members.push_back(row);
   }
 
-  uint64_t version = 0;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    const auto& members = routing->rows_of_shard[i];
-    runtime::ServingSnapshot slice = full;
-    slice.item_profiles = std::make_shared<const data::EntityTable>(
-        data::SliceRows(*full.item_profiles, members));
-    slice.tag = full.tag + "/shard" + std::to_string(i);
-    ATNN_ASSIGN_OR_RETURN(version, shards_[i]->Publish(std::move(slice)));
+  const bool same_mapping =
+      current->routing != nullptr &&
+      current->routing->rows_of_shard == routing->rows_of_shard;
 
-    if (config_.prior != nullptr) {
-      // Shards score by local row, so their tier-2 prior must be re-keyed
-      // from the global index.
-      auto local_prior = std::make_shared<serving::PopularityIndex>();
-      for (size_t local = 0; local < members.size(); ++local) {
-        const auto score = config_.prior->Score(members[local]);
-        if (score.ok()) {
-          local_prior->Upsert(static_cast<int64_t>(local), score.value());
-        }
+  uint64_t version = 0;
+  if (current->routing == nullptr || same_mapping) {
+    // First publish, or a republish that keeps every row's (shard, local)
+    // assignment: slices swap in place inside each runtime, all shards
+    // advance in lockstep, and no epoch swap is needed beyond installing
+    // the routing table the first time around.
+    for (size_t i = 0; i < current->shards.size(); ++i) {
+      ATNN_ASSIGN_OR_RETURN(
+          version, PublishSlice(full, routing->rows_of_shard[i], i,
+                                current->shards[i].runtime.get()));
+    }
+    if (!same_mapping) {
+      auto next = std::make_shared<Epoch>(*current);
+      next->routing = std::move(routing);
+      current.reset();  // the drain waits for our reference too
+      SwapEpochAndDrain(std::move(next));
+    }
+  } else {
+    // The row->(shard, local) mapping changed — e.g. the first publish
+    // after a grow-resize compacts the slices, or the catalog shrank.
+    // In-flight requests hold local indices minted for the OLD slices, so
+    // every shard whose member list changed is republished onto a fresh
+    // runtime instance behind an epoch swap; the old instances keep
+    // serving the in-flight requests until the drain completes.
+    auto next = std::make_shared<Epoch>(*current);
+    next->id = current->id + 1;
+    std::vector<std::shared_ptr<runtime::InferenceRuntime>> replaced;
+    for (size_t i = 0; i < current->shards.size(); ++i) {
+      const bool changed = current->routing->rows_of_shard[i] !=
+                           routing->rows_of_shard[i];
+      runtime::InferenceRuntime* target = nullptr;
+      if (changed) {
+        auto fresh = MakeShardRuntime();
+        target = fresh.get();
+        replaced.push_back(next->shards[i].runtime);
+        next->shards[i].runtime = std::move(fresh);
+      } else {
+        target = next->shards[i].runtime.get();
       }
-      shards_[i]->SetPrior(std::move(local_prior));
+      uint64_t shard_version = 0;
+      ATNN_ASSIGN_OR_RETURN(
+          shard_version,
+          PublishSlice(full, routing->rows_of_shard[i], i, target));
+      // Fresh instances restart their version counter at 1 while kept
+      // shards keep counting; the front-end reports the highest.
+      version = std::max(version, shard_version);
+    }
+    next->routing = std::move(routing);
+    current.reset();  // the drain waits for our reference too
+    SwapEpochAndDrain(std::move(next));
+    for (auto& old_runtime : replaced) {
+      old_runtime->Shutdown();
+      retired_.push_back(std::move(old_runtime));
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(routing_mutex_);
-    routing_ = std::move(routing);
-  }
+  last_full_ = full;  // rebuild/resize re-slice from this snapshot
   published_version_.store(version, std::memory_order_relaxed);
   return version;
 }
 
-std::shared_ptr<const ShardedRuntime::RoutingTable> ShardedRuntime::routing()
-    const {
-  std::lock_guard<std::mutex> lock(routing_mutex_);
-  return routing_;
+StatusOr<ResizeReport> ShardedRuntime::ResizeShards(size_t new_num_shards) {
+  if (new_num_shards < 1) {
+    return Status::InvalidArgument("new_num_shards must be >= 1");
+  }
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  std::shared_ptr<const Epoch> current = CurrentEpoch();
+  if (current->routing == nullptr || !last_full_.has_value()) {
+    return Status::FailedPrecondition(
+        "ResizeShards needs a published catalog to re-slice; call "
+        "PublishSharded() first");
+  }
+  const size_t old_n = current->shards.size();
+  ResizeReport report;
+  report.from_shards = old_n;
+  report.to_shards = new_num_shards;
+  report.total_rows =
+      static_cast<int64_t>(current->routing->shard_of_row.size());
+  if (new_num_shards == old_n) {
+    report.epoch = current->id;
+    return report;
+  }
+  const bool growing = new_num_shards > old_n;
+
+  ShardRingConfig ring_config = config_.ring;
+  ring_config.num_shards = new_num_shards;
+  ATNN_RETURN_IF_ERROR(ring_config.Validate());
+  ShardRing new_ring(ring_config);
+
+  // Prefix-stable routing: a row that stays on its shard keeps its OLD
+  // local index, so requests in flight across the swap keep resolving
+  // against the slice they were routed for. Moved rows either land on a
+  // brand-new shard (grow: fresh compact slice) or are APPENDED to a
+  // survivor's existing slice (shrink: old locals stay a valid prefix).
+  auto routing = std::make_shared<RoutingTable>();
+  const size_t num_rows = current->routing->shard_of_row.size();
+  routing->shard_of_row.resize(num_rows);
+  routing->local_of_row.resize(num_rows);
+  routing->rows_of_shard.resize(new_num_shards);
+  // Survivors start from their old slice layout verbatim — including rows
+  // that route away from them after the resize. A stale slice row is
+  // harmless (nothing routes to it); dropping it would renumber the slice
+  // and break every in-flight local index.
+  const size_t surviving = std::min(old_n, new_num_shards);
+  for (size_t s = 0; s < surviving; ++s) {
+    routing->rows_of_shard[s] = current->routing->rows_of_shard[s];
+  }
+  // gained[s]: rows newly routed to surviving shard s (appended below);
+  // only nonempty when shrinking (or under a ring bound violation).
+  std::vector<std::vector<int64_t>> gained(new_num_shards);
+  for (size_t row = 0; row < num_rows; ++row) {
+    const size_t old_shard = current->routing->shard_of_row[row];
+    const size_t new_shard = new_ring.ShardFor(static_cast<int64_t>(row));
+    if (new_shard == old_shard) {
+      routing->shard_of_row[row] = static_cast<uint32_t>(old_shard);
+      routing->local_of_row[row] = current->routing->local_of_row[row];
+      continue;
+    }
+    ++report.moved_rows;
+    // The ring's bounded-remap guarantee, checked over the real catalog:
+    // on grow a row may only move TO an added shard, on shrink only FROM
+    // a removed shard.
+    if (growing ? new_shard < old_n : old_shard < new_num_shards) {
+      report.moved_only_within_bound = false;
+    }
+    routing->shard_of_row[row] = static_cast<uint32_t>(new_shard);
+    if (new_shard >= old_n) {
+      // Added shard: compact fresh slice.
+      auto& members = routing->rows_of_shard[new_shard];
+      routing->local_of_row[row] = static_cast<int64_t>(members.size());
+      members.push_back(static_cast<int64_t>(row));
+    } else {
+      // Survivor gains a row: appended past its old slice prefix.
+      auto& members = routing->rows_of_shard[new_shard];
+      routing->local_of_row[row] = static_cast<int64_t>(members.size());
+      members.push_back(static_cast<int64_t>(row));
+      gained[new_shard].push_back(static_cast<int64_t>(row));
+    }
+  }
+
+  auto next = std::make_shared<Epoch>(new_ring);
+  next->id = current->id + 1;
+  next->shards.reserve(new_num_shards);
+  for (size_t s = 0; s < surviving; ++s) {
+    next->shards.push_back(current->shards[s]);
+  }
+  for (size_t s = old_n; s < new_num_shards; ++s) {
+    next->shards.push_back(
+        ShardSlot{MakeShardRuntime(),
+                  std::make_shared<CircuitBreaker>(config_.breaker)});
+  }
+
+  // Publish every new or extended slice BEFORE the routing swap: the first
+  // request routed by the new table must find its rows already serving.
+  for (size_t s = 0; s < new_num_shards; ++s) {
+    const bool is_new = s >= old_n;
+    if (!is_new && gained[s].empty()) continue;  // slice untouched
+    ATNN_RETURN_IF_ERROR(PublishSlice(*last_full_,
+                                      routing->rows_of_shard[s], s,
+                                      next->shards[s].runtime.get())
+                             .status());
+  }
+
+  next->routing = std::move(routing);
+  report.epoch = next->id;
+  std::vector<std::shared_ptr<runtime::InferenceRuntime>> removed;
+  for (size_t s = new_num_shards; s < old_n; ++s) {
+    removed.push_back(current->shards[s].runtime);
+  }
+  current.reset();  // the drain waits for our reference too
+  SwapEpochAndDrain(std::move(next));
+
+  // Removed shards stopped receiving traffic at the swap and their last
+  // in-flight requests completed during the drain: now they can die.
+  for (auto& runtime : removed) {
+    runtime->Shutdown();
+    retired_.push_back(std::move(runtime));
+  }
+
+  resizes_.Increment();
+  return report;
+}
+
+Status ShardedRuntime::RebuildShard(size_t shard) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  std::shared_ptr<const Epoch> current = CurrentEpoch();
+  if (shard >= current->shards.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (current->routing == nullptr || !last_full_.has_value()) {
+    return Status::FailedPrecondition(
+        "RebuildShard needs a published catalog to re-slice; call "
+        "PublishSharded() first");
+  }
+
+  auto fresh = MakeShardRuntime();
+  ATNN_RETURN_IF_ERROR(PublishSlice(*last_full_,
+                                    current->routing->rows_of_shard[shard],
+                                    shard, fresh.get())
+                           .status());
+
+  // Trip the breaker BEFORE the rebuilt runtime becomes routable: the
+  // shard re-enters service only after probes walk half-open -> closed,
+  // never by the swap alone.
+  current->shards[shard].breaker->ForceOpen();
+
+  auto next = std::make_shared<Epoch>(*current);
+  next->id = current->id + 1;
+  next->shards[shard].runtime = std::move(fresh);
+  auto replaced = current->shards[shard].runtime;
+  current.reset();  // the drain waits for our reference too
+  SwapEpochAndDrain(std::move(next));
+
+  replaced->Shutdown();
+  retired_.push_back(std::move(replaced));
+  rebuilds_.Increment();
+  return Status::OK();
+}
+
+ProbeReport ShardedRuntime::ProbeShard(size_t shard, uint64_t salt,
+                                       int64_t deadline_us) {
+  ProbeReport report;
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  if (shard >= epoch->shards.size()) {
+    report.status = Status::InvalidArgument("shard index out of range");
+    return report;
+  }
+  probes_.Increment();
+  if (epoch->routing == nullptr ||
+      epoch->routing->rows_of_shard[shard].empty()) {
+    // Nothing published to this shard: vacuously healthy, and there is no
+    // row to probe with anyway. Does not feed the breaker.
+    report.status = Status::OK();
+    return report;
+  }
+  const size_t slice_rows = epoch->routing->rows_of_shard[shard].size();
+  // Deterministic row choice, fanned across the slice by the salt so a
+  // probing supervisor exercises different rows each round.
+  const int64_t local =
+      static_cast<int64_t>(SplitMix64(salt) % slice_rows);
+  const int64_t budget =
+      deadline_us > 0 ? deadline_us : kDefaultProbeDeadlineUs;
+
+  const Clock::time_point start = Clock::now();
+  StatusOr<runtime::ScoreResult> result =
+      epoch->shards[shard].runtime->Probe(local, budget);
+  report.latency_us = MicrosSince(start);
+  report.status = result.status();
+  if (result.ok()) report.tier = result.value().tier;
+
+  // Probe traffic drives the breaker: failures (and degraded-only
+  // answers) push toward open, fresh answers walk half-open -> closed.
+  epoch->shards[shard].breaker->RecordProbe(report.healthy());
+  if (!report.healthy()) probe_failures_.Increment();
+  return report;
 }
 
 runtime::ScoreResult ShardedRuntime::FrontendDegraded(int64_t global_row) {
@@ -184,14 +464,17 @@ std::vector<StatusOr<runtime::ScoreResult>> ShardedRuntime::ScoreBatch(
     const std::vector<int64_t>& item_rows, int64_t deadline_us) {
   std::vector<StatusOr<runtime::ScoreResult>> results;
   results.reserve(item_rows.size());
-  const auto table = routing();
-  if (table == nullptr) {
+  // This reference is the drain token: admin operations wait for it before
+  // shutting down any runtime this batch might be talking to.
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  if (epoch->routing == nullptr) {
     for (size_t i = 0; i < item_rows.size(); ++i) {
       results.emplace_back(Status::FailedPrecondition(
           "no sharded snapshot published; call PublishSharded() first"));
     }
     return results;
   }
+  const RoutingTable& table = *epoch->routing;
   requests_.Increment(static_cast<int64_t>(item_rows.size()));
 
   const Clock::time_point start = Clock::now();
@@ -209,10 +492,11 @@ std::vector<StatusOr<runtime::ScoreResult>> ShardedRuntime::ScoreBatch(
           : 0;
 
   // --- scatter ---
-  const int64_t num_rows =
-      static_cast<int64_t>(table->shard_of_row.size());
+  const int64_t num_rows = static_cast<int64_t>(table.shard_of_row.size());
+  const size_t num_shards = epoch->shards.size();
   std::vector<std::optional<std::future<StatusOr<runtime::ScoreResult>>>>
       futures(item_rows.size());
+  std::vector<uint32_t> owner(item_rows.size(), 0);
   // Route first, then enqueue each shard's rows as one contiguous burst
   // closed by a FlushHint. Interleaving enqueues row-by-row instead would
   // hold every shard's batch window open for the entire scatter leg (each
@@ -220,7 +504,7 @@ std::vector<StatusOr<runtime::ScoreResult>> ShardedRuntime::ScoreBatch(
   // max_batch_size — the tail of every sub-batch would then ride out the
   // full coalescing window before the gather could complete.
   std::vector<std::vector<std::pair<size_t, int64_t>>> bursts(
-      shards_.size());  // shard -> (result index, local row)
+      num_shards);  // shard -> (result index, local row)
   for (size_t i = 0; i < item_rows.size(); ++i) {
     const int64_t row = item_rows[i];
     if (row < 0 || row >= num_rows) {
@@ -229,17 +513,30 @@ std::vector<StatusOr<runtime::ScoreResult>> ShardedRuntime::ScoreBatch(
           std::to_string(num_rows) + ")"));
       continue;
     }
-    const size_t shard = table->shard_of_row[static_cast<size_t>(row)];
-    bursts[shard].emplace_back(
-        i, table->local_of_row[static_cast<size_t>(row)]);
+    const size_t shard = table.shard_of_row[static_cast<size_t>(row)];
+    owner[i] = static_cast<uint32_t>(shard);
+    bursts[shard].emplace_back(i,
+                               table.local_of_row[static_cast<size_t>(row)]);
     results.emplace_back(runtime::ScoreResult{});  // merged below
   }
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t s = 0; s < num_shards; ++s) {
     if (bursts[s].empty()) continue;
-    for (const auto& [index, local] : bursts[s]) {
-      futures[index] = shards_[s]->ScoreAsync(local, fanout_deadline_us);
+    if (!epoch->shards[s].breaker->AllowRequest()) {
+      // Open/half-open breaker: shed the whole burst to the front-end
+      // fallback before spending any deadline budget on a sick shard.
+      // Only probe traffic can re-admit it.
+      breaker_shed_.Increment(static_cast<int64_t>(bursts[s].size()));
+      for (const auto& [index, local] : bursts[s]) {
+        (void)local;
+        results[index] = FrontendDegraded(item_rows[index]);
+      }
+      continue;
     }
-    shards_[s]->FlushHint();  // end of this shard's group — no co-riders
+    for (const auto& [index, local] : bursts[s]) {
+      futures[index] =
+          epoch->shards[s].runtime->ScoreAsync(local, fanout_deadline_us);
+    }
+    epoch->shards[s].runtime->FlushHint();  // end of this shard's group
   }
   fanout_us_.Record(MicrosSince(start));
 
@@ -248,23 +545,30 @@ std::vector<StatusOr<runtime::ScoreResult>> ShardedRuntime::ScoreBatch(
   for (size_t i = 0; i < item_rows.size(); ++i) {
     if (!futures[i].has_value()) continue;  // answered at scatter time
     auto& future = *futures[i];
+    CircuitBreaker& breaker = *epoch->shards[owner[i]].breaker;
     if (overall_deadline != Clock::time_point::max() &&
         future.wait_until(overall_deadline) != std::future_status::ready) {
       // Straggler past the whole-request budget: abandon the future (the
       // shard will still resolve it harmlessly) and answer degraded now —
       // the merge leg must never hold the batch hostage to one shard.
       gather_timeouts_.Increment();
+      breaker.RecordResult(false);
       results[i] = FrontendDegraded(item_rows[i]);
       continue;
     }
     StatusOr<runtime::ScoreResult> result = future.get();
     if (result.ok()) {
+      // Degraded-tier answers still count as successes here: the shard is
+      // alive and inside its budget, just not fresh — the supervisor's
+      // probes, not the breaker, handle staleness.
+      breaker.RecordResult(true);
       results[i] = std::move(result);
     } else {
       // A down shard (FailedPrecondition after ShutDownShard) or a shard
       // erroring with its fallback chain disabled: degrade at the
       // front-end instead of surfacing a partial-failure error.
       shard_errors_.Increment();
+      breaker.RecordResult(false);
       results[i] = FrontendDegraded(item_rows[i]);
     }
   }
@@ -276,30 +580,72 @@ StatusOr<runtime::ScoreResult> ShardedRuntime::Score(int64_t item_row) {
   return std::move(ScoreBatch({item_row}).front());
 }
 
+std::vector<StatusOr<runtime::ScoreResult>> ShardedRuntime::DegradedBatch(
+    const std::vector<int64_t>& item_rows) {
+  std::vector<StatusOr<runtime::ScoreResult>> results;
+  results.reserve(item_rows.size());
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  // Before the first publish there is no catalog to bound-check against;
+  // a shed must not depend on serving state, so every row just gets the
+  // fallback answer.
+  const int64_t num_rows =
+      epoch->routing == nullptr
+          ? -1
+          : static_cast<int64_t>(epoch->routing->shard_of_row.size());
+  requests_.Increment(static_cast<int64_t>(item_rows.size()));
+  for (const int64_t row : item_rows) {
+    if (num_rows >= 0 && (row < 0 || row >= num_rows)) {
+      results.emplace_back(Status::InvalidArgument(
+          "item row " + std::to_string(row) + " outside catalog [0, " +
+          std::to_string(num_rows) + ")"));
+      continue;
+    }
+    results.emplace_back(FrontendDegraded(row));
+  }
+  return results;
+}
+
 void ShardedRuntime::ShutDownShard(size_t shard) {
-  ATNN_CHECK(shard < shards_.size());
-  shards_[shard]->Shutdown();
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  ATNN_CHECK(shard < epoch->shards.size());
+  epoch->shards[shard].runtime->Shutdown();
 }
 
 void ShardedRuntime::Shutdown() {
-  for (auto& shard : shards_) shard->Shutdown();
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  for (const auto& slot : epoch->shards) slot.runtime->Shutdown();
+}
+
+ShardRing ShardedRuntime::ring() const { return CurrentEpoch()->ring; }
+
+runtime::InferenceRuntime& ShardedRuntime::shard(size_t i) {
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  ATNN_CHECK(i < epoch->shards.size());
+  return *epoch->shards[i].runtime;
+}
+
+const runtime::InferenceRuntime& ShardedRuntime::shard(size_t i) const {
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  ATNN_CHECK(i < epoch->shards.size());
+  return *epoch->shards[i].runtime;
+}
+
+CircuitBreaker& ShardedRuntime::breaker(size_t i) {
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
+  ATNN_CHECK(i < epoch->shards.size());
+  return *epoch->shards[i].breaker;
 }
 
 obs::MetricsSnapshot ShardedRuntime::Collect() const {
+  const std::shared_ptr<const Epoch> epoch = CurrentEpoch();
   obs::MetricsSnapshot merged = frontend_.Collect();
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  for (size_t i = 0; i < epoch->shards.size(); ++i) {
     const std::string prefix = "shard" + std::to_string(i) + ".";
-    obs::MetricsSnapshot shard_snapshot =
-        shards_[i]->metrics_registry().Collect();
-    AppendPrefixed(prefix, std::move(shard_snapshot.counters),
-                   &merged.counters);
-    AppendPrefixed(prefix, std::move(shard_snapshot.gauges), &merged.gauges);
-    AppendPrefixed(prefix, std::move(shard_snapshot.histograms),
-                   &merged.histograms);
+    obs::MergeWithPrefix(
+        prefix, epoch->shards[i].runtime->metrics_registry().Collect(),
+        &merged);
   }
-  SortByName(&merged.counters);
-  SortByName(&merged.gauges);
-  SortByName(&merged.histograms);
+  obs::SortByName(&merged);
   return merged;
 }
 

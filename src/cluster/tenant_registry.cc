@@ -12,15 +12,6 @@ bool IsTenantNameChar(char c) {
          (c >= '0' && c <= '9') || c == '_' || c == '-';
 }
 
-template <typename T>
-void AppendPrefixed(const std::string& prefix,
-                    std::vector<std::pair<std::string, T>> from,
-                    std::vector<std::pair<std::string, T>>* into) {
-  for (auto& [name, value] : from) {
-    into->emplace_back(prefix + name, std::move(value));
-  }
-}
-
 }  // namespace
 
 Status TenantConfig::Validate() const {
@@ -35,6 +26,17 @@ Status TenantConfig::Validate() const {
           "namespace segment");
     }
   }
+  if (admission_qps < 0.0) {
+    // Negative means unlimited too (TokenBucket semantics), but reject it
+    // at the config boundary: an operator typo must not silently disable
+    // a quota.
+    return Status::InvalidArgument(
+        "admission_qps must be >= 0 (0 = unlimited)");
+  }
+  if (admission_burst < 0.0) {
+    return Status::InvalidArgument(
+        "admission_burst must be >= 0 (0 = one second of admission_qps)");
+  }
   return sharded.Validate();
 }
 
@@ -43,36 +45,70 @@ StatusOr<ShardedRuntime*> TenantRegistry::AddTenant(
   ATNN_RETURN_IF_ERROR(config.Validate());
   // Construct outside the lock: spinning up shard worker groups is slow
   // and AddTenant may race a serving thread's Get().
-  auto runtime = std::make_unique<ShardedRuntime>(config.sharded);
+  Tenant tenant;
+  tenant.runtime = std::make_unique<ShardedRuntime>(config.sharded);
+  tenant.bucket = std::make_unique<TokenBucket>(config.admission_qps,
+                                                config.admission_burst);
+  tenant.registry = std::make_unique<obs::MetricsRegistry>();
+  tenant.admitted = &tenant.registry->GetCounter("admission.admitted");
+  tenant.shed = &tenant.registry->GetCounter("admission.shed");
   std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] =
-      tenants_.emplace(config.name, std::move(runtime));
+      tenants_.emplace(config.name, std::move(tenant));
   if (!inserted) {
     return Status::AlreadyExists("tenant '" + config.name +
                                  "' is already registered");
   }
-  return it->second.get();
+  return it->second.runtime.get();
+}
+
+const TenantRegistry::Tenant* TenantRegistry::Find(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(name);
+  // Tenants are never removed, so the entry pointer outlives the lock.
+  return it == tenants_.end() ? nullptr : &it->second;
 }
 
 ShardedRuntime* TenantRegistry::Get(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = tenants_.find(name);
-  return it == tenants_.end() ? nullptr : it->second.get();
+  const Tenant* tenant = Find(name);
+  return tenant == nullptr ? nullptr : tenant->runtime.get();
 }
 
 std::vector<StatusOr<runtime::ScoreResult>> TenantRegistry::ScoreBatch(
-    std::string_view tenant, const std::vector<int64_t>& item_rows) {
-  ShardedRuntime* runtime = Get(tenant);
-  if (runtime == nullptr) {
+    std::string_view tenant_name, const std::vector<int64_t>& item_rows) {
+  const Tenant* tenant = Find(tenant_name);
+  if (tenant == nullptr) {
     std::vector<StatusOr<runtime::ScoreResult>> results;
     results.reserve(item_rows.size());
     for (size_t i = 0; i < item_rows.size(); ++i) {
       results.emplace_back(Status::NotFound(
-          "tenant '" + std::string(tenant) + "' is not registered"));
+          "tenant '" + std::string(tenant_name) + "' is not registered"));
     }
     return results;
   }
-  return runtime->ScoreBatch(item_rows);
+  // Admission: the bucket grants the first `granted` rows; the over-quota
+  // tail is shed to the tenant's degraded fallback, tier-tagged and
+  // error-free, without entering any shard queue.
+  const int64_t want = static_cast<int64_t>(item_rows.size());
+  const int64_t granted = tenant->bucket->TryAcquire(want);
+  tenant->admitted->Increment(granted);
+  if (granted >= want) {
+    return tenant->runtime->ScoreBatch(item_rows);
+  }
+  tenant->shed->Increment(want - granted);
+  const std::vector<int64_t> head(item_rows.begin(),
+                                  item_rows.begin() + granted);
+  const std::vector<int64_t> tail(item_rows.begin() + granted,
+                                  item_rows.end());
+  std::vector<StatusOr<runtime::ScoreResult>> results =
+      granted > 0 ? tenant->runtime->ScoreBatch(head)
+                  : std::vector<StatusOr<runtime::ScoreResult>>();
+  std::vector<StatusOr<runtime::ScoreResult>> shed =
+      tenant->runtime->DegradedBatch(tail);
+  results.reserve(item_rows.size());
+  for (auto& result : shed) results.push_back(std::move(result));
+  return results;
 }
 
 StatusOr<runtime::ScoreResult> TenantRegistry::Score(std::string_view tenant,
@@ -98,32 +134,24 @@ obs::MetricsSnapshot TenantRegistry::Collect() const {
   // registry, and holding the registration mutex across that would stall
   // Get() on the serving path. Tenants are never removed, so the pointers
   // stay valid after the lock drops.
-  std::vector<std::pair<std::string, const ShardedRuntime*>> tenants;
+  std::vector<std::pair<std::string, const Tenant*>> tenants;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tenants.reserve(tenants_.size());
-    for (const auto& [name, runtime] : tenants_) {
-      tenants.emplace_back(name, runtime.get());
+    for (const auto& [name, tenant] : tenants_) {
+      tenants.emplace_back(name, &tenant);
     }
   }
   obs::MetricsSnapshot merged;
-  for (const auto& [name, runtime] : tenants) {
+  for (const auto& [name, tenant] : tenants) {
     const std::string prefix = "tenant." + name + ".";
-    obs::MetricsSnapshot snapshot = runtime->Collect();
-    AppendPrefixed(prefix, std::move(snapshot.counters), &merged.counters);
-    AppendPrefixed(prefix, std::move(snapshot.gauges), &merged.gauges);
-    AppendPrefixed(prefix, std::move(snapshot.histograms),
-                   &merged.histograms);
+    obs::MergeWithPrefix(prefix, tenant->runtime->Collect(), &merged);
+    obs::MergeWithPrefix(prefix, tenant->registry->Collect(), &merged);
   }
   // Re-sort for the MetricsSnapshot determinism contract: map order on
   // tenant names does not survive prefixing (e.g. '-' sorts before the
   // '.' separator, so "tenant.a-b.x" < "tenant.a.x" while "a" < "a-b").
-  const auto by_name = [](const auto& a, const auto& b) {
-    return a.first < b.first;
-  };
-  std::sort(merged.counters.begin(), merged.counters.end(), by_name);
-  std::sort(merged.gauges.begin(), merged.gauges.end(), by_name);
-  std::sort(merged.histograms.begin(), merged.histograms.end(), by_name);
+  obs::SortByName(&merged);
   return merged;
 }
 
@@ -132,8 +160,8 @@ void TenantRegistry::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     runtimes.reserve(tenants_.size());
-    for (const auto& [name, runtime] : tenants_) {
-      runtimes.push_back(runtime.get());
+    for (const auto& [name, tenant] : tenants_) {
+      runtimes.push_back(tenant.runtime.get());
     }
   }
   for (ShardedRuntime* runtime : runtimes) runtime->Shutdown();

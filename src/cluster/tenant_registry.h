@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/admission.h"
 #include "cluster/sharded_runtime.h"
 #include "common/status.h"
 #include "obs/metrics_registry.h"
@@ -26,6 +27,14 @@ struct TenantConfig {
   /// (no '.' collisions with the namespace separator).
   std::string name;
   ShardedRuntimeConfig sharded;
+  /// Admission quota, rows per second; <= 0 means unlimited. Over-quota
+  /// rows are never errored: they are answered from the tenant's degraded
+  /// fallback (tier kPrior/kGlobalMean) without touching any shard, so a
+  /// noisy tenant cannot queue behind-quota work into shards other tenants
+  /// share the machine with.
+  double admission_qps = 0.0;
+  /// Token-bucket depth; <= 0 defaults to one second of admission_qps.
+  double admission_burst = 0.0;
 
   Status Validate() const;
 };
@@ -59,7 +68,10 @@ class TenantRegistry {
   ShardedRuntime* Get(std::string_view name) const;
 
   /// Scatter/gathers `item_rows` through the named tenant under its own
-  /// deadline budget. Every entry is NotFound when the tenant does not
+  /// deadline budget, after the tenant's admission quota: the token bucket
+  /// grants the first k rows (partial grants split the batch), and the
+  /// over-quota tail is answered tier-tagged from the degraded fallback —
+  /// shed, never errored. Every entry is NotFound when the tenant does not
   /// exist (the per-row shape is kept so callers can zip results to rows
   /// unconditionally).
   std::vector<StatusOr<runtime::ScoreResult>> ScoreBatch(
@@ -83,9 +95,21 @@ class TenantRegistry {
   void Shutdown();
 
  private:
+  /// One tenant: its runtime, its admission bucket, and the admission.*
+  /// counters (admitted/shed) merged into Collect() under the tenant's
+  /// namespace.
+  struct Tenant {
+    std::unique_ptr<ShardedRuntime> runtime;
+    std::unique_ptr<TokenBucket> bucket;
+    std::unique_ptr<obs::MetricsRegistry> registry;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* shed = nullptr;
+  };
+
+  const Tenant* Find(std::string_view name) const;
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<ShardedRuntime>, std::less<>>
-      tenants_;
+  std::map<std::string, Tenant, std::less<>> tenants_;
 };
 
 }  // namespace atnn::cluster

@@ -1,0 +1,16 @@
+#ifndef ATNN_COMMON_CRC32_H_
+#define ATNN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace atnn {
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320), table-driven.
+/// Incremental use: pass the previous return value as `seed` to extend a
+/// checksum across multiple buffers; start with seed 0.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace atnn
+
+#endif  // ATNN_COMMON_CRC32_H_

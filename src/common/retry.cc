@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/rng.h"
+
 namespace atnn {
 
 Status RetryWithBackoff(const std::function<Status()>& op,
@@ -17,19 +19,37 @@ Status RetryWithBackoff(const std::function<Status()>& op,
     return Status::InvalidArgument(
         "RetryConfig backoff must be non-negative with multiplier >= 1");
   }
+  if (config.jitter < 0.0 || config.jitter >= 1.0) {
+    return Status::InvalidArgument("RetryConfig.jitter must be in [0, 1)");
+  }
+  if (config.max_total_backoff_ms < 0) {
+    return Status::InvalidArgument(
+        "RetryConfig.max_total_backoff_ms must be >= 0");
+  }
+  Rng rng(config.jitter_seed);
   double backoff = static_cast<double>(config.initial_backoff_ms);
+  int64_t total_slept_ms = 0;
   Status status;
   for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
     status = op();
     if (status.ok() || !IsRetriable(status.code())) return status;
     if (attempt + 1 == config.max_attempts) break;  // no sleep after last try
-    const auto delay = static_cast<int64_t>(
-        std::min(backoff, static_cast<double>(config.max_backoff_ms)));
+    double scaled = std::min(backoff, static_cast<double>(config.max_backoff_ms));
+    if (config.jitter > 0.0) {
+      scaled *= rng.Uniform(1.0 - config.jitter, 1.0 + config.jitter);
+    }
+    int64_t delay = static_cast<int64_t>(scaled);
+    if (config.max_total_backoff_ms > 0) {
+      const int64_t remaining = config.max_total_backoff_ms - total_slept_ms;
+      if (remaining <= 0) break;  // budget spent: return the last status
+      delay = std::min(delay, remaining);
+    }
     if (sleep_ms != nullptr) {
       sleep_ms(delay);
     } else {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay));
     }
+    total_slept_ms += delay;
     backoff *= config.multiplier;
   }
   return status;

@@ -1,7 +1,13 @@
 #include "common/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "common/crc32.h"
 
 namespace atnn {
 
@@ -34,17 +40,64 @@ void BinaryWriter::WriteFloatSpan(std::span<const float> values) {
   WriteBytes(values.data(), values.size() * sizeof(float));
 }
 
-Status BinaryWriter::FlushToFile(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
+namespace {
+
+// Writes `size` bytes to `fd`, retrying on short writes and EINTR.
+bool WriteAll(int fd, const void* data, size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t written = ::write(fd, cursor, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cursor += written;
+    size -= static_cast<size_t>(written);
   }
-  file.write(kMagic, sizeof(kMagic));
+  return true;
+}
+
+// Fsyncs the directory containing `path` so the rename itself is durable.
+// Best-effort: some filesystems refuse O_RDONLY opens on directories.
+void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status BinaryWriter::FlushToFile(const std::string& path) const {
+  // Crash-safe protocol: write the full container to a sibling temp file,
+  // fsync it, then atomically rename over the destination. A crash at any
+  // point leaves either the old file or the new file — never a torn mix —
+  // so recovery paths (e.g. the shard supervisor rebuilding from the last
+  // snapshot) can trust whatever is at `path`.
+  const std::string temp_path = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open for writing: " + temp_path);
+  }
   const uint64_t size = buffer_.size();
-  file.write(reinterpret_cast<const char*>(&size), sizeof(size));
-  file.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-  file.flush();
-  if (!file.good()) return Status::IoError("write failed: " + path);
+  const uint32_t crc = Crc32(buffer_.data(), buffer_.size());
+  const bool wrote = WriteAll(fd, kMagic, sizeof(kMagic)) &&
+                     WriteAll(fd, &size, sizeof(size)) &&
+                     WriteAll(fd, buffer_.data(), buffer_.size()) &&
+                     WriteAll(fd, &crc, sizeof(crc));
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    ::unlink(temp_path.c_str());
+    return Status::IoError("write failed: " + temp_path);
+  }
+  if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+    ::unlink(temp_path.c_str());
+    return Status::IoError("rename failed: " + temp_path + " -> " + path);
+  }
+  SyncParentDirectory(path);
   return Status::OK();
 }
 
@@ -59,7 +112,9 @@ StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   const std::streamoff file_size = file.tellg();
   file.seekg(0);
   constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
-  if (file_size < 0 || static_cast<size_t>(file_size) < kHeaderSize) {
+  constexpr size_t kFooterSize = sizeof(uint32_t);  // CRC32 of the payload
+  if (file_size < 0 ||
+      static_cast<size_t>(file_size) < kHeaderSize + kFooterSize) {
     return Status::Corruption("truncated header in " + path);
   }
   char magic[sizeof(kMagic)];
@@ -70,13 +125,22 @@ StatusOr<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   uint64_t size = 0;
   file.read(reinterpret_cast<char*>(&size), sizeof(size));
   if (!file.good()) return Status::Corruption("truncated header in " + path);
-  if (size != static_cast<uint64_t>(file_size) - kHeaderSize) {
+  if (size != static_cast<uint64_t>(file_size) - kHeaderSize - kFooterSize) {
     return Status::Corruption("payload length mismatch in " + path);
   }
   std::string buffer(size, '\0');
   file.read(buffer.data(), static_cast<std::streamsize>(size));
   if (static_cast<uint64_t>(file.gcount()) != size) {
     return Status::Corruption("truncated payload in " + path);
+  }
+  uint32_t stored_crc = 0;
+  file.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  if (static_cast<size_t>(file.gcount()) != sizeof(stored_crc)) {
+    return Status::Corruption("truncated checksum footer in " + path);
+  }
+  const uint32_t actual_crc = Crc32(buffer.data(), buffer.size());
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("checksum mismatch in " + path);
   }
   return BinaryReader(std::move(buffer));
 }

@@ -31,8 +31,10 @@ class BinaryWriter {
 
   const std::string& buffer() const { return buffer_; }
 
-  /// Writes the accumulated buffer to `path`, prefixed with a magic tag and
-  /// a CRC-free length footer for truncation detection.
+  /// Writes the accumulated buffer to `path` as
+  /// `[magic][u64 payload length][payload][u32 CRC32(payload)]`, going
+  /// through a sibling temp file + fsync + atomic rename so a crash leaves
+  /// either the previous file or the complete new one, never a torn mix.
   Status FlushToFile(const std::string& path) const;
 
  private:

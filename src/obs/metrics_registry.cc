@@ -134,4 +134,36 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *global;
 }
 
+namespace {
+
+template <typename T>
+void AppendPrefixed(const std::string& prefix,
+                    std::vector<std::pair<std::string, T>> from,
+                    std::vector<std::pair<std::string, T>>* into) {
+  for (auto& [name, value] : from) {
+    into->emplace_back(prefix + name, std::move(value));
+  }
+}
+
+template <typename T>
+void SortFamilyByName(std::vector<std::pair<std::string, T>>* family) {
+  std::sort(family->begin(), family->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+}  // namespace
+
+void MergeWithPrefix(const std::string& prefix, MetricsSnapshot from,
+                     MetricsSnapshot* into) {
+  AppendPrefixed(prefix, std::move(from.counters), &into->counters);
+  AppendPrefixed(prefix, std::move(from.gauges), &into->gauges);
+  AppendPrefixed(prefix, std::move(from.histograms), &into->histograms);
+}
+
+void SortByName(MetricsSnapshot* snapshot) {
+  SortFamilyByName(&snapshot->counters);
+  SortFamilyByName(&snapshot->gauges);
+  SortFamilyByName(&snapshot->histograms);
+}
+
 }  // namespace atnn::obs

@@ -95,6 +95,18 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, LogHistogram>> histograms;
 };
 
+/// Moves every metric of `from` into `into` with `prefix` prepended to its
+/// name. Used by aggregating collectors (sharded runtime, tenant registry,
+/// shard supervisor) to build one tree out of per-component registries.
+/// Does NOT re-sort `into`; call SortByName once after the last merge.
+void MergeWithPrefix(const std::string& prefix, MetricsSnapshot from,
+                     MetricsSnapshot* into);
+
+/// Restores the sorted-by-name contract after MergeWithPrefix calls —
+/// concatenated namespaces are not globally ordered (e.g. "shard10." <
+/// "shard2." lexicographically, and a '.'-separator sorts after '-').
+void SortByName(MetricsSnapshot* snapshot);
+
 /// Owner and namespace for a set of metrics. Get*() registers on first use
 /// (under a mutex — do this at setup, not per event) and returns a handle
 /// that stays valid for the registry's lifetime; recording through a

@@ -25,6 +25,10 @@ int64_t FaultInjector::MaybeWorkerDelayUs() {
 
 bool FaultInjector::ShouldFailBatch() {
   if (!config_.enabled) return false;
+  if (fail_all_batches_.load(std::memory_order_relaxed)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   return Draw(config_.batch_failure_probability);
 }
 
@@ -44,6 +48,20 @@ bool FaultInjector::TakeCorruptPublish() {
 
 void FaultInjector::ArmCorruptPublish() {
   if (config_.enabled) corrupt_publish_armed_.store(true);
+}
+
+void FaultInjector::SetStallWorkers(bool stalled) {
+  if (!config_.enabled) return;
+  if (stalled && !stall_workers_.exchange(stalled)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!stalled) {
+    stall_workers_.store(false);
+  }
+}
+
+void FaultInjector::SetFailAllBatches(bool fail_all) {
+  if (!config_.enabled) return;
+  fail_all_batches_.store(fail_all, std::memory_order_relaxed);
 }
 
 }  // namespace atnn::runtime

@@ -66,6 +66,24 @@ class FaultInjector {
   /// Re-arms the corrupt-publish fault (e.g. between chaos rounds).
   void ArmCorruptPublish();
 
+  /// Armable drill switch: while set, every worker spins (in short sleeps)
+  /// after popping a batch instead of executing it — the "hung shard" a
+  /// health prober must detect. Requires `enabled`; cleared by SetStall-
+  /// Workers(false) or rendered moot by Shutdown (workers re-check the
+  /// batcher's closed flag so a stalled runtime can still shut down).
+  void SetStallWorkers(bool stalled);
+  bool stall_workers() const {
+    return stall_workers_.load(std::memory_order_relaxed);
+  }
+
+  /// Armable drill switch: while set, every batch's scoring pass fails
+  /// (the "sick shard" whose error rate trips a circuit breaker), without
+  /// the probabilistic schedule. Requires `enabled`.
+  void SetFailAllBatches(bool fail_all);
+  bool fail_all_batches() const {
+    return fail_all_batches_.load(std::memory_order_relaxed);
+  }
+
   /// Total faults triggered across all hooks (for chaos-run reporting).
   int64_t faults_injected() const { return faults_injected_.load(); }
 
@@ -76,6 +94,8 @@ class FaultInjector {
   std::mutex mutex_;  // guards rng_
   Rng rng_;
   std::atomic<bool> corrupt_publish_armed_;
+  std::atomic<bool> stall_workers_{false};
+  std::atomic<bool> fail_all_batches_{false};
   std::atomic<int64_t> faults_injected_{0};
 };
 

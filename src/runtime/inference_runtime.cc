@@ -157,6 +157,23 @@ StatusOr<ScoreResult> InferenceRuntime::Score(int64_t item_row) {
   return ScoreAsync(item_row).get();
 }
 
+StatusOr<ScoreResult> InferenceRuntime::Probe(int64_t item_row,
+                                              int64_t deadline_us) {
+  if (deadline_us <= 0) {
+    return Status::InvalidArgument(
+        "Probe requires a positive deadline: an unbounded probe against a "
+        "hung shard would hang the prober with it");
+  }
+  auto future = ScoreAsync(item_row, deadline_us);
+  FlushHint();
+  if (future.wait_for(std::chrono::microseconds(deadline_us)) !=
+      std::future_status::ready) {
+    return Status::DeadlineExceeded("probe timed out after " +
+                                    std::to_string(deadline_us) + "us");
+  }
+  return future.get();
+}
+
 void InferenceRuntime::SetPrior(
     std::shared_ptr<const serving::PopularityIndex> prior) {
   std::lock_guard<std::mutex> lock(prior_mutex_);
@@ -178,6 +195,13 @@ void InferenceRuntime::WorkerLoop() {
   for (;;) {
     std::vector<PendingRequest> batch = batcher_.PopBatch();
     if (batch.empty()) return;  // closed and drained
+    // Injected hang: hold the popped batch unanswered until the drill ends.
+    // Re-checking closed() keeps Shutdown() from deadlocking on a stalled
+    // worker — the batch then falls through and is answered normally while
+    // the batcher drains.
+    while (injector_.stall_workers() && !batcher_.closed()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
     const int64_t injected_delay_us = injector_.MaybeWorkerDelayUs();
     if (injected_delay_us > 0) {
       std::this_thread::sleep_for(

@@ -145,6 +145,19 @@ class InferenceRuntime {
   /// Blocking convenience wrapper around ScoreAsync.
   StatusOr<ScoreResult> Score(int64_t item_row);
 
+  /// Synthetic health probe: scores `item_row` under `deadline_us` (must be
+  /// > 0) and waits AT MOST that long for the answer, so a hung worker
+  /// yields DeadlineExceeded instead of hanging the prober — the property a
+  /// supervisor needs to detect a stalled shard. Issues its own FlushHint
+  /// (probe traffic must not wait out the batch window for co-riders). The
+  /// abandoned future on timeout is harmless: the worker resolves it into
+  /// a discarded promise. Degraded answers come back OK with their tier, so
+  /// health policies can distinguish "down" (error/timeout) from "sick"
+  /// (serving, but not fresh). Cache note: probes cannot be masked by the
+  /// score cache — cache lookups happen inside worker batch execution, so
+  /// a stalled worker never answers, cached row or not.
+  StatusOr<ScoreResult> Probe(int64_t item_row, int64_t deadline_us);
+
   /// Group-boundary hint after a burst of ScoreAsync calls: the caller
   /// promises no more requests are coming for the current batch window, so
   /// any partial batch of already-admitted requests flushes immediately

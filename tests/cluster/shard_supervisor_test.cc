@@ -1,0 +1,297 @@
+#include "cluster/shard_supervisor.h"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../core/test_helpers.h"
+#include "cluster/sharded_runtime.h"
+#include "core/atnn.h"
+#include "core/popularity.h"
+#include "data/tmall.h"
+
+namespace atnn::cluster {
+namespace {
+
+/// Same tiny deterministic world as the sharded-runtime tests; the
+/// supervisor's contracts are all about state transitions, so every test
+/// drives Step() by hand instead of the background thread.
+class ShardSupervisorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::TmallDataset(
+        core::testing_helpers::MakeNormalizedTinyDataset());
+    core::AtnnConfig config;
+    config.tower =
+        core::testing_helpers::TinyTowerConfig(nn::TowerKind::kDeepCross);
+    config.seed = 11;
+    model_ = new core::AtnnModel(*dataset_->user_schema,
+                                 *dataset_->item_profile_schema,
+                                 *dataset_->item_stats_schema, config);
+    const auto group = core::SelectActiveUsers(*dataset_, 64);
+    predictor_ = new core::PopularityPredictor(
+        core::PopularityPredictor::Build(*model_, *dataset_, group));
+  }
+
+  static void TearDownTestSuite() {
+    delete predictor_;
+    predictor_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static runtime::ServingSnapshot MakeSnapshot() {
+    runtime::ServingSnapshot snapshot;
+    snapshot.model = runtime::Unowned(model_);
+    snapshot.predictor = runtime::Unowned(predictor_);
+    snapshot.item_profiles = runtime::Unowned(&dataset_->item_profiles);
+    snapshot.tag = "test";
+    return snapshot;
+  }
+
+  /// Two shards, chaos hooks armed, a fast breaker that probes can walk
+  /// closed in two successes.
+  static std::unique_ptr<ShardedRuntime> MakeRuntime(size_t num_shards = 2) {
+    ShardedRuntimeConfig config;
+    config.num_shards = num_shards;
+    config.shard.num_workers = 2;
+    config.shard.batcher.max_batch_size = 16;
+    config.shard.batcher.max_delay_us = 500;
+    config.shard.batcher.queue_capacity = 256;
+    config.shard.fault_injection.enabled = true;
+    config.breaker.min_samples = 4;
+    config.breaker.cooldown_ms = 0;
+    config.breaker.probes_to_close = 2;
+    auto runtime = std::make_unique<ShardedRuntime>(config);
+    const auto version = runtime->PublishSharded(MakeSnapshot());
+    EXPECT_TRUE(version.ok()) << version.status().ToString();
+    return runtime;
+  }
+
+  /// Thresholds small enough that each transition is a couple of Steps.
+  static ShardSupervisorConfig FastConfig() {
+    ShardSupervisorConfig config;
+    config.probe_deadline_us = 200'000;
+    config.consecutive_to_suspect = 2;
+    config.consecutive_to_dead = 4;
+    config.probes_to_healthy = 3;
+    config.rebuild_retry.max_attempts = 2;
+    config.rebuild_retry.initial_backoff_ms = 1;
+    return config;
+  }
+
+  static size_t StepUntil(ShardSupervisor* supervisor, size_t shard,
+                          ShardHealth target, size_t max_steps = 64) {
+    size_t steps = 0;
+    while (supervisor->health(shard) != target && steps < max_steps) {
+      supervisor->Step();
+      ++steps;
+    }
+    return steps;
+  }
+
+  static data::TmallDataset* dataset_;
+  static core::AtnnModel* model_;
+  static core::PopularityPredictor* predictor_;
+};
+
+data::TmallDataset* ShardSupervisorTest::dataset_ = nullptr;
+core::AtnnModel* ShardSupervisorTest::model_ = nullptr;
+core::PopularityPredictor* ShardSupervisorTest::predictor_ = nullptr;
+
+double CounterValue(const obs::MetricsSnapshot& snapshot,
+                    const std::string& name) {
+  for (const auto& [counter_name, value] : snapshot.counters) {
+    if (counter_name == name) return static_cast<double>(value);
+  }
+  return -1.0;
+}
+
+TEST_F(ShardSupervisorTest, ConfigValidation) {
+  EXPECT_TRUE(ShardSupervisorConfig{}.Validate().ok());
+  ShardSupervisorConfig config;
+  config.probe_deadline_us = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = {};
+  config.probe_period_ms = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = {};
+  config.consecutive_to_suspect = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = {};
+  config.consecutive_to_dead = config.consecutive_to_suspect;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument)
+      << "dead must be strictly beyond suspect";
+  config = {};
+  config.probes_to_healthy = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config = {};
+  config.latency_ewma_alpha = 0.0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardSupervisorTest, HealthyShardsStayHealthyAndTrackLatency) {
+  auto runtime = MakeRuntime();
+  ShardSupervisor supervisor(runtime.get(), FastConfig());
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(supervisor.Step(), 2u);
+  }
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kHealthy);
+  EXPECT_EQ(supervisor.health(1), ShardHealth::kHealthy);
+  EXPECT_GT(supervisor.probe_latency_us(0), 0.0)
+      << "healthy probes must feed the latency EWMA";
+  const auto metrics = supervisor.Collect();
+  EXPECT_EQ(CounterValue(metrics, "supervisor.probes"), 10.0);
+  EXPECT_EQ(CounterValue(metrics, "supervisor.probe_failures"), 0.0);
+  EXPECT_EQ(CounterValue(metrics, "supervisor.transitions"), 0.0);
+}
+
+TEST_F(ShardSupervisorTest, WalksHealthyThroughSuspectToDead) {
+  auto runtime = MakeRuntime();
+  ShardSupervisorConfig config = FastConfig();
+  config.auto_rebuild = false;  // diagnose-only: the state must park at dead
+  ShardSupervisor supervisor(runtime.get(), config);
+  supervisor.Step();
+  ASSERT_EQ(supervisor.health(0), ShardHealth::kHealthy);
+
+  runtime->ShutDownShard(0);
+  supervisor.Step();
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kHealthy)
+      << "one failure is below consecutive_to_suspect=2";
+  supervisor.Step();
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kSuspect);
+  supervisor.Step();
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kSuspect)
+      << "three failures are below consecutive_to_dead=4";
+  supervisor.Step();
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kDead);
+  EXPECT_EQ(supervisor.health(1), ShardHealth::kHealthy)
+      << "the healthy neighbour must be untouched";
+  // Without auto_rebuild the shard stays dead.
+  supervisor.Step();
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kDead);
+  EXPECT_EQ(CounterValue(supervisor.Collect(), "supervisor.rebuilds"), 0.0);
+}
+
+TEST_F(ShardSupervisorTest, SuspectClearsOnOneHealthyProbe) {
+  auto runtime = MakeRuntime();
+  ShardSupervisor supervisor(runtime.get(), FastConfig());
+  // Degrade shard 0 (batches fail => answers fall to the fallback chain,
+  // which probes count as unhealthy), but keep it alive.
+  runtime->shard(0).fault_injector().SetFailAllBatches(true);
+  supervisor.Step();
+  supervisor.Step();
+  ASSERT_EQ(supervisor.health(0), ShardHealth::kSuspect);
+
+  runtime->shard(0).fault_injector().SetFailAllBatches(false);
+  supervisor.Step();
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kHealthy)
+      << "suspect debounces; one good probe clears it";
+}
+
+TEST_F(ShardSupervisorTest, DeadShardAutoRebuildsAndReearnsHealthy) {
+  auto runtime = MakeRuntime();
+  ShardSupervisor supervisor(runtime.get(), FastConfig());
+  runtime->ShutDownShard(0);
+
+  // 4 failed probes -> dead -> same-step rebuild -> recovering.
+  for (int round = 0; round < 4; ++round) supervisor.Step();
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kRecovering)
+      << "auto_rebuild must fire in the round the shard goes dead";
+  EXPECT_EQ(CounterValue(supervisor.Collect(), "supervisor.rebuilds"), 1.0);
+  EXPECT_NE(runtime->breaker(0).state(), BreakerState::kClosed)
+      << "a rebuilt shard must not be serving yet";
+
+  // Probes walk the breaker closed and the health back to kHealthy.
+  const size_t steps = StepUntil(&supervisor, 0, ShardHealth::kHealthy);
+  EXPECT_LT(steps, 64u) << "rebuilt shard never re-earned healthy";
+  EXPECT_EQ(runtime->breaker(0).state(), BreakerState::kClosed);
+
+  // And the recovered shard serves fresh again.
+  std::vector<int64_t> rows;
+  for (int64_t row = 0; row < dataset_->item_profiles.num_rows(); ++row) {
+    rows.push_back(row);
+  }
+  const auto results = runtime->ScoreBatch(rows);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().tier, runtime::ServingTier::kFresh);
+  }
+}
+
+TEST_F(ShardSupervisorTest, RecoveringRelapsesToDeadAndRebuildsAgain) {
+  auto runtime = MakeRuntime();
+  ShardSupervisor supervisor(runtime.get(), FastConfig());
+  runtime->ShutDownShard(0);
+  for (int round = 0; round < 4; ++round) supervisor.Step();
+  ASSERT_EQ(supervisor.health(0), ShardHealth::kRecovering);
+
+  // The rebuilt instance is sick too: recovering must relapse to dead and
+  // trigger a second rebuild (whose instance is then allowed to be fine).
+  runtime->shard(0).fault_injector().SetFailAllBatches(true);
+  for (int round = 0; round < 4; ++round) supervisor.Step();
+  EXPECT_GE(CounterValue(supervisor.Collect(), "supervisor.rebuilds"), 2.0)
+      << "a relapse must re-enter the rebuild path";
+
+  const size_t steps = StepUntil(&supervisor, 0, ShardHealth::kHealthy);
+  EXPECT_LT(steps, 64u);
+}
+
+TEST_F(ShardSupervisorTest, ExternallyRevivedDeadShardReearnsThroughProbation) {
+  auto runtime = MakeRuntime();
+  ShardSupervisorConfig config = FastConfig();
+  config.auto_rebuild = false;
+  ShardSupervisor supervisor(runtime.get(), config);
+  runtime->ShutDownShard(0);
+  for (int round = 0; round < 4; ++round) supervisor.Step();
+  ASSERT_EQ(supervisor.health(0), ShardHealth::kDead);
+
+  // Operator-path recovery: an external RebuildShard revives it...
+  ASSERT_TRUE(runtime->RebuildShard(0).ok());
+  supervisor.Step();
+  // ...but the supervisor still demands probation, not instant healthy.
+  EXPECT_EQ(supervisor.health(0), ShardHealth::kRecovering);
+  const size_t steps = StepUntil(&supervisor, 0, ShardHealth::kHealthy);
+  EXPECT_LT(steps, 64u);
+}
+
+TEST_F(ShardSupervisorTest, StepTracksLiveResize) {
+  auto runtime = MakeRuntime(2);
+  ShardSupervisor supervisor(runtime.get(), FastConfig());
+  EXPECT_EQ(supervisor.Step(), 2u);
+  const auto report = runtime->ResizeShards(4);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(supervisor.Step(), 4u)
+      << "a probe round must cover shards added by a live resize";
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(supervisor.health(s), ShardHealth::kHealthy);
+  }
+}
+
+TEST_F(ShardSupervisorTest, BackgroundThreadProbesAndStops) {
+  auto runtime = MakeRuntime();
+  ShardSupervisorConfig config = FastConfig();
+  config.probe_period_ms = 1;
+  ShardSupervisor supervisor(runtime.get(), config);
+  supervisor.Start();
+  supervisor.Start();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  supervisor.Stop();
+  const double probes =
+      CounterValue(supervisor.Collect(), "supervisor.probes");
+  EXPECT_GT(probes, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(CounterValue(supervisor.Collect(), "supervisor.probes"), probes)
+      << "Stop() must actually stop the probe loop";
+  supervisor.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace atnn::cluster

@@ -327,5 +327,184 @@ TEST_F(ShardedRuntimeTest, CollectKeepsShardNamespacesDisjointAndSorted) {
             static_cast<int64_t>(dataset_->new_items.size()));
 }
 
+TEST_F(ShardedRuntimeTest, ResizeRequiresAPublishedCatalog) {
+  ShardedRuntime runtime(SmallShardedConfig(2));
+  EXPECT_EQ(runtime.ResizeShards(0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(runtime.ResizeShards(4).status().code(),
+            StatusCode::kFailedPrecondition);
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, ResizeGrowMovesOnlyBoundedRemapRows) {
+  ShardedRuntime runtime(SmallShardedConfig(2));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const std::vector<double> expected =
+      predictor_->ScoreItems(*model_, *dataset_, AllRows());
+
+  const auto resized = runtime.ResizeShards(4);
+  ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+  EXPECT_EQ(resized->from_shards, 2u);
+  EXPECT_EQ(resized->to_shards, 4u);
+  EXPECT_EQ(resized->total_rows, dataset_->item_profiles.num_rows());
+  EXPECT_TRUE(resized->moved_only_within_bound);
+  // Consistent hashing moves SOME rows (new shards must own a slice) but
+  // strictly fewer than a naive mod-N reshuffle would.
+  EXPECT_GT(resized->moved_rows, 0);
+  EXPECT_LT(resized->moved_rows, resized->total_rows);
+  EXPECT_EQ(resized->epoch, 2u);
+  EXPECT_EQ(runtime.num_shards(), 4u);
+  EXPECT_EQ(runtime.ring().num_shards(), 4u);
+
+  // Every row still serves fresh with an unchanged score on the new
+  // routing — including rows that moved shards.
+  const std::vector<int64_t> rows = AllRows();
+  const auto results = runtime.ScoreBatch(rows);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_EQ(results[i].value().tier, runtime::ServingTier::kFresh);
+    EXPECT_NEAR(results[i].value().score, expected[i], 1e-9);
+  }
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, ResizeShrinkKeepsEveryRowServable) {
+  ShardedRuntime runtime(SmallShardedConfig(4));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const auto resized = runtime.ResizeShards(2);
+  ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+  EXPECT_TRUE(resized->moved_only_within_bound);
+  EXPECT_EQ(runtime.num_shards(), 2u);
+
+  const auto results = runtime.ScoreBatch(AllRows());
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().tier, runtime::ServingTier::kFresh);
+  }
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, ResizeToSameCountIsANoOp) {
+  ShardedRuntime runtime(SmallShardedConfig(2));
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const uint64_t epoch_before = runtime.epoch_id();
+  const auto resized = runtime.ResizeShards(2);
+  ASSERT_TRUE(resized.ok());
+  EXPECT_EQ(resized->moved_rows, 0);
+  EXPECT_EQ(resized->epoch, epoch_before);
+  EXPECT_EQ(runtime.epoch_id(), epoch_before);
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, ProbeShardReportsHealthThroughTiers) {
+  ShardedRuntimeConfig config = SmallShardedConfig(2);
+  config.prior = FlatPrior(0.5);
+  ShardedRuntime runtime(config);
+
+  // Unpublished: vacuously healthy (nothing to probe), out of range is an
+  // explicit error.
+  EXPECT_TRUE(runtime.ProbeShard(0, /*salt=*/1).healthy());
+  EXPECT_EQ(runtime.ProbeShard(9, /*salt=*/1).status.code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const ProbeReport healthy = runtime.ProbeShard(0, /*salt=*/2);
+  EXPECT_TRUE(healthy.healthy());
+  EXPECT_EQ(healthy.tier, runtime::ServingTier::kFresh);
+  EXPECT_GE(healthy.latency_us, 0);
+
+  // A shut-down shard cannot answer its own probe (the probe bypasses the
+  // front-end's degraded fallback on purpose — it measures the shard, not
+  // the fallback): the report is unhealthy.
+  runtime.ShutDownShard(1);
+  EXPECT_FALSE(runtime.ProbeShard(1, /*salt=*/3).healthy());
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, RebuildShardReadmitsOnlyThroughBreakerProbes) {
+  ShardedRuntimeConfig config = SmallShardedConfig(2);
+  config.prior = FlatPrior(0.75);
+  config.breaker.cooldown_ms = 0;
+  config.breaker.probes_to_close = 2;
+  ShardedRuntime runtime(config);
+  EXPECT_EQ(runtime.RebuildShard(0).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  EXPECT_EQ(runtime.RebuildShard(7).code(), StatusCode::kInvalidArgument);
+
+  runtime.ShutDownShard(0);
+  const uint64_t epoch_before = runtime.epoch_id();
+  ASSERT_TRUE(runtime.RebuildShard(0).ok());
+  EXPECT_EQ(runtime.epoch_id(), epoch_before + 1);
+
+  // The rebuilt runtime holds a fresh slice, but the breaker was force-
+  // opened: shard 0 traffic sheds tier-tagged until probes close it.
+  EXPECT_EQ(runtime.breaker(0).state(), BreakerState::kOpen);
+  std::vector<int64_t> shard0_rows;
+  for (const int64_t row : AllRows()) {
+    if (runtime.ring().ShardFor(row) == 0) shard0_rows.push_back(row);
+  }
+  ASSERT_FALSE(shard0_rows.empty());
+  for (const auto& result : runtime.ScoreBatch(shard0_rows)) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NE(result.value().tier, runtime::ServingTier::kFresh);
+  }
+
+  // Probe traffic walks the breaker open -> half-open -> closed; only
+  // then does the shard serve fresh again.
+  for (int probe = 0; probe < 8 &&
+                      runtime.breaker(0).state() != BreakerState::kClosed;
+       ++probe) {
+    EXPECT_TRUE(runtime.ProbeShard(0, static_cast<uint64_t>(probe))
+                    .status.ok());
+  }
+  EXPECT_EQ(runtime.breaker(0).state(), BreakerState::kClosed);
+  for (const auto& result : runtime.ScoreBatch(shard0_rows)) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().tier, runtime::ServingTier::kFresh);
+  }
+
+  const auto snapshot = runtime.Collect();
+  int64_t rebuilds = 0;
+  int64_t breaker_shed = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "gather.rebuilds") rebuilds = value;
+    if (name == "gather.breaker_shed") breaker_shed = value;
+  }
+  EXPECT_EQ(rebuilds, 1);
+  EXPECT_EQ(breaker_shed, static_cast<int64_t>(shard0_rows.size()));
+  runtime.Shutdown();
+}
+
+TEST_F(ShardedRuntimeTest, DegradedBatchAnswersTierTaggedWithoutShards) {
+  ShardedRuntimeConfig config = SmallShardedConfig(2);
+  config.prior = FlatPrior(0.375);
+  ShardedRuntime runtime(config);
+
+  // Before any publish a shed cannot bound-check, but it must still
+  // answer: admission control runs ahead of serving state.
+  const auto unpublished = runtime.DegradedBatch({0, 1});
+  ASSERT_EQ(unpublished.size(), 2u);
+  for (const auto& result : unpublished) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().tier, runtime::ServingTier::kPrior);
+    EXPECT_EQ(result.value().score, 0.375);
+  }
+
+  ASSERT_TRUE(runtime.PublishSharded(MakeSnapshot()).ok());
+  const auto results = runtime.DegradedBatch(
+      {-1, dataset_->new_items.front(), dataset_->item_profiles.num_rows()});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_EQ(results[1].value().tier, runtime::ServingTier::kPrior);
+  EXPECT_EQ(results[2].status().code(), StatusCode::kInvalidArgument);
+  // No shard saw any of it.
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(runtime.shard(s).stats().enqueued, 0) << "shard " << s;
+  }
+  runtime.Shutdown();
+}
+
 }  // namespace
 }  // namespace atnn::cluster

@@ -254,6 +254,96 @@ TEST_F(TenantRegistryTest, UnknownTenantIsNotFoundWithPerRowShape) {
   }
 }
 
+TEST_F(TenantRegistryTest, OverQuotaRowsShedTierTaggedNeverErrored) {
+  TenantRegistry registry;
+  TenantConfig limited = SmallTenant("limited");
+  limited.sharded.prior = FlatPrior(0.25);
+  // 8 tokens of burst, negligible refill: a 20-row batch must split into
+  // 8 admitted + 12 shed.
+  limited.admission_qps = 1e-6;
+  limited.admission_burst = 8.0;
+  const auto runtime = registry.AddTenant(limited);
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  ASSERT_TRUE((*runtime)->PublishSharded(MakeSnapshot(predictor_a_)).ok());
+
+  std::vector<int64_t> rows;
+  for (int64_t row = 0; row < 20; ++row) rows.push_back(row);
+  const auto results = registry.ScoreBatch("limited", rows);
+  ASSERT_EQ(results.size(), rows.size());
+  size_t fresh = 0;
+  size_t shed = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "a shed must never surface an error";
+    if (results[i].value().tier == runtime::ServingTier::kFresh) {
+      ++fresh;
+    } else {
+      EXPECT_EQ(results[i].value().tier, runtime::ServingTier::kPrior);
+      EXPECT_EQ(results[i].value().score, 0.25)
+          << "shed rows answer from the tenant's prior";
+      ++shed;
+    }
+  }
+  EXPECT_EQ(fresh, 8u);
+  EXPECT_EQ(shed, 12u);
+  registry.Shutdown();
+
+  // The split is visible in the admission counters, under the tenant's
+  // namespace.
+  const auto snapshot = registry.Collect();
+  int64_t admitted_count = -1;
+  int64_t shed_count = -1;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "tenant.limited.admission.admitted") admitted_count = value;
+    if (name == "tenant.limited.admission.shed") shed_count = value;
+  }
+  EXPECT_EQ(admitted_count, 8);
+  EXPECT_EQ(shed_count, 12);
+}
+
+TEST_F(TenantRegistryTest, QuotaOnOneTenantDoesNotTouchAnother) {
+  TenantRegistry registry;
+  TenantConfig starved = SmallTenant("starved");
+  starved.sharded.prior = FlatPrior(0.25);
+  starved.admission_qps = 1e-6;
+  starved.admission_burst = 1.0;
+  TenantConfig unlimited = SmallTenant("unlimited");
+  const auto starved_runtime = registry.AddTenant(starved);
+  ASSERT_TRUE(starved_runtime.ok());
+  const auto unlimited_runtime = registry.AddTenant(unlimited);
+  ASSERT_TRUE(unlimited_runtime.ok());
+  ASSERT_TRUE(
+      (*starved_runtime)->PublishSharded(MakeSnapshot(predictor_a_)).ok());
+  ASSERT_TRUE(
+      (*unlimited_runtime)->PublishSharded(MakeSnapshot(predictor_a_)).ok());
+
+  // Hammer the starved tenant far past its quota...
+  for (int round = 0; round < 5; ++round) {
+    const auto results =
+        registry.ScoreBatch("starved", dataset_->new_items);
+    for (const auto& result : results) ASSERT_TRUE(result.ok());
+  }
+  // ...and the unlimited tenant still serves everything fresh.
+  const auto results =
+      registry.ScoreBatch("unlimited", dataset_->new_items);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().tier, runtime::ServingTier::kFresh);
+  }
+  registry.Shutdown();
+}
+
+TEST_F(TenantRegistryTest, AdmissionConfigValidation) {
+  TenantRegistry registry;
+  TenantConfig bad = SmallTenant("bad");
+  bad.admission_qps = -1.0;
+  EXPECT_EQ(registry.AddTenant(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = SmallTenant("bad");
+  bad.admission_burst = -1.0;
+  EXPECT_EQ(registry.AddTenant(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(TenantRegistryTest, TenantNamesComeBackSorted) {
   TenantRegistry registry;
   for (const char* name : {"zeta", "alpha", "mid"}) {

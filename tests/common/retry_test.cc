@@ -1,5 +1,6 @@
 #include "common/retry.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -109,6 +110,120 @@ TEST(RetryTest, InvalidConfigIsInvalidArgument) {
   EXPECT_EQ(RetryWithBackoff(op, config).code(),
             StatusCode::kInvalidArgument);
   // The op must never run under an invalid config.
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetryTest, JitterIsDeterministicPerSeedAndBounded) {
+  RetryConfig config;
+  config.max_attempts = 5;
+  config.initial_backoff_ms = 100;
+  config.max_backoff_ms = 10000;
+  config.jitter = 0.5;
+  config.jitter_seed = 42;
+  const auto run = [&] {
+    FakeSleeper sleeper;
+    RetryWithBackoff([] { return Status::Unavailable("down"); }, config,
+                     sleeper.Fn());
+    return sleeper.slept_ms;
+  };
+  const std::vector<int64_t> first = run();
+  EXPECT_EQ(first, run()) << "same seed must reproduce the same schedule";
+  ASSERT_EQ(first.size(), 4u);
+  int64_t base = 100;
+  for (const int64_t slept : first) {
+    EXPECT_GE(slept, base / 2);
+    EXPECT_LE(slept, base + base / 2);
+    base *= 2;
+  }
+
+  config.jitter_seed = 43;
+  EXPECT_NE(first, run()) << "different seeds must decorrelate the schedule";
+}
+
+TEST(RetryTest, ZeroJitterReproducesExactSchedule) {
+  RetryConfig config;
+  config.max_attempts = 4;
+  config.jitter = 0.0;
+  config.jitter_seed = 999;  // must be ignored when jitter is off
+  FakeSleeper sleeper;
+  RetryWithBackoff([] { return Status::Unavailable("down"); }, config,
+                   sleeper.Fn());
+  EXPECT_EQ(sleeper.slept_ms, (std::vector<int64_t>{10, 20, 40}));
+}
+
+TEST(RetryTest, DistinctSeedsDesynchronizeAHerd) {
+  // Simulate N shards recovering at once, each retrying with its own seed.
+  // At least two of them must land on different first-sleep values —
+  // otherwise the "jitter" is not actually breaking up the storm.
+  RetryConfig config;
+  config.max_attempts = 2;
+  config.initial_backoff_ms = 1000;
+  config.max_backoff_ms = 10000;
+  config.jitter = 0.5;
+  std::vector<int64_t> first_sleeps;
+  for (uint64_t shard = 0; shard < 8; ++shard) {
+    config.jitter_seed = 0x5eedULL ^ shard;
+    FakeSleeper sleeper;
+    RetryWithBackoff([] { return Status::Unavailable("down"); }, config,
+                     sleeper.Fn());
+    ASSERT_EQ(sleeper.slept_ms.size(), 1u);
+    first_sleeps.push_back(sleeper.slept_ms[0]);
+  }
+  std::sort(first_sleeps.begin(), first_sleeps.end());
+  EXPECT_LT(first_sleeps.front(), first_sleeps.back());
+}
+
+TEST(RetryTest, TotalBackoffBudgetClampsAndStops) {
+  // Schedule without budget would be 100, 200, 400, ... With a 250ms budget
+  // the second sleep is clamped to 150 and the call stops after one more
+  // attempt, even though max_attempts allows ten.
+  RetryConfig config;
+  config.max_attempts = 10;
+  config.initial_backoff_ms = 100;
+  config.max_backoff_ms = 10000;
+  config.max_total_backoff_ms = 250;
+  FakeSleeper sleeper;
+  int calls = 0;
+  const Status status = RetryWithBackoff(
+      [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      config, sleeper.Fn());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(sleeper.slept_ms, (std::vector<int64_t>{100, 150}));
+  // op runs once per attempt that was admitted: initial + one per sleep.
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, BudgetLargerThanScheduleChangesNothing) {
+  RetryConfig config;
+  config.max_attempts = 4;
+  config.max_total_backoff_ms = 1 << 20;
+  FakeSleeper sleeper;
+  RetryWithBackoff([] { return Status::IoError("flaky"); }, config,
+                   sleeper.Fn());
+  EXPECT_EQ(sleeper.slept_ms, (std::vector<int64_t>{10, 20, 40}));
+}
+
+TEST(RetryTest, InvalidJitterAndBudgetAreInvalidArgument) {
+  int calls = 0;
+  const auto op = [&] {
+    ++calls;
+    return Status::OK();
+  };
+  RetryConfig config;
+  config.jitter = 1.0;
+  EXPECT_EQ(RetryWithBackoff(op, config).code(),
+            StatusCode::kInvalidArgument);
+  config = {};
+  config.jitter = -0.1;
+  EXPECT_EQ(RetryWithBackoff(op, config).code(),
+            StatusCode::kInvalidArgument);
+  config = {};
+  config.max_total_backoff_ms = -5;
+  EXPECT_EQ(RetryWithBackoff(op, config).code(),
+            StatusCode::kInvalidArgument);
   EXPECT_EQ(calls, 0);
 }
 

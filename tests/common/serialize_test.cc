@@ -1,11 +1,15 @@
 #include "common/serialize.h"
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
+
+#include "common/crc32.h"
 
 namespace atnn {
 namespace {
@@ -151,6 +155,88 @@ TEST(SerializeTest, TruncationAtEveryByteBoundaryFailsCleanly) {
         << "prefix " << cut << ": " << reader_or.status().ToString();
   }
   std::remove(path.c_str());
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The standard CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "incremental checksum subject";
+  const uint32_t one_shot = Crc32(data.data(), data.size());
+  uint32_t rolling = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    rolling = Crc32(data.data() + i, 1, rolling);
+  }
+  EXPECT_EQ(rolling, one_shot);
+}
+
+TEST(SerializeTest, BitFlipAnywhereInFileIsCorruption) {
+  // Flip a single bit at every byte position of a written container and
+  // require every variant to be rejected. Header flips trip the magic or
+  // length checks; payload and footer flips must be caught by the CRC.
+  const std::string path = TempPath("serialize_bitflip.bin");
+  BinaryWriter writer;
+  writer.WriteU32(42);
+  writer.WriteString("bitflip fuzz subject");
+  writer.WriteFloatVector({0.5f, -1.5f, 2.0f});
+  ASSERT_TRUE(writer.FlushToFile(path).ok());
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(full.size(), 20u);
+
+  for (size_t pos = 0; pos < full.size(); ++pos) {
+    std::string corrupted = full;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x10);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(corrupted.data(),
+                static_cast<std::streamsize>(corrupted.size()));
+    }
+    auto reader_or = BinaryReader::FromFile(path);
+    ASSERT_FALSE(reader_or.ok()) << "bit flip at byte " << pos << " accepted";
+    EXPECT_EQ(reader_or.status().code(), StatusCode::kCorruption)
+        << "byte " << pos << ": " << reader_or.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FlushToFileReplacesExistingFileAtomically) {
+  // Overwriting must go through a temp file: after the flush the target
+  // holds exactly the new container, and no temp sibling is left behind.
+  const std::string path = TempPath("serialize_atomic.bin");
+  {
+    BinaryWriter old_writer;
+    old_writer.WriteString("old contents");
+    ASSERT_TRUE(old_writer.FlushToFile(path).ok());
+  }
+  BinaryWriter writer;
+  writer.WriteString("new contents");
+  ASSERT_TRUE(writer.FlushToFile(path).ok());
+
+  auto reader_or = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+  std::string value;
+  ASSERT_TRUE(reader_or->ReadString(&value).ok());
+  EXPECT_EQ(value, "new contents");
+  EXPECT_TRUE(reader_or->AtEnd());
+
+  std::ifstream temp_probe(path + ".tmp." + std::to_string(getpid()));
+  EXPECT_FALSE(temp_probe.is_open()) << "temp file left behind";
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FlushToUnwritableDirectoryIsIoError) {
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  EXPECT_EQ(writer.FlushToFile("/nonexistent/dir/file.bin").code(),
+            StatusCode::kIoError);
 }
 
 TEST(SerializeTest, BitFlippedHugeLengthsDoNotOverflowBoundsChecks) {

@@ -12,6 +12,9 @@
 //   $ atnn_serve --chaos --deadline_us=20000               # fault drill
 //   $ atnn_serve --shards=4                                # sharded catalog
 //   $ atnn_serve --shards=2 --tenants=atnn,multitask       # multi-tenant
+//   $ atnn_serve --shards=3 --kill_shard=1                 # kill + self-heal
+//   $ atnn_serve --shards=4 --resize_at=0.5 --resize_to=6  # live resize
+//   $ atnn_serve --shards=2 --tenant_qps=5000              # admission quota
 //
 // --shards/--tenants switch to the cluster front-end: the catalog is
 // consistent-hash sharded across per-shard runtimes behind a
@@ -19,7 +22,14 @@
 // by side (each with its own shard set, deadline budget, and
 // "tenant.<name>.shard<i>.*" metrics namespace). --kill_shard=i shuts
 // shard i down on every tenant mid-replay to demonstrate degraded serving
-// through the popularity prior.
+// through the popularity prior — and starts a ShardSupervisor per tenant,
+// whose probes find the dead shard, rebuild it from the last published
+// snapshot slice, and re-admit it through its circuit breaker.
+// --resize_at=f with --resize_to=M live-resizes every tenant to M shards
+// after fraction f of the replay (zero dropped or errored requests is the
+// pass condition). --tenant_qps=N puts a token-bucket admission quota on
+// every tenant: over-quota rows shed tier-tagged through the prior, never
+// as errors.
 //
 // --chaos turns on the runtime's seeded fault injector (worker delays,
 // batch failures, queue rejections) and attempts corrupt snapshot
@@ -43,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/shard_supervisor.h"
 #include "cluster/tenant_registry.h"
 #include "common/flags.h"
 #include "nn/kernels.h"
@@ -117,6 +128,20 @@ int Run(int argc, const char* const* argv) {
   flags.AddInt64("kill_shard", -1,
                  "sharded path only: shut this shard down on every tenant "
                  "halfway through the replay (degraded-serving drill)");
+  flags.AddBool("auto_recover", true,
+                "with --kill_shard: run a ShardSupervisor per tenant so the "
+                "killed shard is rebuilt from the last snapshot slice and "
+                "re-admitted through its circuit breaker");
+  flags.AddDouble("resize_at", 0.0,
+                  "sharded path only: fraction of the replay (0,1) after "
+                  "which every tenant is live-resized to --resize_to shards "
+                  "(0 disables)");
+  flags.AddInt64("resize_to", 0,
+                 "target shard count for the --resize_at drill");
+  flags.AddDouble("tenant_qps", 0.0,
+                  "sharded path only: per-tenant admission quota in rows/s; "
+                  "over-quota rows are shed tier-tagged through the prior "
+                  "(0 = unlimited)");
   flags.AddString("atnn_kernel", "auto",
                   "compute backend: auto | scalar | avx2");
   flags.AddString("metrics_json", "",
@@ -246,6 +271,16 @@ int Run(int argc, const char* const* argv) {
       std::fprintf(stderr, "--kill_shard must be < --shards\n");
       return 2;
     }
+    const double resize_at = flags.GetDouble("resize_at");
+    const int64_t resize_to = flags.GetInt64("resize_to");
+    if (resize_at < 0.0 || resize_at >= 1.0) {
+      std::fprintf(stderr, "--resize_at must be in [0, 1)\n");
+      return 2;
+    }
+    if (resize_at > 0.0 && resize_to < 1) {
+      std::fprintf(stderr, "--resize_at requires --resize_to >= 1\n");
+      return 2;
+    }
 
     cluster::TenantRegistry registry;
     for (const std::string& name : tenant_names) {
@@ -253,6 +288,7 @@ int Run(int argc, const char* const* argv) {
       tenant.name = name;
       tenant.sharded.num_shards = num_shards;
       tenant.sharded.default_deadline_us = flags.GetInt64("deadline_us");
+      tenant.admission_qps = flags.GetDouble("tenant_qps");
       tenant.sharded.prior = prior;
       tenant.sharded.shard.num_workers =
           static_cast<size_t>(flags.GetInt64("workers"));
@@ -284,6 +320,29 @@ int Run(int argc, const char* const* argv) {
                 "worker(s)/shard\n",
                 tenant_names.size(), num_shards,
                 static_cast<long long>(flags.GetInt64("workers")));
+    if (flags.GetDouble("tenant_qps") > 0.0) {
+      std::printf("admission: %.0f rows/s per tenant (over-quota rows shed "
+                  "tier-tagged)\n",
+                  flags.GetDouble("tenant_qps"));
+    }
+
+    // Self-healing: one supervisor per tenant probes every shard, walks
+    // failing shards healthy -> suspect -> dead, and rebuilds dead shards
+    // from the last published snapshot slice. Started before the replay so
+    // the --kill_shard drill heals without operator action.
+    const bool auto_recover =
+        flags.GetBool("auto_recover") && kill_shard >= 0;
+    std::vector<std::unique_ptr<cluster::ShardSupervisor>> supervisors;
+    if (auto_recover) {
+      cluster::ShardSupervisorConfig supervision;
+      supervision.probe_period_ms = 5;
+      supervision.seed = world.seed;
+      for (const std::string& name : tenant_names) {
+        supervisors.push_back(std::make_unique<cluster::ShardSupervisor>(
+            registry.Get(name), supervision));
+        supervisors.back()->Start();
+      }
+    }
 
     // Replay: each client thread owns every num_clients-th chunk, and
     // chunks rotate across tenants so every tenant sees the same skew.
@@ -319,10 +378,45 @@ int Run(int argc, const char* const* argv) {
         }
       });
     }
+    const auto answered = [&] {
+      return ok_count.load() + error_count.load();
+    };
+    if (resize_at > 0.0) {
+      // Live-resize drill: once the configured fraction of the stream has
+      // been answered, rebalance every tenant to --resize_to shards while
+      // the clients keep scoring. The epoch swap drains in-flight requests
+      // on the old routing, so zero rows may drop or error.
+      const int64_t trigger = static_cast<int64_t>(
+          resize_at * static_cast<double>(total_requests));
+      while (answered() < trigger) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      for (const std::string& name : tenant_names) {
+        const auto resized = registry.Get(name)->ResizeShards(
+            static_cast<size_t>(resize_to));
+        if (!resized.ok()) {
+          std::fprintf(stderr, "tenant '%s' resize failed: %s\n",
+                       name.c_str(),
+                       resized.status().ToString().c_str());
+          error_count.fetch_add(1);
+          continue;
+        }
+        std::printf(
+            "tenant '%s' resized %zu -> %zu shards mid-replay: moved "
+            "%lld/%lld rows, bounded-remap %s, epoch %llu\n",
+            name.c_str(), resized->from_shards, resized->to_shards,
+            static_cast<long long>(resized->moved_rows),
+            static_cast<long long>(resized->total_rows),
+            resized->moved_only_within_bound ? "held" : "VIOLATED",
+            static_cast<unsigned long long>(resized->epoch));
+        if (!resized->moved_only_within_bound) error_count.fetch_add(1);
+      }
+    }
     if (kill_shard >= 0) {
       // Degraded-serving drill: wait until roughly half the stream has
-      // been answered, then take the shard down on every tenant.
-      while (ok_count.load() + error_count.load() < total_requests / 2) {
+      // been answered, then take the shard down on every tenant. With
+      // --auto_recover the supervisors notice, rebuild, and re-admit it.
+      while (answered() < total_requests / 2) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
       for (const std::string& name : tenant_names) {
@@ -333,6 +427,52 @@ int Run(int argc, const char* const* argv) {
     }
     for (auto& client : client_threads) client.join();
     const double seconds = timer.ElapsedSeconds();
+    if (auto_recover) {
+      // Give the supervisors a bounded window to finish walking the killed
+      // shard back to healthy, then report per-tenant outcomes before the
+      // runtimes shut down (probing a shut-down runtime reads as dead).
+      // Recovery = a rebuild actually happened AND health is back — the
+      // health field alone starts at healthy and would read as recovered
+      // before the supervisor has even detected the kill.
+      const auto recovered = [&] {
+        for (const auto& supervisor : supervisors) {
+          int64_t rebuilds = 0;
+          for (const auto& [name, value] :
+               supervisor->Collect().counters) {
+            if (name == "supervisor.rebuilds") rebuilds = value;
+          }
+          if (rebuilds < 1 ||
+              supervisor->health(static_cast<size_t>(kill_shard)) !=
+                  cluster::ShardHealth::kHealthy) {
+            return false;
+          }
+        }
+        return true;
+      };
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (!recovered() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      for (size_t t = 0; t < tenant_names.size(); ++t) {
+        supervisors[t]->Stop();
+        const auto health =
+            supervisors[t]->health(static_cast<size_t>(kill_shard));
+        std::printf("tenant '%s': shard %lld %s after kill (probe EWMA "
+                    "%.0fus)\n",
+                    tenant_names[t].c_str(),
+                    static_cast<long long>(kill_shard),
+                    health == cluster::ShardHealth::kHealthy
+                        ? "auto-recovered"
+                        : cluster::ShardHealthToString(health),
+                    supervisors[t]->probe_latency_us(
+                        static_cast<size_t>(kill_shard)));
+        if (health != cluster::ShardHealth::kHealthy) {
+          error_count.fetch_add(1);
+        }
+      }
+    }
     registry.Shutdown();
 
     const auto collected = registry.Collect();
