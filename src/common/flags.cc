@@ -1,6 +1,7 @@
 #include "common/flags.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -77,10 +78,22 @@ Status FlagParser::SetValue(const std::string& name,
     }
     case Kind::kDouble: {
       const double value = std::strtod(text.c_str(), &end);
-      if (errno != 0 || end == text.c_str() || *end != '\0') {
+      // ERANGE covers underflow as well as overflow: "--rate=1e-310" is a
+      // usable subnormal, not a typo. Accept it; overflow parses to
+      // ±HUGE_VAL and fails the finiteness check below.
+      if (end == text.c_str() || *end != '\0' ||
+          (errno != 0 && errno != ERANGE)) {
         return Status::InvalidArgument("--" + name +
                                        " expects a number, got '" + text +
                                        "'");
+      }
+      // strtod happily parses "inf"/"nan"; a non-finite flag value (say
+      // --fanout_budget_fraction=nan) would silently poison deadline math
+      // downstream, so reject it at the parse boundary.
+      if (!std::isfinite(value)) {
+        return Status::InvalidArgument("--" + name +
+                                       " expects a finite number, got '" +
+                                       text + "'");
       }
       flag.double_value = value;
       break;

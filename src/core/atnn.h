@@ -102,6 +102,15 @@ class AtnnModel : public nn::Module {
   /// generator-path CTR).
   float generator_bias_value() const { return generator_bias_.value().scalar(); }
 
+  /// Read-only structure access for the offline quantizer: the embedding
+  /// bag and tower the generator path g(X_ip) actually runs through (the
+  /// shared item-profile bag when share_embeddings is on, the generator's
+  /// own bag otherwise).
+  const nn::EmbeddingBag& generator_embedding_bag() const {
+    return config_.share_embeddings ? *item_profile_bag_ : *generator_bag_;
+  }
+  const nn::Tower& generator_tower() const { return *generator_tower_; }
+
  private:
   AtnnConfig config_;
   std::unique_ptr<nn::EmbeddingBag> user_bag_;

@@ -72,7 +72,14 @@ Status ParseFloat(const std::string& text, float* out) {
   errno = 0;
   char* end = nullptr;
   const float value = std::strtof(text.c_str(), &end);
-  if (errno != 0 || end == text.c_str() || *end != '\0') {
+  // ERANGE alone is not corruption: strtof sets it for *underflow* too
+  // ("1e-42" parses to a perfectly usable subnormal), and a blanket
+  // `errno != 0` check rejected those legitimate tiny feature values.
+  // Underflow still yields a finite value (subnormal or zero), so it
+  // passes; overflow yields ±HUGE_VALF and is caught by the finiteness
+  // check below along with literal "inf"/"nan".
+  if (end == text.c_str() || *end != '\0' ||
+      (errno != 0 && errno != ERANGE)) {
     return Status::Corruption("bad float: '" + text + "'");
   }
   // strtof happily parses "nan", "inf", "-infinity" — values no feature

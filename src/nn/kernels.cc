@@ -13,6 +13,20 @@
 
 namespace atnn::nn::kernels {
 
+namespace {
+
+/// Exp256's clamp bound. Both sigmoid epilogues saturate outside ±this:
+/// past it the polynomial path and std::exp disagree (the scalar exp
+/// overflows to Inf near -88.73 while the clamped polynomial returns a
+/// large finite value, leaving one side exactly 0.0f and the other a
+/// subnormal ~4e-39 — millions of ULPs apart). The true sigmoid is within
+/// half an ULP of 0/1 well before ±88, so saturating both families keeps
+/// them bitwise identical on the boundary inputs the int8-dequant epilogue
+/// can feed them.
+constexpr float kSigmoidSaturation = 88.3762626647949f;
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Scalar reference kernels.
 //
@@ -160,7 +174,101 @@ void BiasSigmoidScalar(int64_t rows, int64_t cols, const float* bias,
     float* row = x + r * cols;
     for (int64_t c = 0; c < cols; ++c) {
       const float z = row[c] + bias[c];
-      row[c] = 1.0f / (1.0f + std::exp(-z));
+      if (z >= kSigmoidSaturation) {
+        row[c] = 1.0f;
+      } else if (z <= -kSigmoidSaturation) {
+        row[c] = 0.0f;
+      } else {
+        // NaN falls through both comparisons and propagates via exp.
+        row[c] = 1.0f / (1.0f + std::exp(-z));
+      }
+    }
+  }
+}
+
+void QuantizeU8Scalar(int64_t n, float inv_scale, const float* x,
+                      uint8_t* q) {
+  for (int64_t i = 0; i < n; ++i) {
+    float v = x[i] * inv_scale;
+    // Clamp order mirrors the AVX2 max-then-min sequence: maxps returns
+    // its second operand on NaN, so NaN lands on -64 and quantizes to 0.
+    if (!(v >= -64.0f)) v = -64.0f;
+    if (v > 63.0f) v = 63.0f;
+    q[i] = static_cast<uint8_t>(static_cast<int>(std::nearbyintf(v)) + 64);
+  }
+}
+
+void DequantRowS8Scalar(int64_t n, float scale, const int8_t* q,
+                        float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+void GemmS8Scalar(int64_t m, int64_t k, int64_t n, const uint8_t* a,
+                  const int8_t* b_packed, const int32_t* b_colsum,
+                  const float* b_scales, float act_scale, float* c) {
+  const int64_t quads = k / 4;
+  for (int64_t r = 0; r < m; ++r) {
+    const uint8_t* a_row = a + r * k;
+    float* c_row = c + r * n;
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t qd = 0; qd < quads; ++qd) {
+        const uint8_t* aq = a_row + qd * 4;
+        const int8_t* bq = b_packed + (qd * n + j) * 4;
+        acc += static_cast<int32_t>(aq[0]) * bq[0] +
+               static_cast<int32_t>(aq[1]) * bq[1] +
+               static_cast<int32_t>(aq[2]) * bq[2] +
+               static_cast<int32_t>(aq[3]) * bq[3];
+      }
+      const int32_t corrected = acc - 64 * b_colsum[j];
+      const float combined = act_scale * b_scales[j];
+      c_row[j] = static_cast<float>(corrected) * combined;
+    }
+  }
+}
+
+uint16_t F32ToBf16Bits(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  if ((bits & 0x7fffffffu) > 0x7f800000u) {
+    // NaN: keep the sign + high payload and force the quiet bit so the
+    // truncated mantissa cannot read as Inf.
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // Round-to-nearest-even on the dropped 16 bits.
+  return static_cast<uint16_t>(
+      (bits + (0x7fffu + ((bits >> 16) & 1u))) >> 16);
+}
+
+float Bf16BitsToF32(uint16_t bits) {
+  const uint32_t wide = static_cast<uint32_t>(bits) << 16;
+  float value;
+  std::memcpy(&value, &wide, sizeof(value));
+  return value;
+}
+
+void F32ToBf16Scalar(int64_t n, const float* x, uint16_t* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = F32ToBf16Bits(x[i]);
+}
+
+void Bf16ToF32Scalar(int64_t n, const uint16_t* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = Bf16BitsToF32(x[i]);
+}
+
+void GemmBf16Scalar(int64_t m, int64_t k, int64_t n, const float* a,
+                    const uint16_t* b, float* c) {
+  std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_val = a_row[p];
+      const uint16_t* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_val * Bf16BitsToF32(b_row[j]);
+      }
     }
   }
 }
@@ -176,9 +284,38 @@ constexpr KernelTable kScalarTable = {
     AxpyScalar,       ScaleScalar,           AddScalar,
     SumScalar,        SquaredNormScalar,     DotScalar,
     BiasIdentityScalar, BiasReluScalar,      BiasSigmoidScalar,
+    QuantizeU8Scalar, DequantRowS8Scalar,    GemmS8Scalar,
+    F32ToBf16Scalar,  Bf16ToF32Scalar,       GemmBf16Scalar,
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Packing helpers for gemm_s8 (setup-time, backend-independent).
+// ---------------------------------------------------------------------------
+
+int64_t RoundUpK4(int64_t k) { return (k + 3) & ~int64_t{3}; }
+
+void PackInt8B(int64_t k, int64_t n, const int8_t* b, int8_t* packed) {
+  const int64_t quads = RoundUpK4(k) / 4;
+  for (int64_t qd = 0; qd < quads; ++qd) {
+    for (int64_t j = 0; j < n; ++j) {
+      int8_t* dst = packed + (qd * n + j) * 4;
+      for (int64_t t = 0; t < 4; ++t) {
+        const int64_t p = qd * 4 + t;
+        dst[t] = p < k ? b[p * n + j] : int8_t{0};
+      }
+    }
+  }
+}
+
+void Int8ColumnSums(int64_t k, int64_t n, const int8_t* b, int32_t* colsum) {
+  for (int64_t j = 0; j < n; ++j) colsum[j] = 0;
+  for (int64_t p = 0; p < k; ++p) {
+    const int8_t* b_row = b + p * n;
+    for (int64_t j = 0; j < n; ++j) colsum[j] += b_row[j];
+  }
+}
 
 // ---------------------------------------------------------------------------
 // AVX2 + FMA kernels. Compiled with per-function target attributes so the
@@ -506,14 +643,23 @@ ATNN_AVX2 inline __m256 Exp256(__m256 x) {
 ATNN_AVX2 void BiasSigmoidAvx2(int64_t rows, int64_t cols, const float* bias,
                                float* x) {
   const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 sat = _mm256_set1_ps(kSigmoidSaturation);
+  const __m256 neg_sat = _mm256_set1_ps(-kSigmoidSaturation);
   for (int64_t r = 0; r < rows; ++r) {
     float* row = x + r * cols;
     int64_t c = 0;
     for (; c + 8 <= cols; c += 8) {
       const __m256 z = _mm256_add_ps(_mm256_loadu_ps(row + c),
                                      _mm256_loadu_ps(bias + c));
-      const __m256 e = Exp256(_mm256_sub_ps(_mm256_setzero_ps(), z));
+      const __m256 e = Exp256(_mm256_sub_ps(zero, z));
       __m256 out = _mm256_div_ps(one, _mm256_add_ps(one, e));
+      // Saturate past Exp256's clamp bound so boundary z (which the
+      // int8-dequant epilogue can produce) matches the scalar family
+      // exactly instead of differing by a clamped-vs-overflowed exp.
+      out = _mm256_blendv_ps(out, one, _mm256_cmp_ps(z, sat, _CMP_GE_OQ));
+      out = _mm256_blendv_ps(out, zero,
+                             _mm256_cmp_ps(z, neg_sat, _CMP_LE_OQ));
       // Exp256 clamps its argument, which would swallow NaN inputs; put
       // them back so the fused path propagates like the scalar one.
       const __m256 nan_mask = _mm256_cmp_ps(z, z, _CMP_UNORD_Q);
@@ -522,7 +668,195 @@ ATNN_AVX2 void BiasSigmoidAvx2(int64_t rows, int64_t cols, const float* bias,
     }
     for (; c < cols; ++c) {
       const float z = row[c] + bias[c];
-      row[c] = 1.0f / (1.0f + std::exp(-z));
+      if (z >= kSigmoidSaturation) {
+        row[c] = 1.0f;
+      } else if (z <= -kSigmoidSaturation) {
+        row[c] = 0.0f;
+      } else {
+        row[c] = 1.0f / (1.0f + std::exp(-z));
+      }
+    }
+  }
+}
+
+ATNN_AVX2 void QuantizeU8Avx2(int64_t n, float inv_scale, const float* x,
+                              uint8_t* q) {
+  const __m256 scale = _mm256_set1_ps(inv_scale);
+  const __m256 lo = _mm256_set1_ps(-64.0f);
+  const __m256 hi = _mm256_set1_ps(63.0f);
+  const __m256i zp = _mm256_set1_epi32(64);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i), scale);
+    // max first: maxps returns the second operand on NaN, mapping NaN to
+    // -64 (code 0) exactly like the scalar reference.
+    v = _mm256_min_ps(_mm256_max_ps(v, lo), hi);
+    // cvtps_epi32 rounds to nearest-even under the default MXCSR mode —
+    // the same rounding nearbyintf uses.
+    const __m256i code = _mm256_add_epi32(_mm256_cvtps_epi32(v), zp);
+    const __m128i lo128 = _mm256_castsi256_si128(code);
+    const __m128i hi128 = _mm256_extracti128_si256(code, 1);
+    const __m128i packed16 = _mm_packus_epi32(lo128, hi128);
+    const __m128i packed8 = _mm_packus_epi16(packed16, packed16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i), packed8);
+  }
+  for (; i < n; ++i) {
+    float v = x[i] * inv_scale;
+    if (!(v >= -64.0f)) v = -64.0f;
+    if (v > 63.0f) v = 63.0f;
+    q[i] = static_cast<uint8_t>(static_cast<int>(std::nearbyintf(v)) + 64);
+  }
+}
+
+ATNN_AVX2 void DequantRowS8Avx2(int64_t n, float scale, const int8_t* q,
+                                float* out) {
+  const __m256 sv = _mm256_set1_ps(scale);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i));
+    const __m256 widened =
+        _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(widened, sv));
+  }
+  for (; i < n; ++i) out[i] = static_cast<float>(q[i]) * scale;
+}
+
+ATNN_AVX2 void GemmS8Avx2(int64_t m, int64_t k, int64_t n, const uint8_t* a,
+                          const int8_t* b_packed, const int32_t* b_colsum,
+                          const float* b_scales, float act_scale, float* c) {
+  const int64_t quads = k / 4;
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  const __m256 act = _mm256_set1_ps(act_scale);
+  for (int64_t r = 0; r < m; ++r) {
+    const uint8_t* a_row = a + r * k;
+    float* c_row = c + r * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256i acc = _mm256_setzero_si256();
+      for (int64_t qd = 0; qd < quads; ++qd) {
+        int32_t quad;
+        std::memcpy(&quad, a_row + qd * 4, sizeof(quad));
+        const __m256i av = _mm256_set1_epi32(quad);
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(b_packed + (qd * n + j) * 4));
+        // u8 x s8 pair products; 7-bit codes keep the i16 sums exact.
+        const __m256i pairs = _mm256_maddubs_epi16(av, bv);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones16));
+      }
+      const __m256i col = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b_colsum + j));
+      const __m256i corrected =
+          _mm256_sub_epi32(acc, _mm256_slli_epi32(col, 6));
+      // Same two single-rounded multiplies as the scalar epilogue.
+      const __m256 combined =
+          _mm256_mul_ps(act, _mm256_loadu_ps(b_scales + j));
+      _mm256_storeu_ps(
+          c_row + j,
+          _mm256_mul_ps(_mm256_cvtepi32_ps(corrected), combined));
+    }
+    for (; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t qd = 0; qd < quads; ++qd) {
+        const uint8_t* aq = a_row + qd * 4;
+        const int8_t* bq = b_packed + (qd * n + j) * 4;
+        acc += static_cast<int32_t>(aq[0]) * bq[0] +
+               static_cast<int32_t>(aq[1]) * bq[1] +
+               static_cast<int32_t>(aq[2]) * bq[2] +
+               static_cast<int32_t>(aq[3]) * bq[3];
+      }
+      const int32_t corrected = acc - 64 * b_colsum[j];
+      const float combined = act_scale * b_scales[j];
+      c_row[j] = static_cast<float>(corrected) * combined;
+    }
+  }
+}
+
+/// Eight f32 -> eight bf16 codes (kept in i32 lanes for the caller to
+/// pack): round-to-nearest-even with NaN quieting, the vector twin of
+/// F32ToBf16Bits.
+ATNN_AVX2 inline __m256i F32ToBf16x8(const float* src) {
+  const __m256i bits =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+  const __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(bits, 16),
+                                       _mm256_set1_epi32(1));
+  const __m256i rounded = _mm256_srli_epi32(
+      _mm256_add_epi32(bits, _mm256_add_epi32(_mm256_set1_epi32(0x7fff),
+                                              lsb)),
+      16);
+  const __m256i nan_path = _mm256_or_si256(_mm256_srli_epi32(bits, 16),
+                                           _mm256_set1_epi32(0x0040));
+  const __m256i is_nan = _mm256_cmpgt_epi32(
+      _mm256_and_si256(bits, _mm256_set1_epi32(0x7fffffff)),
+      _mm256_set1_epi32(0x7f800000));
+  return _mm256_blendv_epi8(rounded, nan_path, is_nan);
+}
+
+ATNN_AVX2 void F32ToBf16Avx2(int64_t n, const float* x, uint16_t* out) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i lo = F32ToBf16x8(x + i);
+    const __m256i hi = F32ToBf16x8(x + i + 8);
+    // packus interleaves 128-bit lanes; permute restores element order.
+    const __m256i packed = _mm256_permute4x64_epi64(
+        _mm256_packus_epi32(lo, hi), _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), packed);
+  }
+  for (; i < n; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, x + i, sizeof(bits));
+    if ((bits & 0x7fffffffu) > 0x7f800000u) {
+      out[i] = static_cast<uint16_t>((bits >> 16) | 0x0040u);
+    } else {
+      out[i] = static_cast<uint16_t>(
+          (bits + (0x7fffu + ((bits >> 16) & 1u))) >> 16);
+    }
+  }
+}
+
+ATNN_AVX2 inline __m256 LoadBf16x8(const uint16_t* src) {
+  const __m128i half =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+  return _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_cvtepu16_epi32(half), 16));
+}
+
+ATNN_AVX2 void Bf16ToF32Avx2(int64_t n, const uint16_t* x, float* out) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, LoadBf16x8(x + i));
+  }
+  for (; i < n; ++i) {
+    const uint32_t wide = static_cast<uint32_t>(x[i]) << 16;
+    float value;
+    std::memcpy(&value, &wide, sizeof(value));
+    out[i] = value;
+  }
+}
+
+ATNN_AVX2 void GemmBf16Avx2(int64_t m, int64_t k, int64_t n, const float* a,
+                            const uint16_t* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (int64_t p = 0; p < k; ++p) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(a_row[p]),
+                              LoadBf16x8(b + p * n + j), acc);
+      }
+      _mm256_storeu_ps(c_row + j, acc);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const uint32_t wide = static_cast<uint32_t>(b[p * n + j]) << 16;
+        float widened;
+        std::memcpy(&widened, &wide, sizeof(widened));
+        acc += a_row[p] * widened;
+      }
+      c_row[j] = acc;
     }
   }
 }
@@ -534,6 +868,8 @@ constexpr KernelTable kAvx2Table = {
     AxpyAvx2,       ScaleAvx2,           AddAvx2,
     SumAvx2,        SquaredNormAvx2,     DotAvx2,
     BiasIdentityAvx2, BiasReluAvx2,      BiasSigmoidAvx2,
+    QuantizeU8Avx2, DequantRowS8Avx2,    GemmS8Avx2,
+    F32ToBf16Avx2,  Bf16ToF32Avx2,       GemmBf16Avx2,
 };
 
 }  // namespace

@@ -50,7 +50,57 @@ struct KernelTable {
   void (*bias_relu)(int64_t rows, int64_t cols, const float* bias, float* x);
   void (*bias_sigmoid)(int64_t rows, int64_t cols, const float* bias,
                        float* x);
+
+  // --- Low-precision kernels (quantized inference path, DESIGN.md §15) ---
+
+  /// Quantizes x[0..n) to unsigned 7-bit codes around zero-point 64:
+  /// q = clamp(rne(x * inv_scale), -64, 63) + 64, so the represented value
+  /// is (q - 64) / inv_scale. 7 bits (not 8) keeps the maddubs pair sums in
+  /// gemm_s8 below int16 saturation: 127*127*2 < 2^15. Out-of-range values
+  /// saturate; NaN quantizes to code 0 on both backends.
+  void (*quantize_u8)(int64_t n, float inv_scale, const float* x,
+                      uint8_t* q);
+  /// out[i] = q[i] * scale. One single-rounded multiply per element (the
+  /// int8 -> f32 conversion is exact), so backends agree bitwise.
+  void (*dequant_row_s8)(int64_t n, float scale, const int8_t* q,
+                         float* out);
+  /// Quantized GEMM with dequantizing epilogue:
+  ///   C[r,c] = float(sum_p (A[r,p]-64) * B[p,c]) * (act_scale*b_scales[c])
+  /// A is [m,k] u8 codes from quantize_u8; B is int8 packed by PackInt8B
+  /// (quad-interleaved [k/4][n][4]); b_colsum[c] = sum_p B[p,c] folds the
+  /// activation zero-point out of the integer accumulator. k must be a
+  /// multiple of 4 (RoundUpK4; pad A rows with any code — the packed B is
+  /// zero-padded, so padded lanes contribute nothing). The integer
+  /// accumulation is exact and the epilogue is two single-rounded
+  /// multiplies on both backends, so AVX2 and scalar agree bitwise.
+  void (*gemm_s8)(int64_t m, int64_t k, int64_t n, const uint8_t* a,
+                  const int8_t* b_packed, const int32_t* b_colsum,
+                  const float* b_scales, float act_scale, float* c);
+  /// f32 -> bf16 with round-to-nearest-even; NaN payloads are quieted so
+  /// rounding cannot turn a NaN into Inf. Pure integer op: backends agree
+  /// bitwise.
+  void (*f32_to_bf16)(int64_t n, const float* x, uint16_t* out);
+  /// bf16 -> f32 (exact: the 16-bit pattern becomes the high half).
+  void (*bf16_to_f32)(int64_t n, const uint16_t* x, float* out);
+  /// C = A * B with B stored bf16 row-major [k,n], widened on load. Same
+  /// shape contract as gemm; backends agree to normal float tolerance (FMA
+  /// vs mul-add chains), not bitwise.
+  void (*gemm_bf16)(int64_t m, int64_t k, int64_t n, const float* a,
+                    const uint16_t* b, float* c);
 };
+
+/// k rounded up to the multiple of 4 that gemm_s8 requires.
+int64_t RoundUpK4(int64_t k);
+
+/// Packs row-major int8 B [k,n] into the quad-interleaved layout gemm_s8
+/// consumes: ceil(k/4) quads x n columns x 4 consecutive k-entries, zero
+/// padded past k. `packed` must hold RoundUpK4(k) * n bytes. Deterministic
+/// byte shuffling (no backend variants).
+void PackInt8B(int64_t k, int64_t n, const int8_t* b, int8_t* packed);
+
+/// colsum[j] = sum_p b[p,j] over row-major int8 B [k,n] — the per-column
+/// zero-point correction term gemm_s8 takes.
+void Int8ColumnSums(int64_t k, int64_t n, const int8_t* b, int32_t* colsum);
 
 /// The active dispatch table. Resolved once (CPUID) on first use; every hot
 /// call site goes through this so a backend switch is a pointer swap.

@@ -30,6 +30,12 @@ class Dense : public Module {
   int64_t in_dim() const { return weight_.rows(); }
   int64_t out_dim() const { return weight_.cols(); }
 
+  /// Read-only weight access for offline consumers (the quantizer reads
+  /// trained weights without touching the autograd graph).
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
+  Activation activation() const { return activation_; }
+
  private:
   Parameter weight_;
   Parameter bias_;
@@ -50,6 +56,8 @@ class Mlp : public Module {
   int64_t in_dim() const;
   int64_t out_dim() const;
 
+  const std::vector<Dense>& layers() const { return layers_; }
+
  private:
   std::vector<Dense> layers_;
 };
@@ -68,6 +76,9 @@ class CrossNetwork : public Module {
 
   int num_layers() const { return static_cast<int>(weights_.size()); }
   int64_t dim() const { return dim_; }
+
+  const Parameter& weight(int layer) const { return weights_[layer]; }
+  const Parameter& bias(int layer) const { return biases_[layer]; }
 
  private:
   int64_t dim_;
@@ -125,6 +136,12 @@ class Tower : public Module {
   int64_t output_dim() const { return config_.output_dim; }
   const TowerConfig& config() const { return config_; }
 
+  /// Structure access for the quantizer: the deep stack, the optional
+  /// cross network (null for kFullyConnected), and the output head.
+  const Mlp& deep() const { return deep_; }
+  const CrossNetwork* cross() const { return cross_.get(); }
+  const Dense& head() const { return head_; }
+
  private:
   int64_t input_dim_;
   TowerConfig config_;
@@ -170,6 +187,7 @@ class EmbeddingBag : public Module {
 
   size_t num_fields() const { return tables_.size(); }
   const EmbeddingFieldSpec& field(size_t i) const { return fields_[i]; }
+  const Parameter& table(size_t i) const { return tables_[i]; }
 
  private:
   std::vector<EmbeddingFieldSpec> fields_;

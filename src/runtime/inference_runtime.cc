@@ -305,15 +305,32 @@ void InferenceRuntime::ExecuteBatch(const ServingSnapshot& snapshot,
       // writes across concurrent workers.
       const nn::NoGradGuard no_grad;
       const nn::ArenaScope arena_scope;  // batch-scoped tensors, one rewind
-      const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
       std::vector<double> miss_scores;
       miss_scores.reserve(miss_rows.size());
       bool all_finite = true;
-      for (int64_t r = 0; r < vectors.rows(); ++r) {
-        const double score = snapshot.predictor->ScoreVector(
-            vectors.value().row_ptr(r), vectors.cols());
-        if (!std::isfinite(score)) all_finite = false;
-        miss_scores.push_back(score);
+      if (snapshot.quantized != nullptr) {
+        // Low-precision path (DESIGN.md §15): plain tensors, no graph.
+        nn::Tensor vectors;
+        const Status forward =
+            snapshot.quantized->Forward(block, &vectors);
+        if (!forward.ok()) {
+          all_finite = false;  // degrade every miss below, cache untouched
+        } else {
+          for (int64_t r = 0; r < vectors.rows(); ++r) {
+            const double score = snapshot.predictor->ScoreVector(
+                vectors.row_ptr(r), vectors.cols());
+            if (!std::isfinite(score)) all_finite = false;
+            miss_scores.push_back(score);
+          }
+        }
+      } else {
+        const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
+        for (int64_t r = 0; r < vectors.rows(); ++r) {
+          const double score = snapshot.predictor->ScoreVector(
+              vectors.value().row_ptr(r), vectors.cols());
+          if (!std::isfinite(score)) all_finite = false;
+          miss_scores.push_back(score);
+        }
       }
       const double forward_us = score_timer.ElapsedMillis() * 1e3;
       stats_.RecordBatch(miss_rows.size(), forward_us);

@@ -19,8 +19,9 @@ int64_t FirstNonFinite(const float* data, int64_t count) {
 }  // namespace
 
 Status ValidateServingSnapshot(const ServingSnapshot& snapshot) {
-  if (snapshot.model == nullptr) {
-    return Status::InvalidArgument("snapshot.model is null");
+  if (snapshot.model == nullptr && snapshot.quantized == nullptr) {
+    return Status::InvalidArgument(
+        "snapshot has neither a model nor a quantized generator");
   }
   if (snapshot.predictor == nullptr) {
     return Status::InvalidArgument("snapshot.predictor is null");
@@ -28,12 +29,16 @@ Status ValidateServingSnapshot(const ServingSnapshot& snapshot) {
   if (snapshot.item_profiles == nullptr) {
     return Status::InvalidArgument("snapshot.item_profiles is null");
   }
+  // The quantized path, when present, is the one ExecuteBatch runs, so its
+  // vector_dim is the one the mean-user vector must match.
+  const int64_t vector_dim = snapshot.quantized != nullptr
+                                 ? snapshot.quantized->vector_dim()
+                                 : snapshot.model->vector_dim();
   const nn::Tensor& mean = snapshot.predictor->mean_user_vector();
-  if (mean.cols() != snapshot.model->vector_dim()) {
+  if (mean.cols() != vector_dim) {
     return Status::InvalidArgument(
         "mean-user vector width " + std::to_string(mean.cols()) +
-        " does not match model vector_dim " +
-        std::to_string(snapshot.model->vector_dim()));
+        " does not match model vector_dim " + std::to_string(vector_dim));
   }
   if (FirstNonFinite(mean.data(), mean.numel()) >= 0) {
     return Status::DataLoss("mean-user vector contains NaN/Inf");
@@ -41,16 +46,21 @@ Status ValidateServingSnapshot(const ServingSnapshot& snapshot) {
   if (!std::isfinite(snapshot.predictor->bias())) {
     return Status::DataLoss("predictor bias is NaN/Inf");
   }
-  // GeneratorParameters() only appends pointers — the const_cast never
-  // mutates the model, it bridges the Module interface being non-const.
-  auto* model = const_cast<core::AtnnModel*>(snapshot.model.get());
-  for (const nn::Parameter* param : model->GeneratorParameters()) {
-    const nn::Tensor& value = param->value();
-    const int64_t bad = FirstNonFinite(value.data(), value.numel());
-    if (bad >= 0) {
-      return Status::DataLoss("generator parameter '" + param->name() +
-                              "' contains NaN/Inf at element " +
-                              std::to_string(bad));
+  if (snapshot.quantized != nullptr) {
+    ATNN_RETURN_IF_ERROR(snapshot.quantized->Validate());
+  }
+  if (snapshot.model != nullptr) {
+    // GeneratorParameters() only appends pointers — the const_cast never
+    // mutates the model, it bridges the Module interface being non-const.
+    auto* model = const_cast<core::AtnnModel*>(snapshot.model.get());
+    for (const nn::Parameter* param : model->GeneratorParameters()) {
+      const nn::Tensor& value = param->value();
+      const int64_t bad = FirstNonFinite(value.data(), value.numel());
+      if (bad >= 0) {
+        return Status::DataLoss("generator parameter '" + param->name() +
+                                "' contains NaN/Inf at element " +
+                                std::to_string(bad));
+      }
     }
   }
   return Status::OK();

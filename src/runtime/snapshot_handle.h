@@ -10,6 +10,7 @@
 #include "core/atnn.h"
 #include "core/popularity.h"
 #include "data/schema.h"
+#include "quant/quantized_generator.h"
 
 namespace atnn::runtime {
 
@@ -27,6 +28,12 @@ struct ServingSnapshot {
   std::shared_ptr<const core::AtnnModel> model;
   std::shared_ptr<const core::PopularityPredictor> predictor;
   std::shared_ptr<const data::EntityTable> item_profiles;
+  /// Optional low-precision generator (int8/bf16, DESIGN.md §15). When set,
+  /// cache-miss forwards run through it instead of `model`, which may then
+  /// be null — a serving process never needs the fp32 weights resident.
+  /// Cluster slicing (PublishSlice) copies the snapshot struct per shard,
+  /// so every shard shares this one artifact by reference.
+  std::shared_ptr<const quant::QuantizedGenerator> quantized;
   /// Free-form checkpoint label (e.g. the snapshot file it was loaded from).
   std::string tag;
   /// Assigned by SnapshotHandle::Publish; 0 means "never published".
@@ -35,10 +42,14 @@ struct ServingSnapshot {
 
 /// Structural and numerical integrity check run by InferenceRuntime before
 /// a snapshot becomes the serving version:
-///   - model / predictor / item_profiles non-null       (InvalidArgument)
-///   - mean-user vector width matches the model's d     (InvalidArgument)
+///   - model or quantized present; predictor and item_profiles
+///     non-null                                         (InvalidArgument)
+///   - mean-user vector width matches the scoring path's vector_dim
+///                                                      (InvalidArgument)
 ///   - NaN/Inf sweep over the mean-user vector and every generator-path
 ///     parameter                                        (DataLoss)
+///   - quantized (when present): shape consistency and a finite/nonzero
+///     sweep over every quantization scale              (DataLoss)
 /// A snapshot that fails here is never published — the previous version
 /// keeps serving. The sweep touches each generator weight once (a few MB
 /// at most), which is noise next to the model load that preceded it.

@@ -77,6 +77,45 @@ TEST(FlagParserTest, TypeErrorsRejected) {
   }
 }
 
+// Regression: strtod sets ERANGE on subnormal results; the old check
+// treated any errno as a parse failure, so perfectly representable tiny
+// doubles were rejected. Underflow-to-subnormal (or to zero) is a valid
+// value, not an error.
+TEST(FlagParserTest, SubnormalDoubleAccepted) {
+  {
+    FlagParser parser = MakeParser();
+    ASSERT_TRUE(ParseArgs(&parser, {"--rate=1e-42"}).ok());
+    EXPECT_GT(parser.GetDouble("rate"), 0.0);
+    EXPECT_LT(parser.GetDouble("rate"), 1e-41);
+  }
+  {
+    // Smallest negative subnormal: underflows all the way but still
+    // round-trips as a signed (possibly zero) value.
+    FlagParser parser = MakeParser();
+    ASSERT_TRUE(ParseArgs(&parser, {"--rate=-4.9e-324"}).ok());
+    EXPECT_LE(parser.GetDouble("rate"), 0.0);
+  }
+}
+
+TEST(FlagParserTest, OverflowingDoubleRejected) {
+  FlagParser parser = MakeParser();
+  EXPECT_EQ(ParseArgs(&parser, {"--rate=1e999"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// inf/nan parse cleanly through strtod but are never a sane flag value —
+// they used to sail straight into learning rates and quotas.
+TEST(FlagParserTest, NonFiniteDoubleRejected) {
+  for (const char* arg :
+       {"--rate=inf", "--rate=-inf", "--rate=nan", "--rate=INF",
+        "--rate=NaN"}) {
+    FlagParser parser = MakeParser();
+    EXPECT_EQ(ParseArgs(&parser, {arg}).code(),
+              StatusCode::kInvalidArgument)
+        << arg;
+  }
+}
+
 TEST(FlagParserTest, MissingValueRejected) {
   FlagParser parser = MakeParser();
   EXPECT_FALSE(ParseArgs(&parser, {"--count"}).ok());

@@ -273,6 +273,39 @@ TEST(CsvTest, NonFiniteInteractionLabelRejected) {
   std::remove(path.c_str());
 }
 
+// Regression: strtof flags ERANGE on underflow, and the old blanket
+// `errno != 0` check turned legitimate subnormal feature values into
+// Corruption errors. Tiny-but-representable must load; true overflow
+// must still be rejected.
+TEST(CsvTest, SubnormalNumericValuesAccepted) {
+  const std::string path = TempPath("subnormal_entity.csv");
+  {
+    std::ofstream file(path);
+    file << "cat_a,num_x,cat_b,num_y\n"
+         << "1,1e-42,2,-4.9e-324\n";
+  }
+  auto loaded_or = ReadEntityTableCsv(MakeSchema(), path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  EXPECT_GT(loaded_or.value().numeric(0, 0), 0.0f);
+  EXPECT_LT(loaded_or.value().numeric(0, 0), 1e-41f);
+  // -4.9e-324 underflows float all the way to (signed) zero — a value,
+  // not an error.
+  EXPECT_LE(loaded_or.value().numeric(0, 1), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, OverflowingNumericValueRejected) {
+  const std::string path = TempPath("overflow_entity.csv");
+  {
+    std::ofstream file(path);
+    file << "cat_a,num_x,cat_b,num_y\n"
+         << "1,1e999,2,0.5\n";
+  }
+  EXPECT_EQ(ReadEntityTableCsv(MakeSchema(), path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, MisalignedInteractionsRejected) {
   EXPECT_EQ(WriteInteractionsCsv({1, 2}, {10}, {1.0f, 0.0f}, "/tmp/x.csv")
                 .code(),

@@ -405,6 +405,331 @@ INSTANTIATE_TEST_SUITE_P(Activations, FusedDenseAffineTest,
                            }
                          });
 
+// ---------------------------------------------------------------------------
+// Sigmoid epilogue saturation boundary (regression). Near ±88.72 the
+// scalar std::exp overflows to Inf while the AVX2 polynomial clamps its
+// argument, which used to leave one family at exactly 0.0f and the other
+// at a subnormal ~4e-39 — millions of ULPs apart on inputs the
+// int8-dequant epilogue can produce. Both families now saturate to exact
+// 0/1 outside ±88.3762626647949 (Exp256's clamp bound; the true sigmoid
+// is within half an ULP of 0/1 well before that).
+// ---------------------------------------------------------------------------
+
+constexpr float kSigmoidBoundary = 88.3762626647949f;
+constexpr float kSaturatedInputs[] = {
+    kSigmoidBoundary, 88.72f, 89.0f, 100.0f, 1000.0f,
+    std::numeric_limits<float>::infinity()};
+
+TEST(SigmoidSaturationTest, ScalarSaturatesToExactZeroAndOne) {
+  const KernelTable& table = Table(Backend::kScalar);
+  const float zero_bias = 0.0f;
+  for (const float z : kSaturatedInputs) {
+    float pos = z;
+    float neg = -z;
+    table.bias_sigmoid(1, 1, &zero_bias, &pos);
+    table.bias_sigmoid(1, 1, &zero_bias, &neg);
+    EXPECT_EQ(pos, 1.0f) << "sigmoid(" << z << ")";
+    EXPECT_EQ(neg, 0.0f) << "sigmoid(" << -z << ")";
+  }
+}
+
+TEST(SigmoidSaturationTest, InteriorStaysSmoothAndNanPropagates) {
+  const KernelTable& table = Table(Backend::kScalar);
+  const float zero_bias = 0.0f;
+  float mid = 0.0f;
+  table.bias_sigmoid(1, 1, &zero_bias, &mid);
+  EXPECT_FLOAT_EQ(mid, 0.5f);
+  float interior = 15.0f;
+  table.bias_sigmoid(1, 1, &zero_bias, &interior);
+  EXPECT_GT(interior, 0.999f);
+  EXPECT_LT(interior, 1.0f);  // not yet saturated
+  float nan = std::numeric_limits<float>::quiet_NaN();
+  table.bias_sigmoid(1, 1, &zero_bias, &nan);
+  EXPECT_TRUE(std::isnan(nan));
+}
+
+TEST_F(Avx2VsScalarTest, BiasSigmoidBoundaryBitwise) {
+  // 18 columns: two full 8-lanes plus a ragged tail, covering the vector
+  // and tail code paths with every boundary input in both signs plus NaN.
+  std::vector<float> inputs;
+  for (const float z : kSaturatedInputs) {
+    inputs.push_back(z);
+    inputs.push_back(-z);
+  }
+  inputs.push_back(std::numeric_limits<float>::quiet_NaN());
+  while (inputs.size() % 18 != 0) inputs.push_back(88.0f);
+  const std::vector<float> bias(18, 0.0f);
+
+  std::vector<float> a = inputs;
+  std::vector<float> b = inputs;
+  scalar().bias_sigmoid(static_cast<int64_t>(a.size()) / 18, 18,
+                        bias.data(), a.data());
+  avx2().bias_sigmoid(static_cast<int64_t>(b.size()) / 18, 18, bias.data(),
+                      b.data());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(inputs[i])) {
+      EXPECT_TRUE(std::isnan(a[i]) && std::isnan(b[i])) << i;
+    } else {
+      EXPECT_EQ(a[i], b[i]) << "input " << inputs[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Low-precision kernels (int8 / bf16). The int8 chain is held to the
+// bitwise gate: integer accumulation is exact and the dequant epilogue is
+// two single-rounded multiplies on both backends. gemm_bf16 uses FMA on
+// AVX2 and gets a tolerance like the fp32 GEMMs.
+// ---------------------------------------------------------------------------
+
+TEST(QuantizeU8Test, RoundingClampAndSpecials) {
+  const KernelTable& table = Table(Backend::kScalar);
+  const float in[] = {0.0f,    2.5f,    3.5f,   -2.5f,  63.0f,
+                      1000.0f, -1000.0f, -64.0f, 0.49f,  -0.49f,
+                      std::numeric_limits<float>::quiet_NaN(),
+                      std::numeric_limits<float>::infinity(),
+                      -std::numeric_limits<float>::infinity()};
+  uint8_t q[13] = {};
+  table.quantize_u8(13, 1.0f, in, q);
+  EXPECT_EQ(q[0], 64);    // 0 -> zero point
+  EXPECT_EQ(q[1], 66);    // 2.5 rounds to even 2
+  EXPECT_EQ(q[2], 68);    // 3.5 rounds to even 4
+  EXPECT_EQ(q[3], 62);    // -2.5 rounds to even -2
+  EXPECT_EQ(q[4], 127);   // top of the 7-bit range
+  EXPECT_EQ(q[5], 127);   // saturates high
+  EXPECT_EQ(q[6], 0);     // saturates low
+  EXPECT_EQ(q[7], 0);     // exactly -64
+  EXPECT_EQ(q[8], 64);    // rounds to zero point
+  EXPECT_EQ(q[9], 64);
+  EXPECT_EQ(q[10], 0);    // NaN -> code 0 (matches AVX2 max-operand order)
+  EXPECT_EQ(q[11], 127);
+  EXPECT_EQ(q[12], 0);
+}
+
+TEST_F(Avx2VsScalarTest, QuantizeU8Bitwise) {
+  for (const int64_t n : kSizes) {
+    std::vector<float> x = RandomVector(static_cast<size_t>(n), 400 + n);
+    if (n >= 3) {
+      x[0] = std::numeric_limits<float>::quiet_NaN();
+      x[1] = std::numeric_limits<float>::infinity();
+      x[2] = -std::numeric_limits<float>::infinity();
+    }
+    std::vector<uint8_t> qa(static_cast<size_t>(n));
+    std::vector<uint8_t> qb(static_cast<size_t>(n));
+    scalar().quantize_u8(n, 37.5f, x.data(), qa.data());
+    avx2().quantize_u8(n, 37.5f, x.data(), qb.data());
+    EXPECT_EQ(qa, qb) << "n=" << n;
+  }
+}
+
+TEST_F(Avx2VsScalarTest, DequantRowS8Bitwise) {
+  Rng rng(41);
+  for (const int64_t n : kSizes) {
+    std::vector<int8_t> q(static_cast<size_t>(n));
+    for (int8_t& v : q) {
+      v = static_cast<int8_t>(
+          static_cast<int>(rng.Uniform() * 255.0) - 127);
+    }
+    std::vector<float> a(static_cast<size_t>(n));
+    std::vector<float> b(static_cast<size_t>(n));
+    scalar().dequant_row_s8(n, 0.0123f, q.data(), a.data());
+    avx2().dequant_row_s8(n, 0.0123f, q.data(), b.data());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                             static_cast<size_t>(n) * sizeof(float)))
+        << "n=" << n;
+  }
+}
+
+TEST(PackInt8BTest, QuadInterleaveAndColumnSums) {
+  // k=6, n=3: two quads, the second half-padded with zeros.
+  const int64_t k = 6;
+  const int64_t n = 3;
+  ASSERT_EQ(RoundUpK4(k), 8);
+  std::vector<int8_t> b(static_cast<size_t>(k * n));
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<int8_t>(static_cast<int>(i) - 9);
+  }
+  std::vector<int8_t> packed(static_cast<size_t>(RoundUpK4(k) * n), 99);
+  PackInt8B(k, n, b.data(), packed.data());
+  for (int64_t quad = 0; quad < 2; ++quad) {
+    for (int64_t col = 0; col < n; ++col) {
+      for (int64_t j = 0; j < 4; ++j) {
+        const int64_t p = quad * 4 + j;
+        const int8_t expected =
+            p < k ? b[static_cast<size_t>(p * n + col)] : int8_t{0};
+        EXPECT_EQ(packed[static_cast<size_t>((quad * n + col) * 4 + j)],
+                  expected)
+            << "quad " << quad << " col " << col << " lane " << j;
+      }
+    }
+  }
+  std::vector<int32_t> colsum(static_cast<size_t>(n));
+  Int8ColumnSums(k, n, b.data(), colsum.data());
+  for (int64_t col = 0; col < n; ++col) {
+    int32_t expected = 0;
+    for (int64_t p = 0; p < k; ++p) {
+      expected += b[static_cast<size_t>(p * n + col)];
+    }
+    EXPECT_EQ(colsum[static_cast<size_t>(col)], expected) << col;
+  }
+}
+
+/// Reference for gemm_s8's contract: exact integer accumulation of
+/// (a-64)*b, then the same two single-rounded multiplies as the epilogue.
+void GemmS8Reference(int64_t m, int64_t k, int64_t k4, int64_t n,
+                     const uint8_t* a, const int8_t* b,
+                     const float* b_scales, float act_scale, float* c) {
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t col = 0; col < n; ++col) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += (static_cast<int32_t>(a[r * k4 + p]) - 64) *
+               static_cast<int32_t>(b[p * n + col]);
+      }
+      const float s = act_scale * b_scales[col];
+      c[r * n + col] = static_cast<float>(acc) * s;
+    }
+  }
+}
+
+TEST_F(Avx2VsScalarTest, GemmS8BitwiseAndMatchesReference) {
+  Rng rng(1234);
+  for (const int64_t k : {int64_t{1}, int64_t{3}, int64_t{4}, int64_t{7},
+                          int64_t{12}, int64_t{33}, int64_t{64}}) {
+    for (const int64_t n : {int64_t{1}, int64_t{5}, int64_t{8}, int64_t{17},
+                            int64_t{32}}) {
+      const int64_t m = 3;
+      const int64_t k4 = RoundUpK4(k);
+      // A: u8 codes with the pad lanes deliberately NOT the zero point —
+      // the zero-padded packed B must make them contribute nothing.
+      std::vector<uint8_t> a(static_cast<size_t>(m * k4), 200);
+      for (int64_t r = 0; r < m; ++r) {
+        for (int64_t p = 0; p < k; ++p) {
+          a[static_cast<size_t>(r * k4 + p)] =
+              static_cast<uint8_t>(rng.Uniform() * 127.9);
+        }
+      }
+      std::vector<int8_t> b(static_cast<size_t>(k * n));
+      for (int8_t& v : b) {
+        v = static_cast<int8_t>(static_cast<int>(rng.Uniform() * 255.0) -
+                                127);
+      }
+      std::vector<int8_t> packed(static_cast<size_t>(k4 * n));
+      PackInt8B(k, n, b.data(), packed.data());
+      std::vector<int32_t> colsum(static_cast<size_t>(n));
+      Int8ColumnSums(k, n, b.data(), colsum.data());
+      std::vector<float> scales(static_cast<size_t>(n));
+      for (float& s : scales) {
+        s = 0.001f + static_cast<float>(rng.Uniform()) * 0.05f;
+      }
+      const float act_scale = 0.071f;
+
+      std::vector<float> want(static_cast<size_t>(m * n));
+      GemmS8Reference(m, k, k4, n, a.data(), b.data(), scales.data(),
+                      act_scale, want.data());
+      std::vector<float> got_scalar(static_cast<size_t>(m * n), -1.0f);
+      std::vector<float> got_avx2(static_cast<size_t>(m * n), -1.0f);
+      scalar().gemm_s8(m, k4, n, a.data(), packed.data(), colsum.data(),
+                       scales.data(), act_scale, got_scalar.data());
+      avx2().gemm_s8(m, k4, n, a.data(), packed.data(), colsum.data(),
+                     scales.data(), act_scale, got_avx2.data());
+      EXPECT_EQ(0, std::memcmp(got_scalar.data(), want.data(),
+                               want.size() * sizeof(float)))
+          << "scalar vs reference, k=" << k << " n=" << n;
+      EXPECT_EQ(0, std::memcmp(got_scalar.data(), got_avx2.data(),
+                               want.size() * sizeof(float)))
+          << "avx2 vs scalar, k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(Bf16Test, RoundToNearestEvenAndSpecials) {
+  const KernelTable& table = Table(Backend::kScalar);
+  const auto from_bits = [](uint32_t bits) {
+    float x;
+    std::memcpy(&x, &bits, sizeof(x));
+    return x;
+  };
+  const float in[] = {1.0f,
+                      from_bits(0x3F808000u),   // tie -> even (down)
+                      from_bits(0x3F818000u),   // tie -> even (up)
+                      from_bits(0x3F808001u),   // above tie -> up
+                      -2.5f,
+                      std::numeric_limits<float>::infinity(),
+                      std::numeric_limits<float>::quiet_NaN()};
+  uint16_t out[7] = {};
+  table.f32_to_bf16(7, in, out);
+  EXPECT_EQ(out[0], 0x3F80);
+  EXPECT_EQ(out[1], 0x3F80);  // ties to even keeps the even mantissa
+  EXPECT_EQ(out[2], 0x3F82);
+  EXPECT_EQ(out[3], 0x3F81);
+  EXPECT_EQ(out[4], 0xC020);
+  EXPECT_EQ(out[5], 0x7F80);  // Inf survives exactly
+  // NaN must stay NaN after rounding (payload quieted, not incremented
+  // into Inf): exponent all-ones with a nonzero mantissa.
+  EXPECT_EQ(out[6] & 0x7F80, 0x7F80);
+  EXPECT_NE(out[6] & 0x007F, 0);
+
+  // Widening is exact: round-tripping a bf16 pattern is the identity.
+  float widened[7] = {};
+  table.bf16_to_f32(7, out, widened);
+  uint16_t again[7] = {};
+  table.f32_to_bf16(7, widened, again);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i], again[i]) << i;
+}
+
+TEST_F(Avx2VsScalarTest, Bf16ConversionsBitwise) {
+  for (const int64_t n : kSizes) {
+    std::vector<float> x = RandomVector(static_cast<size_t>(n), 500 + n);
+    if (n >= 2) {
+      x[0] = std::numeric_limits<float>::quiet_NaN();
+      x[1] = std::numeric_limits<float>::infinity();
+    }
+    std::vector<uint16_t> ha(static_cast<size_t>(n));
+    std::vector<uint16_t> hb(static_cast<size_t>(n));
+    scalar().f32_to_bf16(n, x.data(), ha.data());
+    avx2().f32_to_bf16(n, x.data(), hb.data());
+    EXPECT_EQ(ha, hb) << "f32_to_bf16 n=" << n;
+
+    std::vector<float> wa(static_cast<size_t>(n));
+    std::vector<float> wb(static_cast<size_t>(n));
+    scalar().bf16_to_f32(n, ha.data(), wa.data());
+    avx2().bf16_to_f32(n, hb.data(), wb.data());
+    EXPECT_EQ(0, std::memcmp(wa.data(), wb.data(),
+                             static_cast<size_t>(n) * sizeof(float)))
+        << "bf16_to_f32 n=" << n;
+  }
+}
+
+TEST_F(Avx2VsScalarTest, GemmBf16WithinTolerance) {
+  const int64_t m = 4;
+  const int64_t k = 33;
+  for (const int64_t n : {int64_t{1}, int64_t{8}, int64_t{17}}) {
+    const std::vector<float> a =
+        RandomVector(static_cast<size_t>(m * k), 600 + n);
+    const std::vector<float> b_f32 =
+        RandomVector(static_cast<size_t>(k * n), 700 + n);
+    std::vector<uint16_t> b(static_cast<size_t>(k * n));
+    scalar().f32_to_bf16(k * n, b_f32.data(), b.data());
+
+    std::vector<float> ca(static_cast<size_t>(m * n));
+    std::vector<float> cb(static_cast<size_t>(m * n));
+    scalar().gemm_bf16(m, k, n, a.data(), b.data(), ca.data());
+    avx2().gemm_bf16(m, k, n, a.data(), b.data(), cb.data());
+    for (size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_NEAR(ca[i], cb[i], 1e-4) << "n=" << n << " i=" << i;
+    }
+
+    // And the widened product tracks the fp32 product to bf16 precision
+    // (~3 decimal digits on unit-scale data, k=33 accumulation).
+    std::vector<float> c_f32(static_cast<size_t>(m * n));
+    scalar().gemm(m, k, n, a.data(), b_f32.data(), c_f32.data());
+    for (size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_NEAR(ca[i], c_f32[i], 0.2) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 TEST(FusedEpiloguesFlagTest, ToggleRoundTrips) {
   const bool before = FusedEpiloguesEnabled();
   SetFusedEpilogues(false);

@@ -15,6 +15,7 @@
 #include "core/atnn.h"
 #include "core/popularity.h"
 #include "data/tmall.h"
+#include "quant/quantized_generator.h"
 #include "serving/popularity_index.h"
 
 namespace atnn::runtime {
@@ -572,6 +573,50 @@ TEST_F(InferenceRuntimeTest,
   const auto stats = runtime.stats();
   EXPECT_GT(stats.publish_rejected, 0);
   EXPECT_EQ(stats.completed_error, 0);
+}
+
+// The low-precision serving path: a snapshot whose generator is the int8
+// artifact and whose fp32 model is deliberately null must validate,
+// publish, and answer every request with exactly the scores the quantized
+// forward produces (the runtime adds batching, not arithmetic).
+TEST_F(InferenceRuntimeTest, QuantizedSnapshotServesWithoutFp32Model) {
+  const data::BlockBatch calibration =
+      data::GatherBlock(dataset_->item_profiles, dataset_->new_items);
+  auto quantized = quant::QuantizedGenerator::Build(
+      *model_, calibration, quant::Precision::kInt8);
+  ASSERT_TRUE(quantized.ok()) << quantized.status().ToString();
+
+  nn::Tensor vectors;
+  ASSERT_TRUE(quantized->Forward(calibration, &vectors).ok());
+  std::vector<double> expected;
+  expected.reserve(static_cast<size_t>(vectors.rows()));
+  for (int64_t r = 0; r < vectors.rows(); ++r) {
+    expected.push_back(
+        predictor_->ScoreVector(vectors.row_ptr(r), vectors.cols()));
+  }
+
+  ServingSnapshot snapshot;
+  snapshot.quantized = Unowned(&*quantized);
+  snapshot.predictor = Unowned(predictor_);
+  snapshot.item_profiles = Unowned(&dataset_->item_profiles);
+  snapshot.tag = "test-int8";
+
+  InferenceRuntime runtime(SmallRuntimeConfig());
+  const auto published = runtime.Publish(std::move(snapshot));
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+
+  std::vector<std::future<StatusOr<ScoreResult>>> futures;
+  futures.reserve(dataset_->new_items.size());
+  for (int64_t item : dataset_->new_items) {
+    futures.push_back(runtime.ScoreAsync(item));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NEAR(result.value().score, expected[i], 1e-9) << i;
+  }
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.stats().completed_error, 0);
 }
 
 TEST_F(InferenceRuntimeTest, StatsTableRendersEveryStage) {

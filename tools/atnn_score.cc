@@ -13,6 +13,7 @@
 #include "core/feature_adapter.h"
 #include "core/popularity.h"
 #include "data/tmall.h"
+#include "quant/quantized_generator.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
 
@@ -40,6 +41,10 @@ int Run(int argc, const char* const* argv) {
                   "re-scoring");
   flags.AddString("atnn_kernel", "auto",
                   "compute backend: auto | scalar | avx2");
+  flags.AddString("atnn_precision", "fp32",
+                  "re-score through a low-precision generator: fp32 | bf16 "
+                  "| int8. Loads '<snapshot>.<precision>' when atnn_train "
+                  "wrote one, else quantizes the loaded model in-process");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc - 1, argv + 1);
@@ -112,8 +117,49 @@ int Run(int argc, const char* const* argv) {
       core::SelectActiveUsers(dataset, flags.GetInt64("user_group"));
   const auto predictor =
       core::PopularityPredictor::Build(model, dataset, group);
-  const auto scores =
-      predictor.ScoreItems(model, dataset, dataset.new_items);
+
+  const auto precision_or =
+      quant::ParsePrecision(flags.GetString("atnn_precision"));
+  if (!precision_or.ok()) {
+    std::fprintf(stderr, "%s\n", precision_or.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<double> scores;
+  if (*precision_or == quant::Precision::kFp32) {
+    scores = predictor.ScoreItems(model, dataset, dataset.new_items);
+  } else {
+    // Prefer the artifact atnn_train wrote next to the snapshot; fall back
+    // to quantizing the freshly loaded model in-process (same calibration
+    // slice as the trainer, so the artifacts are interchangeable).
+    const std::string quant_path = flags.GetString("snapshot") + "." +
+                                   quant::PrecisionName(*precision_or);
+    const data::BlockBatch block =
+        data::GatherBlock(dataset.item_profiles, dataset.new_items);
+    auto quantized = quant::QuantizedGenerator::Load(quant_path, kModelTag);
+    if (!quantized.ok()) {
+      quantized = quant::QuantizedGenerator::Build(model, block,
+                                                   *precision_or);
+    }
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "quantization failed: %s\n",
+                   quantized.status().ToString().c_str());
+      return 1;
+    }
+    nn::Tensor vectors;
+    status = quantized->Forward(block, &vectors);
+    if (!status.ok()) {
+      std::fprintf(stderr, "quantized forward failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    scores.reserve(static_cast<size_t>(vectors.rows()));
+    for (int64_t r = 0; r < vectors.rows(); ++r) {
+      scores.push_back(
+          predictor.ScoreVector(vectors.row_ptr(r), vectors.cols()));
+    }
+    std::printf("precision: %s\n",
+                quant::PrecisionName(*precision_or));
+  }
   serving::PopularityIndex index;
   index.BulkLoad(dataset.new_items, scores);
 

@@ -64,6 +64,7 @@
 #include "core/popularity.h"
 #include "data/tmall.h"
 #include "obs/exporter.h"
+#include "quant/quantized_generator.h"
 #include "runtime/inference_runtime.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
@@ -144,6 +145,11 @@ int Run(int argc, const char* const* argv) {
                   "(0 = unlimited)");
   flags.AddString("atnn_kernel", "auto",
                   "compute backend: auto | scalar | avx2");
+  flags.AddString("atnn_precision", "fp32",
+                  "serving weight format: fp32 | bf16 | int8. Non-fp32 "
+                  "quantizes the generator after the snapshot load and "
+                  "serves through it; the fp32 model is dropped from the "
+                  "published snapshot");
   flags.AddString("metrics_json", "",
                   "append one JSON metrics line to this file every "
                   "--metrics_interval_ms while serving (plus a final line "
@@ -228,8 +234,38 @@ int Run(int argc, const char* const* argv) {
 
   // Shared by both serving paths: the snapshot to publish and the
   // Zipf-skewed request stream over the new arrivals.
+  const auto precision_or =
+      quant::ParsePrecision(flags.GetString("atnn_precision"));
+  if (!precision_or.ok()) {
+    std::fprintf(stderr, "%s\n", precision_or.status().ToString().c_str());
+    return 2;
+  }
+  const quant::Precision precision = *precision_or;
   runtime::ServingSnapshot snapshot;
-  snapshot.model = runtime::Unowned(&model);
+  std::shared_ptr<const quant::QuantizedGenerator> quantized;
+  if (precision == quant::Precision::kFp32) {
+    snapshot.model = runtime::Unowned(&model);
+  } else {
+    // Calibrate on the cold-start arrivals — exactly the rows this process
+    // is about to serve. The fp32 model stays on the stack only to build
+    // the artifact; the published snapshot carries the quantized weights.
+    const data::BlockBatch calibration =
+        data::GatherBlock(dataset.item_profiles, dataset.new_items);
+    auto built =
+        quant::QuantizedGenerator::Build(model, calibration, precision);
+    if (!built.ok()) {
+      std::fprintf(stderr, "quantization failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    quantized = std::make_shared<const quant::QuantizedGenerator>(
+        std::move(*built));
+    snapshot.quantized = quantized;
+    std::printf("precision: %s (%.2fx of fp32 bytes)\n",
+                quant::PrecisionName(precision),
+                static_cast<double>(quantized->QuantizedByteSize()) /
+                    static_cast<double>(quantized->Fp32ByteSize()));
+  }
   snapshot.predictor = runtime::Unowned(&predictor);
   snapshot.item_profiles = runtime::Unowned(&dataset.item_profiles);
   snapshot.tag = "atnn_serve";

@@ -18,6 +18,7 @@
 #include "core/trainer.h"
 #include "data/tmall.h"
 #include "obs/metrics_registry.h"
+#include "quant/quantized_generator.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
 
@@ -49,6 +50,10 @@ int Run(int argc, const char* const* argv) {
                   "output path for the popularity index");
   flags.AddString("atnn_kernel", "auto",
                   "compute backend: auto | scalar | avx2");
+  flags.AddString("atnn_precision", "fp32",
+                  "also emit a low-precision serving artifact: fp32 (none) "
+                  "| bf16 | int8. Written next to --snapshot with a "
+                  "'.<precision>' suffix, calibrated on the new arrivals");
   flags.AddBool("metric_lines", true,
                 "print one machine-readable ATNN_METRICS {json} line per "
                 "epoch (loss gauges, step-time histogram, arena high-water)");
@@ -123,6 +128,37 @@ int Run(int argc, const char* const* argv) {
     return 1;
   }
   std::printf("snapshot: %s\n", flags.GetString("snapshot").c_str());
+
+  const auto precision_or =
+      quant::ParsePrecision(flags.GetString("atnn_precision"));
+  if (!precision_or.ok()) {
+    std::fprintf(stderr, "%s\n", precision_or.status().ToString().c_str());
+    return 2;
+  }
+  if (*precision_or != quant::Precision::kFp32) {
+    const data::BlockBatch calibration =
+        data::GatherBlock(dataset.item_profiles, dataset.new_items);
+    auto quantized =
+        quant::QuantizedGenerator::Build(model, calibration, *precision_or);
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "quantization failed: %s\n",
+                   quantized.status().ToString().c_str());
+      return 1;
+    }
+    const std::string quant_path = flags.GetString("snapshot") + "." +
+                                   quant::PrecisionName(*precision_or);
+    status = quantized->Save(quant_path, kModelTag);
+    if (!status.ok()) {
+      std::fprintf(stderr, "quantized save failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("quantized artifact: %s (%lld bytes, %.2fx of fp32)\n",
+                quant_path.c_str(),
+                static_cast<long long>(quantized->QuantizedByteSize()),
+                static_cast<double>(quantized->QuantizedByteSize()) /
+                    static_cast<double>(quantized->Fp32ByteSize()));
+  }
 
   const auto group =
       core::SelectActiveUsers(dataset, flags.GetInt64("user_group"));
