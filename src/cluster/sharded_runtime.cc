@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "data/schema.h"
+#include "runtime/plan_compiler.h"
 
 namespace atnn::cluster {
 
@@ -26,6 +27,25 @@ double MicrosSince(Clock::time_point start) {
 // Probes without an explicit budget still need a bound, or a hung shard
 // would hang the prober.
 constexpr int64_t kDefaultProbeDeadlineUs = 50'000;
+
+/// Cluster-level plan sharing: compile the generator forward ONCE against
+/// the full snapshot and let every shard slice carry the same plan (the
+/// plan closes over the model, not the item table, so it is slice
+/// independent). Shard runtimes see plan != nullptr and skip their own
+/// Publish-time compile — N shards, one trace+compile. Failures leave the
+/// snapshot on the tape; each shard then counts its own compile fallback.
+void AttachSharedPlan(const runtime::RuntimeConfig& shard_config,
+                      runtime::ServingSnapshot* snapshot) {
+  if (shard_config.compile_mode == nn::ir::CompileMode::kOff) return;
+  if (snapshot->plan != nullptr || snapshot->model == nullptr) return;
+  if (shard_config.compile_mode == nn::ir::CompileMode::kAuto &&
+      snapshot->quantized != nullptr) {
+    return;
+  }
+  auto plan = runtime::CompileSnapshotPlan(
+      *snapshot, static_cast<int64_t>(shard_config.batcher.max_batch_size));
+  if (plan.ok()) snapshot->plan = std::move(plan).value();
+}
 
 }  // namespace
 
@@ -153,7 +173,11 @@ StatusOr<uint64_t> ShardedRuntime::PublishSharded(
   // common case (per-shard rejections below only fire under injected
   // faults).
   ATNN_RETURN_IF_ERROR(runtime::ValidateServingSnapshot(full));
-  const int64_t num_rows = full.item_profiles->num_rows();
+  // Compile the execution plan once for the whole cluster; every slice
+  // below shares it by reference (see AttachSharedPlan).
+  runtime::ServingSnapshot shared = full;
+  AttachSharedPlan(config_.shard, &shared);
+  const int64_t num_rows = shared.item_profiles->num_rows();
 
   std::lock_guard<std::mutex> admin(admin_mutex_);
   std::shared_ptr<const Epoch> current = CurrentEpoch();
@@ -186,7 +210,7 @@ StatusOr<uint64_t> ShardedRuntime::PublishSharded(
     // the routing table the first time around.
     for (size_t i = 0; i < current->shards.size(); ++i) {
       ATNN_ASSIGN_OR_RETURN(
-          version, PublishSlice(full, routing->rows_of_shard[i], i,
+          version, PublishSlice(shared, routing->rows_of_shard[i], i,
                                 current->shards[i].runtime.get()));
     }
     if (!same_mapping) {
@@ -220,7 +244,7 @@ StatusOr<uint64_t> ShardedRuntime::PublishSharded(
       uint64_t shard_version = 0;
       ATNN_ASSIGN_OR_RETURN(
           shard_version,
-          PublishSlice(full, routing->rows_of_shard[i], i, target));
+          PublishSlice(shared, routing->rows_of_shard[i], i, target));
       // Fresh instances restart their version counter at 1 while kept
       // shards keep counting; the front-end reports the highest.
       version = std::max(version, shard_version);
@@ -234,7 +258,9 @@ StatusOr<uint64_t> ShardedRuntime::PublishSharded(
     }
   }
 
-  last_full_ = full;  // rebuild/resize re-slice from this snapshot
+  // Rebuild/resize re-slice from this snapshot; keeping the plan attached
+  // means a shard rebuild never re-traces either.
+  last_full_ = std::move(shared);
   published_version_.store(version, std::memory_order_relaxed);
   return version;
 }

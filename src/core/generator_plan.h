@@ -1,0 +1,54 @@
+#ifndef ATNN_CORE_GENERATOR_PLAN_H_
+#define ATNN_CORE_GENERATOR_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/atnn.h"
+#include "core/popularity.h"
+#include "data/schema.h"
+#include "data/tmall.h"
+#include "nn/ir/plan.h"
+
+namespace atnn::core {
+
+/// Traces one generator forward g(X_ip) of `model` against a probe block
+/// gathered from `item_profiles`, runs the optimization pipeline, and
+/// lowers the result to a CompiledPlan sized for `max_batch` rows.
+/// `keepalive` (may be null) is pinned for the plan's lifetime — pass the
+/// owning handle of the model whose parameter buffers the graph borrows;
+/// callers that guarantee the model outlives the plan may leave it null.
+///
+/// Fails when the item table is empty or the forward uses an op outside
+/// the IR vocabulary. Failures are expected configuration states — callers
+/// fall back to the autograd tape, they don't error out.
+StatusOr<std::shared_ptr<const nn::ir::CompiledPlan>> CompileGeneratorPlan(
+    const AtnnModel& model, const data::EntityTable& item_profiles,
+    int64_t max_batch, std::shared_ptr<const void> keepalive = nullptr);
+
+/// Scores `item_rows` through the compiled plan: gathers blocks of up to
+/// plan.max_batch() rows, executes each through the pre-planned program,
+/// and reduces every generated vector with the predictor's O(1) dot
+/// product — the same math as PopularityPredictor::ScoreItems, row for
+/// row bitwise-identical because the plan reproduces the tape forward
+/// exactly. InvalidArgument if the table's shape drifted from the traced
+/// graph (callers fall back to ScoreItems).
+StatusOr<std::vector<double>> ScoreItemsWithPlan(
+    const nn::ir::CompiledPlan& plan, const PopularityPredictor& predictor,
+    const data::EntityTable& item_profiles,
+    const std::vector<int64_t>& item_rows);
+
+/// The CLI entry point: applies the --atnn_compile policy. Under kOn/kAuto
+/// it compiles the generator and scores through the plan; any compile or
+/// execute failure — and kOff — scores through the tape instead. Never
+/// fails. `used_plan` (optional) reports which path actually ran.
+std::vector<double> ScoreItemsMaybeCompiled(
+    nn::ir::CompileMode mode, const AtnnModel& model,
+    const PopularityPredictor& predictor, const data::TmallDataset& dataset,
+    const std::vector<int64_t>& item_rows, bool* used_plan = nullptr);
+
+}  // namespace atnn::core
+
+#endif  // ATNN_CORE_GENERATOR_PLAN_H_

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "nn/ir/trace.h"
+
 namespace atnn::nn {
 
 void Node::EnsureGrad() {
@@ -56,7 +58,12 @@ Var Constant(Tensor value) {
   NodePtr node = AllocateNode();
   node->value = std::move(value);
   node->requires_grad = false;
-  return Var(std::move(node));
+  Var result(std::move(node));
+  // A trace capturing this thread's forward registers the constant here
+  // (either as a baked value or, after TraceNoteDenseInput, as the
+  // batch-varying dense input).
+  ir::TraceConstant(result);
+  return result;
 }
 
 Var Leaf(Tensor value) {

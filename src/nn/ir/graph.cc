@@ -1,0 +1,254 @@
+#include "nn/ir/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace atnn::nn::ir {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConstant:    return "const";
+    case OpKind::kDenseInput:  return "dense_input";
+    case OpKind::kEmbedLookup: return "embed_lookup";
+    case OpKind::kMatMul:      return "matmul";
+    case OpKind::kDenseAffine: return "dense_affine";
+    case OpKind::kAdd:         return "add";
+    case OpKind::kAddBias:     return "add_bias";
+    case OpKind::kScale:       return "scale";
+    case OpKind::kScaleRows:   return "scale_rows";
+    case OpKind::kRelu:        return "relu";
+    case OpKind::kSigmoid:     return "sigmoid";
+    case OpKind::kTanh:        return "tanh";
+    case OpKind::kLeakyRelu:   return "leaky_relu";
+    case OpKind::kConcatCols:  return "concat_cols";
+    case OpKind::kSliceCols:   return "slice_cols";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:  return "identity";
+    case Activation::kRelu:      return "relu";
+    case Activation::kSigmoid:   return "sigmoid";
+    case Activation::kTanh:      return "tanh";
+    case Activation::kLeakyRelu: return "leaky_relu";
+  }
+  return "unknown";
+}
+
+bool IsLeafKind(OpKind kind) {
+  return kind == OpKind::kConstant || kind == OpKind::kDenseInput;
+}
+
+}  // namespace
+
+int32_t Graph::AddNode(NodeDef def) {
+  const int32_t id = size();
+  for (const int32_t input : def.inputs) {
+    ATNN_CHECK(input >= 0 && input < id)
+        << "node %" << id << " references %" << input
+        << " (inputs must be earlier nodes)";
+  }
+  nodes_.push_back(std::move(def));
+  return id;
+}
+
+int32_t Graph::RemoveDeadNodes() {
+  if (output_ < 0) return 0;
+  std::vector<char> live(nodes_.size(), 0);
+  // Nodes are topologically ordered, so one reverse sweep settles liveness.
+  live[output_] = 1;
+  for (int32_t id = size() - 1; id >= 0; --id) {
+    if (!live[id]) continue;
+    for (const int32_t input : nodes_[id].inputs) live[input] = 1;
+  }
+  std::vector<int32_t> remap(nodes_.size(), -1);
+  std::vector<NodeDef> kept;
+  kept.reserve(nodes_.size());
+  for (int32_t id = 0; id < size(); ++id) {
+    if (!live[id]) continue;
+    remap[id] = static_cast<int32_t>(kept.size());
+    kept.push_back(std::move(nodes_[id]));
+    for (int32_t& input : kept.back().inputs) input = remap[input];
+  }
+  const auto dropped = static_cast<int32_t>(nodes_.size() - kept.size());
+  nodes_ = std::move(kept);
+  output_ = remap[output_];
+  return dropped;
+}
+
+void Graph::ClearInplaceMarks() {
+  for (NodeDef& node : nodes_) node.inplace = false;
+}
+
+Status Graph::Validate() const {
+  if (output_ < 0 || output_ >= size()) {
+    return Status::InvalidArgument("graph output not set or out of range");
+  }
+  for (int32_t id = 0; id < size(); ++id) {
+    const NodeDef& node = nodes_[id];
+    const auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("node %" + std::to_string(id) + " (" +
+                                     OpKindName(node.kind) + "): " + why);
+    };
+    for (const int32_t input : node.inputs) {
+      if (input < 0 || input >= id) return fail("input out of order");
+    }
+    if (node.rows <= 0 || node.cols <= 0) return fail("non-positive shape");
+    if (node.inplace) {
+      if (node.inputs.empty()) return fail("inplace mark without inputs");
+      if (IsLeafKind(nodes_[node.inputs[0]].kind)) {
+        return fail("inplace mark aliases a leaf buffer");
+      }
+    }
+    const auto expect_inputs = [&](size_t n) {
+      return node.inputs.size() == n
+                 ? Status::OK()
+                 : fail("expected " + std::to_string(n) + " inputs, got " +
+                        std::to_string(node.inputs.size()));
+    };
+    switch (node.kind) {
+      case OpKind::kConstant:
+        ATNN_RETURN_IF_ERROR(expect_inputs(0));
+        if (node.data == nullptr) return fail("constant without data");
+        if (node.batch_rows) return fail("constant cannot be batch-sized");
+        break;
+      case OpKind::kDenseInput:
+        ATNN_RETURN_IF_ERROR(expect_inputs(0));
+        if (!node.batch_rows) return fail("dense input must be batch-sized");
+        break;
+      case OpKind::kEmbedLookup: {
+        ATNN_RETURN_IF_ERROR(expect_inputs(1));
+        const NodeDef& table = nodes_[node.inputs[0]];
+        if (table.kind != OpKind::kConstant) {
+          return fail("embedding table must be a constant");
+        }
+        if (node.field < 0 || node.field >= num_fields_) {
+          return fail("field index outside [0, num_fields)");
+        }
+        if (node.cols != table.cols) return fail("dim mismatch with table");
+        break;
+      }
+      case OpKind::kMatMul: {
+        ATNN_RETURN_IF_ERROR(expect_inputs(2));
+        const NodeDef& a = nodes_[node.inputs[0]];
+        const NodeDef& b = nodes_[node.inputs[1]];
+        if (a.cols != b.rows || node.cols != b.cols) {
+          return fail("shape mismatch");
+        }
+        break;
+      }
+      case OpKind::kDenseAffine: {
+        ATNN_RETURN_IF_ERROR(expect_inputs(3));
+        const NodeDef& x = nodes_[node.inputs[0]];
+        const NodeDef& w = nodes_[node.inputs[1]];
+        const NodeDef& b = nodes_[node.inputs[2]];
+        if (x.cols != w.rows || node.cols != w.cols || b.rows != 1 ||
+            b.cols != w.cols) {
+          return fail("shape mismatch");
+        }
+        if (node.act != Activation::kIdentity &&
+            node.act != Activation::kRelu &&
+            node.act != Activation::kSigmoid) {
+          return fail("unsupported fused activation");
+        }
+        break;
+      }
+      case OpKind::kAdd: {
+        ATNN_RETURN_IF_ERROR(expect_inputs(2));
+        const NodeDef& a = nodes_[node.inputs[0]];
+        const NodeDef& b = nodes_[node.inputs[1]];
+        if (a.cols != node.cols || b.cols != node.cols) {
+          return fail("shape mismatch");
+        }
+        break;
+      }
+      case OpKind::kAddBias: {
+        ATNN_RETURN_IF_ERROR(expect_inputs(2));
+        const NodeDef& bias = nodes_[node.inputs[1]];
+        if (bias.rows != 1 || bias.cols != node.cols) {
+          return fail("bias shape mismatch");
+        }
+        break;
+      }
+      case OpKind::kScaleRows: {
+        ATNN_RETURN_IF_ERROR(expect_inputs(2));
+        const NodeDef& s = nodes_[node.inputs[1]];
+        if (s.cols != 1) return fail("scale column must be [m,1]");
+        break;
+      }
+      case OpKind::kScale:
+      case OpKind::kRelu:
+      case OpKind::kSigmoid:
+      case OpKind::kTanh:
+      case OpKind::kLeakyRelu:
+        ATNN_RETURN_IF_ERROR(expect_inputs(1));
+        if (nodes_[node.inputs[0]].cols != node.cols) {
+          return fail("shape mismatch");
+        }
+        break;
+      case OpKind::kConcatCols: {
+        if (node.inputs.empty()) return fail("concat of nothing");
+        int64_t total = 0;
+        for (const int32_t input : node.inputs) total += nodes_[input].cols;
+        if (total != node.cols) return fail("concat width mismatch");
+        break;
+      }
+      case OpKind::kSliceCols: {
+        ATNN_RETURN_IF_ERROR(expect_inputs(1));
+        const NodeDef& x = nodes_[node.inputs[0]];
+        if (node.slice_begin < 0 ||
+            node.slice_begin + node.cols > x.cols) {
+          return fail("slice out of range");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Graph::ToText() const {
+  std::ostringstream out;
+  out << "graph: nodes=" << size() << " fields=" << num_fields_
+      << " dense_cols=" << dense_cols_ << "\n";
+  for (int32_t id = 0; id < size(); ++id) {
+    const NodeDef& node = nodes_[id];
+    out << "%" << id << " = " << OpKindName(node.kind);
+    if (node.kind == OpKind::kConstant) {
+      if (!node.label.empty()) out << " \"" << node.label << "\"";
+    } else if (node.kind == OpKind::kEmbedLookup) {
+      out << "(%" << node.inputs[0] << ", field=" << node.field
+          << ", hash=" << node.hash_buckets << ")";
+    } else if (!node.inputs.empty()) {
+      out << "(";
+      for (size_t i = 0; i < node.inputs.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "%" << node.inputs[i];
+      }
+      if (node.kind == OpKind::kDenseAffine) {
+        out << ", act=" << ActivationName(node.act);
+      } else if (node.kind == OpKind::kScale ||
+                 node.kind == OpKind::kLeakyRelu) {
+        out << ", alpha=" << node.alpha;
+      } else if (node.kind == OpKind::kSliceCols) {
+        out << ", begin=" << node.slice_begin;
+      }
+      out << ")";
+    }
+    out << " : [" << (node.batch_rows ? "B" : std::to_string(node.rows))
+        << "x" << node.cols << "]";
+    if (node.inplace) out << " inplace";
+    out << "\n";
+  }
+  out << "output %" << output_ << "\n";
+  return out.str();
+}
+
+}  // namespace atnn::nn::ir

@@ -1,0 +1,138 @@
+#ifndef ATNN_NN_IR_GRAPH_H_
+#define ATNN_NN_IR_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace atnn::nn::ir {
+
+/// Op vocabulary of the inference IR. Each kind mirrors exactly one autograd
+/// op from nn/ops.h (same kernels, same loop order), which is what lets a
+/// compiled plan promise bitwise-identical outputs to the tape walk it
+/// replaces. Ops without an entry here (reductions, losses, dropout,
+/// layer_norm, ...) make a forward untraceable; TraceGraph then fails and
+/// callers fall back to the tape.
+enum class OpKind : uint8_t {
+  /// Static tensor baked into the plan: a parameter (borrowed by pointer
+  /// from the model that stays alive via the plan's keepalive) or a folded /
+  /// copied value owned by the graph node.
+  kConstant,
+  /// The batch-varying dense feature block ([B, dense_cols]), read straight
+  /// from PlanInput at execution time.
+  kDenseInput,
+  /// Row gather of a constant table by the runtime ids of one categorical
+  /// field ([B, dim]). hash_buckets > 0 applies the EmbeddingBag feature
+  /// hash (SplitMix64 % buckets) to the raw ids first.
+  kEmbedLookup,
+  kMatMul,
+  /// Fused act(x W + b); the gemm + bias_{identity,relu,sigmoid} epilogue
+  /// pair from the kernel table, exactly as nn::DenseAffine issues it.
+  kDenseAffine,
+  kAdd,
+  kAddBias,
+  kScale,
+  kScaleRows,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kLeakyRelu,
+  kConcatCols,
+  kSliceCols,
+};
+
+/// Stable lowercase op name ("matmul", "dense_affine", ...).
+const char* OpKindName(OpKind kind);
+
+/// One SSA value/node of the graph: every node produces exactly one output
+/// value, so node index == value id. Inputs are indices of earlier nodes
+/// (the node list is always topologically ordered by construction).
+struct NodeDef {
+  OpKind kind = OpKind::kConstant;
+  std::vector<int32_t> inputs;
+
+  /// Output shape. batch_rows marks the row count as the runtime batch size
+  /// (rows then holds the probe batch it was traced with, for debugging);
+  /// static values use rows/cols directly.
+  bool batch_rows = false;
+  int64_t rows = 0;
+  int64_t cols = 0;
+
+  // --- per-kind attributes ---
+  Activation act = Activation::kIdentity;  // kDenseAffine
+  float alpha = 0.0f;                      // kScale factor, kLeakyRelu slope
+  int64_t slice_begin = 0;                 // kSliceCols
+  int32_t field = -1;                      // kEmbedLookup: categorical field
+  int64_t hash_buckets = 0;                // kEmbedLookup: 0 = ids used raw
+
+  /// kConstant payload. `data` points at the bytes the executor reads:
+  /// either `owned` (folded/copied values) or an external buffer kept alive
+  /// by the plan's keepalive (model parameters).
+  const float* data = nullptr;
+  Tensor owned;
+  /// Debug label for dumps ("param", "const", "folded"); never a pointer,
+  /// so ToText stays deterministic for golden tests.
+  std::string label;
+
+  /// Set by the in-place pass: output aliases the buffer of inputs[0]
+  /// (liveness-proven safe). Structural passes clear these marks and the
+  /// in-place pass recomputes them from scratch, so marks are never stale.
+  bool inplace = false;
+};
+
+/// A traced forward of one model arm as a flat, topologically ordered node
+/// list. Built by TraceGraph (nn/ir/trace.h), rewritten by the passes
+/// (nn/ir/passes.h), lowered by CompiledPlan (nn/ir/plan.h).
+class Graph {
+ public:
+  /// Appends a node; inputs must reference existing nodes. Returns its id.
+  int32_t AddNode(NodeDef def);
+
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+  const NodeDef& node(int32_t id) const { return nodes_[id]; }
+  NodeDef& mutable_node(int32_t id) { return nodes_[id]; }
+  const std::vector<NodeDef>& nodes() const { return nodes_; }
+
+  int32_t output() const { return output_; }
+  void set_output(int32_t id) { output_ = id; }
+
+  /// Number of categorical id fields the plan consumes from PlanInput
+  /// (kEmbedLookup nodes carry field indices in [0, num_fields)).
+  int32_t num_fields() const { return num_fields_; }
+  void set_num_fields(int32_t n) { num_fields_ = n; }
+
+  /// Dense input width, or -1 when the graph takes no dense block.
+  int64_t dense_cols() const { return dense_cols_; }
+  void set_dense_cols(int64_t cols) { dense_cols_ = cols; }
+
+  /// Rebuilds the node list keeping only nodes reachable from the output,
+  /// remapping input references. Returns the number of nodes dropped.
+  int32_t RemoveDeadNodes();
+
+  /// Drops every in-place mark (structural passes call this before
+  /// rewriting; see NodeDef::inplace).
+  void ClearInplaceMarks();
+
+  /// Structural consistency: output set, inputs in range and topologically
+  /// ordered, constants carry data, per-kind shape/attribute rules.
+  Status Validate() const;
+
+  /// Deterministic text form, one node per line:
+  ///   %3 = matmul(%1, %2) : [Bx16]
+  /// Used for golden pass tests and debug dumps; contains no pointers.
+  std::string ToText() const;
+
+ private:
+  std::vector<NodeDef> nodes_;
+  int32_t output_ = -1;
+  int32_t num_fields_ = 0;
+  int64_t dense_cols_ = -1;
+};
+
+}  // namespace atnn::nn::ir
+
+#endif  // ATNN_NN_IR_GRAPH_H_

@@ -1,0 +1,297 @@
+#include "nn/ir/plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "nn/arena.h"
+#include "nn/ir/eval.h"
+#include "nn/ir/passes.h"
+
+namespace atnn::nn::ir {
+
+namespace {
+
+// Executor inputs are resolved into a fixed stack array; Compile rejects
+// wider nodes (a concat over this many parts does not occur in practice).
+constexpr uint32_t kMaxStepInputs = 64;
+
+size_t AlignUp(size_t bytes) {
+  return (bytes + kTensorAlignment - 1) & ~(kTensorAlignment - 1);
+}
+
+bool IsComputeKind(OpKind kind) {
+  return kind != OpKind::kConstant && kind != OpKind::kDenseInput;
+}
+
+}  // namespace
+
+StatusOr<CompileMode> ParseCompileMode(const std::string& name) {
+  if (name == "off") return CompileMode::kOff;
+  if (name == "on") return CompileMode::kOn;
+  if (name == "auto") return CompileMode::kAuto;
+  return Status::InvalidArgument("unknown --atnn_compile value '" + name +
+                                 "' (expected off|on|auto)");
+}
+
+const char* CompileModeName(CompileMode mode) {
+  switch (mode) {
+    case CompileMode::kOff:
+      return "off";
+    case CompileMode::kOn:
+      return "on";
+    case CompileMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::byte* PlanScratch::Ensure(size_t bytes) {
+  if (bytes <= capacity_) return aligned_;
+  storage_ = std::make_unique<std::byte[]>(bytes + kTensorAlignment - 1);
+  const auto raw = reinterpret_cast<uintptr_t>(storage_.get());
+  const uintptr_t aligned =
+      (raw + kTensorAlignment - 1) & ~(uintptr_t{kTensorAlignment} - 1);
+  aligned_ = storage_.get() + (aligned - raw);
+  capacity_ = bytes;
+  return aligned_;
+}
+
+StatusOr<std::unique_ptr<CompiledPlan>> CompiledPlan::Compile(
+    Graph graph, const Options& options,
+    std::shared_ptr<const void> keepalive) {
+  if (options.max_batch < 1) {
+    return Status::InvalidArgument("CompiledPlan max_batch must be >= 1");
+  }
+  ATNN_RETURN_IF_ERROR(graph.Validate());
+  std::unique_ptr<CompiledPlan> plan(new CompiledPlan());
+  plan->graph_ = std::move(graph);
+  plan->options_ = options;
+  plan->keepalive_ = std::move(keepalive);
+  if (options.optimize) {
+    ATNN_RETURN_IF_ERROR(
+        RunDefaultPasses(&plan->graph_, &plan->pass_summary_));
+  }
+  ATNN_RETURN_IF_ERROR(plan->Lower());
+  return plan;
+}
+
+Status CompiledPlan::Lower() {
+  const Graph& g = graph_;
+  const int32_t n = g.size();
+  const int32_t out_id = g.output();
+  const NodeDef& out_node = g.node(out_id);
+  if (!IsComputeKind(out_node.kind) && out_node.kind != OpKind::kEmbedLookup) {
+    return Status::InvalidArgument("plan output is not a computed value");
+  }
+  if (!out_node.batch_rows) {
+    return Status::InvalidArgument("plan output is not batch-shaped");
+  }
+
+  // --- liveness: last step at which each value is read ---
+  std::vector<int32_t> last_use(n, -1);
+  for (int32_t id = 0; id < n; ++id) {
+    for (const int32_t input : g.node(id).inputs) {
+      last_use[input] = std::max(last_use[input], id);
+    }
+  }
+  last_use[out_id] = std::numeric_limits<int32_t>::max();
+
+  // --- buffer assignment: in-place nodes join their input's buffer ---
+  std::vector<int32_t> buffer_of(n, -1);
+  int32_t num_buffers = 0;
+  for (int32_t id = 0; id < n; ++id) {
+    const NodeDef& node = g.node(id);
+    if (!IsComputeKind(node.kind)) continue;  // leaves own no scratch
+    if (node.inplace) {
+      buffer_of[id] = buffer_of[node.inputs[0]];
+      ATNN_CHECK(buffer_of[id] >= 0) << "inplace node aliases a leaf";
+    } else {
+      buffer_of[id] = num_buffers++;
+    }
+  }
+
+  // Per-buffer extents: definition step, final read, byte size (layout rows
+  // are max_batch for batch values).
+  struct Buffer {
+    int32_t def = std::numeric_limits<int32_t>::max();
+    int32_t end = -1;
+    size_t bytes = 0;
+    size_t offset = 0;
+  };
+  std::vector<Buffer> buffers(num_buffers);
+  for (int32_t id = 0; id < n; ++id) {
+    const int32_t b = buffer_of[id];
+    if (b < 0) continue;
+    const NodeDef& node = g.node(id);
+    const int64_t rows = node.batch_rows ? options_.max_batch : node.rows;
+    const size_t bytes =
+        AlignUp(static_cast<size_t>(rows * node.cols) * sizeof(float));
+    buffers[b].def = std::min(buffers[b].def, id);
+    buffers[b].end = std::max(buffers[b].end, last_use[id]);
+    buffers[b].bytes = std::max(buffers[b].bytes, bytes);
+  }
+
+  // --- greedy best-fit placement over liveness intervals ---
+  // Buffers are visited in definition order (== buffer id order, since ids
+  // are assigned in one topological sweep); a slot freed by an expired
+  // buffer is reused when it fits, preferring the tightest fit.
+  struct Slot {
+    size_t offset;
+    size_t bytes;
+    int32_t busy_until;  // step index of the occupant's final read
+  };
+  std::vector<Slot> slots;
+  size_t total = 0;
+  for (int32_t b = 0; b < num_buffers; ++b) {
+    Buffer& buf = buffers[b];
+    int best = -1;
+    for (int s = 0; s < static_cast<int>(slots.size()); ++s) {
+      if (slots[s].busy_until >= buf.def) continue;  // still live
+      if (slots[s].bytes < buf.bytes) continue;      // too small
+      if (best < 0 || slots[s].bytes < slots[best].bytes) best = s;
+    }
+    if (best >= 0) {
+      buf.offset = slots[best].offset;
+      slots[best].busy_until = buf.end;
+    } else {
+      buf.offset = total;
+      total += buf.bytes;
+      slots.push_back({buf.offset, buf.bytes, buf.end});
+    }
+  }
+
+  // Shared slot for hashed embedding ids (every lookup's ids are consumed
+  // within its own step, so one region serves all fields).
+  size_t ids_offset = 0;
+  bool needs_ids = false;
+  for (int32_t id = 0; id < n; ++id) {
+    const NodeDef& node = g.node(id);
+    if (node.kind == OpKind::kEmbedLookup && node.hash_buckets > 0) {
+      needs_ids = true;
+    }
+  }
+  if (needs_ids) {
+    ids_offset = total;
+    total += AlignUp(static_cast<size_t>(options_.max_batch) * sizeof(int64_t));
+  }
+  plan_bytes_ = total;
+
+  // --- lower nodes to steps with resolved operands ---
+  const auto operand_of = [&](int32_t id) {
+    const NodeDef& node = g.node(id);
+    Operand op;
+    op.rows = node.batch_rows ? -1 : node.rows;
+    op.cols = node.cols;
+    if (node.kind == OpKind::kConstant) {
+      op.constant = node.data;
+    } else if (node.kind == OpKind::kDenseInput) {
+      op.is_dense = true;
+    } else {
+      op.offset = buffers[buffer_of[id]].offset;
+    }
+    return op;
+  };
+  steps_.clear();
+  operands_.clear();
+  for (int32_t id = 0; id < n; ++id) {
+    const NodeDef& node = g.node(id);
+    if (!IsComputeKind(node.kind)) continue;
+    if (node.inputs.size() > kMaxStepInputs) {
+      return Status::InvalidArgument("node exceeds executor input width");
+    }
+    Step step;
+    step.node = id;
+    step.kind = node.kind;
+    step.out = operand_of(id);
+    step.in_begin = static_cast<uint32_t>(operands_.size());
+    step.in_count = static_cast<uint32_t>(node.inputs.size());
+    for (const int32_t input : node.inputs) {
+      operands_.push_back(operand_of(input));
+    }
+    if (node.kind == OpKind::kEmbedLookup) {
+      const NodeDef& table = g.node(node.inputs[0]);
+      step.table = table.data;
+      step.table_rows = table.rows;
+      step.ids_offset = ids_offset;
+    }
+    steps_.push_back(step);
+  }
+  output_offset_ = buffers[buffer_of[out_id]].offset;
+  return Status::OK();
+}
+
+StatusOr<const float*> CompiledPlan::Execute(const PlanInput& input,
+                                             int64_t batch,
+                                             PlanScratch* scratch) const {
+  if (batch < 1 || batch > options_.max_batch) {
+    return Status::InvalidArgument("plan batch out of range");
+  }
+  const int32_t num_fields = graph_.num_fields();
+  if (num_fields > 0) {
+    if (input.categorical == nullptr ||
+        static_cast<int32_t>(input.categorical->size()) < num_fields) {
+      return Status::InvalidArgument("plan input is missing id fields");
+    }
+    for (int32_t f = 0; f < num_fields; ++f) {
+      if (static_cast<int64_t>((*input.categorical)[f].size()) != batch) {
+        return Status::InvalidArgument("plan id field size != batch");
+      }
+    }
+  }
+  if (graph_.dense_cols() >= 0) {
+    if (input.dense == nullptr || input.dense->rows() != batch ||
+        input.dense->cols() != graph_.dense_cols()) {
+      return Status::InvalidArgument("plan dense block shape mismatch");
+    }
+  }
+
+  std::byte* base = scratch->Ensure(plan_bytes_);
+  const auto resolve = [&](const Operand& op) -> const float* {
+    if (op.constant != nullptr) return op.constant;
+    if (op.is_dense) return input.dense->data();
+    return reinterpret_cast<const float*>(base + op.offset);
+  };
+
+  EvalInput ins[kMaxStepInputs];
+  for (const Step& step : steps_) {
+    const NodeDef& def = graph_.node(step.node);
+    float* out = reinterpret_cast<float*>(base + step.out.offset);
+    if (step.kind == OpKind::kEmbedLookup) {
+      const int64_t* ids = (*input.categorical)[def.field].data();
+      if (def.hash_buckets > 0) {
+        // Same feature hash EmbeddingBag::Forward applies to raw ids.
+        auto* hashed = reinterpret_cast<int64_t*>(base + step.ids_offset);
+        for (int64_t r = 0; r < batch; ++r) {
+          hashed[r] = static_cast<int64_t>(
+              SplitMix64(static_cast<uint64_t>(ids[r])) %
+              static_cast<uint64_t>(def.hash_buckets));
+        }
+        ids = hashed;
+      }
+      const int64_t dim = def.cols;
+      for (int64_t r = 0; r < batch; ++r) {
+        const int64_t id = ids[r];
+        if (id < 0 || id >= step.table_rows) {
+          return Status::InvalidArgument("embedding id out of range");
+        }
+        std::memcpy(out + r * dim, step.table + id * dim,
+                    static_cast<size_t>(dim) * sizeof(float));
+      }
+      continue;
+    }
+    for (uint32_t i = 0; i < step.in_count; ++i) {
+      const Operand& op = operands_[step.in_begin + i];
+      ins[i] = {resolve(op), op.rows < 0 ? batch : op.rows, op.cols};
+    }
+    const int64_t out_rows = step.out.rows < 0 ? batch : step.out.rows;
+    EvalNodeInto(def, std::span<const EvalInput>(ins, step.in_count),
+                 out_rows, out);
+  }
+  return reinterpret_cast<const float*>(base + output_offset_);
+}
+
+}  // namespace atnn::nn::ir

@@ -1,0 +1,241 @@
+#include "nn/ir/trace.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/macros.h"
+#include "nn/arena.h"
+
+namespace atnn::nn::ir {
+
+namespace detail {
+thread_local bool t_tracing = false;
+}  // namespace detail
+
+bool TracingActive() { return detail::t_tracing; }
+
+namespace {
+
+struct Tracer {
+  Graph graph;
+  /// Node-pointer identity -> graph value id. Pointers are stable for the
+  /// duration of the probe forward (the Vars hold them alive).
+  std::unordered_map<const Node*, int32_t> ids;
+  int64_t probe_batch = 0;
+  int32_t max_field = -1;
+  /// Armed by TraceNoteFieldLookup / TraceNoteDenseInput for the very next
+  /// lookup / constant.
+  int32_t pending_field = -1;
+  int64_t pending_hash = 0;
+  bool pending_dense = false;
+  bool seen_dense = false;
+  bool failed = false;
+  std::string error;
+};
+
+thread_local Tracer* t_tracer = nullptr;
+
+void Fail(const std::string& why) {
+  Tracer* tracer = t_tracer;
+  if (tracer->failed) return;
+  tracer->failed = true;
+  tracer->error = why;
+  // Later hooks become no-ops so one failure doesn't cascade into a pile of
+  // misleading follow-on errors; the probe forward itself runs to completion
+  // on the tape as usual.
+  detail::t_tracing = false;
+}
+
+/// Graph id of `v`, registering unseen leaves as constants. A value produced
+/// by an op that has no trace hook (layer_norm, reductions, ...) is an
+/// unseen non-leaf: that makes the forward untraceable.
+int32_t ValueOf(const Var& v) {
+  Tracer* tracer = t_tracer;
+  const Node* node = v.node().get();
+  const auto it = tracer->ids.find(node);
+  if (it != tracer->ids.end()) return it->second;
+  // Leaves are ad-hoc constants (op "leaf") and parameters (op
+  // "parameter:<name>"); anything else is a compute op with no trace hook.
+  if (!node->is_parameter && node->op != "leaf") {
+    Fail("value produced by untraceable op '" + node->op + "'");
+    return -1;
+  }
+  NodeDef def;
+  def.kind = OpKind::kConstant;
+  def.rows = node->value.rows();
+  def.cols = node->value.cols();
+  if (node->is_parameter) {
+    // Parameters keep owning heap buffers for the model's lifetime; the
+    // compiled plan pins the model through its keepalive, so borrowing the
+    // pointer is safe and copy-free.
+    def.data = node->value.data();
+    def.label = "param";
+  } else {
+    // Any other leaf (StopGradient copies, ad-hoc constants) may live in
+    // the probe's arena: deep-copy into plan-owned storage.
+    def.owned = node->value;  // Tensor copy is deep + owning
+    def.data = def.owned.data();
+    def.label = "const";
+  }
+  const int32_t id = tracer->graph.AddNode(std::move(def));
+  tracer->ids.emplace(node, id);
+  return id;
+}
+
+/// Registers the op's output node. Batch-ness propagates structurally: the
+/// output is batch-sized iff any input is (validated against the probe
+/// batch so a rank-changing op can never masquerade as batch-preserving).
+void Emit(NodeDef def, const Var& out) {
+  Tracer* tracer = t_tracer;
+  if (tracer->failed) return;
+  def.rows = out.rows();
+  def.cols = out.cols();
+  for (const int32_t input : def.inputs) {
+    if (tracer->graph.node(input).batch_rows) def.batch_rows = true;
+  }
+  if (def.batch_rows && def.rows != tracer->probe_batch) {
+    Fail(std::string(OpKindName(def.kind)) +
+         " changed the batch row count; forward is not batch-preserving");
+    return;
+  }
+  const int32_t id = tracer->graph.AddNode(std::move(def));
+  tracer->ids.emplace(out.node().get(), id);
+}
+
+}  // namespace
+
+void TraceUnaryImpl(OpKind kind, const Var& out, const Var& in, float alpha) {
+  NodeDef def;
+  def.kind = kind;
+  def.alpha = alpha;
+  def.inputs = {ValueOf(in)};
+  if (t_tracer->failed) return;
+  Emit(std::move(def), out);
+}
+
+void TraceBinaryImpl(OpKind kind, const Var& out, const Var& a,
+                     const Var& b) {
+  NodeDef def;
+  def.kind = kind;
+  def.inputs = {ValueOf(a), ValueOf(b)};
+  if (t_tracer->failed) return;
+  Emit(std::move(def), out);
+}
+
+void TraceDenseAffineImpl(const Var& out, const Var& x, const Var& w,
+                          const Var& b, Activation act) {
+  NodeDef def;
+  def.kind = OpKind::kDenseAffine;
+  def.act = act;
+  def.inputs = {ValueOf(x), ValueOf(w), ValueOf(b)};
+  if (t_tracer->failed) return;
+  Emit(std::move(def), out);
+}
+
+void TraceConcatImpl(const Var& out, std::span<const Var> parts) {
+  NodeDef def;
+  def.kind = OpKind::kConcatCols;
+  def.inputs.reserve(parts.size());
+  for (const Var& part : parts) def.inputs.push_back(ValueOf(part));
+  if (t_tracer->failed) return;
+  Emit(std::move(def), out);
+}
+
+void TraceSliceImpl(const Var& out, const Var& x, int64_t begin) {
+  NodeDef def;
+  def.kind = OpKind::kSliceCols;
+  def.slice_begin = begin;
+  def.inputs = {ValueOf(x)};
+  if (t_tracer->failed) return;
+  Emit(std::move(def), out);
+}
+
+void TraceEmbedLookupImpl(const Var& out, const Var& table) {
+  Tracer* tracer = t_tracer;
+  if (tracer->pending_field < 0) {
+    Fail("EmbeddingLookup outside EmbeddingBag::Forward (no field binding "
+         "for its ids)");
+    return;
+  }
+  NodeDef def;
+  def.kind = OpKind::kEmbedLookup;
+  def.field = tracer->pending_field;
+  def.hash_buckets = tracer->pending_hash;
+  tracer->max_field = std::max(tracer->max_field, tracer->pending_field);
+  tracer->pending_field = -1;
+  tracer->pending_hash = 0;
+  def.inputs = {ValueOf(table)};
+  if (tracer->failed) return;
+  def.batch_rows = true;  // gathers by runtime ids, one row per batch entry
+  Emit(std::move(def), out);
+}
+
+void TraceConstantImpl(const Var& out) {
+  Tracer* tracer = t_tracer;
+  if (!tracer->pending_dense) return;  // plain constants register lazily
+  tracer->pending_dense = false;
+  if (tracer->seen_dense) {
+    Fail("more than one dense input block in one forward");
+    return;
+  }
+  tracer->seen_dense = true;
+  NodeDef def;
+  def.kind = OpKind::kDenseInput;
+  def.batch_rows = true;
+  def.rows = out.rows();
+  def.cols = out.cols();
+  if (def.rows != tracer->probe_batch) {
+    Fail("dense block row count does not match the probe batch");
+    return;
+  }
+  tracer->graph.set_dense_cols(def.cols);
+  const int32_t id = tracer->graph.AddNode(std::move(def));
+  tracer->ids.emplace(out.node().get(), id);
+}
+
+void TraceNoteFieldLookupImpl(int32_t field, int64_t hash_buckets) {
+  t_tracer->pending_field = field;
+  t_tracer->pending_hash = hash_buckets;
+}
+
+void TraceNoteDenseInputImpl() { t_tracer->pending_dense = true; }
+
+StatusOr<Graph> TraceGraph(int64_t probe_batch,
+                           const std::function<Var()>& forward) {
+  ATNN_CHECK(probe_batch > 0);
+  if (detail::t_tracing || t_tracer != nullptr) {
+    return Status::FailedPrecondition("nested TraceGraph on one thread");
+  }
+  Tracer tracer;
+  tracer.probe_batch = probe_batch;
+  t_tracer = &tracer;
+  detail::t_tracing = true;
+  {
+    // No-grad: the probe must not touch parameter gradients (the model may
+    // be serving concurrently). Arena scope: probe intermediates die here —
+    // which is why the output id is resolved before the scope closes.
+    const NoGradGuard no_grad;
+    const ArenaScope scope;
+    const Var out = forward();
+    if (!tracer.failed) {
+      if (!out.defined()) {
+        Fail("forward returned an undefined Var");
+      } else {
+        const int32_t id = ValueOf(out);
+        if (!tracer.failed) tracer.graph.set_output(id);
+      }
+    }
+  }
+  detail::t_tracing = false;
+  t_tracer = nullptr;
+  if (tracer.failed) {
+    return Status::InvalidArgument("trace failed: " + tracer.error);
+  }
+  tracer.graph.set_num_fields(tracer.max_field + 1);
+  ATNN_RETURN_IF_ERROR(tracer.graph.Validate());
+  return std::move(tracer.graph);
+}
+
+}  // namespace atnn::nn::ir

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "nn/ir/trace.h"
 #include "nn/kernels.h"
 #include "nn/matmul.h"
 
@@ -72,7 +73,9 @@ Var MatMul(const Var& a, const Var& b) {
       }
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceBinary(ir::OpKind::kMatMul, result, a, b);
+  return result;
 }
 
 Var DenseAffine(const Var& x, const Var& w, const Var& b, Activation act) {
@@ -154,7 +157,9 @@ Var DenseAffine(const Var& x, const Var& w, const Var& b, Activation act) {
       }
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceDenseAffine(result, x, w, b, act);
+  return result;
 }
 
 Var Add(const Var& a, const Var& b) {
@@ -170,7 +175,9 @@ Var Add(const Var& a, const Var& b) {
       }
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceBinary(ir::OpKind::kAdd, result, a, b);
+  return result;
 }
 
 Var Sub(const Var& a, const Var& b) {
@@ -282,7 +289,9 @@ Var Scale(const Var& a, float alpha) {
       a_node->has_dense_grad = true;
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceUnary(ir::OpKind::kScale, result, a, alpha);
+  return result;
 }
 
 Var AddBias(const Var& x, const Var& bias) {
@@ -308,7 +317,9 @@ Var AddBias(const Var& x, const Var& bias) {
       }
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceBinary(ir::OpKind::kAddBias, result, x, bias);
+  return result;
 }
 
 Var ScaleRows(const Var& x, const Var& s) {
@@ -350,7 +361,9 @@ Var ScaleRows(const Var& x, const Var& s) {
       }
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceBinary(ir::OpKind::kScaleRows, result, x, s);
+  return result;
 }
 
 Var Sigmoid(const Var& x) {
@@ -376,7 +389,9 @@ Var Sigmoid(const Var& x) {
       x_node->has_dense_grad = true;
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceUnary(ir::OpKind::kSigmoid, result, x);
+  return result;
 }
 
 Var Relu(const Var& x) {
@@ -402,7 +417,9 @@ Var Relu(const Var& x) {
       x_node->has_dense_grad = true;
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceUnary(ir::OpKind::kRelu, result, x);
+  return result;
 }
 
 Var Tanh(const Var& x) {
@@ -426,7 +443,9 @@ Var Tanh(const Var& x) {
       x_node->has_dense_grad = true;
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceUnary(ir::OpKind::kTanh, result, x);
+  return result;
 }
 
 Var LeakyRelu(const Var& x, float slope) {
@@ -454,7 +473,9 @@ Var LeakyRelu(const Var& x, float slope) {
       x_node->has_dense_grad = true;
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceUnary(ir::OpKind::kLeakyRelu, result, x, slope);
+  return result;
 }
 
 Var ConcatCols(std::span<const Var> parts) {
@@ -498,7 +519,9 @@ Var ConcatCols(std::span<const Var> parts) {
       }
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceConcat(result, parts);
+  return result;
 }
 
 Var SliceCols(const Var& x, int64_t begin, int64_t end) {
@@ -525,7 +548,9 @@ Var SliceCols(const Var& x, int64_t begin, int64_t end) {
       x_node->has_dense_grad = true;
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceSlice(result, x, begin);
+  return result;
 }
 
 Var ReduceMean(const Var& x) {
@@ -764,7 +789,9 @@ Var EmbeddingLookup(const Var& table, std::span<const int64_t> ids) {
       }
     };
   }
-  return Var(node);
+  Var result(node);
+  ir::TraceEmbedLookup(result, table);
+  return result;
 }
 
 Var SigmoidBceLossWithLogits(const Var& logits, const Tensor& labels) {

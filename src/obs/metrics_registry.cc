@@ -47,6 +47,14 @@ int64_t Counter::Value() const {
 
 void Gauge::Add(double delta) { AtomicAddDouble(&value_, delta); }
 
+void Gauge::Max(double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 void Histogram::Record(double value) {
   Shard& shard = shards_[ShardIndex()];
   if (std::isnan(value)) {

@@ -55,6 +55,9 @@ class Gauge {
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   /// Relaxed CAS-loop add for accumulating gauges. Lock-free.
   void Add(double delta);
+  /// Relaxed CAS-loop raise-to-at-least: keeps the largest value ever
+  /// observed (high-water marks like arena peak bytes). Lock-free.
+  void Max(double value);
   double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

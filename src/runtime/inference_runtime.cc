@@ -10,6 +10,8 @@
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "nn/arena.h"
+#include "runtime/plan_compiler.h"
 
 namespace atnn::runtime {
 
@@ -104,6 +106,26 @@ StatusOr<uint64_t> InferenceRuntime::Publish(ServingSnapshot snapshot) {
     // common/retry.h) or page someone.
     stats_.RecordPublishRejected();
     return valid;
+  }
+  // Compiled-plan attachment (--atnn_compile). kAuto skips snapshots that
+  // serve through the quantized path (the plan covers the fp32 forward);
+  // kOn attempts the compile regardless so a misconfiguration shows up in
+  // plan.compile_fallback instead of silently serving slow. A compile
+  // failure is never a publish failure: the snapshot goes live on the tape.
+  if (config_.compile_mode != nn::ir::CompileMode::kOff &&
+      snapshot.plan == nullptr && snapshot.model != nullptr &&
+      (config_.compile_mode == nn::ir::CompileMode::kOn ||
+       snapshot.quantized == nullptr)) {
+    auto plan = CompileSnapshotPlan(
+        snapshot, static_cast<int64_t>(config_.batcher.max_batch_size));
+    if (plan.ok()) {
+      snapshot.plan = std::move(plan).value();
+    } else {
+      stats_.RecordPlanCompileFallback();
+    }
+  }
+  if (snapshot.plan != nullptr) {
+    stats_.RecordPlanCompiled(snapshot.plan->plan_bytes());
   }
   const uint64_t version = snapshots_.Publish(std::move(snapshot));
   stats_.RecordSwap();
@@ -324,14 +346,50 @@ void InferenceRuntime::ExecuteBatch(const ServingSnapshot& snapshot,
           }
         }
       } else {
-        const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
-        for (int64_t r = 0; r < vectors.rows(); ++r) {
-          const double score = snapshot.predictor->ScoreVector(
-              vectors.value().row_ptr(r), vectors.cols());
-          if (!std::isfinite(score)) all_finite = false;
-          miss_scores.push_back(score);
+        // Compiled-plan fast path: the pre-planned program touches no graph
+        // nodes and no arena, writing every intermediate at a fixed offset
+        // in this worker's reusable scratch. Any execution failure (shape
+        // drift, out-of-range ids, batch above the plan ceiling) falls back
+        // to the tape walk below — miss scoring never errors because of the
+        // compiler.
+        static thread_local nn::ir::PlanScratch plan_scratch;
+        bool scored = false;
+        if (snapshot.plan != nullptr) {
+          const int64_t miss_batch = static_cast<int64_t>(miss_rows.size());
+          nn::ir::PlanInput plan_input;
+          plan_input.categorical = &block.categorical;
+          plan_input.dense = &block.numeric;
+          const StatusOr<const float*> out =
+              snapshot.plan->Execute(plan_input, miss_batch, &plan_scratch);
+          if (out.ok()) {
+            const int64_t cols = snapshot.plan->output_cols();
+            const float* vectors = out.value();
+            for (int64_t r = 0; r < miss_batch; ++r) {
+              const double score = snapshot.predictor->ScoreVector(
+                  vectors + r * cols, cols);
+              if (!std::isfinite(score)) all_finite = false;
+              miss_scores.push_back(score);
+            }
+            stats_.RecordPlanExecution();
+            scored = true;
+          } else {
+            stats_.RecordPlanExecFallback();
+          }
+        }
+        if (!scored) {
+          const nn::Var vectors = snapshot.model->GeneratorItemVector(block);
+          for (int64_t r = 0; r < vectors.rows(); ++r) {
+            const double score = snapshot.predictor->ScoreVector(
+                vectors.value().row_ptr(r), vectors.cols());
+            if (!std::isfinite(score)) all_finite = false;
+            miss_scores.push_back(score);
+          }
         }
       }
+      // Runtime-path arena telemetry (previously training-only): peak and
+      // reserved bytes of this worker's arena, visible via --metrics_json.
+      stats_.RecordArenaUsage(nn::ThreadArena().HighWaterMark(),
+                              nn::ThreadArena().BytesReserved());
       const double forward_us = score_timer.ElapsedMillis() * 1e3;
       stats_.RecordBatch(miss_rows.size(), forward_us);
       // EWMA (3/4 old, 1/4 new) of the batch forward cost feeds the

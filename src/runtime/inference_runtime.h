@@ -57,6 +57,14 @@ struct RuntimeConfig {
   /// Chaos-testing hooks; disabled (zero-cost) by default.
   FaultInjectionConfig fault_injection;
   BatcherConfig batcher;
+  /// Compiled-plan policy for the cache-miss forward (--atnn_compile,
+  /// DESIGN.md §16). kAuto (default) and kOn compile the generator forward
+  /// at Publish time and serve misses through the pre-planned program; any
+  /// trace/compile/execute failure falls back to the autograd tape and is
+  /// counted (plan.* metrics), never surfaced as an error. kOff always
+  /// walks the tape. A snapshot arriving with a plan already attached
+  /// (cluster slices sharing one compile) is used as-is.
+  nn::ir::CompileMode compile_mode = nn::ir::CompileMode::kAuto;
 
   /// InvalidArgument on: zero workers (requests would hang forever), an
   /// invalid batcher config (see BatcherConfig::Validate), a zero cache

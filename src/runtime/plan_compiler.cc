@@ -1,0 +1,21 @@
+#include "runtime/plan_compiler.h"
+
+#include "core/generator_plan.h"
+
+namespace atnn::runtime {
+
+StatusOr<std::shared_ptr<const nn::ir::CompiledPlan>> CompileSnapshotPlan(
+    const ServingSnapshot& snapshot, int64_t max_batch) {
+  if (snapshot.model == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot has no fp32 model to compile");
+  }
+  if (snapshot.item_profiles == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot has no item profiles to probe the trace with");
+  }
+  return core::CompileGeneratorPlan(*snapshot.model, *snapshot.item_profiles,
+                                    max_batch, snapshot.model);
+}
+
+}  // namespace atnn::runtime

@@ -1,0 +1,29 @@
+#ifndef ATNN_RUNTIME_PLAN_COMPILER_H_
+#define ATNN_RUNTIME_PLAN_COMPILER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "nn/ir/plan.h"
+#include "runtime/snapshot_handle.h"
+
+namespace atnn::runtime {
+
+/// Traces one generator forward g(X_ip) of the snapshot's fp32 model
+/// against a probe block gathered from its item-profile table, runs the
+/// optimization pipeline, and lowers the result to a CompiledPlan sized for
+/// `max_batch` rows (the runtime's micro-batch ceiling). The returned plan
+/// holds a shared_ptr to the model, so it stays valid for as long as any
+/// snapshot references it.
+///
+/// Fails (and the caller keeps serving through the tape) when the snapshot
+/// has no fp32 model or an empty item table to probe with, or when the
+/// forward uses an op outside the IR vocabulary. Failures are expected
+/// configuration states, not errors — callers count them and move on.
+StatusOr<std::shared_ptr<const nn::ir::CompiledPlan>> CompileSnapshotPlan(
+    const ServingSnapshot& snapshot, int64_t max_batch);
+
+}  // namespace atnn::runtime
+
+#endif  // ATNN_RUNTIME_PLAN_COMPILER_H_

@@ -45,8 +45,15 @@ RuntimeStats::RuntimeStats()
       publish_rejected_(registry_.GetCounter("publish_rejected")),
       deadline_expired_(registry_.GetCounter("deadline_expired")),
       degraded_(registry_.GetCounter("degraded")),
+      plan_compiled_(registry_.GetCounter("plan.compiled")),
+      plan_compile_fallback_(registry_.GetCounter("plan.compile_fallback")),
+      plan_executions_(registry_.GetCounter("plan.executions")),
+      plan_exec_fallback_(registry_.GetCounter("plan.exec_fallback")),
       tier_counts_(MakeTierCounters(registry_)),
       queue_depth_(registry_.GetGauge("queue_depth")),
+      plan_reserved_bytes_(registry_.GetGauge("plan.reserved_bytes")),
+      arena_high_water_bytes_(registry_.GetGauge("arena.high_water_bytes")),
+      arena_reserved_bytes_(registry_.GetGauge("arena.reserved_bytes")),
       enqueue_wait_us_(registry_.GetHistogram("enqueue_wait_us")),
       batch_size_(registry_.GetHistogram("batch_size")),
       score_us_(registry_.GetHistogram("score_us")),
@@ -67,6 +74,16 @@ StatsSnapshot RuntimeStats::Snapshot() const {
   snapshot.publish_rejected = publish_rejected_.Value();
   snapshot.deadline_expired = deadline_expired_.Value();
   snapshot.degraded = degraded_.Value();
+  snapshot.plan_compiled = plan_compiled_.Value();
+  snapshot.plan_compile_fallback = plan_compile_fallback_.Value();
+  snapshot.plan_executions = plan_executions_.Value();
+  snapshot.plan_exec_fallback = plan_exec_fallback_.Value();
+  snapshot.plan_reserved_bytes =
+      static_cast<int64_t>(plan_reserved_bytes_.Value());
+  snapshot.arena_high_water_bytes =
+      static_cast<int64_t>(arena_high_water_bytes_.Value());
+  snapshot.arena_reserved_bytes =
+      static_cast<int64_t>(arena_reserved_bytes_.Value());
   for (size_t t = 0; t < kNumServingTiers; ++t) {
     snapshot.tier_counts[t] = tier_counts_[t]->Value();
   }
@@ -118,6 +135,22 @@ std::string RuntimeStats::ToTable(const StatsSnapshot& snapshot,
                 ""});
   table.AddRow({"faults_injected", std::to_string(snapshot.faults_injected),
                 "", "", "", "", ""});
+  table.AddRow({"plan_compiled", std::to_string(snapshot.plan_compiled), "",
+                "", "", "", ""});
+  table.AddRow({"plan_compile_fallback",
+                std::to_string(snapshot.plan_compile_fallback), "", "", "", "",
+                ""});
+  table.AddRow({"plan_executions", std::to_string(snapshot.plan_executions),
+                "", "", "", "", ""});
+  table.AddRow({"plan_exec_fallback",
+                std::to_string(snapshot.plan_exec_fallback), "", "", "", "",
+                ""});
+  table.AddRow({"plan_reserved_bytes",
+                std::to_string(snapshot.plan_reserved_bytes), "", "", "", "",
+                ""});
+  table.AddRow({"arena_high_water_bytes",
+                std::to_string(snapshot.arena_high_water_bytes), "", "", "",
+                "", ""});
   for (size_t t = 0; t < kNumServingTiers; ++t) {
     table.AddRow({std::string("tier_") +
                       ServingTierToString(static_cast<ServingTier>(t)),

@@ -50,6 +50,13 @@ struct StatsSnapshot {
   int64_t deadline_expired = 0; // requests that blew their deadline
   int64_t degraded = 0;         // responses served by a non-fresh tier
   int64_t faults_injected = 0;  // chaos-harness triggers (0 in production)
+  int64_t plan_compiled = 0;          // snapshots published with a compiled plan
+  int64_t plan_compile_fallback = 0;  // publishes that fell back to the tape
+  int64_t plan_executions = 0;        // miss batches scored via compiled plan
+  int64_t plan_exec_fallback = 0;     // plan executions that fell back mid-run
+  int64_t plan_reserved_bytes = 0;    // scratch layout of the current plan
+  int64_t arena_high_water_bytes = 0; // peak thread-arena bytes, any worker
+  int64_t arena_reserved_bytes = 0;   // thread-arena reservation, last worker
   std::array<int64_t, kNumServingTiers> tier_counts = {};
   LogHistogram enqueue_wait_us; // enqueue -> batch formation
   LogHistogram batch_size;      // items per executed micro-batch
@@ -109,6 +116,26 @@ class RuntimeStats {
   void RecordSwap() { swaps_.Increment(); }
   void RecordPublishRejected() { publish_rejected_.Increment(); }
   void RecordDeadlineExpired() { deadline_expired_.Increment(); }
+  /// A snapshot went live with a compiled plan of `reserved_bytes` scratch.
+  void RecordPlanCompiled(size_t reserved_bytes) {
+    plan_compiled_.Increment();
+    plan_reserved_bytes_.Set(static_cast<double>(reserved_bytes));
+  }
+  /// Publish-time compile failed; the snapshot serves through the tape.
+  void RecordPlanCompileFallback() { plan_compile_fallback_.Increment(); }
+  /// One miss batch scored through the compiled plan.
+  void RecordPlanExecution() { plan_executions_.Increment(); }
+  /// A plan execution failed (shape drift, bad ids) and the batch re-ran on
+  /// the tape.
+  void RecordPlanExecFallback() { plan_exec_fallback_.Increment(); }
+  /// Thread-arena usage observed after a forward (peak is kept as a
+  /// high-water mark across workers; the reservation gauge tracks the most
+  /// recent observation). Feeds arena.* into --metrics_json for the runtime
+  /// path, which previously only training telemetry reported.
+  void RecordArenaUsage(size_t high_water_bytes, size_t reserved_bytes) {
+    arena_high_water_bytes_.Max(static_cast<double>(high_water_bytes));
+    arena_reserved_bytes_.Set(static_cast<double>(reserved_bytes));
+  }
   /// Instantaneous admitted-but-unbatched queue depth (gauge).
   void SetQueueDepth(size_t depth) {
     queue_depth_.Set(static_cast<double>(depth));
@@ -139,8 +166,15 @@ class RuntimeStats {
   obs::Counter& publish_rejected_;
   obs::Counter& deadline_expired_;
   obs::Counter& degraded_;
+  obs::Counter& plan_compiled_;
+  obs::Counter& plan_compile_fallback_;
+  obs::Counter& plan_executions_;
+  obs::Counter& plan_exec_fallback_;
   std::array<obs::Counter*, kNumServingTiers> tier_counts_;
   obs::Gauge& queue_depth_;
+  obs::Gauge& plan_reserved_bytes_;
+  obs::Gauge& arena_high_water_bytes_;
+  obs::Gauge& arena_reserved_bytes_;
   obs::Histogram& enqueue_wait_us_;
   obs::Histogram& batch_size_;
   obs::Histogram& score_us_;

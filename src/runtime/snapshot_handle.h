@@ -10,6 +10,7 @@
 #include "core/atnn.h"
 #include "core/popularity.h"
 #include "data/schema.h"
+#include "nn/ir/plan.h"
 #include "quant/quantized_generator.h"
 
 namespace atnn::runtime {
@@ -34,6 +35,14 @@ struct ServingSnapshot {
   /// Cluster slicing (PublishSlice) copies the snapshot struct per shard,
   /// so every shard shares this one artifact by reference.
   std::shared_ptr<const quant::QuantizedGenerator> quantized;
+  /// Optional compiled execution plan for the fp32 generator forward
+  /// (nn/ir, DESIGN.md §16). When set, cache-miss batches score through the
+  /// pre-planned program instead of walking the autograd tape; any
+  /// execution failure falls back to the tape. Normally attached by
+  /// InferenceRuntime::Publish under --atnn_compile=on|auto; cluster
+  /// publication compiles once and shares the plan across shard slices
+  /// (the plan closes over the model, not the item table).
+  std::shared_ptr<const nn::ir::CompiledPlan> plan;
   /// Free-form checkpoint label (e.g. the snapshot file it was loaded from).
   std::string tag;
   /// Assigned by SnapshotHandle::Publish; 0 means "never published".

@@ -1,0 +1,34 @@
+#include "serving/compute_flags.h"
+
+#include "nn/kernels.h"
+
+namespace atnn::serving {
+
+void AddComputeFlags(FlagParser* flags, const std::string& precision_help) {
+  flags->AddString("atnn_kernel", "auto",
+                   "compute backend: auto | scalar | avx2");
+  flags->AddString("atnn_precision", "fp32", precision_help);
+  flags->AddString("atnn_compile", "auto",
+                   "graph-compiled scoring: on | off | auto. 'auto' compiles "
+                   "the generator tower into a pre-planned execution program "
+                   "when eligible (fp32 serving) and falls back to the "
+                   "autograd tape on any trace failure; 'on' always attempts "
+                   "the compile; 'off' always walks the tape");
+}
+
+StatusOr<ComputeOptions> ResolveComputeFlags(const FlagParser& flags) {
+  ComputeOptions options;
+  ATNN_RETURN_IF_ERROR(
+      nn::kernels::SetBackendFromString(flags.GetString("atnn_kernel")));
+  options.backend_name =
+      nn::kernels::BackendName(nn::kernels::ActiveBackend());
+  ATNN_ASSIGN_OR_RETURN(
+      options.precision,
+      quant::ParsePrecision(flags.GetString("atnn_precision")));
+  ATNN_ASSIGN_OR_RETURN(
+      options.compile,
+      nn::ir::ParseCompileMode(flags.GetString("atnn_compile")));
+  return options;
+}
+
+}  // namespace atnn::serving

@@ -1,0 +1,292 @@
+#include "nn/ir/plan.h"
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../core/test_helpers.h"
+#include "core/atnn.h"
+#include "core/generator_plan.h"
+#include "core/popularity.h"
+#include "data/schema.h"
+#include "data/tmall.h"
+#include "nn/tensor.h"
+
+namespace atnn::nn::ir {
+namespace {
+
+TEST(CompileModeTest, ParsesTheFlagVocabulary) {
+  ASSERT_TRUE(ParseCompileMode("off").ok());
+  EXPECT_EQ(ParseCompileMode("off").value(), CompileMode::kOff);
+  EXPECT_EQ(ParseCompileMode("on").value(), CompileMode::kOn);
+  EXPECT_EQ(ParseCompileMode("auto").value(), CompileMode::kAuto);
+  for (const CompileMode mode :
+       {CompileMode::kOff, CompileMode::kOn, CompileMode::kAuto}) {
+    EXPECT_EQ(ParseCompileMode(CompileModeName(mode)).value(), mode);
+  }
+  const auto junk = ParseCompileMode("sometimes");
+  EXPECT_EQ(junk.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(junk.status().ToString().find("--atnn_compile"),
+            std::string::npos);
+}
+
+TEST(PlanScratchTest, GrowsOnceAndStaysAligned) {
+  PlanScratch scratch;
+  EXPECT_EQ(scratch.capacity(), 0u);
+  std::byte* first = scratch.Ensure(100);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(first) % 32, 0u);
+  EXPECT_GE(scratch.capacity(), 100u);
+  // Shrinking requests reuse the same buffer.
+  EXPECT_EQ(scratch.Ensure(50), first);
+  EXPECT_EQ(scratch.Ensure(100), first);
+  // Growing reallocates (still aligned).
+  std::byte* grown = scratch.Ensure(scratch.capacity() + 1);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(grown) % 32, 0u);
+  EXPECT_GE(scratch.capacity(), 101u);
+}
+
+/// Minimal executable graph: one embedding gather off a constant table,
+/// with raw (unhashed) ids so the range check is reachable.
+std::unique_ptr<CompiledPlan> MakeLookupPlan(int64_t vocab, int64_t dim,
+                                             int64_t max_batch) {
+  Graph graph;
+  NodeDef table;
+  table.kind = OpKind::kConstant;
+  table.rows = vocab;
+  table.cols = dim;
+  table.owned = Tensor(vocab, dim);
+  for (int64_t i = 0; i < table.owned.numel(); ++i) {
+    table.owned.data()[i] = static_cast<float>(i);
+  }
+  table.data = table.owned.data();
+  table.label = "emb";
+  const int32_t table_id = graph.AddNode(std::move(table));
+  NodeDef lookup;
+  lookup.kind = OpKind::kEmbedLookup;
+  lookup.inputs = {table_id};
+  lookup.batch_rows = true;
+  lookup.rows = 3;
+  lookup.cols = dim;
+  lookup.field = 0;
+  lookup.hash_buckets = 0;  // raw ids, no feature hash
+  graph.set_output(graph.AddNode(std::move(lookup)));
+  graph.set_num_fields(1);
+  CompiledPlan::Options options;
+  options.max_batch = max_batch;
+  auto plan = CompiledPlan::Compile(std::move(graph), options);
+  ATNN_CHECK(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
+}
+
+TEST(CompiledPlanTest, ExecuteGathersRowsBitwise) {
+  const auto plan = MakeLookupPlan(/*vocab=*/8, /*dim=*/4, /*max_batch=*/8);
+  const std::vector<std::vector<int64_t>> ids = {{7, 0, 3}};
+  PlanScratch scratch;
+  const auto out = plan->Execute({&ids, nullptr}, 3, &scratch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(out.value()[r * 4 + c],
+                static_cast<float>(ids[0][static_cast<size_t>(r)] * 4 + c));
+    }
+  }
+}
+
+TEST(CompiledPlanTest, ExecuteRejectsOutOfRangeRawIds) {
+  const auto plan = MakeLookupPlan(/*vocab=*/8, /*dim=*/4, /*max_batch=*/8);
+  PlanScratch scratch;
+  const std::vector<std::vector<int64_t>> high = {{0, 8, 1}};
+  EXPECT_EQ(plan->Execute({&high, nullptr}, 3, &scratch).status().code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<std::vector<int64_t>> negative = {{-1, 0, 1}};
+  EXPECT_EQ(
+      plan->Execute({&negative, nullptr}, 3, &scratch).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(CompiledPlanTest, ExecuteValidatesBatchAndInputShapes) {
+  const auto plan = MakeLookupPlan(/*vocab=*/8, /*dim=*/4, /*max_batch=*/4);
+  PlanScratch scratch;
+  const std::vector<std::vector<int64_t>> ids = {{1, 2}};
+
+  EXPECT_EQ(plan->Execute({&ids, nullptr}, 0, &scratch).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan->Execute({&ids, nullptr}, 5, &scratch).status().code(),
+            StatusCode::kInvalidArgument);
+  // Missing id fields entirely.
+  EXPECT_EQ(plan->Execute({nullptr, nullptr}, 2, &scratch).status().code(),
+            StatusCode::kInvalidArgument);
+  // Field size disagrees with the batch.
+  EXPECT_EQ(plan->Execute({&ids, nullptr}, 1, &scratch).status().code(),
+            StatusCode::kInvalidArgument);
+  // The matching call still works on the same scratch.
+  EXPECT_TRUE(plan->Execute({&ids, nullptr}, 2, &scratch).ok());
+}
+
+TEST(CompiledPlanTest, CompileRejectsBadOptionsAndGraphs) {
+  {
+    Graph graph;  // no output
+    CompiledPlan::Options options;
+    EXPECT_EQ(
+        CompiledPlan::Compile(std::move(graph), options).status().code(),
+        StatusCode::kInvalidArgument);
+  }
+  {
+    // A non-batch output can never serve per-row scoring.
+    Graph graph;
+    NodeDef c;
+    c.kind = OpKind::kConstant;
+    c.rows = 1;
+    c.cols = 4;
+    c.owned = Tensor(1, 4);
+    c.data = c.owned.data();
+    const int32_t cid = graph.AddNode(std::move(c));
+    NodeDef relu;
+    relu.kind = OpKind::kRelu;
+    relu.inputs = {cid};
+    relu.rows = 1;
+    relu.cols = 4;
+    graph.set_output(graph.AddNode(std::move(relu)));
+    CompiledPlan::Options options;
+    const auto plan = CompiledPlan::Compile(std::move(graph), options);
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+    // (The default pipeline folds relu(const) first, so the diagnostic is
+    // "output is not a computed value" rather than "not batch-shaped" —
+    // either way the output can never serve per-row scoring.)
+    EXPECT_NE(plan.status().ToString().find("output"), std::string::npos)
+        << plan.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end against the real model: the compiled generator reproduces the
+// tape scores bit for bit, and the CLI-facing wrappers honor the compile
+// policy.
+// ---------------------------------------------------------------------------
+
+class GeneratorPlanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::TmallDataset(
+        core::testing_helpers::MakeNormalizedTinyDataset());
+    core::AtnnConfig config;
+    config.tower =
+        core::testing_helpers::TinyTowerConfig(nn::TowerKind::kDeepCross);
+    config.seed = 11;
+    model_ = new core::AtnnModel(*dataset_->user_schema,
+                                 *dataset_->item_profile_schema,
+                                 *dataset_->item_stats_schema, config);
+    const auto group = core::SelectActiveUsers(*dataset_, 64);
+    predictor_ = new core::PopularityPredictor(
+        core::PopularityPredictor::Build(*model_, *dataset_, group));
+  }
+
+  static void TearDownTestSuite() {
+    delete predictor_;
+    predictor_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static data::TmallDataset* dataset_;
+  static core::AtnnModel* model_;
+  static core::PopularityPredictor* predictor_;
+};
+
+data::TmallDataset* GeneratorPlanTest::dataset_ = nullptr;
+core::AtnnModel* GeneratorPlanTest::model_ = nullptr;
+core::PopularityPredictor* GeneratorPlanTest::predictor_ = nullptr;
+
+TEST_F(GeneratorPlanTest, CompiledScoresMatchTheTapeBitwise) {
+  // max_batch below the item count forces multi-chunk execution.
+  const auto plan =
+      core::CompileGeneratorPlan(*model_, dataset_->item_profiles, 16);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT((*plan)->num_steps(), 0u);
+  EXPECT_GT((*plan)->plan_bytes(), 0u);
+  EXPECT_EQ((*plan)->max_batch(), 16);
+  EXPECT_EQ((*plan)->output_cols(), model_->vector_dim());
+  EXPECT_FALSE((*plan)->pass_summary().empty());
+
+  const auto planned = core::ScoreItemsWithPlan(
+      **plan, *predictor_, dataset_->item_profiles, dataset_->new_items);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  const std::vector<double> tape =
+      predictor_->ScoreItems(*model_, *dataset_, dataset_->new_items);
+  ASSERT_EQ(planned->size(), tape.size());
+  for (size_t i = 0; i < tape.size(); ++i) {
+    // Bitwise, not approximately: the plan runs the same kernels in the
+    // same composition as the tape forward.
+    EXPECT_EQ((*planned)[i], tape[i]) << i;
+  }
+}
+
+TEST_F(GeneratorPlanTest, ExecuteRejectsDenseShapeDrift) {
+  const auto plan =
+      core::CompileGeneratorPlan(*model_, dataset_->item_profiles, 4);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const data::BlockBatch block =
+      data::GatherBlock(dataset_->item_profiles, {0, 1});
+  PlanScratch scratch;
+  ASSERT_TRUE(
+      (*plan)->Execute({&block.categorical, &block.numeric}, 2, &scratch)
+          .ok());
+  // A dense block whose width drifted from the traced schema is refused —
+  // this is the signal callers use to fall back to the tape.
+  const Tensor wrong_width(2, block.numeric.cols() + 1);
+  EXPECT_EQ((*plan)
+                ->Execute({&block.categorical, &wrong_width}, 2, &scratch)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*plan)
+                ->Execute({&block.categorical, nullptr}, 2, &scratch)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GeneratorPlanTest, CompileRequiresANonEmptyItemTable) {
+  const data::EntityTable empty;
+  EXPECT_EQ(core::CompileGeneratorPlan(*model_, empty, 16).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(core::CompileGeneratorPlan(*model_, dataset_->item_profiles, 0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GeneratorPlanTest, MaybeCompiledHonorsThePolicy) {
+  const std::vector<double> tape =
+      predictor_->ScoreItems(*model_, *dataset_, dataset_->new_items);
+
+  bool used_plan = true;
+  const std::vector<double> off = core::ScoreItemsMaybeCompiled(
+      CompileMode::kOff, *model_, *predictor_, *dataset_,
+      dataset_->new_items, &used_plan);
+  EXPECT_FALSE(used_plan);
+  EXPECT_EQ(off, tape);
+
+  const std::vector<double> an = core::ScoreItemsMaybeCompiled(
+      CompileMode::kAuto, *model_, *predictor_, *dataset_,
+      dataset_->new_items, &used_plan);
+  EXPECT_TRUE(used_plan);
+  EXPECT_EQ(an, tape);
+
+  const std::vector<double> on = core::ScoreItemsMaybeCompiled(
+      CompileMode::kOn, *model_, *predictor_, *dataset_,
+      dataset_->new_items, &used_plan);
+  EXPECT_TRUE(used_plan);
+  EXPECT_EQ(on, tape);
+}
+
+}  // namespace
+}  // namespace atnn::nn::ir

@@ -1,0 +1,147 @@
+#include "nn/ir/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../core/test_helpers.h"
+#include "core/atnn.h"
+#include "data/schema.h"
+#include "data/tmall.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace atnn::nn::ir {
+namespace {
+
+Tensor Ramp(int64_t rows, int64_t cols, float base) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = base + 0.125f * static_cast<float>(i);
+  }
+  return t;
+}
+
+TEST(IrTraceTest, CapturesRawOpChainAsGoldenText) {
+  auto graph = TraceGraph(2, [] {
+    const Var a = Constant(Ramp(2, 3, 0.0f));
+    const Var w = Constant(Ramp(3, 4, 1.0f));
+    const Var b = Constant(Ramp(1, 4, -1.0f));
+    return Relu(AddBias(MatMul(a, w), b));
+  });
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  // Leaves register lazily in first-use order, compute ops as they fire.
+  EXPECT_EQ(graph->ToText(),
+            "graph: nodes=6 fields=0 dense_cols=-1\n"
+            "%0 = const \"const\" : [2x3]\n"
+            "%1 = const \"const\" : [3x4]\n"
+            "%2 = matmul(%0, %1) : [2x4]\n"
+            "%3 = const \"const\" : [1x4]\n"
+            "%4 = add_bias(%2, %3) : [2x4]\n"
+            "%5 = relu(%4) : [2x4]\n"
+            "output %5\n");
+}
+
+TEST(IrTraceTest, TracesTheGeneratorTowerForward) {
+  const data::TmallDataset dataset =
+      core::testing_helpers::MakeNormalizedTinyDataset();
+  core::AtnnConfig config;
+  config.tower =
+      core::testing_helpers::TinyTowerConfig(nn::TowerKind::kDeepCross);
+  config.seed = 11;
+  const core::AtnnModel model(*dataset.user_schema,
+                              *dataset.item_profile_schema,
+                              *dataset.item_stats_schema, config);
+
+  constexpr int64_t kProbeBatch = 3;
+  const data::BlockBatch probe =
+      data::GatherBlock(dataset.item_profiles, {0, 0, 0});
+  auto graph = TraceGraph(kProbeBatch, [&] {
+    return model.GeneratorItemVector(probe);
+  });
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+
+  // Every categorical field of the item schema feeds one lookup; the dense
+  // block is captured as the batch-varying input, not baked probe values.
+  const auto num_categorical = static_cast<int32_t>(
+      dataset.item_profile_schema->num_categorical());
+  EXPECT_EQ(graph->num_fields(), num_categorical);
+  EXPECT_EQ(graph->dense_cols(),
+            static_cast<int64_t>(dataset.item_profile_schema->num_numeric()));
+  int lookups = 0;
+  int dense_inputs = 0;
+  for (int32_t id = 0; id < graph->size(); ++id) {
+    if (graph->node(id).kind == OpKind::kEmbedLookup) ++lookups;
+    if (graph->node(id).kind == OpKind::kDenseInput) ++dense_inputs;
+  }
+  EXPECT_EQ(lookups, num_categorical);
+  EXPECT_EQ(dense_inputs, 1);
+
+  // The output is the batch of generated item vectors.
+  const NodeDef& out = graph->node(graph->output());
+  EXPECT_TRUE(out.batch_rows);
+  EXPECT_EQ(out.cols, model.vector_dim());
+  EXPECT_TRUE(graph->Validate().ok());
+}
+
+TEST(IrTraceTest, UntraceableOpFailsWithoutSideEffects) {
+  const auto graph = TraceGraph(2, [] {
+    // ReduceMean has no trace hook; consuming its value must fail the
+    // trace with a diagnostic naming the op.
+    return Relu(ReduceMean(Constant(Ramp(2, 3, 0.0f))));
+  });
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(graph.status().ToString().find("untraceable"),
+            std::string::npos)
+      << graph.status().ToString();
+  // The failure path re-arms cleanly: tracing is off and a fresh trace on
+  // the same thread succeeds.
+  EXPECT_FALSE(TracingActive());
+  const auto retry =
+      TraceGraph(2, [] { return Relu(Constant(Ramp(2, 3, 0.0f))); });
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(IrTraceTest, BareEmbeddingLookupOutsideBagFails) {
+  const auto graph = TraceGraph(2, [] {
+    const Var table = Constant(Ramp(8, 4, 0.0f));
+    const std::vector<int64_t> ids = {1, 5};
+    // Without EmbeddingBag::Forward there is no field binding for the ids,
+    // so a compiled plan could never re-gather them at execute time.
+    return EmbeddingLookup(table, ids);
+  });
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(graph.status().ToString().find("EmbeddingBag"),
+            std::string::npos)
+      << graph.status().ToString();
+}
+
+TEST(IrTraceTest, NestedTraceIsFailedPreconditionAndOuterSurvives) {
+  Status inner_status = Status::OK();
+  const auto outer = TraceGraph(2, [&inner_status] {
+    const auto inner =
+        TraceGraph(2, [] { return Relu(Constant(Ramp(2, 2, 0.0f))); });
+    inner_status = inner.status();
+    return Relu(Constant(Ramp(2, 3, 0.0f)));
+  });
+  EXPECT_EQ(inner_status.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(outer.ok()) << outer.status().ToString();
+  EXPECT_EQ(outer->node(outer->output()).kind, OpKind::kRelu);
+  EXPECT_FALSE(TracingActive());
+}
+
+TEST(IrTraceTest, TracingActiveOnlyInsideTheProbeForward) {
+  EXPECT_FALSE(TracingActive());
+  bool active_inside = false;
+  const auto graph = TraceGraph(2, [&active_inside] {
+    active_inside = TracingActive();
+    return Relu(Constant(Ramp(2, 3, 0.0f)));
+  });
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(active_inside);
+  EXPECT_FALSE(TracingActive());
+}
+
+}  // namespace
+}  // namespace atnn::nn::ir

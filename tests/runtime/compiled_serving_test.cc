@@ -1,0 +1,188 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../core/test_helpers.h"
+#include "core/atnn.h"
+#include "core/popularity.h"
+#include "data/schema.h"
+#include "data/tmall.h"
+#include "nn/ir/plan.h"
+#include "quant/quantized_generator.h"
+#include "runtime/inference_runtime.h"
+
+namespace atnn::runtime {
+namespace {
+
+/// Compiled serving through the InferenceRuntime: --atnn_compile policy,
+/// bitwise parity with the tape, and the plan observability counters.
+class CompiledServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::TmallDataset(
+        core::testing_helpers::MakeNormalizedTinyDataset());
+    core::AtnnConfig config;
+    config.tower =
+        core::testing_helpers::TinyTowerConfig(nn::TowerKind::kDeepCross);
+    config.seed = 11;
+    model_ = new core::AtnnModel(*dataset_->user_schema,
+                                 *dataset_->item_profile_schema,
+                                 *dataset_->item_stats_schema, config);
+    const auto group = core::SelectActiveUsers(*dataset_, 64);
+    predictor_ = new core::PopularityPredictor(
+        core::PopularityPredictor::Build(*model_, *dataset_, group));
+  }
+
+  static void TearDownTestSuite() {
+    delete predictor_;
+    predictor_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static ServingSnapshot MakeSnapshot() {
+    ServingSnapshot snapshot;
+    snapshot.model = Unowned(model_);
+    snapshot.predictor = Unowned(predictor_);
+    snapshot.item_profiles = Unowned(&dataset_->item_profiles);
+    snapshot.tag = "compiled-serving-test";
+    return snapshot;
+  }
+
+  static RuntimeConfig ConfigWithMode(nn::ir::CompileMode mode) {
+    RuntimeConfig config;
+    config.num_workers = 2;
+    config.enable_score_cache = false;  // every request runs the forward
+    config.compile_mode = mode;
+    return config;
+  }
+
+  /// Scores every new item synchronously (deterministic single-row misses).
+  static std::vector<double> ScoreAll(InferenceRuntime* runtime) {
+    std::vector<double> scores;
+    scores.reserve(dataset_->new_items.size());
+    for (const int64_t item : dataset_->new_items) {
+      const auto result = runtime->Score(item);
+      ATNN_CHECK(result.ok()) << result.status().ToString();
+      scores.push_back(result.value().score);
+    }
+    return scores;
+  }
+
+  static data::TmallDataset* dataset_;
+  static core::AtnnModel* model_;
+  static core::PopularityPredictor* predictor_;
+};
+
+data::TmallDataset* CompiledServingTest::dataset_ = nullptr;
+core::AtnnModel* CompiledServingTest::model_ = nullptr;
+core::PopularityPredictor* CompiledServingTest::predictor_ = nullptr;
+
+TEST_F(CompiledServingTest, AutoServesThroughThePlanBitwiseEqualToOff) {
+  InferenceRuntime with_plan(ConfigWithMode(nn::ir::CompileMode::kAuto));
+  InferenceRuntime tape_only(ConfigWithMode(nn::ir::CompileMode::kOff));
+  ASSERT_TRUE(with_plan.Publish(MakeSnapshot()).ok());
+  ASSERT_TRUE(tape_only.Publish(MakeSnapshot()).ok());
+
+  const std::vector<double> plan_scores = ScoreAll(&with_plan);
+  const std::vector<double> tape_scores = ScoreAll(&tape_only);
+  ASSERT_EQ(plan_scores.size(), tape_scores.size());
+  for (size_t i = 0; i < plan_scores.size(); ++i) {
+    // Bitwise — the compiled program must be indistinguishable from the
+    // tape in every serving response.
+    EXPECT_EQ(plan_scores[i], tape_scores[i]) << i;
+  }
+
+  with_plan.Shutdown();
+  tape_only.Shutdown();
+  const auto plan_stats = with_plan.stats();
+  EXPECT_EQ(plan_stats.plan_compiled, 1);
+  EXPECT_EQ(plan_stats.plan_compile_fallback, 0);
+  EXPECT_GT(plan_stats.plan_executions, 0);
+  EXPECT_EQ(plan_stats.plan_exec_fallback, 0);
+  EXPECT_GT(plan_stats.plan_reserved_bytes, 0);
+
+  const auto tape_stats = tape_only.stats();
+  EXPECT_EQ(tape_stats.plan_compiled, 0);
+  EXPECT_EQ(tape_stats.plan_executions, 0);
+}
+
+TEST_F(CompiledServingTest, AutoSkipsQuantizedSnapshotsWithoutNoise) {
+  const data::BlockBatch calibration =
+      data::GatherBlock(dataset_->item_profiles, dataset_->new_items);
+  auto quantized = quant::QuantizedGenerator::Build(
+      *model_, calibration, quant::Precision::kInt8);
+  ASSERT_TRUE(quantized.ok()) << quantized.status().ToString();
+
+  ServingSnapshot snapshot;
+  snapshot.quantized = Unowned(&*quantized);
+  snapshot.predictor = Unowned(predictor_);
+  snapshot.item_profiles = Unowned(&dataset_->item_profiles);
+
+  InferenceRuntime runtime(ConfigWithMode(nn::ir::CompileMode::kAuto));
+  ASSERT_TRUE(runtime.Publish(std::move(snapshot)).ok());
+  EXPECT_TRUE(runtime.Score(dataset_->new_items.front()).ok());
+  runtime.Shutdown();
+  // kAuto recognizes the snapshot serves through the quantized path: no
+  // compile attempt, no fallback counted — silence, not noise.
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.plan_compiled, 0);
+  EXPECT_EQ(stats.plan_compile_fallback, 0);
+  EXPECT_EQ(stats.plan_executions, 0);
+  EXPECT_EQ(stats.plan_exec_fallback, 0);
+}
+
+TEST_F(CompiledServingTest, OnCompilesHybridSnapshotButQuantizedStillServes) {
+  const data::BlockBatch calibration =
+      data::GatherBlock(dataset_->item_profiles, dataset_->new_items);
+  auto quantized = quant::QuantizedGenerator::Build(
+      *model_, calibration, quant::Precision::kInt8);
+  ASSERT_TRUE(quantized.ok()) << quantized.status().ToString();
+
+  ServingSnapshot snapshot = MakeSnapshot();
+  snapshot.quantized = Unowned(&*quantized);
+
+  InferenceRuntime runtime(ConfigWithMode(nn::ir::CompileMode::kOn));
+  ASSERT_TRUE(runtime.Publish(std::move(snapshot)).ok());
+  EXPECT_TRUE(runtime.Score(dataset_->new_items.front()).ok());
+  runtime.Shutdown();
+  // kOn attaches the plan even to a hybrid snapshot (so misconfigurations
+  // surface), but the quantized branch still owns execution.
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.plan_compiled, 1);
+  EXPECT_EQ(stats.plan_compile_fallback, 0);
+  EXPECT_EQ(stats.plan_executions, 0);
+  EXPECT_EQ(stats.plan_exec_fallback, 0);
+}
+
+TEST_F(CompiledServingTest, PlanCountersRenderInTheStatsTable) {
+  InferenceRuntime runtime(ConfigWithMode(nn::ir::CompileMode::kAuto));
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+  ASSERT_TRUE(runtime.Score(dataset_->new_items.front()).ok());
+  runtime.Shutdown();
+  const std::string table = RuntimeStats::ToTable(runtime.stats());
+  for (const char* row :
+       {"plan_compiled", "plan_executions", "plan_reserved_bytes"}) {
+    EXPECT_NE(table.find(row), std::string::npos) << row;
+  }
+}
+
+TEST_F(CompiledServingTest, RepublishingRecompilesPerSnapshot) {
+  InferenceRuntime runtime(ConfigWithMode(nn::ir::CompileMode::kAuto));
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+  const std::vector<double> scores = ScoreAll(&runtime);
+  EXPECT_EQ(scores.size(), dataset_->new_items.size());
+  runtime.Shutdown();
+  // Each published snapshot carries its own plan (weights may differ
+  // between versions), and serving still never fell back.
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.plan_compiled, 2);
+  EXPECT_EQ(stats.plan_exec_fallback, 0);
+}
+
+}  // namespace
+}  // namespace atnn::runtime

@@ -8,12 +8,13 @@
 #include <cstdio>
 
 #include "common/flags.h"
-#include "nn/kernels.h"
 #include "core/atnn.h"
 #include "core/feature_adapter.h"
+#include "core/generator_plan.h"
 #include "core/popularity.h"
 #include "data/tmall.h"
 #include "quant/quantized_generator.h"
+#include "serving/compute_flags.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
 
@@ -39,12 +40,11 @@ int Run(int argc, const char* const* argv) {
   flags.AddString("index", "",
                   "optional: serve from this precomputed index instead of "
                   "re-scoring");
-  flags.AddString("atnn_kernel", "auto",
-                  "compute backend: auto | scalar | avx2");
-  flags.AddString("atnn_precision", "fp32",
-                  "re-score through a low-precision generator: fp32 | bf16 "
-                  "| int8. Loads '<snapshot>.<precision>' when atnn_train "
-                  "wrote one, else quantizes the loaded model in-process");
+  serving::AddComputeFlags(
+      &flags,
+      "re-score through a low-precision generator: fp32 | bf16 "
+      "| int8. Loads '<snapshot>.<precision>' when atnn_train "
+      "wrote one, else quantizes the loaded model in-process");
   flags.AddBool("help", false, "print usage");
 
   Status status = flags.Parse(argc - 1, argv + 1);
@@ -57,13 +57,13 @@ int Run(int argc, const char* const* argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
-  status = nn::kernels::SetBackendFromString(flags.GetString("atnn_kernel"));
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  const auto compute_or = serving::ResolveComputeFlags(flags);
+  if (!compute_or.ok()) {
+    std::fprintf(stderr, "%s\n", compute_or.status().ToString().c_str());
     return 2;
   }
-  std::printf("kernel backend: %s\n",
-              nn::kernels::BackendName(nn::kernels::ActiveBackend()));
+  const serving::ComputeOptions& compute = *compute_or;
+  std::printf("kernel backend: %s\n", compute.backend_name.c_str());
   const auto top_k = flags.GetInt64("top_k");
 
   // Fast path: answer from the precomputed index.
@@ -118,27 +118,24 @@ int Run(int argc, const char* const* argv) {
   const auto predictor =
       core::PopularityPredictor::Build(model, dataset, group);
 
-  const auto precision_or =
-      quant::ParsePrecision(flags.GetString("atnn_precision"));
-  if (!precision_or.ok()) {
-    std::fprintf(stderr, "%s\n", precision_or.status().ToString().c_str());
-    return 2;
-  }
   std::vector<double> scores;
-  if (*precision_or == quant::Precision::kFp32) {
-    scores = predictor.ScoreItems(model, dataset, dataset.new_items);
+  bool used_plan = false;
+  if (compute.precision == quant::Precision::kFp32) {
+    scores = core::ScoreItemsMaybeCompiled(compute.compile, model, predictor,
+                                           dataset, dataset.new_items,
+                                           &used_plan);
   } else {
     // Prefer the artifact atnn_train wrote next to the snapshot; fall back
     // to quantizing the freshly loaded model in-process (same calibration
     // slice as the trainer, so the artifacts are interchangeable).
     const std::string quant_path = flags.GetString("snapshot") + "." +
-                                   quant::PrecisionName(*precision_or);
+                                   quant::PrecisionName(compute.precision);
     const data::BlockBatch block =
         data::GatherBlock(dataset.item_profiles, dataset.new_items);
     auto quantized = quant::QuantizedGenerator::Load(quant_path, kModelTag);
     if (!quantized.ok()) {
       quantized = quant::QuantizedGenerator::Build(model, block,
-                                                   *precision_or);
+                                                   compute.precision);
     }
     if (!quantized.ok()) {
       std::fprintf(stderr, "quantization failed: %s\n",
@@ -158,13 +155,14 @@ int Run(int argc, const char* const* argv) {
           predictor.ScoreVector(vectors.row_ptr(r), vectors.cols()));
     }
     std::printf("precision: %s\n",
-                quant::PrecisionName(*precision_or));
+                quant::PrecisionName(compute.precision));
   }
   serving::PopularityIndex index;
   index.BulkLoad(dataset.new_items, scores);
 
-  std::printf("top %lld of %zu new arrivals (re-scored):\n",
-              static_cast<long long>(top_k), scores.size());
+  std::printf("top %lld of %zu new arrivals (re-scored%s):\n",
+              static_cast<long long>(top_k), scores.size(),
+              used_plan ? " via compiled plan" : "");
   int rank = 1;
   for (const auto& [item, score] : index.TopK(top_k)) {
     std::printf("  #%3d item %lld  score %.4f\n", rank++,

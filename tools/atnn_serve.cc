@@ -56,7 +56,6 @@
 #include "cluster/shard_supervisor.h"
 #include "cluster/tenant_registry.h"
 #include "common/flags.h"
-#include "nn/kernels.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/atnn.h"
@@ -66,6 +65,7 @@
 #include "obs/exporter.h"
 #include "quant/quantized_generator.h"
 #include "runtime/inference_runtime.h"
+#include "serving/compute_flags.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
 
@@ -143,13 +143,12 @@ int Run(int argc, const char* const* argv) {
                   "sharded path only: per-tenant admission quota in rows/s; "
                   "over-quota rows are shed tier-tagged through the prior "
                   "(0 = unlimited)");
-  flags.AddString("atnn_kernel", "auto",
-                  "compute backend: auto | scalar | avx2");
-  flags.AddString("atnn_precision", "fp32",
-                  "serving weight format: fp32 | bf16 | int8. Non-fp32 "
-                  "quantizes the generator after the snapshot load and "
-                  "serves through it; the fp32 model is dropped from the "
-                  "published snapshot");
+  serving::AddComputeFlags(
+      &flags,
+      "serving weight format: fp32 | bf16 | int8. Non-fp32 "
+      "quantizes the generator after the snapshot load and "
+      "serves through it; the fp32 model is dropped from the "
+      "published snapshot");
   flags.AddString("metrics_json", "",
                   "append one JSON metrics line to this file every "
                   "--metrics_interval_ms while serving (plus a final line "
@@ -168,13 +167,13 @@ int Run(int argc, const char* const* argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
-  status = nn::kernels::SetBackendFromString(flags.GetString("atnn_kernel"));
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  const auto compute_or = serving::ResolveComputeFlags(flags);
+  if (!compute_or.ok()) {
+    std::fprintf(stderr, "%s\n", compute_or.status().ToString().c_str());
     return 2;
   }
-  std::printf("kernel backend: %s\n",
-              nn::kernels::BackendName(nn::kernels::ActiveBackend()));
+  const serving::ComputeOptions& compute = *compute_or;
+  std::printf("kernel backend: %s\n", compute.backend_name.c_str());
   const std::string admission = flags.GetString("admission");
   if (admission != "block" && admission != "reject") {
     std::fprintf(stderr, "--admission must be 'block' or 'reject'\n");
@@ -234,13 +233,7 @@ int Run(int argc, const char* const* argv) {
 
   // Shared by both serving paths: the snapshot to publish and the
   // Zipf-skewed request stream over the new arrivals.
-  const auto precision_or =
-      quant::ParsePrecision(flags.GetString("atnn_precision"));
-  if (!precision_or.ok()) {
-    std::fprintf(stderr, "%s\n", precision_or.status().ToString().c_str());
-    return 2;
-  }
-  const quant::Precision precision = *precision_or;
+  const quant::Precision precision = compute.precision;
   runtime::ServingSnapshot snapshot;
   std::shared_ptr<const quant::QuantizedGenerator> quantized;
   if (precision == quant::Precision::kFp32) {
@@ -328,6 +321,7 @@ int Run(int argc, const char* const* argv) {
       tenant.sharded.prior = prior;
       tenant.sharded.shard.num_workers =
           static_cast<size_t>(flags.GetInt64("workers"));
+      tenant.sharded.shard.compile_mode = compute.compile;
       tenant.sharded.shard.enable_score_cache = flags.GetBool("score_cache");
       tenant.sharded.shard.batcher.max_batch_size =
           static_cast<size_t>(flags.GetInt64("max_batch"));
@@ -547,6 +541,7 @@ int Run(int argc, const char* const* argv) {
   runtime_config.num_workers =
       static_cast<size_t>(flags.GetInt64("workers"));
   runtime_config.enable_score_cache = flags.GetBool("score_cache");
+  runtime_config.compile_mode = compute.compile;
   runtime_config.default_deadline_us = flags.GetInt64("deadline_us");
   runtime_config.prior = prior;
   runtime_config.batcher.max_batch_size =

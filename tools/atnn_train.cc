@@ -11,14 +11,15 @@
 #include <cstdio>
 
 #include "common/flags.h"
-#include "nn/kernels.h"
 #include "core/atnn.h"
 #include "core/feature_adapter.h"
+#include "core/generator_plan.h"
 #include "core/popularity.h"
 #include "core/trainer.h"
 #include "data/tmall.h"
 #include "obs/metrics_registry.h"
 #include "quant/quantized_generator.h"
+#include "serving/compute_flags.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
 
@@ -48,12 +49,11 @@ int Run(int argc, const char* const* argv) {
                   "output path for the model snapshot");
   flags.AddString("index", "/tmp/atnn_popularity.bin",
                   "output path for the popularity index");
-  flags.AddString("atnn_kernel", "auto",
-                  "compute backend: auto | scalar | avx2");
-  flags.AddString("atnn_precision", "fp32",
-                  "also emit a low-precision serving artifact: fp32 (none) "
-                  "| bf16 | int8. Written next to --snapshot with a "
-                  "'.<precision>' suffix, calibrated on the new arrivals");
+  serving::AddComputeFlags(
+      &flags,
+      "also emit a low-precision serving artifact: fp32 (none) "
+      "| bf16 | int8. Written next to --snapshot with a "
+      "'.<precision>' suffix, calibrated on the new arrivals");
   flags.AddBool("metric_lines", true,
                 "print one machine-readable ATNN_METRICS {json} line per "
                 "epoch (loss gauges, step-time histogram, arena high-water)");
@@ -69,13 +69,13 @@ int Run(int argc, const char* const* argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
-  status = nn::kernels::SetBackendFromString(flags.GetString("atnn_kernel"));
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  const auto compute_or = serving::ResolveComputeFlags(flags);
+  if (!compute_or.ok()) {
+    std::fprintf(stderr, "%s\n", compute_or.status().ToString().c_str());
     return 2;
   }
-  std::printf("kernel backend: %s\n",
-              nn::kernels::BackendName(nn::kernels::ActiveBackend()));
+  const serving::ComputeOptions& compute = *compute_or;
+  std::printf("kernel backend: %s\n", compute.backend_name.c_str());
 
   data::TmallConfig world;
   world.num_users = flags.GetInt64("users");
@@ -129,24 +129,18 @@ int Run(int argc, const char* const* argv) {
   }
   std::printf("snapshot: %s\n", flags.GetString("snapshot").c_str());
 
-  const auto precision_or =
-      quant::ParsePrecision(flags.GetString("atnn_precision"));
-  if (!precision_or.ok()) {
-    std::fprintf(stderr, "%s\n", precision_or.status().ToString().c_str());
-    return 2;
-  }
-  if (*precision_or != quant::Precision::kFp32) {
+  if (compute.precision != quant::Precision::kFp32) {
     const data::BlockBatch calibration =
         data::GatherBlock(dataset.item_profiles, dataset.new_items);
-    auto quantized =
-        quant::QuantizedGenerator::Build(model, calibration, *precision_or);
+    auto quantized = quant::QuantizedGenerator::Build(model, calibration,
+                                                      compute.precision);
     if (!quantized.ok()) {
       std::fprintf(stderr, "quantization failed: %s\n",
                    quantized.status().ToString().c_str());
       return 1;
     }
     const std::string quant_path = flags.GetString("snapshot") + "." +
-                                   quant::PrecisionName(*precision_or);
+                                   quant::PrecisionName(compute.precision);
     status = quantized->Save(quant_path, kModelTag);
     if (!status.ok()) {
       std::fprintf(stderr, "quantized save failed: %s\n",
@@ -165,16 +159,21 @@ int Run(int argc, const char* const* argv) {
   const auto predictor =
       core::PopularityPredictor::Build(model, dataset, group);
   serving::PopularityIndex index;
+  bool used_plan = false;
   index.BulkLoad(dataset.new_items,
-                 predictor.ScoreItems(model, dataset, dataset.new_items));
+                 core::ScoreItemsMaybeCompiled(compute.compile, model,
+                                               predictor, dataset,
+                                               dataset.new_items,
+                                               &used_plan));
   status = index.SaveToFile(flags.GetString("index"));
   if (!status.ok()) {
     std::fprintf(stderr, "index save failed: %s\n",
                  status.ToString().c_str());
     return 1;
   }
-  std::printf("popularity index: %s (%zu new arrivals scored)\n",
-              flags.GetString("index").c_str(), index.size());
+  std::printf("popularity index: %s (%zu new arrivals scored, %s)\n",
+              flags.GetString("index").c_str(), index.size(),
+              used_plan ? "compiled plan" : "tape");
   return 0;
 }
 
