@@ -1,0 +1,427 @@
+// Streaming train-to-serve loop (DESIGN.md §17): replays live traffic
+// against an InferenceRuntime while a StreamingTrainer consumes the
+// market's daily arrival stream, incrementally trains on each cohort's
+// feedback, and hot-swaps a fresh snapshot into the same runtime after
+// every simulated day. Measures the two costs the loop exists to bound:
+//
+//   staleness — per day, AUC of the currently-served weights on the
+//   newest cohort's feedback vs AUC of the weights freshly trained on it
+//   (fresh - served is the price of serving yesterday's model), and
+//
+//   publish glitch — p99 of fresh-tier request latency inside a window
+//   around each hot-swap vs the steady-state p99 far from any publish
+//   (RCU swap + eager cache rotation should make publishes nearly free).
+//
+// Gates:
+//   - zero errored requests while training/publishing runs concurrently
+//     with the replay (hard, always);
+//   - fresh AUC >= served AUC on every valid day (report-only under
+//     --smoke: tiny cohorts make AUC jumpy);
+//   - publish-window fresh p99 <= 1.5x steady-state p99 (report-only
+//     under --smoke: sanitizer scheduling noise swamps tail latency);
+//   - determinism (hard, always): with the streaming switches off, day 0
+//     of a cold-start streaming run has a loss history bitwise-identical
+//     to the public batch trainer run over the same indices and seed —
+//     the incremental path is the historical trainer, not a fork of it;
+//   - liveness of the switches (hard, always): a run with the cross-batch
+//     negative cache and one-backprop alternation ON publishes every day
+//     with finite losses.
+//
+//   $ ./build/bench/bench_streaming            # full budget
+//   $ ./build/bench/bench_streaming --smoke    # CI sanitizer budget
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/popularity.h"
+#include "runtime/inference_runtime.h"
+#include "serving/popularity_index.h"
+#include "sim/arrival_stream.h"
+#include "stream/streaming_trainer.h"
+
+namespace atnn::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  Clock::time_point done;
+  double latency_us = 0.0;
+  runtime::ServingTier tier = runtime::ServingTier::kFresh;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size())));
+  return values[index];
+}
+
+bool HistoriesBitwiseEqual(const std::vector<core::EpochStats>& a,
+                           const std::vector<core::EpochStats>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(),
+                     a.size() * sizeof(core::EpochStats)) == 0;
+}
+
+bool HistoryFinite(const std::vector<core::EpochStats>& history) {
+  for (const auto& epoch : history) {
+    if (!std::isfinite(epoch.loss_i) || !std::isfinite(epoch.loss_g) ||
+        !std::isfinite(epoch.loss_s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct StreamWorld {
+  data::TmallDataset dataset;
+  core::AtnnConfig config;
+  core::TrainOptions train;
+  sim::ArrivalStreamConfig arrivals;
+};
+
+StreamWorld MakeWorld(bool smoke) {
+  StreamWorld world;
+  data::TmallConfig tmall = PaperScaleTmallConfig();
+  tmall.num_users = smoke ? 200 : 1000;
+  tmall.num_items = smoke ? 500 : 2000;
+  tmall.num_new_items = smoke ? 150 : 600;
+  tmall.num_interactions = smoke ? 8000 : 50000;
+  world.dataset = data::GenerateTmallDataset(tmall);
+  core::NormalizeTmallInPlace(&world.dataset);
+
+  world.config.tower = BenchTowerConfig(nn::TowerKind::kDeepCross);
+  world.config.seed = 7;
+
+  world.train = BenchTrainOptions();
+  world.train.epochs = 1;  // per-day incremental pass
+
+  world.arrivals.num_days = smoke ? 3 : 6;
+  world.arrivals.feedback_per_item = smoke ? 20 : 40;
+  world.arrivals.seed = tmall.seed ^ 0xa55a7e11ULL;
+  return world;
+}
+
+/// The live measurement run: concurrent replay + streaming publishes.
+struct LiveRunResult {
+  std::vector<stream::DayReport> reports;
+  std::vector<Clock::time_point> publish_times;
+  std::vector<Sample> samples;
+  int64_t errors = 0;
+  Status stream_status;
+};
+
+LiveRunResult RunLive(const StreamWorld& world, bool smoke) {
+  LiveRunResult result;
+
+  // Yesterday's model: a short batch pretrain on the historical split is
+  // what the streaming loop warm-starts from and the runtime serves first.
+  core::AtnnModel pretrained(*world.dataset.user_schema,
+                             *world.dataset.item_profile_schema,
+                             *world.dataset.item_stats_schema, world.config);
+  core::TrainOptions pretrain = world.train;
+  pretrain.epochs = smoke ? 1 : 2;
+  core::TrainAtnnModel(&pretrained, world.dataset, pretrain);
+  const auto group =
+      core::SelectActiveUsers(world.dataset, smoke ? 100 : 300);
+  const auto predictor =
+      core::PopularityPredictor::Build(pretrained, world.dataset, group);
+  auto prior = std::make_shared<serving::PopularityIndex>();
+  prior->BulkLoad(world.dataset.new_items,
+                  predictor.ScoreItems(pretrained, world.dataset,
+                                       world.dataset.new_items));
+
+  runtime::RuntimeConfig runtime_config;
+  runtime_config.num_workers = 4;
+  runtime_config.batcher.max_batch_size = 64;
+  runtime_config.batcher.max_delay_us = 1000;
+  runtime_config.batcher.queue_capacity = 8192;
+  runtime_config.batcher.admission = runtime::AdmissionPolicy::kBlock;
+  runtime_config.prior = prior;
+  runtime::InferenceRuntime runtime(runtime_config);
+
+  runtime::ServingSnapshot initial;
+  initial.model = runtime::Unowned(&pretrained);
+  initial.predictor = runtime::Unowned(&predictor);
+  initial.item_profiles = runtime::Unowned(&world.dataset.item_profiles);
+  initial.tag = "bench-pretrained";
+  ATNN_CHECK(runtime.Publish(initial).ok());
+
+  // The publish hook timestamps every accepted hot-swap so the glitch
+  // analysis can carve windows around them.
+  std::mutex publish_mutex;
+  stream::StreamingTrainerConfig trainer_config;
+  trainer_config.model = world.config;
+  trainer_config.train = world.train;
+  trainer_config.active_user_group = smoke ? 100 : 300;
+  trainer_config.tag = "bench-stream";
+  stream::StreamingTrainer trainer(
+      world.dataset, trainer_config,
+      [&](runtime::ServingSnapshot fresh) -> StatusOr<uint64_t> {
+        auto published = runtime.Publish(std::move(fresh));
+        if (published.ok()) {
+          std::lock_guard<std::mutex> lock(publish_mutex);
+          result.publish_times.push_back(Clock::now());
+        }
+        return published;
+      });
+  ATNN_CHECK(trainer.WarmStartFrom(pretrained).ok());
+  sim::ArrivalStream arrivals(&world.dataset, world.arrivals);
+
+  // Replay clients: Zipf-skewed blocking scores until the trainer is done
+  // (plus a short steady-state tail after the last publish).
+  const size_t num_clients = smoke ? 2 : 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> errors{0};
+  std::vector<std::vector<Sample>> per_client(num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0xbe7c11ULL + c);
+      auto& samples = per_client[c];
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t item = world.dataset.new_items[rng.Zipf(
+            world.dataset.new_items.size(), 1.1)];
+        const auto start = Clock::now();
+        const auto scored = runtime.Score(item);
+        const auto done = Clock::now();
+        if (!scored.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        samples.push_back(
+            {done,
+             std::chrono::duration<double, std::micro>(done - start).count(),
+             scored.value().tier});
+      }
+    });
+  }
+
+  // The pause between days gives the glitch analysis steady-state samples
+  // between publishes (a window with no publish in sight).
+  const auto pause = std::chrono::milliseconds(smoke ? 60 : 150);
+  while (!arrivals.Done()) {
+    auto report = trainer.Step(&arrivals);
+    if (!report.ok()) {
+      result.stream_status = report.status();
+      break;
+    }
+    result.reports.push_back(std::move(*report));
+    std::this_thread::sleep_for(pause);
+  }
+  std::this_thread::sleep_for(pause);  // steady-state tail
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  runtime.Shutdown();
+
+  for (auto& samples : per_client) {
+    result.samples.insert(result.samples.end(), samples.begin(),
+                          samples.end());
+  }
+  result.errors = errors.load();
+  return result;
+}
+
+/// Cold-start run with a capturing publish hook — no runtime, no traffic.
+/// Used by the determinism gate (switches off) and the switches-on
+/// liveness gate.
+std::vector<stream::DayReport> RunCaptured(const StreamWorld& world,
+                                           bool negatives,
+                                           bool one_backprop,
+                                           data::TmallDataset* dataset_out) {
+  stream::StreamingTrainerConfig trainer_config;
+  trainer_config.model = world.config;
+  trainer_config.train = world.train;
+  trainer_config.train.cross_batch_negatives = negatives;
+  trainer_config.train.one_backprop = one_backprop;
+  trainer_config.active_user_group = 100;
+  uint64_t versions = 0;
+  stream::StreamingTrainer trainer(
+      world.dataset, trainer_config,
+      [&](runtime::ServingSnapshot) -> StatusOr<uint64_t> {
+        return ++versions;
+      });
+  sim::ArrivalStream arrivals(&world.dataset, world.arrivals);
+  auto reports = trainer.Run(&arrivals);
+  ATNN_CHECK(reports.ok()) << reports.status().ToString();
+  if (dataset_out != nullptr) *dataset_out = trainer.dataset();
+  return std::move(*reports);
+}
+
+int Run(bool smoke) {
+  const StreamWorld world = MakeWorld(smoke);
+  std::printf("streaming train-to-serve: %d day(s), %s budget\n\n",
+              world.arrivals.num_days, smoke ? "smoke" : "full");
+
+  const LiveRunResult live = RunLive(world, smoke);
+
+  TablePrinter table("staleness per streamed day");
+  table.SetHeader({"day", "cohort", "feedback", "served_auc", "fresh_auc",
+                   "gap", "train_ms", "publish_ms", "version"});
+  for (const auto& report : live.reports) {
+    table.AddRow({std::to_string(report.day),
+                  std::to_string(report.cohort_items),
+                  std::to_string(report.feedback_rows),
+                  TablePrinter::Num(report.served_auc, 4),
+                  TablePrinter::Num(report.fresh_auc, 4),
+                  TablePrinter::Num(report.staleness_gap, 4),
+                  TablePrinter::Num(report.train_ms, 1),
+                  TablePrinter::Num(report.publish_ms, 2),
+                  report.published
+                      ? std::to_string(report.published_version)
+                      : "REJECTED"});
+  }
+  table.Print();
+
+  // Publish-glitch analysis: fresh-tier latencies inside a window around
+  // each accepted publish vs everything else (steady state).
+  const auto window_before = std::chrono::milliseconds(50);
+  const auto window_after = std::chrono::milliseconds(100);
+  std::vector<double> glitch_us;
+  std::vector<double> steady_us;
+  for (const Sample& sample : live.samples) {
+    if (sample.tier != runtime::ServingTier::kFresh) continue;
+    bool near_publish = false;
+    for (const auto& publish : live.publish_times) {
+      if (sample.done >= publish - window_before &&
+          sample.done <= publish + window_after) {
+        near_publish = true;
+        break;
+      }
+    }
+    (near_publish ? glitch_us : steady_us).push_back(sample.latency_us);
+  }
+  const double glitch_p99 = Percentile(glitch_us, 0.99);
+  const double steady_p99 = Percentile(steady_us, 0.99);
+  std::printf(
+      "\nreplay: %zu answered (%lld errors), %zu publish(es)\n"
+      "fresh p99: %.0fus in publish windows (%zu samples), %.0fus steady "
+      "state (%zu samples), ratio %.2fx\n",
+      live.samples.size(), static_cast<long long>(live.errors),
+      live.publish_times.size(), glitch_p99, glitch_us.size(), steady_p99,
+      steady_us.size(), steady_p99 > 0.0 ? glitch_p99 / steady_p99 : 0.0);
+
+  // Determinism gate: replay day 0 of a cold-start run through the public
+  // batch trainer — same indices, same per-day seed, fresh model from the
+  // same init — and demand a bitwise-equal loss history.
+  data::TmallDataset streamed_dataset;
+  const auto cold_reports = RunCaptured(world, /*negatives=*/false,
+                                        /*one_backprop=*/false,
+                                        &streamed_dataset);
+  bool bitwise_ok = !cold_reports.empty();
+  if (bitwise_ok) {
+    const stream::DayReport& day0 = cold_reports.front();
+    streamed_dataset.train_indices = day0.train_indices;
+    core::AtnnModel replay_model(*streamed_dataset.user_schema,
+                                 *streamed_dataset.item_profile_schema,
+                                 *streamed_dataset.item_stats_schema,
+                                 world.config);
+    core::TrainOptions replay_options = world.train;
+    replay_options.seed =
+        stream::StreamingTrainer::DaySeed(world.train.seed, day0.day);
+    const auto replay_history =
+        core::TrainAtnnModel(&replay_model, streamed_dataset, replay_options);
+    bitwise_ok = HistoriesBitwiseEqual(day0.history, replay_history);
+  }
+
+  // Switches-on liveness: CBNS + one-backprop must train and publish
+  // every day with finite losses.
+  const auto switched_reports =
+      RunCaptured(world, /*negatives=*/true, /*one_backprop=*/true, nullptr);
+  bool switches_ok =
+      switched_reports.size() ==
+      static_cast<size_t>(world.arrivals.num_days);
+  for (const auto& report : switched_reports) {
+    switches_ok = switches_ok && report.published &&
+                  HistoryFinite(report.history);
+  }
+
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const char* what) {
+    std::printf("%s %s\n", ok ? "PASS:" : "FAIL:", what);
+    if (!ok) ++failures;
+  };
+  const auto soft_gate = [&](bool ok, const char* what) {
+    if (smoke) {
+      std::printf("%s %s (report-only under --smoke)\n",
+                  ok ? "PASS:" : "WARN:", what);
+    } else {
+      gate(ok, what);
+    }
+  };
+
+  std::printf("\n");
+  gate(live.stream_status.ok() && live.errors == 0 &&
+           live.reports.size() ==
+               static_cast<size_t>(world.arrivals.num_days),
+       "zero errors with training/publishing concurrent to the replay");
+  bool published_all = true;
+  bool monotonic = true;
+  uint64_t last_version = 0;
+  for (const auto& report : live.reports) {
+    published_all = published_all && report.published;
+    monotonic = monotonic && report.published_version > last_version;
+    last_version = report.published_version;
+  }
+  gate(published_all && monotonic,
+       "every day published, versions strictly monotonic");
+  bool staleness_ok = true;
+  int valid_days = 0;
+  for (const auto& report : live.reports) {
+    if (!report.auc_valid) continue;
+    ++valid_days;
+    staleness_ok = staleness_ok && report.fresh_auc >= report.served_auc;
+  }
+  soft_gate(valid_days > 0 && staleness_ok,
+            "fresh AUC >= served AUC on every valid day (the publish "
+            "closes a real staleness gap)");
+  const bool glitch_measurable =
+      glitch_us.size() >= 50 && steady_us.size() >= 50;
+  soft_gate(glitch_measurable && glitch_p99 <= 1.5 * steady_p99,
+            "publish-window fresh p99 <= 1.5x steady state");
+  gate(bitwise_ok,
+       "switches off: day-0 streamed loss history bitwise-equal to the "
+       "batch trainer over the same indices and seed");
+  gate(switches_ok,
+       "cross-batch negatives + one-backprop: every day published with "
+       "finite losses");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace atnn::bench
+
+int main(int argc, char** argv) {
+  atnn::FlagParser flags(
+      "Streaming train-to-serve loop: staleness and publish-glitch "
+      "benchmark");
+  flags.AddBool("smoke", false,
+                "small world + stream, report-only staleness and tail "
+                "gates, for CI sanitizer jobs");
+  const atnn::Status status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  return atnn::bench::Run(flags.GetBool("smoke"));
+}

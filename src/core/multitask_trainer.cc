@@ -13,6 +13,9 @@ namespace atnn::core {
 std::vector<MultiTaskEpochStats> TrainMultiTaskAtnn(
     MultiTaskAtnnModel* model, const data::ElemeDataset& dataset,
     const TrainOptions& options) {
+  const Status options_valid = options.Validate();
+  ATNN_CHECK(options_valid.ok())
+      << "invalid TrainOptions: " << options_valid.ToString();
   if (dataset.train_indices.empty()) {
     ATNN_LOG(Warning) << "TrainMultiTaskAtnn: empty train split, nothing to "
                          "do; returning empty history";

@@ -1,0 +1,45 @@
+#include "core/negative_cache.h"
+
+#include "common/logging.h"
+
+namespace atnn::core {
+
+void NegativeCache::Push(const nn::Tensor& item_vectors) {
+  if (item_vectors.rows() == 0) return;
+  if (dim_ == 0) {
+    dim_ = item_vectors.cols();
+  } else {
+    ATNN_CHECK_EQ(dim_, item_vectors.cols());
+  }
+  while (fifo_.size() >= capacity_) {
+    total_rows_ -= fifo_.front().rows;
+    fifo_.pop_front();
+  }
+  Batch batch;
+  batch.rows = item_vectors.rows();
+  batch.data.assign(item_vectors.row_ptr(0),
+                    item_vectors.row_ptr(0) + item_vectors.numel());
+  total_rows_ += batch.rows;
+  fifo_.push_back(std::move(batch));
+}
+
+nn::Tensor NegativeCache::GatherTransposed() const {
+  if (total_rows_ == 0) return nn::Tensor();
+  nn::Tensor out(dim_, total_rows_);
+  int64_t col = 0;
+  for (const Batch& batch : fifo_) {
+    for (int64_t r = 0; r < batch.rows; ++r, ++col) {
+      const float* row = batch.data.data() + r * dim_;
+      for (int64_t d = 0; d < dim_; ++d) out.at(d, col) = row[d];
+    }
+  }
+  return out;
+}
+
+void NegativeCache::Clear() {
+  fifo_.clear();
+  dim_ = 0;
+  total_rows_ = 0;
+}
+
+}  // namespace atnn::core

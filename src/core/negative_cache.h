@@ -1,0 +1,66 @@
+#ifndef ATNN_CORE_NEGATIVE_CACHE_H_
+#define ATNN_CORE_NEGATIVE_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace atnn::core {
+
+/// FIFO cache of recent-batch item embeddings for cross-batch negative
+/// sampling (CBNS, arXiv:2110.15154). Each training step pushes the
+/// batch's generated item vectors (detached — the cache holds plain
+/// floats, never graph nodes); subsequent steps reuse the cached vectors
+/// as extra label-0 "impressions" against the current batch's user
+/// vectors, so every step sees capacity-many batches of negatives at the
+/// cost of one matmul instead of capacity-many forward passes. The cached
+/// embeddings are slightly stale by construction; CBNS's observation is
+/// that embeddings drift slowly enough across adjacent steps for stale
+/// negatives to be nearly free signal.
+///
+/// Storage is std::vector<float> on purpose: training steps run inside an
+/// nn::ArenaScope, where Tensor buffers are step-scoped — a cached Tensor
+/// would dangle at the step's rewind. Plain vectors always heap-allocate
+/// and so survive across steps (and across incremental training calls).
+///
+/// Not thread-safe: owned and used by one training loop. Contents persist
+/// across incremental calls on purpose — in the streaming trainer, day
+/// d+1's first batches see day d's tail cohort as negatives.
+class NegativeCache {
+ public:
+  explicit NegativeCache(size_t capacity_batches = 4)
+      : capacity_(capacity_batches == 0 ? 1 : capacity_batches) {}
+
+  /// Enqueues one batch of item vectors ([b, d] rows), evicting the oldest
+  /// batch beyond capacity. All pushed batches must share `d`.
+  void Push(const nn::Tensor& item_vectors);
+
+  /// All cached vectors as one [d, total] matrix — transposed so it drops
+  /// straight into MatMul(user_vec [m, d], negatives [d, total]) as the
+  /// logits of m*total virtual non-click impressions. Returns a 0x0
+  /// tensor when empty. (The returned Tensor may live in the caller's
+  /// arena scope; it is meant to be consumed within the step.)
+  nn::Tensor GatherTransposed() const;
+
+  /// Total cached vectors across all resident batches.
+  int64_t total_rows() const { return total_rows_; }
+  size_t batches() const { return fifo_.size(); }
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  struct Batch {
+    int64_t rows = 0;
+    std::vector<float> data;  // row-major [rows, dim]
+  };
+  size_t capacity_;
+  std::deque<Batch> fifo_;
+  int64_t dim_ = 0;
+  int64_t total_rows_ = 0;
+};
+
+}  // namespace atnn::core
+
+#endif  // ATNN_CORE_NEGATIVE_CACHE_H_

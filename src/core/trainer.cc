@@ -1,15 +1,62 @@
 #include "core/trainer.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "common/prefetcher.h"
 #include "common/rng.h"
 #include "core/train_telemetry.h"
 #include "metrics/metrics.h"
 #include "nn/arena.h"
+#include "nn/autograd.h"
 #include "nn/optimizer.h"
 #include "obs/trace_span.h"
 
 namespace atnn::core {
+
+Status TrainOptions::Validate() const {
+  if (epochs <= 0) {
+    return Status::InvalidArgument("epochs must be >= 1");
+  }
+  if (batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (!std::isfinite(learning_rate) || learning_rate < 0.0f) {
+    return Status::InvalidArgument(
+        "learning_rate must be finite and >= 0");
+  }
+  if (!std::isfinite(lr_decay_per_epoch) || lr_decay_per_epoch <= 0.0f) {
+    return Status::InvalidArgument(
+        "lr_decay_per_epoch must be finite and > 0");
+  }
+  if (!std::isfinite(clip_norm) || clip_norm < 0.0f) {
+    return Status::InvalidArgument("clip_norm must be finite and >= 0");
+  }
+  if (!std::isfinite(weight_decay) || weight_decay < 0.0f) {
+    return Status::InvalidArgument("weight_decay must be finite and >= 0");
+  }
+  if (!std::isfinite(negative_weight) || negative_weight < 0.0f) {
+    return Status::InvalidArgument(
+        "negative_weight must be finite and >= 0");
+  }
+  if (cross_batch_negatives && negative_cache == nullptr) {
+    return Status::InvalidArgument(
+        "cross_batch_negatives requires a negative_cache");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Aborting wrapper shared by the vector-returning trainer entry points
+/// (they predate Status plumbing; the StreamingTrainer path validates the
+/// same options and returns the Status instead).
+void CheckTrainOptions(const TrainOptions& options) {
+  const Status valid = options.Validate();
+  ATNN_CHECK(valid.ok()) << "invalid TrainOptions: " << valid.ToString();
+}
+
+}  // namespace
 
 std::vector<std::vector<int64_t>> MakeBatches(
     const std::vector<int64_t>& indices, int batch_size) {
@@ -70,6 +117,7 @@ std::vector<double> MergeChunks(std::vector<std::vector<double>>* chunks,
 std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
                                            const data::TmallDataset& dataset,
                                            const TrainOptions& options) {
+  CheckTrainOptions(options);
   if (dataset.train_indices.empty()) {
     ATNN_LOG(Warning) << "TrainTwoTowerModel: empty train split, nothing to "
                          "do; returning empty history";
@@ -135,9 +183,17 @@ std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
 std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
                                        const data::TmallDataset& dataset,
                                        const TrainOptions& options) {
-  if (dataset.train_indices.empty()) {
-    ATNN_LOG(Warning) << "TrainAtnnModel: empty train split, nothing to do; "
-                         "returning empty history";
+  return TrainAtnnOnIndices(model, dataset, dataset.train_indices, options);
+}
+
+std::vector<EpochStats> TrainAtnnOnIndices(AtnnModel* model,
+                                           const data::TmallDataset& dataset,
+                                           std::span<const int64_t> indices,
+                                           const TrainOptions& options) {
+  CheckTrainOptions(options);
+  if (indices.empty()) {
+    ATNN_LOG(Warning) << "TrainAtnnOnIndices: empty index set, nothing to "
+                         "do; returning empty history";
     return {};
   }
   // Two optimizers over disjoint parameter groups, per Algorithm 1.
@@ -151,9 +207,13 @@ std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
   const std::vector<nn::Parameter*> all_params = model->Parameters();
 
   Rng rng(options.seed);
-  std::vector<int64_t> order = dataset.train_indices;
+  std::vector<int64_t> order(indices.begin(), indices.end());
   std::vector<EpochStats> history;
   TrainTelemetry telemetry(options.metrics, options.emit_metric_lines);
+  // Global step counter across epochs — the one-backprop alternation must
+  // not reset at epoch boundaries or odd-step-count epochs would starve
+  // one tower.
+  int64_t global_step = 0;
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     const auto epoch_start = TrainTelemetry::Now();
@@ -171,54 +231,97 @@ std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
           return data::MakeCtrBatch(dataset, batches[i]);
         });
     EpochStats stats;
-    int64_t steps = 0;
+    int64_t steps_d = 0;
+    int64_t steps_g = 0;
     while (batches_ahead.HasNext()) {
       const data::CtrBatch batch = batches_ahead.Next();
       const obs::ScopedTimer step_timer(telemetry.step_sink());
       telemetry.RecordStep();
       // One arena scope spans both half-steps; see TrainTwoTowerModel.
       const nn::ArenaScope arena_scope;
+      // One-backprop alternation: with the switch on, each batch runs a
+      // single half-step (even global steps train D, odd train G); off,
+      // both run — the historical Algorithm 1 schedule.
+      const bool run_d = !options.one_backprop || global_step % 2 == 0;
+      const bool run_g = !options.one_backprop || global_step % 2 == 1;
+      ++global_step;
 
-      // --- D step: minimize L_i through the encoder path. ---
-      nn::ZeroAllGrads(all_params);
-      nn::Var user_vec = model->UserVector(batch.user);
-      nn::Var enc_vec =
-          model->EncoderItemVector(batch.item_profile, batch.item_stats);
-      nn::Var loss_i = nn::SigmoidBceLossWithLogits(
-          model->EncoderLogits(enc_vec, user_vec), batch.labels);
-      nn::Backward(loss_i);
-      if (options.clip_norm > 0.0f) {
-        optimizer_d.ClipGradNorm(options.clip_norm);
+      if (run_d) {
+        // --- D step: minimize L_i through the encoder path. ---
+        nn::ZeroAllGrads(all_params);
+        nn::Var user_vec = model->UserVector(batch.user);
+        nn::Var enc_vec =
+            model->EncoderItemVector(batch.item_profile, batch.item_stats);
+        nn::Var loss_i = nn::SigmoidBceLossWithLogits(
+            model->EncoderLogits(enc_vec, user_vec), batch.labels);
+        nn::Var d_objective = loss_i;
+        if (options.cross_batch_negatives &&
+            options.negative_cache->total_rows() > 0) {
+          // CBNS: the cached generated vectors of recent batches act as
+          // extra label-0 impressions against this batch's users. The
+          // cached side enters as a constant, so the gradient reshapes
+          // only the user tower — the tower this half-step owns; the
+          // cache itself is refreshed by the G step below. loss_i (the
+          // reported stat) stays the pure CTR log loss.
+          nn::Var neg_logits =
+              nn::MatMul(user_vec,
+                         nn::Constant(
+                             options.negative_cache->GatherTransposed()));
+          nn::Var loss_neg = nn::SigmoidBceLossWithLogits(
+              neg_logits,
+              nn::Tensor::Zeros(batch.labels.rows(),
+                                options.negative_cache->total_rows()));
+          d_objective =
+              nn::Add(loss_i, nn::Scale(loss_neg, options.negative_weight));
+        }
+        nn::Backward(d_objective);
+        if (options.clip_norm > 0.0f) {
+          optimizer_d.ClipGradNorm(options.clip_norm);
+        }
+        optimizer_d.Step();
+        stats.loss_i += loss_i.value().scalar();
+        ++steps_d;
       }
-      optimizer_d.Step();
 
-      // --- G step: minimize L_g + lambda * L_s. ---
-      nn::ZeroAllGrads(all_params);
-      // Recompute with updated discriminator weights; the user vector and
-      // encoder target are treated as fixed inputs in this half-step.
-      nn::Var user_vec_g = model->UserVector(batch.user);
-      nn::Var enc_vec_g =
-          model->EncoderItemVector(batch.item_profile, batch.item_stats);
-      nn::Var gen_vec = model->GeneratorItemVector(batch.item_profile);
-      nn::Var loss_g = nn::SigmoidBceLossWithLogits(
-          model->GeneratorLogits(gen_vec, user_vec_g), batch.labels);
-      nn::Var loss_s = model->SimilarityLoss(gen_vec, enc_vec_g);
-      nn::Var total = nn::Add(loss_g, nn::Scale(loss_s,
-                                                model->config().lambda));
-      nn::Backward(total);
-      if (options.clip_norm > 0.0f) {
-        optimizer_g.ClipGradNorm(options.clip_norm);
+      if (run_g) {
+        // --- G step: minimize L_g + lambda * L_s. ---
+        nn::ZeroAllGrads(all_params);
+        // Recompute with updated discriminator weights; the user vector
+        // and encoder target are treated as fixed inputs in this
+        // half-step.
+        nn::Var user_vec_g = model->UserVector(batch.user);
+        nn::Var enc_vec_g =
+            model->EncoderItemVector(batch.item_profile, batch.item_stats);
+        nn::Var gen_vec = model->GeneratorItemVector(batch.item_profile);
+        nn::Var loss_g = nn::SigmoidBceLossWithLogits(
+            model->GeneratorLogits(gen_vec, user_vec_g), batch.labels);
+        nn::Var loss_s = model->SimilarityLoss(gen_vec, enc_vec_g);
+        nn::Var total = nn::Add(loss_g, nn::Scale(loss_s,
+                                                  model->config().lambda));
+        nn::Backward(total);
+        if (options.clip_norm > 0.0f) {
+          optimizer_g.ClipGradNorm(options.clip_norm);
+        }
+        optimizer_g.Step();
+        if (options.cross_batch_negatives) {
+          // Detach and enqueue this batch's generated vectors for future
+          // steps (the cache copies to the heap; gen_vec itself is
+          // arena-scoped).
+          options.negative_cache->Push(gen_vec.value());
+        }
+        stats.loss_g += loss_g.value().scalar();
+        stats.loss_s += loss_s.value().scalar();
+        ++steps_g;
       }
-      optimizer_g.Step();
-
-      stats.loss_i += loss_i.value().scalar();
-      stats.loss_g += loss_g.value().scalar();
-      stats.loss_s += loss_s.value().scalar();
-      ++steps;
     }
-    stats.loss_i /= static_cast<double>(steps);
-    stats.loss_g /= static_cast<double>(steps);
-    stats.loss_s /= static_cast<double>(steps);
+    // With one_backprop each loss averages over the half-steps that
+    // actually ran; with it off, steps_d == steps_g == the batch count and
+    // the arithmetic is bit-for-bit the historical division.
+    if (steps_d > 0) stats.loss_i /= static_cast<double>(steps_d);
+    if (steps_g > 0) {
+      stats.loss_g /= static_cast<double>(steps_g);
+      stats.loss_s /= static_cast<double>(steps_g);
+    }
     history.push_back(stats);
     telemetry.EndEpoch(epoch, TrainTelemetry::MsSince(epoch_start),
                        {{"loss_i", stats.loss_i},

@@ -4,9 +4,11 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
 #include "core/atnn.h"
+#include "core/negative_cache.h"
 #include "core/two_tower.h"
 #include "data/normalize.h"
 #include "data/tmall.h"
@@ -42,6 +44,39 @@ struct TrainOptions {
   /// With `metrics` set, print one "ATNN_METRICS {json}" line per epoch
   /// (the machine-readable twin of `verbose`; atnn_train turns this on).
   bool emit_metric_lines = false;
+
+  // --- Streaming/incremental switches (DESIGN.md §17). Both default off,
+  // and off means the ATNN loop builds exactly the historical graphs in
+  // the historical order — loss histories stay bitwise-identical to
+  // pre-switch builds.
+
+  /// Cross-batch negative sampling (CBNS, arXiv:2110.15154): add the
+  /// embeddings cached in `negative_cache` as extra label-0 logits against
+  /// the current batch's user vectors in the D step, and push each batch's
+  /// generated item vectors into the cache after the G step. Requires
+  /// `negative_cache`.
+  bool cross_batch_negatives = false;
+  /// Weight of the cached-negative BCE term in the D-step loss.
+  float negative_weight = 0.1f;
+  /// Embedding FIFO backing cross_batch_negatives (not owned). Contents
+  /// persist across calls on purpose: in the streaming trainer, day d+1's
+  /// first batches see day d's tail cohort as negatives.
+  NegativeCache* negative_cache = nullptr;
+  /// One Backpropagation (arXiv:2403.18227): run only one adversarial
+  /// half-step per batch — even global steps take the D step, odd steps
+  /// the G step — instead of both. Gradient flows to one tower per step,
+  /// halving the per-batch backward cost; the alternation preserves the
+  /// adversarial schedule at epoch scale.
+  bool one_backprop = false;
+
+  /// InvalidArgument on junk that today trains garbage silently:
+  /// non-positive epochs/batch_size (zero-step "histories"), non-finite or
+  /// negative learning_rate (NaN parameters by step two), non-finite or
+  /// non-positive lr_decay_per_epoch, non-finite or negative
+  /// clip_norm/weight_decay/negative_weight, and cross_batch_negatives
+  /// without a cache. Every trainer entry point checks this and aborts on
+  /// failure (the StreamingTrainer surfaces it as a Status instead).
+  Status Validate() const;
 };
 
 /// Per-epoch averages of the three paper losses (unused entries are 0).
@@ -63,6 +98,20 @@ std::vector<EpochStats> TrainTwoTowerModel(TwoTowerModel* model,
 std::vector<EpochStats> TrainAtnnModel(AtnnModel* model,
                                        const data::TmallDataset& dataset,
                                        const TrainOptions& options);
+
+/// The incremental entry point behind TrainAtnnModel: same Algorithm 1
+/// loop, but over an explicit interaction-index set instead of the
+/// dataset's train split. The streaming trainer calls this once per
+/// arrival-stream day with the day's cohort feedback (plus optional
+/// replay), warm-starting from the weights the previous day left in
+/// `model`. Optimizer moments are rebuilt per call (periodic-retrain
+/// semantics: warm weights, fresh Adam state). TrainAtnnModel(model,
+/// dataset, options) is exactly TrainAtnnOnIndices over
+/// dataset.train_indices — bitwise, not just statistically.
+std::vector<EpochStats> TrainAtnnOnIndices(AtnnModel* model,
+                                           const data::TmallDataset& dataset,
+                                           std::span<const int64_t> indices,
+                                           const TrainOptions& options);
 
 /// Which scoring path to evaluate.
 enum class CtrPath {

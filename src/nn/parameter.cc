@@ -1,5 +1,6 @@
 #include "nn/parameter.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace atnn::nn {
@@ -67,6 +68,35 @@ Status LoadParameters(const std::vector<Parameter*>& params,
       return Status::Corruption("shape mismatch for " + name);
     }
     param->value() = Tensor(rows, cols, std::move(data));
+  }
+  return Status::OK();
+}
+
+Status CopyParameterValues(const std::vector<Parameter*>& src,
+                           const std::vector<Parameter*>& dst) {
+  if (src.size() != dst.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: " + std::to_string(src.size()) + " vs " +
+        std::to_string(dst.size()));
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i]->name() != dst[i]->name()) {
+      return Status::InvalidArgument("parameter order mismatch at " +
+                                     std::to_string(i) + ": " +
+                                     src[i]->name() + " vs " +
+                                     dst[i]->name());
+    }
+    if (src[i]->rows() != dst[i]->rows() ||
+        src[i]->cols() != dst[i]->cols()) {
+      return Status::InvalidArgument("shape mismatch for " + src[i]->name());
+    }
+  }
+  // Validate-then-copy: a mismatch reported above leaves dst untouched.
+  for (size_t i = 0; i < src.size(); ++i) {
+    const Tensor& from = src[i]->value();
+    Tensor& to = dst[i]->value();
+    std::copy(from.row_ptr(0), from.row_ptr(0) + from.numel(),
+              to.row_ptr(0));
   }
   return Status::OK();
 }

@@ -76,6 +76,15 @@ void SaveParameters(const std::vector<Parameter*>& params, BinaryWriter* writer)
 Status LoadParameters(const std::vector<Parameter*>& params,
                       BinaryReader* reader);
 
+/// Copies values src[i] -> dst[i]. The lists must align pairwise in name
+/// and shape — CollectParameters emits a structural order, so two models
+/// built from the same schemas + config align exactly. Gradients and any
+/// optimizer state attached to dst are untouched; this is the warm-start /
+/// publish-a-copy primitive of the streaming trainer (live snapshots must
+/// never alias a model a training loop is mutating).
+Status CopyParameterValues(const std::vector<Parameter*>& src,
+                           const std::vector<Parameter*>& dst);
+
 }  // namespace atnn::nn
 
 #endif  // ATNN_NN_PARAMETER_H_

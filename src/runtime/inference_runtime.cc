@@ -129,7 +129,30 @@ StatusOr<uint64_t> InferenceRuntime::Publish(ServingSnapshot snapshot) {
   }
   const uint64_t version = snapshots_.Publish(std::move(snapshot));
   stats_.RecordSwap();
+  EvictRetiredCacheGenerations(version);
   return version;
+}
+
+void InferenceRuntime::EvictRetiredCacheGenerations(
+    uint64_t published_version) {
+  if (!config_.enable_score_cache) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // A concurrent publisher that won the version race already rotated past
+  // us; this call's generation bookkeeping is obsolete.
+  if (published_version <= cache_version_) return;
+  if (cache_version_ + 1 == published_version) {
+    // The just-retired generation serves one more version as the
+    // stale-while-revalidate tier.
+    stale_cache_ = std::move(score_cache_);
+    stale_version_ = cache_version_;
+  } else {
+    // More than one version behind (publishes raced, or nothing was ever
+    // scored): both retained generations are older than the stale window.
+    stale_cache_.clear();
+    stale_version_ = published_version - 1;
+  }
+  score_cache_.clear();
+  cache_version_ = published_version;
 }
 
 std::future<StatusOr<ScoreResult>> InferenceRuntime::ScoreAsync(
@@ -441,10 +464,11 @@ size_t InferenceRuntime::LookupCached(uint64_t version,
   if (!config_.enable_score_cache) return 0;
   std::lock_guard<std::mutex> lock(cache_mutex_);
   if (version > cache_version_) {
-    // First batch on a freshly published snapshot: rotate the memoized
-    // scores into the stale generation. They are dead for fresh serving
-    // but remain the best available answer in degraded mode
-    // (stale-while-revalidate); the generation before them is dropped.
+    // Defensive rotation. Publish() rotates eagerly via
+    // EvictRetiredCacheGenerations, so a batch normally never outruns the
+    // cache version; this branch only fires in the window between
+    // snapshots_.Publish making the version visible and the publisher
+    // reacquiring cache_mutex_.
     stale_cache_ = std::move(score_cache_);
     stale_version_ = cache_version_;
     score_cache_.clear();
@@ -463,6 +487,17 @@ size_t InferenceRuntime::LookupCached(uint64_t version,
     ++hits;
   }
   return hits;
+}
+
+InferenceRuntime::CacheGenerations
+InferenceRuntime::ScoreCacheGenerationsForTest() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheGenerations view;
+  view.fresh_version = cache_version_;
+  view.fresh_entries = score_cache_.size();
+  view.stale_version = stale_version_;
+  view.stale_entries = stale_cache_.size();
+  return view;
 }
 
 void InferenceRuntime::InsertCached(uint64_t version,
@@ -487,9 +522,10 @@ ScoreResult InferenceRuntime::DegradedScore(int64_t item_row) {
     auto it = score_cache_.find(item_row);
     if (it != score_cache_.end()) {
       // A cache hit at the published version is the exact score — serving
-      // it without a forward pass is not a degradation. Rotation is lazy
-      // (first batch after a publish), so the live map can briefly hold the
-      // previous version's scores: those are stale, and tagged as such.
+      // it without a forward pass is not a degradation. In the brief
+      // window between a publish becoming visible and its eager rotation
+      // taking the cache mutex, the live map can still hold the previous
+      // version's scores: those are stale, and tagged as such.
       result.score = it->second;
       result.snapshot_version = cache_version_;
       result.tier = cache_version_ == published_version

@@ -182,6 +182,20 @@ class InferenceRuntime {
   /// joins the workers. Idempotent.
   void Shutdown();
 
+  /// Test-only view of the score-cache generations. The invariant asserted
+  /// by tests (and relied on under streaming publish cadence): immediately
+  /// after Publish returns version V, the fresh generation is empty at V
+  /// and the stale generation holds at most the scores of V-1 — no entry
+  /// from a version older than the one-version stale-while-revalidate
+  /// window survives a publish.
+  struct CacheGenerations {
+    uint64_t fresh_version = 0;
+    size_t fresh_entries = 0;
+    uint64_t stale_version = 0;
+    size_t stale_entries = 0;
+  };
+  CacheGenerations ScoreCacheGenerationsForTest();
+
   StatsSnapshot stats() const;
   /// The runtime's metrics namespace: everything RuntimeStats records plus
   /// the worker pool's `pool.*` instruments. Hand this to a
@@ -210,6 +224,13 @@ class InferenceRuntime {
   /// in the meantime (the version check makes late writers harmless).
   void InsertCached(uint64_t version, const std::vector<int64_t>& rows,
                     const std::vector<double>& scores);
+  /// Publish-time cache rotation: retires the serving generation into the
+  /// stale-while-revalidate slot and drops anything older. Before this ran
+  /// eagerly, rotation happened lazily on the first scored batch of a new
+  /// version — under a publish-per-day streaming cadence with sparse
+  /// traffic, entries from versions arbitrarily older than the one-version
+  /// stale window stayed resident and were served by DegradedScore.
+  void EvictRetiredCacheGenerations(uint64_t published_version);
   /// Walks the fallback chain for one item row and returns the degraded
   /// answer: cache (current then stale generation) -> prior -> global
   /// mean. Always succeeds; never blocks on the queue; never runs a

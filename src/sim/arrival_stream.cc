@@ -1,0 +1,82 @@
+#include "sim/arrival_stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace atnn::sim {
+
+ArrivalStream::ArrivalStream(const data::TmallDataset* dataset,
+                             const ArrivalStreamConfig& config)
+    : dataset_(dataset), config_(config) {
+  ATNN_CHECK(dataset_ != nullptr);
+  ATNN_CHECK(config_.num_days > 0) << "num_days must be >= 1";
+  ATNN_CHECK(config_.feedback_per_item >= 0);
+  activity_cdf_.reserve(dataset_->user_activity.size());
+  double total = 0.0;
+  for (double w : dataset_->user_activity) {
+    ATNN_CHECK(w >= 0.0);
+    total += w;
+    activity_cdf_.push_back(total);
+  }
+  ATNN_CHECK(!activity_cdf_.empty() && activity_cdf_.back() > 0.0)
+      << "dataset has no positive user activity to sample feedback from";
+}
+
+int64_t ArrivalStream::SampleUser(Rng* rng) const {
+  const double u = rng->Uniform() * activity_cdf_.back();
+  const auto it =
+      std::upper_bound(activity_cdf_.begin(), activity_cdf_.end(), u);
+  const size_t idx =
+      std::min(static_cast<size_t>(it - activity_cdf_.begin()),
+               activity_cdf_.size() - 1);
+  return static_cast<int64_t>(idx);
+}
+
+DayArrivals ArrivalStream::Next() {
+  ATNN_CHECK(!Done()) << "arrival stream exhausted after "
+                      << config_.num_days << " days";
+  return Day(next_day_++);
+}
+
+DayArrivals ArrivalStream::Day(int day) const {
+  ATNN_CHECK(day >= 0 && day < config_.num_days);
+  DayArrivals result;
+  result.day = day;
+
+  // Contiguous even partition of the new-arrival rows; the first `rem`
+  // days take one extra item.
+  const auto& new_items = dataset_->new_items;
+  const size_t days = static_cast<size_t>(config_.num_days);
+  const size_t base = new_items.size() / days;
+  const size_t rem = new_items.size() % days;
+  const size_t d = static_cast<size_t>(day);
+  const size_t begin = d * base + std::min(d, rem);
+  const size_t size = base + (d < rem ? 1 : 0);
+  result.cohort_items.assign(new_items.begin() + begin,
+                             new_items.begin() + begin + size);
+
+  const size_t expected =
+      size * static_cast<size_t>(config_.feedback_per_item);
+  result.feedback_users.reserve(expected);
+  result.feedback_items.reserve(expected);
+  result.feedback_labels.reserve(expected);
+  for (int64_t item : result.cohort_items) {
+    // Per-(day, item) fork: the draw sequence of one item never depends
+    // on its neighbours, so the day is order-independent.
+    Rng item_rng(HashCombine(config_.seed,
+                             HashCombine(static_cast<uint64_t>(day) + 1,
+                                         static_cast<uint64_t>(item))));
+    for (int k = 0; k < config_.feedback_per_item; ++k) {
+      const int64_t user = SampleUser(&item_rng);
+      const bool clicked =
+          item_rng.Bernoulli(dataset_->TrueClickProbability(user, item));
+      result.feedback_users.push_back(user);
+      result.feedback_items.push_back(item);
+      result.feedback_labels.push_back(clicked ? 1.0f : 0.0f);
+    }
+  }
+  return result;
+}
+
+}  // namespace atnn::sim

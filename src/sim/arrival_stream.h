@@ -1,0 +1,82 @@
+#ifndef ATNN_SIM_ARRIVAL_STREAM_H_
+#define ATNN_SIM_ARRIVAL_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/tmall.h"
+
+namespace atnn::sim {
+
+/// Parameters of the daily new-arrival stream.
+struct ArrivalStreamConfig {
+  /// Simulated days; the dataset's new-arrival rows are partitioned into
+  /// this many contiguous daily cohorts (earlier days absorb the
+  /// remainder, so cohort sizes differ by at most one).
+  int num_days = 8;
+  /// Day-one feedback impressions sampled per cohort item — the stand-in
+  /// for the impression log a production pipeline would join back from
+  /// serving. 0 means cohorts arrive with no feedback (profile-only).
+  int feedback_per_item = 40;
+  uint64_t seed = 2026;
+};
+
+/// One day of the stream: the cohort of items that went on market plus
+/// that day's sampled feedback, as parallel (user, item, label) columns
+/// ready to append to a TmallDataset interaction log.
+struct DayArrivals {
+  int day = 0;
+  std::vector<int64_t> cohort_items;
+  std::vector<int64_t> feedback_users;
+  std::vector<int64_t> feedback_items;
+  std::vector<float> feedback_labels;
+};
+
+/// Deterministic iterator over the market's daily arrival stream — the
+/// input side of the streaming train-to-serve loop (DESIGN.md §17).
+///
+/// Feedback is drawn from the dataset's hidden ground truth: users are
+/// sampled proportionally to their activity weight and click with
+/// TrueClickProbability(user, item), so a model trained on the feedback
+/// is being fit against the same world the market simulator scores.
+///
+/// Determinism: Day(d) derives one RNG fork per (day, item) pair, so the
+/// result is a pure function of (config, dataset) — independent of
+/// iteration order, of how many times a day is re-read, and of whether
+/// the stream is consumed via Next() or random access. Two streams with
+/// equal configs over the same dataset are bitwise-identical, which is
+/// what makes same-seed streaming-trainer runs reproducible end to end.
+class ArrivalStream {
+ public:
+  /// `dataset` is not owned and must outlive the stream.
+  ArrivalStream(const data::TmallDataset* dataset,
+                const ArrivalStreamConfig& config);
+
+  int num_days() const { return config_.num_days; }
+  bool Done() const { return next_day_ >= config_.num_days; }
+
+  /// Returns the next day and advances. Requires !Done().
+  DayArrivals Next();
+
+  /// Random access to any day in [0, num_days); does not advance.
+  DayArrivals Day(int day) const;
+
+  /// Rewinds Next() to day 0 (replay for a second identical run).
+  void Reset() { next_day_ = 0; }
+
+  const ArrivalStreamConfig& config() const { return config_; }
+
+ private:
+  int64_t SampleUser(Rng* rng) const;
+
+  const data::TmallDataset* dataset_;
+  ArrivalStreamConfig config_;
+  /// Prefix sums of user_activity for O(log n) weighted user sampling.
+  std::vector<double> activity_cdf_;
+  int next_day_ = 0;
+};
+
+}  // namespace atnn::sim
+
+#endif  // ATNN_SIM_ARRIVAL_STREAM_H_

@@ -105,6 +105,14 @@ OutcomeMeans MeanOutcomes(const std::vector<ItemOutcome>& outcomes,
 double MeanTimeToFiveSales(const std::vector<ItemOutcome>& outcomes,
                            double censored_value) {
   ATNN_CHECK(!outcomes.empty());
+  // A negative censored_value means the caller passed the -1 sentinel
+  // through unconverted (first_five_sales_day == -1 marks "no fifth sale
+  // within the horizon", not "-1 days"): every censored item would then
+  // pull the mean DOWN — censored items must pull it UP. Convert to a
+  // horizon first (see sim/ab_test.cc, which uses market horizon_days).
+  ATNN_CHECK(censored_value >= 0.0)
+      << "censored_value must be >= 0 (got " << censored_value
+      << "); convert the -1 'no fifth sale' sentinel to a horizon value";
   double total = 0.0;
   for (const ItemOutcome& o : outcomes) {
     total += o.first_five_sales_day >= 0

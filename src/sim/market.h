@@ -74,6 +74,9 @@ OutcomeMeans MeanOutcomes(const std::vector<ItemOutcome>& outcomes,
 
 /// Mean of first_five_sales_day over the outcomes, counting censored items
 /// as `censored_value` days (typically the simulation horizon).
+/// `censored_value` must be >= 0: passing the -1 sentinel through
+/// unconverted would skew the mean negative (censored items must pull the
+/// mean toward the horizon, not below zero) and is a checked abort.
 double MeanTimeToFiveSales(const std::vector<ItemOutcome>& outcomes,
                            double censored_value);
 

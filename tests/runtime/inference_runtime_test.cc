@@ -636,5 +636,68 @@ TEST_F(InferenceRuntimeTest, StatsTableRendersEveryStage) {
   }
 }
 
+// Regression: the score cache used to rotate generations lazily, on the
+// first scored batch of a new version. Under a streaming publish cadence
+// (publishes outpacing traffic) the stale-while-revalidate generation
+// then held scores from versions arbitrarily older than the 1-version
+// window it advertises. Publish now evicts retired generations eagerly.
+TEST_F(InferenceRuntimeTest, PublishEvictsRetiredCacheGenerations) {
+  RuntimeConfig config = SmallRuntimeConfig();
+  config.num_workers = 1;
+  InferenceRuntime runtime(config);
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+
+  // Populate version 1's fresh generation.
+  const int64_t item = dataset_->new_items.front();
+  ASSERT_TRUE(runtime.Score(item).ok());
+  auto generations = runtime.ScoreCacheGenerationsForTest();
+  EXPECT_EQ(generations.fresh_version, 1u);
+  EXPECT_EQ(generations.fresh_entries, 1u);
+
+  // One publish with NO traffic in between: version 1's scores rotate to
+  // the stale generation immediately, not on the next scored batch.
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+  generations = runtime.ScoreCacheGenerationsForTest();
+  EXPECT_EQ(generations.fresh_version, 2u);
+  EXPECT_EQ(generations.fresh_entries, 0u);
+  EXPECT_EQ(generations.stale_version, 1u);
+  EXPECT_EQ(generations.stale_entries, 1u);
+
+  // A second traffic-less publish retires version 1 entirely. On the old
+  // lazy-rotation code the stale generation still held version 1 here —
+  // outside the one-version stale-while-revalidate window.
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+  generations = runtime.ScoreCacheGenerationsForTest();
+  EXPECT_EQ(generations.fresh_version, 3u);
+  EXPECT_EQ(generations.fresh_entries, 0u);
+  EXPECT_EQ(generations.stale_version, 2u);
+  EXPECT_EQ(generations.stale_entries, 0u);
+}
+
+TEST_F(InferenceRuntimeTest, CacheGenerationBoundHoldsUnderPublishChurn) {
+  RuntimeConfig config = SmallRuntimeConfig();
+  config.num_workers = 1;
+  InferenceRuntime runtime(config);
+  ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+  // Interleave traffic and publishes; after every publish the invariant
+  // holds: fresh generation is the live version, stale is at most one
+  // version behind, nothing older survives.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          runtime
+              .Score(dataset_->new_items[static_cast<size_t>(i + round)])
+              .ok());
+    }
+    ASSERT_TRUE(runtime.Publish(MakeSnapshot()).ok());
+    const auto generations = runtime.ScoreCacheGenerationsForTest();
+    const uint64_t live = runtime.snapshot_version();
+    EXPECT_EQ(generations.fresh_version, live);
+    EXPECT_EQ(generations.fresh_entries, 0u);
+    EXPECT_EQ(generations.stale_version, live - 1);
+    EXPECT_EQ(generations.stale_entries, 3u);
+  }
+}
+
 }  // namespace
 }  // namespace atnn::runtime

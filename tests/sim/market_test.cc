@@ -104,5 +104,25 @@ TEST(MeanTimeToFiveSalesTest, CensoredItemsUseFallback) {
   EXPECT_DOUBLE_EQ(MeanTimeToFiveSales(outcomes, 30.0), 17.0);
 }
 
+TEST(MeanTimeToFiveSalesTest, RejectsUnconvertedSentinelAsCensoredValue) {
+  // Passing the -1 "no fifth sale" sentinel through as censored_value
+  // would make censored items pull the mean DOWN instead of up; the
+  // aggregation must refuse rather than silently flatter slow items.
+  std::vector<ItemOutcome> outcomes(1);
+  outcomes[0].first_five_sales_day = -1;
+  EXPECT_DEATH(MeanTimeToFiveSales(outcomes, -1.0),
+               "censored_value must be >= 0");
+}
+
+TEST(MeanTimeToFiveSalesTest, CensoredItemsPullTheMeanUp) {
+  std::vector<ItemOutcome> fast(2);
+  fast[0].first_five_sales_day = 3;
+  fast[1].first_five_sales_day = 5;
+  std::vector<ItemOutcome> with_censored = fast;
+  with_censored[1].first_five_sales_day = -1;
+  EXPECT_GT(MeanTimeToFiveSales(with_censored, 30.0),
+            MeanTimeToFiveSales(fast, 30.0));
+}
+
 }  // namespace
 }  // namespace atnn::sim

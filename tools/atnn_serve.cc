@@ -15,6 +15,18 @@
 //   $ atnn_serve --shards=3 --kill_shard=1                 # kill + self-heal
 //   $ atnn_serve --shards=4 --resize_at=0.5 --resize_to=6  # live resize
 //   $ atnn_serve --shards=2 --tenant_qps=5000              # admission quota
+//   $ atnn_serve --stream_train --stream_days=6            # online training
+//
+// --stream_train runs the streaming train-to-serve loop (DESIGN.md §17)
+// concurrently with the replay: a trainer thread consumes the market's
+// daily arrival stream, warm-starts from the served weights, incrementally
+// trains on each cohort's sampled feedback, and hot-swaps a fresh snapshot
+// into the live serving path after every day — single-runtime publishes or
+// a PublishSharded fan-out across every tenant, whichever path is active.
+// The end-of-run table reports per-day staleness (AUC of the
+// previously-served weights vs the freshly-trained weights on the newest
+// cohort) and publish latency. --stream_negatives / --stream_one_backprop
+// switch on the cross-batch negative cache and one-backprop alternation.
 //
 // --shards/--tenants switch to the cluster front-end: the catalog is
 // consistent-hash sharded across per-shard runtimes behind a
@@ -68,6 +80,8 @@
 #include "serving/compute_flags.h"
 #include "serving/model_snapshot.h"
 #include "serving/popularity_index.h"
+#include "sim/arrival_stream.h"
+#include "stream/streaming_trainer.h"
 
 namespace {
 
@@ -103,6 +117,28 @@ int Run(int argc, const char* const* argv) {
   flags.AddInt64("swap_every_ms", 0,
                  "if > 0, republish the snapshot at this cadence while "
                  "the stream replays (hot-swap churn)");
+  flags.AddBool("stream_train", false,
+                "run the streaming train-to-serve loop concurrently with "
+                "the replay: consume the daily arrival stream, train "
+                "incrementally on each cohort's feedback, and hot-swap "
+                "fresh snapshots into the live serving path");
+  flags.AddInt64("stream_days", 6, "simulated days in the arrival stream");
+  flags.AddInt64("stream_feedback", 40,
+                 "feedback impressions sampled per cohort item per day");
+  flags.AddInt64("stream_epochs", 1,
+                 "incremental training epochs per streamed day");
+  flags.AddInt64("stream_replay", 0,
+                 "historical interactions replayed (anti-forgetting) into "
+                 "each day's training set");
+  flags.AddBool("stream_negatives", false,
+                "cross-batch negative cache (CBNS) during streaming "
+                "updates");
+  flags.AddBool("stream_one_backprop", false,
+                "alternate a single backprop per step between the D and G "
+                "objectives during streaming updates");
+  flags.AddInt64("stream_pause_ms", 0,
+                 "pause between streamed days (spreads publishes across "
+                 "the replay window)");
   flags.AddDouble("zipf", 1.1, "request-stream skew exponent");
   flags.AddInt64("top_k", 10, "ranked arrivals to print at the end");
   flags.AddInt64("deadline_us", 0,
@@ -276,6 +312,86 @@ int Run(int argc, const char* const* argv) {
     }
   }
 
+  // --- streaming train-to-serve loop (--stream_train) ---
+  // The trainer thread is shared by both serving paths; only the PublishFn
+  // differs (single-runtime Publish vs per-tenant PublishSharded fan-out).
+  // The arrival stream reads the immutable world (new_items, activity,
+  // ground truth); the trainer owns its growing dataset copy.
+  const bool stream_train = flags.GetBool("stream_train");
+  std::unique_ptr<atnn::stream::StreamingTrainer> stream_trainer;
+  std::unique_ptr<sim::ArrivalStream> arrivals;
+  std::vector<atnn::stream::DayReport> day_reports;
+  Status stream_status;
+  std::thread stream_thread;
+  const auto start_stream = [&](atnn::stream::PublishFn publish_fn) {
+    atnn::stream::StreamingTrainerConfig stream_config;
+    stream_config.model = config;
+    stream_config.train.epochs =
+        static_cast<int>(flags.GetInt64("stream_epochs"));
+    stream_config.train.seed = world.seed;
+    stream_config.train.cross_batch_negatives =
+        flags.GetBool("stream_negatives");
+    stream_config.train.one_backprop = flags.GetBool("stream_one_backprop");
+    stream_config.active_user_group = flags.GetInt64("user_group");
+    stream_config.replay_interactions = flags.GetInt64("stream_replay");
+    stream_config.tag = "atnn_serve-stream";
+    stream_trainer = std::make_unique<atnn::stream::StreamingTrainer>(
+        dataset, stream_config, std::move(publish_fn));
+    stream_status = stream_trainer->WarmStartFrom(model);
+    if (!stream_status.ok()) return;
+    sim::ArrivalStreamConfig arrival_config;
+    arrival_config.num_days =
+        static_cast<int>(flags.GetInt64("stream_days"));
+    arrival_config.feedback_per_item =
+        static_cast<int>(flags.GetInt64("stream_feedback"));
+    arrival_config.seed = world.seed ^ 0xa55a7e11ULL;
+    arrivals = std::make_unique<sim::ArrivalStream>(&dataset,
+                                                    arrival_config);
+    const int64_t pause_ms = flags.GetInt64("stream_pause_ms");
+    stream_thread = std::thread([&, pause_ms] {
+      while (!arrivals->Done()) {
+        auto report = stream_trainer->Step(arrivals.get());
+        if (!report.ok()) {
+          stream_status = report.status();
+          return;
+        }
+        day_reports.push_back(std::move(*report));
+        if (pause_ms > 0 && !arrivals->Done()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+        }
+      }
+    });
+  };
+  // Joins the trainer and prints the per-day staleness table; returns the
+  // number of failures to fold into the exit code.
+  const auto finish_stream = [&]() -> int64_t {
+    if (!stream_train) return 0;
+    if (stream_thread.joinable()) stream_thread.join();
+    if (!stream_status.ok()) {
+      std::fprintf(stderr, "stream training failed: %s\n",
+                   stream_status.ToString().c_str());
+      return 1;
+    }
+    int64_t failures = 0;
+    std::printf("\nstreamed %zu day(s):\n", day_reports.size());
+    std::printf("  day  cohort  feedback  served_auc  fresh_auc  "
+                "gap      train_ms  publish_ms  version\n");
+    for (const auto& report : day_reports) {
+      if (!report.published) ++failures;
+      std::printf("  %3d  %6lld  %8lld  %10.4f  %9.4f  %+7.4f  %8.1f  "
+                  "%10.2f  %s\n",
+                  report.day,
+                  static_cast<long long>(report.cohort_items),
+                  static_cast<long long>(report.feedback_rows),
+                  report.served_auc, report.fresh_auc,
+                  report.staleness_gap, report.train_ms, report.publish_ms,
+                  report.published
+                      ? std::to_string(report.published_version).c_str()
+                      : "REJECTED");
+    }
+    return failures;
+  };
+
   // --- sharded multi-tenant path (--shards / --tenants) ---
   if (flags.GetInt64("shards") > 0 || !flags.GetString("tenants").empty()) {
     std::vector<std::string> tenant_names;
@@ -371,6 +487,28 @@ int Run(int argc, const char* const* argv) {
         supervisors.push_back(std::make_unique<cluster::ShardSupervisor>(
             registry.Get(name), supervision));
         supervisors.back()->Start();
+      }
+    }
+
+    if (stream_train) {
+      // Fan every day's fresh snapshot out to all tenants; the returned
+      // version is the last tenant's (they move in lockstep from the same
+      // publish sequence).
+      start_stream([&](runtime::ServingSnapshot fresh)
+                       -> StatusOr<uint64_t> {
+        uint64_t version = 0;
+        for (const std::string& name : tenant_names) {
+          auto tenant_published =
+              registry.Get(name)->PublishSharded(fresh);
+          if (!tenant_published.ok()) return tenant_published.status();
+          version = *tenant_published;
+        }
+        return version;
+      });
+      if (!stream_status.ok()) {
+        std::fprintf(stderr, "stream trainer warm start failed: %s\n",
+                     stream_status.ToString().c_str());
+        return 1;
       }
     }
 
@@ -503,6 +641,8 @@ int Run(int argc, const char* const* argv) {
         }
       }
     }
+    const int64_t stream_failures = finish_stream();
+    error_count.fetch_add(stream_failures);
     registry.Shutdown();
 
     const auto collected = registry.Collect();
@@ -590,6 +730,17 @@ int Run(int argc, const char* const* argv) {
         flags.GetInt64("metrics_interval_ms"));
   }
 
+  if (stream_train) {
+    start_stream([&](runtime::ServingSnapshot fresh) {
+      return runtime.Publish(std::move(fresh));
+    });
+    if (!stream_status.ok()) {
+      std::fprintf(stderr, "stream trainer warm start failed: %s\n",
+                   stream_status.ToString().c_str());
+      return 1;
+    }
+  }
+
   std::atomic<bool> stop_swapping{false};
   std::atomic<int64_t> corrupt_attempts{0};
   std::atomic<int64_t> corrupt_accepted{0};
@@ -644,6 +795,8 @@ int Run(int argc, const char* const* argv) {
     stop_swapping.store(true);
     swapper.join();
   }
+  const int64_t stream_failures = finish_stream();
+  error_count.fetch_add(stream_failures);
 
   if (chaos) {
     // Deterministic corrupt-publish drill (the swapper's attempts depend on
